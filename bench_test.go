@@ -1,0 +1,512 @@
+// Benchmarks: one per table/figure of the paper's evaluation plus the
+// ablations called out in DESIGN.md and the computational kernels that
+// dominate the pipeline. Figure-level benchmarks run reduced workloads of
+// the same code paths cmd/experiments exercises at full scale.
+package crowdmap
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"crowdmap/internal/aggregate"
+	"crowdmap/internal/alphashape"
+	"crowdmap/internal/baseline"
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/eval"
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/forcedir"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/layout"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/vision/hog"
+	"crowdmap/internal/vision/pano"
+	"crowdmap/internal/vision/surf"
+	"crowdmap/internal/world"
+)
+
+// ---- shared fixtures (built once, outside timed regions) ----
+
+func benchCaptures(b *testing.B, building *world.Building, walks, visits int, seed int64) []*crowd.Capture {
+	b.Helper()
+	ds, err := GenerateDataset(building, DatasetSpec{
+		Users: 5, CorridorWalks: walks, RoomVisits: visits,
+		NightFraction: 0.2, Seed: seed, FPS: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Captures
+}
+
+func benchTracks(b *testing.B, captures []*crowd.Capture) []*Track {
+	b.Helper()
+	cfg := DefaultConfig()
+	tracks := make([]*Track, len(captures))
+	for i, c := range captures {
+		kfs, traj, err := keyframe.Extract(c, cfg.Keyframe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracks[i] = &Track{ID: c.ID, Traj: traj, KFs: kfs}
+	}
+	return tracks
+}
+
+func benchPanorama(b *testing.B, building *world.Building, room world.Room) *pano.Panorama {
+	b.Helper()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(building, cam)
+	pp := pano.DefaultParams()
+	pp.FOV = cam.FOV
+	pp.Pitch = cam.Pitch
+	var frames []pano.Frame
+	for d := 0.0; d < 360; d += 20 {
+		h := mathx.Deg2Rad(d)
+		frames = append(frames, pano.Frame{
+			Image:   r.Render(world.Pose{Pos: room.Bounds.Center(), Heading: h}, world.Daylight(), nil),
+			Heading: h,
+		})
+	}
+	pn, err := pano.Stitch(frames, pp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pn
+}
+
+// ---- Table I: hallway shape reconstruction ----
+
+// BenchmarkTableIHallwayShape measures the hallway-shape half of Table I:
+// skeleton construction plus precision/recall scoring over pre-aggregated
+// trajectories (the vision-heavy stages are benchmarked separately).
+func BenchmarkTableIHallwayShape(b *testing.B) {
+	building := world.Lab2()
+	captures := benchCaptures(b, building, 8, 0, 11)
+	tracks := benchTracks(b, captures)
+	// Place tracks at their truth offsets (aggregation is benchmarked in
+	// BenchmarkFig7aAggregation); here we time skeleton + metric.
+	var trajs []*trajectory.Trajectory
+	for _, tr := range tracks {
+		var off geom.Pt
+		for _, kf := range tr.KFs {
+			off = off.Add(kf.TruthPose.Pos.Sub(kf.LocalPos))
+		}
+		off = off.Scale(1 / float64(len(tr.KFs)))
+		trajs = append(trajs, tr.Traj.Translate(off))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask, shape, err := floorplan.BuildSkeleton(trajs, floorplan.DefaultSkeletonParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := &floorplan.Plan{Building: building.Name, HallwayMask: mask, HallwayShape: shape}
+		if _, _, err := eval.HallwayShapeScore(plan, building, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 6: plan assembly and rendering ----
+
+func BenchmarkFig6PlanRender(b *testing.B) {
+	building := world.Lab2()
+	captures := benchCaptures(b, building, 6, 0, 13)
+	tracks := benchTracks(b, captures)
+	var trajs []*trajectory.Trajectory
+	for _, tr := range tracks {
+		trajs = append(trajs, tr.Traj)
+	}
+	mask, shape, err := floorplan.BuildSkeleton(trajs, floorplan.DefaultSkeletonParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &floorplan.Plan{Building: building.Name, HallwayMask: mask, HallwayShape: shape,
+		Rooms: []floorplan.Room{{ID: "A", Center: geom.P(5, 3), Width: 5, Length: 4}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.RenderASCII(0.8); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.RenderSVG(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 7a: trajectory aggregation, sequence vs single image ----
+
+func BenchmarkFig7aAggregation(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 6, 0, 17)
+	tracks := benchTracks(b, captures)
+	p := aggregate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aggregate.Aggregate(tracks, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aSingleImageAggregation(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 6, 0, 17)
+	tracks := benchTracks(b, captures)
+	p := aggregate.DefaultParams()
+	cmp := baseline.SingleImageComparer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aggregate.Aggregate(tracks, p, cmp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 7b: lighting tolerance (night-frame matching) ----
+
+func BenchmarkFig7bLighting(b *testing.B) {
+	// One day and one night capture over the same stretch: measure the
+	// cross-lighting pair comparison that Fig. 7b sweeps.
+	building := world.Lab2()
+	gen, err := crowd.NewGenerator(building)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users, err := crowd.NewPopulation(2, 0.5, mathx.NewRNG(19))
+	if err != nil {
+		b.Fatal(err)
+	}
+	users[0].Night = false
+	users[1].Night = true
+	cfg := DefaultConfig()
+	var tracks []*Track
+	for i, u := range users {
+		c, err := gen.SWS(fmt.Sprintf("lit-%d", i), u, geom.P(4, 7.5), geom.P(24, 7.5), mathx.NewRNG(23+int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		kfs, traj, err := keyframe.Extract(c, cfg.Keyframe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracks = append(tracks, &Track{ID: c.ID, Traj: traj, KFs: kfs})
+	}
+	p := aggregate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := aggregate.ComparePair(0, 1, tracks[0], tracks[1], p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 7c: key-frame match latency (the paper's 0.8 s/SURF match) ----
+
+func BenchmarkFig7cMatchLatency(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 2, 0, 29)
+	tracks := benchTracks(b, captures)
+	ka := tracks[0].KFs[len(tracks[0].KFs)/2]
+	kb := tracks[1].KFs[len(tracks[1].KFs)/2]
+	p := keyframe.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := keyframe.Compare(ka, kb, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 8a/8b: room area and aspect errors ----
+
+func BenchmarkFig8aRoomArea(b *testing.B) {
+	building := world.Lab1()
+	room := building.Rooms[2]
+	pn := benchPanorama(b, building, room)
+	lp := layout.DefaultParams()
+	lp.CameraHeight = building.CameraHeight
+	lp.Hypotheses = 20000 // the paper's hypothesis count
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := layout.Estimate(pn, lp, mathx.NewRNG(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = math.Abs(l.Area()-room.Area()) / room.Area()
+	}
+}
+
+func BenchmarkFig8bAspectRatioInertialBaseline(b *testing.B) {
+	building := world.Lab2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.MeasureRoomsInertial(building, baseline.DefaultInertialRoomParams(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 8c: force-directed room placement ----
+
+func BenchmarkFig8cRoomLocation(b *testing.B) {
+	building := world.Lab2()
+	var obs []floorplan.RoomObservation
+	for i, room := range building.Rooms {
+		obs = append(obs, floorplan.RoomObservation{
+			ID:        room.ID,
+			CameraPos: room.Bounds.Center().Add(geom.P(0.3*float64(i%3), -0.2)),
+			RoomLayout: layout.Layout{
+				DXMinus: room.Bounds.W() / 2, DXPlus: room.Bounds.W() / 2,
+				DYMinus: room.Bounds.H() / 2, DYPlus: room.Bounds.H() / 2,
+			},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rooms, err := floorplan.PlaceRooms(obs, nil, forcedir.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.ScoreRooms(rooms, building, geom.Pt{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig. 9: SfM chain vs hybrid tracking ----
+
+func BenchmarkFig9SfM(b *testing.B) {
+	building := world.Lab1()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(building, cam)
+	var feats [][]surf.Feature
+	var steps []float64
+	for i := 0; i < 6; i++ {
+		p := geom.P(5+0.45*float64(i), 7.2)
+		frame := r.Render(world.Pose{Pos: p, Heading: 0}, world.Daylight(), nil)
+		feats = append(feats, surf.Extract(frame.Luma(), surf.DefaultParams()))
+		if i > 0 {
+			steps = append(steps, 0.45)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.ChainSfM(feats, steps, cam, 0.12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md Section 5) ----
+
+// BenchmarkAblationLCSWindow sweeps the δ sequence window.
+func BenchmarkAblationLCSWindow(b *testing.B) {
+	rng := mathx.NewRNG(31)
+	mk := func() []geom.Pt {
+		pts := make([]geom.Pt, 120)
+		p := geom.Pt{}
+		for i := range pts {
+			p = p.Add(geom.P(rng.Float64(), rng.Float64()-0.5))
+			pts[i] = p
+		}
+		return pts
+	}
+	pa, pb := mk(), mk()
+	for _, delta := range []int{10, 25, 50, 100} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				aggregate.LCS(pa, pb, 1.5, delta)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStage1Gate compares the hierarchical comparison with
+// and without the cheap stage-1 filter (the paper's scaling argument).
+func BenchmarkAblationStage1Gate(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 2, 0, 37)
+	tracks := benchTracks(b, captures)
+	ka := tracks[0].KFs[0]
+	kb := tracks[1].KFs[len(tracks[1].KFs)-1] // far apart: stage 1 should reject
+	gated := keyframe.DefaultParams()
+	ungated := gated
+	ungated.HS = 0 // stage 1 always passes; SURF always runs
+	b.Run("gated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := keyframe.Compare(ka, kb, gated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ungated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := keyframe.Compare(ka, kb, ungated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKeyframeGate sweeps the HOG key-frame threshold h_g:
+// higher thresholds keep more key-frames and cost more downstream.
+func BenchmarkAblationKeyframeGate(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 1, 0, 41)
+	c := captures[0]
+	for _, hg := range []float64{0.80, 0.92, 0.98} {
+		b.Run(fmt.Sprintf("hg=%.2f", hg), func(b *testing.B) {
+			p := keyframe.DefaultParams()
+			p.HG = hg
+			var kept int
+			for i := 0; i < b.N; i++ {
+				kfs, _, err := keyframe.Extract(c, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept = len(kfs)
+			}
+			b.ReportMetric(float64(kept), "keyframes")
+		})
+	}
+}
+
+// BenchmarkAblationGridResolution sweeps the occupancy grid cell size.
+func BenchmarkAblationGridResolution(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 6, 0, 43)
+	tracks := benchTracks(b, captures)
+	var trajs []*trajectory.Trajectory
+	for _, tr := range tracks {
+		trajs = append(trajs, tr.Traj)
+	}
+	for _, res := range []float64{0.4, 0.8, 1.6} {
+		b.Run(fmt.Sprintf("res=%.1f", res), func(b *testing.B) {
+			p := floorplan.DefaultSkeletonParams()
+			p.GridRes = res
+			p.Alpha = 2.2 * res
+			for i := 0; i < b.N; i++ {
+				if _, _, err := floorplan.BuildSkeleton(trajs, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHypothesisCount sweeps the layout sampling budget
+// around the paper's 20,000.
+func BenchmarkAblationHypothesisCount(b *testing.B) {
+	building := world.Lab1()
+	room := building.Rooms[2]
+	pn := benchPanorama(b, building, room)
+	for _, n := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			lp := layout.DefaultParams()
+			lp.CameraHeight = building.CameraHeight
+			lp.Hypotheses = n
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				l, err := layout.Estimate(pn, lp, mathx.NewRNG(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErr = math.Abs(l.Area()-room.Area()) / room.Area()
+			}
+			b.ReportMetric(lastErr*100, "areaErr%")
+		})
+	}
+}
+
+// ---- computational kernels ----
+
+func BenchmarkKernelRenderFrame(b *testing.B) {
+	building := world.Lab1()
+	r := world.NewRenderer(building, world.DefaultCamera())
+	pose := world.Pose{Pos: geom.P(20, 7.2), Heading: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render(pose, world.Daylight(), nil)
+	}
+}
+
+func BenchmarkKernelSURFExtract(b *testing.B) {
+	building := world.Lab1()
+	r := world.NewRenderer(building, world.DefaultCamera())
+	luma := r.Render(world.Pose{Pos: geom.P(20, 7.2), Heading: 0}, world.Daylight(), nil).Luma()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		surf.Extract(luma, surf.DefaultParams())
+	}
+}
+
+func BenchmarkKernelSURFMatch(b *testing.B) {
+	building := world.Lab1()
+	r := world.NewRenderer(building, world.DefaultCamera())
+	fa := surf.Extract(r.Render(world.Pose{Pos: geom.P(20, 7.2), Heading: 0}, world.Daylight(), nil).Luma(), surf.DefaultParams())
+	fb := surf.Extract(r.Render(world.Pose{Pos: geom.P(20.3, 7.2), Heading: 0.05}, world.Daylight(), nil).Luma(), surf.DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		surf.Match(fa, fb, 0.12)
+	}
+}
+
+func BenchmarkKernelHOG(b *testing.B) {
+	building := world.Lab1()
+	r := world.NewRenderer(building, world.DefaultCamera())
+	luma := r.Render(world.Pose{Pos: geom.P(20, 7.2), Heading: 0}, world.Daylight(), nil).Luma()
+	p := hog.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hog.Compute(luma, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelPanoramaStitch(b *testing.B) {
+	building := world.Lab1()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(building, cam)
+	pp := pano.DefaultParams()
+	pp.FOV = cam.FOV
+	pp.Pitch = cam.Pitch
+	room := building.Rooms[0]
+	var frames []pano.Frame
+	for d := 0.0; d < 360; d += 20 {
+		h := mathx.Deg2Rad(d)
+		frames = append(frames, pano.Frame{
+			Image:   r.Render(world.Pose{Pos: room.Bounds.Center(), Heading: h}, world.Daylight(), nil),
+			Heading: h,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pano.Stitch(frames, pp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelDelaunay(b *testing.B) {
+	rng := mathx.NewRNG(47)
+	pts := make([]geom.Pt, 400)
+	for i := range pts {
+		pts[i] = geom.P(rng.Float64()*40, rng.Float64()*30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alphashape.Delaunay(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelDeadReckon(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 1, 0, 53)
+	imu := captures[0].IMU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trajectory.DeadReckon(imu, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

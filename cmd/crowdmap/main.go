@@ -1,0 +1,99 @@
+// Command crowdmap runs the full reconstruction pipeline end-to-end on a
+// synthetic crowdsourced dataset for one building and reports the quality
+// against ground truth.
+//
+// Usage:
+//
+//	crowdmap [-building Lab1|Lab2|Gym] [-walks N] [-visits N] [-users N]
+//	         [-night F] [-seed N] [-hypotheses N] [-svg plan.svg] [-ascii]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"crowdmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdmap: ")
+	var (
+		building   = flag.String("building", "Lab2", "evaluation building: Lab1, Lab2 or Gym")
+		walks      = flag.Int("walks", 20, "number of SWS hallway captures")
+		visits     = flag.Int("visits", 12, "number of room-visit captures")
+		users      = flag.Int("users", 10, "simulated user population")
+		night      = flag.Float64("night", 0.3, "fraction of users capturing at night")
+		seed       = flag.Int64("seed", 1, "dataset seed")
+		hypotheses = flag.Int("hypotheses", 20000, "room layout hypotheses per panorama")
+		svgPath    = flag.String("svg", "", "write the reconstructed plan as SVG to this path")
+		ascii      = flag.Bool("ascii", true, "print the reconstructed plan as ASCII")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	b, err := crowdmap.BuildingByName(*building)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := crowdmap.DatasetSpec{
+		Users:         *users,
+		CorridorWalks: *walks,
+		RoomVisits:    *visits,
+		NightFraction: *night,
+		Seed:          *seed,
+		FPS:           3.5,
+	}
+	fmt.Printf("generating dataset: %s, %d walks + %d visits by %d users...\n",
+		b.Name, spec.CorridorWalks, spec.RoomVisits, spec.Users)
+	t0 := time.Now()
+	ds, err := crowdmap.GenerateDataset(b, spec)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	fmt.Printf("  %d captures, %d frames (%s)\n", len(ds.Captures), ds.FrameCount(), time.Since(t0).Round(time.Millisecond))
+
+	cfg := crowdmap.DefaultConfig()
+	cfg.Layout.Hypotheses = *hypotheses
+	cfg.Workers = *workers
+	fmt.Println("reconstructing...")
+	t1 := time.Now()
+	res, err := crowdmap.Reconstruct(ds.Captures, cfg)
+	if err != nil {
+		log.Fatalf("reconstruct: %v", err)
+	}
+	fmt.Printf("  placed %d/%d tracks, %d rooms, %d room failures (%s)\n",
+		len(res.Aggregation.Offsets), len(res.Tracks),
+		len(res.Plan.Rooms), len(res.RoomFailures), time.Since(t1).Round(time.Millisecond))
+	for id, ferr := range res.RoomFailures {
+		fmt.Printf("  room failure %s: %v\n", id, ferr)
+	}
+
+	rep, err := crowdmap.Evaluate(res, b)
+	if err != nil {
+		log.Fatalf("evaluate: %v", err)
+	}
+	fmt.Printf("\nevaluation: %s\n", rep)
+
+	if *ascii {
+		art, err := res.Plan.RenderASCII(0.8)
+		if err != nil {
+			log.Fatalf("render ascii: %v", err)
+		}
+		fmt.Println("\nreconstructed plan:")
+		fmt.Println(art)
+	}
+	if *svgPath != "" {
+		svg, err := res.Plan.RenderSVG()
+		if err != nil {
+			log.Fatalf("render svg: %v", err)
+		}
+		if err := os.WriteFile(*svgPath, svg, 0o644); err != nil {
+			log.Fatalf("write svg: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}

@@ -1,0 +1,165 @@
+// Command crowdmapd is the CrowdMap cloud backend daemon: it serves the
+// chunked capture-upload API, periodically runs the reconstruction
+// pipeline over everything uploaded so far, and publishes the resulting
+// floor plan SVGs back through the same API — the full client→cloud loop
+// of the paper's Section IV prototype on one machine.
+//
+// Usage:
+//
+//	crowdmapd [-addr :8080] [-interval 30s] [-snapshot store.json]
+//	          [-hypotheses N] [-workers N]
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdmap"
+	"crowdmap/internal/cloud/queue"
+	"crowdmap/internal/cloud/server"
+	"crowdmap/internal/cloud/store"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("crowdmapd: ")
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		interval   = flag.Duration("interval", 30*time.Second, "reconstruction interval")
+		snapshot   = flag.String("snapshot", "", "optional store snapshot path (loaded at start, saved on exit)")
+		hypotheses = flag.Int("hypotheses", 20000, "room layout hypotheses per panorama")
+		workers    = flag.Int("workers", 0, "pipeline workers (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	st := store.New()
+	if *snapshot != "" {
+		if err := st.LoadFile(*snapshot); err != nil {
+			if !os.IsNotExist(err) {
+				log.Printf("snapshot load: %v (starting empty)", err)
+			}
+		} else {
+			log.Printf("loaded snapshot: %d captures, %d plans",
+				st.Len(server.CollCaptures), st.Len(server.CollPlans))
+		}
+	}
+	srv, err := server.New(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sched, err := queue.New(1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := newProcessor(st, *hypotheses, *workers)
+	stop, err := sched.Every(*interval, queue.Job{ID: "reconstruct", Run: proc.run})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for r := range sched.Results() {
+			if r.Err != nil {
+				log.Printf("job %s: %v", r.ID, r.Err)
+			}
+		}
+	}()
+
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	stop()
+	sched.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if *snapshot != "" {
+		if err := st.SaveFile(*snapshot); err != nil {
+			log.Printf("snapshot save: %v", err)
+		} else {
+			log.Printf("saved snapshot to %s", *snapshot)
+		}
+	}
+}
+
+// processor runs the reconstruction pipeline over stored captures, grouped
+// by the Task-1 geo tag (building), skipping reruns when nothing changed.
+type processor struct {
+	st         *store.Store
+	hypotheses int
+	workers    int
+	lastCount  int
+}
+
+func newProcessor(st *store.Store, hypotheses, workers int) *processor {
+	return &processor{st: st, hypotheses: hypotheses, workers: workers}
+}
+
+func (p *processor) run(context.Context) error {
+	keys := p.st.Keys(server.CollCaptures)
+	if len(keys) == 0 || len(keys) == p.lastCount {
+		return nil
+	}
+	log.Printf("reconstructing from %d captures", len(keys))
+	byBuilding := make(map[string][]*crowdmap.Capture)
+	for _, k := range keys {
+		data, ok := p.st.Get(server.CollCaptures, k)
+		if !ok {
+			continue
+		}
+		c, err := server.DecodeCapture(data)
+		if err != nil {
+			log.Printf("decode %s: %v (skipping)", k, err)
+			continue
+		}
+		byBuilding[c.Geo.Building] = append(byBuilding[c.Geo.Building], c)
+	}
+	for building, captures := range byBuilding {
+		if len(captures) < 3 {
+			log.Printf("%s: only %d captures, waiting for more", building, len(captures))
+			continue
+		}
+		cfg := crowdmap.DefaultConfig()
+		cfg.Layout.Hypotheses = p.hypotheses
+		cfg.Workers = p.workers
+		start := time.Now()
+		res, err := crowdmap.Reconstruct(captures, cfg)
+		if err != nil {
+			log.Printf("%s: reconstruction failed: %v", building, err)
+			continue
+		}
+		svg, err := res.Plan.RenderSVG()
+		if err != nil {
+			log.Printf("%s: render: %v", building, err)
+			continue
+		}
+		if err := p.st.Put(server.CollPlans, building, svg); err != nil {
+			log.Printf("%s: store plan: %v", building, err)
+			continue
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "%s: plan updated (%d rooms, %d/%d tracks placed, %s)",
+			building, len(res.Plan.Rooms), len(res.Aggregation.Offsets), len(res.Tracks),
+			time.Since(start).Round(time.Millisecond))
+		log.Print(buf.String())
+	}
+	p.lastCount = len(keys)
+	return nil
+}

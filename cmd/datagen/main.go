@@ -1,0 +1,70 @@
+// Command datagen synthesizes a crowdsourced capture corpus for one
+// building and writes each capture session as an upload archive (the same
+// zip format the mobile front-end ships), ready to feed crowdmapd.
+//
+// Usage:
+//
+//	datagen [-building Lab2] [-walks N] [-visits N] [-users N] [-night F]
+//	        [-seed N] -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"crowdmap"
+	"crowdmap/internal/cloud/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		building = flag.String("building", "Lab2", "evaluation building: Lab1, Lab2 or Gym")
+		walks    = flag.Int("walks", 20, "number of SWS hallway captures")
+		visits   = flag.Int("visits", 12, "number of room-visit captures")
+		users    = flag.Int("users", 10, "simulated user population")
+		night    = flag.Float64("night", 0.3, "fraction of users capturing at night")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		outDir   = flag.String("out", "", "output directory for capture archives (required)")
+	)
+	flag.Parse()
+	if *outDir == "" {
+		log.Fatal("-out is required")
+	}
+	b, err := crowdmap.BuildingByName(*building)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatalf("create output dir: %v", err)
+	}
+	ds, err := crowdmap.GenerateDataset(b, crowdmap.DatasetSpec{
+		Users:         *users,
+		CorridorWalks: *walks,
+		RoomVisits:    *visits,
+		NightFraction: *night,
+		Seed:          *seed,
+		FPS:           3.5,
+	})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	var total int64
+	for _, c := range ds.Captures {
+		data, err := server.EncodeCapture(c)
+		if err != nil {
+			log.Fatalf("encode %s: %v", c.ID, err)
+		}
+		path := filepath.Join(*outDir, c.ID+".zip")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		total += int64(len(data))
+	}
+	fmt.Printf("wrote %d capture archives (%d frames, %.1f MiB) to %s\n",
+		len(ds.Captures), ds.FrameCount(), float64(total)/(1<<20), *outDir)
+}

@@ -1,0 +1,235 @@
+// Command experiments regenerates every table and figure of the CrowdMap
+// paper's evaluation on the synthetic testbed and prints the same rows and
+// series the paper reports.
+//
+// Usage:
+//
+//	experiments [-run tableI|fig6|fig7a|fig7b|fig7c|fig8|fig8c|fig9|all]
+//	            [-quick] [-seed N] [-workers N] [-out DIR]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"crowdmap/internal/experiments"
+	"crowdmap/internal/mathx"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run     = flag.String("run", "all", "experiment to run: tableI, fig6, fig7a, fig7b, fig7c, fig8, fig8c, fig9, all")
+		quick   = flag.Bool("quick", false, "reduced workload for smoke runs")
+		seed    = flag.Int64("seed", 2015, "dataset generation seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		outDir  = flag.String("out", "", "directory for JSON/SVG artifacts (optional)")
+	)
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Options{
+		Quick: *quick, Seed: *seed, Workers: *workers,
+	})
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatalf("create output dir: %v", err)
+		}
+	}
+	selected := strings.Split(*run, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+	start := time.Now()
+	if want("tableI") {
+		runTableI(suite, *outDir)
+	}
+	if want("fig6") {
+		runFig6(suite, *outDir)
+	}
+	if want("fig7a") {
+		runFig7a(suite, *outDir)
+	}
+	if want("fig7b") {
+		runFig7b(suite, *outDir)
+	}
+	if want("fig7c") {
+		runFig7c(suite, *outDir)
+	}
+	if want("fig8") {
+		runFig8(suite, *outDir)
+	}
+	if want("fig8c") {
+		runFig8c(suite, *outDir)
+	}
+	if want("fig9") {
+		runFig9(suite, *outDir)
+	}
+	fmt.Printf("\ntotal wall time: %s\n", time.Since(start).Round(time.Second))
+}
+
+func save(outDir, name string, v interface{}) {
+	if outDir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Printf("marshal %s: %v", name, err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(outDir, name), data, 0o644); err != nil {
+		log.Printf("write %s: %v", name, err)
+	}
+}
+
+func runTableI(s *experiments.Suite, outDir string) {
+	fmt.Println("== Table I: Hallway Shape Evaluation ==")
+	fmt.Println("(paper: Lab1 87.5/93.3/90.3, Lab2 92.2/95.9/94.0, Gym 84.3/88.8/86.5)")
+	rows, err := s.TableI()
+	if err != nil {
+		log.Fatalf("tableI: %v", err)
+	}
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "", "Precision", "Recall", "F-Measure")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-12.1f %-12.1f %-12.1f\n", r.Building, r.Precision*100, r.Recall*100, r.F*100)
+	}
+	save(outDir, "tableI.json", rows)
+	fmt.Println()
+}
+
+func runFig6(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 6: Ground truth vs reconstructed floor plan (Lab1) ==")
+	res, err := s.Fig6()
+	if err != nil {
+		log.Fatalf("fig6: %v", err)
+	}
+	fmt.Println("--- ground truth ---")
+	fmt.Println(res.TruthASCII)
+	fmt.Println("--- reconstruction ---")
+	fmt.Println(res.ASCII)
+	fmt.Printf("summary: %s\n\n", res.Report)
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "fig6_lab1.svg"), res.SVG, 0o644); err != nil {
+			log.Printf("write fig6 svg: %v", err)
+		}
+	}
+}
+
+func runFig7a(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 7(a): Matching accuracy vs number of user trajectories ==")
+	fmt.Println("(paper: sequence-based stays high; single-image degrades past ~65)")
+	res, err := s.Fig7a()
+	if err != nil {
+		log.Fatalf("fig7a: %v", err)
+	}
+	fmt.Printf("%-14s %-24s %-24s\n", "#Trajectories", "Single Image Acc (%)", "Sequence-Based Acc (%)")
+	for i, n := range res.N {
+		fmt.Printf("%-14d %-24.1f %-24.1f\n", n, res.SingleAccuracy[i]*100, res.SeqAccuracy[i]*100)
+	}
+	save(outDir, "fig7a.json", res)
+	fmt.Println()
+}
+
+func runFig7b(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 7(b): Aggregation error rate vs portion of night trajectories ==")
+	fmt.Println("(paper: error stays in a modest band across the whole mix)")
+	res, err := s.Fig7b()
+	if err != nil {
+		log.Fatalf("fig7b: %v", err)
+	}
+	fmt.Printf("%-18s %-20s\n", "Night portion (%)", "Error rate (%)")
+	for i := range res.NightPercent {
+		fmt.Printf("%-18.0f %-20.1f\n", res.NightPercent[i], res.ErrorRate[i]*100)
+	}
+	save(outDir, "fig7b.json", res)
+	fmt.Println()
+}
+
+func runFig7c(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 7(c): User trajectory matching latency CDF ==")
+	res, err := s.Fig7c()
+	if err != nil {
+		log.Fatalf("fig7c: %v", err)
+	}
+	fmt.Printf("pair comparisons: %d, mean %.3f s, median %.3f s, p90 %.3f s, max %.3f s\n",
+		len(res.PairSeconds),
+		mathx.Mean(res.PairSeconds),
+		mathx.Median(res.PairSeconds),
+		mathx.Percentile(res.PairSeconds, 90),
+		res.CDF.Max())
+	fmt.Printf("key-frame comparisons: %d, mean %.4f s\n",
+		len(res.KeyframeSeconds), mathx.Mean(res.KeyframeSeconds))
+	if xs, ps, err := res.CDF.Series(9); err == nil {
+		fmt.Println("CDF (latency s → fraction):")
+		for i := range xs {
+			fmt.Printf("  %.3f → %.2f\n", xs[i], ps[i])
+		}
+	}
+	save(outDir, "fig7c.json", res.PairSeconds)
+	fmt.Println()
+}
+
+func runFig8(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 8(a)/(b): Room area and aspect-ratio error, visual vs inertial ==")
+	fmt.Println("(paper: area 9.8% vs 22.5%; aspect 6.5% vs 15.1%)")
+	res, err := s.Fig8()
+	if err != nil {
+		log.Fatalf("fig8: %v", err)
+	}
+	fmt.Printf("%-22s %-14s %-14s\n", "", "Visual", "Inertial")
+	fmt.Printf("%-22s %-14.1f %-14.1f\n", "mean area error (%)", res.MeanVisualArea()*100, res.MeanInertialArea()*100)
+	fmt.Printf("%-22s %-14.1f %-14.1f\n", "mean aspect error (%)", res.MeanVisualAspect()*100, res.MeanInertialAspect()*100)
+	printCDF := func(label string, samples []float64) {
+		cdf := mathx.NewCDF(samples)
+		fmt.Printf("  %s: p50=%.1f%% p90=%.1f%% max=%.1f%% (n=%d)\n",
+			label, cdf.Quantile(0.5)*100, cdf.Quantile(0.9)*100, cdf.Max()*100, len(samples))
+	}
+	printCDF("visual area", res.VisualArea)
+	printCDF("inertial area", res.InertialArea)
+	printCDF("visual aspect", res.VisualAspect)
+	printCDF("inertial aspect", res.InertialAspect)
+	save(outDir, "fig8.json", res)
+	fmt.Println()
+}
+
+func runFig8c(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 8(c): Room location error per building ==")
+	fmt.Println("(paper: means 1.2 / 1.5 / 1.2 m; Gym max 5 m)")
+	res, err := s.Fig8c()
+	if err != nil {
+		log.Fatalf("fig8c: %v", err)
+	}
+	for _, name := range []string{"Lab1", "Lab2", "Gym"} {
+		fmt.Printf("%-6s mean %.2f m, max %.2f m (n=%d)\n",
+			name, res.Mean[name], res.Max[name], len(res.Errors[name]))
+	}
+	save(outDir, "fig8c.json", res)
+	fmt.Println()
+}
+
+func runFig9(s *experiments.Suite, outDir string) {
+	fmt.Println("== Fig. 9: SfM camera positions vs CrowdMap hybrid tracking ==")
+	fmt.Println("(paper: SfM unreliable in cluttered/featureless interiors)")
+	rows, err := s.Fig9()
+	if err != nil {
+		log.Fatalf("fig9: %v", err)
+	}
+	fmt.Printf("%-32s %-12s %-10s %-12s %-10s\n", "Environment", "SfM RMSE", "SfM fails", "Hybrid RMSE", "feat/frame")
+	for _, r := range rows {
+		fmt.Printf("%-32s %-12.2f %-10d %-12.2f %-10.0f\n",
+			r.Environment, r.SfMRMSE, r.SfMFailures, r.HybridRMSE, r.AvgFeatures)
+	}
+	save(outDir, "fig9.json", rows)
+	fmt.Println()
+}

@@ -1,0 +1,149 @@
+// Package crowdmap is an open reimplementation of CrowdMap (Chen, Li, Ren,
+// Qiao — ICDCS 2015): accurate reconstruction of indoor floor plans from
+// crowdsourced sensor-rich videos. The library covers the full system —
+// the mobile front-end's SRS/SWS capture tasks (simulated), key-frame
+// selection and hierarchical comparison, sequence-based trajectory
+// aggregation, occupancy-grid + α-shape hallway skeletons, panorama-based
+// room layout reconstruction, and force-directed floor plan assembly —
+// together with the baselines and metrics needed to regenerate every table
+// and figure of the paper's evaluation.
+//
+// The typical flow:
+//
+//	b, _ := crowdmap.BuildingByName("Lab1")
+//	ds, _ := crowdmap.GenerateDataset(b, crowdmap.DefaultDatasetSpec(42))
+//	res, _ := crowdmap.Reconstruct(ds.Captures, crowdmap.DefaultConfig())
+//	rep, _ := crowdmap.Evaluate(res, b)
+//	fmt.Println(rep.Hallway) // P/R/F against ground truth
+package crowdmap
+
+import (
+	"fmt"
+
+	"crowdmap/internal/aggregate"
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/forcedir"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/layout"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/vision/pano"
+	"crowdmap/internal/world"
+)
+
+// Re-exported domain types: the public API surface for applications.
+type (
+	// Capture is one uploaded sensor-rich video session.
+	Capture = crowd.Capture
+	// Dataset is a generated crowdsourced corpus for one building.
+	Dataset = crowd.Dataset
+	// DatasetSpec sizes a synthetic dataset.
+	DatasetSpec = crowd.Spec
+	// User is a simulated crowdsourcing contributor.
+	User = crowd.User
+	// Building is a ground-truth indoor environment.
+	Building = world.Building
+	// Room is a ground-truth room.
+	Room = world.Room
+	// Plan is a reconstructed floor plan.
+	Plan = floorplan.Plan
+	// PlacedRoom is a reconstructed, placed room.
+	PlacedRoom = floorplan.Room
+	// Track is a dead-reckoned trajectory with its key-frames.
+	Track = aggregate.Track
+	// Trajectory is a time-ordered position sequence.
+	Trajectory = trajectory.Trajectory
+	// KeyFrame is a selected video frame with derived features.
+	KeyFrame = keyframe.KeyFrame
+)
+
+// Config collects every tunable of the reconstruction pipeline. The zero
+// value is not valid; start from DefaultConfig.
+type Config struct {
+	// Keyframe tunes key-frame selection and the hierarchical comparison.
+	Keyframe keyframe.Params
+	// Aggregate tunes the sequence-based trajectory aggregation.
+	Aggregate aggregate.Params
+	// Skeleton tunes hallway occupancy-grid reconstruction.
+	Skeleton floorplan.SkeletonParams
+	// Layout tunes panorama-based room layout estimation.
+	Layout layout.Params
+	// Pano tunes panorama admission and stitching.
+	Pano pano.Params
+	// ForceDir tunes the force-directed room arrangement.
+	ForceDir forcedir.Params
+	// Workers bounds pipeline parallelism; 0 uses all CPUs.
+	Workers int
+	// RoomMergeRadius deduplicates room observations whose estimated
+	// centers fall within this distance, meters.
+	RoomMergeRadius float64
+	// ReleaseFrames frees each capture's frame pixels as soon as key-frame
+	// extraction has consumed them. The captures are mutated; enable for
+	// large batch runs where the caller does not reuse the frames.
+	ReleaseFrames bool
+	// Seed drives the pipeline's stochastic stages (layout sampling).
+	Seed int64
+}
+
+// DefaultConfig returns the tuning used for the paper-reproduction
+// experiments.
+func DefaultConfig() Config {
+	kf := keyframe.DefaultParams()
+	agg := aggregate.DefaultParams()
+	agg.KF = kf
+	return Config{
+		Keyframe:        kf,
+		Aggregate:       agg,
+		Skeleton:        floorplan.DefaultSkeletonParams(),
+		Layout:          layout.DefaultParams(),
+		Pano:            pano.DefaultParams(),
+		ForceDir:        forcedir.DefaultParams(),
+		Workers:         0,
+		RoomMergeRadius: 2.0,
+		Seed:            1,
+	}
+}
+
+// Validate checks the full configuration.
+func (c Config) Validate() error {
+	if err := c.Keyframe.Validate(); err != nil {
+		return fmt.Errorf("crowdmap: keyframe config: %w", err)
+	}
+	if err := c.Aggregate.Validate(); err != nil {
+		return fmt.Errorf("crowdmap: aggregate config: %w", err)
+	}
+	if err := c.Skeleton.Validate(); err != nil {
+		return fmt.Errorf("crowdmap: skeleton config: %w", err)
+	}
+	if err := c.Layout.Validate(); err != nil {
+		return fmt.Errorf("crowdmap: layout config: %w", err)
+	}
+	if err := c.Pano.Validate(); err != nil {
+		return fmt.Errorf("crowdmap: pano config: %w", err)
+	}
+	if err := c.ForceDir.Validate(); err != nil {
+		return fmt.Errorf("crowdmap: forcedir config: %w", err)
+	}
+	if c.RoomMergeRadius < 0 {
+		return fmt.Errorf("crowdmap: room merge radius must be ≥ 0, got %g", c.RoomMergeRadius)
+	}
+	return nil
+}
+
+// Buildings returns the three ground-truth evaluation buildings (Lab1,
+// Lab2, Gym analogues).
+func Buildings() []*Building { return world.Buildings() }
+
+// BuildingByName returns one evaluation building by name.
+func BuildingByName(name string) (*Building, error) { return world.ByName(name) }
+
+// DefaultDatasetSpec mirrors the paper's per-building workload at
+// simulation scale.
+func DefaultDatasetSpec(seed int64) DatasetSpec { return crowd.DefaultSpec(seed) }
+
+// GenerateDataset synthesizes a crowdsourced capture corpus for a
+// building: simulated users walking SWS hallway routes and performing
+// SRS room visits under day/night lighting.
+func GenerateDataset(b *Building, spec DatasetSpec) (*Dataset, error) {
+	return crowd.Generate(b, spec)
+}

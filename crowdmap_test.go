@@ -1,0 +1,116 @@
+package crowdmap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.RoomMergeRadius = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative merge radius should fail validation")
+	}
+	bad = DefaultConfig()
+	bad.Keyframe.HG = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid keyframe params should fail validation")
+	}
+}
+
+func TestBuildingsAccessors(t *testing.T) {
+	if got := len(Buildings()); got != 3 {
+		t.Fatalf("Buildings() = %d, want 3", got)
+	}
+	b, err := BuildingByName("Gym")
+	if err != nil || b.Name != "Gym" {
+		t.Errorf("BuildingByName: %v %v", b, err)
+	}
+	if _, err := BuildingByName("nope"); err == nil {
+		t.Error("unknown building should error")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	if _, err := Reconstruct(nil, DefaultConfig()); err == nil {
+		t.Error("no captures should error")
+	}
+	bad := DefaultConfig()
+	bad.Skeleton.GridRes = 0
+	if _, err := Reconstruct([]*Capture{{}}, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+// TestEndToEndLab2 runs the full pipeline on a small Lab2 corpus and
+// checks the reconstruction quality is in the right regime. This is the
+// library's primary integration test.
+func TestEndToEndLab2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end reconstruction is expensive")
+	}
+	b, err := BuildingByName("Lab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DatasetSpec{
+		Users:         6,
+		CorridorWalks: 10,
+		RoomVisits:    6,
+		NightFraction: 0,
+		Seed:          1234,
+		FPS:           3,
+	}
+	ds, err := GenerateDataset(b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Layout.Hypotheses = 4000 // keep the test quick; quality saturates earlier
+	res, err := Reconstruct(ds.Captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Plan.HallwayMask == nil {
+		t.Fatal("no plan produced")
+	}
+	if len(res.Aggregation.Components[0]) < len(ds.Captures)/2 {
+		t.Errorf("largest component has only %d of %d tracks",
+			len(res.Aggregation.Components[0]), len(ds.Captures))
+	}
+	rep, err := Evaluate(res, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Lab2 end-to-end: %s (room failures: %d)", rep, len(res.RoomFailures))
+	for id, ferr := range res.RoomFailures {
+		t.Logf("  room failure %s: %v", id, ferr)
+	}
+	if rep.Hallway.F < 0.65 {
+		t.Errorf("hallway F-measure = %.2f, want > 0.65", rep.Hallway.F)
+	}
+	if rep.RoomsReconstructed == 0 {
+		t.Error("no rooms reconstructed")
+	}
+	if rep.RoomsReconstructed > 0 && rep.MeanAreaError > 0.5 {
+		t.Errorf("mean room area error = %.0f%%, want < 50%%", rep.MeanAreaError*100)
+	}
+	// The plan must render.
+	ascii, err := res.Plan.RenderASCII(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii, "#") {
+		t.Error("ASCII rendering contains no hallway cells")
+	}
+	svg, err := res.Plan.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("SVG rendering malformed")
+	}
+}

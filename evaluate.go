@@ -1,0 +1,71 @@
+package crowdmap
+
+import (
+	"fmt"
+
+	"crowdmap/internal/eval"
+	"crowdmap/internal/geom"
+)
+
+// Report summarizes a reconstruction against ground truth, covering the
+// paper's Table I and Fig. 8 metrics.
+type Report struct {
+	// Hallway is the hallway-shape precision/recall/F-measure (Table I).
+	Hallway eval.PRF
+	// AlignOffset is the translation that aligned the reconstruction to
+	// ground truth.
+	AlignOffset geom.Pt
+	// Rooms holds per-room area/aspect/location errors (Fig. 8) for rooms
+	// the pipeline reconstructed.
+	Rooms []eval.RoomErrors
+	// MeanAreaError, MeanAspectError, MeanLocationError aggregate Rooms.
+	MeanAreaError     float64
+	MeanAspectError   float64
+	MeanLocationError float64
+	// RoomsReconstructed / RoomsTotal report coverage.
+	RoomsReconstructed, RoomsTotal int
+}
+
+// String renders a compact summary.
+func (r Report) String() string {
+	return fmt.Sprintf("hallway %s | rooms %d/%d | area err %.1f%% | aspect err %.1f%% | location err %.2f m",
+		r.Hallway, r.RoomsReconstructed, r.RoomsTotal,
+		r.MeanAreaError*100, r.MeanAspectError*100, r.MeanLocationError)
+}
+
+// Evaluate scores a reconstruction result against its ground-truth
+// building.
+func Evaluate(res *Result, b *Building) (Report, error) {
+	if res == nil || res.Plan == nil {
+		return Report{}, fmt.Errorf("crowdmap: nil result")
+	}
+	prf, off, err := eval.HallwayShapeScore(res.Plan, b, 0.25)
+	if err != nil {
+		return Report{}, fmt.Errorf("crowdmap: hallway score: %w", err)
+	}
+	rep := Report{
+		Hallway:     prf,
+		AlignOffset: off,
+		RoomsTotal:  len(b.Rooms),
+	}
+	// Only score rooms carrying a ground-truth label (they all do when the
+	// dataset came from the simulator).
+	var labeled []PlacedRoom
+	for _, room := range res.Plan.Rooms {
+		if room.ID != "" {
+			labeled = append(labeled, room)
+		}
+	}
+	rep.RoomsReconstructed = len(labeled)
+	if len(labeled) > 0 {
+		rooms, err := eval.ScoreRooms(labeled, b, off)
+		if err != nil {
+			return Report{}, fmt.Errorf("crowdmap: room score: %w", err)
+		}
+		rep.Rooms = rooms
+		rep.MeanAreaError = eval.MeanAreaError(rooms)
+		rep.MeanAspectError = eval.MeanAspectError(rooms)
+		rep.MeanLocationError = eval.MeanLocationError(rooms)
+	}
+	return rep, nil
+}

@@ -1,0 +1,112 @@
+// Cloudpipeline: the full client→cloud round trip of the paper's Section
+// IV prototype, on one machine. A crowd of simulated phones encodes
+// capture archives and uploads them in 5 MB-style chunks to an in-process
+// CrowdMap backend; the backend validates, stores, reconstructs, and
+// publishes the floor plan, which the "user" then downloads — the paper's
+// "reconstructed building floor plan can be downloaded directly from the
+// website".
+//
+//	go run ./examples/cloudpipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"crowdmap"
+	"crowdmap/internal/cloud/server"
+	"crowdmap/internal/cloud/store"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Cloud side: document store + ingestion server.
+	st := store.New()
+	srv, err := server.New(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("cloud backend listening at %s\n", ts.URL)
+
+	// Client side: simulate the crowd and upload each session.
+	building, err := crowdmap.BuildingByName("Lab2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := crowdmap.GenerateDataset(building, crowdmap.DatasetSpec{
+		Users: 5, CorridorWalks: 10, RoomVisits: 5, NightFraction: 0.2, Seed: 7, FPS: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var uploaded int64
+	for _, c := range ds.Captures {
+		archive, err := server.EncodeCapture(c)
+		if err != nil {
+			log.Fatalf("encode %s: %v", c.ID, err)
+		}
+		if err := server.UploadCapture(ts.Client(), ts.URL, c.ID, archive); err != nil {
+			log.Fatalf("upload %s: %v", c.ID, err)
+		}
+		uploaded += int64(len(archive))
+	}
+	fmt.Printf("uploaded %d capture archives (%.1f MiB)\n",
+		len(ds.Captures), float64(uploaded)/(1<<20))
+
+	// Backend processing: pull everything back out of the store, decode,
+	// reconstruct, publish the plan.
+	var captures []*crowdmap.Capture
+	for _, key := range st.Keys(server.CollCaptures) {
+		data, _ := st.Get(server.CollCaptures, key)
+		c, err := server.DecodeCapture(data)
+		if err != nil {
+			log.Fatalf("decode %s: %v", key, err)
+		}
+		captures = append(captures, c)
+	}
+	cfg := crowdmap.DefaultConfig()
+	cfg.Layout.Hypotheses = 5000
+	fmt.Println("backend reconstructing...")
+	res, err := crowdmap.Reconstruct(captures, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svg, err := res.Plan.RenderSVG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Put(server.CollPlans, building.Name, svg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan published: %d rooms, %d/%d tracks placed\n",
+		len(res.Plan.Rooms), len(res.Aggregation.Offsets), len(res.Tracks))
+
+	// User side: download the published plan over HTTP.
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/plans/" + building.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	out := "downloaded_plan.svg"
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("downloaded %d-byte floor plan to %s\n", buf.Len(), out)
+
+	// Score it, since we know the truth.
+	rep, err := crowdmap.Evaluate(res, building)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality: %s\n", rep)
+}

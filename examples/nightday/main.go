@@ -1,0 +1,36 @@
+// Nightday: the lighting-tolerance study behind the paper's Fig. 7(b).
+// Two pools of hallway captures are generated — daylight and night — and
+// trajectory aggregation runs on mixes from all-day to all-night,
+// reporting the merge error rate at each mix. The pipeline's HOG/SURF
+// matching operates on structure rather than absolute brightness, so the
+// error band stays modest across the sweep.
+//
+//	go run ./examples/nightday
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdmap/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	suite := experiments.NewSuite(experiments.Options{Quick: true, Seed: 99})
+	fmt.Println("sweeping day/night trajectory mixes (quick mode)...")
+	res, err := suite.Fig7b()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-20s %-16s\n", "night portion (%)", "error rate (%)")
+	for i := range res.NightPercent {
+		bar := ""
+		for b := 0; b < int(res.ErrorRate[i]*100+0.5); b++ {
+			bar += "#"
+		}
+		fmt.Printf("%-20.0f %-8.1f %s\n", res.NightPercent[i], res.ErrorRate[i]*100, bar)
+	}
+	fmt.Println("\n(The paper's Fig. 7b reports the same shape: a modest error band")
+	fmt.Println(" across the whole mix, demonstrating tolerance to lighting change.)")
+}

@@ -1,0 +1,69 @@
+// Quickstart: the smallest end-to-end CrowdMap run. Generates a tiny
+// crowdsourced dataset for the Lab2 building, reconstructs the floor plan,
+// scores it against ground truth and prints the plan as ASCII art.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdmap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Pick a ground-truth building (Lab1, Lab2 or Gym — the paper's
+	//    three evaluation environments).
+	building, err := crowdmap.BuildingByName("Lab2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Simulate the crowd: users walking hallways (SWS task) and
+	//    recording rooms (SRS task) with noisy phone sensors and cameras.
+	spec := crowdmap.DatasetSpec{
+		Users:         6,
+		CorridorWalks: 12,
+		RoomVisits:    6,
+		NightFraction: 0.2,
+		Seed:          42,
+		FPS:           3,
+	}
+	fmt.Printf("generating %d captures in %s...\n", spec.CorridorWalks+spec.RoomVisits, building.Name)
+	dataset, err := crowdmap.GenerateDataset(building, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d video frames captured by %d users\n", dataset.FrameCount(), len(dataset.Users))
+
+	// 3. Run the cloud pipeline: key-frame extraction, sequence-based
+	//    trajectory aggregation, hallway skeleton, room panoramas and
+	//    layouts, force-directed plan assembly.
+	cfg := crowdmap.DefaultConfig()
+	cfg.Layout.Hypotheses = 5000 // trimmed for a fast demo; default is the paper's 20,000
+	fmt.Println("reconstructing floor plan...")
+	result, err := crowdmap.Reconstruct(dataset.Captures, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d/%d trajectories placed, %d rooms reconstructed\n",
+		len(result.Aggregation.Offsets), len(result.Tracks), len(result.Plan.Rooms))
+
+	// 4. Score against ground truth (the paper's Table I and Fig. 8
+	//    metrics).
+	report, err := crowdmap.Evaluate(result, building)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n\n", report)
+
+	// 5. Render.
+	ascii, err := result.Plan.RenderASCII(0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ascii)
+}

@@ -1,0 +1,3 @@
+module crowdmap
+
+go 1.22

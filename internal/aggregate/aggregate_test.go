@@ -1,0 +1,231 @@
+package aggregate
+
+import (
+	"testing"
+
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"epsilon", func(p *Params) { p.Epsilon = 0 }},
+		{"delta", func(p *Params) { p.Delta = 0 }},
+		{"hl", func(p *Params) { p.HL = 0 }},
+		{"resample", func(p *Params) { p.ResampleDT, p.ResampleDist = 0, 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestLCSBasics(t *testing.T) {
+	a := []geom.Pt{geom.P(0, 0), geom.P(1, 0), geom.P(2, 0), geom.P(3, 0)}
+	if got := LCS(a, a, 0.1, 5); got != 4 {
+		t.Errorf("self LCS = %d, want 4", got)
+	}
+	if got := LCS(a, nil, 0.1, 5); got != 0 {
+		t.Errorf("empty LCS = %d", got)
+	}
+	// Disjoint sequences.
+	b := []geom.Pt{geom.P(10, 10), geom.P(11, 10)}
+	if got := LCS(a, b, 0.1, 5); got != 0 {
+		t.Errorf("disjoint LCS = %d", got)
+	}
+	// Partial overlap: last two of a equal first two of c, but the index
+	// window must allow |i-j| up to 2.
+	c := []geom.Pt{geom.P(2, 0), geom.P(3, 0), geom.P(4, 0), geom.P(5, 0)}
+	if got := LCS(a, c, 0.1, 5); got != 2 {
+		t.Errorf("partial LCS = %d, want 2", got)
+	}
+	// Tight window suppresses the shifted match entirely: with |i-j| < 1
+	// only identical indices can pair, and a[i] never equals c[i].
+	if got := LCS(a, c, 0.1, 1); got != 0 {
+		t.Errorf("windowed LCS = %d, want 0", got)
+	}
+}
+
+func TestLCSWindowExactness(t *testing.T) {
+	// With delta=1, only i==j pairs can match.
+	a := []geom.Pt{geom.P(0, 0), geom.P(1, 0), geom.P(2, 0)}
+	b := []geom.Pt{geom.P(0, 0), geom.P(9, 9), geom.P(2, 0)}
+	if got := LCS(a, b, 0.1, 1); got != 2 {
+		t.Errorf("LCS = %d, want 2 (indices 0 and 2)", got)
+	}
+}
+
+func TestLCSMonotoneInEpsilonProperty(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	a := make([]geom.Pt, 30)
+	b := make([]geom.Pt, 30)
+	for i := range a {
+		a[i] = geom.P(rng.Float64()*10, rng.Float64()*10)
+		b[i] = geom.P(rng.Float64()*10, rng.Float64()*10)
+	}
+	prev := 0
+	for _, eps := range []float64{0.5, 1, 2, 4, 8, 16} {
+		got := LCS(a, b, eps, 30)
+		if got < prev {
+			t.Fatalf("LCS not monotone in epsilon: %d after %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+// buildTracks makes real tracks from captures sharing a corridor.
+func buildTracks(t *testing.T, b *world.Building, routes [][2]geom.Pt, seed int64) []*Track {
+	t.Helper()
+	users, err := crowd.NewPopulation(len(routes), 0, mathx.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := crowd.NewGenerator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp := keyframe.DefaultParams()
+	var tracks []*Track
+	for i, r := range routes {
+		c, err := gen.SWS("agg", users[i], r[0], r[1], mathx.NewRNG(seed+int64(i)*7+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kfs, traj, err := keyframe.Extract(c, kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracks = append(tracks, &Track{ID: c.ID, Traj: traj, KFs: kfs})
+	}
+	return tracks
+}
+
+// truthOffset computes the ground-truth translation that places track B's
+// local frame into track A's, using the first key-frame truth poses.
+func truthOffset(a, b *Track) geom.Pt {
+	// offset X = truth - local (mean over key-frames), translation A←B is
+	// offsetA applied inversely: posB_in_A = posB_local + (offB - offA).
+	mean := func(tr *Track) geom.Pt {
+		var s geom.Pt
+		for _, kf := range tr.KFs {
+			s = s.Add(kf.TruthPose.Pos.Sub(kf.LocalPos))
+		}
+		return s.Scale(1 / float64(len(tr.KFs)))
+	}
+	return mean(b).Sub(mean(a))
+}
+
+func TestComparePairOverlappingTracksMerge(t *testing.T) {
+	b := world.Lab2()
+	tracks := buildTracks(t, b, [][2]geom.Pt{
+		{geom.P(3, 7.5), geom.P(22, 7.5)},
+		{geom.P(5, 7.3), geom.P(24, 7.3)},
+	}, 41)
+	p := DefaultParams()
+	m, ok, err := ComparePair(0, 1, tracks[0], tracks[1], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("overlapping co-directional tracks failed to merge")
+	}
+	want := truthOffset(tracks[0], tracks[1])
+	if m.Translation.Dist(want) > 2.5 {
+		t.Errorf("merge translation %v, truth %v (err %.2f m)",
+			m.Translation, want, m.Translation.Dist(want))
+	}
+	if m.S3 <= p.HL {
+		t.Errorf("S3 = %v should exceed hl", m.S3)
+	}
+}
+
+func TestComparePairDisjointTracksReject(t *testing.T) {
+	b := world.Lab1()
+	// Bottom corridor vs top corridor: different rooms, different walls.
+	tracks := buildTracks(t, b, [][2]geom.Pt{
+		{geom.P(4, 7.2), geom.P(18, 7.2)},
+		{geom.P(4, 20.8), geom.P(18, 20.8)},
+	}, 43)
+	m, ok, err := ComparePair(0, 1, tracks[0], tracks[1], DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("disjoint tracks merged with S3 = %v, translation %v", m.S3, m.Translation)
+	}
+}
+
+func TestAggregateThreeTracks(t *testing.T) {
+	b := world.Lab2()
+	tracks := buildTracks(t, b, [][2]geom.Pt{
+		{geom.P(3, 7.5), geom.P(20, 7.5)},
+		{geom.P(5, 7.4), geom.P(22, 7.4)},
+		{geom.P(14, 7.6), geom.P(32, 7.6)},
+	}, 47)
+	res, err := Aggregate(tracks, DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) == 0 || len(res.Components[0]) < 2 {
+		t.Fatalf("aggregation produced no multi-track component: %v", res.Components)
+	}
+	if len(res.Offsets) != len(res.Components[0]) {
+		t.Errorf("offsets for %d tracks, largest component has %d",
+			len(res.Offsets), len(res.Components[0]))
+	}
+	global := res.GlobalTrajectories(tracks)
+	if len(global) != len(res.Offsets) {
+		t.Fatal("global trajectory count mismatch")
+	}
+	// Check pairwise consistency: for each matched pair, the relative
+	// offset must agree with the match translation.
+	for _, m := range res.Matches {
+		offA, okA := res.Offsets[m.A]
+		offB, okB := res.Offsets[m.B]
+		if !okA || !okB {
+			continue
+		}
+		rel := offB.Sub(offA)
+		if rel.Dist(m.Translation) > 3.0 {
+			t.Errorf("pair (%d,%d): BFS offset %v vs match translation %v",
+				m.A, m.B, rel, m.Translation)
+		}
+	}
+}
+
+func TestAggregateCustomComparer(t *testing.T) {
+	// A stub comparer lets us test the graph logic without rendering.
+	tracks := []*Track{{ID: "a"}, {ID: "b"}, {ID: "c"}, {ID: "d"}}
+	cmp := func(ai, bi int, a, b *Track, p Params) (Match, bool, error) {
+		// a-b and b-c merge; d is isolated.
+		if (ai == 0 && bi == 1) || (ai == 1 && bi == 2) {
+			return Match{A: ai, B: bi, S3: 0.9, Translation: geom.P(1, 0)}, true, nil
+		}
+		return Match{}, false, nil
+	}
+	res, err := Aggregate(tracks, DefaultParams(), cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components[0]) != 3 {
+		t.Fatalf("largest component = %v", res.Components[0])
+	}
+	if _, ok := res.Offsets[3]; ok {
+		t.Error("isolated track should be dropped from offsets")
+	}
+	// Chain: offset(a)=0, offset(b)=(1,0), offset(c)=(2,0).
+	if res.Offsets[1].Dist(geom.P(1, 0)) > 1e-9 || res.Offsets[2].Dist(geom.P(2, 0)) > 1e-9 {
+		t.Errorf("chained offsets wrong: %v", res.Offsets)
+	}
+}

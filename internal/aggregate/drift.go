@@ -1,0 +1,128 @@
+package aggregate
+
+import (
+	"sort"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/trajectory"
+)
+
+// DriftCorrected returns the placed tracks' trajectories in the global
+// frame with per-track drift calibration applied — the paper's "process
+// multiple continuous key-frames to calibrate the drift error residing in
+// the trajectories". Dead reckoning accumulates error roughly linearly in
+// time (gyro bias, step-length mismatch); every placement-consistent
+// anchor pins one trajectory instant to another track's independent
+// estimate of the same place, and a least-squares linear-in-time
+// correction is fitted per track from those pins.
+//
+// eps bounds the residual an anchor may have against the final placement
+// before it is considered an alias and ignored. Tracks with fewer than
+// three usable pins (or a pin time-span under 5 s) fall back to the plain
+// translated trajectory.
+func (r *Result) DriftCorrected(tracks []*Track, eps float64) []*trajectory.Trajectory {
+	pins := make(map[int][]driftPin)
+	addPin := func(trackIdx int, kf int, target geom.Pt) {
+		tr := tracks[trackIdx]
+		if kf < 0 || kf >= len(tr.KFs) {
+			return
+		}
+		k := tr.KFs[kf]
+		self := k.LocalPos.Add(r.Offsets[trackIdx])
+		res := target.Sub(self)
+		if res.Norm() > 2*eps {
+			return // alias or gross outlier: not evidence of smooth drift
+		}
+		pins[trackIdx] = append(pins[trackIdx], driftPin{t: k.T, residual: res})
+	}
+	for _, m := range r.Matches {
+		offA, okA := r.Offsets[m.A]
+		offB, okB := r.Offsets[m.B]
+		if !okA || !okB {
+			continue
+		}
+		// Skip matches whose translation contradicts the placement (the
+		// same rule the placement refinement applies).
+		if offA.Add(m.Translation).Dist(offB) > 3*eps {
+			continue
+		}
+		for _, an := range m.Anchors {
+			if an.IA < 0 || an.IA >= len(tracks[m.A].KFs) ||
+				an.IB < 0 || an.IB >= len(tracks[m.B].KFs) {
+				continue
+			}
+			ka := tracks[m.A].KFs[an.IA]
+			kb := tracks[m.B].KFs[an.IB]
+			// Each side pins the other: the matched frames depict the same
+			// place, so their global positions should coincide.
+			addPin(m.A, an.IA, kb.LocalPos.Add(offB))
+			addPin(m.B, an.IB, ka.LocalPos.Add(offA))
+		}
+	}
+	out := make([]*trajectory.Trajectory, 0, len(r.Offsets))
+	idxs := make([]int, 0, len(r.Offsets))
+	for idx := range r.Offsets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		base := tracks[idx].Traj.Translate(r.Offsets[idx])
+		ps := pins[idx]
+		corr, ok := fitLinearDrift(ps)
+		if !ok {
+			out = append(out, base)
+			continue
+		}
+		fixed := &trajectory.Trajectory{ID: base.ID, Points: make([]trajectory.Point, len(base.Points))}
+		for i, p := range base.Points {
+			fixed.Points[i] = trajectory.Point{T: p.T, Pos: p.Pos.Add(corr(p.T))}
+		}
+		out = append(out, fixed)
+	}
+	return out
+}
+
+// driftPin anchors one trajectory instant to an independent estimate of
+// the same place.
+type driftPin struct {
+	t        float64
+	residual geom.Pt
+}
+
+// fitLinearDrift fits residual(t) ≈ a + b·t per axis by least squares.
+func fitLinearDrift(ps []driftPin) (func(t float64) geom.Pt, bool) {
+	if len(ps) < 3 {
+		return nil, false
+	}
+	tmin, tmax := ps[0].t, ps[0].t
+	for _, p := range ps {
+		if p.t < tmin {
+			tmin = p.t
+		}
+		if p.t > tmax {
+			tmax = p.t
+		}
+	}
+	if tmax-tmin < 5 {
+		return nil, false // too short a baseline to separate offset from drift
+	}
+	a := mathx.NewMat(len(ps), 2)
+	bx := make([]float64, len(ps))
+	by := make([]float64, len(ps))
+	for i, p := range ps {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, p.t-tmin)
+		bx[i] = p.residual.X
+		by[i] = p.residual.Y
+	}
+	cx, errX := mathx.SolveLeastSquares(a, bx)
+	cy, errY := mathx.SolveLeastSquares(a, by)
+	if errX != nil || errY != nil {
+		return nil, false
+	}
+	return func(t float64) geom.Pt {
+		dt := t - tmin
+		return geom.P(cx[0]+cx[1]*dt, cy[0]+cy[1]*dt)
+	}, true
+}

@@ -1,0 +1,108 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/world"
+)
+
+// driftTrack builds a track whose trajectory is a straight truth walk plus
+// a linear drift, with key-frames every second carrying the drifted local
+// positions and true poses.
+func driftTrack(id string, start geom.Pt, driftPerSec geom.Pt, seconds int) *Track {
+	tr := &Track{ID: id, Traj: &trajectory.Trajectory{ID: id}}
+	for i := 0; i <= seconds; i++ {
+		t := float64(i)
+		truth := start.Add(geom.P(t, 0)) // walk east 1 m/s
+		drift := driftPerSec.Scale(t)
+		local := truth.Add(drift) // local frame coincides with global here
+		tr.Traj.Points = append(tr.Traj.Points, trajectory.Point{T: t, Pos: local})
+		tr.KFs = append(tr.KFs, &keyframe.KeyFrame{
+			T:        t,
+			LocalPos: local,
+			TruthPose: world.Pose{
+				Pos: truth,
+			},
+		})
+	}
+	return tr
+}
+
+func TestFitLinearDrift(t *testing.T) {
+	var ps []driftPin
+	for i := 0; i <= 10; i++ {
+		tt := float64(i)
+		ps = append(ps, driftPin{t: tt, residual: geom.P(0.5+0.1*tt, -0.05*tt)})
+	}
+	corr, ok := fitLinearDrift(ps)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	got := corr(6)
+	want := geom.P(0.5+0.6, -0.3)
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("correction(6) = %v, want %v", got, want)
+	}
+	// Too few pins.
+	if _, ok := fitLinearDrift(ps[:2]); ok {
+		t.Error("2 pins should not fit")
+	}
+	// Too short a baseline.
+	short := []driftPin{{t: 0}, {t: 1}, {t: 2}}
+	if _, ok := fitLinearDrift(short); ok {
+		t.Error("sub-5s baseline should not fit")
+	}
+}
+
+func TestDriftCorrectedRecoversLinearDrift(t *testing.T) {
+	// Track 0 is drift-free truth; track 1 drifts 0.08 m/s north. Anchors
+	// pin track 1's key-frames to track 0's positions at matching times.
+	a := driftTrack("ref", geom.P(0, 0), geom.Pt{}, 20)
+	b := driftTrack("drifty", geom.P(0, 0), geom.P(0, 0.08), 20)
+	tracks := []*Track{a, b}
+	res := &Result{
+		Offsets: map[int]geom.Pt{0: {}, 1: {}},
+	}
+	m := Match{A: 0, B: 1, S3: 1, Translation: geom.Pt{}}
+	for i := 0; i <= 20; i += 2 {
+		m.Anchors = append(m.Anchors, Anchor{IA: i, IB: i})
+	}
+	res.Matches = []Match{m}
+	out := res.DriftCorrected(tracks, 1.5)
+	if len(out) != 2 {
+		t.Fatalf("got %d trajectories", len(out))
+	}
+	var drifty *trajectory.Trajectory
+	for _, tr := range out {
+		if tr.ID == "drifty" {
+			drifty = tr
+		}
+	}
+	if drifty == nil {
+		t.Fatal("drifty track missing")
+	}
+	// After correction, the end of the drifty track should be near the
+	// truth end (20, 0); before correction it ended at (20, 1.6).
+	end := drifty.Points[len(drifty.Points)-1].Pos
+	if math.Abs(end.Y) > 0.3 {
+		t.Errorf("corrected end Y = %.2f, want ≈0 (uncorrected 1.6)", end.Y)
+	}
+}
+
+func TestDriftCorrectedFallsBackWithoutPins(t *testing.T) {
+	a := driftTrack("only", geom.P(3, 4), geom.P(0, 0.1), 10)
+	res := &Result{Offsets: map[int]geom.Pt{0: geom.P(1, 1)}}
+	out := res.DriftCorrected([]*Track{a}, 1.5)
+	if len(out) != 1 {
+		t.Fatalf("got %d trajectories", len(out))
+	}
+	// Plain translation applied, drift untouched.
+	want := a.Traj.Points[0].Pos.Add(geom.P(1, 1))
+	if out[0].Points[0].Pos.Dist(want) > 1e-9 {
+		t.Errorf("fallback start = %v, want %v", out[0].Points[0].Pos, want)
+	}
+}

@@ -1,0 +1,280 @@
+// Package alphashape implements Delaunay triangulation (Bowyer–Watson) and
+// the α-shape of Edelsbrunner, Kirkpatrick & Seidel (1983), which CrowdMap
+// uses to mark the boundary of the accessible floor-path cells (paper
+// Section III-B.II, Fig. 3b–c): triangles whose circumradius exceeds the
+// α threshold are discarded, and the remaining boundary edges trace the
+// hallway outline.
+package alphashape
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+)
+
+// Triangle is one Delaunay triangle.
+type Triangle struct {
+	A, B, C geom.Pt
+}
+
+// Circumcircle returns the circumcenter and circumradius of the triangle.
+// Degenerate triangles return an infinite radius.
+func (t Triangle) Circumcircle() (geom.Pt, float64) {
+	ax, ay := t.A.X, t.A.Y
+	bx, by := t.B.X, t.B.Y
+	cx, cy := t.C.X, t.C.Y
+	d := 2 * (ax*(by-cy) + bx*(cy-ay) + cx*(ay-by))
+	if math.Abs(d) < 1e-12 {
+		return geom.Pt{}, math.Inf(1)
+	}
+	a2 := ax*ax + ay*ay
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	ux := (a2*(by-cy) + b2*(cy-ay) + c2*(ay-by)) / d
+	uy := (a2*(cx-bx) + b2*(ax-cx) + c2*(bx-ax)) / d
+	center := geom.P(ux, uy)
+	return center, center.Dist(t.A)
+}
+
+// Area returns the unsigned triangle area.
+func (t Triangle) Area() float64 {
+	return math.Abs(t.B.Sub(t.A).Cross(t.C.Sub(t.A))) / 2
+}
+
+// Contains reports whether p lies inside (or on) the triangle.
+func (t Triangle) Contains(p geom.Pt) bool {
+	d1 := sign(p, t.A, t.B)
+	d2 := sign(p, t.B, t.C)
+	d3 := sign(p, t.C, t.A)
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+func sign(p, a, b geom.Pt) float64 {
+	return (p.X-b.X)*(a.Y-b.Y) - (a.X-b.X)*(p.Y-b.Y)
+}
+
+// Delaunay triangulates the point set with the Bowyer–Watson incremental
+// algorithm. Cocircular degeneracies (common for grid-aligned inputs) are
+// broken by a tiny deterministic jitter. At least 3 non-collinear points
+// are required.
+func Delaunay(pts []geom.Pt) ([]Triangle, error) {
+	if len(pts) < 3 {
+		return nil, fmt.Errorf("alphashape: need at least 3 points, got %d", len(pts))
+	}
+	// Deterministic jitter breaks grid degeneracy without visibly moving
+	// points (sub-micron at building scale).
+	jittered := make([]geom.Pt, len(pts))
+	for i, p := range pts {
+		h := uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		jx := (float64(h&0xFFFF)/0xFFFF - 0.5) * 2e-6
+		jy := (float64((h>>16)&0xFFFF)/0xFFFF - 0.5) * 2e-6
+		jittered[i] = geom.P(p.X+jx, p.Y+jy)
+	}
+	bounds := geom.BoundingRect(jittered)
+	span := math.Max(bounds.W(), bounds.H())
+	if span == 0 {
+		return nil, fmt.Errorf("alphashape: all points coincide")
+	}
+	mid := bounds.Center()
+	// Super-triangle comfortably containing everything.
+	st := Triangle{
+		A: geom.P(mid.X-2000*span, mid.Y-1000*span),
+		B: geom.P(mid.X+2000*span, mid.Y-1000*span),
+		C: geom.P(mid.X, mid.Y+2000*span),
+	}
+	type tri struct {
+		t       Triangle
+		cc      geom.Pt
+		r2      float64
+		removed bool
+	}
+	mk := func(t Triangle) tri {
+		c, r := t.Circumcircle()
+		return tri{t: t, cc: c, r2: r * r}
+	}
+	tris := []tri{mk(st)}
+	type edge struct{ a, b geom.Pt }
+	edgeKey := func(a, b geom.Pt) edge {
+		if a.X < b.X || (a.X == b.X && a.Y < b.Y) {
+			return edge{a, b}
+		}
+		return edge{b, a}
+	}
+	for _, p := range jittered {
+		// Find triangles whose circumcircle contains p.
+		polygon := make(map[edge]int)
+		for i := range tris {
+			if tris[i].removed {
+				continue
+			}
+			d := p.Sub(tris[i].cc)
+			if d.X*d.X+d.Y*d.Y <= tris[i].r2 {
+				tris[i].removed = true
+				t := tris[i].t
+				polygon[edgeKey(t.A, t.B)]++
+				polygon[edgeKey(t.B, t.C)]++
+				polygon[edgeKey(t.C, t.A)]++
+			}
+		}
+		// Re-triangulate the cavity: boundary edges appear exactly once.
+		for e, count := range polygon {
+			if count != 1 {
+				continue
+			}
+			nt := mk(Triangle{A: e.a, B: e.b, C: p})
+			if math.IsInf(nt.r2, 1) {
+				continue // collinear sliver; skip
+			}
+			tris = append(tris, nt)
+		}
+		// Periodic compaction keeps the scan linear-ish.
+		if len(tris) > 4*len(jittered)+16 {
+			live := tris[:0]
+			for _, t := range tris {
+				if !t.removed {
+					live = append(live, t)
+				}
+			}
+			tris = live
+		}
+	}
+	// Drop triangles sharing a super-triangle vertex.
+	isSuper := func(p geom.Pt) bool {
+		return p == st.A || p == st.B || p == st.C
+	}
+	var out []Triangle
+	for _, t := range tris {
+		if t.removed {
+			continue
+		}
+		if isSuper(t.t.A) || isSuper(t.t.B) || isSuper(t.t.C) {
+			continue
+		}
+		out = append(out, t.t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("alphashape: degenerate input (collinear points?)")
+	}
+	return out, nil
+}
+
+// Shape is an α-shape: the union of Delaunay triangles with circumradius
+// at most α.
+type Shape struct {
+	Triangles []Triangle
+	// Boundary holds the closed boundary loops, outer loops first (by
+	// descending absolute area).
+	Boundary []geom.Polygon
+}
+
+// Compute builds the α-shape of a point set. alpha is the circumradius
+// threshold hα in meters: smaller values hug the points tighter.
+func Compute(pts []geom.Pt, alpha float64) (*Shape, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("alphashape: alpha must be positive, got %g", alpha)
+	}
+	tris, err := Delaunay(pts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shape{}
+	type edge struct{ a, b geom.Pt }
+	edgeKey := func(a, b geom.Pt) edge {
+		if a.X < b.X || (a.X == b.X && a.Y < b.Y) {
+			return edge{a, b}
+		}
+		return edge{b, a}
+	}
+	edgeCount := make(map[edge]int)
+	for _, t := range tris {
+		_, r := t.Circumcircle()
+		if r > alpha {
+			continue
+		}
+		s.Triangles = append(s.Triangles, t)
+		edgeCount[edgeKey(t.A, t.B)]++
+		edgeCount[edgeKey(t.B, t.C)]++
+		edgeCount[edgeKey(t.C, t.A)]++
+	}
+	if len(s.Triangles) == 0 {
+		return nil, fmt.Errorf("alphashape: alpha %g keeps no triangles", alpha)
+	}
+	// Boundary edges belong to exactly one kept triangle; chain them into
+	// loops.
+	adj := make(map[geom.Pt][]geom.Pt)
+	for e, c := range edgeCount {
+		if c != 1 {
+			continue
+		}
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	visited := make(map[[2]geom.Pt]bool)
+	for start := range adj {
+		for _, next := range adj[start] {
+			if visited[[2]geom.Pt{start, next}] {
+				continue
+			}
+			loop := []geom.Pt{start}
+			prev, cur := start, next
+			visited[[2]geom.Pt{start, next}] = true
+			visited[[2]geom.Pt{next, start}] = true
+			for cur != start {
+				loop = append(loop, cur)
+				// Choose the next unvisited neighbor that is not prev.
+				var moved bool
+				for _, nb := range adj[cur] {
+					if nb == prev || visited[[2]geom.Pt{cur, nb}] {
+						continue
+					}
+					visited[[2]geom.Pt{cur, nb}] = true
+					visited[[2]geom.Pt{nb, cur}] = true
+					prev, cur = cur, nb
+					moved = true
+					break
+				}
+				if !moved {
+					break // open chain (should be rare); emit as-is
+				}
+				if len(loop) > len(adj)+8 {
+					break // safety against malformed adjacency
+				}
+			}
+			if len(loop) >= 3 {
+				s.Boundary = append(s.Boundary, geom.NewPolygon(loop))
+			}
+		}
+	}
+	// Outer loops first.
+	for i := 1; i < len(s.Boundary); i++ {
+		for j := i; j > 0 && s.Boundary[j-1].Area() < s.Boundary[j].Area(); j-- {
+			s.Boundary[j-1], s.Boundary[j] = s.Boundary[j], s.Boundary[j-1]
+		}
+	}
+	return s, nil
+}
+
+// Area returns the total α-shape area (sum of kept triangles).
+func (s *Shape) Area() float64 {
+	var a float64
+	for _, t := range s.Triangles {
+		a += t.Area()
+	}
+	return a
+}
+
+// Contains reports whether p lies in any kept triangle.
+func (s *Shape) Contains(p geom.Pt) bool {
+	for _, t := range s.Triangles {
+		if t.Contains(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package alphashape
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestCircumcircle(t *testing.T) {
+	tr := Triangle{A: geom.P(0, 0), B: geom.P(2, 0), C: geom.P(1, 1)}
+	c, r := tr.Circumcircle()
+	// All vertices equidistant.
+	for _, v := range []geom.Pt{tr.A, tr.B, tr.C} {
+		if math.Abs(c.Dist(v)-r) > 1e-9 {
+			t.Errorf("vertex %v at distance %v, radius %v", v, c.Dist(v), r)
+		}
+	}
+	// Degenerate.
+	dg := Triangle{A: geom.P(0, 0), B: geom.P(1, 1), C: geom.P(2, 2)}
+	if _, r := dg.Circumcircle(); !math.IsInf(r, 1) {
+		t.Errorf("degenerate circumradius = %v", r)
+	}
+}
+
+func TestTriangleAreaContains(t *testing.T) {
+	tr := Triangle{A: geom.P(0, 0), B: geom.P(4, 0), C: geom.P(0, 3)}
+	if got := tr.Area(); got != 6 {
+		t.Errorf("Area = %v", got)
+	}
+	if !tr.Contains(geom.P(1, 1)) {
+		t.Error("interior point not contained")
+	}
+	if tr.Contains(geom.P(3, 3)) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestDelaunayValidation(t *testing.T) {
+	if _, err := Delaunay([]geom.Pt{{X: 1, Y: 1}}); err == nil {
+		t.Error("too few points should error")
+	}
+	same := []geom.Pt{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	if _, err := Delaunay(same); err == nil {
+		t.Error("coincident points should error")
+	}
+}
+
+func TestDelaunaySquare(t *testing.T) {
+	pts := []geom.Pt{geom.P(0, 0), geom.P(1, 0), geom.P(1, 1), geom.P(0, 1)}
+	tris, err := Delaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("square should triangulate into 2 triangles, got %d", len(tris))
+	}
+	var area float64
+	for _, tr := range tris {
+		area += tr.Area()
+	}
+	if math.Abs(area-1) > 1e-6 {
+		t.Errorf("total area = %v, want 1", area)
+	}
+}
+
+// The Delaunay empty-circumcircle property: no input point lies strictly
+// inside any triangle's circumcircle.
+func TestDelaunayEmptyCircumcircleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		pts := make([]geom.Pt, 25)
+		for i := range pts {
+			pts[i] = geom.P(rng.Float64()*10, rng.Float64()*10)
+		}
+		tris, err := Delaunay(pts)
+		if err != nil {
+			return false
+		}
+		for _, tr := range tris {
+			c, r := tr.Circumcircle()
+			for _, p := range pts {
+				if c.Dist(p) < r-1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Euler sanity: for a triangulation of a point set whose hull has h
+// vertices, triangles = 2n − h − 2.
+func TestDelaunayTriangleCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		pts := make([]geom.Pt, 20)
+		for i := range pts {
+			pts[i] = geom.P(rng.Float64()*10, rng.Float64()*10)
+		}
+		tris, err := Delaunay(pts)
+		if err != nil {
+			return false
+		}
+		hull := geom.ConvexHull(pts)
+		want := 2*len(pts) - len(hull) - 2
+		return len(tris) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gridPoints(x0, y0, x1, y1, step float64) []geom.Pt {
+	var pts []geom.Pt
+	for y := y0; y <= y1+1e-9; y += step {
+		for x := x0; x <= x1+1e-9; x += step {
+			pts = append(pts, geom.P(x, y))
+		}
+	}
+	return pts
+}
+
+func TestComputeValidation(t *testing.T) {
+	pts := gridPoints(0, 0, 2, 2, 1)
+	if _, err := Compute(pts, 0); err == nil {
+		t.Error("zero alpha should error")
+	}
+	if _, err := Compute(pts, 1e-9); err == nil {
+		t.Error("alpha keeping nothing should error")
+	}
+}
+
+func TestAlphaShapeOfSquareGrid(t *testing.T) {
+	pts := gridPoints(0, 0, 6, 4, 0.5)
+	s, err := Compute(pts, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Area()-24) > 1.5 {
+		t.Errorf("alpha-shape area = %v, want ≈24", s.Area())
+	}
+	if !s.Contains(geom.P(3, 2)) {
+		t.Error("interior point not contained")
+	}
+	if s.Contains(geom.P(10, 10)) {
+		t.Error("exterior point contained")
+	}
+	if len(s.Boundary) == 0 {
+		t.Fatal("no boundary loops")
+	}
+	// The outer boundary should trace roughly the 6×4 rectangle perimeter.
+	per := s.Boundary[0].Perimeter()
+	if per < 18 || per > 26 {
+		t.Errorf("outer boundary perimeter = %v, want ≈20", per)
+	}
+}
+
+// An L-shaped (non-convex) set must not be filled across the notch — the
+// whole point of α-shapes over convex hulls.
+func TestAlphaShapeNonConvex(t *testing.T) {
+	pts := append(gridPoints(0, 0, 6, 2, 0.5), gridPoints(0, 2.5, 2, 6, 0.5)...)
+	s, err := Compute(pts, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(geom.P(5, 5)) {
+		t.Error("alpha shape filled the L notch; behaving like a convex hull")
+	}
+	if !s.Contains(geom.P(5, 1)) || !s.Contains(geom.P(1, 5)) {
+		t.Error("legs of the L missing")
+	}
+	wantArea := 6*2 + 2*3.5
+	if math.Abs(s.Area()-wantArea) > 2.0 {
+		t.Errorf("area = %v, want ≈%v", s.Area(), wantArea)
+	}
+}
+
+// A ring of points must produce a hole: inner boundary loop present and
+// center excluded.
+func TestAlphaShapeRingHasHole(t *testing.T) {
+	var pts []geom.Pt
+	for r := 3.0; r <= 4.5; r += 0.5 {
+		n := int(2 * math.Pi * r / 0.45)
+		for i := 0; i < n; i++ {
+			a := 2 * math.Pi * float64(i) / float64(n)
+			pts = append(pts, geom.P(r*math.Cos(a), r*math.Sin(a)))
+		}
+	}
+	s, err := Compute(pts, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(geom.P(0, 0)) {
+		t.Error("ring center should be a hole")
+	}
+	if !s.Contains(geom.P(3.75, 0)) {
+		t.Error("ring band missing")
+	}
+	if len(s.Boundary) < 2 {
+		t.Errorf("ring should have outer and inner boundary, got %d loops", len(s.Boundary))
+	}
+	ringArea := math.Pi * (4.5*4.5 - 3*3)
+	if math.Abs(s.Area()-ringArea) > 0.2*ringArea {
+		t.Errorf("ring area = %v, want ≈%v", s.Area(), ringArea)
+	}
+}
+
+func TestAlphaMonotonicityProperty(t *testing.T) {
+	// Larger alpha keeps a superset of triangles, so area is monotone.
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		pts := make([]geom.Pt, 40)
+		for i := range pts {
+			pts[i] = geom.P(rng.Float64()*8, rng.Float64()*8)
+		}
+		s1, err1 := Compute(pts, 0.8)
+		s2, err2 := Compute(pts, 2.0)
+		if err1 != nil || err2 != nil {
+			return true // small alpha may keep nothing; not a failure of monotonicity
+		}
+		return s1.Area() <= s2.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}

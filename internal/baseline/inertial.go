@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/world"
+)
+
+// InertialRoomParams tunes the inertial-only room measurement baseline.
+type InertialRoomParams struct {
+	// Clearance is how far from the walls the user walks, meters.
+	Clearance float64
+	// FurnitureCount is how many wall segments are blocked by furniture,
+	// forcing an inward detour (the paper's core argument against
+	// motion-trace room reconstruction: edges and corners are often
+	// unreachable).
+	FurnitureCount int
+	// FurnitureDepth is how far furniture pushes the walker inward.
+	FurnitureDepth float64
+}
+
+// DefaultInertialRoomParams matches a normally furnished office.
+func DefaultInertialRoomParams() InertialRoomParams {
+	return InertialRoomParams{Clearance: 0.45, FurnitureCount: 2, FurnitureDepth: 1.0}
+}
+
+// InertialRoomMeasurement is the baseline's estimate of one room.
+type InertialRoomMeasurement struct {
+	Width, Length float64
+	Center        geom.Pt // in the trajectory's local frame
+	Traj          *trajectory.Trajectory
+}
+
+// Area returns the estimated room area.
+func (m InertialRoomMeasurement) Area() float64 { return m.Width * m.Length }
+
+// AspectRatio returns long side over short side.
+func (m InertialRoomMeasurement) AspectRatio() float64 {
+	lo := math.Min(m.Width, m.Length)
+	hi := math.Max(m.Width, m.Length)
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// MeasureRoomInertial reproduces the aggregated-motion-trace room
+// reconstruction of CrowdInside/Jigsaw: the user walks the room perimeter
+// (detouring around furniture), the walk is dead-reckoned from simulated
+// IMU data, and the room rectangle is the trace's bounding box plus the
+// assumed wall clearance. Errors come from three real effects: clearance
+// is a guess, furniture hides corners and edges, and dead reckoning
+// drifts.
+func MeasureRoomInertial(room world.Room, cfg sensor.Config, p InertialRoomParams, rng *rand.Rand) (InertialRoomMeasurement, error) {
+	if p.Clearance <= 0 || p.Clearance > 1.5 {
+		return InertialRoomMeasurement{}, fmt.Errorf("baseline: implausible clearance %g", p.Clearance)
+	}
+	if err := cfg.Validate(); err != nil {
+		return InertialRoomMeasurement{}, err
+	}
+	inner := geom.R(
+		room.Bounds.Min.X+p.Clearance, room.Bounds.Min.Y+p.Clearance,
+		room.Bounds.Max.X-p.Clearance, room.Bounds.Max.Y-p.Clearance,
+	)
+	if inner.W() <= 0.5 || inner.H() <= 0.5 {
+		return InertialRoomMeasurement{}, fmt.Errorf("baseline: room %s too small to walk", room.ID)
+	}
+	// Perimeter waypoints, counterclockwise from the min corner.
+	corners := []geom.Pt{
+		inner.Min, {X: inner.Max.X, Y: inner.Min.Y}, inner.Max, {X: inner.Min.X, Y: inner.Max.Y},
+	}
+	var waypoints []geom.Pt
+	for i := 0; i < 4; i++ {
+		a := corners[i]
+		b := corners[(i+1)%4]
+		waypoints = append(waypoints, a)
+		waypoints = append(waypoints, a.Add(b.Sub(a).Scale(0.5)))
+	}
+	waypoints = append(waypoints, corners[0]) // close the loop
+	// Furniture: random waypoints get displaced inward.
+	center := inner.Center()
+	blocked := map[int]bool{}
+	for len(blocked) < p.FurnitureCount && len(blocked) < len(waypoints)-1 {
+		blocked[rng.Intn(len(waypoints)-1)] = true
+	}
+	for i := range waypoints {
+		if !blocked[i] {
+			continue
+		}
+		inward := center.Sub(waypoints[i]).Unit().Scale(p.FurnitureDepth)
+		waypoints[i] = waypoints[i].Add(inward)
+	}
+	// Build the motion profile along the waypoints.
+	speed := cfg.StepFreq * cfg.StepLength
+	pb := motionProfile(waypoints, speed)
+	imu, err := sensor.Simulate(pb, cfg, rng)
+	if err != nil {
+		return InertialRoomMeasurement{}, err
+	}
+	traj, err := trajectory.DeadReckon(imu, cfg.StepLengthEst)
+	if err != nil {
+		return InertialRoomMeasurement{}, err
+	}
+	pts := traj.Positions()
+	if len(pts) < 4 {
+		return InertialRoomMeasurement{}, fmt.Errorf("baseline: dead reckoning produced only %d points", len(pts))
+	}
+	bb := geom.BoundingRect(pts)
+	// The walker kept Clearance from the walls, so the room extends that
+	// far beyond the trace on each side.
+	return InertialRoomMeasurement{
+		Width:  bb.W() + 2*p.Clearance,
+		Length: bb.H() + 2*p.Clearance,
+		Center: bb.Center(),
+		Traj:   traj,
+	}, nil
+}
+
+// motionProfile walks a polyline with 1 s stand-still bookends.
+func motionProfile(path []geom.Pt, speed float64) []sensor.MotionSample {
+	var out []sensor.MotionSample
+	t := 0.0
+	heading := 0.0
+	if len(path) > 1 {
+		heading = path[1].Sub(path[0]).Angle()
+	}
+	out = append(out, sensor.MotionSample{T: t, Pos: path[0], Heading: heading})
+	t = 1
+	out = append(out, sensor.MotionSample{T: t, Pos: path[0], Heading: heading, Walking: true})
+	for i := 1; i < len(path); i++ {
+		seg := path[i].Sub(path[i-1])
+		if seg.Norm() < 1e-9 {
+			continue
+		}
+		heading = seg.Angle()
+		dur := seg.Norm() / speed
+		const step = 0.2
+		n := int(math.Ceil(dur / step))
+		for k := 1; k <= n; k++ {
+			t += dur / float64(n)
+			pos := path[i-1].Add(seg.Scale(float64(k) / float64(n)))
+			out = append(out, sensor.MotionSample{T: t, Pos: pos, Heading: heading, Walking: true})
+		}
+	}
+	last := out[len(out)-1]
+	out = append(out, sensor.MotionSample{T: t + 1, Pos: last.Pos, Heading: last.Heading})
+	return out
+}
+
+// MeasureRoomsInertial runs the baseline over every room of a building and
+// returns per-room area and aspect-ratio errors (the inertial curves of
+// Figs. 8a–8b).
+func MeasureRoomsInertial(b *world.Building, p InertialRoomParams, seed int64) (areaErrs, aspectErrs []float64, err error) {
+	rng := mathx.NewRNG(seed)
+	for _, room := range b.Rooms {
+		cfg := sensor.DefaultConfig()
+		cfg.StepLength = mathx.Clamp(mathx.Gaussian(rng, 0.70, 0.05), 0.55, 0.90)
+		cfg.StepLengthEst = mathx.Clamp(cfg.StepLength*mathx.Gaussian(rng, 1.0, 0.04), 0.5, 1.0)
+		m, merr := MeasureRoomInertial(room, cfg, p, mathx.SplitRNG(rng))
+		if merr != nil {
+			return nil, nil, fmt.Errorf("baseline: room %s: %w", room.ID, merr)
+		}
+		areaErrs = append(areaErrs, math.Abs(m.Area()-room.Area())/room.Area())
+		aspectErrs = append(aspectErrs, math.Abs(m.AspectRatio()-room.AspectRatio())/room.AspectRatio())
+	}
+	return areaErrs, aspectErrs, nil
+}

@@ -1,0 +1,245 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/vision/surf"
+	"crowdmap/internal/world"
+)
+
+// SfM implements the Structure-from-Motion comparison of the paper's
+// Fig. 9: camera positions estimated purely from image feature
+// correspondences. Indoor motion is planar and rotation is around the
+// vertical axis, so the relative pose between two frames reduces to a
+// heading change δ and a unit translation direction τ; we fit both by
+// minimizing the epipolar residual |x₂ᵀ E x₁| over mutual SURF matches,
+// with E = [t]× R_z(δ). In feature-rich scenes this recovers the motion;
+// in cluttered/featureless interiors (the Gym), matches are few and wrong
+// and the estimated track falls apart — the paper's point.
+
+// Ray is a unit 3-D viewing ray in the camera frame.
+type Ray struct{ X, Y, Z float64 }
+
+// rayOf converts a pixel to its viewing ray under the cylindrical-sector
+// camera: column → azimuth offset, row → tan(elevation).
+func rayOf(px, py float64, cam world.Camera) Ray {
+	focal := cam.FocalPx()
+	az := -(px + 0.5 - float64(cam.W)/2) / focal
+	t := math.Tan(cam.Pitch) + (float64(cam.H)/2-py-0.5)/focal
+	// Horizontal direction (cos az, sin az), vertical component t per unit
+	// horizontal distance.
+	n := math.Sqrt(1 + t*t)
+	return Ray{X: math.Cos(az) / n, Y: math.Sin(az) / n, Z: t / n}
+}
+
+// Correspondence pairs viewing rays of one matched feature in two frames.
+type Correspondence struct {
+	A, B Ray
+}
+
+// RaysFromMatches converts SURF matches between two frames to ray
+// correspondences.
+func RaysFromMatches(fa, fb []surf.Feature, matches []surf.MatchPair, cam world.Camera) []Correspondence {
+	out := make([]Correspondence, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, Correspondence{
+			A: rayOf(fa[m.I].KP.X, fa[m.I].KP.Y, cam),
+			B: rayOf(fb[m.J].KP.X, fb[m.J].KP.Y, cam),
+		})
+	}
+	return out
+}
+
+// RelPose is a planar relative camera pose: the second camera is rotated
+// by DeltaHeading and displaced along TransDir (unit length, first-camera
+// frame).
+type RelPose struct {
+	DeltaHeading float64
+	TransDir     float64
+	Residual     float64 // mean epipolar residual at the optimum
+	Inliers      int
+}
+
+// epipolarResidual computes Σ|x₂ᵀ E x₁| with E = [t]× R_z(δ), robustly
+// capped per correspondence.
+func epipolarResidual(cs []Correspondence, delta, tau float64) float64 {
+	cd, sd := math.Cos(delta), math.Sin(delta)
+	tx, ty := math.Cos(tau), math.Sin(tau)
+	// Camera 1 at the origin with heading 0; camera 2 displaced by
+	// t = (tx, ty, 0) and rotated by δ, so camera-2 rays are
+	// x₂ ∝ R_z(−δ)(X − t) and the constraint is x₂ᵀ E x₁ = 0 with
+	// E = R_z(−δ)·[t]×:
+	//   [t]× = [[0,0,ty],[0,0,−tx],[−ty,tx,0]]
+	//   E    = [[0,0,cd·ty−sd·tx],[0,0,−sd·ty−cd·tx],[−ty,tx,0]]
+	e02 := cd*ty - sd*tx
+	e12 := -sd*ty - cd*tx
+	e20 := -ty
+	e21 := tx
+	var sum float64
+	for _, c := range cs {
+		v := c.B.X*(e02*c.A.Z) + c.B.Y*(e12*c.A.Z) + c.B.Z*(e20*c.A.X+e21*c.A.Y)
+		r := math.Abs(v)
+		if r > 0.05 {
+			r = 0.05 // robust cap against outlier matches
+		}
+		sum += r
+	}
+	return sum / float64(len(cs))
+}
+
+// EstimateRelPose fits the planar relative pose from ray correspondences
+// by coarse grid search plus local refinement. It needs at least 6
+// correspondences; fewer (or degenerate) sets return an error.
+func EstimateRelPose(cs []Correspondence, gyroHint float64, hintTol float64) (RelPose, error) {
+	if len(cs) < 6 {
+		return RelPose{}, fmt.Errorf("baseline: %d correspondences, need ≥ 6", len(cs))
+	}
+	best := RelPose{Residual: math.Inf(1)}
+	lo, hi := gyroHint-hintTol, gyroHint+hintTol
+	for delta := lo; delta <= hi; delta += mathx.Deg2Rad(1) {
+		for tau := 0.0; tau < 2*math.Pi; tau += mathx.Deg2Rad(3) {
+			r := epipolarResidual(cs, delta, tau)
+			if r < best.Residual {
+				best = RelPose{DeltaHeading: delta, TransDir: tau, Residual: r}
+			}
+		}
+	}
+	// Local refinement.
+	stepD, stepT := mathx.Deg2Rad(0.25), mathx.Deg2Rad(0.5)
+	for iter := 0; iter < 30; iter++ {
+		improved := false
+		for _, d := range []float64{-stepD, 0, stepD} {
+			for _, tt := range []float64{-stepT, 0, stepT} {
+				if d == 0 && tt == 0 {
+					continue
+				}
+				r := epipolarResidual(cs, best.DeltaHeading+d, best.TransDir+tt)
+				if r < best.Residual {
+					best.Residual = r
+					best.DeltaHeading += d
+					best.TransDir += tt
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	// The epipolar residual is invariant under t → −t, so the translation
+	// direction is only known up to sign; resolve the ambiguity by
+	// triangulation cheirality (scene points must lie in front of both
+	// cameras).
+	fwd := cheiralityVotes(cs, best.DeltaHeading, best.TransDir)
+	bwd := cheiralityVotes(cs, best.DeltaHeading, best.TransDir+math.Pi)
+	if bwd > fwd {
+		best.TransDir = mathx.NormalizeAngle(best.TransDir + math.Pi)
+	}
+	// Count inliers for quality reporting.
+	for _, c := range cs {
+		one := []Correspondence{c}
+		if epipolarResidual(one, best.DeltaHeading, best.TransDir) < 0.01 {
+			best.Inliers++
+		}
+	}
+	return best, nil
+}
+
+// cheiralityVotes counts correspondences whose planar triangulation puts
+// the landmark in front of both cameras for the hypothesized pose.
+func cheiralityVotes(cs []Correspondence, delta, tau float64) int {
+	tx, ty := math.Cos(tau), math.Sin(tau)
+	cd, sd := math.Cos(delta), math.Sin(delta)
+	votes := 0
+	for _, c := range cs {
+		// Horizontal ray directions in the world (camera-1) frame.
+		d1x, d1y := c.A.X, c.A.Y
+		// Camera-2 ray rotated by δ into the world frame.
+		d2x := cd*c.B.X - sd*c.B.Y
+		d2y := sd*c.B.X + cd*c.B.Y
+		// Solve origin + s·d1 = t + u·d2.
+		den := d1x*d2y - d1y*d2x
+		if math.Abs(den) < 1e-9 {
+			continue
+		}
+		s := (tx*d2y - ty*d2x) / den
+		u := (tx*d1y - d1x*ty) / den
+		if s > 0 && u > 0 {
+			votes++
+		}
+	}
+	return votes
+}
+
+// SfMTrack chains relative poses over a sequence of frames into camera
+// positions. Scale per step is supplied by stepLengths (the baseline is
+// granted true step magnitudes, isolating directional error — the paper's
+// Fig. 9 complaint is about geometry, not scale). The first camera sits at
+// the origin with heading zero.
+type SfMTrack struct {
+	Positions []geom.Pt
+	Headings  []float64
+	// Failures counts steps where pose estimation failed and dead
+	// reckoning had to coast straight ahead.
+	Failures int
+}
+
+// ChainSfM estimates camera positions for a sequence of feature sets.
+// stepLengths[i] is the true distance between frame i and i+1.
+func ChainSfM(features [][]surf.Feature, stepLengths []float64, cam world.Camera, hd float64) (*SfMTrack, error) {
+	if len(features) < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 frames, got %d", len(features))
+	}
+	if len(stepLengths) != len(features)-1 {
+		return nil, fmt.Errorf("baseline: %d step lengths for %d frames", len(stepLengths), len(features))
+	}
+	track := &SfMTrack{
+		Positions: []geom.Pt{{}},
+		Headings:  []float64{0},
+	}
+	pos := geom.Pt{}
+	heading := 0.0
+	for i := 0; i+1 < len(features); i++ {
+		ms := surf.Match(features[i], features[i+1], hd)
+		cs := RaysFromMatches(features[i], features[i+1], ms, cam)
+		pose, err := EstimateRelPose(cs, 0, mathx.Deg2Rad(40))
+		if err != nil {
+			// No usable geometry: the track stalls — SfM has no translation
+			// estimate at all for this transition (the step magnitude is
+			// only granted when the direction was recovered).
+			track.Failures++
+			track.Positions = append(track.Positions, pos)
+			track.Headings = append(track.Headings, heading)
+			continue
+		}
+		// TransDir is in the first camera's frame; convert to world.
+		dir := heading + pose.TransDir
+		pos = pos.Add(geom.FromPolar(stepLengths[i], dir))
+		heading = mathx.NormalizeAngle(heading + pose.DeltaHeading)
+		track.Positions = append(track.Positions, pos)
+		track.Headings = append(track.Headings, heading)
+	}
+	return track, nil
+}
+
+// AlignedRMSE aligns estimated positions to ground truth with a rigid
+// transform (rotation + translation via Procrustes) and returns the RMSE —
+// the camera-location error of Fig. 9.
+func AlignedRMSE(est, truth []geom.Pt) (float64, error) {
+	if len(est) != len(truth) || len(est) == 0 {
+		return 0, fmt.Errorf("baseline: %d estimated vs %d truth positions", len(est), len(truth))
+	}
+	tr, ok := geom.FitRigid(est, truth)
+	if !ok {
+		return 0, fmt.Errorf("baseline: rigid alignment failed")
+	}
+	var s float64
+	for i := range est {
+		d := tr.Apply(est[i]).Dist(truth[i])
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(est))), nil
+}

@@ -1,0 +1,36 @@
+// Package baseline implements the comparison systems the paper evaluates
+// CrowdMap against: single-image trajectory aggregation (the non-sequence
+// strawman of Fig. 7a), inertial-only room measurement in the style of
+// CrowdInside/Jigsaw (Figs. 8a–8b), and a Structure-from-Motion camera
+// tracker (Fig. 9).
+package baseline
+
+import (
+	"crowdmap/internal/aggregate"
+)
+
+// SingleImageComparer returns an aggregate.PairComparer that merges two
+// trajectories whenever their best single key-frame pair matches — one
+// anchor point, no longest-common-subsequence verification and no
+// multi-anchor consensus. This is the "single image aggregation" method of
+// Fig. 7a: it works at small scale but collapses as visually similar
+// indoor scenes accumulate.
+func SingleImageComparer() aggregate.PairComparer {
+	return func(ai, bi int, a, b *aggregate.Track, p aggregate.Params) (aggregate.Match, bool, error) {
+		anchors, err := aggregate.FindAnchors(a, b, p)
+		if err != nil {
+			return aggregate.Match{}, false, err
+		}
+		if len(anchors) == 0 {
+			return aggregate.Match{}, false, nil
+		}
+		best := anchors[0] // strongest S2 first
+		return aggregate.Match{
+			A:           ai,
+			B:           bi,
+			S3:          best.S2, // no sequence score; report the image score
+			Translation: best.Translation,
+			Anchors:     anchors[:1],
+		}, true, nil
+	}
+}

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsAll(t *testing.T) {
+	var seen sync.Map
+	err := Map(context.Background(), 100, 4, func(_ context.Context, i int) error {
+		seen.Store(i, true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	seen.Range(func(_, _ interface{}) bool { count++; return true })
+	if count != 100 {
+		t.Errorf("ran %d of 100", count)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := Map(ctx, -1, 1, func(context.Context, int) error { return nil }); err == nil {
+		t.Error("negative n should error")
+	}
+	if err := Map(ctx, 1, 1, nil); err == nil {
+		t.Error("nil fn should error")
+	}
+	if err := Map(ctx, 0, 1, func(context.Context, int) error { return nil }); err != nil {
+		t.Errorf("n=0 should be a no-op, got %v", err)
+	}
+}
+
+func TestMapDefaultsWorkers(t *testing.T) {
+	var ran atomic.Int32
+	if err := Map(context.Background(), 10, 0, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d", ran.Load())
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int32
+	err := Map(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if i > 500 {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if after.Load() > 900 {
+		t.Error("cancellation did not stop the feed")
+	}
+}
+
+func TestMapHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Map(ctx, 100, 2, func(context.Context, int) error { return nil })
+	if err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+}
+
+func TestPairs(t *testing.T) {
+	if got := Pairs(1); got != nil {
+		t.Errorf("Pairs(1) = %v", got)
+	}
+	got := Pairs(4)
+	if len(got) != 6 {
+		t.Fatalf("Pairs(4) = %d pairs", len(got))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range got {
+		if p.I >= p.J {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestMapPairs(t *testing.T) {
+	var count atomic.Int32
+	err := MapPairs(context.Background(), 5, 3, func(_ context.Context, p Pair) error {
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 10 {
+		t.Errorf("ran %d pairs, want 10", count.Load())
+	}
+}

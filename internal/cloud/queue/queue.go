@@ -1,0 +1,176 @@
+// Package queue is CrowdMap's job scheduler — the stand-in for the
+// APScheduler component of the paper's backend. It runs submitted jobs on
+// a bounded worker pool, supports periodic jobs, and surfaces per-job
+// errors to the caller.
+package queue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job is a unit of backend work.
+type Job struct {
+	ID  string
+	Run func(ctx context.Context) error
+}
+
+// Result pairs a finished job with its error.
+type Result struct {
+	ID  string
+	Err error
+}
+
+// Scheduler executes jobs on a fixed worker pool. Create with New; Close
+// must be called exactly once after the final Submit.
+type Scheduler struct {
+	jobs    chan Job
+	results chan Result
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	periodic []chan struct{}
+	closed   bool
+}
+
+// New starts a scheduler with the given number of workers and job buffer.
+func New(workers, buffer int) (*Scheduler, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("queue: need at least one worker, got %d", workers)
+	}
+	if buffer < 0 {
+		return nil, fmt.Errorf("queue: negative buffer %d", buffer)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		jobs:    make(chan Job, buffer),
+		results: make(chan Result, buffer+workers),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for job := range s.jobs {
+		err := job.Run(s.ctx)
+		select {
+		case s.results <- Result{ID: job.ID, Err: err}:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// Submit enqueues a job; it blocks when the buffer is full. Submitting to
+// a closed scheduler returns an error.
+func (s *Scheduler) Submit(j Job) error {
+	if j.Run == nil {
+		return fmt.Errorf("queue: job %q has no Run function", j.ID)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("queue: scheduler closed")
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	case <-s.ctx.Done():
+		return fmt.Errorf("queue: scheduler stopped")
+	}
+}
+
+// Every runs the job repeatedly at the given interval until the scheduler
+// closes or the returned stop function is called. The job itself executes
+// on the worker pool.
+func (s *Scheduler) Every(interval time.Duration, j Job) (stop func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("queue: interval must be positive, got %v", interval)
+	}
+	done := make(chan struct{})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("queue: scheduler closed")
+	}
+	s.periodic = append(s.periodic, done)
+	s.mu.Unlock()
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				// Best effort: drop the tick if the queue is saturated or
+				// closing.
+				_ = s.Submit(j)
+			case <-done:
+				return
+			case <-s.ctx.Done():
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }, nil
+}
+
+// Results exposes the completion channel; read it to collect job errors.
+func (s *Scheduler) Results() <-chan Result { return s.results }
+
+// Close stops accepting jobs, waits for in-flight jobs, then closes the
+// results channel.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, d := range s.periodic {
+		select {
+		case <-d:
+		default:
+			close(d)
+		}
+	}
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+	s.cancel()
+	close(s.results)
+}
+
+// Drain submits all jobs, closes the scheduler, and returns every job
+// error encountered (nil when all jobs succeeded).
+func Drain(workers int, jobs []Job) []error {
+	s, err := New(workers, len(jobs))
+	if err != nil {
+		return []error{err}
+	}
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
+			s.Close()
+			return []error{err}
+		}
+	}
+	go s.Close()
+	var errs []error
+	for r := range s.Results() {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("job %s: %w", r.ID, r.Err))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,132 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero workers should error")
+	}
+	if _, err := New(1, -1); err == nil {
+		t.Error("negative buffer should error")
+	}
+}
+
+func TestSubmitAndResults(t *testing.T) {
+	s, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	for i := 0; i < 4; i++ {
+		err := s.Submit(Job{ID: "job", Run: func(context.Context) error {
+			ran.Add(1)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	go s.Close()
+	n := 0
+	for r := range s.Results() {
+		if r.Err != nil {
+			t.Errorf("job error: %v", r.Err)
+		}
+		n++
+	}
+	if n != 4 || ran.Load() != 4 {
+		t.Errorf("results=%d ran=%d, want 4", n, ran.Load())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, _ := New(1, 1)
+	defer s.Close()
+	if err := s.Submit(Job{ID: "nil"}); err == nil {
+		t.Error("nil Run should error")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	s, _ := New(1, 1)
+	s.Close()
+	if err := s.Submit(Job{ID: "late", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("submit after close should error")
+	}
+	s.Close() // double close is safe
+}
+
+func TestErrorsSurface(t *testing.T) {
+	s, _ := New(1, 2)
+	boom := errors.New("boom")
+	_ = s.Submit(Job{ID: "bad", Run: func(context.Context) error { return boom }})
+	go s.Close()
+	var got error
+	for r := range s.Results() {
+		got = r.Err
+	}
+	if !errors.Is(got, boom) {
+		t.Errorf("error = %v, want boom", got)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s, err := New(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks atomic.Int32
+	stop, err := s.Every(5*time.Millisecond, Job{ID: "tick", Run: func(context.Context) error {
+		ticks.Add(1)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ticks.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if ticks.Load() < 3 {
+		t.Errorf("only %d ticks", ticks.Load())
+	}
+	s.Close()
+	if _, err := s.Every(time.Millisecond, Job{ID: "x", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("Every on closed scheduler should error")
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	s, _ := New(1, 1)
+	defer s.Close()
+	if _, err := s.Every(0, Job{ID: "x", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("zero interval should error")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var ran atomic.Int32
+	jobs := []Job{
+		{ID: "a", Run: func(context.Context) error { ran.Add(1); return nil }},
+		{ID: "b", Run: func(context.Context) error { return errors.New("b failed") }},
+		{ID: "c", Run: func(context.Context) error { ran.Add(1); return nil }},
+	}
+	errs := Drain(2, jobs)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if ran.Load() != 2 {
+		t.Errorf("ran = %d", ran.Load())
+	}
+	if errs := Drain(2, nil); errs != nil {
+		t.Errorf("empty drain errs = %v", errs)
+	}
+}

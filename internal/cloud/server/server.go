@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"crowdmap/internal/cloud/store"
+)
+
+// Collections in the backing store.
+const (
+	CollCaptures = "captures" // assembled capture archives (zip bytes)
+	CollPlans    = "plans"    // rendered floor plans (SVG bytes)
+)
+
+// ChunkSize is the upload chunk size; the paper splits uploads into 5 MB
+// chunks for transmission.
+const ChunkSize = 5 << 20
+
+// Server is the HTTP ingestion frontend. It is safe for concurrent use.
+type Server struct {
+	store *store.Store
+
+	mu      sync.Mutex
+	pending map[string]*pendingUpload
+}
+
+type pendingUpload struct {
+	total  int
+	chunks map[int][]byte
+}
+
+// New builds a server over the given document store.
+func New(st *store.Store) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("server: nil store")
+	}
+	return &Server{store: st, pending: make(map[string]*pendingUpload)}, nil
+}
+
+// Store exposes the backing store (the processing pipeline reads from it).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Handler returns the HTTP mux:
+//
+//	POST /api/v1/captures/{id}/chunks?index=i&total=n — upload one chunk
+//	GET  /api/v1/captures                              — list capture IDs
+//	GET  /api/v1/captures/{id}                         — download archive
+//	PUT  /api/v1/plans/{building}                      — store a plan SVG
+//	GET  /api/v1/plans/{building}                      — download plan SVG
+//	GET  /healthz                                      — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/captures/{id}/chunks", s.handleChunk)
+	mux.HandleFunc("GET /api/v1/captures", s.handleListCaptures)
+	mux.HandleFunc("GET /api/v1/captures/{id}", s.handleGetCapture)
+	mux.HandleFunc("PUT /api/v1/plans/{building}", s.handlePutPlan)
+	mux.HandleFunc("GET /api/v1/plans/{building}", s.handleGetPlan)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		http.Error(w, "missing capture id", http.StatusBadRequest)
+		return
+	}
+	index, err := strconv.Atoi(r.URL.Query().Get("index"))
+	if err != nil || index < 0 {
+		http.Error(w, "bad chunk index", http.StatusBadRequest)
+		return
+	}
+	total, err := strconv.Atoi(r.URL.Query().Get("total"))
+	if err != nil || total < 1 || index >= total {
+		http.Error(w, "bad chunk total", http.StatusBadRequest)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, ChunkSize+1)); err != nil {
+		http.Error(w, "read chunk: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if buf.Len() > ChunkSize {
+		http.Error(w, "chunk exceeds limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	s.mu.Lock()
+	up, ok := s.pending[id]
+	if !ok {
+		up = &pendingUpload{total: total, chunks: make(map[int][]byte)}
+		s.pending[id] = up
+	}
+	if up.total != total {
+		s.mu.Unlock()
+		http.Error(w, "chunk total mismatch", http.StatusConflict)
+		return
+	}
+	up.chunks[index] = append([]byte(nil), buf.Bytes()...)
+	complete := len(up.chunks) == up.total
+	var assembled []byte
+	if complete {
+		indices := make([]int, 0, len(up.chunks))
+		for i := range up.chunks {
+			indices = append(indices, i)
+		}
+		sort.Ints(indices)
+		for _, i := range indices {
+			assembled = append(assembled, up.chunks[i]...)
+		}
+		delete(s.pending, id)
+	}
+	s.mu.Unlock()
+
+	if !complete {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"received":%d,"total":%d}`+"\n", index, total)
+		return
+	}
+	// Validate before storing: a malformed archive is rejected here, the
+	// first layer of the paper's "divide and conquer" data filtering.
+	if _, err := DecodeCapture(assembled); err != nil {
+		http.Error(w, "invalid capture archive: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := s.store.Put(CollCaptures, id, assembled); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, `{"stored":%q,"bytes":%d}`+"\n", id, len(assembled))
+}
+
+func (s *Server) handleListCaptures(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.store.Keys(CollCaptures)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleGetCapture(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.store.Get(CollCaptures, r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handlePutPlan(w http.ResponseWriter, r *http.Request) {
+	building := r.PathValue("building")
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, 32<<20)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(CollPlans, building, buf.Bytes()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleGetPlan(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.store.Get(CollPlans, r.PathValue("building"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(data)
+}
+
+// UploadCapture is the client side of the chunk protocol: it splits an
+// archive into ChunkSize pieces and POSTs them sequentially to baseURL.
+func UploadCapture(client *http.Client, baseURL, id string, archive []byte) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	total := (len(archive) + ChunkSize - 1) / ChunkSize
+	if total == 0 {
+		total = 1
+	}
+	for i := 0; i < total; i++ {
+		lo := i * ChunkSize
+		hi := lo + ChunkSize
+		if hi > len(archive) {
+			hi = len(archive)
+		}
+		url := fmt.Sprintf("%s/api/v1/captures/%s/chunks?index=%d&total=%d", baseURL, id, i, total)
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(archive[lo:hi]))
+		if err != nil {
+			return fmt.Errorf("server: upload chunk %d: %w", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("server: chunk %d rejected with status %s", i, resp.Status)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package server implements CrowdMap's cloud ingestion front door — the
+// stand-in for the paper's Tornado web server: capture sessions arrive as
+// zipped uploads split into chunks (the paper ships 5 MB chunks over
+// WebSockets; we use sequential HTTP POSTs), are reassembled, validated,
+// and stored in the document store for the processing pipeline.
+package server
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"strings"
+
+	"encoding/json"
+
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/world"
+)
+
+// captureMeta is the meta.json document inside a capture archive.
+type captureMeta struct {
+	ID            string       `json:"id"`
+	UserID        string       `json:"user_id"`
+	Kind          int          `json:"kind"`
+	Night         bool         `json:"night"`
+	FPS           float64      `json:"fps"`
+	RoomID        string       `json:"room_id,omitempty"`
+	StepLengthEst float64      `json:"step_length_est"`
+	Camera        cameraMeta   `json:"camera"`
+	Geo           crowd.GeoTag `json:"geo"`
+	FrameTimes    []float64    `json:"frame_times"`
+}
+
+type cameraMeta struct {
+	FOV   float64 `json:"fov"`
+	W     int     `json:"w"`
+	H     int     `json:"h"`
+	Pitch float64 `json:"pitch"`
+}
+
+// truthSample mirrors sensor.MotionSample for the evaluation sidecar.
+type truthSample struct {
+	T       float64 `json:"t"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Heading float64 `json:"heading"`
+	Walking bool    `json:"walking"`
+}
+
+// EncodeCapture serializes a capture session to the upload archive format:
+// meta.json, imu.json, frames/NNNN.png and (for evaluation reproducibility
+// only) truth.json.
+func EncodeCapture(c *crowd.Capture) ([]byte, error) {
+	if c == nil || len(c.Frames) == 0 {
+		return nil, fmt.Errorf("server: cannot encode empty capture")
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	meta := captureMeta{
+		ID: c.ID, UserID: c.UserID, Kind: int(c.Kind), Night: c.Night,
+		FPS: c.FPS, RoomID: c.RoomID, StepLengthEst: c.StepLengthEst,
+		Camera: cameraMeta{FOV: c.Camera.FOV, W: c.Camera.W, H: c.Camera.H, Pitch: c.Camera.Pitch},
+		Geo:    c.Geo,
+	}
+	for _, f := range c.Frames {
+		meta.FrameTimes = append(meta.FrameTimes, f.T)
+	}
+	if err := writeJSON(zw, "meta.json", meta); err != nil {
+		return nil, err
+	}
+	if err := writeJSON(zw, "imu.json", c.IMU); err != nil {
+		return nil, err
+	}
+	var truth []truthSample
+	for _, m := range c.Truth {
+		truth = append(truth, truthSample{T: m.T, X: m.Pos.X, Y: m.Pos.Y, Heading: m.Heading, Walking: m.Walking})
+	}
+	if err := writeJSON(zw, "truth.json", truth); err != nil {
+		return nil, err
+	}
+	for i, f := range c.Frames {
+		w, err := zw.Create(fmt.Sprintf("frames/%04d.png", i))
+		if err != nil {
+			return nil, fmt.Errorf("server: zip frame %d: %w", i, err)
+		}
+		if err := png.Encode(w, toImage(f.Image)); err != nil {
+			return nil, fmt.Errorf("server: encode frame %d: %w", i, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("server: finalize zip: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCapture parses an upload archive back into a capture session.
+// Frames lose their ground-truth poses (those travel in truth.json and are
+// reattached by interpolation for evaluation).
+func DecodeCapture(data []byte) (*crowd.Capture, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("server: open archive: %w", err)
+	}
+	files := make(map[string]*zip.File, len(zr.File))
+	for _, f := range zr.File {
+		files[f.Name] = f
+	}
+	var meta captureMeta
+	if err := readJSON(files, "meta.json", &meta); err != nil {
+		return nil, err
+	}
+	var imu []sensor.Sample
+	if err := readJSON(files, "imu.json", &imu); err != nil {
+		return nil, err
+	}
+	var truth []truthSample
+	if err := readJSON(files, "truth.json", &truth); err != nil {
+		return nil, err
+	}
+	c := &crowd.Capture{
+		ID: meta.ID, UserID: meta.UserID, Kind: crowd.Kind(meta.Kind), Night: meta.Night,
+		FPS: meta.FPS, RoomID: meta.RoomID, StepLengthEst: meta.StepLengthEst,
+		Camera: world.Camera{FOV: meta.Camera.FOV, W: meta.Camera.W, H: meta.Camera.H, Pitch: meta.Camera.Pitch},
+		Geo:    meta.Geo,
+		IMU:    imu,
+	}
+	for _, ts := range truth {
+		c.Truth = append(c.Truth, sensor.MotionSample{
+			T: ts.T, Pos: geom.P(ts.X, ts.Y), Heading: ts.Heading, Walking: ts.Walking,
+		})
+	}
+	// Frames in index order.
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("frames/%04d.png", i)
+		zf, ok := files[name]
+		if !ok {
+			break
+		}
+		rc, err := zf.Open()
+		if err != nil {
+			return nil, fmt.Errorf("server: open %s: %w", name, err)
+		}
+		decoded, err := png.Decode(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("server: decode %s: %w", name, err)
+		}
+		if i >= len(meta.FrameTimes) {
+			return nil, fmt.Errorf("server: frame %d has no timestamp", i)
+		}
+		vf := crowd.VideoFrame{T: meta.FrameTimes[i], Image: fromImage(decoded)}
+		if pose, err := c.TruthPoseAt(vf.T); err == nil {
+			vf.TruthPose = pose
+		}
+		c.Frames = append(c.Frames, vf)
+	}
+	if len(c.Frames) == 0 {
+		return nil, fmt.Errorf("server: archive %s contains no frames", meta.ID)
+	}
+	if len(c.Frames) != len(meta.FrameTimes) {
+		return nil, fmt.Errorf("server: %d frames but %d timestamps", len(c.Frames), len(meta.FrameTimes))
+	}
+	return c, nil
+}
+
+func writeJSON(zw *zip.Writer, name string, v interface{}) error {
+	w, err := zw.Create(name)
+	if err != nil {
+		return fmt.Errorf("server: zip %s: %w", name, err)
+	}
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("server: encode %s: %w", name, err)
+	}
+	return nil
+}
+
+func readJSON(files map[string]*zip.File, name string, v interface{}) error {
+	zf, ok := files[name]
+	if !ok {
+		return fmt.Errorf("server: archive missing %s", name)
+	}
+	rc, err := zf.Open()
+	if err != nil {
+		return fmt.Errorf("server: open %s: %w", name, err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return fmt.Errorf("server: read %s: %w", name, err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: parse %s: %w", name, err)
+	}
+	return nil
+}
+
+// toImage converts a float RGB plane to an 8-bit image.
+func toImage(m *img.RGB) *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			r, g, b := m.At(x, y)
+			out.SetRGBA(x, y, color.RGBA{
+				R: to8(r), G: to8(g), B: to8(b), A: 255,
+			})
+		}
+	}
+	return out
+}
+
+// fromImage converts any decoded image to float RGB planes.
+func fromImage(src image.Image) *img.RGB {
+	b := src.Bounds()
+	out := img.NewRGB(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bb, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.Set(x, y, float64(r)/65535, float64(g)/65535, float64(bb)/65535)
+		}
+	}
+	return out
+}
+
+func to8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}

@@ -1,0 +1,258 @@
+// Package crowd simulates the crowdsourcing population of CrowdMap's
+// mobile front-end: untrained users carrying heterogeneous phones who
+// execute the paper's two data-gathering micro-tasks — Stay-Rotate-Stay
+// (SRS, spin in place recording a room) and Stay-Walk-Stay (SWS, walk a
+// hallway segment recording forward) — plus the Task-1 geo-spatial
+// annotation. The generator reproduces the shape of the paper's dataset:
+// many capture sessions by many users, at different times of day, with
+// per-user gait, camera and sensor-noise variation.
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/world"
+)
+
+// User is one simulated contributor.
+type User struct {
+	ID      string
+	Sensors sensor.Config
+	Camera  world.Camera
+	// Night is true when this user records at night (paper Fig. 7b mixes
+	// day and night capture pools).
+	Night bool
+	// TurnRate is how fast the user rotates in place, rad/s.
+	TurnRate float64
+}
+
+// Lighting returns the capture lighting condition for the user.
+func (u *User) Lighting() world.Lighting {
+	if u.Night {
+		return world.Night()
+	}
+	return world.Daylight()
+}
+
+// NewPopulation draws n users with realistic variation: step length from a
+// height model, cadence, sensor quality and night-capture preference.
+// nightFraction of users (rounded down) record at night.
+func NewPopulation(n int, nightFraction float64, rng *rand.Rand) ([]*User, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("crowd: population size must be positive, got %d", n)
+	}
+	if nightFraction < 0 || nightFraction > 1 {
+		return nil, fmt.Errorf("crowd: night fraction %g outside [0, 1]", nightFraction)
+	}
+	users := make([]*User, n)
+	nNight := int(float64(n) * nightFraction)
+	for i := range users {
+		cfg := sensor.DefaultConfig()
+		// Height-driven true step length; the on-device estimate uses the
+		// population model and is therefore systematically off per user.
+		cfg.StepLength = mathx.Clamp(mathx.Gaussian(rng, 0.70, 0.05), 0.55, 0.90)
+		cfg.StepLengthEst = mathx.Clamp(cfg.StepLength*mathx.Gaussian(rng, 1.0, 0.04), 0.5, 1.0)
+		cfg.StepFreq = mathx.Clamp(mathx.Gaussian(rng, 1.8, 0.15), 1.3, 2.4)
+		cfg.GyroBias = mathx.Gaussian(rng, 0, 0.01)
+		cfg.CompassNoiseStd = mathx.Clamp(mathx.Gaussian(rng, mathx.Deg2Rad(7), mathx.Deg2Rad(2)), mathx.Deg2Rad(2), mathx.Deg2Rad(15))
+		cam := world.DefaultCamera()
+		// Small per-user pitch variation from holding style.
+		cam.Pitch += mathx.Gaussian(rng, 0, mathx.Deg2Rad(1.5))
+		users[i] = &User{
+			ID:       fmt.Sprintf("user-%02d", i+1),
+			Sensors:  cfg,
+			Camera:   cam,
+			Night:    i < nNight,
+			TurnRate: mathx.Clamp(mathx.Gaussian(rng, mathx.Deg2Rad(45), mathx.Deg2Rad(8)), mathx.Deg2Rad(25), mathx.Deg2Rad(70)),
+		}
+	}
+	// Shuffle so night users are not clustered by index.
+	rng.Shuffle(n, func(i, j int) { users[i], users[j] = users[j], users[i] })
+	return users, nil
+}
+
+// Kind labels a capture session's task structure.
+type Kind int
+
+const (
+	// KindSWS is a Stay-Walk-Stay hallway capture.
+	KindSWS Kind = iota + 1
+	// KindSRS is a Stay-Rotate-Stay in-place spin capture.
+	KindSRS
+	// KindVisit is the paper's example session: SRS inside a room followed
+	// by an SWS walk out the door into the hallway.
+	KindVisit
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSWS:
+		return "SWS"
+	case KindSRS:
+		return "SRS"
+	case KindVisit:
+		return "Visit"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// VideoFrame is one timestamped frame of a sensor-rich video.
+type VideoFrame struct {
+	T     float64
+	Image *img.RGB
+	// TruthPose is the ground-truth camera pose, retained for evaluation
+	// only — the pipeline never reads it.
+	TruthPose world.Pose
+}
+
+// GeoTag is the Task-1 geo-spatial annotation: coarse building location
+// (last GPS fix, possibly hand-corrected) and floor number.
+type GeoTag struct {
+	Building string
+	Floor    int
+	// GPS is the noisy building-level fix in the building's local frame.
+	GPS geom.Pt
+}
+
+// Capture is one uploaded sensor-rich video session.
+type Capture struct {
+	ID     string
+	UserID string
+	Kind   Kind
+	Night  bool
+	Geo    GeoTag
+	FPS    float64
+	Frames []VideoFrame
+	IMU    []sensor.Sample
+	Camera world.Camera
+	// StepLengthEst is the device-profile step length estimate shipped
+	// with the upload; dead reckoning multiplies step counts by it.
+	StepLengthEst float64
+	// RoomID is set for SRS/Visit captures: the room being recorded
+	// (evaluation bookkeeping; the pipeline does not read it).
+	RoomID string
+	// Truth is the ground-truth motion profile (evaluation only).
+	Truth []sensor.MotionSample
+}
+
+// TruthPoseAt interpolates the ground-truth pose at time t.
+func (c *Capture) TruthPoseAt(t float64) (world.Pose, error) {
+	if len(c.Truth) == 0 {
+		return world.Pose{}, fmt.Errorf("crowd: capture %s has no truth profile", c.ID)
+	}
+	if t <= c.Truth[0].T {
+		return world.Pose{Pos: c.Truth[0].Pos, Heading: c.Truth[0].Heading}, nil
+	}
+	for i := 1; i < len(c.Truth); i++ {
+		if c.Truth[i].T >= t {
+			a, b := c.Truth[i-1], c.Truth[i]
+			span := b.T - a.T
+			if span <= 0 {
+				return world.Pose{Pos: b.Pos, Heading: b.Heading}, nil
+			}
+			f := (t - a.T) / span
+			return world.Pose{
+				Pos:     a.Pos.Add(b.Pos.Sub(a.Pos).Scale(f)),
+				Heading: a.Heading + mathx.AngleDiff(b.Heading, a.Heading)*f,
+			}, nil
+		}
+	}
+	last := c.Truth[len(c.Truth)-1]
+	return world.Pose{Pos: last.Pos, Heading: last.Heading}, nil
+}
+
+// profileBuilder accumulates a ground-truth motion profile.
+type profileBuilder struct {
+	samples []sensor.MotionSample
+	t       float64
+	pos     geom.Pt
+	heading float64
+}
+
+func newProfileBuilder(start geom.Pt, heading float64) *profileBuilder {
+	pb := &profileBuilder{pos: start, heading: heading}
+	pb.emit(false)
+	return pb
+}
+
+func (pb *profileBuilder) emit(walking bool) {
+	pb.samples = append(pb.samples, sensor.MotionSample{
+		T: pb.t, Pos: pb.pos, Heading: pb.heading, Walking: walking,
+	})
+}
+
+// stay holds position for dur seconds.
+func (pb *profileBuilder) stay(dur float64) {
+	pb.t += dur
+	pb.emit(false)
+}
+
+// turnTo rotates in place toward the target heading at rate rad/s.
+func (pb *profileBuilder) turnTo(target, rate float64) {
+	diff := mathx.AngleDiff(target, pb.heading)
+	dur := math.Abs(diff) / rate
+	const step = 0.1
+	n := int(math.Ceil(dur / step))
+	for i := 1; i <= n; i++ {
+		pb.t += dur / float64(n)
+		pb.heading = mathx.NormalizeAngle(pb.heading + diff/float64(n))
+		pb.emit(false)
+	}
+}
+
+// spin rotates in place by the signed angle at rate rad/s (SRS core).
+func (pb *profileBuilder) spin(angle, rate float64) {
+	dur := math.Abs(angle) / rate
+	const step = 0.1
+	n := int(math.Ceil(dur / step))
+	if n == 0 {
+		return
+	}
+	for i := 1; i <= n; i++ {
+		pb.t += dur / float64(n)
+		pb.heading = mathx.NormalizeAngle(pb.heading + angle/float64(n))
+		pb.emit(false)
+	}
+}
+
+// walkTo walks in a straight line to the target at speed m/s, emitting
+// samples every ~0.2 s.
+func (pb *profileBuilder) walkTo(target geom.Pt, speed float64) {
+	dist := pb.pos.Dist(target)
+	if dist < 1e-9 {
+		return
+	}
+	pb.heading = target.Sub(pb.pos).Angle()
+	pb.emit(true)
+	dur := dist / speed
+	const step = 0.2
+	n := int(math.Ceil(dur / step))
+	start := pb.pos
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		pb.t += dur / float64(n)
+		pb.pos = start.Add(target.Sub(start).Scale(f))
+		walking := i < n
+		pb.emit(walking)
+	}
+}
+
+// followPath walks a polyline with smooth turns at waypoints.
+func (pb *profileBuilder) followPath(path []geom.Pt, speed, turnRate float64) {
+	for i := 1; i < len(path); i++ {
+		seg := path[i].Sub(path[i-1])
+		if seg.Norm() < 1e-9 {
+			continue
+		}
+		pb.turnTo(seg.Angle(), turnRate)
+		pb.walkTo(path[i], speed)
+	}
+}

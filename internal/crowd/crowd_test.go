@@ -1,0 +1,248 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/world"
+)
+
+func TestNewPopulationValidation(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	if _, err := NewPopulation(0, 0, rng); err == nil {
+		t.Error("zero users should error")
+	}
+	if _, err := NewPopulation(5, 1.5, rng); err == nil {
+		t.Error("night fraction > 1 should error")
+	}
+}
+
+func TestNewPopulationVariationAndNightFraction(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	users, err := NewPopulation(20, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 20 {
+		t.Fatalf("got %d users", len(users))
+	}
+	night := 0
+	stepLens := map[float64]bool{}
+	for _, u := range users {
+		if err := u.Sensors.Validate(); err != nil {
+			t.Errorf("user %s has invalid sensors: %v", u.ID, err)
+		}
+		if u.Night {
+			night++
+		}
+		stepLens[u.Sensors.StepLength] = true
+	}
+	if night != 6 {
+		t.Errorf("night users = %d, want 6", night)
+	}
+	if len(stepLens) < 15 {
+		t.Errorf("step lengths not varied: %d distinct", len(stepLens))
+	}
+}
+
+func TestPopulationDeterminism(t *testing.T) {
+	a, _ := NewPopulation(10, 0.5, mathx.NewRNG(7))
+	b, _ := NewPopulation(10, 0.5, mathx.NewRNG(7))
+	for i := range a {
+		if a[i].Sensors.StepLength != b[i].Sensors.StepLength || a[i].Night != b[i].Night {
+			t.Fatal("population generation must be deterministic per seed")
+		}
+	}
+}
+
+func TestUserLighting(t *testing.T) {
+	day := &User{}
+	night := &User{Night: true}
+	if day.Lighting() != world.Daylight() {
+		t.Error("day user should capture in daylight")
+	}
+	if night.Lighting() != world.Night() {
+		t.Error("night user should capture at night")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSWS.String() != "SWS" || KindSRS.String() != "SRS" || KindVisit.String() != "Visit" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func testUser(t *testing.T) *User {
+	t.Helper()
+	users, err := NewPopulation(1, 0, mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return users[0]
+}
+
+func TestSWSCapture(t *testing.T) {
+	b := world.Lab2()
+	gen, err := NewGenerator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := testUser(t)
+	rng := mathx.NewRNG(4)
+	c, err := gen.SWS("c1", u, geom.P(3, 7.5), geom.P(30, 7.5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindSWS || c.UserID != u.ID {
+		t.Error("capture metadata wrong")
+	}
+	if len(c.Frames) < 10 {
+		t.Fatalf("only %d frames", len(c.Frames))
+	}
+	if len(c.IMU) < 100 {
+		t.Fatalf("only %d IMU samples", len(c.IMU))
+	}
+	if c.Geo.Building != "Lab2" || c.Geo.Floor != 1 {
+		t.Error("geo tag wrong")
+	}
+	if c.StepLengthEst != u.Sensors.StepLengthEst {
+		t.Error("step length estimate not propagated")
+	}
+	// Truth poses stay walkable and end near the destination.
+	for _, f := range c.Frames {
+		if !b.Walkable(f.TruthPose.Pos) {
+			t.Fatalf("frame pose %v not walkable", f.TruthPose.Pos)
+		}
+	}
+	last := c.Truth[len(c.Truth)-1]
+	if last.Pos.Dist(geom.P(30, 7.5)) > 1.0 {
+		t.Errorf("walk ended at %v, want ≈(30, 7.5)", last.Pos)
+	}
+	// Detected steps should roughly match the distance walked.
+	steps := sensor.NewStepDetector().Detect(c.IMU)
+	wantSteps := 27.0 / u.Sensors.StepLength
+	if math.Abs(float64(len(steps))-wantSteps) > wantSteps*0.2 {
+		t.Errorf("steps = %d, want ≈%.0f", len(steps), wantSteps)
+	}
+}
+
+func TestSRSCaptureSpinsFullCircle(t *testing.T) {
+	b := world.Lab1()
+	gen, err := NewGenerator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := testUser(t)
+	room := b.Rooms[0]
+	c, err := gen.SRS("srs1", u, room.Bounds.Center(), room.ID, mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RoomID != room.ID {
+		t.Error("room ID not recorded")
+	}
+	// Gyro integration over the capture should read ≈380°.
+	got := sensor.RotationAngle(c.IMU)
+	if math.Abs(math.Abs(got)-mathx.Deg2Rad(380)) > mathx.Deg2Rad(25) {
+		t.Errorf("SRS rotation = %v°, want ≈380°", mathx.Rad2Deg(got))
+	}
+	// Frame headings must cover the full circle.
+	spans := make([]mathx.AngularSpan, len(c.Frames))
+	for i, f := range c.Frames {
+		spans[i] = mathx.NewAngularSpan(f.TruthPose.Heading, u.Camera.FOV)
+	}
+	if cover := mathx.CoverUnion(spans); cover < 2*math.Pi-1e-6 {
+		t.Errorf("frames cover only %v°", mathx.Rad2Deg(cover))
+	}
+	// Position stays put.
+	for _, f := range c.Frames {
+		if f.TruthPose.Pos.Dist(room.Bounds.Center()) > 1e-6 {
+			t.Fatal("SRS must not move")
+		}
+	}
+}
+
+func TestSRSRejectsUnwalkablePosition(t *testing.T) {
+	b := world.Lab1()
+	gen, _ := NewGenerator(b)
+	if _, err := gen.SRS("bad", testUser(t), geom.P(-5, -5), "", mathx.NewRNG(6)); err == nil {
+		t.Error("unwalkable SRS position should error")
+	}
+}
+
+func TestVisitCapture(t *testing.T) {
+	b := world.Lab2()
+	gen, err := NewGenerator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := testUser(t)
+	room := b.Rooms[2]
+	c, err := gen.Visit("v1", u, room, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindVisit || c.RoomID != room.ID {
+		t.Error("visit metadata wrong")
+	}
+	// Starts inside the room, ends in the hallway.
+	first := c.Truth[0].Pos
+	last := c.Truth[len(c.Truth)-1].Pos
+	if !room.Bounds.Contains(first) {
+		t.Errorf("visit starts at %v, outside %s", first, room.ID)
+	}
+	if !b.InHallway(last) {
+		t.Errorf("visit ends at %v, not in hallway", last)
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	spec := Spec{Users: 4, CorridorWalks: 3, RoomVisits: 2, NightFraction: 0.25, Seed: 11, FPS: 3}
+	ds, err := Generate(world.Lab2(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Captures) != 5 {
+		t.Fatalf("got %d captures", len(ds.Captures))
+	}
+	if ds.FrameCount() == 0 {
+		t.Fatal("no frames generated")
+	}
+	kinds := map[Kind]int{}
+	for _, c := range ds.Captures {
+		kinds[c.Kind]++
+	}
+	if kinds[KindSWS] != 3 || kinds[KindVisit] != 2 {
+		t.Errorf("capture mix = %v", kinds)
+	}
+	if _, err := Generate(world.Lab2(), Spec{}); err == nil {
+		t.Error("spec without users should error")
+	}
+}
+
+func TestTruthPoseAt(t *testing.T) {
+	c := &Capture{Truth: []sensor.MotionSample{
+		{T: 0, Pos: geom.P(0, 0), Heading: 0},
+		{T: 2, Pos: geom.P(4, 0), Heading: math.Pi / 2},
+	}}
+	p, err := c.TruthPoseAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pos.Dist(geom.P(2, 0)) > 1e-9 {
+		t.Errorf("interpolated pos = %v", p.Pos)
+	}
+	if math.Abs(p.Heading-math.Pi/4) > 1e-9 {
+		t.Errorf("interpolated heading = %v", p.Heading)
+	}
+	var empty Capture
+	if _, err := empty.TruthPoseAt(0); err == nil {
+		t.Error("empty truth should error")
+	}
+}

@@ -1,0 +1,265 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/world"
+)
+
+// Generator produces capture sessions in one building.
+type Generator struct {
+	b      *world.Building
+	router *world.Router
+	// FPS is the video frame rate of generated captures. Real phones
+	// record 30 fps; the pipeline's key-frame selection immediately thins
+	// that, so we synthesize at the post-thinning rate to spend rendering
+	// budget where it matters.
+	FPS float64
+}
+
+// NewGenerator builds a capture generator for a building.
+func NewGenerator(b *world.Building) (*Generator, error) {
+	router, err := world.NewRouter(b, 0.3)
+	if err != nil {
+		return nil, fmt.Errorf("crowd: building router: %w", err)
+	}
+	return &Generator{b: b, router: router, FPS: 4}, nil
+}
+
+// Building returns the generator's building.
+func (g *Generator) Building() *world.Building { return g.b }
+
+// randomHallwayPoint samples a uniformly random point inside the hallway,
+// biased away from walls by the margin.
+func (g *Generator) randomHallwayPoint(rng *rand.Rand, margin float64) geom.Pt {
+	// Area-weighted rect choice.
+	var total float64
+	for _, r := range g.b.HallwayRects {
+		total += r.Area()
+	}
+	pick := rng.Float64() * total
+	for _, r := range g.b.HallwayRects {
+		pick -= r.Area()
+		if pick <= 0 {
+			inner := geom.R(r.Min.X+margin, r.Min.Y+margin, r.Max.X-margin, r.Max.Y-margin)
+			if inner.W() <= 0 || inner.H() <= 0 {
+				inner = r
+			}
+			return geom.P(
+				inner.Min.X+rng.Float64()*inner.W(),
+				inner.Min.Y+rng.Float64()*inner.H(),
+			)
+		}
+	}
+	r := g.b.HallwayRects[len(g.b.HallwayRects)-1]
+	return r.Center()
+}
+
+// finishCapture renders frames along the truth profile and simulates the
+// IMU stream.
+func (g *Generator) finishCapture(c *Capture, u *User, profile []sensor.MotionSample, rng *rand.Rand) error {
+	imu, err := sensor.Simulate(profile, u.Sensors, mathx.SplitRNG(rng))
+	if err != nil {
+		return fmt.Errorf("crowd: IMU simulation for %s: %w", c.ID, err)
+	}
+	c.IMU = imu
+	c.Truth = profile
+	c.Camera = u.Camera
+	c.StepLengthEst = u.Sensors.StepLengthEst
+	renderer := world.NewRenderer(g.b, u.Camera)
+	light := u.Lighting()
+	frameRNG := mathx.SplitRNG(rng)
+	t0 := profile[0].T
+	t1 := profile[len(profile)-1].T
+	for t := t0; t <= t1+1e-9; t += 1 / g.FPS {
+		pose, err := c.TruthPoseAt(t)
+		if err != nil {
+			return err
+		}
+		c.Frames = append(c.Frames, VideoFrame{
+			T:         t,
+			Image:     renderer.Render(pose, light, frameRNG),
+			TruthPose: pose,
+		})
+	}
+	// Task-1 geo tag: coarse GPS fix near the building with tens-of-meters
+	// error, optionally hand-corrected (we keep the raw noisy fix).
+	c.Geo = GeoTag{
+		Building: g.b.Name,
+		Floor:    1,
+		GPS:      g.b.Outline.Center().Add(geom.P(rng.NormFloat64()*8, rng.NormFloat64()*8)),
+	}
+	return nil
+}
+
+// SWS generates a Stay-Walk-Stay hallway capture between two hallway
+// points (random when from == to == zero value).
+func (g *Generator) SWS(id string, u *User, from, to geom.Pt, rng *rand.Rand) (*Capture, error) {
+	if from == (geom.Pt{}) && to == (geom.Pt{}) {
+		from = g.randomHallwayPoint(rng, 0.35)
+		for tries := 0; ; tries++ {
+			to = g.randomHallwayPoint(rng, 0.35)
+			if to.Dist(from) > 8 || tries > 50 {
+				break
+			}
+		}
+	}
+	path, err := g.router.Plan(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("crowd: SWS route: %w", err)
+	}
+	speed := u.Sensors.StepFreq * u.Sensors.StepLength
+	pb := newProfileBuilder(path[0], initialHeading(path))
+	pb.stay(1.0)
+	pb.followPath(path, speed, u.TurnRate)
+	pb.stay(1.0)
+	c := &Capture{ID: id, UserID: u.ID, Kind: KindSWS, Night: u.Night, FPS: g.FPS}
+	if err := g.finishCapture(c, u, pb.samples, rng); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SRS generates a Stay-Rotate-Stay capture: the user stands at pos and
+// spins a bit more than a full turn, as the paper's room-recording task
+// prescribes.
+func (g *Generator) SRS(id string, u *User, pos geom.Pt, roomID string, rng *rand.Rand) (*Capture, error) {
+	if !g.b.Walkable(pos) {
+		return nil, fmt.Errorf("crowd: SRS position %v not walkable in %s", pos, g.b.Name)
+	}
+	start := rng.Float64() * 2 * math.Pi
+	pb := newProfileBuilder(pos, start)
+	pb.stay(1.0)
+	pb.spin(2*math.Pi+mathx.Deg2Rad(20), u.TurnRate)
+	pb.stay(1.0)
+	c := &Capture{ID: id, UserID: u.ID, Kind: KindSRS, Night: u.Night, FPS: g.FPS, RoomID: roomID}
+	if err := g.finishCapture(c, u, pb.samples, rng); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Visit generates the paper's example session: SRS at a point inside the
+// room, then a walk out the door and along the hallway for a few meters.
+func (g *Generator) Visit(id string, u *User, room world.Room, rng *rand.Rand) (*Capture, error) {
+	// Stand near the room center with a little variation.
+	center := room.Bounds.Center()
+	stand := center.Add(geom.P(rng.NormFloat64()*0.3, rng.NormFloat64()*0.3))
+	if !room.Bounds.Contains(stand) {
+		stand = center
+	}
+	// Walk well into the hallway after the spin so the trajectory shares
+	// enough path with corridor walks for aggregation to anchor the room.
+	door := world.DoorApproach(g.b, room)
+	hall := g.randomHallwayPoint(rng, 0.35)
+	for tries := 0; hall.Dist(door) < 10 && tries < 50; tries++ {
+		hall = g.randomHallwayPoint(rng, 0.35)
+	}
+	path, err := g.router.Plan(stand, hall)
+	if err != nil {
+		return nil, fmt.Errorf("crowd: visit route from %s: %w", room.ID, err)
+	}
+	speed := u.Sensors.StepFreq * u.Sensors.StepLength
+	start := rng.Float64() * 2 * math.Pi
+	pb := newProfileBuilder(stand, start)
+	pb.stay(1.0)
+	pb.spin(2*math.Pi+mathx.Deg2Rad(20), u.TurnRate)
+	pb.stay(0.8)
+	pb.followPath(path, speed, u.TurnRate)
+	pb.stay(1.0)
+	c := &Capture{ID: id, UserID: u.ID, Kind: KindVisit, Night: u.Night, FPS: g.FPS, RoomID: room.ID}
+	if err := g.finishCapture(c, u, pb.samples, rng); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func initialHeading(path []geom.Pt) float64 {
+	for i := 1; i < len(path); i++ {
+		d := path[i].Sub(path[i-1])
+		if d.Norm() > 1e-9 {
+			return d.Angle()
+		}
+	}
+	return 0
+}
+
+// Spec sizes a synthetic dataset for one building.
+type Spec struct {
+	Users         int
+	CorridorWalks int     // number of SWS hallway captures
+	RoomVisits    int     // number of Visit captures, rooms round-robin
+	NightFraction float64 // fraction of users capturing at night
+	Seed          int64
+	FPS           float64 // 0 selects the generator default
+}
+
+// DefaultSpec mirrors the paper's per-building workload at simulation
+// scale.
+func DefaultSpec(seed int64) Spec {
+	return Spec{Users: 25, CorridorWalks: 40, RoomVisits: 30, NightFraction: 0.3, Seed: seed}
+}
+
+// Dataset is the crowdsourced corpus for one building.
+type Dataset struct {
+	Building *world.Building
+	Users    []*User
+	Captures []*Capture
+}
+
+// Generate builds a full dataset per the spec. Captures cycle through the
+// user population; room visits cycle through rooms so every room is
+// eventually recorded.
+func Generate(b *world.Building, spec Spec) (*Dataset, error) {
+	if spec.Users <= 0 {
+		return nil, fmt.Errorf("crowd: spec needs at least one user")
+	}
+	rng := mathx.NewRNG(spec.Seed)
+	users, err := NewPopulation(spec.Users, spec.NightFraction, rng)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := NewGenerator(b)
+	if err != nil {
+		return nil, err
+	}
+	if spec.FPS > 0 {
+		gen.FPS = spec.FPS
+	}
+	ds := &Dataset{Building: b, Users: users}
+	seq := 0
+	for i := 0; i < spec.CorridorWalks; i++ {
+		u := users[seq%len(users)]
+		c, err := gen.SWS(fmt.Sprintf("%s-sws-%03d", b.Name, i+1), u, geom.Pt{}, geom.Pt{}, rng)
+		if err != nil {
+			return nil, err
+		}
+		ds.Captures = append(ds.Captures, c)
+		seq++
+	}
+	for i := 0; i < spec.RoomVisits; i++ {
+		u := users[seq%len(users)]
+		room := b.Rooms[i%len(b.Rooms)]
+		c, err := gen.Visit(fmt.Sprintf("%s-visit-%03d", b.Name, i+1), u, room, rng)
+		if err != nil {
+			return nil, err
+		}
+		ds.Captures = append(ds.Captures, c)
+		seq++
+	}
+	return ds, nil
+}
+
+// FrameCount returns the total number of video frames in the dataset.
+func (d *Dataset) FrameCount() int {
+	n := 0
+	for _, c := range d.Captures {
+		n += len(c.Frames)
+	}
+	return n
+}

@@ -1,0 +1,310 @@
+// Package eval implements the paper's evaluation metrics: hallway shape
+// precision/recall/F-measure against ground truth (Table I), room area /
+// aspect-ratio / location errors (Fig. 8), and trajectory-aggregation
+// matching accuracy (Fig. 7a). Reconstructions live in a frame that shares
+// orientation with ground truth (the compass anchors absolute heading) but
+// not origin, so metrics align by translation search first — the paper's
+// "overlaid onto the ground truth to achieve maximum cover area".
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/world"
+)
+
+// Occupancy is a point-set membership predicate over the plane.
+type Occupancy func(p geom.Pt) bool
+
+// TruthHallway adapts a building's hallway rectangles.
+func TruthHallway(b *world.Building) Occupancy {
+	return b.InHallway
+}
+
+// MaskOccupancy adapts a reconstructed hallway mask, offset by off.
+func MaskOccupancy(plan *floorplan.Plan, off geom.Pt) Occupancy {
+	return func(p geom.Pt) bool {
+		if plan.HallwayMask == nil {
+			return false
+		}
+		q := p.Sub(off)
+		ix := int((q.X - plan.HallwayMask.Bounds.Min.X) / plan.HallwayMask.Res)
+		iy := int((q.Y - plan.HallwayMask.Bounds.Min.Y) / plan.HallwayMask.Res)
+		return plan.HallwayMask.At(ix, iy)
+	}
+}
+
+// PRF holds precision, recall and F-measure.
+type PRF struct {
+	Precision, Recall, F float64
+}
+
+// String implements fmt.Stringer.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.1f%% R=%.1f%% F=%.1f%%", m.Precision*100, m.Recall*100, m.F*100)
+}
+
+// ShapePRF computes area precision/recall/F of a generated shape against
+// truth by sampling the region at the given resolution: precision is the
+// generated area overlapping truth over generated area; recall over truth
+// area (paper equations 3–5).
+func ShapePRF(gen, truth Occupancy, region geom.Rect, res float64) (PRF, error) {
+	if res <= 0 {
+		return PRF{}, fmt.Errorf("eval: resolution must be positive, got %g", res)
+	}
+	var genArea, truthArea, interArea float64
+	for y := region.Min.Y + res/2; y < region.Max.Y; y += res {
+		for x := region.Min.X + res/2; x < region.Max.X; x += res {
+			p := geom.P(x, y)
+			g := gen(p)
+			t := truth(p)
+			if g {
+				genArea++
+			}
+			if t {
+				truthArea++
+			}
+			if g && t {
+				interArea++
+			}
+		}
+	}
+	if genArea == 0 || truthArea == 0 {
+		return PRF{}, fmt.Errorf("eval: empty shape (gen=%v truth=%v cells)", genArea, truthArea)
+	}
+	m := PRF{
+		Precision: interArea / genArea,
+		Recall:    interArea / truthArea,
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m, nil
+}
+
+// AlignTranslation finds the translation of the generated occupancy that
+// maximizes overlap with truth, searching a coarse-to-fine grid within
+// ±searchRadius. It returns the best offset (apply to generated points).
+func AlignTranslation(gen, truth Occupancy, region geom.Rect, init geom.Pt, searchRadius float64) geom.Pt {
+	best := init
+	overlapAt := func(off geom.Pt, res float64) float64 {
+		var inter float64
+		for y := region.Min.Y + res/2; y < region.Max.Y; y += res {
+			for x := region.Min.X + res/2; x < region.Max.X; x += res {
+				p := geom.P(x, y)
+				if truth(p) && gen(p.Sub(off)) {
+					inter++
+				}
+			}
+		}
+		return inter
+	}
+	// Coarse-to-fine: 1 m, 0.5 m, 0.25 m steps around the running best,
+	// with the overlap sampled at the same granularity as the step so each
+	// refinement level can actually resolve its own improvements.
+	radius := searchRadius
+	for _, step := range []float64{1.0, 0.5, 0.25} {
+		bestScore := -1.0
+		center := best
+		for dy := -radius; dy <= radius+1e-9; dy += step {
+			for dx := -radius; dx <= radius+1e-9; dx += step {
+				off := center.Add(geom.P(dx, dy))
+				s := overlapAt(off, step)
+				if s > bestScore {
+					bestScore = s
+					best = off
+				}
+			}
+		}
+		radius = step
+	}
+	return best
+}
+
+// HallwayShapeScore aligns a reconstructed plan to the building's hallway
+// and returns the paper's Table I metrics. The alignment offset is also
+// returned so room-location metrics can reuse it.
+func HallwayShapeScore(plan *floorplan.Plan, b *world.Building, res float64) (PRF, geom.Pt, error) {
+	if plan.HallwayMask == nil {
+		return PRF{}, geom.Pt{}, fmt.Errorf("eval: plan has no hallway mask")
+	}
+	region := b.Outline.Expand(2)
+	// Seed with the centroid difference: the reconstruction's frame is
+	// anchored at an arbitrary trajectory start, so the required offset can
+	// be tens of meters.
+	var genCentroid geom.Pt
+	pts := plan.HallwayMask.TruePoints()
+	if len(pts) == 0 {
+		return PRF{}, geom.Pt{}, fmt.Errorf("eval: hallway mask empty")
+	}
+	for _, p := range pts {
+		genCentroid = genCentroid.Add(p)
+	}
+	genCentroid = genCentroid.Scale(1 / float64(len(pts)))
+	var truthCentroid geom.Pt
+	var n float64
+	for _, h := range b.HallwayRects {
+		truthCentroid = truthCentroid.Add(h.Center().Scale(h.Area()))
+		n += h.Area()
+	}
+	truthCentroid = truthCentroid.Scale(1 / n)
+	init := truthCentroid.Sub(genCentroid)
+	genRaw := func(p geom.Pt) bool { return MaskOccupancy(plan, geom.Pt{})(p) }
+	off := AlignTranslation(genRaw, TruthHallway(b), region, init, 8)
+	// The paper "manually cut[s] off the part of the skeleton that belongs
+	// to the room path" before scoring; we reproduce that cut by excluding
+	// generated cells that fall inside ground-truth rooms.
+	aligned := MaskOccupancy(plan, off)
+	genCut := func(p geom.Pt) bool {
+		if !aligned(p) {
+			return false
+		}
+		_, inRoom := b.RoomAt(p)
+		return !inRoom
+	}
+	prf, err := ShapePRF(genCut, TruthHallway(b), region, res)
+	if err != nil {
+		return PRF{}, geom.Pt{}, err
+	}
+	return prf, off, nil
+}
+
+// RoomErrors holds the per-room metrics of Fig. 8.
+type RoomErrors struct {
+	RoomID string
+	// AreaError is |areaGen − areaTrue| / areaTrue.
+	AreaError float64
+	// AspectError is |aspectGen − aspectTrue| / aspectTrue.
+	AspectError float64
+	// LocationError is the distance between placed and true centers after
+	// global alignment, meters.
+	LocationError float64
+}
+
+// ScoreRooms compares placed rooms against ground truth by room ID, using
+// the global alignment offset from the hallway score.
+func ScoreRooms(rooms []floorplan.Room, b *world.Building, off geom.Pt) ([]RoomErrors, error) {
+	byID := make(map[string]world.Room, len(b.Rooms))
+	for _, r := range b.Rooms {
+		byID[r.ID] = r
+	}
+	var out []RoomErrors
+	for _, r := range rooms {
+		truth, ok := byID[r.ID]
+		if !ok {
+			return nil, fmt.Errorf("eval: no ground-truth room %q in %s", r.ID, b.Name)
+		}
+		genArea := r.Width * r.Length
+		genAspect := math.Max(r.Width, r.Length) / math.Min(r.Width, r.Length)
+		e := RoomErrors{
+			RoomID:        r.ID,
+			AreaError:     math.Abs(genArea-truth.Area()) / truth.Area(),
+			AspectError:   math.Abs(genAspect-truth.AspectRatio()) / truth.AspectRatio(),
+			LocationError: r.Center.Add(off).Dist(truth.Center()),
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// MeanAreaError averages the area errors.
+func MeanAreaError(es []RoomErrors) float64 {
+	if len(es) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range es {
+		s += e.AreaError
+	}
+	return s / float64(len(es))
+}
+
+// MeanAspectError averages the aspect-ratio errors.
+func MeanAspectError(es []RoomErrors) float64 {
+	if len(es) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range es {
+		s += e.AspectError
+	}
+	return s / float64(len(es))
+}
+
+// MeanLocationError averages the location errors.
+func MeanLocationError(es []RoomErrors) float64 {
+	if len(es) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range es {
+		s += e.LocationError
+	}
+	return s / float64(len(es))
+}
+
+// PairTruth describes the ground truth for one trajectory-pair merge
+// decision: whether the pair genuinely shares path, and the true relative
+// translation between the two local frames when it does.
+type PairTruth struct {
+	Overlaps        bool
+	TrueTranslation geom.Pt
+}
+
+// PairDecision is a system's output for one pair.
+type PairDecision struct {
+	Merged      bool
+	Translation geom.Pt
+}
+
+// MatchingAccuracy computes the Fig. 7a metric: the fraction of pair
+// decisions that are correct. A merge is correct when the pair truly
+// overlaps and the translation is within tol meters of truth; a reject is
+// correct when the pair truly does not overlap. Rejecting an overlapping
+// pair or merging with a wrong translation is an error.
+func MatchingAccuracy(truths []PairTruth, decisions []PairDecision, tol float64) (float64, error) {
+	if len(truths) != len(decisions) {
+		return 0, fmt.Errorf("eval: %d truths vs %d decisions", len(truths), len(decisions))
+	}
+	if len(truths) == 0 {
+		return 0, fmt.Errorf("eval: no pair decisions to score")
+	}
+	correct := 0
+	for i, tr := range truths {
+		d := decisions[i]
+		switch {
+		case d.Merged && tr.Overlaps && d.Translation.Dist(tr.TrueTranslation) <= tol:
+			correct++
+		case !d.Merged && !tr.Overlaps:
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truths)), nil
+}
+
+// AggregationErrorRate is 1 − accuracy restricted to merged pairs: the
+// fraction of performed merges that used a wrong translation or joined
+// unrelated trajectories (the Fig. 7b metric).
+func AggregationErrorRate(truths []PairTruth, decisions []PairDecision, tol float64) (float64, error) {
+	if len(truths) != len(decisions) {
+		return 0, fmt.Errorf("eval: %d truths vs %d decisions", len(truths), len(decisions))
+	}
+	merged, wrong := 0, 0
+	for i, tr := range truths {
+		d := decisions[i]
+		if !d.Merged {
+			continue
+		}
+		merged++
+		if !tr.Overlaps || d.Translation.Dist(tr.TrueTranslation) > tol {
+			wrong++
+		}
+	}
+	if merged == 0 {
+		return 0, fmt.Errorf("eval: no merges performed")
+	}
+	return float64(wrong) / float64(merged), nil
+}

@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/gridmap"
+	"crowdmap/internal/layout"
+	"crowdmap/internal/world"
+)
+
+func rectOcc(r geom.Rect) Occupancy {
+	return func(p geom.Pt) bool { return r.Contains(p) }
+}
+
+func TestShapePRFPerfect(t *testing.T) {
+	r := geom.R(0, 0, 10, 2)
+	m, err := ShapePRF(rectOcc(r), rectOcc(r), r.Expand(2), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision < 0.999 || m.Recall < 0.999 || m.F < 0.999 {
+		t.Errorf("perfect overlap scored %v", m)
+	}
+}
+
+func TestShapePRFPartial(t *testing.T) {
+	truth := geom.R(0, 0, 10, 2)
+	gen := geom.R(0, 0, 5, 2) // half coverage, fully inside
+	m, err := ShapePRF(rectOcc(gen), rectOcc(truth), truth.Expand(2), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Precision-1) > 0.02 {
+		t.Errorf("precision = %v, want ≈1", m.Precision)
+	}
+	if math.Abs(m.Recall-0.5) > 0.03 {
+		t.Errorf("recall = %v, want ≈0.5", m.Recall)
+	}
+	wantF := 2 * 1 * 0.5 / 1.5
+	if math.Abs(m.F-wantF) > 0.03 {
+		t.Errorf("F = %v, want ≈%v", m.F, wantF)
+	}
+}
+
+func TestShapePRFValidation(t *testing.T) {
+	r := geom.R(0, 0, 1, 1)
+	if _, err := ShapePRF(rectOcc(r), rectOcc(r), r, 0); err == nil {
+		t.Error("zero resolution should error")
+	}
+	empty := func(geom.Pt) bool { return false }
+	if _, err := ShapePRF(empty, rectOcc(r), r.Expand(1), 0.25); err == nil {
+		t.Error("empty generated shape should error")
+	}
+}
+
+func TestAlignTranslationRecoversOffset(t *testing.T) {
+	truth := geom.R(0, 0, 10, 3)
+	trueOff := geom.P(2.5, -1.25)
+	gen := func(p geom.Pt) bool { return truth.Contains(p.Add(trueOff)) }
+	got := AlignTranslation(gen, rectOcc(truth), truth.Expand(4), geom.Pt{}, 5)
+	if got.Dist(trueOff) > 0.6 {
+		t.Errorf("alignment offset = %v, want ≈%v", got, trueOff)
+	}
+}
+
+func TestPRFString(t *testing.T) {
+	s := PRF{Precision: 0.875, Recall: 0.933, F: 0.903}.String()
+	if s != "P=87.5% R=93.3% F=90.3%" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// planFromTruth builds a plan whose hallway mask exactly matches the
+// building's hallway, shifted by off.
+func planFromTruth(t *testing.T, b *world.Building, off geom.Pt) *floorplan.Plan {
+	t.Helper()
+	bounds := b.Outline.Expand(2)
+	grid, err := gridmap.New(geom.R(
+		bounds.Min.X+off.X, bounds.Min.Y+off.Y,
+		bounds.Max.X+off.X, bounds.Max.Y+off.Y), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := grid.Binarize(0)
+	for iy := 0; iy < mask.H; iy++ {
+		for ix := 0; ix < mask.W; ix++ {
+			c := mask.CenterOf(ix, iy)
+			if b.InHallway(c.Sub(off)) {
+				mask.Cells[iy*mask.W+ix] = true
+			}
+		}
+	}
+	return &floorplan.Plan{Building: b.Name, HallwayMask: mask}
+}
+
+func TestHallwayShapeScorePerfectShiftedPlan(t *testing.T) {
+	b := world.Lab2()
+	shift := geom.P(-13, 4) // plan frame = truth frame + shift
+	plan := planFromTruth(t, b, shift)
+	prf, off, err := HallwayShapeScore(plan, b, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prf.F < 0.93 {
+		t.Errorf("perfect shifted plan scored %v", prf)
+	}
+	// The alignment offset maps plan coordinates back to truth: −shift.
+	if off.Dist(shift.Scale(-1)) > 0.6 {
+		t.Errorf("recovered offset %v, want %v", off, shift.Scale(-1))
+	}
+}
+
+func TestHallwayShapeScoreNoMask(t *testing.T) {
+	if _, _, err := HallwayShapeScore(&floorplan.Plan{}, world.Lab2(), 0.25); err == nil {
+		t.Error("plan without mask should error")
+	}
+}
+
+func TestScoreRooms(t *testing.T) {
+	b := world.Lab2()
+	truth := b.Rooms[0] // 6 × 6.3
+	rooms := []floorplan.Room{{
+		ID:     truth.ID,
+		Center: truth.Center().Add(geom.P(0.5, 0)),
+		Width:  truth.Bounds.W() * 1.1, // 10% wider
+		Length: truth.Bounds.H(),
+	}}
+	es, err := ScoreRooms(rooms, b, geom.Pt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("%d errors", len(es))
+	}
+	if math.Abs(es[0].AreaError-0.1) > 1e-9 {
+		t.Errorf("area error = %v, want 0.10", es[0].AreaError)
+	}
+	if math.Abs(es[0].LocationError-0.5) > 1e-9 {
+		t.Errorf("location error = %v, want 0.5", es[0].LocationError)
+	}
+	if es[0].AspectError <= 0 {
+		t.Errorf("aspect error = %v, want > 0", es[0].AspectError)
+	}
+	// Unknown room id.
+	if _, err := ScoreRooms([]floorplan.Room{{ID: "nope"}}, b, geom.Pt{}); err == nil {
+		t.Error("unknown room should error")
+	}
+}
+
+func TestMeanErrorHelpers(t *testing.T) {
+	es := []RoomErrors{
+		{AreaError: 0.1, AspectError: 0.2, LocationError: 1},
+		{AreaError: 0.3, AspectError: 0.4, LocationError: 3},
+	}
+	if got := MeanAreaError(es); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("MeanAreaError = %v", got)
+	}
+	if got := MeanAspectError(es); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MeanAspectError = %v", got)
+	}
+	if got := MeanLocationError(es); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MeanLocationError = %v", got)
+	}
+	if MeanAreaError(nil) != 0 || MeanAspectError(nil) != 0 || MeanLocationError(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+}
+
+func TestMatchingAccuracy(t *testing.T) {
+	truths := []PairTruth{
+		{Overlaps: true, TrueTranslation: geom.P(1, 0)},
+		{Overlaps: true, TrueTranslation: geom.P(0, 2)},
+		{Overlaps: false},
+		{Overlaps: false},
+	}
+	decisions := []PairDecision{
+		{Merged: true, Translation: geom.P(1.1, 0)}, // correct merge
+		{Merged: true, Translation: geom.P(5, 5)},   // wrong translation
+		{Merged: false}, // correct reject
+		{Merged: true, Translation: geom.P(0, 0)}, // false merge
+	}
+	acc, err := MatchingAccuracy(truths, decisions, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-0.5) > 1e-12 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+	if _, err := MatchingAccuracy(truths, decisions[:2], 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := MatchingAccuracy(nil, nil, 1); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestAggregationErrorRate(t *testing.T) {
+	truths := []PairTruth{
+		{Overlaps: true, TrueTranslation: geom.P(1, 0)},
+		{Overlaps: true, TrueTranslation: geom.P(2, 0)},
+		{Overlaps: false},
+	}
+	decisions := []PairDecision{
+		{Merged: true, Translation: geom.P(1, 0)}, // good merge
+		{Merged: false}, // missed (not counted)
+		{Merged: true, Translation: geom.P(9, 9)}, // bad merge
+	}
+	rate, err := AggregationErrorRate(truths, decisions, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-0.5) > 1e-12 {
+		t.Errorf("error rate = %v, want 0.5", rate)
+	}
+	none := []PairDecision{{Merged: false}, {Merged: false}, {Merged: false}}
+	if _, err := AggregationErrorRate(truths, none, 1); err == nil {
+		t.Error("no merges should error")
+	}
+}
+
+func TestScoreRoomsUsesLayoutAwareDims(t *testing.T) {
+	// A room reconstructed with swapped width/length still scores the same
+	// aspect ratio (long/short).
+	b := world.Lab1()
+	truth := b.Rooms[0]
+	r := floorplan.Room{
+		ID: truth.ID, Center: truth.Center(),
+		Width: truth.Bounds.H(), Length: truth.Bounds.W(),
+		Layout: layout.Layout{},
+	}
+	es, err := ScoreRooms([]floorplan.Room{r}, b, geom.Pt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0].AspectError > 1e-9 {
+		t.Errorf("swapped dims should have zero aspect error, got %v", es[0].AspectError)
+	}
+	if es[0].AreaError > 1e-9 {
+		t.Errorf("swapped dims should have zero area error, got %v", es[0].AreaError)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"crowdmap/internal/world"
+)
+
+// The experiment entry points are exercised at smoke scale: these tests
+// assert structure and the paper's qualitative shapes, not absolute
+// numbers (cmd/experiments runs the full versions).
+
+func quickSuite() *Suite {
+	return NewSuite(Options{Quick: true, Seed: 7})
+}
+
+func TestSpecScalesWithBuilding(t *testing.T) {
+	s := NewSuite(DefaultOptions())
+	lab2 := s.spec(world.Lab2(), 1)
+	lab1 := s.spec(world.Lab1(), 1)
+	if lab1.CorridorWalks <= lab2.CorridorWalks {
+		t.Errorf("Lab1 (bigger hallway) should get more walks: %d vs %d",
+			lab1.CorridorWalks, lab2.CorridorWalks)
+	}
+	if lab1.RoomVisits < len(world.Lab1().Rooms) {
+		t.Errorf("every room should be visited at least once: %d visits for %d rooms",
+			lab1.RoomVisits, len(world.Lab1().Rooms))
+	}
+}
+
+func TestRenderTruthASCII(t *testing.T) {
+	art := renderTruthASCII(world.Lab2(), 0.8)
+	if !strings.Contains(art, "#") {
+		t.Error("truth rendering has no hallway")
+	}
+	if !strings.Contains(art, "A") {
+		t.Error("truth rendering has no rooms")
+	}
+	lines := strings.Split(strings.TrimSpace(art), "\n")
+	if len(lines) < 10 {
+		t.Errorf("rendering suspiciously small: %d lines", len(lines))
+	}
+}
+
+func TestFig9ShowsContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders dozens of frames")
+	}
+	rows, err := quickSuite().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	rich, poor := rows[0], rows[1]
+	if poor.AvgFeatures >= rich.AvgFeatures {
+		t.Errorf("feature-poor env has more features: %.0f vs %.0f",
+			poor.AvgFeatures, rich.AvgFeatures)
+	}
+	if poor.SfMFailures <= rich.SfMFailures {
+		t.Errorf("feature-poor env should fail more: %d vs %d",
+			poor.SfMFailures, rich.SfMFailures)
+	}
+	// Hybrid tracking must be environment-independent (the paper's point).
+	if poor.HybridRMSE > 1.0 || rich.HybridRMSE > 1.0 {
+		t.Errorf("hybrid tracking degraded: %.2f / %.2f", rich.HybridRMSE, poor.HybridRMSE)
+	}
+}
+
+func TestFig8ShowsVisualAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs layout estimation for dozens of rooms")
+	}
+	res, err := quickSuite().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VisualArea) == 0 || len(res.InertialArea) == 0 {
+		t.Fatal("no samples")
+	}
+	// The paper's core claim: visual roughly halves the inertial error.
+	if res.MeanVisualArea() >= res.MeanInertialArea() {
+		t.Errorf("visual area error (%.1f%%) should beat inertial (%.1f%%)",
+			res.MeanVisualArea()*100, res.MeanInertialArea()*100)
+	}
+	if res.MeanVisualAspect() >= res.MeanInertialAspect() {
+		t.Errorf("visual aspect error (%.1f%%) should beat inertial (%.1f%%)",
+			res.MeanVisualAspect()*100, res.MeanInertialAspect()*100)
+	}
+}
+
+func TestFig7cLatencyDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates and matches a small fleet")
+	}
+	res, err := quickSuite().Fig7c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PairSeconds) < 10 {
+		t.Fatalf("only %d pair samples", len(res.PairSeconds))
+	}
+	for _, s := range res.PairSeconds {
+		if s < 0 {
+			t.Fatal("negative latency")
+		}
+	}
+	if res.CDF.At(res.CDF.Max()) != 1 {
+		t.Error("CDF must reach 1 at its max sample")
+	}
+}
+
+func TestBuildWalkFleetValidation(t *testing.T) {
+	if _, err := buildWalkFleet(world.Lab2(), 2, 5, 1, 0); err == nil {
+		t.Error("nightCount > n should error")
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/baseline"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/vision/surf"
+	"crowdmap/internal/world"
+)
+
+// Fig9Row is one environment's camera-tracking comparison.
+type Fig9Row struct {
+	Environment string
+	// SfMRMSE is the aligned camera-position RMSE of the image-only
+	// Structure-from-Motion chain, meters.
+	SfMRMSE float64
+	// SfMFailures counts frame transitions where SfM found no usable
+	// geometry.
+	SfMFailures int
+	// HybridRMSE is CrowdMap's visual+inertial dead-reckoning RMSE over the
+	// same walk.
+	HybridRMSE float64
+	// AvgFeatures is the mean SURF feature count per frame (the
+	// environment's "featurefulness").
+	AvgFeatures float64
+}
+
+// Fig9 reproduces the paper's Fig. 9 comparison: Structure-from-Motion
+// camera positions are reliable in feature-rich interiors but fall apart
+// in cluttered/featureless ones (their Gym lab-room example), while
+// CrowdMap's inertial+visual hybrid tracking stays accurate everywhere.
+// The probe walk is L-shaped — a tracker that loses visual geometry and
+// coasts straight misses the turn, exactly how SfM failure manifests.
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	type env struct {
+		name   string
+		b      *world.Building
+		corner geom.Pt // where the L turns; legs extend backward/forward
+		h1, h2 float64 // headings of the two legs
+	}
+	envs := []env{
+		// East along the Lab1 bottom corridor, corner turn at the junction
+		// with the right connector, north up the connector — all hallway.
+		{"Lab1 corridor (feature-rich)", world.Lab1(), geom.P(38.2, 7.2), 0, math.Pi / 2},
+		// Inside the big feature-poor gym hall.
+		{"Gym hall (feature-poor)", world.Gym(), geom.P(8, 23), -math.Pi / 2, 0},
+	}
+	stepsPerLeg := 8
+	if s.Opts.Quick {
+		stepsPerLeg = 5
+	}
+	const stepLen = 0.45
+	const turnFrames = 5 // intermediate rotation frames at the corner
+	cam := world.DefaultCamera()
+	var rows []Fig9Row
+	for ei, e := range envs {
+		rng := mathx.NewRNG(s.Opts.Seed + int64(90+ei))
+		r := world.NewRenderer(e.b, cam)
+		// L-shaped pose sequence with a filmed turn at the corner, as a
+		// real capture would have: leg 1 along h1 ending at the corner,
+		// rotate in place over a few frames, leg 2 along h2.
+		var poses []world.Pose
+		var stepLens []float64
+		p := e.corner.Sub(geom.FromPolar(stepLen*float64(stepsPerLeg), e.h1))
+		push := func(pose world.Pose, moved float64) {
+			if len(poses) > 0 {
+				stepLens = append(stepLens, moved)
+			}
+			poses = append(poses, pose)
+		}
+		for i := 0; i < stepsPerLeg; i++ {
+			push(world.Pose{Pos: p, Heading: e.h1}, stepLen)
+			p = p.Add(geom.FromPolar(stepLen, e.h1))
+		}
+		for i := 1; i <= turnFrames; i++ {
+			f := float64(i) / float64(turnFrames+1)
+			h := e.h1 + mathx.AngleDiff(e.h2, e.h1)*f
+			push(world.Pose{Pos: p, Heading: h}, 0)
+		}
+		for i := 0; i < stepsPerLeg; i++ {
+			push(world.Pose{Pos: p, Heading: e.h2}, stepLen)
+			p = p.Add(geom.FromPolar(stepLen, e.h2))
+		}
+		var feats [][]surf.Feature
+		var truth []geom.Pt
+		var featCount int
+		for _, pose := range poses {
+			truth = append(truth, pose.Pos)
+			frame := r.Render(pose, world.Daylight(), rng)
+			fs := surf.Extract(frame.Luma(), surf.DefaultParams())
+			featCount += len(fs)
+			feats = append(feats, fs)
+		}
+		track, err := baseline.ChainSfM(feats, stepLens, cam, 0.15)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: SfM chain in %s: %w", e.name, err)
+		}
+		sfmRMSE, err := baseline.AlignedRMSE(track.Positions, truth)
+		if err != nil {
+			return nil, err
+		}
+		hybridRMSE, err := hybridTrackingRMSE(truth, mathx.NewRNG(rng.Int63()))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			Environment: e.name,
+			SfMRMSE:     sfmRMSE,
+			SfMFailures: track.Failures,
+			HybridRMSE:  hybridRMSE,
+			AvgFeatures: float64(featCount) / float64(len(poses)),
+		})
+	}
+	return rows, nil
+}
+
+// hybridTrackingRMSE measures CrowdMap's camera tracking (dead reckoning
+// from simulated IMU) along the same waypoint path the SfM probe walked.
+func hybridTrackingRMSE(waypoints []geom.Pt, rng interface {
+	NormFloat64() float64
+	Int63() int64
+}) (float64, error) {
+	if len(waypoints) < 2 {
+		return 0, fmt.Errorf("experiments: need at least 2 waypoints")
+	}
+	cfg := sensor.DefaultConfig()
+	speed := cfg.StepFreq * cfg.StepLength
+	// Motion profile through the waypoints at natural walking speed.
+	var profile []sensor.MotionSample
+	t := 0.0
+	heading := waypoints[1].Sub(waypoints[0]).Angle()
+	profile = append(profile, sensor.MotionSample{T: t, Pos: waypoints[0], Heading: heading})
+	t = 1
+	profile = append(profile, sensor.MotionSample{T: t, Pos: waypoints[0], Heading: heading, Walking: true})
+	for i := 1; i < len(waypoints); i++ {
+		seg := waypoints[i].Sub(waypoints[i-1])
+		if seg.Norm() < 1e-9 {
+			continue
+		}
+		heading = seg.Angle()
+		t += seg.Norm() / speed
+		profile = append(profile, sensor.MotionSample{T: t, Pos: waypoints[i], Heading: heading, Walking: true})
+	}
+	last := profile[len(profile)-1]
+	profile = append(profile, sensor.MotionSample{T: t + 1, Pos: last.Pos, Heading: last.Heading})
+	imu, err := sensor.Simulate(profile, cfg, mathx.NewRNG(rng.Int63()))
+	if err != nil {
+		return 0, err
+	}
+	tr, err := trajectory.DeadReckon(imu, cfg.StepLengthEst)
+	if err != nil {
+		return 0, err
+	}
+	// Truth interpolator over the profile.
+	truthAt := func(tt float64) geom.Pt {
+		if tt <= profile[0].T {
+			return profile[0].Pos
+		}
+		for i := 1; i < len(profile); i++ {
+			if profile[i].T >= tt {
+				a, b := profile[i-1], profile[i]
+				span := b.T - a.T
+				if span <= 0 {
+					return b.Pos
+				}
+				f := (tt - a.T) / span
+				return a.Pos.Add(b.Pos.Sub(a.Pos).Scale(f))
+			}
+		}
+		return profile[len(profile)-1].Pos
+	}
+	return trajectory.RMSE(tr, truthAt), nil
+}

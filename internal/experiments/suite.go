@@ -1,0 +1,271 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the synthetic testbed: Table I (hallway shape),
+// Fig. 6 (plan rendering), Figs. 7a–7c (aggregation accuracy, lighting
+// tolerance, matching latency), Figs. 8a–8c (room area / aspect / location
+// errors) and Fig. 9 (SfM comparison). The cmd/experiments binary and the
+// repository benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"crowdmap"
+	"crowdmap/internal/eval"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/world"
+)
+
+// Options size the experiment workloads.
+type Options struct {
+	// Quick trades fidelity for speed (smaller fleets, fewer sweep points);
+	// used by benchmarks and smoke runs.
+	Quick bool
+	// Seed drives all dataset generation.
+	Seed int64
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+}
+
+// DefaultOptions runs the full-size experiments.
+func DefaultOptions() Options { return Options{Seed: 2015} }
+
+// BuildingRun caches one building's full pipeline run: dataset,
+// reconstruction and evaluation report.
+type BuildingRun struct {
+	Building *world.Building
+	Dataset  *crowdmap.Dataset
+	Result   *crowdmap.Result
+	Report   crowdmap.Report
+}
+
+// Suite caches full-pipeline runs so Table I, Fig. 6 and Fig. 8c share
+// them. Safe for sequential use; experiments parallelize internally.
+type Suite struct {
+	Opts Options
+
+	mu   sync.Mutex
+	runs map[string]*BuildingRun
+}
+
+// NewSuite builds an experiment suite.
+func NewSuite(o Options) *Suite {
+	return &Suite{Opts: o, runs: make(map[string]*BuildingRun)}
+}
+
+// spec returns the per-building dataset spec for the current scale. The
+// walk count scales with the building's hallway area so large floors (the
+// Lab1 ring, the Gym) receive coverage comparable to the small Lab2
+// corridor — the paper's crowdsourced corpus is similarly proportional to
+// building size ("some places were captured multiple times").
+func (s *Suite) spec(b *world.Building, seed int64) crowdmap.DatasetSpec {
+	area := b.HallwayArea()
+	if s.Opts.Quick {
+		return crowdmap.DatasetSpec{
+			Users:         8,
+			CorridorWalks: 8 + int(area/12),
+			RoomVisits:    8,
+			NightFraction: 0.3, Seed: seed, FPS: 3,
+		}
+	}
+	visits := len(b.Rooms) + len(b.Rooms)/2 // every room visited, half twice
+	return crowdmap.DatasetSpec{
+		Users:         25,
+		CorridorWalks: 12 + int(area/5),
+		RoomVisits:    visits,
+		NightFraction: 0.3, Seed: seed, FPS: 3.5,
+	}
+}
+
+// config returns the pipeline configuration for the current scale.
+func (s *Suite) config() crowdmap.Config {
+	cfg := crowdmap.DefaultConfig()
+	cfg.Workers = s.Opts.Workers
+	cfg.ReleaseFrames = true
+	if s.Opts.Quick {
+		cfg.Layout.Hypotheses = 4000
+	} else {
+		// Full-scale fleets: quarter the anchor-search cost; plenty of
+		// key-frames remain for consensus.
+		cfg.Aggregate.AnchorStride = 2
+	}
+	return cfg
+}
+
+// Run executes (or returns the cached) full pipeline for a building.
+func (s *Suite) Run(name string) (*BuildingRun, error) {
+	s.mu.Lock()
+	if r, ok := s.runs[name]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	b, err := crowdmap.BuildingByName(name)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := crowdmap.GenerateDataset(b, s.spec(b, s.Opts.Seed+int64(len(name))))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dataset for %s: %w", name, err)
+	}
+	res, err := crowdmap.Reconstruct(ds.Captures, s.config())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reconstruct %s: %w", name, err)
+	}
+	rep, err := crowdmap.Evaluate(res, b)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: evaluate %s: %w", name, err)
+	}
+	// Release frame pixels: evaluation needs only metadata from here on.
+	for _, c := range ds.Captures {
+		c.Frames = nil
+	}
+	run := &BuildingRun{Building: b, Dataset: ds, Result: res, Report: rep}
+	s.mu.Lock()
+	s.runs[name] = run
+	s.mu.Unlock()
+	return run, nil
+}
+
+// TableIRow is one row of Table I.
+type TableIRow struct {
+	Building             string
+	Precision, Recall, F float64
+}
+
+// TableI reproduces the paper's Table I: hallway shape precision, recall
+// and F-measure for the three buildings.
+func (s *Suite) TableI() ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, name := range []string{"Lab1", "Lab2", "Gym"} {
+		run, err := s.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIRow{
+			Building:  name,
+			Precision: run.Report.Hallway.Precision,
+			Recall:    run.Report.Hallway.Recall,
+			F:         run.Report.Hallway.F,
+		})
+	}
+	return rows, nil
+}
+
+// Fig6Result holds the Fig. 6 comparison: the reconstructed Lab1 plan
+// rendered next to ground truth.
+type Fig6Result struct {
+	ASCII      string
+	SVG        []byte
+	TruthASCII string
+	Report     crowdmap.Report
+}
+
+// Fig6 reproduces the paper's Fig. 6: the reconstructed floor plan of the
+// Lab1 dataset next to its ground truth.
+func (s *Suite) Fig6() (*Fig6Result, error) {
+	run, err := s.Run("Lab1")
+	if err != nil {
+		return nil, err
+	}
+	ascii, err := run.Result.Plan.RenderASCII(0.8)
+	if err != nil {
+		return nil, err
+	}
+	svg, err := run.Result.Plan.RenderSVG()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{
+		ASCII:      ascii,
+		SVG:        svg,
+		TruthASCII: renderTruthASCII(run.Building, 0.8),
+		Report:     run.Report,
+	}, nil
+}
+
+// renderTruthASCII rasterizes the ground-truth plan for side-by-side
+// comparison: '#' hallway, letters for room outlines.
+func renderTruthASCII(b *world.Building, res float64) string {
+	w := int(b.Outline.W()/res) + 1
+	h := int(b.Outline.H()/res) + 1
+	rows := make([][]byte, h)
+	for i := range rows {
+		rows[i] = make([]byte, w)
+		for j := range rows[i] {
+			rows[i][j] = '.'
+		}
+	}
+	plot := func(p geom.Pt, ch byte) {
+		x := int((p.X - b.Outline.Min.X) / res)
+		y := int((p.Y - b.Outline.Min.Y) / res)
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return
+		}
+		rows[h-1-y][x] = ch
+	}
+	for iy := 0; iy < h; iy++ {
+		for ix := 0; ix < w; ix++ {
+			p := geom.P(b.Outline.Min.X+(float64(ix)+0.5)*res, b.Outline.Min.Y+(float64(iy)+0.5)*res)
+			if b.InHallway(p) {
+				plot(p, '#')
+			}
+		}
+	}
+	for i, room := range b.Rooms {
+		ch := byte('A' + i%26)
+		for _, e := range room.Bounds.Edges() {
+			steps := int(e.Len()/res) + 1
+			for st := 0; st <= steps; st++ {
+				plot(e.At(float64(st)/float64(steps)), ch)
+			}
+		}
+	}
+	var out []byte
+	for _, r := range rows {
+		out = append(out, r...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// Fig8cResult holds per-building room location error samples.
+type Fig8cResult struct {
+	// Errors maps building name to per-room location errors, meters.
+	Errors map[string][]float64
+	// Mean maps building name to the mean location error.
+	Mean map[string]float64
+	// Max maps building name to the worst room.
+	Max map[string]float64
+}
+
+// Fig8c reproduces the paper's Fig. 8(c): the CDF of room location error
+// per building (paper: means 1.2 m / 1.5 m / 1.2 m, Gym max 5 m).
+func (s *Suite) Fig8c() (*Fig8cResult, error) {
+	out := &Fig8cResult{
+		Errors: make(map[string][]float64),
+		Mean:   make(map[string]float64),
+		Max:    make(map[string]float64),
+	}
+	for _, name := range []string{"Lab1", "Lab2", "Gym"} {
+		run, err := s.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		var errs []float64
+		maxErr := 0.0
+		for _, re := range run.Report.Rooms {
+			errs = append(errs, re.LocationError)
+			if re.LocationError > maxErr {
+				maxErr = re.LocationError
+			}
+		}
+		if len(errs) == 0 {
+			return nil, fmt.Errorf("experiments: no rooms reconstructed for %s", name)
+		}
+		out.Errors[name] = errs
+		out.Mean[name] = eval.MeanLocationError(run.Report.Rooms)
+		out.Max[name] = maxErr
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+// Package floorplan assembles and renders the final building floor plan
+// (paper Section III-D): the reconstructed hallway skeleton (occupancy
+// grid → α-shape boundary) is merged with the force-directed room
+// placements into a single Plan that can be rasterized, rendered as SVG or
+// ASCII, and scored against ground truth.
+package floorplan
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"crowdmap/internal/alphashape"
+	"crowdmap/internal/forcedir"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/gridmap"
+	"crowdmap/internal/layout"
+	"crowdmap/internal/trajectory"
+)
+
+// Room is a placed rectangular room in the global frame.
+type Room struct {
+	ID     string
+	Center geom.Pt
+	// Width and Length are the rectangle extents along the rotated axes.
+	Width, Length float64
+	// Theta is the wall orientation, radians.
+	Theta float64
+	// Layout retains the per-room reconstruction evidence.
+	Layout layout.Layout
+}
+
+// Polygon returns the room outline.
+func (r Room) Polygon() geom.Polygon {
+	hw, hl := r.Width/2, r.Length/2
+	corners := []geom.Pt{
+		{X: -hw, Y: -hl}, {X: hw, Y: -hl}, {X: hw, Y: hl}, {X: -hw, Y: hl},
+	}
+	for i, c := range corners {
+		corners[i] = c.Rotate(r.Theta).Add(r.Center)
+	}
+	return geom.NewPolygon(corners)
+}
+
+// Bounds returns the room's axis-aligned bounding rectangle.
+func (r Room) Bounds() geom.Rect {
+	return r.Polygon().Bounds()
+}
+
+// Plan is a reconstructed single-floor plan.
+type Plan struct {
+	Building string
+	// HallwayMask is the binarized, repaired occupancy skeleton.
+	HallwayMask *gridmap.Binary
+	// HallwayShape is the α-shape of the skeleton cells.
+	HallwayShape *alphashape.Shape
+	// Rooms are the placed rooms after force-directed arrangement.
+	Rooms []Room
+	// Trajectories are the aggregated global-frame trajectories that built
+	// the skeleton (kept for rendering and diagnostics).
+	Trajectories []*trajectory.Trajectory
+}
+
+// SkeletonParams tunes hallway skeleton reconstruction.
+type SkeletonParams struct {
+	// GridRes is the occupancy cell size, meters.
+	GridRes float64
+	// Alpha is the α-shape circumradius threshold hα, meters.
+	Alpha float64
+	// CloseRadius is the morphological closing radius in cells (path
+	// repair).
+	CloseRadius int
+	// Margin expands the grid beyond the trajectory bounding box, meters.
+	Margin float64
+}
+
+// DefaultSkeletonParams matches the evaluation tuning.
+func DefaultSkeletonParams() SkeletonParams {
+	return SkeletonParams{GridRes: 0.8, Alpha: 1.7, CloseRadius: 1, Margin: 3}
+}
+
+// Validate checks the parameters.
+func (p SkeletonParams) Validate() error {
+	if p.GridRes <= 0 {
+		return fmt.Errorf("floorplan: grid resolution must be positive, got %g", p.GridRes)
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("floorplan: alpha must be positive, got %g", p.Alpha)
+	}
+	if p.CloseRadius < 0 {
+		return fmt.Errorf("floorplan: close radius must be ≥ 0, got %d", p.CloseRadius)
+	}
+	return nil
+}
+
+// BuildSkeleton reconstructs the hallway path skeleton from aggregated
+// global-frame trajectories, following the paper's six steps: grid init,
+// trajectory projection, Otsu binarization, α-shape boundary, α-threshold
+// regularization and path repair.
+func BuildSkeleton(trajs []*trajectory.Trajectory, p SkeletonParams) (*gridmap.Binary, *alphashape.Shape, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(trajs) == 0 {
+		return nil, nil, fmt.Errorf("floorplan: no trajectories")
+	}
+	var all []geom.Pt
+	for _, tr := range trajs {
+		all = append(all, tr.Positions()...)
+	}
+	if len(all) == 0 {
+		return nil, nil, fmt.Errorf("floorplan: trajectories contain no points")
+	}
+	bounds := geom.BoundingRect(all).Expand(p.Margin)
+	grid, err := gridmap.New(bounds, p.GridRes)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, tr := range trajs {
+		grid.AddTrajectory(tr)
+	}
+	thr := grid.OtsuThreshold()
+	// Otsu splits foreground intensity; cells must at least be visited.
+	if thr < 1 {
+		thr = 0
+	}
+	// Guard against over-pruning at low crowd density: Otsu assumes the
+	// noise and path populations are both well represented. When the
+	// threshold would discard most of the visited area, the data is sparse
+	// rather than noisy, so fall back to keeping every visited cell.
+	visited := grid.Binarize(0).Count()
+	if visited > 0 && float64(grid.Binarize(thr).Count()) < 0.5*float64(visited) {
+		thr = 0
+	}
+	mask := grid.Binarize(thr)
+	mask = mask.Close(p.CloseRadius)
+	mask = mask.LargestComponent()
+	pts := mask.TruePoints()
+	if len(pts) < 3 {
+		return nil, nil, fmt.Errorf("floorplan: skeleton has only %d cells", len(pts))
+	}
+	shape, err := alphashape.Compute(pts, p.Alpha)
+	if err != nil {
+		return nil, nil, fmt.Errorf("floorplan: alpha shape: %w", err)
+	}
+	// The hallway region is the α-shape's interior (the paper's
+	// "regularized boundaries"), not the raw skeleton cells: the shape
+	// fills the corridor width between individual walking lines.
+	region := RasterizeShape(shape, mask)
+	return region, shape, nil
+}
+
+// RasterizeShape marks every cell of a grid-compatible mask whose center
+// lies inside the α-shape.
+func RasterizeShape(shape *alphashape.Shape, like *gridmap.Binary) *gridmap.Binary {
+	out := &gridmap.Binary{
+		Bounds: like.Bounds, Res: like.Res, W: like.W, H: like.H,
+		Cells: make([]bool, like.W*like.H),
+	}
+	// Spatial pruning: test triangles per cell via bounding boxes grouped
+	// into a coarse index.
+	type tri struct {
+		t  alphashape.Triangle
+		bb geom.Rect
+	}
+	tris := make([]tri, len(shape.Triangles))
+	for i, t := range shape.Triangles {
+		tris[i] = tri{t: t, bb: geom.BoundingRect([]geom.Pt{t.A, t.B, t.C})}
+	}
+	for iy := 0; iy < out.H; iy++ {
+		for ix := 0; ix < out.W; ix++ {
+			c := out.CenterOf(ix, iy)
+			for _, tr := range tris {
+				if !tr.bb.Contains(c) {
+					continue
+				}
+				if tr.t.Contains(c) {
+					out.Cells[iy*out.W+ix] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RoomObservation is a reconstructed room before placement: the panorama
+// capture position in the global frame plus its estimated layout.
+type RoomObservation struct {
+	ID         string
+	CameraPos  geom.Pt // SRS capture position, global frame
+	RoomLayout layout.Layout
+}
+
+// PlaceRooms arranges room observations around the hallway mask with the
+// force-directed algorithm and returns the placed rooms.
+func PlaceRooms(obs []RoomObservation, mask *gridmap.Binary, p forcedir.Params) ([]Room, error) {
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	nodes := make([]*forcedir.Node, len(obs))
+	for i, o := range obs {
+		center := o.CameraPos.Add(o.RoomLayout.CenterOffset())
+		// Half extents of the rotated rectangle's bounding box keep the
+		// spring system axis-aligned and fast.
+		w, l := o.RoomLayout.Width(), o.RoomLayout.Length()
+		c, s := math.Abs(math.Cos(o.RoomLayout.Theta)), math.Abs(math.Sin(o.RoomLayout.Theta))
+		hw := (w*c + l*s) / 2
+		hh := (w*s + l*c) / 2
+		nodes[i] = &forcedir.Node{
+			ID:     o.ID,
+			Anchor: center,
+			Pos:    center,
+			HalfW:  hw,
+			HalfH:  hh,
+		}
+	}
+	var hallRects []geom.Rect
+	if mask != nil {
+		// Erode the region before using it as an obstacle: one-cell-wide
+		// bulges where a user walked into a room are not corridor and must
+		// not push the room off its observed position.
+		core := mask.Erode(1)
+		for iy := 0; iy < core.H; iy++ {
+			for ix := 0; ix < core.W; ix++ {
+				if !core.At(ix, iy) {
+					continue
+				}
+				c := core.CenterOf(ix, iy)
+				half := core.Res / 2
+				hallRects = append(hallRects, geom.R(c.X-half, c.Y-half, c.X+half, c.Y+half))
+			}
+		}
+	}
+	if _, err := forcedir.Arrange(nodes, forcedir.RectHallway(hallRects), p); err != nil {
+		return nil, err
+	}
+	rooms := make([]Room, len(obs))
+	for i, o := range obs {
+		rooms[i] = Room{
+			ID:     o.ID,
+			Center: nodes[i].Pos,
+			Width:  o.RoomLayout.Width(),
+			Length: o.RoomLayout.Length(),
+			Theta:  o.RoomLayout.Theta,
+			Layout: o.RoomLayout,
+		}
+	}
+	return rooms, nil
+}
+
+// Bounds returns the plan's overall bounding rectangle.
+func (p *Plan) Bounds() (geom.Rect, error) {
+	var have bool
+	var out geom.Rect
+	if p.HallwayMask != nil {
+		out = p.HallwayMask.Bounds
+		have = true
+	}
+	for _, r := range p.Rooms {
+		b := r.Bounds()
+		if !have {
+			out = b
+			have = true
+			continue
+		}
+		out = out.Union(b)
+	}
+	if !have {
+		return geom.Rect{}, fmt.Errorf("floorplan: empty plan")
+	}
+	return out, nil
+}
+
+// RenderASCII draws the plan as a text raster at the given meters-per-
+// character resolution: '#' hallway, room outlines by index letter, '.'
+// empty.
+func (p *Plan) RenderASCII(res float64) (string, error) {
+	if res <= 0 {
+		return "", fmt.Errorf("floorplan: resolution must be positive, got %g", res)
+	}
+	bounds, err := p.Bounds()
+	if err != nil {
+		return "", err
+	}
+	w := int(bounds.W()/res) + 1
+	h := int(bounds.H()/res) + 1
+	if w > 400 || h > 400 {
+		return "", fmt.Errorf("floorplan: raster %dx%d too large; increase resolution", w, h)
+	}
+	canvas := make([][]byte, h)
+	for i := range canvas {
+		canvas[i] = bytes.Repeat([]byte{'.'}, w)
+	}
+	plot := func(pt geom.Pt, ch byte) {
+		x := int((pt.X - bounds.Min.X) / res)
+		y := int((pt.Y - bounds.Min.Y) / res)
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return
+		}
+		canvas[h-1-y][x] = ch // north up
+	}
+	if p.HallwayMask != nil {
+		for _, pt := range p.HallwayMask.TruePoints() {
+			plot(pt, '#')
+		}
+	}
+	for i, room := range p.Rooms {
+		ch := byte('A' + i%26)
+		poly := room.Polygon()
+		for _, e := range poly.Edges() {
+			steps := int(e.Len()/res) + 1
+			for s := 0; s <= steps; s++ {
+				plot(e.At(float64(s)/float64(steps)), ch)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, row := range canvas {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// RenderSVG emits a standalone SVG drawing of the plan: hallway cells in
+// gray, room rectangles outlined, room IDs as labels.
+func (p *Plan) RenderSVG() ([]byte, error) {
+	bounds, err := p.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	const scale = 12.0 // pixels per meter
+	wpx := bounds.W() * scale
+	hpx := bounds.H() * scale
+	var sb bytes.Buffer
+	tx := func(pt geom.Pt) (float64, float64) {
+		return (pt.X - bounds.Min.X) * scale, (bounds.Max.Y - pt.Y) * scale
+	}
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		wpx, hpx, wpx, hpx)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if p.HallwayMask != nil {
+		half := p.HallwayMask.Res / 2
+		for _, pt := range p.HallwayMask.TruePoints() {
+			x, y := tx(geom.P(pt.X-half, pt.Y+half))
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#bbb"/>`+"\n",
+				x, y, p.HallwayMask.Res*scale, p.HallwayMask.Res*scale)
+		}
+	}
+	for _, room := range p.Rooms {
+		poly := room.Polygon()
+		var pts []string
+		for _, v := range poly.Vertices {
+			x, y := tx(v)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&sb, `<polygon points="%s" fill="none" stroke="#0b64d8" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "))
+		cx, cy := tx(room.Center)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" fill="#333">%s</text>`+"\n",
+			cx, cy, room.ID)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.Bytes(), nil
+}

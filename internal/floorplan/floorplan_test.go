@@ -1,0 +1,194 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crowdmap/internal/forcedir"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/layout"
+	"crowdmap/internal/trajectory"
+)
+
+// corridorTrajs builds n parallel straight trajectories along a 20 m
+// corridor at lateral offsets spanning the width.
+func corridorTrajs(n int) []*trajectory.Trajectory {
+	var out []*trajectory.Trajectory
+	for k := 0; k < n; k++ {
+		y := 1.0 + 1.2*float64(k)/float64(max(n-1, 1))
+		tr := &trajectory.Trajectory{ID: "t"}
+		for i := 0; i <= 40; i++ {
+			x := float64(i) * 0.5
+			tr.Points = append(tr.Points, trajectory.Point{T: float64(i), Pos: geom.P(x, y)})
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestSkeletonParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*SkeletonParams)
+	}{
+		{"grid", func(p *SkeletonParams) { p.GridRes = 0 }},
+		{"alpha", func(p *SkeletonParams) { p.Alpha = 0 }},
+		{"close", func(p *SkeletonParams) { p.CloseRadius = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultSkeletonParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestBuildSkeletonValidation(t *testing.T) {
+	if _, _, err := BuildSkeleton(nil, DefaultSkeletonParams()); err == nil {
+		t.Error("no trajectories should error")
+	}
+	empty := []*trajectory.Trajectory{{}}
+	if _, _, err := BuildSkeleton(empty, DefaultSkeletonParams()); err == nil {
+		t.Error("empty trajectories should error")
+	}
+}
+
+func TestBuildSkeletonCoversCorridor(t *testing.T) {
+	mask, shape, err := BuildSkeleton(corridorTrajs(6), DefaultSkeletonParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape.Area() < 10 {
+		t.Errorf("alpha shape area = %.1f, want corridor-scale", shape.Area())
+	}
+	// Points along the corridor center must be covered by the region.
+	covered := 0
+	for x := 2.0; x <= 18; x += 1 {
+		ix := int((x - mask.Bounds.Min.X) / mask.Res)
+		iy := int((1.6 - mask.Bounds.Min.Y) / mask.Res)
+		if mask.At(ix, iy) {
+			covered++
+		}
+	}
+	if covered < 14 {
+		t.Errorf("corridor center covered at only %d of 17 probes", covered)
+	}
+}
+
+func TestRoomPolygonAndBounds(t *testing.T) {
+	r := Room{Center: geom.P(5, 5), Width: 4, Length: 2, Theta: 0}
+	poly := r.Polygon()
+	if math.Abs(poly.Area()-8) > 1e-9 {
+		t.Errorf("polygon area = %v", poly.Area())
+	}
+	if got := r.Bounds(); got != geom.R(3, 4, 7, 6) {
+		t.Errorf("bounds = %+v", got)
+	}
+	// Rotated 90°: width and length swap in the bounding box.
+	r.Theta = math.Pi / 2
+	if got := r.Bounds(); math.Abs(got.W()-2) > 1e-9 || math.Abs(got.H()-4) > 1e-9 {
+		t.Errorf("rotated bounds = %+v", got)
+	}
+}
+
+func TestPlaceRoomsAnchorsAndSeparates(t *testing.T) {
+	obs := []RoomObservation{
+		{ID: "r1", CameraPos: geom.P(0, 0), RoomLayout: layout.Layout{DXMinus: 2, DXPlus: 2, DYMinus: 1.5, DYPlus: 1.5}},
+		{ID: "r2", CameraPos: geom.P(3.5, 0), RoomLayout: layout.Layout{DXMinus: 2, DXPlus: 2, DYMinus: 1.5, DYPlus: 1.5}},
+	}
+	rooms, err := PlaceRooms(obs, nil, forcedir.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rooms) != 2 {
+		t.Fatalf("placed %d rooms", len(rooms))
+	}
+	gap := rooms[1].Center.X - rooms[0].Center.X
+	if gap < 3.5 {
+		t.Errorf("rooms not separated: centers %.2f apart, want ≥ 3.5", gap)
+	}
+	if rooms[0].Width != 4 || rooms[0].Length != 3 {
+		t.Errorf("room dims wrong: %v × %v", rooms[0].Width, rooms[0].Length)
+	}
+	empty, err := PlaceRooms(nil, nil, forcedir.DefaultParams())
+	if err != nil || empty != nil {
+		t.Error("no observations should place no rooms")
+	}
+}
+
+func testPlan(t *testing.T) *Plan {
+	t.Helper()
+	mask, shape, err := BuildSkeleton(corridorTrajs(4), DefaultSkeletonParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Plan{
+		Building:     "test",
+		HallwayMask:  mask,
+		HallwayShape: shape,
+		Rooms: []Room{
+			{ID: "A", Center: geom.P(5, 5), Width: 4, Length: 3},
+			{ID: "B", Center: geom.P(12, 5), Width: 4, Length: 3},
+		},
+	}
+}
+
+func TestPlanBounds(t *testing.T) {
+	p := testPlan(t)
+	b, err := p.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(geom.P(12, 5)) || !b.Contains(geom.P(5, 1.5)) {
+		t.Errorf("bounds %+v misses content", b)
+	}
+	var empty Plan
+	if _, err := empty.Bounds(); err == nil {
+		t.Error("empty plan bounds should error")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	p := testPlan(t)
+	s, err := p.RenderASCII(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("no hallway cells rendered")
+	}
+	if !strings.Contains(s, "A") || !strings.Contains(s, "B") {
+		t.Error("room outlines missing")
+	}
+	if _, err := p.RenderASCII(0); err == nil {
+		t.Error("zero resolution should error")
+	}
+	if _, err := p.RenderASCII(0.001); err == nil {
+		t.Error("huge raster should error")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	p := testPlan(t)
+	svg, err := p.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(svg)
+	for _, want := range []string{"<svg", "polygon", ">A<", ">B<", "</svg>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

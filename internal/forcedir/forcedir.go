@@ -1,0 +1,180 @@
+// Package forcedir implements the force-directed room arrangement of
+// CrowdMap's floor plan modeling module (paper Section III-D, after Eades'
+// spring heuristic): each reconstructed room is a node anchored near its
+// observed location; springs attract rooms toward their anchors, and
+// repulsive forces push overlapping rooms apart and rooms out of the
+// hallway, iterating until the system reaches (near) net-zero force.
+package forcedir
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+)
+
+// Node is one room body in the spring system.
+type Node struct {
+	ID string
+	// Anchor is the observed room center (from the SRS capture position
+	// plus the layout's center offset).
+	Anchor geom.Pt
+	// Pos is the current center; initialized to Anchor.
+	Pos geom.Pt
+	// HalfW, HalfH are the room's half extents (axis-aligned).
+	HalfW, HalfH float64
+	// Fixed nodes never move (used for hallway-anchored obstacles).
+	Fixed bool
+}
+
+// Rect returns the node's current rectangle.
+func (n *Node) Rect() geom.Rect {
+	return geom.R(n.Pos.X-n.HalfW, n.Pos.Y-n.HalfH, n.Pos.X+n.HalfW, n.Pos.Y+n.HalfH)
+}
+
+// Params tunes the simulation.
+type Params struct {
+	// SpringK pulls a room toward its anchor, N/m.
+	SpringK float64
+	// RepelK scales the overlap repulsion between rooms.
+	RepelK float64
+	// HallwayK scales the force pushing rooms out of hallway cells.
+	HallwayK float64
+	// Damping multiplies the step size.
+	Damping float64
+	// MaxIter bounds the iteration count.
+	MaxIter int
+	// Tolerance stops iteration when the largest force magnitude drops
+	// below it (the paper's "net zero force").
+	Tolerance float64
+}
+
+// DefaultParams converges quickly at building scale.
+func DefaultParams() Params {
+	return Params{
+		SpringK:   0.5,
+		RepelK:    1.2,
+		HallwayK:  0.8,
+		Damping:   0.5,
+		MaxIter:   400,
+		Tolerance: 0.01,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.SpringK <= 0 || p.RepelK < 0 || p.HallwayK < 0 {
+		return fmt.Errorf("forcedir: force constants must be positive, got %+v", p)
+	}
+	if p.Damping <= 0 || p.Damping > 1 {
+		return fmt.Errorf("forcedir: damping must be in (0, 1], got %g", p.Damping)
+	}
+	if p.MaxIter < 1 {
+		return fmt.Errorf("forcedir: MaxIter must be ≥ 1, got %d", p.MaxIter)
+	}
+	return nil
+}
+
+// Hallway is the obstacle predicate: rooms are pushed until they no longer
+// overlap the region where it reports true. Pass nil for no obstacle.
+type Hallway func(r geom.Rect) (overlap geom.Pt, overlapping bool)
+
+// RectHallway adapts a set of hallway rectangles: the returned vector
+// points from the hallway into the room (the direction to push).
+func RectHallway(rects []geom.Rect) Hallway {
+	return func(r geom.Rect) (geom.Pt, bool) {
+		var push geom.Pt
+		hit := false
+		for _, h := range rects {
+			inter, ok := h.Intersection(r)
+			if !ok || inter.Area() <= 1e-9 {
+				continue
+			}
+			hit = true
+			// Push along the axis of least separation.
+			d := r.Center().Sub(h.Center())
+			if math.Abs(inter.W()) < math.Abs(inter.H()) {
+				push = push.Add(geom.P(math.Copysign(inter.W(), d.X), 0))
+			} else {
+				push = push.Add(geom.P(0, math.Copysign(inter.H(), d.Y)))
+			}
+		}
+		return push, hit
+	}
+}
+
+// Arrange runs the spring simulation in place and returns the iteration
+// count used.
+func Arrange(nodes []*Node, hall Hallway, p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	for iter := 1; iter <= p.MaxIter; iter++ {
+		maxForce := 0.0
+		forces := make([]geom.Pt, len(nodes))
+		for i, n := range nodes {
+			if n.Fixed {
+				continue
+			}
+			// Spring toward anchor.
+			f := n.Anchor.Sub(n.Pos).Scale(p.SpringK)
+			// Repulsion from overlapping neighbors.
+			for j, m := range nodes {
+				if i == j {
+					continue
+				}
+				inter, ok := n.Rect().Intersection(m.Rect())
+				if !ok || inter.Area() <= 1e-9 {
+					continue
+				}
+				d := n.Pos.Sub(m.Pos)
+				if d.Norm() < 1e-9 {
+					// Coincident centers: deterministic tie-break by index.
+					d = geom.P(1e-3*float64(i-j), 1e-3)
+				}
+				// Push along the axis needing the least displacement.
+				var push geom.Pt
+				if inter.W() < inter.H() {
+					push = geom.P(math.Copysign(inter.W(), d.X), 0)
+				} else {
+					push = geom.P(0, math.Copysign(inter.H(), d.Y))
+				}
+				f = f.Add(push.Scale(p.RepelK / 2))
+			}
+			// Repulsion out of the hallway.
+			if hall != nil {
+				if push, hit := hall(n.Rect()); hit {
+					f = f.Add(push.Scale(p.HallwayK))
+				}
+			}
+			forces[i] = f
+			if fn := f.Norm(); fn > maxForce {
+				maxForce = fn
+			}
+		}
+		for i, n := range nodes {
+			if n.Fixed {
+				continue
+			}
+			n.Pos = n.Pos.Add(forces[i].Scale(p.Damping))
+		}
+		if maxForce < p.Tolerance {
+			return iter, nil
+		}
+	}
+	return p.MaxIter, nil
+}
+
+// TotalOverlap reports the summed pairwise overlap area between nodes — a
+// quality metric for arrangement results (0 is ideal).
+func TotalOverlap(nodes []*Node) float64 {
+	var s float64
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if inter, ok := nodes[i].Rect().Intersection(nodes[j].Rect()); ok {
+				s += inter.Area()
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+// Package geom provides the 2-D geometric primitives used throughout
+// CrowdMap: points/vectors, line segments, axis-aligned rectangles, simple
+// polygons and rigid transforms. The world frame is a right-handed plane
+// with x east and y north, distances in meters, angles in radians measured
+// counterclockwise from +x.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pt is a point or vector in the plane.
+type Pt struct {
+	X, Y float64
+}
+
+// P is shorthand for constructing a Pt.
+func P(x, y float64) Pt { return Pt{X: x, Y: y} }
+
+// Add returns p + q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Pt) Scale(s float64) Pt { return Pt{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p · q.
+func (p Pt) Dot(q Pt) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Pt) Cross(q Pt) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p.
+func (p Pt) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the distance between p and q.
+func (p Pt) Dist(q Pt) float64 { return p.Sub(q).Norm() }
+
+// Angle returns the direction of p in radians, in (-π, π].
+func (p Pt) Angle() float64 { return math.Atan2(p.Y, p.X) }
+
+// Unit returns p normalized to length 1; the zero vector is returned as-is.
+func (p Pt) Unit() Pt {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// Rotate returns p rotated counterclockwise by theta radians about the
+// origin.
+func (p Pt) Rotate(theta float64) Pt {
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Pt{p.X*c - p.Y*s, p.X*s + p.Y*c}
+}
+
+// FromPolar builds the vector with the given length and direction.
+func FromPolar(r, theta float64) Pt {
+	return Pt{r * math.Cos(theta), r * math.Sin(theta)}
+}
+
+// String implements fmt.Stringer.
+func (p Pt) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Seg is a directed line segment from A to B.
+type Seg struct {
+	A, B Pt
+}
+
+// Len returns the segment length.
+func (s Seg) Len() float64 { return s.A.Dist(s.B) }
+
+// Dir returns the direction angle of the segment in radians.
+func (s Seg) Dir() float64 { return s.B.Sub(s.A).Angle() }
+
+// Midpoint returns the segment midpoint.
+func (s Seg) Midpoint() Pt { return s.A.Add(s.B).Scale(0.5) }
+
+// At returns the point A + t·(B-A); t in [0,1] lies on the segment.
+func (s Seg) At(t float64) Pt { return s.A.Add(s.B.Sub(s.A).Scale(t)) }
+
+// DistToPoint returns the distance from p to the closest point on the
+// segment.
+func (s Seg) DistToPoint(p Pt) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(s.At(t))
+}
+
+// Intersect reports whether segments s and t properly intersect or touch,
+// and if so returns the intersection point closest to s.A. Collinear
+// overlapping segments report the overlap start.
+func (s Seg) Intersect(t Seg) (Pt, bool) {
+	r := s.B.Sub(s.A)
+	q := t.B.Sub(t.A)
+	denom := r.Cross(q)
+	diff := t.A.Sub(s.A)
+	if math.Abs(denom) < 1e-12 {
+		// Parallel. Check collinear overlap.
+		if math.Abs(diff.Cross(r)) > 1e-9 {
+			return Pt{}, false
+		}
+		rr := r.Dot(r)
+		if rr == 0 {
+			if s.A.Dist(t.A) < 1e-9 {
+				return s.A, true
+			}
+			return Pt{}, false
+		}
+		t0 := diff.Dot(r) / rr
+		t1 := t0 + q.Dot(r)/rr
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t1 < 0 || t0 > 1 {
+			return Pt{}, false
+		}
+		u := math.Max(0, t0)
+		return s.At(u), true
+	}
+	u := diff.Cross(q) / denom
+	v := diff.Cross(r) / denom
+	if u < -1e-12 || u > 1+1e-12 || v < -1e-12 || v > 1+1e-12 {
+		return Pt{}, false
+	}
+	return s.At(math.Min(1, math.Max(0, u))), true
+}
+
+// Rect is an axis-aligned rectangle with Min ≤ Max componentwise.
+type Rect struct {
+	Min, Max Pt
+}
+
+// R builds a rectangle from two corners in any order.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Pt{x0, y0}, Max: Pt{x1, y1}}
+}
+
+// W returns the rectangle width (x extent).
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle height (y extent).
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle area.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the rectangle center.
+func (r Rect) Center() Pt { return r.Min.Add(r.Max).Scale(0.5) }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and q share any area or boundary.
+func (r Rect) Intersects(q Rect) bool {
+	return r.Min.X <= q.Max.X && q.Min.X <= r.Max.X &&
+		r.Min.Y <= q.Max.Y && q.Min.Y <= r.Max.Y
+}
+
+// Intersection returns the overlapping rectangle and whether it is
+// non-empty.
+func (r Rect) Intersection(q Rect) (Rect, bool) {
+	out := Rect{
+		Min: Pt{math.Max(r.Min.X, q.Min.X), math.Max(r.Min.Y, q.Min.Y)},
+		Max: Pt{math.Min(r.Max.X, q.Max.X), math.Min(r.Max.Y, q.Max.Y)},
+	}
+	if out.Min.X > out.Max.X || out.Min.Y > out.Max.Y {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Union returns the smallest rectangle containing both r and q.
+func (r Rect) Union(q Rect) Rect {
+	return Rect{
+		Min: Pt{math.Min(r.Min.X, q.Min.X), math.Min(r.Min.Y, q.Min.Y)},
+		Max: Pt{math.Max(r.Max.X, q.Max.X), math.Max(r.Max.Y, q.Max.Y)},
+	}
+}
+
+// Expand grows the rectangle by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Min: Pt{r.Min.X - d, r.Min.Y - d}, Max: Pt{r.Max.X + d, r.Max.Y + d}}
+}
+
+// Edges returns the four boundary segments in counterclockwise order.
+func (r Rect) Edges() [4]Seg {
+	a := r.Min
+	b := Pt{r.Max.X, r.Min.Y}
+	c := r.Max
+	d := Pt{r.Min.X, r.Max.Y}
+	return [4]Seg{{a, b}, {b, c}, {c, d}, {d, a}}
+}
+
+// Aspect returns the long-side / short-side ratio (≥ 1). A degenerate
+// rectangle returns +Inf.
+func (r Rect) Aspect() float64 {
+	w, h := r.W(), r.H()
+	lo := math.Min(w, h)
+	hi := math.Max(w, h)
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// BoundingRect returns the axis-aligned bounding rectangle of the points.
+// It panics on an empty input.
+func BoundingRect(pts []Pt) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingRect of no points")
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}

@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func ptAlmostEq(a, b Pt, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol)
+}
+
+func TestPtArithmetic(t *testing.T) {
+	p := P(1, 2)
+	q := P(3, -1)
+	if got := p.Add(q); !ptAlmostEq(got, P(4, 1), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !ptAlmostEq(got, P(-2, 3), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !ptAlmostEq(got, P(2, 4), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := P(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := P(0, 0).Dist(P(3, 4)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestPtRotate(t *testing.T) {
+	got := P(1, 0).Rotate(math.Pi / 2)
+	if !ptAlmostEq(got, P(0, 1), 1e-12) {
+		t.Errorf("Rotate 90° = %v, want (0,1)", got)
+	}
+	if got := P(1, 1).Angle(); !almostEq(got, math.Pi/4, 1e-12) {
+		t.Errorf("Angle = %v", got)
+	}
+}
+
+func TestRotatePreservesNormProperty(t *testing.T) {
+	f := func(x, y, th float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(th) ||
+			math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(th) > 1e3 {
+			return true
+		}
+		p := P(x, y)
+		return almostEq(p.Rotate(th).Norm(), p.Norm(), 1e-6*(1+p.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	if got := P(3, 4).Unit().Norm(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Unit norm = %v", got)
+	}
+	if got := P(0, 0).Unit(); !ptAlmostEq(got, P(0, 0), 0) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestFromPolar(t *testing.T) {
+	got := FromPolar(2, math.Pi/2)
+	if !ptAlmostEq(got, P(0, 2), 1e-12) {
+		t.Errorf("FromPolar = %v", got)
+	}
+}
+
+func TestSegBasics(t *testing.T) {
+	s := Seg{P(0, 0), P(4, 0)}
+	if s.Len() != 4 {
+		t.Errorf("Len = %v", s.Len())
+	}
+	if !ptAlmostEq(s.Midpoint(), P(2, 0), 0) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+	if !ptAlmostEq(s.At(0.25), P(1, 0), 0) {
+		t.Errorf("At = %v", s.At(0.25))
+	}
+	if got := s.Dir(); got != 0 {
+		t.Errorf("Dir = %v", got)
+	}
+}
+
+func TestSegDistToPoint(t *testing.T) {
+	s := Seg{P(0, 0), P(10, 0)}
+	tests := []struct {
+		p    Pt
+		want float64
+	}{
+		{P(5, 3), 3},
+		{P(-3, 4), 5},  // beyond A: distance to endpoint
+		{P(13, -4), 5}, // beyond B
+		{P(5, 0), 0},   // on segment
+	}
+	for _, tt := range tests {
+		if got := s.DistToPoint(tt.p); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSegIntersect(t *testing.T) {
+	tests := []struct {
+		name   string
+		s, u   Seg
+		want   Pt
+		wantOK bool
+	}{
+		{"crossing", Seg{P(0, 0), P(2, 2)}, Seg{P(0, 2), P(2, 0)}, P(1, 1), true},
+		{"touching at endpoint", Seg{P(0, 0), P(1, 1)}, Seg{P(1, 1), P(2, 0)}, P(1, 1), true},
+		{"parallel apart", Seg{P(0, 0), P(1, 0)}, Seg{P(0, 1), P(1, 1)}, Pt{}, false},
+		{"disjoint", Seg{P(0, 0), P(1, 0)}, Seg{P(2, 1), P(3, -1)}, Pt{}, false},
+		{"collinear overlap", Seg{P(0, 0), P(4, 0)}, Seg{P(2, 0), P(6, 0)}, P(2, 0), true},
+		{"collinear disjoint", Seg{P(0, 0), P(1, 0)}, Seg{P(2, 0), P(3, 0)}, Pt{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := tt.s.Intersect(tt.u)
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && !ptAlmostEq(got, tt.want, 1e-9) {
+				t.Errorf("point = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(3, 4, 1, 2) // unordered corners
+	if r.Min != P(1, 2) || r.Max != P(3, 4) {
+		t.Fatalf("R normalization failed: %+v", r)
+	}
+	if r.W() != 2 || r.H() != 2 || r.Area() != 4 {
+		t.Error("W/H/Area wrong")
+	}
+	if !ptAlmostEq(r.Center(), P(2, 3), 0) {
+		t.Error("Center wrong")
+	}
+	if !r.Contains(P(2, 3)) || r.Contains(P(0, 0)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := R(0, 0, 4, 4)
+	b := R(2, 2, 6, 6)
+	got, ok := a.Intersection(b)
+	if !ok || got != R(2, 2, 4, 4) {
+		t.Errorf("Intersection = %+v, ok=%v", got, ok)
+	}
+	c := R(5, 5, 6, 6)
+	if _, ok := a.Intersection(c); ok {
+		t.Error("disjoint rects should not intersect")
+	}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestRectUnionExpandEdges(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	b := R(2, 2, 3, 3)
+	if got := a.Union(b); got != R(0, 0, 3, 3) {
+		t.Errorf("Union = %+v", got)
+	}
+	if got := a.Expand(1); got != R(-1, -1, 2, 2) {
+		t.Errorf("Expand = %+v", got)
+	}
+	edges := a.Edges()
+	var per float64
+	for _, e := range edges {
+		per += e.Len()
+	}
+	if !almostEq(per, 4, 1e-12) {
+		t.Errorf("edge perimeter = %v", per)
+	}
+}
+
+func TestRectAspect(t *testing.T) {
+	if got := R(0, 0, 4, 2).Aspect(); got != 2 {
+		t.Errorf("Aspect = %v, want 2", got)
+	}
+	if got := R(0, 0, 2, 4).Aspect(); got != 2 {
+		t.Errorf("Aspect (tall) = %v, want 2", got)
+	}
+	if got := R(0, 0, 1, 0).Aspect(); !math.IsInf(got, 1) {
+		t.Errorf("degenerate Aspect = %v, want +Inf", got)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	r := BoundingRect([]Pt{P(1, 5), P(-2, 3), P(4, -1)})
+	if r != R(-2, -1, 4, 5) {
+		t.Errorf("BoundingRect = %+v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingRect(nil) should panic")
+		}
+	}()
+	BoundingRect(nil)
+}

@@ -1,0 +1,282 @@
+package geom
+
+import "math"
+
+// Polygon is a simple polygon given by its vertices in order (either
+// winding). The closing edge from the last vertex back to the first is
+// implicit.
+type Polygon struct {
+	Vertices []Pt
+}
+
+// NewPolygon copies the vertex slice into a Polygon.
+func NewPolygon(vs []Pt) Polygon {
+	return Polygon{Vertices: append([]Pt(nil), vs...)}
+}
+
+// Area returns the unsigned polygon area via the shoelace formula.
+func (pg Polygon) Area() float64 {
+	return math.Abs(pg.SignedArea())
+}
+
+// SignedArea returns the signed area: positive for counterclockwise winding.
+func (pg Polygon) SignedArea() float64 {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		a := pg.Vertices[i]
+		b := pg.Vertices[(i+1)%n]
+		s += a.Cross(b)
+	}
+	return s / 2
+}
+
+// Perimeter returns the total boundary length.
+func (pg Polygon) Perimeter() float64 {
+	n := len(pg.Vertices)
+	if n < 2 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += pg.Vertices[i].Dist(pg.Vertices[(i+1)%n])
+	}
+	return s
+}
+
+// Centroid returns the area centroid of the polygon. Degenerate polygons
+// fall back to the vertex mean.
+func (pg Polygon) Centroid() Pt {
+	n := len(pg.Vertices)
+	if n == 0 {
+		return Pt{}
+	}
+	a := pg.SignedArea()
+	if math.Abs(a) < 1e-12 {
+		var c Pt
+		for _, v := range pg.Vertices {
+			c = c.Add(v)
+		}
+		return c.Scale(1 / float64(n))
+	}
+	var cx, cy float64
+	for i := 0; i < n; i++ {
+		p := pg.Vertices[i]
+		q := pg.Vertices[(i+1)%n]
+		w := p.Cross(q)
+		cx += (p.X + q.X) * w
+		cy += (p.Y + q.Y) * w
+	}
+	f := 1 / (6 * a)
+	return Pt{cx * f, cy * f}
+}
+
+// Contains reports whether p lies strictly inside the polygon, using the
+// even-odd ray-casting rule. Boundary points may report either value.
+func (pg Polygon) Contains(p Pt) bool {
+	n := len(pg.Vertices)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		a := pg.Vertices[i]
+		b := pg.Vertices[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xAtY := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if p.X < xAtY {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Bounds returns the axis-aligned bounding rectangle. Panics when empty.
+func (pg Polygon) Bounds() Rect { return BoundingRect(pg.Vertices) }
+
+// Edges returns all boundary segments in order.
+func (pg Polygon) Edges() []Seg {
+	n := len(pg.Vertices)
+	if n < 2 {
+		return nil
+	}
+	out := make([]Seg, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Seg{pg.Vertices[i], pg.Vertices[(i+1)%n]})
+	}
+	return out
+}
+
+// Translate returns a copy of the polygon shifted by d.
+func (pg Polygon) Translate(d Pt) Polygon {
+	out := make([]Pt, len(pg.Vertices))
+	for i, v := range pg.Vertices {
+		out[i] = v.Add(d)
+	}
+	return Polygon{Vertices: out}
+}
+
+// RotateAbout returns a copy rotated by theta radians about center.
+func (pg Polygon) RotateAbout(center Pt, theta float64) Polygon {
+	out := make([]Pt, len(pg.Vertices))
+	for i, v := range pg.Vertices {
+		out[i] = v.Sub(center).Rotate(theta).Add(center)
+	}
+	return Polygon{Vertices: out}
+}
+
+// ConvexHull returns the convex hull of the points in counterclockwise
+// order using Andrew's monotone chain. Fewer than three distinct points
+// return the input (deduplicated, sorted).
+func ConvexHull(pts []Pt) []Pt {
+	n := len(pts)
+	if n < 3 {
+		return append([]Pt(nil), pts...)
+	}
+	cp := append([]Pt(nil), pts...)
+	// Sort by x then y (insertion-free: use simple sort via sort.Slice is
+	// avoided to keep geom dependency-light; a small hand sort suffices).
+	sortPts(cp)
+	hull := make([]Pt, 0, 2*n)
+	// Lower hull.
+	for _, p := range cp {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(cp) - 2; i >= 0; i-- {
+		p := cp[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+func sortPts(ps []Pt) {
+	// Heapsort-free simple shell sort; n is small in all call sites but the
+	// complexity is still O(n log² n)-ish and allocation-free.
+	for gap := len(ps) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(ps); i++ {
+			v := ps[i]
+			j := i
+			for ; j >= gap && ptLess(v, ps[j-gap]); j -= gap {
+				ps[j] = ps[j-gap]
+			}
+			ps[j] = v
+		}
+	}
+}
+
+func ptLess(a, b Pt) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// IntersectionArea estimates the overlap area of two polygons by rasterizing
+// both onto a grid with the given cell size. It is used by evaluation
+// metrics (precision/recall of hallway shapes), where an approximate but
+// shape-agnostic measure is preferable to exact polygon clipping of possibly
+// non-convex, multi-part shapes.
+func IntersectionArea(a, b Polygon, cell float64) float64 {
+	if len(a.Vertices) < 3 || len(b.Vertices) < 3 || cell <= 0 {
+		return 0
+	}
+	bb, ok := boundsIntersect(a.Bounds(), b.Bounds())
+	if !ok {
+		return 0
+	}
+	var count int
+	for y := bb.Min.Y + cell/2; y < bb.Max.Y; y += cell {
+		for x := bb.Min.X + cell/2; x < bb.Max.X; x += cell {
+			p := Pt{x, y}
+			if a.Contains(p) && b.Contains(p) {
+				count++
+			}
+		}
+	}
+	return float64(count) * cell * cell
+}
+
+func boundsIntersect(r, q Rect) (Rect, bool) { return r.Intersection(q) }
+
+// Transform is a 2-D rigid (plus optional uniform scale) transform:
+// x' = s·R(θ)·x + t.
+type Transform struct {
+	Scale float64 // uniform scale, 1 for rigid
+	Theta float64 // rotation, radians CCW
+	T     Pt      // translation
+}
+
+// Identity returns the identity transform.
+func Identity() Transform { return Transform{Scale: 1} }
+
+// Apply maps a point through the transform.
+func (tr Transform) Apply(p Pt) Pt {
+	return p.Rotate(tr.Theta).Scale(tr.Scale).Add(tr.T)
+}
+
+// ApplyAll maps a point slice through the transform.
+func (tr Transform) ApplyAll(ps []Pt) []Pt {
+	out := make([]Pt, len(ps))
+	for i, p := range ps {
+		out[i] = tr.Apply(p)
+	}
+	return out
+}
+
+// Compose returns the transform equivalent to applying tr first and then u.
+func (tr Transform) Compose(u Transform) Transform {
+	return Transform{
+		Scale: tr.Scale * u.Scale,
+		Theta: tr.Theta + u.Theta,
+		T:     u.Apply(tr.T),
+	}
+}
+
+// Invert returns the inverse transform. Scale must be non-zero.
+func (tr Transform) Invert() Transform {
+	inv := Transform{Scale: 1 / tr.Scale, Theta: -tr.Theta}
+	inv.T = tr.T.Scale(-1).Rotate(-tr.Theta).Scale(1 / tr.Scale)
+	return inv
+}
+
+// FitRigid estimates the rigid transform (rotation + translation, no scale)
+// mapping src points onto dst points in the least-squares sense (a 2-D
+// Procrustes/Kabsch fit). The slices must be equal length and non-empty.
+func FitRigid(src, dst []Pt) (Transform, bool) {
+	if len(src) != len(dst) || len(src) == 0 {
+		return Identity(), false
+	}
+	var cs, cd Pt
+	for i := range src {
+		cs = cs.Add(src[i])
+		cd = cd.Add(dst[i])
+	}
+	n := float64(len(src))
+	cs = cs.Scale(1 / n)
+	cd = cd.Scale(1 / n)
+	var sxx, sxy float64 // Σ cross terms for rotation
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := dst[i].Sub(cd)
+		sxx += a.Dot(b)
+		sxy += a.Cross(b)
+	}
+	theta := math.Atan2(sxy, sxx)
+	tr := Transform{Scale: 1, Theta: theta}
+	tr.T = cd.Sub(cs.Rotate(theta))
+	return tr, true
+}

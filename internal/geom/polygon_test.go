@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Polygon {
+	return NewPolygon([]Pt{P(0, 0), P(1, 0), P(1, 1), P(0, 1)})
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := unitSquare()
+	if got := sq.Area(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Area = %v", got)
+	}
+	if got := sq.SignedArea(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("CCW SignedArea = %v, want +1", got)
+	}
+	cw := NewPolygon([]Pt{P(0, 0), P(0, 1), P(1, 1), P(1, 0)})
+	if got := cw.SignedArea(); !almostEq(got, -1, 1e-12) {
+		t.Errorf("CW SignedArea = %v, want -1", got)
+	}
+	if got := NewPolygon([]Pt{P(0, 0), P(1, 1)}).Area(); got != 0 {
+		t.Errorf("degenerate Area = %v", got)
+	}
+}
+
+func TestPolygonPerimeterCentroid(t *testing.T) {
+	sq := unitSquare()
+	if got := sq.Perimeter(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Perimeter = %v", got)
+	}
+	if got := sq.Centroid(); !ptAlmostEq(got, P(0.5, 0.5), 1e-12) {
+		t.Errorf("Centroid = %v", got)
+	}
+	// L-shape centroid check against a hand computation: the L covering
+	// [0,2]×[0,1] ∪ [0,1]×[1,2] has area 3 and centroid (5.5/6, 5.5/6)... verify
+	// by decomposition: A1=2 at (1, .5), A2=1 at (.5, 1.5) → cx=(2·1+1·.5)/3=5/6·...
+	l := NewPolygon([]Pt{P(0, 0), P(2, 0), P(2, 1), P(1, 1), P(1, 2), P(0, 2)})
+	c := l.Centroid()
+	wantX := (2*1.0 + 1*0.5) / 3
+	wantY := (2*0.5 + 1*1.5) / 3
+	if !ptAlmostEq(c, P(wantX, wantY), 1e-12) {
+		t.Errorf("L centroid = %v, want (%v, %v)", c, wantX, wantY)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	l := NewPolygon([]Pt{P(0, 0), P(2, 0), P(2, 1), P(1, 1), P(1, 2), P(0, 2)})
+	tests := []struct {
+		p    Pt
+		want bool
+	}{
+		{P(0.5, 0.5), true},
+		{P(1.5, 0.5), true},
+		{P(0.5, 1.5), true},
+		{P(1.5, 1.5), false}, // inside the notch
+		{P(3, 3), false},
+		{P(-0.1, 0.5), false},
+	}
+	for _, tt := range tests {
+		if got := l.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPolygonTransformations(t *testing.T) {
+	sq := unitSquare()
+	tr := sq.Translate(P(2, 3))
+	if !ptAlmostEq(tr.Centroid(), P(2.5, 3.5), 1e-12) {
+		t.Errorf("Translate centroid = %v", tr.Centroid())
+	}
+	rot := sq.RotateAbout(P(0.5, 0.5), math.Pi/2)
+	if !almostEq(rot.Area(), 1, 1e-12) {
+		t.Errorf("rotated Area = %v", rot.Area())
+	}
+	if !ptAlmostEq(rot.Centroid(), P(0.5, 0.5), 1e-12) {
+		t.Errorf("rotation about centroid moved it: %v", rot.Centroid())
+	}
+}
+
+func TestConvexHull(t *testing.T) {
+	pts := []Pt{P(0, 0), P(2, 0), P(2, 2), P(0, 2), P(1, 1), P(0.5, 0.5)}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(hull), hull)
+	}
+	if got := NewPolygon(hull).Area(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("hull area = %v, want 4", got)
+	}
+}
+
+func TestConvexHullProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]Pt, 30)
+		for i := range pts {
+			pts[i] = P(rng.Float64()*10, rng.Float64()*10)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			return false
+		}
+		hp := NewPolygon(hull)
+		// Every input point inside or on the hull (within tolerance).
+		for _, p := range pts {
+			if hp.Contains(p) {
+				continue
+			}
+			onEdge := false
+			for _, e := range hp.Edges() {
+				if e.DistToPoint(p) < 1e-9 {
+					onEdge = true
+					break
+				}
+			}
+			if !onEdge {
+				return false
+			}
+		}
+		// Hull must be convex: all cross products one sign.
+		n := len(hull)
+		for i := 0; i < n; i++ {
+			a, b, c := hull[i], hull[(i+1)%n], hull[(i+2)%n]
+			if b.Sub(a).Cross(c.Sub(b)) < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionArea(t *testing.T) {
+	a := unitSquare()
+	b := NewPolygon([]Pt{P(0.5, 0), P(1.5, 0), P(1.5, 1), P(0.5, 1)})
+	got := IntersectionArea(a, b, 0.01)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("IntersectionArea = %v, want ≈0.5", got)
+	}
+	far := NewPolygon([]Pt{P(5, 5), P(6, 5), P(6, 6), P(5, 6)})
+	if got := IntersectionArea(a, far, 0.01); got != 0 {
+		t.Errorf("disjoint IntersectionArea = %v", got)
+	}
+	if got := IntersectionArea(a, b, 0); got != 0 {
+		t.Errorf("zero cell IntersectionArea = %v", got)
+	}
+}
+
+func TestTransformApplyInvert(t *testing.T) {
+	tr := Transform{Scale: 2, Theta: math.Pi / 3, T: P(1, -2)}
+	p := P(3, 4)
+	back := tr.Invert().Apply(tr.Apply(p))
+	if !ptAlmostEq(back, p, 1e-9) {
+		t.Errorf("Invert round trip = %v, want %v", back, p)
+	}
+	id := Identity()
+	if !ptAlmostEq(id.Apply(p), p, 0) {
+		t.Error("Identity should not move points")
+	}
+}
+
+func TestTransformCompose(t *testing.T) {
+	a := Transform{Scale: 1, Theta: math.Pi / 2}
+	b := Transform{Scale: 1, T: P(1, 0)}
+	p := P(1, 0)
+	// Apply a then b: rotate to (0,1) then translate to (1,1).
+	got := a.Compose(b).Apply(p)
+	if !ptAlmostEq(got, P(1, 1), 1e-12) {
+		t.Errorf("Compose apply = %v, want (1,1)", got)
+	}
+}
+
+func TestFitRigid(t *testing.T) {
+	src := []Pt{P(0, 0), P(1, 0), P(1, 1), P(0, 1), P(0.3, 0.7)}
+	want := Transform{Scale: 1, Theta: 0.7, T: P(2, -1)}
+	dst := want.ApplyAll(src)
+	got, ok := FitRigid(src, dst)
+	if !ok {
+		t.Fatal("FitRigid failed")
+	}
+	if !almostEq(got.Theta, want.Theta, 1e-9) {
+		t.Errorf("Theta = %v, want %v", got.Theta, want.Theta)
+	}
+	if !ptAlmostEq(got.T, want.T, 1e-9) {
+		t.Errorf("T = %v, want %v", got.T, want.T)
+	}
+	if _, ok := FitRigid(nil, nil); ok {
+		t.Error("FitRigid of empty should fail")
+	}
+	if _, ok := FitRigid(src, src[:2]); ok {
+		t.Error("FitRigid of mismatched lengths should fail")
+	}
+}
+
+func TestFitRigidRecoversRandomTransformsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]Pt, 10)
+		for i := range src {
+			src[i] = P(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		want := Transform{Scale: 1, Theta: rng.Float64()*2*math.Pi - math.Pi, T: P(rng.Float64()*4-2, rng.Float64()*4-2)}
+		dst := want.ApplyAll(src)
+		got, ok := FitRigid(src, dst)
+		if !ok {
+			return false
+		}
+		for i := range src {
+			if got.Apply(src[i]).Dist(dst[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}

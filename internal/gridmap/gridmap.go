@@ -1,0 +1,334 @@
+// Package gridmap implements the occupancy-grid floor-path representation
+// of CrowdMap's skeleton reconstruction (paper Section III-B.II, after
+// Thrun's occupancy grids): aggregated trajectories rasterize into access
+// counts per cell, Otsu's method picks the binarization threshold
+// automatically, and morphological closing repairs small gaps in the path
+// ("normalizing the regularized boundaries by repairing the unconnected
+// paths").
+package gridmap
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/trajectory"
+)
+
+// Grid is an occupancy grid over a rectangular region.
+type Grid struct {
+	Bounds geom.Rect
+	Res    float64 // cell side, meters
+	W, H   int
+	Counts []float64 // per-cell access weight
+}
+
+// New allocates a zeroed grid covering bounds at the given resolution.
+func New(bounds geom.Rect, res float64) (*Grid, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("gridmap: resolution must be positive, got %g", res)
+	}
+	if bounds.W() <= 0 || bounds.H() <= 0 {
+		return nil, fmt.Errorf("gridmap: empty bounds %+v", bounds)
+	}
+	w := int(math.Ceil(bounds.W()/res)) + 1
+	h := int(math.Ceil(bounds.H()/res)) + 1
+	return &Grid{Bounds: bounds, Res: res, W: w, H: h, Counts: make([]float64, w*h)}, nil
+}
+
+// CellOf returns the cell indices containing p (clamped to the grid).
+func (g *Grid) CellOf(p geom.Pt) (int, int) {
+	ix := int((p.X - g.Bounds.Min.X) / g.Res)
+	iy := int((p.Y - g.Bounds.Min.Y) / g.Res)
+	if ix < 0 {
+		ix = 0
+	} else if ix >= g.W {
+		ix = g.W - 1
+	}
+	if iy < 0 {
+		iy = 0
+	} else if iy >= g.H {
+		iy = g.H - 1
+	}
+	return ix, iy
+}
+
+// CenterOf returns the world position of a cell center.
+func (g *Grid) CenterOf(ix, iy int) geom.Pt {
+	return geom.P(
+		g.Bounds.Min.X+(float64(ix)+0.5)*g.Res,
+		g.Bounds.Min.Y+(float64(iy)+0.5)*g.Res,
+	)
+}
+
+// Add increments the access weight of the cell containing p.
+func (g *Grid) Add(p geom.Pt, w float64) {
+	ix, iy := g.CellOf(p)
+	g.Counts[iy*g.W+ix] += w
+}
+
+// AddTrajectory rasterizes a trajectory: every segment is sampled at
+// sub-cell spacing and each touched cell gains weight. A cell touched by
+// more trajectories accumulates a higher access probability, exactly the
+// paper's second reconstruction step.
+func (g *Grid) AddTrajectory(tr *trajectory.Trajectory) {
+	pts := tr.Positions()
+	if len(pts) == 0 {
+		return
+	}
+	if len(pts) == 1 {
+		g.Add(pts[0], 1)
+		return
+	}
+	step := g.Res / 2
+	// Mark each cell at most once per trajectory so a user pacing in place
+	// does not dominate the map.
+	touched := make(map[int]bool)
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		d := a.Dist(b)
+		n := int(math.Ceil(d/step)) + 1
+		for s := 0; s <= n; s++ {
+			p := a.Add(b.Sub(a).Scale(float64(s) / float64(n)))
+			ix, iy := g.CellOf(p)
+			touched[iy*g.W+ix] = true
+		}
+	}
+	for idx := range touched {
+		g.Counts[idx]++
+	}
+}
+
+// OtsuThreshold computes the optimal binarization threshold of the grid's
+// nonzero count histogram by Otsu's method (between-class variance
+// maximization). Returns 0 when the grid is empty.
+func (g *Grid) OtsuThreshold() float64 {
+	var max float64
+	for _, c := range g.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	const bins = 64
+	hist := make([]float64, bins)
+	var total float64
+	for _, c := range g.Counts {
+		if c <= 0 {
+			continue // empty cells are background, not votes
+		}
+		b := int(c / max * (bins - 1))
+		hist[b]++
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	var sumAll float64
+	for i, h := range hist {
+		sumAll += float64(i) * h
+	}
+	var wB, sumB float64
+	bestVar := -1.0
+	bestBin := 0
+	for i := 0; i < bins; i++ {
+		wB += hist[i]
+		if wB == 0 {
+			continue
+		}
+		wF := total - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(i) * hist[i]
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		v := wB * wF * (mB - mF) * (mB - mF)
+		if v > bestVar {
+			bestVar = v
+			bestBin = i
+		}
+	}
+	return (float64(bestBin) + 0.5) / (bins - 1) * max
+}
+
+// Binary is a boolean occupancy mask over the same geometry as its source
+// grid.
+type Binary struct {
+	Bounds geom.Rect
+	Res    float64
+	W, H   int
+	Cells  []bool
+}
+
+// Binarize thresholds the grid at t (cells with Counts > t are accessible).
+// Pass the OtsuThreshold for the paper's automatic behavior.
+func (g *Grid) Binarize(t float64) *Binary {
+	b := &Binary{Bounds: g.Bounds, Res: g.Res, W: g.W, H: g.H, Cells: make([]bool, g.W*g.H)}
+	for i, c := range g.Counts {
+		b.Cells[i] = c > t
+	}
+	return b
+}
+
+// At reports the cell value with out-of-range reads returning false.
+func (b *Binary) At(ix, iy int) bool {
+	if ix < 0 || ix >= b.W || iy < 0 || iy >= b.H {
+		return false
+	}
+	return b.Cells[iy*b.W+ix]
+}
+
+// set assigns in-range cells only.
+func (b *Binary) set(ix, iy int, v bool) {
+	if ix < 0 || ix >= b.W || iy < 0 || iy >= b.H {
+		return
+	}
+	b.Cells[iy*b.W+ix] = v
+}
+
+// CenterOf returns the world position of a cell center.
+func (b *Binary) CenterOf(ix, iy int) geom.Pt {
+	return geom.P(
+		b.Bounds.Min.X+(float64(ix)+0.5)*b.Res,
+		b.Bounds.Min.Y+(float64(iy)+0.5)*b.Res,
+	)
+}
+
+// Count returns the number of true cells.
+func (b *Binary) Count() int {
+	n := 0
+	for _, c := range b.Cells {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Area returns the covered area in m².
+func (b *Binary) Area() float64 { return float64(b.Count()) * b.Res * b.Res }
+
+// Clone returns a deep copy.
+func (b *Binary) Clone() *Binary {
+	c := *b
+	c.Cells = append([]bool(nil), b.Cells...)
+	return &c
+}
+
+// Dilate grows the mask by the given radius in cells (Chebyshev metric).
+func (b *Binary) Dilate(r int) *Binary {
+	out := b.Clone()
+	if r <= 0 {
+		return out
+	}
+	for iy := 0; iy < b.H; iy++ {
+		for ix := 0; ix < b.W; ix++ {
+			if !b.At(ix, iy) {
+				continue
+			}
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					out.set(ix+dx, iy+dy, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Erode shrinks the mask by the given radius in cells.
+func (b *Binary) Erode(r int) *Binary {
+	out := b.Clone()
+	if r <= 0 {
+		return out
+	}
+	for iy := 0; iy < b.H; iy++ {
+		for ix := 0; ix < b.W; ix++ {
+			if !b.At(ix, iy) {
+				continue
+			}
+			keep := true
+		scan:
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					nx, ny := ix+dx, iy+dy
+					// Outside the grid counts as filled so that closing
+					// remains extensive at the map border.
+					if nx < 0 || nx >= b.W || ny < 0 || ny >= b.H {
+						continue
+					}
+					if !b.Cells[ny*b.W+nx] {
+						keep = false
+						break scan
+					}
+				}
+			}
+			out.set(ix, iy, keep)
+		}
+	}
+	return out
+}
+
+// Close performs morphological closing (dilate then erode), the gap-repair
+// step that reconnects path fragments separated by sparse coverage.
+func (b *Binary) Close(r int) *Binary {
+	return b.Dilate(r).Erode(r)
+}
+
+// LargestComponent keeps only the largest 8-connected true region,
+// discarding outlier blobs produced by noisy trajectories.
+func (b *Binary) LargestComponent() *Binary {
+	out := &Binary{Bounds: b.Bounds, Res: b.Res, W: b.W, H: b.H, Cells: make([]bool, b.W*b.H)}
+	seen := make([]bool, b.W*b.H)
+	var best []int
+	for start := range b.Cells {
+		if !b.Cells[start] || seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			cx, cy := cur%b.W, cur/b.W
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || nx >= b.W || ny < 0 || ny >= b.H {
+						continue
+					}
+					ni := ny*b.W + nx
+					if b.Cells[ni] && !seen[ni] {
+						seen[ni] = true
+						queue = append(queue, ni)
+					}
+				}
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	for _, i := range best {
+		out.Cells[i] = true
+	}
+	return out
+}
+
+// TruePoints returns the world centers of all true cells.
+func (b *Binary) TruePoints() []geom.Pt {
+	var out []geom.Pt
+	for iy := 0; iy < b.H; iy++ {
+		for ix := 0; ix < b.W; ix++ {
+			if b.At(ix, iy) {
+				out = append(out, b.CenterOf(ix, iy))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package gridmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/trajectory"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func mkGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := New(geom.R(0, 0, 10, 8), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func lineTraj(a, b geom.Pt, n int) *trajectory.Trajectory {
+	tr := &trajectory.Trajectory{ID: "t"}
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		tr.Points = append(tr.Points, trajectory.Point{
+			T:   float64(i),
+			Pos: a.Add(b.Sub(a).Scale(f)),
+		})
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.R(0, 0, 1, 1), 0); err == nil {
+		t.Error("zero resolution should error")
+	}
+	if _, err := New(geom.Rect{}, 0.5); err == nil {
+		t.Error("empty bounds should error")
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	g := mkGrid(t)
+	ix, iy := g.CellOf(geom.P(3.3, 4.9))
+	c := g.CenterOf(ix, iy)
+	if c.Dist(geom.P(3.3, 4.9)) > g.Res {
+		t.Errorf("cell center %v too far from query", c)
+	}
+	// Clamping.
+	ix, iy = g.CellOf(geom.P(-5, 100))
+	if ix != 0 || iy != g.H-1 {
+		t.Errorf("clamped cell = (%d, %d)", ix, iy)
+	}
+}
+
+func TestAddTrajectoryMarksPath(t *testing.T) {
+	g := mkGrid(t)
+	g.AddTrajectory(lineTraj(geom.P(1, 4), geom.P(9, 4), 10))
+	// Cells along y=4 from x=1..9 should be marked.
+	marked := 0
+	for x := 1.25; x < 9; x += 0.5 {
+		ix, iy := g.CellOf(geom.P(x, 4))
+		if g.Counts[iy*g.W+ix] > 0 {
+			marked++
+		}
+	}
+	if marked < 14 {
+		t.Errorf("only %d path cells marked", marked)
+	}
+}
+
+func TestAddTrajectoryOncePerTrajectory(t *testing.T) {
+	g := mkGrid(t)
+	// Pacing back and forth should count each cell once.
+	tr := lineTraj(geom.P(1, 4), geom.P(9, 4), 10)
+	back := lineTraj(geom.P(9, 4), geom.P(1, 4), 10)
+	tr.Points = append(tr.Points, back.Points...)
+	g.AddTrajectory(tr)
+	for _, c := range g.Counts {
+		if c > 1 {
+			t.Fatalf("cell counted %v times within one trajectory", c)
+		}
+	}
+}
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	g := mkGrid(t)
+	// Popular corridor: 20 trajectories; stray outlier: 1.
+	for i := 0; i < 20; i++ {
+		g.AddTrajectory(lineTraj(geom.P(1, 4), geom.P(9, 4), 10))
+	}
+	g.AddTrajectory(lineTraj(geom.P(1, 1), geom.P(9, 1), 10))
+	thr := g.OtsuThreshold()
+	if thr <= 1 || thr >= 20 {
+		t.Fatalf("Otsu threshold %v does not separate 1 from 20", thr)
+	}
+	b := g.Binarize(thr)
+	// Corridor survives, outlier removed.
+	ix, iy := g.CellOf(geom.P(5, 4))
+	if !b.At(ix, iy) {
+		t.Error("popular corridor was binarized away")
+	}
+	ix, iy = g.CellOf(geom.P(5, 1))
+	if b.At(ix, iy) {
+		t.Error("outlier path survived binarization")
+	}
+}
+
+func TestOtsuEmptyGrid(t *testing.T) {
+	g := mkGrid(t)
+	if thr := g.OtsuThreshold(); thr != 0 {
+		t.Errorf("empty grid threshold = %v", thr)
+	}
+}
+
+func TestBinaryAtOutOfRange(t *testing.T) {
+	b := mkGrid(t).Binarize(0)
+	if b.At(-1, 0) || b.At(0, -1) || b.At(b.W, 0) || b.At(0, b.H) {
+		t.Error("out-of-range At should be false")
+	}
+}
+
+func TestMorphologyInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		g, err := New(geom.R(0, 0, 8, 8), 0.5)
+		if err != nil {
+			return false
+		}
+		b := g.Binarize(0)
+		for i := range b.Cells {
+			b.Cells[i] = rng.Float64() < 0.3
+		}
+		d := b.Dilate(1)
+		e := b.Erode(1)
+		c := b.Close(1)
+		for i := range b.Cells {
+			if b.Cells[i] && !d.Cells[i] {
+				return false // dilation must be a superset
+			}
+			if e.Cells[i] && !b.Cells[i] {
+				return false // erosion must be a subset
+			}
+			if b.Cells[i] && !c.Cells[i] {
+				return false // closing must be a superset
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloseRepairsGap(t *testing.T) {
+	g := mkGrid(t)
+	b := g.Binarize(0)
+	// Two collinear runs with a 1-cell gap.
+	for ix := 2; ix <= 8; ix++ {
+		if ix == 5 {
+			continue
+		}
+		b.set(ix, 8, true)
+	}
+	closed := b.Close(1)
+	if !closed.At(5, 8) {
+		t.Error("closing failed to bridge a 1-cell gap")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := mkGrid(t)
+	b := g.Binarize(0)
+	// Big blob and small blob.
+	for ix := 1; ix <= 8; ix++ {
+		b.set(ix, 3, true)
+		b.set(ix, 4, true)
+	}
+	b.set(15, 12, true)
+	lc := b.LargestComponent()
+	if lc.At(15, 12) {
+		t.Error("small blob survived")
+	}
+	if !lc.At(4, 3) {
+		t.Error("large blob removed")
+	}
+	if lc.Count() != 16 {
+		t.Errorf("largest component size = %d, want 16", lc.Count())
+	}
+}
+
+func TestAreaAndTruePoints(t *testing.T) {
+	g := mkGrid(t)
+	b := g.Binarize(0)
+	b.set(0, 0, true)
+	b.set(1, 0, true)
+	if got := b.Area(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Area = %v, want 0.5", got)
+	}
+	pts := b.TruePoints()
+	if len(pts) != 2 {
+		t.Fatalf("TruePoints = %d", len(pts))
+	}
+}
+
+func TestDilateZeroRadiusIsCopy(t *testing.T) {
+	g := mkGrid(t)
+	b := g.Binarize(0)
+	b.set(3, 3, true)
+	d := b.Dilate(0)
+	d.set(0, 0, true)
+	if b.At(0, 0) {
+		t.Error("Dilate(0) must return an independent copy")
+	}
+}

@@ -1,0 +1,337 @@
+// Package img provides the image representations and low-level operations
+// CrowdMap's vision stack builds on: grayscale and RGB float planes,
+// integral images, separable Gaussian filtering, gradients, resampling and
+// normalized cross-correlation. Pixel values are float64 in [0, 1] unless
+// stated otherwise; (0,0) is the top-left pixel, x grows right, y grows
+// down.
+package img
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray is a single-channel float image.
+type Gray struct {
+	W, H int
+	Pix  []float64 // len W*H, row-major
+}
+
+// NewGray allocates a zeroed grayscale image.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds coordinates are clamped to
+// the nearest edge pixel, which is the boundary handling every consumer in
+// this codebase wants.
+func (g *Gray) At(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set assigns the pixel at (x, y). Out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v float64) {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	c := NewGray(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v float64) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// Mean returns the mean pixel value.
+func (g *Gray) Mean() float64 {
+	var s float64
+	for _, v := range g.Pix {
+		s += v
+	}
+	return s / float64(len(g.Pix))
+}
+
+// RGB is a three-channel float image.
+type RGB struct {
+	W, H    int
+	R, G, B []float64 // each len W*H, row-major
+}
+
+// NewRGB allocates a zeroed RGB image.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid size %dx%d", w, h))
+	}
+	n := w * h
+	return &RGB{W: w, H: h, R: make([]float64, n), G: make([]float64, n), B: make([]float64, n)}
+}
+
+// Set assigns the pixel at (x, y). Out-of-bounds writes are ignored.
+func (m *RGB) Set(x, y int, r, g, b float64) {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		return
+	}
+	i := y*m.W + x
+	m.R[i], m.G[i], m.B[i] = r, g, b
+}
+
+// At returns the pixel at (x, y) with edge clamping.
+func (m *RGB) At(x, y int) (r, g, b float64) {
+	if x < 0 {
+		x = 0
+	} else if x >= m.W {
+		x = m.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= m.H {
+		y = m.H - 1
+	}
+	i := y*m.W + x
+	return m.R[i], m.G[i], m.B[i]
+}
+
+// Clone returns a deep copy.
+func (m *RGB) Clone() *RGB {
+	c := NewRGB(m.W, m.H)
+	copy(c.R, m.R)
+	copy(c.G, m.G)
+	copy(c.B, m.B)
+	return c
+}
+
+// Luma converts to grayscale with Rec. 601 weights.
+func (m *RGB) Luma() *Gray {
+	g := NewGray(m.W, m.H)
+	for i := range g.Pix {
+		g.Pix[i] = 0.299*m.R[i] + 0.587*m.G[i] + 0.114*m.B[i]
+	}
+	return g
+}
+
+// ScalePixels multiplies every channel by s in place and clamps to [0, 1].
+// It models global exposure changes.
+func (m *RGB) ScalePixels(s float64) {
+	for i := range m.R {
+		m.R[i] = clamp01(m.R[i] * s)
+		m.G[i] = clamp01(m.G[i] * s)
+		m.B[i] = clamp01(m.B[i] * s)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Integral is a summed-area table over a grayscale image, supporting O(1)
+// box sums — the core primitive behind SURF's Fast-Hessian detector and
+// Haar responses.
+type Integral struct {
+	W, H int
+	sum  []float64 // (W+1)*(H+1)
+}
+
+// NewIntegral builds the summed-area table of g.
+func NewIntegral(g *Gray) *Integral {
+	it := &Integral{W: g.W, H: g.H, sum: make([]float64, (g.W+1)*(g.H+1))}
+	stride := g.W + 1
+	for y := 0; y < g.H; y++ {
+		var rowSum float64
+		for x := 0; x < g.W; x++ {
+			rowSum += g.Pix[y*g.W+x]
+			it.sum[(y+1)*stride+x+1] = it.sum[y*stride+x+1] + rowSum
+		}
+	}
+	return it
+}
+
+// BoxSum returns the sum of pixels in the rectangle [x0,x1)×[y0,y1),
+// clipped to the image bounds.
+func (it *Integral) BoxSum(x0, y0, x1, y1 int) float64 {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > it.W {
+		x1 = it.W
+	}
+	if y1 > it.H {
+		y1 = it.H
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return 0
+	}
+	stride := it.W + 1
+	return it.sum[y1*stride+x1] - it.sum[y0*stride+x1] - it.sum[y1*stride+x0] + it.sum[y0*stride+x0]
+}
+
+// Resize returns g resampled to (w, h) with bilinear interpolation.
+func Resize(g *Gray, w, h int) *Gray {
+	out := NewGray(w, h)
+	sx := float64(g.W) / float64(w)
+	sy := float64(g.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		wy := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			wx := fx - float64(x0)
+			v := (1-wy)*((1-wx)*g.At(x0, y0)+wx*g.At(x0+1, y0)) +
+				wy*((1-wx)*g.At(x0, y0+1)+wx*g.At(x0+1, y0+1))
+			out.Pix[y*w+x] = v
+		}
+	}
+	return out
+}
+
+// ResizeRGB returns m resampled to (w, h) with bilinear interpolation.
+func ResizeRGB(m *RGB, w, h int) *RGB {
+	out := NewRGB(w, h)
+	sx := float64(m.W) / float64(w)
+	sy := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		wy := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			wx := fx - float64(x0)
+			r00, g00, b00 := m.At(x0, y0)
+			r10, g10, b10 := m.At(x0+1, y0)
+			r01, g01, b01 := m.At(x0, y0+1)
+			r11, g11, b11 := m.At(x0+1, y0+1)
+			out.Set(x, y,
+				(1-wy)*((1-wx)*r00+wx*r10)+wy*((1-wx)*r01+wx*r11),
+				(1-wy)*((1-wx)*g00+wx*g10)+wy*((1-wx)*g01+wx*g11),
+				(1-wy)*((1-wx)*b00+wx*b10)+wy*((1-wx)*b01+wx*b11))
+		}
+	}
+	return out
+}
+
+// GaussianBlur returns g convolved with a separable Gaussian of the given
+// sigma. sigma <= 0 returns a copy.
+func GaussianBlur(g *Gray, sigma float64) *Gray {
+	if sigma <= 0 {
+		return g.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	kernel := make([]float64, 2*radius+1)
+	var ksum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kernel[i+radius] = v
+		ksum += v
+	}
+	for i := range kernel {
+		kernel[i] /= ksum
+	}
+	// Horizontal pass.
+	tmp := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var s float64
+			for i := -radius; i <= radius; i++ {
+				s += kernel[i+radius] * g.At(x+i, y)
+			}
+			tmp.Pix[y*g.W+x] = s
+		}
+	}
+	// Vertical pass.
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var s float64
+			for i := -radius; i <= radius; i++ {
+				s += kernel[i+radius] * tmp.At(x, y+i)
+			}
+			out.Pix[y*g.W+x] = s
+		}
+	}
+	return out
+}
+
+// Gradients returns the centered-difference gradient images gx, gy.
+func Gradients(g *Gray) (gx, gy *Gray) {
+	gx = NewGray(g.W, g.H)
+	gy = NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			gx.Pix[y*g.W+x] = (g.At(x+1, y) - g.At(x-1, y)) / 2
+			gy.Pix[y*g.W+x] = (g.At(x, y+1) - g.At(x, y-1)) / 2
+		}
+	}
+	return gx, gy
+}
+
+// NCC returns the normalized cross-correlation of two equal-size grayscale
+// images, in [-1, 1]. Constant images correlate as 0 against anything and 1
+// against an equal constant image.
+func NCC(a, b *Gray) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("img: NCC size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	ma, mb := a.Mean(), b.Mean()
+	var num, da, db float64
+	for i := range a.Pix {
+		x := a.Pix[i] - ma
+		y := b.Pix[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	const eps = 1e-12
+	if da <= eps && db <= eps {
+		return 1, nil
+	}
+	if da <= eps || db <= eps {
+		return 0, nil
+	}
+	return num / math.Sqrt(da*db), nil
+}
+
+// SSD returns the mean squared pixel difference of two equal-size images.
+func SSD(a, b *Gray) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("img: SSD size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var s float64
+	for i := range a.Pix {
+		d := a.Pix[i] - b.Pix[i]
+		s += d * d
+	}
+	return s / float64(len(a.Pix)), nil
+}

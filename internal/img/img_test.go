@@ -1,0 +1,288 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func gradientImage(w, h int) *Gray {
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Pix[y*w+x] = float64(x) / float64(w-1)
+		}
+	}
+	return g
+}
+
+func randomImage(rng *rand.Rand, w, h int) *Gray {
+	g := NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	return g
+}
+
+func TestGrayAtClamping(t *testing.T) {
+	g := NewGray(4, 3)
+	g.Set(0, 0, 0.5)
+	g.Set(3, 2, 0.9)
+	if g.At(-5, -5) != 0.5 {
+		t.Error("negative coords should clamp to (0,0)")
+	}
+	if g.At(100, 100) != 0.9 {
+		t.Error("large coords should clamp to (W-1,H-1)")
+	}
+	g.Set(-1, 0, 1) // out-of-bounds write ignored
+	if g.At(0, 0) != 0.5 {
+		t.Error("out-of-bounds Set should be ignored")
+	}
+}
+
+func TestGrayCloneIndependence(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Set(0, 0, 1)
+	c := g.Clone()
+	c.Set(0, 0, 0.5)
+	if g.At(0, 0) != 1 {
+		t.Error("Clone should not share backing storage")
+	}
+}
+
+func TestGrayMeanFill(t *testing.T) {
+	g := NewGray(3, 3)
+	g.Fill(0.25)
+	if !almostEq(g.Mean(), 0.25, 1e-12) {
+		t.Errorf("Mean = %v", g.Mean())
+	}
+}
+
+func TestRGBLuma(t *testing.T) {
+	m := NewRGB(2, 1)
+	m.Set(0, 0, 1, 1, 1)
+	m.Set(1, 0, 0, 0, 0)
+	g := m.Luma()
+	if !almostEq(g.At(0, 0), 1, 1e-12) || g.At(1, 0) != 0 {
+		t.Errorf("Luma endpoints wrong: %v %v", g.At(0, 0), g.At(1, 0))
+	}
+	// Pure green weighs 0.587.
+	m.Set(0, 0, 0, 1, 0)
+	if got := m.Luma().At(0, 0); !almostEq(got, 0.587, 1e-12) {
+		t.Errorf("green Luma = %v", got)
+	}
+}
+
+func TestRGBScalePixelsClamps(t *testing.T) {
+	m := NewRGB(1, 1)
+	m.Set(0, 0, 0.8, 0.5, 0.2)
+	m.ScalePixels(2)
+	r, g, b := m.At(0, 0)
+	if r != 1 || !almostEq(g, 1, 1e-12) || !almostEq(b, 0.4, 1e-12) {
+		t.Errorf("ScalePixels = %v %v %v", r, g, b)
+	}
+}
+
+func TestIntegralBoxSum(t *testing.T) {
+	g := NewGray(4, 4)
+	for i := range g.Pix {
+		g.Pix[i] = 1
+	}
+	it := NewIntegral(g)
+	tests := []struct {
+		x0, y0, x1, y1 int
+		want           float64
+	}{
+		{0, 0, 4, 4, 16},
+		{1, 1, 3, 3, 4},
+		{0, 0, 1, 1, 1},
+		{-5, -5, 10, 10, 16}, // clipped
+		{2, 2, 2, 2, 0},      // empty
+		{3, 3, 1, 1, 0},      // inverted
+	}
+	for _, tt := range tests {
+		if got := it.BoxSum(tt.x0, tt.y0, tt.x1, tt.y1); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("BoxSum(%d,%d,%d,%d) = %v, want %v", tt.x0, tt.y0, tt.x1, tt.y1, got, tt.want)
+		}
+	}
+}
+
+func TestIntegralMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomImage(rng, 8, 6)
+		it := NewIntegral(g)
+		for trial := 0; trial < 10; trial++ {
+			x0, y0 := rng.Intn(8), rng.Intn(6)
+			x1, y1 := x0+rng.Intn(8-x0)+1, y0+rng.Intn(6-y0)+1
+			var want float64
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					want += g.Pix[y*8+x]
+				}
+			}
+			if !almostEq(it.BoxSum(x0, y0, x1, y1), want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResizePreservesConstant(t *testing.T) {
+	g := NewGray(10, 10)
+	g.Fill(0.7)
+	r := Resize(g, 5, 4)
+	if r.W != 5 || r.H != 4 {
+		t.Fatalf("Resize shape = %dx%d", r.W, r.H)
+	}
+	for _, v := range r.Pix {
+		if !almostEq(v, 0.7, 1e-9) {
+			t.Fatalf("constant image resize changed value: %v", v)
+		}
+	}
+}
+
+func TestResizePreservesGradientDirection(t *testing.T) {
+	g := gradientImage(16, 8)
+	r := Resize(g, 8, 4)
+	for y := 0; y < 4; y++ {
+		for x := 1; x < 8; x++ {
+			if r.At(x, y) < r.At(x-1, y) {
+				t.Fatalf("resized gradient not monotone at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestResizeRGBMatchesChannelwiseResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewRGB(9, 7)
+	for i := range m.R {
+		m.R[i] = rng.Float64()
+		m.G[i] = rng.Float64()
+		m.B[i] = rng.Float64()
+	}
+	small := ResizeRGB(m, 5, 4)
+	rOnly := &Gray{W: 9, H: 7, Pix: m.R}
+	want := Resize(rOnly, 5, 4)
+	for i := range small.R {
+		if !almostEq(small.R[i], want.Pix[i], 1e-9) {
+			t.Fatal("ResizeRGB red channel disagrees with Resize")
+		}
+	}
+}
+
+func TestGaussianBlurPreservesMeanAndSmooths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomImage(rng, 20, 20)
+	b := GaussianBlur(g, 1.5)
+	if math.Abs(g.Mean()-b.Mean()) > 0.02 {
+		t.Errorf("blur changed mean: %v → %v", g.Mean(), b.Mean())
+	}
+	// Blur must reduce total variation.
+	tv := func(im *Gray) float64 {
+		var s float64
+		for y := 0; y < im.H; y++ {
+			for x := 1; x < im.W; x++ {
+				s += math.Abs(im.At(x, y) - im.At(x-1, y))
+			}
+		}
+		return s
+	}
+	if tv(b) >= tv(g) {
+		t.Error("blur did not reduce total variation")
+	}
+	// sigma <= 0 returns an equal copy.
+	c := GaussianBlur(g, 0)
+	for i := range g.Pix {
+		if c.Pix[i] != g.Pix[i] {
+			t.Fatal("sigma=0 blur should copy")
+		}
+	}
+}
+
+func TestGradients(t *testing.T) {
+	g := gradientImage(8, 8)
+	gx, gy := Gradients(g)
+	// Interior x-gradient of a linear ramp is constant 1/(w-1).
+	want := 1.0 / 7
+	if !almostEq(gx.At(4, 4), want, 1e-9) {
+		t.Errorf("gx = %v, want %v", gx.At(4, 4), want)
+	}
+	if !almostEq(gy.At(4, 4), 0, 1e-12) {
+		t.Errorf("gy = %v, want 0", gy.At(4, 4))
+	}
+}
+
+func TestNCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomImage(rng, 12, 12)
+	// Self-correlation is 1.
+	if got, err := NCC(a, a); err != nil || !almostEq(got, 1, 1e-9) {
+		t.Errorf("self NCC = %v, err %v", got, err)
+	}
+	// Affine rescaling leaves NCC at 1.
+	b := a.Clone()
+	for i := range b.Pix {
+		b.Pix[i] = 0.5*b.Pix[i] + 0.2
+	}
+	if got, _ := NCC(a, b); !almostEq(got, 1, 1e-9) {
+		t.Errorf("affine NCC = %v, want 1", got)
+	}
+	// Negated image correlates at -1.
+	n := a.Clone()
+	for i := range n.Pix {
+		n.Pix[i] = -n.Pix[i]
+	}
+	if got, _ := NCC(a, n); !almostEq(got, -1, 1e-9) {
+		t.Errorf("negated NCC = %v, want -1", got)
+	}
+	// Constant images.
+	c1 := NewGray(12, 12)
+	c1.Fill(0.5)
+	c2 := NewGray(12, 12)
+	c2.Fill(0.8)
+	if got, _ := NCC(c1, c2); got != 1 {
+		t.Errorf("two constants NCC = %v, want 1", got)
+	}
+	if got, _ := NCC(c1, a); got != 0 {
+		t.Errorf("constant vs random NCC = %v, want 0", got)
+	}
+	// Size mismatch errors.
+	if _, err := NCC(a, NewGray(3, 3)); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestSSD(t *testing.T) {
+	a := NewGray(2, 2)
+	b := NewGray(2, 2)
+	b.Fill(0.5)
+	got, err := SSD(a, b)
+	if err != nil || !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("SSD = %v, err %v", got, err)
+	}
+	if _, err := SSD(a, NewGray(3, 3)); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestNewGrayPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGray(0, 5) should panic")
+		}
+	}()
+	NewGray(0, 5)
+}

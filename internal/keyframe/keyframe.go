@@ -1,0 +1,257 @@
+// Package keyframe implements CrowdMap's video key-frame machinery (paper
+// Section III-B.I): HOG-gated key-frame selection that thins near-duplicate
+// frames, per-key-frame feature extraction, and the hierarchical two-stage
+// key-frame comparison — a cheap weighted combination of color indexing,
+// shape matching and wavelet signatures (score S1, threshold hs) gating the
+// precise SURF mutual-nearest-neighbor match (score S2, thresholds hd, hf).
+package keyframe
+
+import (
+	"fmt"
+
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/vision/histogram"
+	"crowdmap/internal/vision/hog"
+	"crowdmap/internal/vision/shape"
+	"crowdmap/internal/vision/surf"
+	"crowdmap/internal/vision/wavelet"
+	"crowdmap/internal/world"
+)
+
+// KeyFrame is a selected video frame with all derived features and the
+// trajectory context needed by aggregation and panorama generation.
+type KeyFrame struct {
+	T float64
+	// Image is retained for panorama stitching.
+	Image *img.RGB
+	// Heading is the estimated camera heading at capture time (gyro +
+	// compass fusion).
+	Heading float64
+	// LocalPos is the dead-reckoned position at capture time, in the
+	// capture session's local frame.
+	LocalPos geom.Pt
+	// TruthPose is ground truth, for evaluation only.
+	TruthPose world.Pose
+
+	HOG     hog.Descriptor
+	Hist    *histogram.Hist
+	Shape   *shape.Descriptor
+	Wavelet *wavelet.Signature
+	SURF    []surf.Feature
+}
+
+// Params collects every threshold of the key-frame subsystem. Names follow
+// the paper: hg gates key-frame selection, hs gates stage 1, hd and hf
+// gate stage 2.
+type Params struct {
+	// HG: a frame becomes a key-frame when its HOG correlation (S_cc) with
+	// the previous key-frame drops below HG (noticeable camera motion).
+	HG float64
+	// HeadingGate promotes a frame to key-frame when the camera heading has
+	// rotated this much since the last key-frame, radians — rotation is
+	// camera motion even when the scene texture barely changes (blank
+	// walls during an SRS spin), and panorama coverage depends on it.
+	HeadingGate float64
+	// Stage-1 channel weights (color, shape, wavelet) and threshold HS.
+	WColor, WShape, WWavelet float64
+	HS                       float64
+	// Stage-2 SURF matching: descriptor distance threshold HD and
+	// similarity threshold HF.
+	HD float64
+	HF float64
+
+	HOG     hog.Params
+	Shape   shape.Params
+	Wavelet wavelet.Params
+	SURF    surf.Params
+	// HistBins is the per-channel color histogram resolution.
+	HistBins int
+}
+
+// DefaultParams returns the tuning used across the evaluation.
+func DefaultParams() Params {
+	return Params{
+		HG:          0.92,
+		HeadingGate: 0.2094395102393195, // 12°
+		WColor:      0.4,
+		WShape:      0.3,
+		WWavelet:    0.3,
+		HS:          0.55,
+		HD:          0.12,
+		HF:          0.09,
+		HOG:         hog.DefaultParams(),
+		Shape:       shape.DefaultParams(),
+		Wavelet:     wavelet.DefaultParams(),
+		SURF:        surf.DefaultParams(),
+		HistBins:    8,
+	}
+}
+
+// Validate checks threshold sanity.
+func (p Params) Validate() error {
+	if p.HG <= 0 || p.HG > 1 {
+		return fmt.Errorf("keyframe: HG must be in (0, 1], got %g", p.HG)
+	}
+	if p.HS < 0 || p.HS > 1 {
+		return fmt.Errorf("keyframe: HS must be in [0, 1], got %g", p.HS)
+	}
+	if p.HD <= 0 {
+		return fmt.Errorf("keyframe: HD must be positive, got %g", p.HD)
+	}
+	if p.HF < 0 || p.HF > 1 {
+		return fmt.Errorf("keyframe: HF must be in [0, 1], got %g", p.HF)
+	}
+	w := p.WColor + p.WShape + p.WWavelet
+	if w <= 0 {
+		return fmt.Errorf("keyframe: stage-1 weights sum to %g", w)
+	}
+	return nil
+}
+
+// Extract runs the full front-end on one capture session: dead reckoning
+// for per-frame local positions and headings, HOG-gated key-frame
+// selection, and feature extraction on the survivors.
+//
+// It returns the key-frames and the dead-reckoned trajectory.
+func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(c.Frames) == 0 {
+		return nil, nil, fmt.Errorf("keyframe: capture %s has no frames", c.ID)
+	}
+	traj, err := trajectory.DeadReckon(c.IMU, stepLengthOf(c))
+	if err != nil {
+		return nil, nil, fmt.Errorf("keyframe: dead reckoning %s: %w", c.ID, err)
+	}
+	traj.ID = c.ID
+	headings := sensor.EstimateHeadings(c.IMU)
+	var kfs []*KeyFrame
+	var lastHOG hog.Descriptor
+	var lastHeading float64
+	imuIdx := 0
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		luma := f.Image.Luma()
+		hd, err := hog.Compute(luma, p.HOG)
+		if err != nil {
+			return nil, nil, fmt.Errorf("keyframe: HOG on %s frame %d: %w", c.ID, i, err)
+		}
+		for imuIdx+1 < len(c.IMU) && c.IMU[imuIdx+1].T <= f.T {
+			imuIdx++
+		}
+		if lastHOG != nil {
+			scc, err := hog.Correlation(hd, lastHOG)
+			if err != nil {
+				return nil, nil, err
+			}
+			turned := p.HeadingGate > 0 &&
+				absAngle(headings[imuIdx]-lastHeading) >= p.HeadingGate
+			if scc >= p.HG && !turned {
+				continue // camera barely moved; not a key-frame
+			}
+		}
+		lastHOG = hd
+		lastHeading = headings[imuIdx]
+		pos, err := traj.PositionAt(f.T)
+		if err != nil {
+			return nil, nil, err
+		}
+		kf := &KeyFrame{
+			T:         f.T,
+			Image:     f.Image,
+			Heading:   headings[imuIdx],
+			LocalPos:  pos,
+			TruthPose: f.TruthPose,
+			HOG:       hd,
+		}
+		if kf.Hist, err = histogram.Compute(f.Image, p.HistBins); err != nil {
+			return nil, nil, err
+		}
+		if kf.Shape, err = shape.Compute(luma, p.Shape); err != nil {
+			return nil, nil, err
+		}
+		if kf.Wavelet, err = wavelet.Compute(luma, p.Wavelet); err != nil {
+			return nil, nil, err
+		}
+		kf.SURF = surf.Extract(luma, p.SURF)
+		kfs = append(kfs, kf)
+	}
+	// Memory: full frames are only needed downstream for panorama
+	// stitching, which consumes stationary (SRS) key-frames. Key-frames
+	// captured while walking can drop their pixels once features are out.
+	if len(traj.Points) > 0 {
+		start := traj.Points[0].Pos
+		for _, kf := range kfs {
+			if c.Kind == crowd.KindSWS || kf.LocalPos.Dist(start) > 1.0 {
+				kf.Image = nil
+			}
+		}
+	}
+	return kfs, traj, nil
+}
+
+func absAngle(a float64) float64 {
+	for a > 3.141592653589793 {
+		a -= 2 * 3.141592653589793
+	}
+	for a < -3.141592653589793 {
+		a += 2 * 3.141592653589793
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func stepLengthOf(c *crowd.Capture) float64 {
+	if c.StepLengthEst > 0 {
+		return c.StepLengthEst
+	}
+	return 0.7 // population default when the upload lacks a device profile
+}
+
+// Stage1 computes the S1 similarity score: the weighted combination of the
+// three cheap channels.
+func Stage1(a, b *KeyFrame, p Params) (float64, error) {
+	cs, err := histogram.Intersection(a.Hist, b.Hist)
+	if err != nil {
+		return 0, err
+	}
+	ss, err := shape.Similarity(a.Shape, b.Shape)
+	if err != nil {
+		return 0, err
+	}
+	ws, err := wavelet.Similarity(a.Wavelet, b.Wavelet)
+	if err != nil {
+		return 0, err
+	}
+	wsum := p.WColor + p.WShape + p.WWavelet
+	return (p.WColor*cs + p.WShape*ss + p.WWavelet*ws) / wsum, nil
+}
+
+// Compare runs the hierarchical comparison of two key-frames. It returns
+// whether they depict the same place, and the stage-2 similarity S2 (zero
+// when stage 1 already rejected the pair — the cheap-reject path that makes
+// the pipeline scale).
+func Compare(a, b *KeyFrame, p Params) (bool, float64, error) {
+	s1, err := Stage1(a, b, p)
+	if err != nil {
+		return false, 0, err
+	}
+	if s1 < p.HS {
+		return false, 0, nil
+	}
+	if len(a.SURF) == 0 || len(b.SURF) == 0 {
+		return false, 0, nil
+	}
+	s2, err := surf.Similarity(a.SURF, b.SURF, p.HD)
+	if err != nil {
+		return false, 0, err
+	}
+	return s2 > p.HF, s2, nil
+}

@@ -1,0 +1,209 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/vision/pano"
+)
+
+// Freeform is a non-rectangular room reconstruction: the paper's Section
+// VI future-work item. Instead of fitting the 2-D rectangular model, the
+// per-azimuth wall distances observed in the panorama are used directly as
+// a star-shaped boundary around the camera, rasterized and traced into a
+// rectilinear-ish polygon. It handles any room whose walls are all visible
+// from the capture point (L-shapes, T-shapes); the rectangular estimator
+// remains the default because ~90% of rooms are rectangular (the paper
+// cites Steadman 2006).
+type Freeform struct {
+	// Boundary is the traced room outline in the camera's local frame
+	// (camera at the origin).
+	Boundary geom.Polygon
+	// Res is the rasterization cell size used during tracing, meters.
+	Res float64
+}
+
+// Area returns the enclosed area in m².
+func (f Freeform) Area() float64 { return f.Boundary.Area() }
+
+// Contains reports whether p (camera-local) lies inside the room.
+func (f Freeform) Contains(p geom.Pt) bool { return f.Boundary.Contains(p) }
+
+// FreeformFromDistances reconstructs the star-shaped region enclosed by
+// per-azimuth wall distances. phis and dists pair up; gaps (dist ≤ 0) are
+// interpolated from their angular neighbors. res is the rasterization cell
+// size; smooth is the half-width (in samples) of the median filter applied
+// to the distance function before tracing.
+func FreeformFromDistances(phis, dists []float64, res float64, smooth int) (Freeform, error) {
+	if len(phis) != len(dists) {
+		return Freeform{}, fmt.Errorf("layout: %d azimuths vs %d distances", len(phis), len(dists))
+	}
+	if len(phis) < 8 {
+		return Freeform{}, fmt.Errorf("layout: need at least 8 boundary samples, got %d", len(phis))
+	}
+	if res <= 0 {
+		return Freeform{}, fmt.Errorf("layout: resolution must be positive, got %g", res)
+	}
+	n := len(phis)
+	d := make([]float64, n)
+	copy(d, dists)
+	// Fill gaps by circular linear interpolation.
+	if err := fillGaps(d); err != nil {
+		return Freeform{}, err
+	}
+	// Circular median filter suppresses single-column outliers (doors,
+	// furniture edges).
+	if smooth > 0 {
+		d = circularMedian(d, smooth)
+	}
+	// Boundary polygon directly from the polar samples.
+	pts := make([]geom.Pt, n)
+	maxD := 0.0
+	for i := range d {
+		pts[i] = geom.FromPolar(d[i], phis[i])
+		if d[i] > maxD {
+			maxD = d[i]
+		}
+	}
+	poly := geom.NewPolygon(pts)
+	// Simplify: drop vertices that deviate from the line joining their
+	// neighbors by less than half a cell (Douglas-Peucker-lite pass).
+	simplified := simplifyPolygon(poly.Vertices, res/2)
+	if len(simplified) < 4 {
+		return Freeform{}, fmt.Errorf("layout: boundary degenerated to %d vertices", len(simplified))
+	}
+	return Freeform{Boundary: geom.NewPolygon(simplified), Res: res}, nil
+}
+
+// fillGaps replaces non-positive entries by interpolating circularly
+// between the nearest positive neighbors.
+func fillGaps(d []float64) error {
+	n := len(d)
+	valid := 0
+	for _, v := range d {
+		if v > 0 {
+			valid++
+		}
+	}
+	if valid == 0 {
+		return fmt.Errorf("layout: no valid boundary samples")
+	}
+	if valid == n {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if d[i] > 0 {
+			continue
+		}
+		// Nearest valid sample in each direction.
+		var li, ri int
+		var lv, rv float64
+		for k := 1; k < n; k++ {
+			j := (i - k + n*8) % n
+			if d[j] > 0 {
+				li, lv = k, d[j]
+				break
+			}
+		}
+		for k := 1; k < n; k++ {
+			j := (i + k) % n
+			if d[j] > 0 {
+				ri, rv = k, d[j]
+				break
+			}
+		}
+		d[i] = (lv*float64(ri) + rv*float64(li)) / float64(li+ri)
+	}
+	return nil
+}
+
+// circularMedian applies a median filter with circular wraparound.
+func circularMedian(d []float64, half int) []float64 {
+	n := len(d)
+	out := make([]float64, n)
+	win := make([]float64, 0, 2*half+1)
+	for i := 0; i < n; i++ {
+		win = win[:0]
+		for k := -half; k <= half; k++ {
+			win = append(win, d[(i+k+n*8)%n])
+		}
+		out[i] = mathx.Median(win)
+	}
+	return out
+}
+
+// simplifyPolygon removes near-collinear vertices (closed-ring variant).
+func simplifyPolygon(vs []geom.Pt, tol float64) []geom.Pt {
+	n := len(vs)
+	if n < 4 {
+		return vs
+	}
+	keep := make([]bool, n)
+	for i := 0; i < n; i++ {
+		prev := vs[(i-1+n)%n]
+		next := vs[(i+1)%n]
+		seg := geom.Seg{A: prev, B: next}
+		if seg.DistToPoint(vs[i]) > tol {
+			keep[i] = true
+		}
+	}
+	// Always keep at least every 8th vertex so long smooth arcs survive.
+	for i := 0; i < n; i += 8 {
+		keep[i] = true
+	}
+	var out []geom.Pt
+	for i, k := range keep {
+		if k {
+			out = append(out, vs[i])
+		}
+	}
+	return out
+}
+
+// EstimateFreeform reconstructs a non-rectangular room boundary from a
+// panorama. It shares the boundary extraction of the rectangular
+// estimator; columns without a decisive boundary are treated as gaps and
+// interpolated.
+func EstimateFreeform(pn *pano.Panorama, p Params) (Freeform, error) {
+	if err := p.Validate(); err != nil {
+		return Freeform{}, err
+	}
+	bd := estimateBoundary(pn, p.CameraHeight)
+	usable := 0
+	n := pn.Image.W
+	phis := make([]float64, 0, n)
+	dists := make([]float64, 0, n)
+	for u := 0; u < n; u++ {
+		phis = append(phis, pn.AzimuthOf(u))
+		if bd.strong[u] && bd.dist[u] > 0 && bd.dist[u] <= p.MaxWall {
+			dists = append(dists, bd.dist[u])
+			usable++
+		} else {
+			dists = append(dists, 0)
+		}
+	}
+	if usable < n/4 {
+		return Freeform{}, fmt.Errorf("layout: boundary visible in only %d of %d columns", usable, n)
+	}
+	return FreeformFromDistances(phis, dists, 0.2, 5)
+}
+
+// RectangularityScore compares a freeform boundary against the best
+// rectangular model: the area of the symmetric difference divided by the
+// rectangle area. Values near 0 mean the room is effectively rectangular
+// and the rectangular estimator should be preferred.
+func RectangularityScore(f Freeform, l Layout) float64 {
+	rect := geom.NewPolygon([]geom.Pt{
+		geom.P(l.DXPlus, l.DYPlus), geom.P(-l.DXMinus, l.DYPlus),
+		geom.P(-l.DXMinus, -l.DYMinus), geom.P(l.DXPlus, -l.DYMinus),
+	})
+	rect = rect.RotateAbout(geom.Pt{}, l.Theta)
+	inter := geom.IntersectionArea(f.Boundary, rect, 0.2)
+	union := f.Area() + rect.Area() - inter
+	if union <= 0 {
+		return math.Inf(1)
+	}
+	return (union - inter) / rect.Area()
+}

@@ -1,0 +1,162 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+// polarDistances computes d(φ) from an interior camera point to a polygon
+// boundary by ray casting, for n azimuths.
+func polarDistances(poly geom.Polygon, cam geom.Pt, n int) (phis, dists []float64) {
+	for i := 0; i < n; i++ {
+		phi := 2 * math.Pi * float64(i) / float64(n)
+		far := cam.Add(geom.FromPolar(1000, phi))
+		ray := geom.Seg{A: cam, B: far}
+		best := math.Inf(1)
+		for _, e := range poly.Edges() {
+			if p, ok := ray.Intersect(e); ok {
+				if d := cam.Dist(p); d < best {
+					best = d
+				}
+			}
+		}
+		phis = append(phis, phi)
+		if math.IsInf(best, 1) {
+			dists = append(dists, 0)
+		} else {
+			dists = append(dists, best)
+		}
+	}
+	return phis, dists
+}
+
+func lRoom() geom.Polygon {
+	// 8×6 L with a 4×3 notch cut from the top-right: area 48−12 = 36.
+	return geom.NewPolygon([]geom.Pt{
+		{X: 0, Y: 0}, {X: 8, Y: 0}, {X: 8, Y: 3}, {X: 4, Y: 3}, {X: 4, Y: 6}, {X: 0, Y: 6},
+	})
+}
+
+func TestFreeformFromDistancesValidation(t *testing.T) {
+	if _, err := FreeformFromDistances([]float64{1}, []float64{1, 2}, 0.2, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FreeformFromDistances(make([]float64, 4), make([]float64, 4), 0.2, 2); err == nil {
+		t.Error("too few samples should error")
+	}
+	phis := make([]float64, 16)
+	if _, err := FreeformFromDistances(phis, make([]float64, 16), 0, 2); err == nil {
+		t.Error("zero resolution should error")
+	}
+	if _, err := FreeformFromDistances(phis, make([]float64, 16), 0.2, 2); err == nil {
+		t.Error("all-gap distances should error")
+	}
+}
+
+func TestFreeformReconstructsLShape(t *testing.T) {
+	room := lRoom()
+	cam := geom.P(2, 2) // sees every wall of the L
+	phis, dists := polarDistances(room, cam, 360)
+	f, err := FreeformFromDistances(phis, dists, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArea := room.Area() // 36
+	if math.Abs(f.Area()-wantArea) > 0.1*wantArea {
+		t.Errorf("freeform area = %.1f, want ≈%.1f", f.Area(), wantArea)
+	}
+	// The notch must be excluded: a camera-local point inside the notch
+	// region (world (6, 4.5) → local (4, 2.5)) is outside the room.
+	if f.Contains(geom.P(4, 2.5)) {
+		t.Error("freeform filled the L notch")
+	}
+	// And an in-room point near the far leg is included (world (6,1.5) →
+	// local (4,-0.5)).
+	if !f.Contains(geom.P(4, -0.5)) {
+		t.Error("freeform lost the L leg")
+	}
+}
+
+func TestFreeformInterpolatesGaps(t *testing.T) {
+	room := lRoom()
+	cam := geom.P(2, 2)
+	phis, dists := polarDistances(room, cam, 360)
+	// Knock out a 30° contiguous gap and some scattered samples.
+	for i := 40; i < 70; i++ {
+		dists[i] = 0
+	}
+	for i := 100; i < 360; i += 17 {
+		dists[i] = 0
+	}
+	f, err := FreeformFromDistances(phis, dists, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Area()-room.Area()) > 0.15*room.Area() {
+		t.Errorf("gap-filled area = %.1f, want ≈%.1f", f.Area(), room.Area())
+	}
+}
+
+func TestFreeformMedianSuppressesOutliers(t *testing.T) {
+	room := lRoom()
+	cam := geom.P(2, 2)
+	phis, dists := polarDistances(room, cam, 360)
+	rng := mathx.NewRNG(4)
+	// Corrupt 5% of samples with wild distances (open doors, mirrors).
+	for k := 0; k < 18; k++ {
+		dists[rng.Intn(len(dists))] *= 4
+	}
+	f, err := FreeformFromDistances(phis, dists, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Area()-room.Area()) > 0.15*room.Area() {
+		t.Errorf("outlier-corrupted area = %.1f, want ≈%.1f", f.Area(), room.Area())
+	}
+}
+
+// On a rendered rectangular room, the freeform estimate should roughly
+// agree with the rectangular estimator and score as rectangular.
+func TestEstimateFreeformAgreesOnRectangularRoom(t *testing.T) {
+	b := world.Lab1()
+	room := b.Rooms[2]
+	pn := renderRoomPano(t, b, room.Bounds.Center())
+	p := DefaultParams()
+	p.CameraHeight = b.CameraHeight
+	p.Hypotheses = 3000
+	f, err := EstimateFreeform(pn, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Area()-room.Area()) > 0.3*room.Area() {
+		t.Errorf("freeform area = %.1f, truth %.1f", f.Area(), room.Area())
+	}
+	l, err := Estimate(pn, p, mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := RectangularityScore(f, l)
+	if score > 0.5 {
+		t.Errorf("rectangular room scored %.2f, want near 0", score)
+	}
+}
+
+func TestRectangularityScoreDetectsNonRect(t *testing.T) {
+	room := lRoom()
+	cam := geom.P(2, 2)
+	phis, dists := polarDistances(room, cam, 360)
+	f, err := FreeformFromDistances(phis, dists, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-effort rectangle for the L (covering the bounding box).
+	l := Layout{Theta: 0, DXMinus: 2, DXPlus: 6, DYMinus: 2, DYPlus: 4}
+	score := RectangularityScore(f, l)
+	if score < 0.15 {
+		t.Errorf("L-shaped room scored %.2f, should be clearly non-rectangular", score)
+	}
+}

@@ -1,0 +1,443 @@
+// Package layout reconstructs a room's 2-D rectangular layout from a 360°
+// panorama (paper Section III-C.II): line segments detected in the
+// panorama (LSD) yield wall-corner candidates, the dominant directions act
+// as vanishing directions (Hough-style voting), thousands of rectangular
+// room hypotheses are sampled around those cues — the paper samples 20,000
+// models — and each is scored by pixel-wise surface consistency between
+// the hypothesis-predicted wall/floor boundary and the observed panorama
+// surfaces, in the spirit of PanoContext. The best-scoring model becomes
+// the room layout.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/vision/lsd"
+	"crowdmap/internal/vision/pano"
+)
+
+// Layout is a reconstructed rectangular room model in the camera's local
+// frame: the camera stands at the origin, the rectangle spans
+// [-DXMinus, DXPlus] × [-DYMinus, DYPlus] in a frame rotated by Theta.
+type Layout struct {
+	Theta           float64 // wall orientation, radians in [0, π/2)
+	DXMinus, DXPlus float64 // distances to the two walls along the rotated x axis
+	DYMinus, DYPlus float64 // distances along the rotated y axis
+	Score           float64 // surface-consistency score in [0, 1]
+}
+
+// Width returns the rectangle's extent along the rotated x axis.
+func (l Layout) Width() float64 { return l.DXMinus + l.DXPlus }
+
+// Length returns the rectangle's extent along the rotated y axis.
+func (l Layout) Length() float64 { return l.DYMinus + l.DYPlus }
+
+// Area returns the room area in m².
+func (l Layout) Area() float64 { return l.Width() * l.Length() }
+
+// AspectRatio returns long side / short side (≥ 1).
+func (l Layout) AspectRatio() float64 {
+	w, h := l.Width(), l.Length()
+	lo, hi := math.Min(w, h), math.Max(w, h)
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// CenterOffset returns the room center relative to the camera position, in
+// the camera's (unrotated) frame.
+func (l Layout) CenterOffset() geom.Pt {
+	c := geom.P((l.DXPlus-l.DXMinus)/2, (l.DYPlus-l.DYMinus)/2)
+	return c.Rotate(l.Theta)
+}
+
+// WallDistance returns the distance from the camera to the rectangle
+// boundary along azimuth phi.
+func (l Layout) WallDistance(phi float64) float64 {
+	// Rotate the ray into the rectangle frame.
+	a := phi - l.Theta
+	c, s := math.Cos(a), math.Sin(a)
+	tx := math.Inf(1)
+	if c > 1e-9 {
+		tx = l.DXPlus / c
+	} else if c < -1e-9 {
+		tx = l.DXMinus / -c
+	}
+	ty := math.Inf(1)
+	if s > 1e-9 {
+		ty = l.DYPlus / s
+	} else if s < -1e-9 {
+		ty = l.DYMinus / -s
+	}
+	return math.Min(tx, ty)
+}
+
+// Params tunes layout estimation.
+type Params struct {
+	// CameraHeight is the assumed camera height above the floor, meters.
+	CameraHeight float64
+	// Hypotheses is the number of sampled room models (paper: 20,000).
+	Hypotheses int
+	// MinWall, MaxWall bound sampled camera-to-wall distances, meters.
+	MinWall, MaxWall float64
+	// ColumnStride subsamples panorama columns during scoring.
+	ColumnStride int
+	// Seed drives hypothesis sampling.
+	Seed int64
+	// LSD configures segment detection on the panorama.
+	LSD lsd.Params
+}
+
+// DefaultParams matches the paper's hypothesis count.
+func DefaultParams() Params {
+	return Params{
+		CameraHeight: 1.5,
+		Hypotheses:   20000,
+		MinWall:      0.8,
+		MaxWall:      30,
+		ColumnStride: 4,
+		Seed:         1,
+		LSD:          lsd.DefaultParams(),
+	}
+}
+
+// Validate checks estimation parameters.
+func (p Params) Validate() error {
+	if p.CameraHeight <= 0 {
+		return fmt.Errorf("layout: camera height must be positive, got %g", p.CameraHeight)
+	}
+	if p.Hypotheses < 1 {
+		return fmt.Errorf("layout: need at least one hypothesis, got %d", p.Hypotheses)
+	}
+	if p.MinWall <= 0 || p.MaxWall <= p.MinWall {
+		return fmt.Errorf("layout: invalid wall distance bounds [%g, %g]", p.MinWall, p.MaxWall)
+	}
+	if p.ColumnStride < 1 {
+		return fmt.Errorf("layout: column stride must be ≥ 1, got %d", p.ColumnStride)
+	}
+	return nil
+}
+
+// boundary holds the observed wall-floor boundary per panorama column.
+type boundary struct {
+	row  []float64 // boundary row per column (-1 when not found)
+	dist []float64 // implied wall distance per column (0 when not found)
+	conf []float64 // edge strength per column
+	// strong marks columns whose boundary edge is decisively stronger than
+	// wall texture; weak columns usually mean the wall is so close that the
+	// true boundary falls below the panorama's bottom edge.
+	strong []bool
+	// confMed is the median confidence over columns with a boundary.
+	confMed float64
+}
+
+// estimateBoundary finds, per column, the strongest downward dark
+// transition below the horizon — the wall→floor boundary.
+func estimateBoundary(pn *pano.Panorama, camH float64) *boundary {
+	im := pn.Image.Luma()
+	w, h := im.W, im.H
+	b := &boundary{
+		row:  make([]float64, w),
+		dist: make([]float64, w),
+		conf: make([]float64, w),
+	}
+	horizon := int(pn.RowOfTanElev(0))
+	if horizon < 0 {
+		horizon = 0
+	}
+	for u := 0; u < w; u++ {
+		b.row[u] = -1
+		bestG := 0.0
+		bestV := -1
+		for v := horizon + 2; v < h-2; v++ {
+			if !pn.IsCovered(u, v-2) || !pn.IsCovered(u, v+2) {
+				continue
+			}
+			// Smoothed vertical gradient (wall above brighter than floor
+			// below in indoor scenes; use absolute change to stay neutral).
+			above := (im.At(u, v-1) + im.At(u, v-2)) / 2
+			below := (im.At(u, v+1) + im.At(u, v+2)) / 2
+			g := math.Abs(above - below)
+			if g > bestG {
+				bestG = g
+				bestV = v
+			}
+		}
+		if bestV < 0 {
+			continue
+		}
+		t := pn.TanElevOf(bestV)
+		if t >= -1e-3 {
+			continue // boundary must be below the horizon
+		}
+		b.row[u] = float64(bestV)
+		b.dist[u] = -camH / t
+		b.conf[u] = bestG
+	}
+	var confs []float64
+	for u := range b.row {
+		if b.row[u] >= 0 {
+			confs = append(confs, b.conf[u])
+		}
+	}
+	b.confMed = mathx.Median(confs)
+	b.strong = make([]bool, w)
+	for u := range b.row {
+		b.strong[u] = b.row[u] >= 0 && b.conf[u] >= 0.6*b.confMed
+	}
+	return b
+}
+
+// cornerAzimuths clusters near-vertical panorama segments into corner
+// candidates (wall corners project to vertical lines in a cylindrical
+// panorama) and returns their azimuths.
+func cornerAzimuths(pn *pano.Panorama, segs []lsd.Segment) []float64 {
+	type cand struct {
+		u float64
+		w float64
+	}
+	var cands []cand
+	for _, s := range segs {
+		ang := s.Angle()
+		// Vertical in image space: angle near π/2.
+		if math.Abs(ang-math.Pi/2) > mathx.Deg2Rad(12) {
+			continue
+		}
+		if s.Len() < 10 {
+			continue
+		}
+		cands = append(cands, cand{u: (s.A.X + s.B.X) / 2, w: s.Len()})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].u < cands[j].u })
+	// Merge candidates within ~3° of panorama width.
+	mergeTol := float64(pn.Image.W) / 120
+	var out []float64
+	i := 0
+	for i < len(cands) {
+		j := i
+		var sumU, sumW float64
+		for j < len(cands) && cands[j].u-cands[i].u <= mergeTol {
+			sumU += cands[j].u * cands[j].w
+			sumW += cands[j].w
+			j++
+		}
+		col := sumU / sumW
+		out = append(out, pn.AzimuthOf(int(col)))
+		i = j
+	}
+	return out
+}
+
+// Estimate reconstructs the room layout from a panorama.
+func Estimate(pn *pano.Panorama, p Params, rng *rand.Rand) (Layout, error) {
+	if err := p.Validate(); err != nil {
+		return Layout{}, err
+	}
+	if rng == nil {
+		rng = mathx.NewRNG(p.Seed)
+	}
+	bd := estimateBoundary(pn, p.CameraHeight)
+	// Require a decisive boundary over at least a quarter of the circle.
+	usable := 0
+	for u := range bd.row {
+		if bd.strong[u] {
+			usable++
+		}
+	}
+	if usable < pn.Image.W/4 {
+		return Layout{}, fmt.Errorf("layout: wall-floor boundary visible in only %d of %d columns", usable, pn.Image.W)
+	}
+	segs, err := lsd.Detect(pn.Image.Luma(), p.LSD)
+	if err != nil {
+		return Layout{}, fmt.Errorf("layout: segment detection: %w", err)
+	}
+	corners := cornerAzimuths(pn, segs)
+	thetas := thetaCandidates(corners, bd, pn)
+
+	best := Layout{Score: -1}
+	for i := 0; i < p.Hypotheses; i++ {
+		var theta float64
+		if len(thetas) > 0 && rng.Float64() < 0.7 {
+			theta = thetas[rng.Intn(len(thetas))] + rng.NormFloat64()*mathx.Deg2Rad(4)
+		} else {
+			theta = rng.Float64() * math.Pi / 2
+		}
+		theta = math.Mod(theta, math.Pi/2)
+		if theta < 0 {
+			theta += math.Pi / 2
+		}
+		l := sampleDistances(theta, bd, pn, p, rng)
+		l.Score = score(l, bd, pn, p)
+		if l.Score > best.Score {
+			best = l
+		}
+	}
+	if best.Score < 0 {
+		return Layout{}, fmt.Errorf("layout: no valid hypothesis found")
+	}
+	return best, nil
+}
+
+// thetaCandidates derives wall-orientation candidates from corner azimuth
+// pairs: two adjacent corners with measured distances give a wall segment
+// whose direction is a vanishing-direction estimate.
+func thetaCandidates(corners []float64, bd *boundary, pn *pano.Panorama) []float64 {
+	var out []float64
+	n := len(corners)
+	for i := 0; i < n; i++ {
+		phiA := corners[i]
+		phiB := corners[(i+1)%n]
+		da := distAt(bd, pn, phiA)
+		db := distAt(bd, pn, phiB)
+		if da <= 0 || db <= 0 {
+			continue
+		}
+		va := geom.FromPolar(da, phiA)
+		vb := geom.FromPolar(db, phiB)
+		dir := vb.Sub(va).Angle()
+		dir = math.Mod(dir, math.Pi/2)
+		if dir < 0 {
+			dir += math.Pi / 2
+		}
+		out = append(out, dir)
+	}
+	return out
+}
+
+func distAt(bd *boundary, pn *pano.Panorama, phi float64) float64 {
+	u := int(math.Round(pn.ColOfAzimuth(phi)))
+	if u < 0 {
+		u = 0
+	}
+	if u >= len(bd.dist) {
+		u = len(bd.dist) - 1
+	}
+	return bd.dist[u]
+}
+
+// sampleDistances draws the four wall distances: around the observed
+// boundary statistics in each rotated half-axis direction when available,
+// falling back to log-uniform sampling.
+func sampleDistances(theta float64, bd *boundary, pn *pano.Panorama, p Params, rng *rand.Rand) Layout {
+	// Gather observed distances projected on the rotated axes. Only
+	// decisive boundary columns vote; weak columns are usually walls too
+	// close for their boundary to be visible.
+	var xm, xp, ym, yp []float64
+	for u := 0; u < pn.Image.W; u += 2 {
+		if bd.dist[u] <= 0 || !bd.strong[u] {
+			continue
+		}
+		phi := pn.AzimuthOf(u)
+		a := phi - theta
+		d := bd.dist[u]
+		x := d * math.Cos(a)
+		y := d * math.Sin(a)
+		// A boundary observation constrains the wall in its dominant
+		// direction.
+		if math.Abs(x) > math.Abs(y) {
+			if x > 0 {
+				xp = append(xp, x)
+			} else {
+				xm = append(xm, -x)
+			}
+		} else {
+			if y > 0 {
+				yp = append(yp, y)
+			} else {
+				ym = append(ym, -y)
+			}
+		}
+	}
+	dVis := p.MaxWall
+	if pn.TMin < 0 {
+		dVis = math.Min(p.MaxWall, p.CameraHeight/-pn.TMin)
+	}
+	draw := func(obs []float64) float64 {
+		if len(obs) >= 5 && rng.Float64() < 0.8 {
+			base := mathx.Median(obs)
+			v := base * (1 + rng.NormFloat64()*0.12)
+			return mathx.Clamp(v, p.MinWall, p.MaxWall)
+		}
+		// A quadrant without decisive boundary observations usually means
+		// the wall is closer than the visibility limit; bias the fallback
+		// toward that range but keep full-range exploration.
+		if len(obs) < 5 && rng.Float64() < 0.6 {
+			lo, hi := math.Log(p.MinWall), math.Log(dVis)
+			return math.Exp(lo + rng.Float64()*(hi-lo))
+		}
+		lo, hi := math.Log(p.MinWall), math.Log(p.MaxWall)
+		return math.Exp(lo + rng.Float64()*(hi-lo))
+	}
+	return Layout{
+		Theta:   theta,
+		DXMinus: draw(xm),
+		DXPlus:  draw(xp),
+		DYMinus: draw(ym),
+		DYPlus:  draw(yp),
+	}
+}
+
+// score computes the pixel-wise surface consistency of a hypothesis: for
+// each sampled column the predicted boundary row splits the column into
+// wall above and floor below; pixels agreeing with the observed boundary
+// classification vote for the hypothesis.
+func score(l Layout, bd *boundary, pn *pano.Panorama, p Params) float64 {
+	var total, agree float64
+	h := float64(pn.Image.H)
+	// Walls closer than dVis project their boundary below the canvas.
+	dVis := math.Inf(1)
+	if pn.TMin < 0 {
+		dVis = p.CameraHeight / -pn.TMin
+	}
+	for u := 0; u < pn.Image.W; u += p.ColumnStride {
+		phi := pn.AzimuthOf(u)
+		d := l.WallDistance(phi)
+		if math.IsInf(d, 1) || d <= 0 {
+			continue
+		}
+		if d < dVis {
+			// Hypothesis predicts no visible boundary in this column: that
+			// is consistent exactly when no decisive boundary was observed.
+			w := bd.confMed
+			if !bd.strong[u] {
+				agree += w
+			}
+			total += w
+			continue
+		}
+		if bd.row[u] < 0 {
+			continue
+		}
+		if !bd.strong[u] {
+			// Weak evidence contradicting a visible-boundary prediction:
+			// count the column with a mild penalty through its low weight.
+			total += bd.conf[u]
+			continue
+		}
+		predRow := pn.RowOfTanElev(-p.CameraHeight / d)
+		obsRow := bd.row[u]
+		// Pixel-count agreement: the overlap of the wall (above boundary)
+		// and floor (below) partitions implied by the predicted vs the
+		// observed row. |pred − obs| rows disagree out of the column.
+		diff := math.Abs(predRow - obsRow)
+		if diff > h {
+			diff = h
+		}
+		w := bd.conf[u]
+		agree += w * (1 - diff/h)
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	return agree / total
+}

@@ -1,0 +1,166 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/vision/pano"
+	"crowdmap/internal/world"
+)
+
+func TestLayoutGeometry(t *testing.T) {
+	l := Layout{Theta: 0, DXMinus: 2, DXPlus: 3, DYMinus: 1, DYPlus: 2}
+	if l.Width() != 5 || l.Length() != 3 {
+		t.Errorf("Width/Length = %v/%v", l.Width(), l.Length())
+	}
+	if l.Area() != 15 {
+		t.Errorf("Area = %v", l.Area())
+	}
+	if math.Abs(l.AspectRatio()-5.0/3) > 1e-12 {
+		t.Errorf("AspectRatio = %v", l.AspectRatio())
+	}
+	off := l.CenterOffset()
+	if off.Dist(geom.P(0.5, 0.5)) > 1e-12 {
+		t.Errorf("CenterOffset = %v", off)
+	}
+}
+
+func TestWallDistance(t *testing.T) {
+	l := Layout{Theta: 0, DXMinus: 2, DXPlus: 3, DYMinus: 1, DYPlus: 4}
+	tests := []struct {
+		phiDeg float64
+		want   float64
+	}{
+		{0, 3},               // +x wall
+		{180, 2},             // −x wall
+		{90, 4},              // +y wall
+		{270, 1},             // −y wall
+		{45, 3 * math.Sqrt2}, // hits +x wall at 45° before +y wall (3/cos45 < 4/sin45)
+	}
+	for _, tt := range tests {
+		if got := l.WallDistance(mathx.Deg2Rad(tt.phiDeg)); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("WallDistance(%v°) = %v, want %v", tt.phiDeg, got, tt.want)
+		}
+	}
+	// A degenerate layout never returns negative distances.
+	if d := l.WallDistance(1.234); d <= 0 {
+		t.Errorf("distance must be positive, got %v", d)
+	}
+}
+
+func TestAspectRatioDegenerate(t *testing.T) {
+	l := Layout{}
+	if !math.IsInf(l.AspectRatio(), 1) {
+		t.Error("zero layout aspect should be +Inf")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"camera height", func(p *Params) { p.CameraHeight = 0 }},
+		{"hypotheses", func(p *Params) { p.Hypotheses = 0 }},
+		{"wall bounds", func(p *Params) { p.MinWall, p.MaxWall = 5, 2 }},
+		{"stride", func(p *Params) { p.ColumnStride = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+// renderRoomPano stitches a panorama captured at pos inside building b.
+func renderRoomPano(t *testing.T, b *world.Building, pos geom.Pt) *pano.Panorama {
+	t.Helper()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(b, cam)
+	pp := pano.DefaultParams()
+	pp.FOV = cam.FOV
+	pp.Pitch = cam.Pitch
+	pp.OutW, pp.OutH = 480, 160
+	var frames []pano.Frame
+	for d := 0.0; d < 360; d += 20 {
+		h := mathx.Deg2Rad(d)
+		frames = append(frames, pano.Frame{
+			Image:   r.Render(world.Pose{Pos: pos, Heading: h}, world.Daylight(), nil),
+			Heading: h,
+		})
+	}
+	pn, err := pano.Stitch(frames, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pn
+}
+
+func TestEstimateRecoversRoomDimensions(t *testing.T) {
+	b := world.Lab1()
+	room := b.Rooms[2] // a 5×6 perimeter office
+	pn := renderRoomPano(t, b, room.Bounds.Center())
+	p := DefaultParams()
+	p.CameraHeight = b.CameraHeight
+	p.Hypotheses = 4000
+	l, err := Estimate(pn, p, mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	areaErr := math.Abs(l.Area()-room.Area()) / room.Area()
+	if areaErr > 0.30 {
+		t.Errorf("area = %.1f (want %.1f), error %.0f%%", l.Area(), room.Area(), areaErr*100)
+	}
+	wantAspect := room.AspectRatio()
+	aspErr := math.Abs(l.AspectRatio()-wantAspect) / wantAspect
+	if aspErr > 0.25 {
+		t.Errorf("aspect = %.2f (want %.2f), error %.0f%%", l.AspectRatio(), wantAspect, aspErr*100)
+	}
+	// Walls are axis-aligned: theta near 0 or π/2 (same rectangle).
+	th := math.Min(l.Theta, math.Abs(math.Pi/2-l.Theta))
+	if th > mathx.Deg2Rad(10) {
+		t.Errorf("theta = %.1f°, want ≈0°", mathx.Rad2Deg(l.Theta))
+	}
+	if l.Score <= 0.5 {
+		t.Errorf("best score = %v, suspiciously low", l.Score)
+	}
+}
+
+func TestEstimateOffCenterCamera(t *testing.T) {
+	b := world.Lab1()
+	room := b.Rooms[4]
+	// Stand away from the center; the rectangle model must still fit and
+	// the center offset should point back toward the true center.
+	stand := room.Bounds.Center().Add(geom.P(0.8, -0.6))
+	pn := renderRoomPano(t, b, stand)
+	p := DefaultParams()
+	p.CameraHeight = b.CameraHeight
+	p.Hypotheses = 4000
+	l, err := Estimate(pn, p, mathx.NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	estCenter := stand.Add(l.CenterOffset())
+	if d := estCenter.Dist(room.Bounds.Center()); d > 1.2 {
+		t.Errorf("estimated center %v is %.2f m from truth %v", estCenter, d, room.Bounds.Center())
+	}
+}
+
+func TestEstimateFailsWithoutBoundary(t *testing.T) {
+	// A panorama with no coverage must be rejected.
+	pn := renderRoomPano(t, world.Lab1(), world.Lab1().Rooms[0].Bounds.Center())
+	for i := range pn.Covered {
+		pn.Covered[i] = false
+	}
+	p := DefaultParams()
+	p.Hypotheses = 10
+	if _, err := Estimate(pn, p, mathx.NewRNG(11)); err == nil {
+		t.Error("uncovered panorama should fail")
+	}
+}

@@ -1,0 +1,126 @@
+package mathx
+
+import "math"
+
+// NormalizeAngle wraps an angle in radians to the interval (-π, π].
+func NormalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the signed smallest difference a-b wrapped to (-π, π].
+func AngleDiff(a, b float64) float64 {
+	return NormalizeAngle(a - b)
+}
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(r float64) float64 { return r * 180 / math.Pi }
+
+// AngularSpan describes a directed arc starting at From (radians) and
+// sweeping counterclockwise by Width (radians, in [0, 2π]).
+type AngularSpan struct {
+	From  float64
+	Width float64
+}
+
+// NewAngularSpan builds a span centered at center with the given width.
+func NewAngularSpan(center, width float64) AngularSpan {
+	if width < 0 {
+		width = 0
+	}
+	if width > 2*math.Pi {
+		width = 2 * math.Pi
+	}
+	return AngularSpan{From: NormalizeAngle(center - width/2), Width: width}
+}
+
+// Contains reports whether angle a lies inside the span.
+func (s AngularSpan) Contains(a float64) bool {
+	d := NormalizeAngle(a - s.From)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	return d <= s.Width
+}
+
+// Overlap returns the total angular measure (radians) of the intersection of
+// two spans on the circle. Because spans may wrap, the intersection can have
+// up to two components; the sum of their widths is returned.
+func (s AngularSpan) Overlap(t AngularSpan) float64 {
+	// Work on the universal cover: s occupies [0, s.Width] after shifting by
+	// -s.From; t occupies [d, d+t.Width] and also [d-2π, d-2π+t.Width].
+	d := NormalizeAngle(t.From - s.From)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	total := intervalOverlap(0, s.Width, d, d+t.Width)
+	total += intervalOverlap(0, s.Width, d-2*math.Pi, d-2*math.Pi+t.Width)
+	if total > 2*math.Pi {
+		total = 2 * math.Pi
+	}
+	return total
+}
+
+func intervalOverlap(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// CoverUnion returns the total angular measure covered by the union of the
+// given spans, in radians (at most 2π). It is used by the panorama admission
+// test: candidate key-frames must cover the full circle.
+func CoverUnion(spans []AngularSpan) float64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	// Flatten each span into one or two [start, end] intervals on [0, 2π).
+	type iv struct{ lo, hi float64 }
+	var ivs []iv
+	for _, s := range spans {
+		start := s.From
+		if start < 0 {
+			start += 2 * math.Pi
+		}
+		end := start + s.Width
+		if end <= 2*math.Pi {
+			ivs = append(ivs, iv{start, end})
+		} else {
+			ivs = append(ivs, iv{start, 2 * math.Pi}, iv{0, end - 2*math.Pi})
+		}
+	}
+	// Sweep-merge.
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j-1].lo > ivs[j].lo; j-- {
+			ivs[j-1], ivs[j] = ivs[j], ivs[j-1]
+		}
+	}
+	var total, curLo, curHi float64
+	curLo, curHi = ivs[0].lo, ivs[0].hi
+	for _, v := range ivs[1:] {
+		if v.lo > curHi {
+			total += curHi - curLo
+			curLo, curHi = v.lo, v.hi
+			continue
+		}
+		if v.hi > curHi {
+			curHi = v.hi
+		}
+	}
+	total += curHi - curLo
+	if total > 2*math.Pi {
+		total = 2 * math.Pi
+	}
+	return total
+}

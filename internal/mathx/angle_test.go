@@ -1,0 +1,160 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi}, // (-π, π] convention
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.Abs(a) > 1e6 {
+			return true
+		}
+		n := NormalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi {
+			return false
+		}
+		// Same direction: sin/cos agree.
+		return almostEq(math.Sin(a), math.Sin(n), 1e-6) && almostEq(math.Cos(a), math.Cos(n), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(Deg2Rad(350), Deg2Rad(10)); !almostEq(got, Deg2Rad(-20), 1e-9) {
+		t.Errorf("AngleDiff(350°,10°) = %v°, want -20°", Rad2Deg(got))
+	}
+	if got := AngleDiff(Deg2Rad(10), Deg2Rad(350)); !almostEq(got, Deg2Rad(20), 1e-9) {
+		t.Errorf("AngleDiff(10°,350°) = %v°, want 20°", Rad2Deg(got))
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, d := range []float64{0, 45, 90, 180, 270, 360, -45} {
+		if got := Rad2Deg(Deg2Rad(d)); !almostEq(got, d, 1e-9) {
+			t.Errorf("round trip %v° → %v°", d, got)
+		}
+	}
+}
+
+func TestAngularSpanContains(t *testing.T) {
+	s := NewAngularSpan(0, Deg2Rad(60)) // [-30°, +30°]
+	tests := []struct {
+		deg  float64
+		want bool
+	}{
+		{0, true}, {29, true}, {-29, true}, {31, false}, {-31, false}, {180, false},
+	}
+	for _, tt := range tests {
+		if got := s.Contains(Deg2Rad(tt.deg)); got != tt.want {
+			t.Errorf("Contains(%v°) = %v, want %v", tt.deg, got, tt.want)
+		}
+	}
+}
+
+func TestAngularSpanContainsWrap(t *testing.T) {
+	s := NewAngularSpan(math.Pi, Deg2Rad(40)) // wraps across ±π
+	if !s.Contains(Deg2Rad(175)) || !s.Contains(Deg2Rad(-175)) {
+		t.Error("span across ±π should contain both sides")
+	}
+	if s.Contains(0) {
+		t.Error("span across ±π should not contain 0")
+	}
+}
+
+func TestAngularSpanOverlap(t *testing.T) {
+	a := NewAngularSpan(0, Deg2Rad(60))
+	b := NewAngularSpan(Deg2Rad(40), Deg2Rad(60))
+	// a: [-30, 30], b: [10, 70] → overlap [10, 30] = 20°.
+	if got := a.Overlap(b); !almostEq(got, Deg2Rad(20), 1e-9) {
+		t.Errorf("Overlap = %v°, want 20°", Rad2Deg(got))
+	}
+	c := NewAngularSpan(math.Pi, Deg2Rad(60))
+	if got := a.Overlap(c); !almostEq(got, 0, 1e-9) {
+		t.Errorf("disjoint Overlap = %v°, want 0", Rad2Deg(got))
+	}
+}
+
+func TestAngularSpanOverlapSymmetricProperty(t *testing.T) {
+	f := func(c1, w1, c2, w2 float64) bool {
+		if math.IsNaN(c1) || math.IsNaN(c2) || math.IsNaN(w1) || math.IsNaN(w2) {
+			return true
+		}
+		if math.Abs(c1) > 100 || math.Abs(c2) > 100 {
+			return true
+		}
+		a := NewAngularSpan(c1, math.Mod(math.Abs(w1), 2*math.Pi))
+		b := NewAngularSpan(c2, math.Mod(math.Abs(w2), 2*math.Pi))
+		return almostEq(a.Overlap(b), b.Overlap(a), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverUnion(t *testing.T) {
+	full := []AngularSpan{
+		NewAngularSpan(0, Deg2Rad(130)),
+		NewAngularSpan(Deg2Rad(120), Deg2Rad(130)),
+		NewAngularSpan(Deg2Rad(240), Deg2Rad(130)),
+	}
+	if got := CoverUnion(full); !almostEq(got, 2*math.Pi, 1e-9) {
+		t.Errorf("full CoverUnion = %v°, want 360°", Rad2Deg(got))
+	}
+	gap := []AngularSpan{
+		NewAngularSpan(0, Deg2Rad(90)),
+		NewAngularSpan(Deg2Rad(180), Deg2Rad(90)),
+	}
+	if got := CoverUnion(gap); !almostEq(got, Deg2Rad(180), 1e-9) {
+		t.Errorf("gapped CoverUnion = %v°, want 180°", Rad2Deg(got))
+	}
+	if got := CoverUnion(nil); got != 0 {
+		t.Errorf("empty CoverUnion = %v, want 0", got)
+	}
+}
+
+func TestCoverUnionBoundsProperty(t *testing.T) {
+	f := func(centers []float64) bool {
+		spans := make([]AngularSpan, 0, len(centers))
+		var sum float64
+		for _, c := range centers {
+			if math.IsNaN(c) || math.Abs(c) > 100 {
+				return true
+			}
+			w := Deg2Rad(30)
+			spans = append(spans, NewAngularSpan(c, w))
+			sum += w
+		}
+		if len(spans) == 0 {
+			return true
+		}
+		u := CoverUnion(spans)
+		// Union ≤ sum of widths, union ≤ 2π, union ≥ max single width.
+		return u <= sum+1e-9 && u <= 2*math.Pi+1e-9 && u >= Deg2Rad(30)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}

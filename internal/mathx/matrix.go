@@ -1,0 +1,235 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix of float64. It is deliberately minimal:
+// CrowdMap needs small fixed-size linear algebra (homographies, essential
+// matrices, least squares) rather than a BLAS.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMat allocates a zero matrix of the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatFromRows builds a matrix from row slices, which must be equal length.
+func MatFromRows(rows [][]float64) *Mat {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mathx: MatFromRows needs non-empty rows")
+	}
+	m := NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("mathx: ragged rows in MatFromRows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns m × n. Shapes must agree.
+func (m *Mat) Mul(n *Mat) *Mat {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("mathx: Mul shape mismatch %dx%d × %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMat(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * n.Data[k*n.Cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose.
+func (m *Mat) T() *Mat {
+	out := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MulVec returns m × v for a column vector v of length m.Cols.
+func (m *Mat) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("mathx: MulVec length mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SolveLeastSquares solves the overdetermined system A x = b in the least
+// squares sense via normal equations with Gaussian elimination and partial
+// pivoting. It returns an error when the normal matrix is singular.
+func SolveLeastSquares(a *Mat, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("mathx: rhs length %d != rows %d", len(b), a.Rows)
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	return SolveLinear(ata, atb)
+}
+
+// SolveLinear solves the square system A x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveLinear(a *Mat, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mathx: SolveLinear needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: rhs length %d != n %d", len(b), n)
+	}
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("mathx: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= f * m.Data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// SmallestEigenvector returns the unit eigenvector of the symmetric matrix A
+// associated with its smallest eigenvalue, computed by inverse power
+// iteration with shifts. It is used to solve homogeneous systems A x ≈ 0
+// (e.g. the normalized 8-point algorithm) without a full SVD.
+func SmallestEigenvector(a *Mat, iters int) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mathx: SmallestEigenvector needs square matrix")
+	}
+	n := a.Rows
+	// Shift by a small ridge so the matrix is invertible even when the
+	// smallest eigenvalue is ~0 (the usual case for homogeneous systems).
+	shifted := a.Clone()
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += a.At(i, i)
+	}
+	ridge := math.Max(1e-10, 1e-12*math.Abs(trace))
+	for i := 0; i < n; i++ {
+		shifted.Set(i, i, shifted.At(i, i)+ridge)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = 1 / float64(i+1)
+	}
+	normalize(v)
+	for it := 0; it < iters; it++ {
+		w, err := SolveLinear(shifted, v)
+		if err != nil {
+			// Increase the ridge and retry once per iteration.
+			ridge *= 10
+			for i := 0; i < n; i++ {
+				shifted.Set(i, i, a.At(i, i)+ridge)
+			}
+			continue
+		}
+		normalize(w)
+		v = w
+	}
+	return v, nil
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	s = math.Sqrt(s)
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// Dot returns the dot product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }

@@ -1,0 +1,176 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMul(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEq(c.At(i, j), want[i][j], 1e-12) {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatTranspose(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape = %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Error("transpose values wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := a.MulVec([]float64{1, 1})
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := MatFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 3, 1e-9) {
+		t.Errorf("SolveLinear = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular system should return error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := MatFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-9) || !almostEq(x[1], 2, 1e-9) {
+		t.Errorf("SolveLinear with pivot = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLeastSquares(t *testing.T) {
+	// Fit y = 2x + 1 from noisy-free samples; LS must recover exactly.
+	a := MatFromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-9) || !almostEq(x[1], 1, 1e-9) {
+		t.Errorf("LS = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		n := 4
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Make it diagonally dominant so it's comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallestEigenvector(t *testing.T) {
+	// Symmetric matrix with known eigenvectors: diag(5, 1) rotated 30°.
+	th := math.Pi / 6
+	c, s := math.Cos(th), math.Sin(th)
+	r := MatFromRows([][]float64{{c, -s}, {s, c}})
+	d := MatFromRows([][]float64{{5, 0}, {0, 1}})
+	a := r.Mul(d).Mul(r.T())
+	v, err := SmallestEigenvector(a, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smallest eigenvalue 1 ↔ eigenvector (−sin30, cos30) up to sign.
+	wantX, wantY := -s, c
+	dot := math.Abs(v[0]*wantX + v[1]*wantY)
+	if !almostEq(dot, 1, 1e-6) {
+		t.Errorf("eigenvector = %v, |dot with truth| = %v", v, dot)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	ca := SplitRNG(NewRNG(7))
+	cb := SplitRNG(NewRNG(7))
+	if ca.Int63() != cb.Int63() {
+		t.Error("SplitRNG must be deterministic")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := NewRNG(1)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = Gaussian(rng, 3, 2)
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.1 {
+		t.Errorf("Gaussian mean = %v, want ≈3", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 0.1 {
+		t.Errorf("Gaussian stddev = %v, want ≈2", sd)
+	}
+}

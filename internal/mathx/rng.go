@@ -1,0 +1,22 @@
+package mathx
+
+import "math/rand"
+
+// NewRNG returns a deterministic *rand.Rand for the given seed. Every
+// stochastic component in CrowdMap takes an explicit RNG (or seed) so that
+// datasets, noise and experiments are reproducible run-to-run.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SplitRNG derives a child RNG from a parent, so that independent subsystems
+// consume independent streams regardless of how many draws each makes.
+func SplitRNG(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}
+
+// Gaussian returns a normally distributed sample with the given mean and
+// standard deviation.
+func Gaussian(rng *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*rng.NormFloat64()
+}

@@ -1,0 +1,217 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.in); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {200, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax of empty slice should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := ClampInt(7, 1, 5); got != 5 {
+		t.Errorf("ClampInt(7,1,5) = %v", got)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := c.Mean(); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := c.Max(); got != 3 {
+		t.Errorf("Max = %v, want 3", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.Len() != 0 {
+		t.Error("empty CDF should report zeros")
+	}
+	if _, _, err := (&c).Series(10); err == nil {
+		t.Error("Series on empty CDF should error")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4})
+	xs, ps, err := c.Series(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 5 || len(ps) != 5 {
+		t.Fatalf("Series lengths %d/%d", len(xs), len(ps))
+	}
+	if ps[len(ps)-1] != 1 {
+		t.Errorf("last Series point should be 1, got %v", ps[len(ps)-1])
+	}
+	if _, _, err := c.Series(1); err == nil {
+		t.Error("Series(1) should error")
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		// CDF must be monotone and bounded in [0, 1].
+		prev := 0.0
+		for i := -10; i <= 10; i++ {
+			p := c.At(float64(i))
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileAtInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			v := c.Quantile(q)
+			if c.At(v) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package multifloor implements the paper's Section VI extension:
+// "Reconstruct Multi-Floors in Single Round". Multi-floor reconstruction
+// decomposes into independent single-floor reconstructions (the core
+// pipeline) connected at special reference points — stairs, elevators and
+// escalators — which appear at the same planar position on the floors they
+// join. Floors are identified by the Task-1 geo tag (the paper points at
+// Skyloc-style GSM fingerprints and accelerometer patterns for automatic
+// floor labeling); here the labels arrive with the captures and this
+// package solves the geometric stacking: per-floor translations that make
+// every shared reference point line up vertically.
+package multifloor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+)
+
+// RefKind labels a vertical-connector reference point.
+type RefKind int
+
+const (
+	// Stairs connect adjacent floors.
+	Stairs RefKind = iota + 1
+	// Elevator connects every floor it serves.
+	Elevator
+	// Escalator connects adjacent floors.
+	Escalator
+)
+
+// String implements fmt.Stringer.
+func (k RefKind) String() string {
+	switch k {
+	case Stairs:
+		return "stairs"
+	case Elevator:
+		return "elevator"
+	case Escalator:
+		return "escalator"
+	default:
+		return fmt.Sprintf("RefKind(%d)", int(k))
+	}
+}
+
+// RefPoint is one observation of a vertical connector on one floor, in
+// that floor's reconstruction frame. ID identifies the physical connector
+// (the same stairwell observed on two floors shares the ID); observations
+// come from captures that start or end at a connector, recognized in the
+// paper by acceleration patterns.
+type RefPoint struct {
+	ID    string
+	Kind  RefKind
+	Floor int
+	Pos   geom.Pt
+}
+
+// Floor pairs a floor number with its reconstructed plan.
+type Floor struct {
+	Number int
+	Plan   *floorplan.Plan
+	// Offset places the floor's local frame into the building frame; it is
+	// filled by Stack.
+	Offset geom.Pt
+}
+
+// Stack is a vertically aligned multi-floor building model.
+type Stack struct {
+	Floors []Floor // ascending floor number
+	// Residual is the RMS misalignment of reference points after stacking,
+	// meters (0 when connectors are perfectly consistent).
+	Residual float64
+}
+
+// Build aligns per-floor reconstructions into one building frame. The
+// lowest floor anchors the frame; every other floor receives the
+// translation that best aligns its connector observations with the floors
+// below it (least squares over all shared reference points, processed in
+// ascending floor order). At least one shared connector per floor is
+// required; elevators tie non-adjacent floors too.
+func Build(floors map[int]*floorplan.Plan, refs []RefPoint) (*Stack, error) {
+	if len(floors) == 0 {
+		return nil, fmt.Errorf("multifloor: no floors")
+	}
+	numbers := make([]int, 0, len(floors))
+	for n, p := range floors {
+		if p == nil {
+			return nil, fmt.Errorf("multifloor: floor %d has nil plan", n)
+		}
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+	// Index reference observations by floor and by connector.
+	byFloor := make(map[int][]RefPoint)
+	for _, r := range refs {
+		if _, ok := floors[r.Floor]; !ok {
+			return nil, fmt.Errorf("multifloor: reference %s observed on unknown floor %d", r.ID, r.Floor)
+		}
+		byFloor[r.Floor] = append(byFloor[r.Floor], r)
+	}
+	offsets := map[int]geom.Pt{numbers[0]: {}}
+	var sumSq float64
+	var nRes int
+	for _, n := range numbers[1:] {
+		// Collect correspondences to any already-placed floor sharing a
+		// connector ID.
+		var deltas []geom.Pt
+		for _, rp := range byFloor[n] {
+			for placed, off := range offsets {
+				for _, other := range byFloor[placed] {
+					if other.ID != rp.ID {
+						continue
+					}
+					// The connector's building-frame position per the
+					// placed floor:
+					target := other.Pos.Add(off)
+					deltas = append(deltas, target.Sub(rp.Pos))
+				}
+			}
+		}
+		if len(deltas) == 0 {
+			return nil, fmt.Errorf("multifloor: floor %d shares no connector with the floors below", n)
+		}
+		// Least-squares translation = mean delta.
+		var mean geom.Pt
+		for _, d := range deltas {
+			mean = mean.Add(d)
+		}
+		mean = mean.Scale(1 / float64(len(deltas)))
+		offsets[n] = mean
+		for _, d := range deltas {
+			r := d.Sub(mean).Norm()
+			sumSq += r * r
+			nRes++
+		}
+	}
+	st := &Stack{}
+	for _, n := range numbers {
+		st.Floors = append(st.Floors, Floor{Number: n, Plan: floors[n], Offset: offsets[n]})
+	}
+	if nRes > 0 {
+		st.Residual = math.Sqrt(sumSq / float64(nRes))
+	}
+	return st, nil
+}
+
+// ConnectorPositions returns each connector's building-frame position per
+// floor after stacking — adjacent floors should agree; disagreement shows
+// up in Stack.Residual.
+func (s *Stack) ConnectorPositions(refs []RefPoint) map[string][]geom.Pt {
+	offByFloor := make(map[int]geom.Pt, len(s.Floors))
+	for _, f := range s.Floors {
+		offByFloor[f.Number] = f.Offset
+	}
+	out := make(map[string][]geom.Pt)
+	for _, r := range refs {
+		off, ok := offByFloor[r.Floor]
+		if !ok {
+			continue
+		}
+		out[r.ID] = append(out[r.ID], r.Pos.Add(off))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package multifloor
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+)
+
+func plan(name string) *floorplan.Plan {
+	return &floorplan.Plan{Building: name}
+}
+
+func TestRefKindString(t *testing.T) {
+	if Stairs.String() != "stairs" || Elevator.String() != "elevator" || Escalator.String() != "escalator" {
+		t.Error("kind strings wrong")
+	}
+	if RefKind(9).String() != "RefKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Error("no floors should error")
+	}
+	if _, err := Build(map[int]*floorplan.Plan{1: nil}, nil); err == nil {
+		t.Error("nil plan should error")
+	}
+	refs := []RefPoint{{ID: "s", Floor: 9, Pos: geom.P(1, 1)}}
+	if _, err := Build(map[int]*floorplan.Plan{1: plan("f1")}, refs); err == nil {
+		t.Error("reference on unknown floor should error")
+	}
+}
+
+func TestBuildSingleFloor(t *testing.T) {
+	st, err := Build(map[int]*floorplan.Plan{1: plan("f1")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Floors) != 1 || st.Floors[0].Offset != (geom.Pt{}) {
+		t.Errorf("single floor stack wrong: %+v", st.Floors)
+	}
+	if st.Residual != 0 {
+		t.Errorf("residual = %v", st.Residual)
+	}
+}
+
+func TestBuildTwoFloorsAlignAtStairwell(t *testing.T) {
+	// Floor 2's reconstruction frame is shifted by (−7, 3) relative to
+	// floor 1's; the stairwell observations encode that.
+	floors := map[int]*floorplan.Plan{1: plan("f1"), 2: plan("f2")}
+	refs := []RefPoint{
+		{ID: "stair-A", Kind: Stairs, Floor: 1, Pos: geom.P(10, 5)},
+		{ID: "stair-A", Kind: Stairs, Floor: 2, Pos: geom.P(17, 2)}, // 10−17 = −7, 5−2 = 3
+	}
+	st, err := Build(floors, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Floors[0].Number != 1 || st.Floors[1].Number != 2 {
+		t.Fatal("floors out of order")
+	}
+	if st.Floors[1].Offset.Dist(geom.P(-7, 3)) > 1e-9 {
+		t.Errorf("floor 2 offset = %v, want (−7, 3)", st.Floors[1].Offset)
+	}
+	pos := st.ConnectorPositions(refs)
+	ps := pos["stair-A"]
+	if len(ps) != 2 || ps[0].Dist(ps[1]) > 1e-9 {
+		t.Errorf("stairwell does not line up: %v", ps)
+	}
+}
+
+func TestBuildNoisyConnectorsLeastSquares(t *testing.T) {
+	// Two stairwells with slightly inconsistent observations: the offset
+	// is the mean delta and the residual reports the disagreement.
+	floors := map[int]*floorplan.Plan{1: plan("f1"), 2: plan("f2")}
+	refs := []RefPoint{
+		{ID: "s1", Kind: Stairs, Floor: 1, Pos: geom.P(0, 0)},
+		{ID: "s1", Kind: Stairs, Floor: 2, Pos: geom.P(1, 0)}, // delta (−1, 0)
+		{ID: "s2", Kind: Stairs, Floor: 1, Pos: geom.P(10, 0)},
+		{ID: "s2", Kind: Stairs, Floor: 2, Pos: geom.P(10.6, 0)}, // delta (−0.6, 0)
+	}
+	st, err := Build(floors, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Floors[1].Offset.Dist(geom.P(-0.8, 0)) > 1e-9 {
+		t.Errorf("offset = %v, want mean (−0.8, 0)", st.Floors[1].Offset)
+	}
+	if math.Abs(st.Residual-0.2) > 1e-9 {
+		t.Errorf("residual = %v, want 0.2", st.Residual)
+	}
+}
+
+func TestBuildElevatorTiesDistantFloors(t *testing.T) {
+	// Floor 3 shares no stairwell with floor 2 but the elevator reaches
+	// floor 1 directly.
+	floors := map[int]*floorplan.Plan{1: plan("f1"), 2: plan("f2"), 3: plan("f3")}
+	refs := []RefPoint{
+		{ID: "stair", Kind: Stairs, Floor: 1, Pos: geom.P(5, 5)},
+		{ID: "stair", Kind: Stairs, Floor: 2, Pos: geom.P(5, 5)},
+		{ID: "lift", Kind: Elevator, Floor: 1, Pos: geom.P(20, 8)},
+		{ID: "lift", Kind: Elevator, Floor: 3, Pos: geom.P(22, 8)},
+	}
+	st, err := Build(floors, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Floors[2].Offset.Dist(geom.P(-2, 0)) > 1e-9 {
+		t.Errorf("floor 3 offset = %v, want (−2, 0)", st.Floors[2].Offset)
+	}
+}
+
+func TestBuildDisconnectedFloorFails(t *testing.T) {
+	floors := map[int]*floorplan.Plan{1: plan("f1"), 2: plan("f2")}
+	refs := []RefPoint{
+		{ID: "s1", Kind: Stairs, Floor: 1, Pos: geom.P(0, 0)},
+		// Floor 2 has an observation of a different connector only.
+		{ID: "s9", Kind: Stairs, Floor: 2, Pos: geom.P(3, 3)},
+	}
+	if _, err := Build(floors, refs); err == nil {
+		t.Error("floor without a shared connector must fail")
+	}
+}

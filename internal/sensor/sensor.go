@@ -1,0 +1,182 @@
+// Package sensor models the smartphone inertial sensors CrowdMap's mobile
+// front-end records alongside video: a z-axis gyroscope, a 3-axis
+// accelerometer and a magnetometer (compass). It provides both the forward
+// simulation (true motion → noisy IMU samples) and the on-device inference
+// the paper relies on (step counting, heading fusion, dead reckoning).
+//
+// Noise structure follows the standard smartphone error model: white noise
+// plus a slowly drifting bias for the gyroscope, white noise for the
+// accelerometer, and heading-dependent soft-iron disturbance plus white
+// noise for the compass. All randomness comes from caller-provided RNGs.
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+)
+
+// SampleRate is the IMU sampling rate in Hz used throughout the system.
+const SampleRate = 50.0
+
+// Sample is one synchronized IMU reading.
+type Sample struct {
+	T       float64    // seconds since capture start
+	GyroZ   float64    // angular rate around the vertical axis, rad/s
+	Accel   [3]float64 // device acceleration, m/s² (z vertical, includes gravity)
+	Compass float64    // magnetic heading, radians CCW from +x
+}
+
+// MotionSample is one point of ground-truth motion, produced by the crowd
+// simulator.
+type MotionSample struct {
+	T       float64
+	Pos     geom.Pt
+	Heading float64
+	Walking bool // true while the user is mid-walk (SWS), false while standing/rotating
+}
+
+// Config describes one device/user's sensor error characteristics.
+type Config struct {
+	// GyroNoiseStd is white noise on the angular rate, rad/s.
+	GyroNoiseStd float64
+	// GyroBias is the initial constant bias, rad/s.
+	GyroBias float64
+	// GyroBiasWalkStd is the per-sample random-walk sigma of the bias.
+	GyroBiasWalkStd float64
+	// AccelNoiseStd is white noise on each accelerometer axis, m/s².
+	AccelNoiseStd float64
+	// CompassNoiseStd is white noise on the compass, radians.
+	CompassNoiseStd float64
+	// CompassSoftIron is the amplitude of the heading-dependent compass
+	// distortion, radians (indoor steel structure).
+	CompassSoftIron float64
+	// StepAmplitude is the vertical acceleration amplitude while walking,
+	// m/s².
+	StepAmplitude float64
+	// StepFreq is the user's step cadence, Hz.
+	StepFreq float64
+	// StepLength is the user's true step length, meters.
+	StepLength float64
+	// StepLengthEst is what the pipeline believes the step length to be
+	// (height-model estimate); the mismatch is a systematic scale error.
+	StepLengthEst float64
+}
+
+// DefaultConfig returns a typical mid-range phone carried by an average
+// walker.
+func DefaultConfig() Config {
+	return Config{
+		GyroNoiseStd:    0.015,
+		GyroBias:        0.008,
+		GyroBiasWalkStd: 1e-4,
+		AccelNoiseStd:   0.25,
+		CompassNoiseStd: mathx.Deg2Rad(7),
+		CompassSoftIron: mathx.Deg2Rad(4),
+		StepAmplitude:   2.2,
+		StepFreq:        1.8,
+		StepLength:      0.70,
+		StepLengthEst:   0.70,
+	}
+}
+
+// Validate checks the configuration for physical plausibility.
+func (c Config) Validate() error {
+	if c.StepFreq <= 0 || c.StepFreq > 4 {
+		return fmt.Errorf("sensor: implausible step frequency %g Hz", c.StepFreq)
+	}
+	if c.StepLength <= 0.2 || c.StepLength > 1.2 {
+		return fmt.Errorf("sensor: implausible step length %g m", c.StepLength)
+	}
+	if c.StepLengthEst <= 0 {
+		return fmt.Errorf("sensor: step length estimate must be positive")
+	}
+	if c.StepAmplitude <= 0 {
+		return fmt.Errorf("sensor: step amplitude must be positive")
+	}
+	return nil
+}
+
+// gravity is standard gravity, m/s².
+const gravity = 9.80665
+
+// Simulate converts a ground-truth motion profile into an IMU sample
+// stream at SampleRate. The profile must be time-ordered; samples are
+// produced by linear interpolation of the profile.
+func Simulate(profile []MotionSample, cfg Config, rng *rand.Rand) ([]Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(profile) < 2 {
+		return nil, fmt.Errorf("sensor: motion profile needs at least 2 samples, got %d", len(profile))
+	}
+	t0 := profile[0].T
+	t1 := profile[len(profile)-1].T
+	if t1 <= t0 {
+		return nil, fmt.Errorf("sensor: motion profile spans no time")
+	}
+	dt := 1 / SampleRate
+	n := int((t1-t0)/dt) + 1
+	out := make([]Sample, 0, n)
+	bias := cfg.GyroBias
+	// Step phase advances only while walking so stand-still periods produce
+	// no spurious steps.
+	phase := 0.0
+	idx := 0
+	prevHeading := interpProfile(profile, t0).Heading
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		for idx+1 < len(profile)-1 && profile[idx+1].T < t {
+			idx++
+		}
+		m := interpProfile(profile[idx:], t)
+		// Gyro: finite-difference true heading rate + bias walk + noise.
+		rate := mathx.AngleDiff(m.Heading, prevHeading) / dt
+		prevHeading = m.Heading
+		bias += rng.NormFloat64() * cfg.GyroBiasWalkStd
+		gyro := rate + bias + rng.NormFloat64()*cfg.GyroNoiseStd
+		// Accelerometer: gravity + gait oscillation while walking.
+		var ax, ay, az float64
+		az = gravity
+		if m.Walking {
+			phase += 2 * math.Pi * cfg.StepFreq * dt
+			az += cfg.StepAmplitude * math.Sin(phase)
+			// Forward lurch at twice the bounce frequency, small.
+			ax = 0.4 * cfg.StepAmplitude * math.Sin(2*phase+0.6)
+		}
+		ax += rng.NormFloat64() * cfg.AccelNoiseStd
+		ay += rng.NormFloat64() * cfg.AccelNoiseStd
+		az += rng.NormFloat64() * cfg.AccelNoiseStd
+		// Compass: heading + soft-iron distortion + noise.
+		soft := cfg.CompassSoftIron * math.Sin(2*m.Heading+1.1)
+		compass := mathx.NormalizeAngle(m.Heading + soft + rng.NormFloat64()*cfg.CompassNoiseStd)
+		out = append(out, Sample{T: t, GyroZ: gyro, Accel: [3]float64{ax, ay, az}, Compass: compass})
+	}
+	return out, nil
+}
+
+func interpProfile(profile []MotionSample, t float64) MotionSample {
+	if t <= profile[0].T {
+		return profile[0]
+	}
+	for i := 1; i < len(profile); i++ {
+		if profile[i].T >= t {
+			a, b := profile[i-1], profile[i]
+			span := b.T - a.T
+			if span <= 0 {
+				return b
+			}
+			f := (t - a.T) / span
+			return MotionSample{
+				T:       t,
+				Pos:     a.Pos.Add(b.Pos.Sub(a.Pos).Scale(f)),
+				Heading: a.Heading + mathx.AngleDiff(b.Heading, a.Heading)*f,
+				Walking: a.Walking,
+			}
+		}
+	}
+	return profile[len(profile)-1]
+}

@@ -1,0 +1,195 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+)
+
+// straightWalk builds a ground-truth profile: stand 1 s, walk dist meters
+// in heading h at the config's natural speed, stand 1 s.
+func straightWalk(dist, h float64, cfg Config) []MotionSample {
+	speed := cfg.StepFreq * cfg.StepLength
+	walkT := dist / speed
+	start := geom.Pt{}
+	end := geom.FromPolar(dist, h)
+	return []MotionSample{
+		{T: 0, Pos: start, Heading: h, Walking: false},
+		{T: 1, Pos: start, Heading: h, Walking: true},
+		{T: 1 + walkT, Pos: end, Heading: h, Walking: false},
+		{T: 2 + walkT, Pos: end, Heading: h, Walking: false},
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	if _, err := Simulate(nil, DefaultConfig(), rng); err == nil {
+		t.Error("empty profile should error")
+	}
+	bad := DefaultConfig()
+	bad.StepFreq = -1
+	if _, err := Simulate(straightWalk(5, 0, DefaultConfig()), bad, rng); err == nil {
+		t.Error("invalid config should error")
+	}
+	same := []MotionSample{{T: 1}, {T: 1}}
+	if _, err := Simulate(same, DefaultConfig(), rng); err == nil {
+		t.Error("zero-span profile should error")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"step freq too high", func(c *Config) { c.StepFreq = 9 }},
+		{"step length tiny", func(c *Config) { c.StepLength = 0.1 }},
+		{"step length estimate zero", func(c *Config) { c.StepLengthEst = 0 }},
+		{"step amplitude zero", func(c *Config) { c.StepAmplitude = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestSimulateSampleCountAndTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	profile := straightWalk(10, 0, cfg)
+	samples, err := Simulate(profile, cfg, mathx.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDur := profile[len(profile)-1].T
+	if got := samples[len(samples)-1].T; math.Abs(got-wantDur) > 2.0/SampleRate {
+		t.Errorf("last sample at %v, want ≈%v", got, wantDur)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].T <= samples[i-1].T {
+			t.Fatal("sample times must be strictly increasing")
+		}
+	}
+}
+
+func TestStepDetectorCountsSteps(t *testing.T) {
+	cfg := DefaultConfig()
+	const dist = 14.0
+	profile := straightWalk(dist, 0, cfg)
+	samples, err := Simulate(profile, cfg, mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := NewStepDetector().Detect(samples)
+	wantSteps := dist / cfg.StepLength // 20
+	if math.Abs(float64(len(steps))-wantSteps) > 2 {
+		t.Errorf("detected %d steps, want ≈%.0f", len(steps), wantSteps)
+	}
+	// Steps only while walking (t in [1, 1+walkT]).
+	walkEnd := profile[2].T
+	for _, st := range steps {
+		if st < 0.8 || st > walkEnd+0.5 {
+			t.Errorf("step at %v outside the walking interval [1, %v]", st, walkEnd)
+		}
+	}
+}
+
+func TestStepDetectorQuietStreamNoSteps(t *testing.T) {
+	cfg := DefaultConfig()
+	profile := []MotionSample{
+		{T: 0, Pos: geom.Pt{}, Heading: 0},
+		{T: 5, Pos: geom.Pt{}, Heading: 0},
+	}
+	samples, err := Simulate(profile, cfg, mathx.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps := NewStepDetector().Detect(samples); len(steps) != 0 {
+		t.Errorf("standing still produced %d steps", len(steps))
+	}
+	if got := NewStepDetector().Detect(nil); got != nil {
+		t.Error("empty stream should produce no steps")
+	}
+}
+
+func TestHeadingFilterTracksTruth(t *testing.T) {
+	cfg := DefaultConfig()
+	h := mathx.Deg2Rad(40)
+	profile := straightWalk(12, h, cfg)
+	samples, err := Simulate(profile, cfg, mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateHeadings(samples)
+	// After convergence the estimate should stay within ~6° of truth.
+	for i := len(est) / 2; i < len(est); i++ {
+		if diff := math.Abs(mathx.AngleDiff(est[i], h)); diff > mathx.Deg2Rad(6) {
+			t.Fatalf("heading error %v° at sample %d", mathx.Rad2Deg(diff), i)
+		}
+	}
+}
+
+func TestHeadingFilterFollowsTurn(t *testing.T) {
+	cfg := DefaultConfig()
+	// Quarter turn over 2 s between two straight legs.
+	profile := []MotionSample{
+		{T: 0, Heading: 0, Walking: true},
+		{T: 3, Heading: 0, Pos: geom.P(3, 0), Walking: true},
+		{T: 5, Heading: math.Pi / 2, Pos: geom.P(4, 1), Walking: true},
+		{T: 8, Heading: math.Pi / 2, Pos: geom.P(4, 4), Walking: false},
+	}
+	samples, err := Simulate(profile, cfg, mathx.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateHeadings(samples)
+	last := est[len(est)-1]
+	if diff := math.Abs(mathx.AngleDiff(last, math.Pi/2)); diff > mathx.Deg2Rad(8) {
+		t.Errorf("post-turn heading error %v°", mathx.Rad2Deg(diff))
+	}
+}
+
+func TestRotationAngleSRS(t *testing.T) {
+	cfg := DefaultConfig()
+	// SRS: stand and spin 360° over 8 seconds.
+	var profile []MotionSample
+	for i := 0; i <= 80; i++ {
+		tt := float64(i) * 0.1
+		profile = append(profile, MotionSample{T: tt, Heading: 2 * math.Pi * tt / 8})
+	}
+	samples, err := Simulate(profile, cfg, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RotationAngle(samples)
+	if math.Abs(got-2*math.Pi) > mathx.Deg2Rad(12) {
+		t.Errorf("SRS rotation = %v°, want ≈360°", mathx.Rad2Deg(got))
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{0, 0, 10, 0, 0}
+	sm := movingAverage(xs, 3)
+	if sm[2] <= sm[0] {
+		t.Error("peak should survive smoothing")
+	}
+	if math.Abs(sm[2]-10.0/3) > 1e-9 {
+		t.Errorf("smoothed peak = %v, want 10/3", sm[2])
+	}
+	// Window 1 (and smaller) is identity.
+	id := movingAverage(xs, 0)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Fatal("window<=1 moving average should be identity")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sensor
+
+import "math"
+
+// StepDetector finds heel-strike events in an accelerometer stream using
+// the standard smartphone pipeline: low-pass the vertical magnitude, then
+// pick peaks above a threshold with a refractory interval. This is the
+// "step counting method widely applied in existing works" the paper cites
+// for measuring SWS walking distance.
+type StepDetector struct {
+	// PeakThreshold is the minimum deviation above gravity (m/s²) for a
+	// sample to qualify as a step peak.
+	PeakThreshold float64
+	// MinInterval is the refractory period between steps, seconds.
+	MinInterval float64
+	// SmoothWindow is the moving-average window width in samples.
+	SmoothWindow int
+}
+
+// NewStepDetector returns a detector tuned for normal walking cadence.
+func NewStepDetector() *StepDetector {
+	return &StepDetector{PeakThreshold: 0.8, MinInterval: 0.3, SmoothWindow: 5}
+}
+
+// Detect returns the times of detected steps.
+func (d *StepDetector) Detect(samples []Sample) []float64 {
+	if len(samples) < 3 {
+		return nil
+	}
+	mag := make([]float64, len(samples))
+	for i, s := range samples {
+		mag[i] = math.Sqrt(s.Accel[0]*s.Accel[0]+s.Accel[1]*s.Accel[1]+s.Accel[2]*s.Accel[2]) - gravity
+	}
+	sm := movingAverage(mag, d.SmoothWindow)
+	var steps []float64
+	lastStep := math.Inf(-1)
+	for i := 1; i < len(sm)-1; i++ {
+		if sm[i] < d.PeakThreshold {
+			continue
+		}
+		if sm[i] < sm[i-1] || sm[i] < sm[i+1] {
+			continue
+		}
+		if samples[i].T-lastStep < d.MinInterval {
+			continue
+		}
+		lastStep = samples[i].T
+		steps = append(steps, lastStep)
+	}
+	return steps
+}
+
+func movingAverage(xs []float64, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	out := make([]float64, len(xs))
+	half := w / 2
+	for i := range xs {
+		lo := i - half
+		hi := i + half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// HeadingFilter fuses gyroscope and compass into a heading estimate using a
+// complementary filter: the gyro provides smooth short-term rotation, the
+// compass anchors the long-term absolute direction. This is the joint
+// compass/gyroscope/accelerometer direction estimate of the paper's SWS
+// task (its reference [12]).
+type HeadingFilter struct {
+	// Gain is the per-sample fraction of the compass innovation applied;
+	// small values trust the gyro more.
+	Gain float64
+	h    float64
+	init bool
+}
+
+// NewHeadingFilter returns a filter with the default compass gain.
+func NewHeadingFilter() *HeadingFilter { return &HeadingFilter{Gain: 0.02} }
+
+// Update consumes one IMU sample and returns the current heading estimate.
+func (f *HeadingFilter) Update(s Sample, dt float64) float64 {
+	if !f.init {
+		f.h = s.Compass
+		f.init = true
+		return f.h
+	}
+	f.h += s.GyroZ * dt
+	diff := angleDiff(s.Compass, f.h)
+	f.h += f.Gain * diff
+	f.h = normalizeAngle(f.h)
+	return f.h
+}
+
+// Heading returns the current estimate without consuming a sample.
+func (f *HeadingFilter) Heading() float64 { return f.h }
+
+// EstimateHeadings runs a HeadingFilter over a full sample stream and
+// returns the heading estimate at each sample.
+func EstimateHeadings(samples []Sample) []float64 {
+	f := NewHeadingFilter()
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		dt := 1 / SampleRate
+		if i > 0 {
+			dt = s.T - samples[i-1].T
+		}
+		out[i] = f.Update(s, dt)
+	}
+	return out
+}
+
+// RotationAngle integrates the gyroscope over the sample stream and returns
+// the total signed rotation in radians. The paper's SRS task reads the spin
+// angle ω directly from the gyroscope this way.
+func RotationAngle(samples []Sample) float64 {
+	var total float64
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].T - samples[i-1].T
+		total += samples[i].GyroZ * dt
+	}
+	return total
+}
+
+func normalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+func angleDiff(a, b float64) float64 { return normalizeAngle(a - b) }

@@ -1,0 +1,209 @@
+// Package trajectory defines the user-trajectory representation at the core
+// of CrowdMap's path modeling: the sequence of (x_i, y_i, t_i) triples the
+// paper's Section III-A derives from the SWS micro-task, plus dead
+// reckoning from IMU data and geometric utilities (resampling, translation
+// search) used by the aggregation stage.
+package trajectory
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/sensor"
+)
+
+// Point is one trajectory triple: a position in the user's local
+// coordinate frame at time T.
+type Point struct {
+	T   float64
+	Pos geom.Pt
+}
+
+// Trajectory is a time-ordered sequence of points, the unit of aggregation
+// in the indoor path modeling module. ID identifies the contributing
+// capture session.
+type Trajectory struct {
+	ID     string
+	Points []Point
+}
+
+// Len returns the number of trajectory points.
+func (tr *Trajectory) Len() int { return len(tr.Points) }
+
+// Duration returns the time span covered.
+func (tr *Trajectory) Duration() float64 {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T - tr.Points[0].T
+}
+
+// PathLength returns the cumulative traveled distance.
+func (tr *Trajectory) PathLength() float64 {
+	var s float64
+	for i := 1; i < len(tr.Points); i++ {
+		s += tr.Points[i].Pos.Dist(tr.Points[i-1].Pos)
+	}
+	return s
+}
+
+// Translate returns a copy with every position shifted by d.
+func (tr *Trajectory) Translate(d geom.Pt) *Trajectory {
+	out := &Trajectory{ID: tr.ID, Points: make([]Point, len(tr.Points))}
+	for i, p := range tr.Points {
+		out.Points[i] = Point{T: p.T, Pos: p.Pos.Add(d)}
+	}
+	return out
+}
+
+// PositionAt linearly interpolates the position at time t, clamping to the
+// endpoints outside the covered span.
+func (tr *Trajectory) PositionAt(t float64) (geom.Pt, error) {
+	if len(tr.Points) == 0 {
+		return geom.Pt{}, fmt.Errorf("trajectory: empty trajectory %q", tr.ID)
+	}
+	if t <= tr.Points[0].T {
+		return tr.Points[0].Pos, nil
+	}
+	for i := 1; i < len(tr.Points); i++ {
+		if tr.Points[i].T >= t {
+			a, b := tr.Points[i-1], tr.Points[i]
+			span := b.T - a.T
+			if span <= 0 {
+				return b.Pos, nil
+			}
+			f := (t - a.T) / span
+			return a.Pos.Add(b.Pos.Sub(a.Pos).Scale(f)), nil
+		}
+	}
+	return tr.Points[len(tr.Points)-1].Pos, nil
+}
+
+// Resample returns a copy sampled at fixed time intervals dt, which the
+// LCS-based sequence comparison requires (the |i-j| < δ window in the
+// paper's L metric assumes comparable indices).
+func (tr *Trajectory) Resample(dt float64) (*Trajectory, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("trajectory: resample interval must be positive, got %g", dt)
+	}
+	if len(tr.Points) == 0 {
+		return &Trajectory{ID: tr.ID}, nil
+	}
+	out := &Trajectory{ID: tr.ID}
+	t0 := tr.Points[0].T
+	t1 := tr.Points[len(tr.Points)-1].T
+	for t := t0; t <= t1+1e-9; t += dt {
+		pos, err := tr.PositionAt(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Point{T: t, Pos: pos})
+	}
+	return out, nil
+}
+
+// ResampleByDistance returns a copy sampled every step meters of traveled
+// arc length. Stationary periods collapse to a single point, which is what
+// the sequence-matching LCS needs: two users pausing in place must not
+// manufacture arbitrarily long "common paths".
+func (tr *Trajectory) ResampleByDistance(step float64) (*Trajectory, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("trajectory: resample step must be positive, got %g", step)
+	}
+	out := &Trajectory{ID: tr.ID}
+	if len(tr.Points) == 0 {
+		return out, nil
+	}
+	out.Points = append(out.Points, tr.Points[0])
+	carried := 0.0
+	for i := 1; i < len(tr.Points); i++ {
+		a := tr.Points[i-1]
+		b := tr.Points[i]
+		segLen := a.Pos.Dist(b.Pos)
+		if segLen < 1e-12 {
+			continue
+		}
+		for carried+segLen >= step {
+			take := step - carried
+			f := take / segLen
+			p := Point{
+				T:   a.T + (b.T-a.T)*f,
+				Pos: a.Pos.Add(b.Pos.Sub(a.Pos).Scale(f)),
+			}
+			out.Points = append(out.Points, p)
+			a = p
+			segLen -= take
+			carried = 0
+		}
+		carried += segLen
+	}
+	return out, nil
+}
+
+// Positions returns just the positions.
+func (tr *Trajectory) Positions() []geom.Pt {
+	out := make([]geom.Pt, len(tr.Points))
+	for i, p := range tr.Points {
+		out[i] = p.Pos
+	}
+	return out
+}
+
+// DeadReckon reconstructs a trajectory from an IMU stream: steps come from
+// the step detector, heading from the gyro+compass complementary filter,
+// and each detected step advances the position by stepLength in the current
+// heading — the paper's SWS trajectory construction. The returned
+// trajectory starts at the origin of the user's local frame.
+func DeadReckon(samples []sensor.Sample, stepLength float64) (*Trajectory, error) {
+	if stepLength <= 0 {
+		return nil, fmt.Errorf("trajectory: step length must be positive, got %g", stepLength)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trajectory: empty IMU stream")
+	}
+	headings := sensor.EstimateHeadings(samples)
+	steps := sensor.NewStepDetector().Detect(samples)
+	tr := &Trajectory{}
+	pos := geom.Pt{}
+	tr.Points = append(tr.Points, Point{T: samples[0].T, Pos: pos})
+	si := 0
+	for _, stepT := range steps {
+		// Heading at the step time: sample index by time.
+		for si+1 < len(samples) && samples[si+1].T <= stepT {
+			si++
+		}
+		h := headings[si]
+		pos = pos.Add(geom.FromPolar(stepLength, h))
+		tr.Points = append(tr.Points, Point{T: stepT, Pos: pos})
+	}
+	// Close with the final timestamp so duration reflects the capture.
+	last := samples[len(samples)-1].T
+	if len(tr.Points) == 0 || tr.Points[len(tr.Points)-1].T < last {
+		tr.Points = append(tr.Points, Point{T: last, Pos: pos})
+	}
+	return tr, nil
+}
+
+// RMSE computes the root-mean-square position error between a trajectory
+// and ground-truth positions sampled at the same times, after optimal
+// translation alignment (local frames share orientation via the compass but
+// not origin). truth must supply a position for each trajectory point time.
+func RMSE(tr *Trajectory, truth func(t float64) geom.Pt) float64 {
+	n := len(tr.Points)
+	if n == 0 {
+		return 0
+	}
+	// Optimal translation for squared error is the mean offset.
+	var off geom.Pt
+	for _, p := range tr.Points {
+		off = off.Add(truth(p.T).Sub(p.Pos))
+	}
+	off = off.Scale(1 / float64(n))
+	var s float64
+	for _, p := range tr.Points {
+		d := p.Pos.Add(off).Dist(truth(p.T))
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}

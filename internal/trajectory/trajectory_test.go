@@ -1,0 +1,274 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/sensor"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func line(n int, dt float64, step geom.Pt) *Trajectory {
+	tr := &Trajectory{ID: "line"}
+	pos := geom.Pt{}
+	for i := 0; i < n; i++ {
+		tr.Points = append(tr.Points, Point{T: float64(i) * dt, Pos: pos})
+		pos = pos.Add(step)
+	}
+	return tr
+}
+
+func TestBasicsOnLine(t *testing.T) {
+	tr := line(5, 1, geom.P(2, 0))
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Duration() != 4 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	if tr.PathLength() != 8 {
+		t.Errorf("PathLength = %v", tr.PathLength())
+	}
+}
+
+func TestEmptyTrajectory(t *testing.T) {
+	var tr Trajectory
+	if tr.Duration() != 0 || tr.PathLength() != 0 {
+		t.Error("empty trajectory should have zero duration and length")
+	}
+	if _, err := tr.PositionAt(1); err == nil {
+		t.Error("PositionAt on empty trajectory should error")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	tr := line(3, 1, geom.P(1, 0))
+	moved := tr.Translate(geom.P(5, -2))
+	if moved.Points[0].Pos != geom.P(5, -2) {
+		t.Errorf("Translate start = %v", moved.Points[0].Pos)
+	}
+	if tr.Points[0].Pos != (geom.Pt{}) {
+		t.Error("Translate must not mutate the original")
+	}
+	if moved.PathLength() != tr.PathLength() {
+		t.Error("Translate must preserve path length")
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	tr := line(3, 2, geom.P(4, 0)) // t=0→(0,0), t=2→(4,0), t=4→(8,0)
+	tests := []struct {
+		t    float64
+		want geom.Pt
+	}{
+		{-1, geom.P(0, 0)},
+		{0, geom.P(0, 0)},
+		{1, geom.P(2, 0)},
+		{3, geom.P(6, 0)},
+		{9, geom.P(8, 0)},
+	}
+	for _, tt := range tests {
+		got, err := tr.PositionAt(tt.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dist(tt.want) > 1e-12 {
+			t.Errorf("PositionAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := line(5, 1, geom.P(1, 1))
+	rs, err := tr.Resample(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 9 {
+		t.Errorf("resampled Len = %d, want 9", rs.Len())
+	}
+	for i := 1; i < rs.Len(); i++ {
+		if math.Abs(rs.Points[i].T-rs.Points[i-1].T-0.5) > 1e-9 {
+			t.Fatal("resampled intervals must be uniform")
+		}
+	}
+	if _, err := tr.Resample(0); err == nil {
+		t.Error("zero interval should error")
+	}
+	var empty Trajectory
+	rs2, err := empty.Resample(1)
+	if err != nil || rs2.Len() != 0 {
+		t.Error("resampling empty should give empty")
+	}
+}
+
+func TestResamplePreservesEndpointsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		tr := &Trajectory{}
+		tt := 0.0
+		pos := geom.Pt{}
+		for i := 0; i < 20; i++ {
+			tr.Points = append(tr.Points, Point{T: tt, Pos: pos})
+			tt += 0.2 + rng.Float64()
+			pos = pos.Add(geom.P(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		rs, err := tr.Resample(0.5)
+		if err != nil {
+			return false
+		}
+		if rs.Points[0].Pos.Dist(tr.Points[0].Pos) > 1e-9 {
+			return false
+		}
+		// Path length can only shrink under resampling (polyline chords).
+		return rs.PathLength() <= tr.PathLength()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadReckonStraightWalk(t *testing.T) {
+	cfg := sensor.DefaultConfig()
+	const dist = 14.0
+	speed := cfg.StepFreq * cfg.StepLength
+	profile := []sensor.MotionSample{
+		{T: 0, Pos: geom.Pt{}, Heading: 0, Walking: false},
+		{T: 1, Pos: geom.Pt{}, Heading: 0, Walking: true},
+		{T: 1 + dist/speed, Pos: geom.P(dist, 0), Heading: 0, Walking: false},
+		{T: 2 + dist/speed, Pos: geom.P(dist, 0), Heading: 0, Walking: false},
+	}
+	samples, err := sensor.Simulate(profile, cfg, mathx.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DeadReckon(samples, cfg.StepLengthEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := tr.Points[len(tr.Points)-1].Pos
+	if math.Abs(end.X-dist) > 2.0 {
+		t.Errorf("dead-reckoned X = %v, want ≈%v", end.X, dist)
+	}
+	if math.Abs(end.Y) > 2.0 {
+		t.Errorf("dead-reckoned Y = %v, want ≈0", end.Y)
+	}
+}
+
+func TestDeadReckonLTurn(t *testing.T) {
+	cfg := sensor.DefaultConfig()
+	// 8 m east, quarter turn, 6 m north.
+	speed := cfg.StepFreq * cfg.StepLength
+	t1 := 8 / speed
+	t2 := t1 + 1.5
+	t3 := t2 + 6/speed
+	profile := []sensor.MotionSample{
+		{T: 0, Pos: geom.Pt{}, Heading: 0, Walking: true},
+		{T: t1, Pos: geom.P(8, 0), Heading: 0, Walking: true},
+		{T: t2, Pos: geom.P(8, 0), Heading: math.Pi / 2, Walking: true},
+		{T: t3, Pos: geom.P(8, 6), Heading: math.Pi / 2, Walking: false},
+		{T: t3 + 1, Pos: geom.P(8, 6), Heading: math.Pi / 2, Walking: false},
+	}
+	samples, err := sensor.Simulate(profile, cfg, mathx.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DeadReckon(samples, cfg.StepLengthEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := tr.Points[len(tr.Points)-1].Pos
+	if end.Dist(geom.P(8, 6)) > 3.0 {
+		t.Errorf("dead-reckoned end = %v, want ≈(8,6)", end)
+	}
+}
+
+func TestDeadReckonValidation(t *testing.T) {
+	if _, err := DeadReckon(nil, 0.7); err == nil {
+		t.Error("empty IMU stream should error")
+	}
+	if _, err := DeadReckon([]sensor.Sample{{}}, -1); err == nil {
+		t.Error("negative step length should error")
+	}
+}
+
+func TestRMSETranslationInvariant(t *testing.T) {
+	tr := line(10, 1, geom.P(1, 0))
+	truth := func(t float64) geom.Pt { return geom.P(t+100, 50) }
+	// Trajectory is exactly the truth shifted by (100, 50): RMSE must be ~0.
+	if got := RMSE(tr, truth); got > 1e-9 {
+		t.Errorf("RMSE after alignment = %v, want 0", got)
+	}
+	if got := RMSE(&Trajectory{}, truth); got != 0 {
+		t.Errorf("empty RMSE = %v", got)
+	}
+}
+
+func TestResampleByDistance(t *testing.T) {
+	// 10 m straight line walked over 10 s, plus a 5 s stationary pause in
+	// the middle.
+	tr := &Trajectory{ID: "d"}
+	tr.Points = append(tr.Points,
+		Point{T: 0, Pos: geom.P(0, 0)},
+		Point{T: 5, Pos: geom.P(5, 0)},
+		Point{T: 10, Pos: geom.P(5, 0)}, // pause
+		Point{T: 15, Pos: geom.P(10, 0)},
+	)
+	rs, err := tr.ResampleByDistance(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 m of arc length at 0.5 m steps → 21 points (including start); the
+	// pause must not add any.
+	if rs.Len() != 21 {
+		t.Fatalf("resampled to %d points, want 21", rs.Len())
+	}
+	for i := 1; i < rs.Len(); i++ {
+		d := rs.Points[i].Pos.Dist(rs.Points[i-1].Pos)
+		if math.Abs(d-0.5) > 1e-9 {
+			t.Fatalf("step %d spacing = %v, want 0.5", i, d)
+		}
+	}
+	if _, err := tr.ResampleByDistance(0); err == nil {
+		t.Error("zero step should error")
+	}
+	var empty Trajectory
+	rs2, err := empty.ResampleByDistance(0.5)
+	if err != nil || rs2.Len() != 0 {
+		t.Error("empty trajectory should resample to empty")
+	}
+}
+
+func TestResampleByDistanceStationaryCollapses(t *testing.T) {
+	// A pure spin (no movement) collapses to its single start point — the
+	// property the LCS depends on.
+	tr := &Trajectory{}
+	for i := 0; i <= 20; i++ {
+		tr.Points = append(tr.Points, Point{T: float64(i), Pos: geom.P(3, 4)})
+	}
+	rs, err := tr.ResampleByDistance(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Errorf("stationary trajectory resampled to %d points, want 1", rs.Len())
+	}
+}
+
+func TestPositions(t *testing.T) {
+	tr := line(4, 1, geom.P(1, 2))
+	ps := tr.Positions()
+	if len(ps) != 4 {
+		t.Fatalf("Positions = %d", len(ps))
+	}
+	if ps[3] != geom.P(3, 6) {
+		t.Errorf("last position = %v", ps[3])
+	}
+}

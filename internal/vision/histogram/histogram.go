@@ -1,0 +1,78 @@
+// Package histogram implements color indexing by histogram intersection
+// (Swain & Ballard, IJCV 1991), the first of the three cheap channels in
+// CrowdMap's stage-1 key-frame comparison (paper Section III-B.I): two
+// frames of the same place share a color distribution even under moderate
+// viewpoint change.
+package histogram
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/img"
+)
+
+// Hist is a normalized joint RGB histogram with BinsPerChannel³ bins.
+type Hist struct {
+	BinsPerChannel int
+	Counts         []float64 // normalized to sum 1
+}
+
+// Compute builds the color histogram of an RGB image with the given number
+// of bins per channel (4–16 are sensible).
+func Compute(m *img.RGB, binsPerChannel int) (*Hist, error) {
+	if binsPerChannel < 2 || binsPerChannel > 32 {
+		return nil, fmt.Errorf("histogram: binsPerChannel must be in [2, 32], got %d", binsPerChannel)
+	}
+	n := binsPerChannel
+	h := &Hist{BinsPerChannel: n, Counts: make([]float64, n*n*n)}
+	binOf := func(v float64) int {
+		i := int(v * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	total := float64(m.W * m.H)
+	for i := 0; i < m.W*m.H; i++ {
+		r := binOf(m.R[i])
+		g := binOf(m.G[i])
+		b := binOf(m.B[i])
+		h.Counts[(r*n+g)*n+b] += 1 / total
+	}
+	return h, nil
+}
+
+// Intersection returns the Swain-Ballard histogram intersection score
+// Σ min(a_i, b_i) in [0, 1]; 1 means identical distributions.
+func Intersection(a, b *Hist) (float64, error) {
+	if a.BinsPerChannel != b.BinsPerChannel {
+		return 0, fmt.Errorf("histogram: bin count mismatch %d vs %d", a.BinsPerChannel, b.BinsPerChannel)
+	}
+	var s float64
+	for i := range a.Counts {
+		s += math.Min(a.Counts[i], b.Counts[i])
+	}
+	return s, nil
+}
+
+// ChiSquare returns the χ² distance between two histograms (0 for
+// identical), an alternative metric exposed for ablation.
+func ChiSquare(a, b *Hist) (float64, error) {
+	if a.BinsPerChannel != b.BinsPerChannel {
+		return 0, fmt.Errorf("histogram: bin count mismatch %d vs %d", a.BinsPerChannel, b.BinsPerChannel)
+	}
+	var s float64
+	for i := range a.Counts {
+		sum := a.Counts[i] + b.Counts[i]
+		if sum == 0 {
+			continue
+		}
+		d := a.Counts[i] - b.Counts[i]
+		s += d * d / sum
+	}
+	return s / 2, nil
+}

@@ -1,0 +1,154 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func solid(w, h int, r, g, b float64) *img.RGB {
+	m := img.NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.Set(x, y, r, g, b)
+		}
+	}
+	return m
+}
+
+func random(w, h int, seed int64) *img.RGB {
+	rng := mathx.NewRNG(seed)
+	m := img.NewRGB(w, h)
+	for i := range m.R {
+		m.R[i] = rng.Float64()
+		m.G[i] = rng.Float64()
+		m.B[i] = rng.Float64()
+	}
+	return m
+}
+
+func TestComputeValidation(t *testing.T) {
+	m := solid(4, 4, 0.5, 0.5, 0.5)
+	if _, err := Compute(m, 1); err == nil {
+		t.Error("1 bin should error")
+	}
+	if _, err := Compute(m, 64); err == nil {
+		t.Error("64 bins should error")
+	}
+}
+
+func TestHistogramSumsToOne(t *testing.T) {
+	h, err := Compute(random(32, 24, 1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, c := range h.Counts {
+		s += c
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("histogram sums to %v", s)
+	}
+}
+
+func TestSolidImageSingleBin(t *testing.T) {
+	h, err := Compute(solid(8, 8, 0.1, 0.5, 0.9), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, c := range h.Counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Errorf("solid image occupies %d bins, want 1", nonzero)
+	}
+}
+
+func TestEdgeValuesClampIntoLastBin(t *testing.T) {
+	h, err := Compute(solid(4, 4, 1, 1, 1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// value 1.0 → bin 3 (not 4, which would be out of range).
+	idx := (3*4+3)*4 + 3
+	if h.Counts[idx] != 1 {
+		t.Errorf("white pixels landed in wrong bin")
+	}
+}
+
+func TestIntersectionIdenticalAndDisjoint(t *testing.T) {
+	a, _ := Compute(solid(8, 8, 0.1, 0.1, 0.1), 4)
+	b, _ := Compute(solid(8, 8, 0.9, 0.9, 0.9), 4)
+	if got, _ := Intersection(a, a); !almost(got, 1) {
+		t.Errorf("self intersection = %v", got)
+	}
+	if got, _ := Intersection(a, b); got != 0 {
+		t.Errorf("disjoint intersection = %v", got)
+	}
+	if _, err := Intersection(a, &Hist{BinsPerChannel: 8, Counts: make([]float64, 512)}); err == nil {
+		t.Error("bin mismatch should error")
+	}
+}
+
+func TestIntersectionSymmetricBoundedProperty(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, err := Compute(random(16, 16, s1), 8)
+		if err != nil {
+			return false
+		}
+		b, err := Compute(random(16, 16, s2), 8)
+		if err != nil {
+			return false
+		}
+		ab, _ := Intersection(a, b)
+		ba, _ := Intersection(b, a)
+		return almost(ab, ba) && ab >= 0 && ab <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarImagesIntersectHigher(t *testing.T) {
+	base := random(32, 24, 2)
+	// Slightly brightness-shifted copy.
+	shifted := base.Clone()
+	shifted.ScalePixels(1.05)
+	other := random(32, 24, 3)
+	hb, _ := Compute(base, 8)
+	hs, _ := Compute(shifted, 8)
+	ho, _ := Compute(other, 8)
+	ss, _ := Intersection(hb, hs)
+	so, _ := Intersection(hb, ho)
+	if ss <= so {
+		t.Errorf("shifted copy intersection (%v) should beat unrelated (%v)", ss, so)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	a, _ := Compute(solid(8, 8, 0.1, 0.1, 0.1), 4)
+	b, _ := Compute(solid(8, 8, 0.9, 0.9, 0.9), 4)
+	if got, _ := ChiSquare(a, a); got != 0 {
+		t.Errorf("self chi² = %v", got)
+	}
+	far, _ := ChiSquare(a, b)
+	if far <= 0 {
+		t.Errorf("disjoint chi² = %v, want > 0", far)
+	}
+	if _, err := ChiSquare(a, &Hist{BinsPerChannel: 8, Counts: make([]float64, 512)}); err == nil {
+		t.Error("bin mismatch should error")
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }

@@ -1,0 +1,155 @@
+// Package hog implements the Histogram of Oriented Gradients descriptor
+// (Dalal & Triggs, CVPR 2005). CrowdMap uses HOG as a cheap frame-change
+// gate: consecutive video frames whose HOG descriptors correlate above a
+// threshold are near-duplicates and are dropped before the expensive SURF
+// stage (paper Section III-B.I, "Video Key-frame Selection").
+package hog
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/img"
+)
+
+// Params configures the descriptor grid.
+type Params struct {
+	CellSize    int // pixels per cell side
+	BlockSize   int // cells per block side
+	Bins        int // orientation bins over [0, π)
+	BlockStride int // cells between block origins
+}
+
+// DefaultParams matches the classic 8-px cell / 2×2 block / 9 bin layout.
+func DefaultParams() Params {
+	return Params{CellSize: 8, BlockSize: 2, Bins: 9, BlockStride: 1}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.CellSize < 2 {
+		return fmt.Errorf("hog: cell size must be ≥ 2, got %d", p.CellSize)
+	}
+	if p.BlockSize < 1 {
+		return fmt.Errorf("hog: block size must be ≥ 1, got %d", p.BlockSize)
+	}
+	if p.Bins < 2 {
+		return fmt.Errorf("hog: bins must be ≥ 2, got %d", p.Bins)
+	}
+	if p.BlockStride < 1 {
+		return fmt.Errorf("hog: block stride must be ≥ 1, got %d", p.BlockStride)
+	}
+	return nil
+}
+
+// Descriptor is a HOG feature vector.
+type Descriptor []float64
+
+// Compute extracts the HOG descriptor of a grayscale image.
+func Compute(g *img.Gray, p Params) (Descriptor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cellsX := g.W / p.CellSize
+	cellsY := g.H / p.CellSize
+	if cellsX < p.BlockSize || cellsY < p.BlockSize {
+		return nil, fmt.Errorf("hog: image %dx%d too small for %d-px cells and %d-cell blocks",
+			g.W, g.H, p.CellSize, p.BlockSize)
+	}
+	gx, gy := img.Gradients(g)
+	// Accumulate per-cell orientation histograms with linear bin
+	// interpolation on unsigned gradient direction.
+	hists := make([][]float64, cellsX*cellsY)
+	for i := range hists {
+		hists[i] = make([]float64, p.Bins)
+	}
+	binWidth := math.Pi / float64(p.Bins)
+	for y := 0; y < cellsY*p.CellSize; y++ {
+		cy := y / p.CellSize
+		for x := 0; x < cellsX*p.CellSize; x++ {
+			cx := x / p.CellSize
+			dx := gx.At(x, y)
+			dy := gy.At(x, y)
+			mag := math.Hypot(dx, dy)
+			if mag == 0 {
+				continue
+			}
+			ang := math.Atan2(dy, dx)
+			if ang < 0 {
+				ang += math.Pi
+			}
+			if ang >= math.Pi {
+				ang -= math.Pi
+			}
+			pos := ang/binWidth - 0.5
+			lo := int(math.Floor(pos))
+			frac := pos - float64(lo)
+			hi := lo + 1
+			if lo < 0 {
+				lo += p.Bins
+			}
+			if hi >= p.Bins {
+				hi -= p.Bins
+			}
+			h := hists[cy*cellsX+cx]
+			h[lo] += mag * (1 - frac)
+			h[hi] += mag * frac
+		}
+	}
+	// Block normalization (L2-hys without the clipping refinement).
+	var desc Descriptor
+	for by := 0; by+p.BlockSize <= cellsY; by += p.BlockStride {
+		for bx := 0; bx+p.BlockSize <= cellsX; bx += p.BlockStride {
+			start := len(desc)
+			for cy := by; cy < by+p.BlockSize; cy++ {
+				for cx := bx; cx < bx+p.BlockSize; cx++ {
+					desc = append(desc, hists[cy*cellsX+cx]...)
+				}
+			}
+			block := desc[start:]
+			var norm float64
+			for _, v := range block {
+				norm += v * v
+			}
+			norm = math.Sqrt(norm) + 1e-6
+			for i := range block {
+				block[i] /= norm
+			}
+		}
+	}
+	return desc, nil
+}
+
+// Correlation returns the normalized cross-correlation of two descriptors
+// in [-1, 1]; this is the S_cc score the key-frame selector thresholds.
+func Correlation(a, b Descriptor) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("hog: descriptor length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("hog: empty descriptors")
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var num, da, db float64
+	for i := range a {
+		x := a[i] - ma
+		y := b[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	const eps = 1e-12
+	if da <= eps && db <= eps {
+		return 1, nil
+	}
+	if da <= eps || db <= eps {
+		return 0, nil
+	}
+	return num / math.Sqrt(da*db), nil
+}

@@ -1,0 +1,166 @@
+package hog
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// stripes draws vertical bars with the given period.
+func stripes(w, h, period int) *img.Gray {
+	g := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x/period)%2 == 0 {
+				g.Set(x, y, 1)
+			}
+		}
+	}
+	return g
+}
+
+func noise(w, h int, seed int64) *img.Gray {
+	rng := mathx.NewRNG(seed)
+	g := img.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	return g
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"tiny cell", func(p *Params) { p.CellSize = 1 }},
+		{"zero block", func(p *Params) { p.BlockSize = 0 }},
+		{"one bin", func(p *Params) { p.Bins = 1 }},
+		{"zero stride", func(p *Params) { p.BlockStride = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params should validate: %v", err)
+	}
+}
+
+func TestComputeRejectsTinyImages(t *testing.T) {
+	if _, err := Compute(img.NewGray(8, 8), DefaultParams()); err == nil {
+		t.Error("8x8 image with 8px cells and 2-cell blocks should fail")
+	}
+}
+
+func TestComputeDescriptorLength(t *testing.T) {
+	p := DefaultParams()
+	g := noise(64, 48, 1)
+	d, err := Compute(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsX, cellsY := 8, 6
+	blocks := (cellsX - 1) * (cellsY - 1)
+	want := blocks * p.BlockSize * p.BlockSize * p.Bins
+	if len(d) != want {
+		t.Errorf("descriptor length = %d, want %d", len(d), want)
+	}
+}
+
+func TestBlocksAreNormalized(t *testing.T) {
+	g := noise(64, 48, 2)
+	p := DefaultParams()
+	d, err := Compute(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := p.BlockSize * p.BlockSize * p.Bins
+	for b := 0; b+per <= len(d); b += per {
+		var n float64
+		for _, v := range d[b : b+per] {
+			n += v * v
+		}
+		if n > 1+1e-6 {
+			t.Fatalf("block %d norm² = %v > 1", b/per, n)
+		}
+	}
+}
+
+func TestVerticalStripesConcentrateInOneBin(t *testing.T) {
+	g := stripes(64, 64, 8)
+	p := DefaultParams()
+	d, err := Compute(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical edges → horizontal gradients → unsigned angle 0 → energy in
+	// the bins adjacent to angle 0 (bins 0 and Bins-1 after the 0.5 shift).
+	binEnergy := make([]float64, p.Bins)
+	for i, v := range d {
+		binEnergy[i%p.Bins] += v * v
+	}
+	var total float64
+	for _, e := range binEnergy {
+		total += e
+	}
+	edge := binEnergy[0] + binEnergy[p.Bins-1]
+	if edge/total < 0.9 {
+		t.Errorf("vertical stripes put only %.2f of energy in the 0° bins", edge/total)
+	}
+}
+
+func TestCorrelationSelfAndDistinct(t *testing.T) {
+	p := DefaultParams()
+	a, err := Compute(noise(64, 48, 3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Correlation(a, a); !almostEq(got, 1, 1e-9) {
+		t.Errorf("self correlation = %v", got)
+	}
+	b, _ := Compute(noise(64, 48, 4), p)
+	ab, _ := Correlation(a, b)
+	if ab >= 0.95 {
+		t.Errorf("distinct noise images correlate at %v", ab)
+	}
+	if _, err := Correlation(a, a[:10]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Correlation(nil, nil); err == nil {
+		t.Error("empty descriptors should error")
+	}
+}
+
+func TestCorrelationDetectsSimilarity(t *testing.T) {
+	p := DefaultParams()
+	base := noise(64, 48, 5)
+	// A lightly perturbed copy should correlate far higher than an
+	// unrelated image.
+	pert := base.Clone()
+	rng := mathx.NewRNG(6)
+	for i := range pert.Pix {
+		pert.Pix[i] += rng.NormFloat64() * 0.02
+	}
+	other := noise(64, 48, 7)
+	db, _ := Compute(base, p)
+	dp, _ := Compute(pert, p)
+	do, _ := Compute(other, p)
+	sp, _ := Correlation(db, dp)
+	so, _ := Correlation(db, do)
+	if sp <= so {
+		t.Errorf("perturbed correlation (%v) should beat unrelated (%v)", sp, so)
+	}
+	if sp < 0.8 {
+		t.Errorf("perturbed correlation = %v, want > 0.8", sp)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,178 @@
+// Package hough implements the classic ρ–θ Hough transform (Hough 1959,
+// Duda–Hart parameterization) over point sets or line segments, plus the
+// vanishing-direction voting CrowdMap's room layout module uses to find the
+// dominant wall directions in a panorama (paper Section III-C.II).
+package hough
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/geom"
+)
+
+// Line is a detected line in ρ–θ form: x·cosθ + y·sinθ = ρ.
+type Line struct {
+	Rho   float64
+	Theta float64
+	Votes float64
+}
+
+// Params configures the accumulator.
+type Params struct {
+	ThetaBins int     // number of θ bins over [0, π)
+	RhoRes    float64 // ρ resolution in pixels
+}
+
+// DefaultParams is adequate for panorama-scale images.
+func DefaultParams() Params { return Params{ThetaBins: 180, RhoRes: 2} }
+
+// Transform accumulates weighted points into a Hough space and returns the
+// peak lines above minVotes, strongest first, with 3×3 non-maximum
+// suppression in the accumulator.
+func Transform(points []geom.Pt, weights []float64, p Params, minVotes float64) ([]Line, error) {
+	if p.ThetaBins < 4 {
+		return nil, fmt.Errorf("hough: need at least 4 theta bins, got %d", p.ThetaBins)
+	}
+	if p.RhoRes <= 0 {
+		return nil, fmt.Errorf("hough: rho resolution must be positive, got %g", p.RhoRes)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	if weights != nil && len(weights) != len(points) {
+		return nil, fmt.Errorf("hough: %d weights for %d points", len(weights), len(points))
+	}
+	var maxR float64
+	for _, pt := range points {
+		maxR = math.Max(maxR, pt.Norm())
+	}
+	rhoBins := int(2*maxR/p.RhoRes) + 3
+	rhoOff := float64(rhoBins) / 2
+	acc := make([]float64, p.ThetaBins*rhoBins)
+	sinT := make([]float64, p.ThetaBins)
+	cosT := make([]float64, p.ThetaBins)
+	for t := 0; t < p.ThetaBins; t++ {
+		th := math.Pi * float64(t) / float64(p.ThetaBins)
+		sinT[t] = math.Sin(th)
+		cosT[t] = math.Cos(th)
+	}
+	for i, pt := range points {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		for t := 0; t < p.ThetaBins; t++ {
+			rho := pt.X*cosT[t] + pt.Y*sinT[t]
+			rb := int(math.Round(rho/p.RhoRes + rhoOff))
+			if rb < 0 || rb >= rhoBins {
+				continue
+			}
+			acc[t*rhoBins+rb] += w
+		}
+	}
+	var lines []Line
+	for t := 0; t < p.ThetaBins; t++ {
+		for rb := 0; rb < rhoBins; rb++ {
+			v := acc[t*rhoBins+rb]
+			if v < minVotes {
+				continue
+			}
+			if !isPeak(acc, p.ThetaBins, rhoBins, t, rb, v) {
+				continue
+			}
+			lines = append(lines, Line{
+				Rho:   (float64(rb) - rhoOff) * p.RhoRes,
+				Theta: math.Pi * float64(t) / float64(p.ThetaBins),
+				Votes: v,
+			})
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Votes > lines[j].Votes })
+	return lines, nil
+}
+
+func isPeak(acc []float64, thetaBins, rhoBins, t, rb int, v float64) bool {
+	for dt := -1; dt <= 1; dt++ {
+		for dr := -1; dr <= 1; dr++ {
+			if dt == 0 && dr == 0 {
+				continue
+			}
+			tt := (t + dt + thetaBins) % thetaBins
+			rr := rb + dr
+			if rr < 0 || rr >= rhoBins {
+				continue
+			}
+			n := acc[tt*rhoBins+rr]
+			if n > v || (n == v && (dt < 0 || (dt == 0 && dr < 0))) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SegmentAngleHistogram votes segment lengths into an orientation histogram
+// over [0, π) and returns the bin centers and weights. The room layout
+// module uses the dominant peaks as vanishing (wall) directions.
+type SegmentVote struct {
+	Angle  float64 // radians in [0, π)
+	Weight float64 // accumulated length
+}
+
+// DominantDirections finds up to k dominant orientations among the given
+// (angle, length) segment votes, merging votes within tol radians. Returned
+// strongest first.
+func DominantDirections(votes []SegmentVote, k int, tol float64) []SegmentVote {
+	if k <= 0 || len(votes) == 0 {
+		return nil
+	}
+	// Accumulate into fine bins, then greedily extract peaks with
+	// suppression.
+	const bins = 360
+	acc := make([]float64, bins)
+	for _, v := range votes {
+		a := math.Mod(v.Angle, math.Pi)
+		if a < 0 {
+			a += math.Pi
+		}
+		b := int(a / math.Pi * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		acc[b] += v.Weight
+	}
+	suppress := int(tol / math.Pi * bins)
+	if suppress < 1 {
+		suppress = 1
+	}
+	var out []SegmentVote
+	for len(out) < k {
+		best := -1
+		bestV := 0.0
+		for i, v := range acc {
+			if v > bestV {
+				bestV = v
+				best = i
+			}
+		}
+		if best < 0 || bestV == 0 {
+			break
+		}
+		// Weighted centroid of the peak neighborhood (circular in π).
+		var sumW, sumA float64
+		for d := -suppress; d <= suppress; d++ {
+			i := (best + d + bins) % bins
+			sumW += acc[i]
+			sumA += acc[i] * float64(best+d)
+			acc[i] = 0
+		}
+		center := math.Mod(sumA/sumW/bins*math.Pi, math.Pi)
+		if center < 0 {
+			center += math.Pi
+		}
+		out = append(out, SegmentVote{Angle: center, Weight: sumW})
+	}
+	return out
+}

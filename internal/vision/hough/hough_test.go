@@ -1,0 +1,122 @@
+package hough
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+)
+
+func TestTransformValidation(t *testing.T) {
+	pts := []geom.Pt{{X: 1, Y: 1}}
+	if _, err := Transform(pts, nil, Params{ThetaBins: 2, RhoRes: 1}, 1); err == nil {
+		t.Error("too few theta bins should error")
+	}
+	if _, err := Transform(pts, nil, Params{ThetaBins: 90, RhoRes: 0}, 1); err == nil {
+		t.Error("zero rho resolution should error")
+	}
+	if _, err := Transform(pts, []float64{1, 2}, DefaultParams(), 1); err == nil {
+		t.Error("weights length mismatch should error")
+	}
+	if ls, err := Transform(nil, nil, DefaultParams(), 1); err != nil || ls != nil {
+		t.Error("empty input should return nil, nil")
+	}
+}
+
+func TestTransformFindsVerticalLine(t *testing.T) {
+	var pts []geom.Pt
+	for y := 0; y < 50; y++ {
+		pts = append(pts, geom.P(20, float64(y)))
+	}
+	lines, err := Transform(pts, nil, DefaultParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no lines found")
+	}
+	top := lines[0]
+	// Vertical line x=20: θ=0, ρ=20.
+	if math.Abs(top.Theta) > mathx.Deg2Rad(3) && math.Abs(top.Theta-math.Pi) > mathx.Deg2Rad(3) {
+		t.Errorf("theta = %v°, want ≈0°", mathx.Rad2Deg(top.Theta))
+	}
+	if math.Abs(math.Abs(top.Rho)-20) > 3 {
+		t.Errorf("rho = %v, want ≈±20", top.Rho)
+	}
+}
+
+func TestTransformFindsTwoLines(t *testing.T) {
+	var pts []geom.Pt
+	for i := 0; i < 60; i++ {
+		pts = append(pts, geom.P(float64(i), 10)) // horizontal y=10
+		pts = append(pts, geom.P(30, float64(i))) // vertical x=30
+	}
+	lines, err := Transform(pts, nil, DefaultParams(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("found %d lines, want ≥ 2", len(lines))
+	}
+	var hasH, hasV bool
+	for _, l := range lines[:2] {
+		if math.Abs(l.Theta-math.Pi/2) < mathx.Deg2Rad(3) {
+			hasH = true
+		}
+		if math.Abs(l.Theta) < mathx.Deg2Rad(3) || math.Abs(l.Theta-math.Pi) < mathx.Deg2Rad(3) {
+			hasV = true
+		}
+	}
+	if !hasH || !hasV {
+		t.Errorf("missing line: horizontal=%v vertical=%v", hasH, hasV)
+	}
+}
+
+func TestTransformWeights(t *testing.T) {
+	pts := []geom.Pt{geom.P(5, 5), geom.P(5, 6), geom.P(5, 7)}
+	w := []float64{10, 10, 10}
+	lines, err := Transform(pts, w, DefaultParams(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("weighted votes should clear the threshold")
+	}
+	if lines[0].Votes < 25 {
+		t.Errorf("votes = %v", lines[0].Votes)
+	}
+}
+
+func TestDominantDirections(t *testing.T) {
+	votes := []SegmentVote{
+		{Angle: 0.02, Weight: 10},
+		{Angle: -0.01 + math.Pi, Weight: 8}, // folds to ≈π⁻, same direction as 0
+		{Angle: math.Pi / 2, Weight: 20},
+		{Angle: math.Pi/2 + 0.03, Weight: 5},
+	}
+	dirs := DominantDirections(votes, 2, mathx.Deg2Rad(10))
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directions", len(dirs))
+	}
+	// Strongest: π/2 cluster (weight 25).
+	if math.Abs(dirs[0].Angle-math.Pi/2) > mathx.Deg2Rad(4) {
+		t.Errorf("first direction = %v°, want ≈90°", mathx.Rad2Deg(dirs[0].Angle))
+	}
+	if dirs[0].Weight < dirs[1].Weight {
+		t.Error("directions must be strongest-first")
+	}
+}
+
+func TestDominantDirectionsEdgeCases(t *testing.T) {
+	if got := DominantDirections(nil, 3, 0.1); got != nil {
+		t.Error("empty votes should return nil")
+	}
+	if got := DominantDirections([]SegmentVote{{Angle: 1, Weight: 1}}, 0, 0.1); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	one := DominantDirections([]SegmentVote{{Angle: 1, Weight: 1}}, 5, 0.1)
+	if len(one) != 1 {
+		t.Errorf("single vote should produce one direction, got %d", len(one))
+	}
+}

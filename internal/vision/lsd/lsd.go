@@ -1,0 +1,219 @@
+// Package lsd implements a line segment detector in the spirit of LSD
+// (von Gioi et al., IPOL 2012): pixels are grouped into line-support
+// regions by gradient orientation region growing, each region is
+// approximated by a rectangle via principal component analysis, and
+// candidates are validated by an aligned-point density criterion (a
+// simplified stand-in for the NFA test). CrowdMap runs it on room
+// panoramas as the first step of room layout generation.
+package lsd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+)
+
+// Segment is a detected line segment in image coordinates with its support
+// strength.
+type Segment struct {
+	A, B geom.Pt
+	// Width is the thickness of the support region.
+	Width float64
+	// Support is the number of aligned pixels backing the segment.
+	Support int
+}
+
+// Len returns the segment length in pixels.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Angle returns the segment direction in radians, folded to [0, π).
+func (s Segment) Angle() float64 {
+	a := math.Atan2(s.B.Y-s.A.Y, s.B.X-s.A.X)
+	if a < 0 {
+		a += math.Pi
+	}
+	if a >= math.Pi {
+		a -= math.Pi
+	}
+	return a
+}
+
+// Params configures detection.
+type Params struct {
+	// GradThreshold ignores pixels with weaker gradient magnitude.
+	GradThreshold float64
+	// AngleTol is the orientation tolerance for region growing, radians.
+	AngleTol float64
+	// MinLength drops segments shorter than this many pixels.
+	MinLength float64
+	// MinDensity is the minimum fraction of aligned pixels inside the
+	// fitted rectangle (the validation step).
+	MinDensity float64
+}
+
+// DefaultParams matches the classic LSD tuning (22.5° tolerance).
+func DefaultParams() Params {
+	return Params{
+		GradThreshold: 0.02,
+		AngleTol:      math.Pi / 8,
+		MinLength:     8,
+		MinDensity:    0.5,
+	}
+}
+
+// Detect finds line segments in a grayscale image.
+func Detect(g *img.Gray, p Params) ([]Segment, error) {
+	if p.GradThreshold <= 0 || p.AngleTol <= 0 || p.MinLength <= 0 {
+		return nil, fmt.Errorf("lsd: parameters must be positive: %+v", p)
+	}
+	w, h := g.W, g.H
+	gx, gy := img.Gradients(g)
+	mag := make([]float64, w*h)
+	ang := make([]float64, w*h)
+	type pxm struct {
+		idx int
+		m   float64
+	}
+	var order []pxm
+	for i := range mag {
+		m := math.Hypot(gx.Pix[i], gy.Pix[i])
+		mag[i] = m
+		if m >= p.GradThreshold {
+			// Level-line angle: perpendicular to the gradient, folded to
+			// [0, π).
+			a := math.Atan2(gy.Pix[i], gx.Pix[i]) + math.Pi/2
+			for a < 0 {
+				a += math.Pi
+			}
+			for a >= math.Pi {
+				a -= math.Pi
+			}
+			ang[i] = a
+			order = append(order, pxm{i, m})
+		} else {
+			ang[i] = math.NaN()
+		}
+	}
+	// Strongest seeds first, as in LSD's pseudo-ordering.
+	sort.Slice(order, func(i, j int) bool { return order[i].m > order[j].m })
+	used := make([]bool, w*h)
+	var segs []Segment
+	for _, seed := range order {
+		if used[seed.idx] {
+			continue
+		}
+		region := growRegion(seed.idx, w, h, ang, used, p.AngleTol)
+		if len(region) < int(p.MinLength) {
+			continue
+		}
+		seg, density := fitSegment(region, w, mag)
+		if seg.Len() < p.MinLength || density < p.MinDensity {
+			continue
+		}
+		seg.Support = len(region)
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+// growRegion grows a 8-connected region of pixels whose level-line angle
+// stays within tol of the region's running mean direction.
+func growRegion(seed, w, h int, ang []float64, used []bool, tol float64) []int {
+	region := []int{seed}
+	used[seed] = true
+	// Running mean of angles via vector sum (angles doubled to handle the
+	// π-periodicity of undirected lines).
+	sumC := math.Cos(2 * ang[seed])
+	sumS := math.Sin(2 * ang[seed])
+	meanAng := ang[seed]
+	for head := 0; head < len(region); head++ {
+		cx := region[head] % w
+		cy := region[head] / w
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= w || y < 0 || y >= h {
+					continue
+				}
+				i := y*w + x
+				if used[i] || math.IsNaN(ang[i]) {
+					continue
+				}
+				if angleDistPi(ang[i], meanAng) > tol {
+					continue
+				}
+				used[i] = true
+				region = append(region, i)
+				sumC += math.Cos(2 * ang[i])
+				sumS += math.Sin(2 * ang[i])
+				meanAng = math.Atan2(sumS, sumC) / 2
+				if meanAng < 0 {
+					meanAng += math.Pi
+				}
+			}
+		}
+	}
+	return region
+}
+
+// angleDistPi is the distance between two undirected line angles in [0, π).
+func angleDistPi(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > math.Pi/2 {
+		d = math.Pi - d
+	}
+	return d
+}
+
+// fitSegment fits a magnitude-weighted principal axis through the region
+// pixels and returns the spanned segment plus the aligned-pixel density of
+// its bounding rectangle.
+func fitSegment(region []int, w int, mag []float64) (Segment, float64) {
+	var sw, sx, sy float64
+	for _, i := range region {
+		m := mag[i]
+		sw += m
+		sx += m * float64(i%w)
+		sy += m * float64(i/w)
+	}
+	cx := sx / sw
+	cy := sy / sw
+	var sxx, syy, sxy float64
+	for _, i := range region {
+		m := mag[i]
+		dx := float64(i%w) - cx
+		dy := float64(i/w) - cy
+		sxx += m * dx * dx
+		syy += m * dy * dy
+		sxy += m * dx * dy
+	}
+	// Principal axis of the 2×2 scatter matrix.
+	theta := 0.5 * math.Atan2(2*sxy, sxx-syy)
+	ux, uy := math.Cos(theta), math.Sin(theta)
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minN, maxN := math.Inf(1), math.Inf(-1)
+	for _, i := range region {
+		dx := float64(i%w) - cx
+		dy := float64(i/w) - cy
+		t := dx*ux + dy*uy
+		nrm := -dx*uy + dy*ux
+		minT = math.Min(minT, t)
+		maxT = math.Max(maxT, t)
+		minN = math.Min(minN, nrm)
+		maxN = math.Max(maxN, nrm)
+	}
+	seg := Segment{
+		A:     geom.P(cx+minT*ux, cy+minT*uy),
+		B:     geom.P(cx+maxT*ux, cy+maxT*uy),
+		Width: maxN - minN + 1,
+	}
+	area := (maxT - minT + 1) * (maxN - minN + 1)
+	density := float64(len(region)) / area
+	return seg, density
+}

@@ -1,0 +1,130 @@
+package lsd
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// drawEdge paints a soft step edge along the line from a to b: pixels on
+// one side of the line are bright, the other dark, limited to a band.
+func drawStep(g *img.Gray, a, b geom.Pt, halfBand float64) {
+	dir := b.Sub(a).Unit()
+	nrm := geom.P(-dir.Y, dir.X)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			p := geom.P(float64(x), float64(y))
+			// Project onto the segment's band.
+			t := p.Sub(a).Dot(dir)
+			if t < 0 || t > b.Sub(a).Norm() {
+				continue
+			}
+			d := p.Sub(a).Dot(nrm)
+			if math.Abs(d) > halfBand {
+				continue
+			}
+			if d > 0 {
+				g.Set(x, y, 0.9)
+			} else {
+				g.Set(x, y, 0.1)
+			}
+		}
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	g := img.NewGray(32, 32)
+	bad := DefaultParams()
+	bad.GradThreshold = 0
+	if _, err := Detect(g, bad); err == nil {
+		t.Error("zero gradient threshold should error")
+	}
+}
+
+func TestDetectHorizontalEdge(t *testing.T) {
+	g := img.NewGray(96, 64)
+	g.Fill(0.1)
+	drawStep(g, geom.P(10, 32), geom.P(86, 32), 10)
+	segs, err := Detect(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments on a clean step edge")
+	}
+	// The longest segment should be horizontal and near y=32.
+	best := segs[0]
+	for _, s := range segs {
+		if s.Len() > best.Len() {
+			best = s
+		}
+	}
+	if best.Len() < 40 {
+		t.Errorf("longest segment only %v px", best.Len())
+	}
+	if ang := best.Angle(); math.Min(ang, math.Pi-ang) > mathx.Deg2Rad(5) {
+		t.Errorf("edge angle = %v°, want ≈0°", mathx.Rad2Deg(best.Angle()))
+	}
+	if math.Abs(best.Midpoint().Y-32) > 3 {
+		t.Errorf("edge at y=%v, want ≈32", best.Midpoint().Y)
+	}
+}
+
+func TestDetectDiagonalEdge(t *testing.T) {
+	g := img.NewGray(96, 96)
+	g.Fill(0.1)
+	drawStep(g, geom.P(15, 15), geom.P(80, 80), 12)
+	segs, err := Detect(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range segs {
+		if s.Len() > 30 && math.Abs(s.Angle()-math.Pi/4) < mathx.Deg2Rad(8) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("45° edge not detected among %d segments", len(segs))
+	}
+}
+
+func TestFlatImageNoSegments(t *testing.T) {
+	g := img.NewGray(64, 64)
+	g.Fill(0.5)
+	segs, err := Detect(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Errorf("flat image produced %d segments", len(segs))
+	}
+}
+
+func TestMinLengthFilters(t *testing.T) {
+	g := img.NewGray(96, 64)
+	g.Fill(0.1)
+	drawStep(g, geom.P(10, 20), geom.P(80, 20), 8)
+	strict := DefaultParams()
+	strict.MinLength = 200 // longer than the image
+	segs, err := Detect(g, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Errorf("MinLength filter leaked %d segments", len(segs))
+	}
+}
+
+func TestSegmentAngleFolding(t *testing.T) {
+	s := Segment{A: geom.P(10, 10), B: geom.P(0, 10)} // pointing -x
+	if got := s.Angle(); math.Abs(got) > 1e-9 {
+		t.Errorf("folded angle = %v, want 0", got)
+	}
+}
+
+// Midpoint helper used by the tests above.
+func (s Segment) Midpoint() geom.Pt { return s.A.Add(s.B).Scale(0.5) }

@@ -1,0 +1,305 @@
+// Package pano generates 360° room panoramas from overlapping key-frames,
+// replacing the paper's off-the-shelf AutoStitch step. It implements the
+// paper's Fig. 4 point-panorama admission model — candidate key-frames must
+// pairwise overlap and jointly cover the full circle — and a cylindrical
+// inverse-warp stitcher with feathered blending. Frame headings come from
+// the SRS gyroscope integration (Δω), so stitching tolerates small heading
+// noise.
+package pano
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// Frame is a key-frame candidate for panorama generation.
+type Frame struct {
+	Image *img.RGB
+	// Heading is the camera heading when the frame was captured, radians
+	// (typically integrated from the gyroscope during an SRS task).
+	Heading float64
+}
+
+// Params configures admission and stitching. The frame camera model is the
+// cylindrical-sector projection of internal/world: columns map linearly to
+// azimuth, rows map linearly to tan(elevation), with a fixed downward
+// pitch.
+type Params struct {
+	FOV   float64 // camera horizontal field of view, radians
+	Pitch float64 // camera pitch, radians (negative = down)
+	// OutW, OutH are the panorama canvas dimensions; OutW spans 360°.
+	OutW, OutH int
+	// MinOverlap is the minimum angular overlap required between
+	// neighboring frames, radians.
+	MinOverlap float64
+	// CoverSlack tolerates this much missing angular coverage before
+	// rejecting a candidate set, radians.
+	CoverSlack float64
+}
+
+// DefaultParams uses the paper's 54.4° FOV, a −15° handheld pitch and a
+// compact canvas.
+func DefaultParams() Params {
+	return Params{
+		FOV:        mathx.Deg2Rad(54.4),
+		Pitch:      mathx.Deg2Rad(-15),
+		OutW:       720,
+		OutH:       200,
+		MinOverlap: mathx.Deg2Rad(5),
+		CoverSlack: mathx.Deg2Rad(2),
+	}
+}
+
+// Validate checks stitching parameters.
+func (p Params) Validate() error {
+	if p.FOV <= 0 || p.FOV >= math.Pi {
+		return fmt.Errorf("pano: FOV must be in (0, π), got %g", p.FOV)
+	}
+	if p.OutW < 16 || p.OutH < 8 {
+		return fmt.Errorf("pano: output canvas too small (%dx%d)", p.OutW, p.OutH)
+	}
+	if math.Abs(p.Pitch) >= math.Pi/2 {
+		return fmt.Errorf("pano: pitch must be in (−π/2, π/2), got %g", p.Pitch)
+	}
+	return nil
+}
+
+// Admissible implements the paper's two panorama criteria: (i) every two
+// angularly adjacent key-frames overlap, and (ii) the selected frames cover
+// the scene in 360°. It returns nil when the frame set qualifies and a
+// descriptive error when it does not.
+func Admissible(headings []float64, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(headings) == 0 {
+		return fmt.Errorf("pano: no candidate frames")
+	}
+	spans := make([]mathx.AngularSpan, len(headings))
+	for i, h := range headings {
+		spans[i] = mathx.NewAngularSpan(h, p.FOV)
+	}
+	cover := mathx.CoverUnion(spans)
+	if cover < 2*math.Pi-p.CoverSlack {
+		return fmt.Errorf("pano: frames cover only %.1f° of 360°", mathx.Rad2Deg(cover))
+	}
+	// Check pairwise overlap between angular neighbors.
+	hs := append([]float64(nil), headings...)
+	for i := range hs {
+		hs[i] = math.Mod(hs[i], 2*math.Pi)
+		if hs[i] < 0 {
+			hs[i] += 2 * math.Pi
+		}
+	}
+	sort.Float64s(hs)
+	for i := range hs {
+		next := hs[(i+1)%len(hs)]
+		cur := hs[i]
+		a := mathx.NewAngularSpan(cur, p.FOV)
+		b := mathx.NewAngularSpan(next, p.FOV)
+		if a.Overlap(b) < p.MinOverlap {
+			return fmt.Errorf("pano: frames at %.1f° and %.1f° overlap less than %.1f°",
+				mathx.Rad2Deg(cur), mathx.Rad2Deg(next), mathx.Rad2Deg(p.MinOverlap))
+		}
+	}
+	return nil
+}
+
+// SelectCover greedily selects a minimal subset of frames that still
+// satisfies the admission criteria, preferring evenly spaced headings. It
+// mirrors the paper's key-frame selection per occupancy cell: many frames
+// may be available; stitching wants a small covering set. Returns indices
+// into the input slice.
+func SelectCover(headings []float64, p Params) ([]int, error) {
+	if len(headings) == 0 {
+		return nil, fmt.Errorf("pano: no candidate frames")
+	}
+	type hf struct {
+		idx int
+		h   float64
+	}
+	hs := make([]hf, len(headings))
+	for i, h := range headings {
+		hh := math.Mod(h, 2*math.Pi)
+		if hh < 0 {
+			hh += 2 * math.Pi
+		}
+		hs[i] = hf{i, hh}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].h < hs[j].h })
+	// Greedy circular cover: start at the first frame, repeatedly take the
+	// frame extending coverage furthest while still overlapping.
+	step := p.FOV - p.MinOverlap
+	selected := []int{0}
+	coverEnd := hs[0].h + p.FOV/2
+	start := hs[0].h - p.FOV/2
+	// The loop must run until the last frame overlaps the first across the
+	// wrap seam by at least MinOverlap, not merely until the circle is
+	// covered — otherwise the seam pair can fail the admission test.
+	for coverEnd < start+2*math.Pi+p.MinOverlap {
+		best := -1
+		bestH := -1.0
+		for j := range hs {
+			// Candidate must start before coverEnd (overlap) and extend it.
+			lo := hs[j].h - p.FOV/2
+			hi := hs[j].h + p.FOV/2
+			for hi < coverEnd {
+				lo += 2 * math.Pi
+				hi += 2 * math.Pi
+			}
+			if lo <= coverEnd-p.MinOverlap && hi > bestH {
+				bestH = hi
+				best = j
+			}
+		}
+		if best < 0 || bestH <= coverEnd+1e-9 {
+			return nil, fmt.Errorf("pano: cannot extend coverage past %.1f° (have %d frames, need spacing ≤ %.1f°)",
+				mathx.Rad2Deg(coverEnd), len(hs), mathx.Rad2Deg(step))
+		}
+		selected = append(selected, best)
+		coverEnd = bestH
+	}
+	out := make([]int, len(selected))
+	for i, j := range selected {
+		out[i] = hs[j].idx
+	}
+	return out, nil
+}
+
+// Panorama is a stitched 360° cylindrical image. Column u maps to azimuth
+// φ = 2π·(u+0.5)/W measured CCW, and row v maps linearly to tan(elevation)
+// between TMax (row 0) and TMin (last row).
+type Panorama struct {
+	Image      *img.RGB
+	TMin, TMax float64
+	// Covered marks canvas pixels that received at least one frame sample.
+	Covered []bool
+}
+
+// AzimuthOf returns the azimuth of column u.
+func (pn *Panorama) AzimuthOf(u int) float64 {
+	return 2 * math.Pi * (float64(u) + 0.5) / float64(pn.Image.W)
+}
+
+// ColOfAzimuth returns the fractional column of azimuth phi.
+func (pn *Panorama) ColOfAzimuth(phi float64) float64 {
+	phi = math.Mod(phi, 2*math.Pi)
+	if phi < 0 {
+		phi += 2 * math.Pi
+	}
+	return phi/(2*math.Pi)*float64(pn.Image.W) - 0.5
+}
+
+// TanElevOf returns tan(elevation) of row v.
+func (pn *Panorama) TanElevOf(v int) float64 {
+	f := (float64(v) + 0.5) / float64(pn.Image.H)
+	return pn.TMax + (pn.TMin-pn.TMax)*f
+}
+
+// RowOfTanElev inverts TanElevOf, returning a fractional row.
+func (pn *Panorama) RowOfTanElev(t float64) float64 {
+	return (t-pn.TMax)/(pn.TMin-pn.TMax)*float64(pn.Image.H) - 0.5
+}
+
+// IsCovered reports whether canvas pixel (u, v) received any frame data.
+func (pn *Panorama) IsCovered(u, v int) bool {
+	if u < 0 || u >= pn.Image.W || v < 0 || v >= pn.Image.H {
+		return false
+	}
+	return pn.Covered[v*pn.Image.W+u]
+}
+
+// Stitch builds a panorama from admitted frames by inverse warping: each
+// canvas pixel samples every frame whose view cone contains its azimuth,
+// blended with center-weighted feathering. Frames must share dimensions.
+// The canvas vertical range is the frames' own tan(elevation) range.
+func Stitch(frames []Frame, p Params) (*Panorama, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("pano: no frames to stitch")
+	}
+	fw := frames[0].Image.W
+	fh := frames[0].Image.H
+	for i, f := range frames {
+		if f.Image.W != fw || f.Image.H != fh {
+			return nil, fmt.Errorf("pano: frame %d size %dx%d differs from %dx%d",
+				i, f.Image.W, f.Image.H, fw, fh)
+		}
+	}
+	focal := float64(fw) / p.FOV // pixels per radian, and per unit tan vertically
+	tPitch := math.Tan(p.Pitch)
+	halfT := float64(fh) / 2 / focal
+	out := img.NewRGB(p.OutW, p.OutH)
+	pn := &Panorama{
+		Image:   out,
+		TMax:    tPitch + halfT,
+		TMin:    tPitch - halfT,
+		Covered: make([]bool, p.OutW*p.OutH),
+	}
+	halfFOV := p.FOV / 2
+	for u := 0; u < p.OutW; u++ {
+		phi := pn.AzimuthOf(u)
+		// Collect contributing frames for this column once.
+		type contrib struct {
+			f      *Frame
+			colAng float64
+			w      float64
+		}
+		var cs []contrib
+		for i := range frames {
+			colAng := mathx.AngleDiff(frames[i].Heading, phi)
+			if math.Abs(colAng) >= halfFOV {
+				continue
+			}
+			// Feather: weight peaks at frame center, falls to ~0 at edges.
+			w := math.Cos(colAng/halfFOV*math.Pi/2) + 1e-3
+			cs = append(cs, contrib{&frames[i], colAng, w})
+		}
+		if len(cs) == 0 {
+			continue // uncovered column stays black
+		}
+		for v := 0; v < p.OutH; v++ {
+			t := pn.TanElevOf(v)
+			var r, g, b, wsum float64
+			for _, c := range cs {
+				// Cylindrical camera: fx from azimuth, fy from tan(elev).
+				fx := float64(fw)/2 + c.colAng*focal - 0.5
+				fy := float64(fh)/2 + (tPitch-t)*focal - 0.5
+				if fy < 0 || fy > float64(fh-1) || fx < 0 || fx > float64(fw-1) {
+					continue
+				}
+				pr, pg, pb := bilinear(c.f.Image, fx, fy)
+				r += c.w * pr
+				g += c.w * pg
+				b += c.w * pb
+				wsum += c.w
+			}
+			if wsum > 0 {
+				out.Set(u, v, r/wsum, g/wsum, b/wsum)
+				pn.Covered[v*p.OutW+u] = true
+			}
+		}
+	}
+	return pn, nil
+}
+
+func bilinear(m *img.RGB, x, y float64) (r, g, b float64) {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	r00, g00, b00 := m.At(x0, y0)
+	r10, g10, b10 := m.At(x0+1, y0)
+	r01, g01, b01 := m.At(x0, y0+1)
+	r11, g11, b11 := m.At(x0+1, y0+1)
+	r = (1-fy)*((1-fx)*r00+fx*r10) + fy*((1-fx)*r01+fx*r11)
+	g = (1-fy)*((1-fx)*g00+fx*g10) + fy*((1-fx)*g01+fx*g11)
+	b = (1-fy)*((1-fx)*b00+fx*b10) + fy*((1-fx)*b01+fx*b11)
+	return r, g, b
+}

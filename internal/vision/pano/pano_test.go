@@ -1,0 +1,219 @@
+package pano
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+func headingsEvery(stepDeg float64) []float64 {
+	var out []float64
+	for d := 0.0; d < 360; d += stepDeg {
+		out = append(out, mathx.Deg2Rad(d))
+	}
+	return out
+}
+
+func TestAdmissible(t *testing.T) {
+	p := DefaultParams()
+	// 54.4° FOV with 30° spacing: overlapping, full cover → admissible.
+	if err := Admissible(headingsEvery(30), p); err != nil {
+		t.Errorf("30° spacing should be admissible: %v", err)
+	}
+	// 90° spacing: gaps → not admissible.
+	if err := Admissible(headingsEvery(90), p); err == nil {
+		t.Error("90° spacing must be rejected (coverage gaps)")
+	}
+	// Half circle only.
+	half := []float64{0, mathx.Deg2Rad(40), mathx.Deg2Rad(80), mathx.Deg2Rad(120)}
+	if err := Admissible(half, p); err == nil {
+		t.Error("half-circle coverage must be rejected")
+	}
+	if err := Admissible(nil, p); err == nil {
+		t.Error("no frames must be rejected")
+	}
+}
+
+func TestSelectCover(t *testing.T) {
+	p := DefaultParams()
+	// Dense candidates every 10°; selection should pick a small subset that
+	// still passes admission.
+	cands := headingsEvery(10)
+	idx, err := SelectCover(cands, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) >= len(cands) {
+		t.Errorf("selection did not thin: %d of %d", len(idx), len(cands))
+	}
+	sel := make([]float64, len(idx))
+	for i, j := range idx {
+		sel[i] = cands[j]
+	}
+	if err := Admissible(sel, p); err != nil {
+		t.Errorf("selected subset not admissible: %v", err)
+	}
+	// Sparse candidates cannot cover.
+	if _, err := SelectCover(headingsEvery(120), p); err == nil {
+		t.Error("sparse candidates must fail selection")
+	}
+	if _, err := SelectCover(nil, p); err == nil {
+		t.Error("empty candidates must fail selection")
+	}
+}
+
+func TestStitchValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, err := Stitch(nil, p); err == nil {
+		t.Error("no frames should error")
+	}
+	a := Frame{Image: img.NewRGB(64, 48)}
+	b := Frame{Image: img.NewRGB(32, 24)}
+	if _, err := Stitch([]Frame{a, b}, p); err == nil {
+		t.Error("mismatched frame sizes should error")
+	}
+	bad := p
+	bad.FOV = 0
+	if _, err := Stitch([]Frame{a}, bad); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+// Stitching frames rendered inside a room must reproduce what a direct
+// panoramic render of the same scene shows: per-column wall boundaries in
+// the stitched panorama should track the true wall distances.
+func TestStitchRoomPanoramaGeometry(t *testing.T) {
+	b := world.Lab1()
+	room := b.Rooms[0]
+	center := room.Bounds.Center()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(b, cam)
+	p := DefaultParams()
+	p.FOV = cam.FOV
+	p.Pitch = cam.Pitch
+	p.OutW, p.OutH = 360, 160
+
+	var frames []Frame
+	for d := 0.0; d < 360; d += 25 {
+		h := mathx.Deg2Rad(d)
+		frames = append(frames, Frame{
+			Image:   r.Render(world.Pose{Pos: center, Heading: h}, world.Daylight(), nil),
+			Heading: h,
+		})
+	}
+	pn, err := Stitch(frames, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check a handful of azimuths: the wall-floor boundary row implied by
+	// the true wall distance must be darker below (floor) and wall-colored
+	// above.
+	luma := pn.Image.Luma()
+	checked := 0
+	for u := 0; u < p.OutW; u += 15 {
+		phi := pn.AzimuthOf(u)
+		d := r.DistanceToWall(center, phi)
+		if math.IsInf(d, 1) || d < 1 {
+			continue
+		}
+		tBound := -b.CameraHeight / d // tan(elevation) of the wall-floor line
+		v := int(pn.RowOfTanElev(tBound))
+		if v < 10 || v > p.OutH-10 {
+			continue
+		}
+		if !pn.IsCovered(u, v-8) || !pn.IsCovered(u, v+8) {
+			continue
+		}
+		wallSample := luma.At(u, v-8)
+		floorSample := luma.At(u, v+8)
+		if wallSample <= floorSample {
+			t.Errorf("azimuth %d: wall sample %.3f not brighter than floor %.3f (boundary row %d)",
+				u, wallSample, floorSample, v)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d azimuths checked; test ineffective", checked)
+	}
+}
+
+func TestPanoramaCoordinateRoundTrip(t *testing.T) {
+	pn := &Panorama{Image: img.NewRGB(720, 240), TMax: 1.6}
+	for v := 0; v < 240; v += 17 {
+		tt := pn.TanElevOf(v)
+		back := pn.RowOfTanElev(tt)
+		if math.Abs(back-float64(v)) > 1e-9 {
+			t.Fatalf("row %d → t=%v → row %v", v, tt, back)
+		}
+	}
+	if got := pn.AzimuthOf(719); got >= 2*math.Pi || got <= 0 {
+		t.Errorf("azimuth out of range: %v", got)
+	}
+}
+
+func TestStitchBlendsWithoutSeams(t *testing.T) {
+	// Two overlapping frames of the same static scene: in the overlap the
+	// blend should be smooth (no column-to-column jumps bigger than the
+	// scene's own gradient).
+	b := world.Lab2()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(b, cam)
+	pos := geom.P(18, 7.5)
+	p := DefaultParams()
+	p.FOV = cam.FOV
+	p.Pitch = cam.Pitch
+	p.OutW, p.OutH = 360, 120
+	frames := []Frame{
+		{Image: r.Render(world.Pose{Pos: pos, Heading: 0}, world.Daylight(), nil), Heading: 0},
+		{Image: r.Render(world.Pose{Pos: pos, Heading: mathx.Deg2Rad(30)}, world.Daylight(), nil), Heading: mathx.Deg2Rad(30)},
+	}
+	pn, err := Stitch(frames, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistency with a held-out frame at an intermediate heading: inverse
+	// warping its pixels into the canvas must agree with the stitched
+	// values (the scene is static, so any disagreement is stitching error).
+	heldHeading := mathx.Deg2Rad(15)
+	held := r.Render(world.Pose{Pos: pos, Heading: heldHeading}, world.Daylight(), nil)
+	heldLuma := held.Luma()
+	canvas := pn.Image.Luma()
+	focal := float64(held.W) / p.FOV
+	tPitch := math.Tan(p.Pitch)
+	var sumDiff float64
+	var n int
+	for fy := 4; fy < held.H-4; fy += 5 {
+		tt := tPitch + (float64(held.H)/2-float64(fy)-0.5)/focal
+		v := int(math.Round(pn.RowOfTanElev(tt)))
+		for fx := 4; fx < held.W-4; fx += 5 {
+			phi := heldHeading - (float64(fx)+0.5-float64(held.W)/2)/focal
+			u := int(math.Round(pn.ColOfAzimuth(phi)))
+			if !pn.IsCovered(u, v) {
+				continue
+			}
+			sumDiff += math.Abs(canvas.At(u, v) - heldLuma.At(fx, fy))
+			n++
+		}
+	}
+	if n < 100 {
+		t.Fatalf("only %d comparison points; test ineffective", n)
+	}
+	if avg := sumDiff / float64(n); avg > 0.05 {
+		t.Errorf("stitched panorama disagrees with held-out frame: mean |diff| = %v", avg)
+	}
+}
+
+func TestColOfAzimuthRoundTrip(t *testing.T) {
+	pn := &Panorama{Image: img.NewRGB(720, 100), TMax: 0.5, TMin: -0.5}
+	for u := 0; u < 720; u += 37 {
+		phi := pn.AzimuthOf(u)
+		back := pn.ColOfAzimuth(phi)
+		if math.Abs(back-float64(u)) > 1e-6 {
+			t.Fatalf("col %d → %v° → col %v", u, phi, back)
+		}
+	}
+}

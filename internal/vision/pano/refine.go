@@ -1,0 +1,157 @@
+package pano
+
+import (
+	"math"
+	"sort"
+
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// RefineHeadings improves the gyro-integrated frame headings before
+// stitching by image registration: each frame's heading is adjusted so
+// that the overlap region with its angular neighbor maximizes normalized
+// cross-correlation. Gyro headings are typically within 1–3° already; the
+// search window is therefore small and the adjustment keeps the mean
+// heading unchanged (the absolute orientation still comes from the
+// inertial data — vision only polishes the relative alignment, exactly the
+// AutoStitch role in the paper's pipeline).
+//
+// The input slice is not modified; refined headings are returned in input
+// order.
+func RefineHeadings(frames []Frame, p Params, searchDeg, stepDeg float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(frames))
+	for i, f := range frames {
+		out[i] = f.Heading
+	}
+	if len(frames) < 2 || searchDeg <= 0 || stepDeg <= 0 {
+		return out, nil
+	}
+	// Order frames by heading so neighbors are angular neighbors.
+	order := make([]int, len(frames))
+	for i := range order {
+		order[i] = i
+	}
+	norm := func(h float64) float64 {
+		h = math.Mod(h, 2*math.Pi)
+		if h < 0 {
+			h += 2 * math.Pi
+		}
+		return h
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return norm(frames[order[a]].Heading) < norm(frames[order[b]].Heading)
+	})
+	lumas := make([]*img.Gray, len(frames))
+	for i, f := range frames {
+		lumas[i] = f.Image.Luma()
+	}
+	search := mathx.Deg2Rad(searchDeg)
+	step := mathx.Deg2Rad(stepDeg)
+	var meanShift float64
+	// Chain refinement: align each frame against its already-refined
+	// predecessor in heading order.
+	for k := 1; k < len(order); k++ {
+		prev := order[k-1]
+		cur := order[k]
+		bestShift := 0.0
+		bestScore := math.Inf(-1)
+		for shift := -search; shift <= search+1e-12; shift += step {
+			score, ok := overlapNCC(lumas[prev], out[prev], lumas[cur], out[cur]+shift, p)
+			if !ok {
+				continue
+			}
+			if score > bestScore {
+				bestScore = score
+				bestShift = shift
+			}
+		}
+		if !math.IsInf(bestScore, -1) {
+			out[cur] += bestShift
+			meanShift += bestShift
+		}
+	}
+	// Remove the mean adjustment so the inertial absolute orientation is
+	// preserved.
+	meanShift /= float64(len(frames))
+	for i := range out {
+		out[i] -= meanShift
+	}
+	return out, nil
+}
+
+// overlapNCC scores the agreement of two frames over their angular overlap
+// at the hypothesized headings. It samples a coarse grid in the shared
+// azimuth range and compares pixel luma via normalized cross-correlation.
+func overlapNCC(la *img.Gray, ha float64, lb *img.Gray, hb float64, p Params) (float64, bool) {
+	half := p.FOV / 2
+	// Overlap in azimuth: [max(lo), min(hi)] on the local angular axis
+	// around frame a's heading.
+	d := mathx.AngleDiff(hb, ha)
+	lo := math.Max(-half, d-half)
+	hi := math.Min(half, d+half)
+	if hi-lo < mathx.Deg2Rad(4) {
+		return 0, false
+	}
+	focalA := float64(la.W) / p.FOV
+	focalB := float64(lb.W) / p.FOV
+	const cols = 24
+	const rows = 16
+	var va, vb []float64
+	for ci := 0; ci < cols; ci++ {
+		az := lo + (hi-lo)*(float64(ci)+0.5)/cols // azimuth offset from ha
+		// Column in each frame: x = W/2 + colAngle·focal − 0.5 with
+		// colAngle measured as heading − φ (screen x grows clockwise).
+		xa := float64(la.W)/2 - az*focalA
+		xb := float64(lb.W)/2 - (az-d)*focalB
+		if xa < 1 || xa > float64(la.W-2) || xb < 1 || xb > float64(lb.W-2) {
+			continue
+		}
+		for ri := 0; ri < rows; ri++ {
+			y := (float64(ri) + 0.5) / rows
+			ya := y * float64(la.H-1)
+			yb := y * float64(lb.H-1)
+			va = append(va, sampleBilinear(la, xa, ya))
+			vb = append(vb, sampleBilinear(lb, xb, yb))
+		}
+	}
+	if len(va) < rows*4 {
+		return 0, false
+	}
+	return ncc(va, vb), true
+}
+
+func sampleBilinear(g *img.Gray, x, y float64) float64 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	return (1-fy)*((1-fx)*g.At(x0, y0)+fx*g.At(x0+1, y0)) +
+		fy*((1-fx)*g.At(x0, y0+1)+fx*g.At(x0+1, y0+1))
+}
+
+func ncc(a, b []float64) float64 {
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	n := float64(len(a))
+	ma /= n
+	mb /= n
+	var num, da, db float64
+	for i := range a {
+		x := a[i] - ma
+		y := b[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da <= 1e-12 || db <= 1e-12 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

@@ -1,0 +1,91 @@
+package pano
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+// TestRefineHeadingsRecoversPerturbation renders frames at known headings,
+// perturbs the heading estimates, and checks registration pulls them back.
+func TestRefineHeadingsRecoversPerturbation(t *testing.T) {
+	b := world.Lab1()
+	room := b.Rooms[0]
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(b, cam)
+	p := DefaultParams()
+	p.FOV = cam.FOV
+	p.Pitch = cam.Pitch
+	rng := mathx.NewRNG(5)
+	var frames []Frame
+	var truth []float64
+	var noisy []float64
+	for d := 0.0; d < 360; d += 24 {
+		h := mathx.Deg2Rad(d)
+		per := h + rng.NormFloat64()*mathx.Deg2Rad(1.5)
+		frames = append(frames, Frame{
+			Image:   r.Render(world.Pose{Pos: room.Bounds.Center(), Heading: h}, world.Daylight(), nil),
+			Heading: per,
+		})
+		truth = append(truth, h)
+		noisy = append(noisy, per)
+	}
+	refined, err := RefineHeadings(frames, p, 3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOf := func(hs []float64) float64 {
+		// Compare relative headings (mean removed) against truth.
+		var sum float64
+		for i := range hs {
+			sum += mathx.AngleDiff(hs[i], truth[i])
+		}
+		mean := sum / float64(len(hs))
+		var s float64
+		for i := range hs {
+			d := mathx.AngleDiff(hs[i], truth[i]) - mean
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(hs)))
+	}
+	before := errOf(noisy)
+	after := errOf(refined)
+	t.Logf("heading RMSE: %.2f° before, %.2f° after refinement",
+		mathx.Rad2Deg(before), mathx.Rad2Deg(after))
+	if after >= before {
+		t.Errorf("refinement did not improve heading error: %.3f° → %.3f°",
+			mathx.Rad2Deg(before), mathx.Rad2Deg(after))
+	}
+}
+
+func TestRefineHeadingsEdgeCases(t *testing.T) {
+	p := DefaultParams()
+	if out, err := RefineHeadings(nil, p, 3, 0.5); err != nil || len(out) != 0 {
+		t.Error("empty input should pass through")
+	}
+	b := world.Lab2()
+	cam := world.DefaultCamera()
+	r := world.NewRenderer(b, cam)
+	one := []Frame{{
+		Image:   r.Render(world.Pose{Pos: geom.P(18, 7.5), Heading: 0}, world.Daylight(), nil),
+		Heading: 0,
+	}}
+	out, err := RefineHeadings(one, p, 3, 0.5)
+	if err != nil || len(out) != 1 || out[0] != 0 {
+		t.Errorf("single frame should pass through: %v %v", out, err)
+	}
+	// Zero search window: identity.
+	two := append(one, one[0])
+	out, err = RefineHeadings(two, p, 0, 0.5)
+	if err != nil || out[0] != two[0].Heading {
+		t.Error("zero search window should pass through")
+	}
+	bad := p
+	bad.FOV = 0
+	if _, err := RefineHeadings(two, bad, 3, 0.5); err == nil {
+		t.Error("invalid params should error")
+	}
+}

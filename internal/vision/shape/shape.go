@@ -1,0 +1,181 @@
+// Package shape implements the edge-structure matching channel of
+// CrowdMap's stage-1 key-frame comparison, in the spirit of the
+// query-by-visual-example sketch retrieval of Kato et al. (IAPR 1992): an
+// image is summarized by a coarse grid of edge occupancy plus Hu invariant
+// moments, and two images are compared by correlating those summaries.
+package shape
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/img"
+)
+
+// Descriptor summarizes the edge structure of an image.
+type Descriptor struct {
+	GridW, GridH int
+	// EdgeGrid holds the fraction of edge pixels in each coarse cell.
+	EdgeGrid []float64
+	// Moments are log-scaled Hu invariant moments of the edge map.
+	Moments [7]float64
+}
+
+// Params configures extraction.
+type Params struct {
+	GridW, GridH  int     // coarse grid resolution
+	EdgeThreshold float64 // gradient magnitude threshold
+}
+
+// DefaultParams matches a 12×9 grid over QVGA-class frames.
+func DefaultParams() Params {
+	return Params{GridW: 12, GridH: 9, EdgeThreshold: 0.06}
+}
+
+// Compute extracts the shape descriptor from a grayscale image.
+func Compute(g *img.Gray, p Params) (*Descriptor, error) {
+	if p.GridW < 2 || p.GridH < 2 {
+		return nil, fmt.Errorf("shape: grid must be at least 2×2, got %dx%d", p.GridW, p.GridH)
+	}
+	if p.EdgeThreshold <= 0 {
+		return nil, fmt.Errorf("shape: edge threshold must be positive")
+	}
+	gx, gy := img.Gradients(g)
+	edges := img.NewGray(g.W, g.H)
+	for i := range edges.Pix {
+		if math.Hypot(gx.Pix[i], gy.Pix[i]) >= p.EdgeThreshold {
+			edges.Pix[i] = 1
+		}
+	}
+	d := &Descriptor{GridW: p.GridW, GridH: p.GridH, EdgeGrid: make([]float64, p.GridW*p.GridH)}
+	counts := make([]float64, p.GridW*p.GridH)
+	cellW := float64(g.W) / float64(p.GridW)
+	cellH := float64(g.H) / float64(p.GridH)
+	for y := 0; y < g.H; y++ {
+		cy := int(float64(y) / cellH)
+		if cy >= p.GridH {
+			cy = p.GridH - 1
+		}
+		for x := 0; x < g.W; x++ {
+			cx := int(float64(x) / cellW)
+			if cx >= p.GridW {
+				cx = p.GridW - 1
+			}
+			counts[cy*p.GridW+cx]++
+			if edges.Pix[y*g.W+x] > 0 {
+				d.EdgeGrid[cy*p.GridW+cx]++
+			}
+		}
+	}
+	for i := range d.EdgeGrid {
+		if counts[i] > 0 {
+			d.EdgeGrid[i] /= counts[i]
+		}
+	}
+	d.Moments = huMoments(edges)
+	return d, nil
+}
+
+// huMoments computes the seven Hu invariant moments of a binary image,
+// log-compressed as sign(h)·log10(|h|) for numeric stability.
+func huMoments(bin *img.Gray) [7]float64 {
+	var m00, m10, m01 float64
+	for y := 0; y < bin.H; y++ {
+		for x := 0; x < bin.W; x++ {
+			v := bin.Pix[y*bin.W+x]
+			m00 += v
+			m10 += float64(x) * v
+			m01 += float64(y) * v
+		}
+	}
+	var hu [7]float64
+	if m00 == 0 {
+		return hu
+	}
+	cx := m10 / m00
+	cy := m01 / m00
+	// Central moments up to order 3.
+	var mu [4][4]float64
+	for y := 0; y < bin.H; y++ {
+		for x := 0; x < bin.W; x++ {
+			v := bin.Pix[y*bin.W+x]
+			if v == 0 {
+				continue
+			}
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			for p := 0; p <= 3; p++ {
+				for q := 0; q <= 3-p; q++ {
+					mu[p][q] += math.Pow(dx, float64(p)) * math.Pow(dy, float64(q)) * v
+				}
+			}
+		}
+	}
+	norm := func(p, q int) float64 {
+		return mu[p][q] / math.Pow(m00, 1+float64(p+q)/2)
+	}
+	n20, n02, n11 := norm(2, 0), norm(0, 2), norm(1, 1)
+	n30, n03, n21, n12 := norm(3, 0), norm(0, 3), norm(2, 1), norm(1, 2)
+	raw := [7]float64{
+		n20 + n02,
+		(n20-n02)*(n20-n02) + 4*n11*n11,
+		(n30-3*n12)*(n30-3*n12) + (3*n21-n03)*(3*n21-n03),
+		(n30+n12)*(n30+n12) + (n21+n03)*(n21+n03),
+		(n30-3*n12)*(n30+n12)*((n30+n12)*(n30+n12)-3*(n21+n03)*(n21+n03)) +
+			(3*n21-n03)*(n21+n03)*(3*(n30+n12)*(n30+n12)-(n21+n03)*(n21+n03)),
+		(n20-n02)*((n30+n12)*(n30+n12)-(n21+n03)*(n21+n03)) + 4*n11*(n30+n12)*(n21+n03),
+		(3*n21-n03)*(n30+n12)*((n30+n12)*(n30+n12)-3*(n21+n03)*(n21+n03)) -
+			(n30-3*n12)*(n21+n03)*(3*(n30+n12)*(n30+n12)-(n21+n03)*(n21+n03)),
+	}
+	for i, h := range raw {
+		if h == 0 {
+			hu[i] = 0
+			continue
+		}
+		hu[i] = math.Copysign(math.Log10(math.Abs(h)+1e-30), h)
+	}
+	return hu
+}
+
+// Similarity returns a score in [0, 1] combining edge-grid correlation and
+// Hu moment distance; 1 means structurally identical edge layouts.
+func Similarity(a, b *Descriptor) (float64, error) {
+	if a.GridW != b.GridW || a.GridH != b.GridH {
+		return 0, fmt.Errorf("shape: grid mismatch %dx%d vs %dx%d", a.GridW, a.GridH, b.GridW, b.GridH)
+	}
+	// Edge grid correlation mapped from [-1,1] to [0,1].
+	var ma, mb float64
+	for i := range a.EdgeGrid {
+		ma += a.EdgeGrid[i]
+		mb += b.EdgeGrid[i]
+	}
+	n := float64(len(a.EdgeGrid))
+	ma /= n
+	mb /= n
+	var num, da, db float64
+	for i := range a.EdgeGrid {
+		x := a.EdgeGrid[i] - ma
+		y := b.EdgeGrid[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	var corr float64
+	switch {
+	case da <= 1e-15 && db <= 1e-15:
+		corr = 1
+	case da <= 1e-15 || db <= 1e-15:
+		corr = 0
+	default:
+		corr = num / math.Sqrt(da*db)
+	}
+	gridScore := (corr + 1) / 2
+	// Hu moment distance turned into a similarity.
+	var md float64
+	for i := range a.Moments {
+		d := a.Moments[i] - b.Moments[i]
+		md += d * d
+	}
+	momentScore := 1 / (1 + math.Sqrt(md))
+	return 0.7*gridScore + 0.3*momentScore, nil
+}

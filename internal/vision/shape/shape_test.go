@@ -1,0 +1,126 @@
+package shape
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// box draws a rectangle outline.
+func box(w, h, x0, y0, x1, y1 int) *img.Gray {
+	g := img.NewGray(w, h)
+	for x := x0; x <= x1; x++ {
+		g.Set(x, y0, 1)
+		g.Set(x, y1, 1)
+	}
+	for y := y0; y <= y1; y++ {
+		g.Set(x0, y, 1)
+		g.Set(x1, y, 1)
+	}
+	return g
+}
+
+func noisy(w, h int, seed int64) *img.Gray {
+	rng := mathx.NewRNG(seed)
+	g := img.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	return g
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := noisy(32, 32, 1)
+	bad := DefaultParams()
+	bad.GridW = 1
+	if _, err := Compute(g, bad); err == nil {
+		t.Error("1-wide grid should error")
+	}
+	bad = DefaultParams()
+	bad.EdgeThreshold = 0
+	if _, err := Compute(g, bad); err == nil {
+		t.Error("zero threshold should error")
+	}
+}
+
+func TestDescriptorShape(t *testing.T) {
+	p := DefaultParams()
+	d, err := Compute(noisy(48, 36, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.EdgeGrid) != p.GridW*p.GridH {
+		t.Errorf("grid length = %d", len(d.EdgeGrid))
+	}
+	for i, v := range d.EdgeGrid {
+		if v < 0 || v > 1 {
+			t.Fatalf("edge fraction out of range at %d: %v", i, v)
+		}
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	d, err := Compute(box(64, 48, 10, 10, 50, 38), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Similarity(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("self similarity = %v", got)
+	}
+}
+
+func TestSimilarityDiscriminates(t *testing.T) {
+	p := DefaultParams()
+	a, _ := Compute(box(64, 48, 10, 10, 50, 38), p)
+	// Same box shifted slightly: similar layout.
+	b, _ := Compute(box(64, 48, 12, 11, 52, 39), p)
+	// Box in the opposite corner: different layout.
+	c, _ := Compute(box(64, 48, 2, 2, 20, 16), p)
+	sab, _ := Similarity(a, b)
+	sac, _ := Similarity(a, c)
+	if sab <= sac {
+		t.Errorf("shifted box similarity (%v) should beat moved box (%v)", sab, sac)
+	}
+}
+
+func TestSimilarityGridMismatch(t *testing.T) {
+	p := DefaultParams()
+	a, _ := Compute(noisy(48, 36, 3), p)
+	p2 := p
+	p2.GridW = 6
+	b, _ := Compute(noisy(48, 36, 3), p2)
+	if _, err := Similarity(a, b); err == nil {
+		t.Error("grid mismatch should error")
+	}
+}
+
+func TestHuMomentsTranslationInvariance(t *testing.T) {
+	p := DefaultParams()
+	a, _ := Compute(box(128, 96, 10, 10, 40, 34), p)
+	b, _ := Compute(box(128, 96, 60, 40, 90, 64), p)
+	// Same shape translated: Hu moments should be near-identical even
+	// though the edge grid differs.
+	for i := range a.Moments {
+		if math.Abs(a.Moments[i]-b.Moments[i]) > 0.3 {
+			t.Errorf("Hu moment %d differs: %v vs %v", i, a.Moments[i], b.Moments[i])
+		}
+	}
+}
+
+func TestEmptyImageMomentsZero(t *testing.T) {
+	d, err := Compute(img.NewGray(48, 36), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range d.Moments {
+		if m != 0 {
+			t.Errorf("moment %d of empty edge map = %v", i, m)
+		}
+	}
+}

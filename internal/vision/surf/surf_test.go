@@ -1,0 +1,161 @@
+package surf
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+// blob paints a bright Gaussian blob at (cx, cy) with radius r.
+func blob(g *img.Gray, cx, cy, r float64) {
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+			g.Set(x, y, g.At(x, y)+math.Exp(-d2/(2*r*r)))
+		}
+	}
+}
+
+func renderPose(t *testing.T, b *world.Building, pos geom.Pt, heading float64) *img.Gray {
+	t.Helper()
+	r := world.NewRenderer(b, world.DefaultCamera())
+	return r.Render(world.Pose{Pos: pos, Heading: heading}, world.Daylight(), nil).Luma()
+}
+
+func TestDetectFindsBlobs(t *testing.T) {
+	g := img.NewGray(96, 96)
+	blob(g, 30, 30, 3)
+	blob(g, 70, 60, 3)
+	kps := Detect(g, DefaultParams())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints on a two-blob image")
+	}
+	// The strongest detections should be near the blob centers.
+	foundA, foundB := false, false
+	for _, kp := range kps {
+		if math.Hypot(kp.X-30, kp.Y-30) < 4 {
+			foundA = true
+		}
+		if math.Hypot(kp.X-70, kp.Y-60) < 4 {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Errorf("blobs not both detected (A=%v B=%v, %d keypoints)", foundA, foundB, len(kps))
+	}
+}
+
+func TestDetectEmptyOnFlatImage(t *testing.T) {
+	g := img.NewGray(64, 64)
+	g.Fill(0.5)
+	if kps := Detect(g, DefaultParams()); len(kps) != 0 {
+		t.Errorf("flat image produced %d keypoints", len(kps))
+	}
+}
+
+func TestMaxFeaturesCap(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	g := img.NewGray(128, 96)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	p := DefaultParams()
+	p.MaxFeatures = 10
+	kps := Detect(g, p)
+	if len(kps) > 10 {
+		t.Errorf("cap violated: %d keypoints", len(kps))
+	}
+	// Strongest-first ordering.
+	for i := 1; i < len(kps); i++ {
+		if kps[i].Response > kps[i-1].Response {
+			t.Fatal("keypoints not sorted by response")
+		}
+	}
+}
+
+func TestDescriptorsAreUnitNorm(t *testing.T) {
+	b := world.Lab1()
+	g := renderPose(t, b, geom.P(20, 7.2), 0)
+	fs := Extract(g, DefaultParams())
+	if len(fs) == 0 {
+		t.Fatal("no features on a rendered corridor frame")
+	}
+	for _, f := range fs {
+		var n float64
+		for _, v := range f.Desc {
+			n += v * v
+		}
+		if math.Abs(n-1) > 1e-9 {
+			t.Fatalf("descriptor norm² = %v", n)
+		}
+	}
+}
+
+func TestMatchSelfIsPerfect(t *testing.T) {
+	b := world.Lab1()
+	g := renderPose(t, b, geom.P(20, 7.2), 0)
+	fs := Extract(g, DefaultParams())
+	if len(fs) < 5 {
+		t.Fatalf("only %d features", len(fs))
+	}
+	ms := Match(fs, fs, 0.5)
+	if len(ms) != len(fs) {
+		t.Errorf("self match found %d of %d", len(ms), len(fs))
+	}
+	s, err := Similarity(fs, fs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("self S2 = %v, want 1", s)
+	}
+}
+
+func TestSimilaritySamePlaceVsDifferentPlace(t *testing.T) {
+	b := world.Lab1()
+	base := Extract(renderPose(t, b, geom.P(20, 7.2), 0), DefaultParams())
+	near := Extract(renderPose(t, b, geom.P(20.2, 7.2), 0.03), DefaultParams())
+	far := Extract(renderPose(t, b, geom.P(10, 21), math.Pi), DefaultParams())
+	if len(base) == 0 || len(near) == 0 || len(far) == 0 {
+		t.Fatalf("feature extraction failed: %d/%d/%d", len(base), len(near), len(far))
+	}
+	const hd = 0.35
+	sNear, err := Similarity(base, near, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFar, err := Similarity(base, far, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sNear <= sFar {
+		t.Errorf("same-place S2 (%v) should beat different-place S2 (%v)", sNear, sFar)
+	}
+	if sNear < 0.15 {
+		t.Errorf("same-place S2 = %v, too low to be useful", sNear)
+	}
+}
+
+func TestMatchEmptySets(t *testing.T) {
+	if ms := Match(nil, nil, 0.5); ms != nil {
+		t.Error("empty match should be nil")
+	}
+	if _, err := Similarity(nil, nil, 0.5); err == nil {
+		t.Error("similarity of two empty sets should error")
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	var a, b Descriptor
+	a[0], b[1] = 3, 4
+	if got := Dist(a, b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if Dist(a, b) != Dist(b, a) {
+		t.Error("Dist must be symmetric")
+	}
+}

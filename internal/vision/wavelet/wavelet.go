@@ -1,0 +1,134 @@
+// Package wavelet implements the fast multiresolution image querying
+// signature of Jacobs, Finkelstein & Salesin (SIGGRAPH 1995): a 2-D Haar
+// wavelet decomposition truncated to the largest-magnitude coefficients,
+// compared by counting sign agreements. It is the third cheap channel of
+// CrowdMap's stage-1 key-frame comparison.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/img"
+)
+
+// Signature is the truncated wavelet signature of an image.
+type Signature struct {
+	Size int // side length of the square transform (power of two)
+	// Average is the overall image mean (the DC coefficient).
+	Average float64
+	// Coeffs maps coefficient index (y*Size+x) to its sign (+1 or -1) for
+	// the top-K magnitude coefficients.
+	Coeffs map[int]int8
+}
+
+// Params configures signature extraction.
+type Params struct {
+	Size int // transform size; image is resized to Size×Size (power of 2)
+	TopK int // number of significant coefficients retained
+}
+
+// DefaultParams uses a 64×64 transform with 60 significant coefficients,
+// close to the original paper's settings.
+func DefaultParams() Params { return Params{Size: 64, TopK: 60} }
+
+// Compute extracts the wavelet signature of a grayscale image.
+func Compute(g *img.Gray, p Params) (*Signature, error) {
+	if p.Size < 4 || p.Size&(p.Size-1) != 0 {
+		return nil, fmt.Errorf("wavelet: size must be a power of two ≥ 4, got %d", p.Size)
+	}
+	if p.TopK < 1 {
+		return nil, fmt.Errorf("wavelet: TopK must be ≥ 1, got %d", p.TopK)
+	}
+	sq := img.Resize(g, p.Size, p.Size)
+	coeffs := haar2D(sq.Pix, p.Size)
+	sig := &Signature{Size: p.Size, Average: coeffs[0], Coeffs: make(map[int]int8, p.TopK)}
+	type kv struct {
+		idx int
+		mag float64
+	}
+	all := make([]kv, 0, p.Size*p.Size-1)
+	for i := 1; i < len(coeffs); i++ {
+		if coeffs[i] != 0 {
+			all = append(all, kv{i, math.Abs(coeffs[i])})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mag > all[j].mag })
+	k := p.TopK
+	if k > len(all) {
+		k = len(all)
+	}
+	for _, c := range all[:k] {
+		if coeffs[c.idx] > 0 {
+			sig.Coeffs[c.idx] = 1
+		} else {
+			sig.Coeffs[c.idx] = -1
+		}
+	}
+	return sig, nil
+}
+
+// haar2D performs a full 2-D Haar transform (non-standard decomposition)
+// of an n×n image, returning the coefficient array.
+func haar2D(pix []float64, n int) []float64 {
+	c := append([]float64(nil), pix...)
+	tmp := make([]float64, n)
+	// Transform rows then columns at each level.
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for y := 0; y < length; y++ {
+			for x := 0; x < half; x++ {
+				a := c[y*n+2*x]
+				b := c[y*n+2*x+1]
+				tmp[x] = (a + b) / 2
+				tmp[half+x] = (a - b) / 2
+			}
+			copy(c[y*n:y*n+length], tmp[:length])
+		}
+		for x := 0; x < length; x++ {
+			for y := 0; y < half; y++ {
+				a := c[(2*y)*n+x]
+				b := c[(2*y+1)*n+x]
+				tmp[y] = (a + b) / 2
+				tmp[half+y] = (a - b) / 2
+			}
+			for y := 0; y < length; y++ {
+				c[y*n+x] = tmp[y]
+			}
+		}
+	}
+	return c
+}
+
+// Similarity scores two signatures in [0, 1]: sign agreement on shared
+// significant coefficients weighted against the union, with a penalty for
+// differing overall brightness. 1 means visually near-identical.
+func Similarity(a, b *Signature) (float64, error) {
+	if a.Size != b.Size {
+		return 0, fmt.Errorf("wavelet: size mismatch %d vs %d", a.Size, b.Size)
+	}
+	union := len(a.Coeffs)
+	match := 0.0
+	for idx, sa := range a.Coeffs {
+		if sb, ok := b.Coeffs[idx]; ok {
+			if sa == sb {
+				match++
+			}
+		}
+	}
+	for idx := range b.Coeffs {
+		if _, ok := a.Coeffs[idx]; !ok {
+			union++
+		}
+	}
+	var coeffScore float64
+	if union > 0 {
+		coeffScore = match / float64(union)
+	} else {
+		coeffScore = 1
+	}
+	avgDiff := math.Abs(a.Average - b.Average)
+	avgScore := 1 / (1 + 8*avgDiff)
+	return 0.8*coeffScore + 0.2*avgScore, nil
+}

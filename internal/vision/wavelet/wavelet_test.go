@@ -1,0 +1,145 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+func noisy(w, h int, seed int64) *img.Gray {
+	rng := mathx.NewRNG(seed)
+	g := img.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	return g
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := noisy(32, 32, 1)
+	if _, err := Compute(g, Params{Size: 48, TopK: 10}); err == nil {
+		t.Error("non-power-of-two size should error")
+	}
+	if _, err := Compute(g, Params{Size: 2, TopK: 10}); err == nil {
+		t.Error("size 2 should error")
+	}
+	if _, err := Compute(g, Params{Size: 64, TopK: 0}); err == nil {
+		t.Error("zero TopK should error")
+	}
+}
+
+func TestHaarDCIsMean(t *testing.T) {
+	g := img.NewGray(8, 8)
+	g.Fill(0.6)
+	c := haar2D(g.Pix, 8)
+	if math.Abs(c[0]-0.6) > 1e-12 {
+		t.Errorf("DC coefficient = %v, want 0.6", c[0])
+	}
+	for i := 1; i < len(c); i++ {
+		if math.Abs(c[i]) > 1e-12 {
+			t.Fatalf("constant image has nonzero detail coefficient %d: %v", i, c[i])
+		}
+	}
+}
+
+func TestHaarParsevalLikeEnergy(t *testing.T) {
+	// The averaging Haar used here is contractive; the transform of a
+	// step image must still concentrate energy into few coefficients.
+	g := img.NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	c := haar2D(g.Pix, 8)
+	nonzero := 0
+	for _, v := range c {
+		if math.Abs(v) > 1e-12 {
+			nonzero++
+		}
+	}
+	if nonzero > 4 {
+		t.Errorf("vertical step image has %d nonzero coefficients, want ≤ 4", nonzero)
+	}
+}
+
+func TestSignatureTopK(t *testing.T) {
+	p := Params{Size: 32, TopK: 20}
+	sig, err := Compute(noisy(40, 30, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Coeffs) != 20 {
+		t.Errorf("signature kept %d coefficients, want 20", len(sig.Coeffs))
+	}
+	for idx, s := range sig.Coeffs {
+		if idx == 0 {
+			t.Error("DC coefficient must not be in the signature")
+		}
+		if s != 1 && s != -1 {
+			t.Errorf("sign at %d is %d", idx, s)
+		}
+	}
+}
+
+func TestSelfSimilarity(t *testing.T) {
+	sig, err := Compute(noisy(64, 48, 3), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Similarity(sig, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("self similarity = %v", got)
+	}
+}
+
+func TestSimilarityDiscriminates(t *testing.T) {
+	p := DefaultParams()
+	base := noisy(64, 48, 4)
+	pert := base.Clone()
+	rng := mathx.NewRNG(5)
+	for i := range pert.Pix {
+		pert.Pix[i] = math.Max(0, math.Min(1, pert.Pix[i]+rng.NormFloat64()*0.03))
+	}
+	other := noisy(64, 48, 6)
+	sb, _ := Compute(base, p)
+	sp, _ := Compute(pert, p)
+	so, _ := Compute(other, p)
+	simP, _ := Similarity(sb, sp)
+	simO, _ := Similarity(sb, so)
+	if simP <= simO {
+		t.Errorf("perturbed similarity (%v) should beat unrelated (%v)", simP, simO)
+	}
+}
+
+func TestSimilaritySizeMismatch(t *testing.T) {
+	a, _ := Compute(noisy(64, 48, 7), Params{Size: 32, TopK: 10})
+	b, _ := Compute(noisy(64, 48, 7), Params{Size: 64, TopK: 10})
+	if _, err := Similarity(a, b); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestBrightnessPenalty(t *testing.T) {
+	p := DefaultParams()
+	base := noisy(64, 48, 8)
+	dark := base.Clone()
+	for i := range dark.Pix {
+		dark.Pix[i] *= 0.3
+	}
+	sb, _ := Compute(base, p)
+	sd, _ := Compute(dark, p)
+	sim, _ := Similarity(sb, sd)
+	if sim >= 1 {
+		t.Errorf("brightness change should reduce similarity, got %v", sim)
+	}
+	// But structure survives: still above an unrelated pair's typical score.
+	if sim < 0.5 {
+		t.Errorf("dimmed copy similarity = %v, structure lost", sim)
+	}
+}

@@ -1,0 +1,214 @@
+// Package world models the ground-truth indoor environments CrowdMap is
+// evaluated on, replacing the paper's three real college buildings (Lab1,
+// Lab2, Gym) with parametric analogues, and replacing real phone video with
+// a deterministic 2.5-D ray-casting renderer: a camera frame is a pure
+// function of pose, building geometry and lighting. Nearby poses produce
+// similar frames, distinct places can look alike, and lighting is an
+// explicit knob — exactly the properties the paper's pipeline stresses.
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+)
+
+// Color is a linear RGB triple in [0, 1].
+type Color [3]float64
+
+// Scale returns the color scaled componentwise (clamped to [0,1]).
+func (c Color) Scale(s float64) Color {
+	out := Color{}
+	for i, v := range c {
+		v *= s
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Wall is a vertical planar surface between two floor points. Walls are
+// visible from both sides.
+type Wall struct {
+	Seg geom.Seg
+	// Albedo is the base wall color.
+	Albedo Color
+	// TexSeed selects the wall's procedural texture pattern.
+	TexSeed uint64
+	// TexDensity in [0,1] controls how much high-frequency detail the wall
+	// carries: 0 is a featureless painted wall (the Gym failure mode for
+	// SfM), 1 is a poster- and fixture-rich lab corridor.
+	TexDensity float64
+}
+
+// Door is an opening in a room boundary connecting it to the hallway.
+type Door struct {
+	// Center is the door centerline point on the room boundary.
+	Center geom.Pt
+	// Width is the opening width in meters.
+	Width float64
+}
+
+// Room is a rectangular room with one door. The paper's room layout model
+// is 2-D rectangular (Section III-C.II); ~90% of real rooms are rectangular
+// per its Section VI discussion.
+type Room struct {
+	ID     string
+	Bounds geom.Rect
+	Door   Door
+	// Albedo is the base color of the room's interior walls.
+	Albedo Color
+	// TexDensity controls interior feature richness (see Wall.TexDensity).
+	TexDensity float64
+}
+
+// Center returns the room's ground-truth center.
+func (r Room) Center() geom.Pt { return r.Bounds.Center() }
+
+// Area returns the room's ground-truth area in m².
+func (r Room) Area() float64 { return r.Bounds.Area() }
+
+// AspectRatio returns length/width with length the larger side (≥ 1).
+func (r Room) AspectRatio() float64 { return r.Bounds.Aspect() }
+
+// Building is a single-floor ground-truth environment.
+type Building struct {
+	Name    string
+	Outline geom.Rect
+	// HallwayRects are the rectilinear components of the walkable hallway;
+	// their union is the ground-truth hallway shape Table I scores against.
+	HallwayRects []geom.Rect
+	Rooms        []Room
+	Walls        []Wall
+	// WallHeight and CameraHeight parameterize the renderer (meters).
+	WallHeight   float64
+	CameraHeight float64
+	// FloorAlbedo and CeilAlbedo color the horizontal surfaces.
+	FloorAlbedo Color
+	CeilAlbedo  Color
+}
+
+// InHallway reports whether p lies in the hallway region.
+func (b *Building) InHallway(p geom.Pt) bool {
+	for _, r := range b.HallwayRects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// RoomAt returns the room containing p, if any.
+func (b *Building) RoomAt(p geom.Pt) (Room, bool) {
+	for _, r := range b.Rooms {
+		if r.Bounds.Contains(p) {
+			return r, true
+		}
+	}
+	return Room{}, false
+}
+
+// Walkable reports whether p is inside the hallway or a room.
+func (b *Building) Walkable(p geom.Pt) bool {
+	if b.InHallway(p) {
+		return true
+	}
+	_, ok := b.RoomAt(p)
+	return ok
+}
+
+// HallwayArea returns the ground-truth hallway area in m². Hallway
+// rectangles are constructed non-overlapping, so the sum is exact.
+func (b *Building) HallwayArea() float64 {
+	var a float64
+	for _, r := range b.HallwayRects {
+		a += r.Area()
+	}
+	return a
+}
+
+// Validate performs structural sanity checks used by tests and the dataset
+// generator: rooms inside the outline, doors on room boundaries, hallway
+// non-empty, walls non-degenerate.
+func (b *Building) Validate() error {
+	if len(b.HallwayRects) == 0 {
+		return fmt.Errorf("world: building %q has no hallway", b.Name)
+	}
+	if b.WallHeight <= 0 || b.CameraHeight <= 0 || b.CameraHeight >= b.WallHeight {
+		return fmt.Errorf("world: building %q has invalid heights wall=%.2f cam=%.2f", b.Name, b.WallHeight, b.CameraHeight)
+	}
+	for _, r := range b.Rooms {
+		if !b.Outline.Intersects(r.Bounds) {
+			return fmt.Errorf("world: room %s outside outline", r.ID)
+		}
+		if r.Bounds.W() <= 0.5 || r.Bounds.H() <= 0.5 {
+			return fmt.Errorf("world: room %s degenerate bounds", r.ID)
+		}
+		onEdge := false
+		for _, e := range r.Bounds.Edges() {
+			if e.DistToPoint(r.Door.Center) < 1e-6 {
+				onEdge = true
+				break
+			}
+		}
+		if !onEdge {
+			return fmt.Errorf("world: room %s door not on boundary", r.ID)
+		}
+	}
+	for i, w := range b.Walls {
+		if w.Seg.Len() < 1e-6 {
+			return fmt.Errorf("world: wall %d degenerate", i)
+		}
+	}
+	return nil
+}
+
+// addRoomWalls appends the four boundary walls of a room, leaving a gap of
+// the door width centered at the door position on whichever edge hosts it.
+func addRoomWalls(walls []Wall, room Room, seed uint64) []Wall {
+	for ei, e := range room.Bounds.Edges() {
+		texSeed := seed*131 + uint64(ei)*7919
+		if e.DistToPoint(room.Door.Center) < 1e-6 && room.Door.Width > 0 {
+			// Split the edge around the door opening.
+			l := e.Len()
+			tDoor := room.Door.Center.Sub(e.A).Norm() / l
+			half := room.Door.Width / 2 / l
+			t0 := math.Max(0, tDoor-half)
+			t1 := math.Min(1, tDoor+half)
+			if t0 > 1e-9 {
+				walls = append(walls, Wall{
+					Seg: geom.Seg{A: e.A, B: e.At(t0)}, Albedo: room.Albedo,
+					TexSeed: texSeed, TexDensity: room.TexDensity,
+				})
+			}
+			if t1 < 1-1e-9 {
+				walls = append(walls, Wall{
+					Seg: geom.Seg{A: e.At(t1), B: e.B}, Albedo: room.Albedo,
+					TexSeed: texSeed + 1, TexDensity: room.TexDensity,
+				})
+			}
+			continue
+		}
+		walls = append(walls, Wall{
+			Seg: e, Albedo: room.Albedo, TexSeed: texSeed, TexDensity: room.TexDensity,
+		})
+	}
+	return walls
+}
+
+// addRectWalls appends the four boundary walls of a plain rectangle (e.g.
+// the building shell or an inaccessible core).
+func addRectWalls(walls []Wall, r geom.Rect, albedo Color, density float64, seed uint64) []Wall {
+	for ei, e := range r.Edges() {
+		walls = append(walls, Wall{
+			Seg: e, Albedo: albedo, TexSeed: seed*257 + uint64(ei)*31, TexDensity: density,
+		})
+	}
+	return walls
+}

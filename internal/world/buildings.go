@@ -1,0 +1,156 @@
+package world
+
+import (
+	"fmt"
+
+	"crowdmap/internal/geom"
+)
+
+// Palette of plausible interior albedos. Indexed deterministically so each
+// room looks different but runs are reproducible.
+var roomPalette = []Color{
+	{0.85, 0.82, 0.74}, // warm off-white
+	{0.75, 0.80, 0.85}, // cool gray-blue
+	{0.82, 0.86, 0.78}, // pale green
+	{0.88, 0.80, 0.72}, // tan
+	{0.78, 0.74, 0.82}, // lavender gray
+	{0.80, 0.80, 0.80}, // neutral gray
+}
+
+const (
+	defaultWallHeight   = 3.0
+	defaultCameraHeight = 1.5
+	defaultDoorWidth    = 1.0
+)
+
+// Lab1 builds the first laboratory-building analogue: a 40 m × 28 m floor
+// with a rectangular ring corridor, perimeter offices and a double row of
+// core labs — 26 rooms total. It is the floor rendered in the paper's
+// Fig. 3/Fig. 6 walkthrough.
+func Lab1() *Building {
+	b := &Building{
+		Name:         "Lab1",
+		Outline:      geom.R(0, 0, 40, 28),
+		WallHeight:   defaultWallHeight,
+		CameraHeight: defaultCameraHeight,
+		FloorAlbedo:  Color{0.35, 0.32, 0.30},
+		CeilAlbedo:   Color{0.92, 0.92, 0.90},
+	}
+	b.HallwayRects = []geom.Rect{
+		geom.R(0, 6, 40, 8.4),       // bottom corridor
+		geom.R(0, 19.6, 40, 22),     // top corridor
+		geom.R(0, 8.4, 2.4, 19.6),   // left connector
+		geom.R(37.6, 8.4, 40, 19.6), // right connector
+	}
+	// Bottom and top perimeter offices: eight 5 m offices per side.
+	for i := 0; i < 8; i++ {
+		x0 := float64(i) * 5
+		b.addRoom(fmt.Sprintf("L1-B%d", i+1), geom.R(x0, 0, x0+5, 6),
+			geom.P(x0+2.5, 6), 0.75)
+		b.addRoom(fmt.Sprintf("L1-T%d", i+1), geom.R(x0, 22, x0+5, 28),
+			geom.P(x0+2.5, 22), 0.75)
+	}
+	// Core labs: five per row, doors onto the facing corridor.
+	coreW := (37.6 - 2.4) / 5
+	for i := 0; i < 5; i++ {
+		x0 := 2.4 + float64(i)*coreW
+		b.addRoom(fmt.Sprintf("L1-CB%d", i+1), geom.R(x0, 8.4, x0+coreW, 14),
+			geom.P(x0+coreW/2, 8.4), 0.85)
+		b.addRoom(fmt.Sprintf("L1-CT%d", i+1), geom.R(x0, 14, x0+coreW, 19.6),
+			geom.P(x0+coreW/2, 19.6), 0.85)
+	}
+	b.finishWalls(0.7)
+	return b
+}
+
+// Lab2 builds the second laboratory analogue: a 36 m × 15 m floor with one
+// straight double-loaded corridor and twelve offices. Its simple shape is
+// why the paper reports Lab2's hallway metrics as the best of the three.
+func Lab2() *Building {
+	b := &Building{
+		Name:         "Lab2",
+		Outline:      geom.R(0, 0, 36, 15),
+		WallHeight:   defaultWallHeight,
+		CameraHeight: defaultCameraHeight,
+		FloorAlbedo:  Color{0.30, 0.33, 0.36},
+		CeilAlbedo:   Color{0.93, 0.93, 0.92},
+	}
+	b.HallwayRects = []geom.Rect{geom.R(0, 6.3, 36, 8.7)}
+	for i := 0; i < 6; i++ {
+		x0 := float64(i) * 6
+		b.addRoom(fmt.Sprintf("L2-B%d", i+1), geom.R(x0, 0, x0+6, 6.3),
+			geom.P(x0+3, 6.3), 0.8)
+		b.addRoom(fmt.Sprintf("L2-T%d", i+1), geom.R(x0, 8.7, x0+6, 15),
+			geom.P(x0+3, 8.7), 0.8)
+	}
+	b.finishWalls(0.75)
+	return b
+}
+
+// Gym builds the gymnasium analogue: a 50 m × 35 m floor with an L-shaped
+// corridor and four large, sporadically placed halls whose walls are nearly
+// featureless (low texture density). This is the environment where
+// image-only techniques struggle (paper Fig. 9) and where CrowdMap's
+// hallway metrics are worst (Table I).
+func Gym() *Building {
+	b := &Building{
+		Name:         "Gym",
+		Outline:      geom.R(0, 0, 50, 35),
+		WallHeight:   defaultWallHeight + 2, // high gym ceilings
+		CameraHeight: defaultCameraHeight,
+		FloorAlbedo:  Color{0.45, 0.38, 0.28}, // hardwood
+		CeilAlbedo:   Color{0.85, 0.86, 0.88},
+	}
+	b.HallwayRects = []geom.Rect{
+		geom.R(0, 16, 50, 19),     // horizontal corridor
+		geom.R(23.5, 0, 26.5, 16), // vertical corridor
+	}
+	const gymDensity = 0.12 // nearly featureless walls
+	b.addRoomDensity("GYM-A1", geom.R(0, 19, 25, 35), geom.P(12, 19), 2.0, gymDensity)
+	b.addRoomDensity("GYM-A2", geom.R(25, 19, 50, 35), geom.P(38, 19), 2.0, gymDensity)
+	b.addRoomDensity("GYM-B", geom.R(0, 0, 23.5, 16), geom.P(23.5, 8), 2.0, gymDensity)
+	b.addRoomDensity("GYM-C1", geom.R(26.5, 0, 50, 8), geom.P(26.5, 4), 2.0, gymDensity)
+	b.addRoomDensity("GYM-C2", geom.R(26.5, 8, 50, 16), geom.P(26.5, 12), 2.0, gymDensity)
+	b.finishWalls(gymDensity)
+	return b
+}
+
+// Buildings returns the three evaluation buildings in the paper's order.
+func Buildings() []*Building {
+	return []*Building{Lab1(), Lab2(), Gym()}
+}
+
+// ByName returns the named evaluation building (case-sensitive: "Lab1",
+// "Lab2", "Gym").
+func ByName(name string) (*Building, error) {
+	for _, b := range Buildings() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("world: unknown building %q", name)
+}
+
+func (b *Building) addRoom(id string, bounds geom.Rect, door geom.Pt, density float64) {
+	b.addRoomDensity(id, bounds, door, defaultDoorWidth, density)
+}
+
+func (b *Building) addRoomDensity(id string, bounds geom.Rect, door geom.Pt, doorWidth, density float64) {
+	b.Rooms = append(b.Rooms, Room{
+		ID:         id,
+		Bounds:     bounds,
+		Door:       Door{Center: door, Width: doorWidth},
+		Albedo:     roomPalette[len(b.Rooms)%len(roomPalette)],
+		TexDensity: density,
+	})
+}
+
+// finishWalls materializes the wall set: the outer shell plus each room's
+// boundary with its door gap. hallDensity sets the shell texture richness.
+func (b *Building) finishWalls(hallDensity float64) {
+	seed := uint64(len(b.Name))*1099511628211 + 14695981039346656037
+	b.Walls = addRectWalls(b.Walls, b.Outline, Color{0.80, 0.78, 0.72}, hallDensity, seed)
+	for i, r := range b.Rooms {
+		b.Walls = addRoomWalls(b.Walls, r, seed+uint64(i+1)*2654435761)
+	}
+}

@@ -1,0 +1,232 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+)
+
+// GenLayout selects the corridor topology of a generated building.
+type GenLayout int
+
+const (
+	// LayoutDoubleLoaded is a single straight corridor with rooms on both
+	// sides (the Lab2 pattern).
+	LayoutDoubleLoaded GenLayout = iota + 1
+	// LayoutRing is a rectangular ring corridor with perimeter and core
+	// rooms (the Lab1 pattern).
+	LayoutRing
+	// LayoutL is an L-shaped corridor with rooms along both arms.
+	LayoutL
+)
+
+// String implements fmt.Stringer.
+func (l GenLayout) String() string {
+	switch l {
+	case LayoutDoubleLoaded:
+		return "double-loaded"
+	case LayoutRing:
+		return "ring"
+	case LayoutL:
+		return "L"
+	default:
+		return fmt.Sprintf("GenLayout(%d)", int(l))
+	}
+}
+
+// GenSpec parameterizes building generation. Zero values select sensible
+// defaults via Normalize.
+type GenSpec struct {
+	Name          string
+	Layout        GenLayout
+	Width, Height float64 // outline extent, meters
+	CorridorWidth float64
+	RoomDepth     float64 // how far rooms extend from the corridor
+	// MinRoomW and MaxRoomW bound generated room widths along the corridor.
+	MinRoomW, MaxRoomW float64
+	// TexDensity sets wall feature richness (see Wall.TexDensity).
+	TexDensity float64
+	Seed       int64
+}
+
+// Normalize fills defaults and clamps implausible values.
+func (s GenSpec) Normalize() GenSpec {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("gen-%d", s.Seed)
+	}
+	if s.Layout == 0 {
+		s.Layout = LayoutDoubleLoaded
+	}
+	if s.Width <= 0 {
+		s.Width = 36
+	}
+	if s.Height <= 0 {
+		s.Height = 16
+	}
+	if s.CorridorWidth <= 0 {
+		s.CorridorWidth = 2.4
+	}
+	if s.RoomDepth <= 0 {
+		s.RoomDepth = 6
+	}
+	if s.MinRoomW <= 0 {
+		s.MinRoomW = 4
+	}
+	if s.MaxRoomW < s.MinRoomW {
+		s.MaxRoomW = s.MinRoomW + 3
+	}
+	if s.TexDensity <= 0 {
+		s.TexDensity = 0.75
+	}
+	s.Width = mathx.Clamp(s.Width, 20, 120)
+	s.Height = mathx.Clamp(s.Height, 12, 80)
+	s.CorridorWidth = mathx.Clamp(s.CorridorWidth, 1.8, 4)
+	s.RoomDepth = mathx.Clamp(s.RoomDepth, 3, 12)
+	return s
+}
+
+// Generate builds a random building from the spec. The result always
+// passes Validate: rooms are disjoint, every room's door opens onto the
+// hallway, and walls enclose the floor.
+func Generate(spec GenSpec) (*Building, error) {
+	s := spec.Normalize()
+	rng := mathx.NewRNG(s.Seed)
+	b := &Building{
+		Name:         s.Name,
+		Outline:      geom.R(0, 0, s.Width, s.Height),
+		WallHeight:   defaultWallHeight,
+		CameraHeight: defaultCameraHeight,
+		FloorAlbedo:  Color{0.33, 0.32, 0.31},
+		CeilAlbedo:   Color{0.92, 0.92, 0.91},
+	}
+	switch s.Layout {
+	case LayoutDoubleLoaded:
+		if err := genDoubleLoaded(b, s, rng); err != nil {
+			return nil, err
+		}
+	case LayoutRing:
+		if err := genRing(b, s, rng); err != nil {
+			return nil, err
+		}
+	case LayoutL:
+		if err := genL(b, s, rng); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("world: unknown layout %v", s.Layout)
+	}
+	b.finishWalls(s.TexDensity)
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("world: generated building invalid: %w", err)
+	}
+	return b, nil
+}
+
+// fillRow adds rooms of random width along [x0, x1] with vertical extent
+// [y0, y1], doors centered on the edge at doorY.
+func fillRow(b *Building, rng *rand.Rand, s GenSpec, prefix string, x0, x1, y0, y1, doorY float64) {
+	x := x0
+	i := 0
+	for x1-x >= s.MinRoomW {
+		w := s.MinRoomW + rng.Float64()*(s.MaxRoomW-s.MinRoomW)
+		if x1-x-w < s.MinRoomW {
+			w = x1 - x // absorb the remainder into the last room
+		}
+		i++
+		b.addRoomDensity(
+			fmt.Sprintf("%s%d", prefix, i),
+			geom.R(x, y0, x+w, y1),
+			geom.P(x+w/2, doorY),
+			defaultDoorWidth,
+			s.TexDensity,
+		)
+		x += w
+	}
+}
+
+// fillCol adds rooms along a vertical strip [y0, y1] × [x0, x1], doors on
+// the edge at doorX.
+func fillCol(b *Building, rng *rand.Rand, s GenSpec, prefix string, y0, y1, x0, x1, doorX float64) {
+	y := y0
+	i := 0
+	for y1-y >= s.MinRoomW {
+		w := s.MinRoomW + rng.Float64()*(s.MaxRoomW-s.MinRoomW)
+		if y1-y-w < s.MinRoomW {
+			w = y1 - y
+		}
+		i++
+		b.addRoomDensity(
+			fmt.Sprintf("%s%d", prefix, i),
+			geom.R(x0, y, x1, y+w),
+			geom.P(doorX, y+w/2),
+			defaultDoorWidth,
+			s.TexDensity,
+		)
+		y += w
+	}
+}
+
+func genDoubleLoaded(b *Building, s GenSpec, rng *rand.Rand) error {
+	depth := (s.Height - s.CorridorWidth) / 2
+	if depth < 2 {
+		return fmt.Errorf("world: height %g too small for corridor %g", s.Height, s.CorridorWidth)
+	}
+	y0 := depth
+	y1 := depth + s.CorridorWidth
+	b.HallwayRects = []geom.Rect{geom.R(0, y0, s.Width, y1)}
+	fillRow(b, rng, s, "B", 0, s.Width, 0, y0, y0)
+	fillRow(b, rng, s, "T", 0, s.Width, y1, s.Height, y1)
+	return nil
+}
+
+func genRing(b *Building, s GenSpec, rng *rand.Rand) error {
+	d := s.RoomDepth
+	cw := s.CorridorWidth
+	coreY0 := d + cw
+	coreY1 := s.Height - d - cw
+	if coreY1-coreY0 < 3 || s.Width < 2*(cw)+3*s.MinRoomW {
+		return fmt.Errorf("world: outline %gx%g too small for a ring", s.Width, s.Height)
+	}
+	b.HallwayRects = []geom.Rect{
+		geom.R(0, d, s.Width, d+cw),                   // bottom corridor
+		geom.R(0, s.Height-d-cw, s.Width, s.Height-d), // top corridor
+		geom.R(0, coreY0, cw, coreY1),                 // left connector
+		geom.R(s.Width-cw, coreY0, s.Width, coreY1),   // right connector
+	}
+	fillRow(b, rng, s, "B", 0, s.Width, 0, d, d)
+	fillRow(b, rng, s, "T", 0, s.Width, s.Height-d, s.Height, s.Height-d)
+	// Core rooms between the corridors, split into two rows when deep
+	// enough.
+	coreMid := (coreY0 + coreY1) / 2
+	if coreY1-coreY0 >= 6 {
+		fillRow(b, rng, s, "CB", cw, s.Width-cw, coreY0, coreMid, coreY0)
+		fillRow(b, rng, s, "CT", cw, s.Width-cw, coreMid, coreY1, coreY1)
+	} else {
+		fillRow(b, rng, s, "C", cw, s.Width-cw, coreY0, coreY1, coreY0)
+	}
+	return nil
+}
+
+func genL(b *Building, s GenSpec, rng *rand.Rand) error {
+	d := s.RoomDepth
+	cw := s.CorridorWidth
+	// Horizontal arm along the bottom, vertical arm up the left side.
+	hy0, hy1 := d, d+cw
+	vx0, vx1 := d, d+cw
+	if hy1+s.MinRoomW > s.Height || vx1+s.MinRoomW > s.Width {
+		return fmt.Errorf("world: outline %gx%g too small for an L", s.Width, s.Height)
+	}
+	b.HallwayRects = []geom.Rect{
+		geom.R(0, hy0, s.Width, hy1),    // horizontal arm
+		geom.R(vx0, hy1, vx1, s.Height), // vertical arm (above the corner)
+	}
+	// Rooms under the horizontal arm.
+	fillRow(b, rng, s, "B", 0, s.Width, 0, hy0, hy0)
+	// Rooms right of the vertical arm.
+	fillCol(b, rng, s, "R", hy1, s.Height, vx1, vx1+d, vx1)
+	// Rooms left of the vertical arm.
+	fillCol(b, rng, s, "L", hy1, s.Height, 0, vx0, vx0)
+	return nil
+}

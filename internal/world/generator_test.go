@@ -1,0 +1,161 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+)
+
+// propRand makes property tests deterministic: testing/quick seeds from
+// the wall clock by default, which makes rare counterexamples flaky.
+func propRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestGenLayoutString(t *testing.T) {
+	if LayoutDoubleLoaded.String() != "double-loaded" ||
+		LayoutRing.String() != "ring" || LayoutL.String() != "L" {
+		t.Error("layout strings wrong")
+	}
+	if GenLayout(9).String() != "GenLayout(9)" {
+		t.Error("unknown layout string wrong")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := GenSpec{Seed: 3}.Normalize()
+	if s.Layout != LayoutDoubleLoaded || s.Width <= 0 || s.CorridorWidth <= 0 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if s.Name == "" {
+		t.Error("name not defaulted")
+	}
+	// Clamping.
+	s = GenSpec{Width: 1000, CorridorWidth: 10}.Normalize()
+	if s.Width > 120 || s.CorridorWidth > 4 {
+		t.Errorf("clamps not applied: %+v", s)
+	}
+}
+
+func TestGenerateAllLayoutsValid(t *testing.T) {
+	for _, layout := range []GenLayout{LayoutDoubleLoaded, LayoutRing, LayoutL} {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			spec := GenSpec{Layout: layout, Width: 40, Height: 28, Seed: 11}
+			b, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(b.Rooms) < 4 {
+				t.Errorf("only %d rooms generated", len(b.Rooms))
+			}
+			// Disjointness and reachability (the guarantees Generate makes).
+			for i, r := range b.Rooms {
+				for j := i + 1; j < len(b.Rooms); j++ {
+					if inter, ok := r.Bounds.Intersection(b.Rooms[j].Bounds); ok && inter.Area() > 1e-9 {
+						t.Errorf("rooms %s and %s overlap", r.ID, b.Rooms[j].ID)
+					}
+				}
+				if !b.InHallway(DoorApproach(b, r)) {
+					t.Errorf("room %s door does not open onto the hallway", r.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Layout: LayoutRing, Width: 44, Height: 30, Seed: 17}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rooms) != len(b.Rooms) {
+		t.Fatal("same seed produced different room counts")
+	}
+	for i := range a.Rooms {
+		if a.Rooms[i].Bounds != b.Rooms[i].Bounds {
+			t.Fatal("same seed produced different rooms")
+		}
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	// Width/Height are clamped to plausible minimums before layout checks,
+	// so force an impossible combination within clamps: ring with a deep
+	// room requirement.
+	spec := GenSpec{Layout: LayoutRing, Width: 20, Height: 12, RoomDepth: 12, CorridorWidth: 4}
+	if _, err := Generate(spec); err == nil {
+		t.Error("impossible ring should error")
+	}
+}
+
+// Property: any normalized spec in a broad range generates a valid,
+// routable building.
+func TestGeneratePropertyValidAndRoutable(t *testing.T) {
+	layouts := []GenLayout{LayoutDoubleLoaded, LayoutRing, LayoutL}
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		spec := GenSpec{
+			Layout:   layouts[rng.Intn(len(layouts))],
+			Width:    28 + rng.Float64()*40,
+			Height:   18 + rng.Float64()*24,
+			MinRoomW: 3.5 + rng.Float64()*2,
+			Seed:     seed,
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			// Some random combinations are legitimately infeasible; that
+			// is an error return, not a panic — acceptable.
+			return true
+		}
+		if err := b.Validate(); err != nil {
+			return false
+		}
+		// Routing: a path must exist from the first room to the last.
+		router, err := NewRouter(b, 0.4)
+		if err != nil {
+			return false
+		}
+		first := b.Rooms[0].Bounds.Center()
+		last := b.Rooms[len(b.Rooms)-1].Bounds.Center()
+		path, err := router.Plan(first, last)
+		if err != nil || len(path) < 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A generated building must work with the renderer: frames from inside a
+// room are non-degenerate.
+func TestGeneratedBuildingRenders(t *testing.T) {
+	b, err := Generate(GenSpec{Layout: LayoutL, Width: 36, Height: 26, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRenderer(b, DefaultCamera())
+	room := b.Rooms[0]
+	f := r.Render(Pose{Pos: room.Bounds.Center(), Heading: 1.0}, Daylight(), nil)
+	luma := f.Luma()
+	m := luma.Mean()
+	var v float64
+	for _, px := range luma.Pix {
+		v += (px - m) * (px - m)
+	}
+	if v/float64(len(luma.Pix)) < 1e-4 {
+		t.Error("generated building renders a near-constant frame")
+	}
+	_ = geom.Pt{}
+}

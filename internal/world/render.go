@@ -1,0 +1,199 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+// Pose is a camera pose on the floor: position in world meters and heading
+// in radians (CCW from +x). The camera is at the building's CameraHeight
+// and pitched down by the camera model's Pitch.
+type Pose struct {
+	Pos     geom.Pt
+	Heading float64
+}
+
+// Lighting parameterizes global illumination for a capture session. The
+// paper's Fig. 7(b) mixes "daylight" (100–500 lux) and "night" (75–200 lux)
+// recordings; we model that as an ambient level plus exposure gain and
+// sensor noise that grows as light falls.
+type Lighting struct {
+	// Ambient in (0, 1.2]: 1.0 ≈ daylight, 0.55 ≈ night incandescent.
+	Ambient float64
+	// Exposure is the camera's gain; auto-exposure partially compensates
+	// low ambient light at the cost of noise.
+	Exposure float64
+	// NoiseStd is the per-pixel Gaussian sensor noise sigma.
+	NoiseStd float64
+}
+
+// Daylight returns the canonical daylight capture condition.
+func Daylight() Lighting { return Lighting{Ambient: 1.0, Exposure: 1.0, NoiseStd: 0.008} }
+
+// Night returns the canonical night capture condition: dimmer, warmer,
+// higher gain and noticeably noisier.
+func Night() Lighting { return Lighting{Ambient: 0.55, Exposure: 1.45, NoiseStd: 0.030} }
+
+// Camera describes the simulated phone camera. We use a cylindrical-sector
+// projection: pixel column maps linearly to azimuth and pixel row maps
+// linearly to tan(elevation). This differs from a pinhole only in its
+// distortion profile — nothing downstream depends on pinhole distortion,
+// and it makes panorama stitching exactly invertible (the real system uses
+// AutoStitch to undo the projection anyway). The horizontal field of view
+// defaults to the paper's 54.4°; Pitch models users naturally tilting the
+// phone slightly downward, which is what brings the wall–floor boundary
+// into view in rooms.
+type Camera struct {
+	FOV   float64 // horizontal field of view, radians
+	W, H  int     // frame size in pixels
+	Pitch float64 // downward tilt, radians (negative = down)
+}
+
+// DefaultCamera returns the paper's 54.4° camera at a processing-friendly
+// resolution with a natural −15° handheld pitch.
+func DefaultCamera() Camera {
+	return Camera{FOV: mathx.Deg2Rad(54.4), W: 128, H: 120, Pitch: mathx.Deg2Rad(-15)}
+}
+
+// FocalPx returns the focal constant in pixels per radian of azimuth.
+func (c Camera) FocalPx() float64 { return float64(c.W) / c.FOV }
+
+// TanRange returns the tan(elevation) values of the top and bottom pixel
+// rows (top > bottom).
+func (c Camera) TanRange() (top, bottom float64) {
+	half := float64(c.H) / 2 / c.FocalPx()
+	t0 := math.Tan(c.Pitch)
+	return t0 + half, t0 - half
+}
+
+// Renderer synthesizes camera frames from a building model. It is
+// goroutine-safe for concurrent Render calls as long as each call gets its
+// own RNG.
+type Renderer struct {
+	b   *Building
+	cam Camera
+}
+
+// NewRenderer builds a renderer for the given building and camera.
+func NewRenderer(b *Building, cam Camera) *Renderer {
+	return &Renderer{b: b, cam: cam}
+}
+
+// Building returns the building being rendered.
+func (r *Renderer) Building() *Building { return r.b }
+
+// Camera returns the camera model.
+func (r *Renderer) Camera() Camera { return r.cam }
+
+// Render produces the RGB frame seen from pose under the given lighting.
+// rng supplies sensor noise; pass nil for a noise-free frame.
+func (r *Renderer) Render(pose Pose, light Lighting, rng *rand.Rand) *img.RGB {
+	w, h := r.cam.W, r.cam.H
+	out := img.NewRGB(w, h)
+	focal := r.cam.FocalPx()
+	tPitch := math.Tan(r.cam.Pitch)
+	camH := r.b.CameraHeight
+	wallH := r.b.WallHeight
+	amb := light.Ambient * light.Exposure
+
+	for x := 0; x < w; x++ {
+		// Column azimuth: screen x grows right = clockwise.
+		phi := pose.Heading - (float64(x)+0.5-float64(w)/2)/focal
+		hit, wall, uAlong, dist := r.castRay(pose.Pos, phi)
+		if !hit || dist < 1e-6 {
+			// Should not happen in a closed building; render mid-gray.
+			for y := 0; y < h; y++ {
+				out.Set(x, y, 0.5*amb, 0.5*amb, 0.5*amb)
+			}
+			continue
+		}
+		atten := 1 / (1 + 0.06*dist) // distance falloff of indoor lighting
+		for y := 0; y < h; y++ {
+			// tan(elevation) of this pixel's ray.
+			t := tPitch + (float64(h)/2-float64(y)-0.5)/focal
+			z := camH + t*dist // height where the ray meets the wall plane
+			var c Color
+			switch {
+			case z > wallH:
+				// Ceiling, hit before the wall.
+				cd := (wallH - camH) / t
+				ca := 1 / (1 + 0.05*cd)
+				c = r.b.CeilAlbedo.Scale(amb * ca)
+			case z < 0:
+				// Floor, hit before the wall.
+				fd := -camH / t
+				fp := pose.Pos.Add(geom.FromPolar(fd, phi))
+				fa := 1 / (1 + 0.05*fd)
+				tex := floorTexture(fp.X, fp.Y, 0x0f100f)
+				c = r.b.FloorAlbedo.Scale(amb * fa * tex)
+			default:
+				tex := wallTexture(uAlong, z/wallH, wall.TexSeed, wall.TexDensity)
+				c = wall.Albedo.Scale(amb * atten * tex)
+			}
+			if rng != nil && light.NoiseStd > 0 {
+				n := rng.NormFloat64() * light.NoiseStd
+				c = Color{c[0] + n, c[1] + n, c[2] + n}.Scale(1)
+			}
+			out.Set(x, y, c[0], c[1], c[2])
+		}
+	}
+	return out
+}
+
+// castRay finds the nearest wall hit along direction dir from origin.
+// Returns the wall, the distance in meters along the wall from its A
+// endpoint (texture u coordinate) and the planar ray distance.
+func (r *Renderer) castRay(origin geom.Pt, dir float64) (bool, *Wall, float64, float64) {
+	d := geom.FromPolar(1, dir)
+	bestDist := math.Inf(1)
+	var bestWall *Wall
+	var bestU float64
+	for i := range r.b.Walls {
+		w := &r.b.Walls[i]
+		t, u, ok := raySegment(origin, d, w.Seg)
+		if !ok || t >= bestDist || t < 1e-9 {
+			continue
+		}
+		bestDist = t
+		bestWall = w
+		bestU = u * w.Seg.Len()
+	}
+	if bestWall == nil {
+		return false, nil, 0, 0
+	}
+	return true, bestWall, bestU, bestDist
+}
+
+// raySegment intersects the ray origin + t·d (t ≥ 0) with segment s,
+// returning the ray parameter t (distance, since d is unit) and the segment
+// parameter u in [0, 1].
+func raySegment(origin, d geom.Pt, s geom.Seg) (t, u float64, ok bool) {
+	e := s.B.Sub(s.A)
+	denom := d.Cross(e)
+	if math.Abs(denom) < 1e-12 {
+		return 0, 0, false
+	}
+	ao := s.A.Sub(origin)
+	t = ao.Cross(e) / denom
+	u = ao.Cross(d) / denom
+	if t < 0 || u < -1e-12 || u > 1+1e-12 {
+		return 0, 0, false
+	}
+	return t, math.Min(1, math.Max(0, u)), true
+}
+
+// DistanceToWall returns the planar distance from pos to the nearest wall
+// along direction dir, or +Inf when no wall is hit (should not occur inside
+// a closed building). It is the geometric primitive behind the
+// inertial-only room-measuring baseline.
+func (r *Renderer) DistanceToWall(pos geom.Pt, dir float64) float64 {
+	hit, _, _, d := r.castRay(pos, dir)
+	if !hit {
+		return math.Inf(1)
+	}
+	return d
+}

@@ -1,0 +1,326 @@
+package world
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"crowdmap/internal/geom"
+)
+
+// Router plans walkable paths through a building. It discretizes the
+// walkable space (hallway ∪ rooms) onto a fine grid and runs A* between
+// cells, then shortcuts the path with line-of-sight smoothing. Simulated
+// users walk these paths during SWS tasks.
+type Router struct {
+	b                *Building
+	res              float64
+	w, h             int
+	open             []bool // walkable per cell
+	originX, originY float64
+	walls            *wallIndex
+}
+
+// wallIndex is a coarse spatial hash over wall segments so that move
+// legality checks (does this step cross a wall?) stay cheap during A*.
+type wallIndex struct {
+	cell       float64
+	w, h       int
+	minX, minY float64
+	buckets    [][]int
+	segs       []geom.Seg
+}
+
+func newWallIndex(b *Building, cell float64) *wallIndex {
+	w := int(math.Ceil(b.Outline.W()/cell)) + 1
+	h := int(math.Ceil(b.Outline.H()/cell)) + 1
+	wi := &wallIndex{
+		cell: cell, w: w, h: h,
+		minX: b.Outline.Min.X, minY: b.Outline.Min.Y,
+		buckets: make([][]int, w*h),
+	}
+	for _, wall := range b.Walls {
+		wi.segs = append(wi.segs, wall.Seg)
+	}
+	for i, s := range wi.segs {
+		bb := geom.BoundingRect([]geom.Pt{s.A, s.B}).Expand(cell / 2)
+		x0, y0 := wi.bucketOf(bb.Min)
+		x1, y1 := wi.bucketOf(bb.Max)
+		for by := y0; by <= y1; by++ {
+			for bx := x0; bx <= x1; bx++ {
+				wi.buckets[by*w+bx] = append(wi.buckets[by*w+bx], i)
+			}
+		}
+	}
+	return wi
+}
+
+func (wi *wallIndex) bucketOf(p geom.Pt) (int, int) {
+	bx := int((p.X - wi.minX) / wi.cell)
+	by := int((p.Y - wi.minY) / wi.cell)
+	if bx < 0 {
+		bx = 0
+	} else if bx >= wi.w {
+		bx = wi.w - 1
+	}
+	if by < 0 {
+		by = 0
+	} else if by >= wi.h {
+		by = wi.h - 1
+	}
+	return bx, by
+}
+
+// crosses reports whether the segment from a to b intersects any wall.
+func (wi *wallIndex) crosses(a, b geom.Pt) bool {
+	move := geom.Seg{A: a, B: b}
+	x0, y0 := wi.bucketOf(geom.P(math.Min(a.X, b.X), math.Min(a.Y, b.Y)))
+	x1, y1 := wi.bucketOf(geom.P(math.Max(a.X, b.X), math.Max(a.Y, b.Y)))
+	for by := y0; by <= y1; by++ {
+		for bx := x0; bx <= x1; bx++ {
+			for _, i := range wi.buckets[by*wi.w+bx] {
+				if _, hit := move.Intersect(wi.segs[i]); hit {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// NewRouter builds a router with the given grid resolution in meters
+// (0.4 m is a good default: fine enough to pass through 1 m doors).
+func NewRouter(b *Building, res float64) (*Router, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("world: router resolution must be positive, got %g", res)
+	}
+	w := int(math.Ceil(b.Outline.W()/res)) + 1
+	h := int(math.Ceil(b.Outline.H()/res)) + 1
+	r := &Router{
+		b: b, res: res, w: w, h: h,
+		open:    make([]bool, w*h),
+		originX: b.Outline.Min.X,
+		originY: b.Outline.Min.Y,
+	}
+	r.walls = newWallIndex(b, 2.0)
+	for iy := 0; iy < h; iy++ {
+		for ix := 0; ix < w; ix++ {
+			r.open[iy*w+ix] = b.Walkable(r.cellCenter(ix, iy))
+		}
+	}
+	return r, nil
+}
+
+func (r *Router) cellCenter(ix, iy int) geom.Pt {
+	return geom.P(r.originX+float64(ix)*r.res, r.originY+float64(iy)*r.res)
+}
+
+func (r *Router) cellOf(p geom.Pt) (int, int) {
+	ix := int(math.Round((p.X - r.originX) / r.res))
+	iy := int(math.Round((p.Y - r.originY) / r.res))
+	if ix < 0 {
+		ix = 0
+	} else if ix >= r.w {
+		ix = r.w - 1
+	}
+	if iy < 0 {
+		iy = 0
+	} else if iy >= r.h {
+		iy = r.h - 1
+	}
+	return ix, iy
+}
+
+// nearestOpen returns the open cell nearest to (ix, iy) within a small
+// search radius, used to snap endpoints that fall inside walls.
+func (r *Router) nearestOpen(ix, iy int) (int, int, bool) {
+	if r.open[iy*r.w+ix] {
+		return ix, iy, true
+	}
+	for rad := 1; rad <= 6; rad++ {
+		for dy := -rad; dy <= rad; dy++ {
+			for dx := -rad; dx <= rad; dx++ {
+				x, y := ix+dx, iy+dy
+				if x < 0 || x >= r.w || y < 0 || y >= r.h {
+					continue
+				}
+				if r.open[y*r.w+x] {
+					return x, y, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+type pqItem struct {
+	cell int
+	prio float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Plan returns a walkable polyline from src to dst, both snapped to the
+// nearest open cell. The returned path includes src and dst (snapped) and
+// has been line-of-sight smoothed.
+func (r *Router) Plan(src, dst geom.Pt) ([]geom.Pt, error) {
+	sx, sy := r.cellOf(src)
+	dx0, dy0 := r.cellOf(dst)
+	sx, sy, ok := r.nearestOpen(sx, sy)
+	if !ok {
+		return nil, fmt.Errorf("world: no walkable cell near source %v", src)
+	}
+	dx0, dy0, ok = r.nearestOpen(dx0, dy0)
+	if !ok {
+		return nil, fmt.Errorf("world: no walkable cell near destination %v", dst)
+	}
+	start := sy*r.w + sx
+	goal := dy0*r.w + dx0
+
+	gScore := make(map[int]float64, 256)
+	came := make(map[int]int, 256)
+	gScore[start] = 0
+	q := &pq{{cell: start, prio: 0}}
+	heap.Init(q)
+	hx := func(c int) float64 {
+		cx, cy := c%r.w, c/r.w
+		return math.Hypot(float64(cx-dx0), float64(cy-dy0)) * r.res
+	}
+	// 8-connected moves with corner-cut prevention.
+	type move struct {
+		dx, dy int
+		cost   float64
+	}
+	moves := []move{
+		{1, 0, 1}, {-1, 0, 1}, {0, 1, 1}, {0, -1, 1},
+		{1, 1, math.Sqrt2}, {1, -1, math.Sqrt2}, {-1, 1, math.Sqrt2}, {-1, -1, math.Sqrt2},
+	}
+	found := false
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if cur.cell == goal {
+			found = true
+			break
+		}
+		cx, cy := cur.cell%r.w, cur.cell/r.w
+		for _, m := range moves {
+			nx, ny := cx+m.dx, cy+m.dy
+			if nx < 0 || nx >= r.w || ny < 0 || ny >= r.h {
+				continue
+			}
+			nc := ny*r.w + nx
+			if !r.open[nc] {
+				continue
+			}
+			// Diagonals must not cut wall corners.
+			if m.dx != 0 && m.dy != 0 {
+				if !r.open[cy*r.w+nx] || !r.open[ny*r.w+cx] {
+					continue
+				}
+			}
+			// Walls are infinitely thin, so region walkability alone would
+			// let a step tunnel between two rooms; the move segment must
+			// also avoid every wall (door gaps carry no wall segment).
+			if r.walls.crosses(r.cellCenter(cx, cy), r.cellCenter(nx, ny)) {
+				continue
+			}
+			ng := gScore[cur.cell] + m.cost*r.res
+			if old, seen := gScore[nc]; !seen || ng < old {
+				gScore[nc] = ng
+				came[nc] = cur.cell
+				heap.Push(q, pqItem{cell: nc, prio: ng + hx(nc)})
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("world: no path from %v to %v in %s", src, dst, r.b.Name)
+	}
+	// Reconstruct.
+	var cells []int
+	for c := goal; ; {
+		cells = append(cells, c)
+		prev, okc := came[c]
+		if !okc {
+			break
+		}
+		c = prev
+	}
+	// Reverse into points.
+	path := make([]geom.Pt, 0, len(cells))
+	for i := len(cells) - 1; i >= 0; i-- {
+		path = append(path, r.cellCenter(cells[i]%r.w, cells[i]/r.w))
+	}
+	return r.smooth(path), nil
+}
+
+// smooth applies greedy line-of-sight shortcutting: from each anchor, keep
+// extending to the farthest waypoint still visible through walkable space.
+func (r *Router) smooth(path []geom.Pt) []geom.Pt {
+	if len(path) <= 2 {
+		return path
+	}
+	out := []geom.Pt{path[0]}
+	i := 0
+	for i < len(path)-1 {
+		j := len(path) - 1
+		for j > i+1 && !r.lineWalkable(path[i], path[j]) {
+			j--
+		}
+		out = append(out, path[j])
+		i = j
+	}
+	return out
+}
+
+// lineWalkable reports whether the straight segment from a to b stays in
+// walkable space and crosses no wall.
+func (r *Router) lineWalkable(a, b geom.Pt) bool {
+	if r.walls.crosses(a, b) {
+		return false
+	}
+	d := a.Dist(b)
+	steps := int(math.Ceil(d/(r.res/2))) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		if !r.b.Walkable(a.Add(b.Sub(a).Scale(t))) {
+			return false
+		}
+	}
+	return true
+}
+
+// PathLength returns the total polyline length.
+func PathLength(path []geom.Pt) float64 {
+	var s float64
+	for i := 1; i < len(path); i++ {
+		s += path[i].Dist(path[i-1])
+	}
+	return s
+}
+
+// DoorApproach returns a hallway-side point just outside the room's door,
+// used as the route waypoint when a simulated user enters or exits a room.
+func DoorApproach(b *Building, room Room) geom.Pt {
+	// Walk outward from the door along the door edge normal until we leave
+	// the room; clamp to a small offset.
+	dir := room.Door.Center.Sub(room.Bounds.Center()).Unit()
+	// Snap to axis: door edges are axis-aligned.
+	if math.Abs(dir.X) > math.Abs(dir.Y) {
+		dir = geom.P(math.Copysign(1, dir.X), 0)
+	} else {
+		dir = geom.P(0, math.Copysign(1, dir.Y))
+	}
+	return room.Door.Center.Add(dir.Scale(0.4))
+}

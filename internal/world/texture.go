@@ -1,0 +1,96 @@
+package world
+
+import "math"
+
+// hash64 is a splitmix64-style integer mixer giving a uniform pseudo-random
+// 64-bit value per input. It is the deterministic noise source behind wall
+// textures: the same wall point always renders the same.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash2f maps two lattice coordinates plus a seed to a float in [0, 1).
+func hash2f(ix, iy int64, seed uint64) float64 {
+	h := hash64(uint64(ix)*0x9E3779B185EBCA87 ^ uint64(iy)*0xC2B2AE3D27D4EB4F ^ seed)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// valueNoise2 is smooth 2-D value noise: bilinear interpolation of lattice
+// hashes at the given frequency.
+func valueNoise2(u, v, freq float64, seed uint64) float64 {
+	x := u * freq
+	y := v * freq
+	ix := int64(math.Floor(x))
+	iy := int64(math.Floor(y))
+	fx := x - float64(ix)
+	fy := y - float64(iy)
+	// Smoothstep fade for C1 continuity.
+	fx = fx * fx * (3 - 2*fx)
+	fy = fy * fy * (3 - 2*fy)
+	v00 := hash2f(ix, iy, seed)
+	v10 := hash2f(ix+1, iy, seed)
+	v01 := hash2f(ix, iy+1, seed)
+	v11 := hash2f(ix+1, iy+1, seed)
+	return (1-fy)*((1-fx)*v00+fx*v10) + fy*((1-fx)*v01+fx*v11)
+}
+
+// wallTexture returns the multiplicative texture factor for a wall sample.
+// u is the distance in meters along the wall, v the height fraction in
+// [0, 1]. density scales how much structure is present: 0 gives a uniform
+// wall; 1 gives posters, panels and trim with strong local gradients that
+// corner detectors latch onto.
+func wallTexture(u, v float64, seed uint64, density float64) float64 {
+	if density <= 0 {
+		return 1
+	}
+	// Coarse panel pattern (~1.2 m panels) + mid-frequency posters (~0.4 m)
+	// + fine grain. Each octave is an independent hash stream.
+	coarse := valueNoise2(u, v, 0.8, seed)
+	mid := valueNoise2(u, v, 2.5, seed^0xabcdef)
+	fine := valueNoise2(u, v, 9.0, seed^0x123456)
+	// "Posters": sparse high-contrast rectangles. A cell is a poster when
+	// its hash clears a threshold. Each poster carries its own
+	// high-frequency interior pattern, so its corners and edges produce
+	// poster-specific descriptors rather than the generic
+	// dark-rectangle-corner that would falsely match across rooms.
+	pu := int64(math.Floor(u / 1.5))
+	pv := int64(math.Floor(v * 2))
+	var poster float64
+	if hash2f(pu, pv, seed^0x777777) > 0.72 {
+		base := hash2f(pu, pv, seed^0x555555) - 0.5
+		posterSeed := seed ^ (uint64(pu)*0x9E3779B97F4A7C15 + uint64(pv)*0xC2B2AE3D27D4EB4F)
+		detail := valueNoise2(u, v, 14, posterSeed) - 0.5
+		stripes := math.Sin(2*math.Pi*(u*hash2f(pu, pv, posterSeed^5)*4+v*hash2f(pv, pu, posterSeed^9)*6)) * 0.5
+		poster = base + 0.7*detail + 0.35*stripes
+	}
+	pattern := 0.45*coarse + 0.30*mid + 0.10*fine + 0.9*poster
+	// Wainscot trim line: a horizontal edge whose height varies per wall,
+	// so the trim is a feature of the wall rather than a building-wide
+	// repeating structure that aliases across corridors.
+	trim := 0.0
+	trimV := 0.25 + 0.2*hash2f(int64(seed&0xffff), 7, seed^0x99aa77)
+	if v > trimV && v < trimV+0.045 {
+		trim = -0.25
+	}
+	f := 1 + density*(pattern-0.4+trim)
+	if f < 0.15 {
+		f = 0.15
+	}
+	if f > 1.6 {
+		f = 1.6
+	}
+	return f
+}
+
+// floorTexture returns the multiplicative texture factor for a floor sample
+// at world position (x, y): low-contrast tiles so the floor is
+// distinguishable but not feature-rich.
+func floorTexture(x, y float64, seed uint64) float64 {
+	tx := int64(math.Floor(x / 0.6))
+	ty := int64(math.Floor(y / 0.6))
+	jitter := hash2f(tx, ty, seed) - 0.5
+	return 1 + 0.12*jitter
+}

@@ -1,0 +1,338 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/mathx"
+)
+
+func TestBuildingsValidate(t *testing.T) {
+	for _, b := range Buildings() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if err := b.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Lab1", "Lab2", "Gym"} {
+		b, err := ByName(name)
+		if err != nil || b.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, b, err)
+		}
+	}
+	if _, err := ByName("Pool"); err == nil {
+		t.Error("unknown building should error")
+	}
+}
+
+func TestHallwayRectsDisjoint(t *testing.T) {
+	for _, b := range Buildings() {
+		for i := 0; i < len(b.HallwayRects); i++ {
+			for j := i + 1; j < len(b.HallwayRects); j++ {
+				if inter, ok := b.HallwayRects[i].Intersection(b.HallwayRects[j]); ok && inter.Area() > 1e-9 {
+					t.Errorf("%s: hallway rects %d and %d overlap with area %v", b.Name, i, j, inter.Area())
+				}
+			}
+		}
+	}
+}
+
+func TestRoomsDisjointAndInsideOutline(t *testing.T) {
+	for _, b := range Buildings() {
+		for i, r := range b.Rooms {
+			if r.Bounds.Min.X < b.Outline.Min.X-1e-9 || r.Bounds.Max.X > b.Outline.Max.X+1e-9 ||
+				r.Bounds.Min.Y < b.Outline.Min.Y-1e-9 || r.Bounds.Max.Y > b.Outline.Max.Y+1e-9 {
+				t.Errorf("%s: room %s extends outside outline", b.Name, r.ID)
+			}
+			for j := i + 1; j < len(b.Rooms); j++ {
+				if inter, ok := r.Bounds.Intersection(b.Rooms[j].Bounds); ok && inter.Area() > 1e-9 {
+					t.Errorf("%s: rooms %s and %s overlap", b.Name, r.ID, b.Rooms[j].ID)
+				}
+			}
+			for _, h := range b.HallwayRects {
+				if inter, ok := r.Bounds.Intersection(h); ok && inter.Area() > 1e-9 {
+					t.Errorf("%s: room %s overlaps hallway", b.Name, r.ID)
+				}
+			}
+		}
+	}
+}
+
+// Every room must be reachable: a point just outside the door must land in
+// the hallway, and a point just inside must land in the room.
+func TestDoorsConnectRoomsToHallway(t *testing.T) {
+	for _, b := range Buildings() {
+		for _, r := range b.Rooms {
+			outside := DoorApproach(b, r)
+			if !b.InHallway(outside) {
+				t.Errorf("%s: door approach of %s at %v is not in hallway", b.Name, r.ID, outside)
+			}
+			inward := r.Bounds.Center().Sub(r.Door.Center).Unit().Scale(0.3)
+			inside := r.Door.Center.Add(inward)
+			if got, ok := b.RoomAt(inside); !ok || got.ID != r.ID {
+				t.Errorf("%s: inside-door point of %s resolves to %v ok=%v", b.Name, r.ID, got.ID, ok)
+			}
+		}
+	}
+}
+
+func TestWalkable(t *testing.T) {
+	b := Lab2()
+	if !b.Walkable(geom.P(18, 7.5)) { // corridor center
+		t.Error("corridor center should be walkable")
+	}
+	if !b.Walkable(geom.P(3, 3)) { // inside room L2-B1
+		t.Error("room interior should be walkable")
+	}
+	if b.Walkable(geom.P(-1, -1)) {
+		t.Error("outside the building should not be walkable")
+	}
+}
+
+func TestHallwayArea(t *testing.T) {
+	b := Lab2()
+	want := 36 * 2.4
+	if got := b.HallwayArea(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Lab2 hallway area = %v, want %v", got, want)
+	}
+}
+
+func TestRoomGeometryAccessors(t *testing.T) {
+	r := Room{Bounds: geom.R(0, 0, 6, 3)}
+	if r.Area() != 18 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if r.AspectRatio() != 2 {
+		t.Errorf("AspectRatio = %v", r.AspectRatio())
+	}
+	if r.Center() != geom.P(3, 1.5) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestRenderFrameBasics(t *testing.T) {
+	b := Lab1()
+	r := NewRenderer(b, DefaultCamera())
+	pose := Pose{Pos: geom.P(20, 7.2), Heading: 0} // bottom corridor, looking +x
+	f := r.Render(pose, Daylight(), nil)
+	if f.W != 128 || f.H != 120 {
+		t.Fatalf("frame size %dx%d", f.W, f.H)
+	}
+	// Frame must have non-trivial content: variance over luma > 0.
+	luma := f.Luma()
+	varSum := 0.0
+	m := luma.Mean()
+	for _, v := range luma.Pix {
+		varSum += (v - m) * (v - m)
+	}
+	if varSum/float64(len(luma.Pix)) < 1e-4 {
+		t.Error("rendered frame is nearly constant; renderer broken")
+	}
+	// With the downward pitch, the top of the frame shows wall (bright
+	// albedo ≈0.8) and the bottom shows nearby floor (dark ≈0.35).
+	top := luma.At(64, 2)
+	bottom := luma.At(64, f.H-3)
+	if top <= bottom {
+		t.Errorf("wall at top (%v) should be brighter than floor at bottom (%v)", top, bottom)
+	}
+}
+
+func TestRenderDeterministicWithoutNoise(t *testing.T) {
+	b := Lab2()
+	r := NewRenderer(b, DefaultCamera())
+	pose := Pose{Pos: geom.P(10, 7.5), Heading: 1.0}
+	f1 := r.Render(pose, Daylight(), nil)
+	f2 := r.Render(pose, Daylight(), nil)
+	for i := range f1.R {
+		if f1.R[i] != f2.R[i] || f1.G[i] != f2.G[i] || f1.B[i] != f2.B[i] {
+			t.Fatal("noise-free render must be deterministic")
+		}
+	}
+}
+
+func TestRenderNearbyPosesSimilarFarPosesDifferent(t *testing.T) {
+	b := Lab1()
+	r := NewRenderer(b, DefaultCamera())
+	base := Pose{Pos: geom.P(20, 7.2), Heading: 0}
+	near := Pose{Pos: geom.P(20.15, 7.2), Heading: 0.02}
+	far := Pose{Pos: geom.P(20, 7.2), Heading: math.Pi}
+	f0 := r.Render(base, Daylight(), nil).Luma()
+	fn := r.Render(near, Daylight(), nil).Luma()
+	ff := r.Render(far, Daylight(), nil).Luma()
+	sn, err := imgNCC(f0, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := imgNCC(f0, ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn < 0.8 {
+		t.Errorf("nearby pose NCC = %v, want > 0.8", sn)
+	}
+	if sf >= sn {
+		t.Errorf("far pose NCC (%v) should be below near pose NCC (%v)", sf, sn)
+	}
+}
+
+func TestRenderNightDarkerThanDay(t *testing.T) {
+	b := Lab2()
+	r := NewRenderer(b, DefaultCamera())
+	pose := Pose{Pos: geom.P(18, 7.5), Heading: 0}
+	day := r.Render(pose, Daylight(), nil).Luma().Mean()
+	rawNight := Lighting{Ambient: 0.55, Exposure: 1.0, NoiseStd: 0}
+	night := r.Render(pose, rawNight, nil).Luma().Mean()
+	if night >= day {
+		t.Errorf("night mean luma (%v) should be darker than day (%v)", night, day)
+	}
+}
+
+func TestRenderNoiseIsApplied(t *testing.T) {
+	b := Lab2()
+	r := NewRenderer(b, DefaultCamera())
+	pose := Pose{Pos: geom.P(18, 7.5), Heading: 0}
+	clean := r.Render(pose, Daylight(), nil)
+	noisy := r.Render(pose, Night(), mathx.NewRNG(3))
+	var diff float64
+	for i := range clean.R {
+		diff += math.Abs(clean.R[i] - noisy.R[i])
+	}
+	if diff == 0 {
+		t.Error("noisy render should differ from clean render")
+	}
+}
+
+func TestDistanceToWall(t *testing.T) {
+	b := Lab2()
+	r := NewRenderer(b, DefaultCamera())
+	// From corridor center (18, 7.5) looking straight down (-y): the wall at
+	// y=6.3 is 1.2 m away (door gaps are at room door centers x=15 or 21).
+	d := r.DistanceToWall(geom.P(18, 7.5), -math.Pi/2)
+	if math.Abs(d-1.2) > 1e-6 {
+		t.Errorf("DistanceToWall = %v, want 1.2", d)
+	}
+}
+
+func TestRouterPlansThroughDoor(t *testing.T) {
+	b := Lab2()
+	router, err := NewRouter(b, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := b.Rooms[0] // L2-B1 at [0,6]×[0,6.3], door at (3, 6.3)
+	path, err := router.Plan(geom.P(30, 7.5), room.Bounds.Center())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("path too short: %v", path)
+	}
+	if PathLength(path) < 24 {
+		t.Errorf("path length = %v, want ≥ straight-line-ish 27", PathLength(path))
+	}
+	// Path must pass near the door.
+	nearDoor := false
+	for i := 1; i < len(path); i++ {
+		seg := geom.Seg{A: path[i-1], B: path[i]}
+		if seg.DistToPoint(room.Door.Center) < 0.8 {
+			nearDoor = true
+			break
+		}
+	}
+	if !nearDoor {
+		t.Error("path into a room must pass through its door")
+	}
+}
+
+func TestRouterRejectsBadResolution(t *testing.T) {
+	if _, err := NewRouter(Lab2(), 0); err == nil {
+		t.Error("zero resolution should error")
+	}
+}
+
+func TestRouterPathStaysWalkable(t *testing.T) {
+	b := Lab1()
+	router, err := NewRouter(b, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := router.Plan(geom.P(1.2, 10), geom.P(38.8, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(path); i++ {
+		a, c := path[i-1], path[i]
+		steps := int(a.Dist(c)/0.1) + 1
+		for s := 0; s <= steps; s++ {
+			p := a.Add(c.Sub(a).Scale(float64(s) / float64(steps)))
+			if !b.Walkable(p) {
+				t.Fatalf("path leaves walkable space at %v", p)
+			}
+		}
+	}
+}
+
+func TestWallTextureDeterministicAndBounded(t *testing.T) {
+	for u := 0.0; u < 10; u += 0.7 {
+		for v := 0.0; v <= 1; v += 0.13 {
+			a := wallTexture(u, v, 42, 0.8)
+			b := wallTexture(u, v, 42, 0.8)
+			if a != b {
+				t.Fatal("texture must be deterministic")
+			}
+			if a < 0.1 || a > 1.7 {
+				t.Fatalf("texture out of range: %v", a)
+			}
+		}
+	}
+	if got := wallTexture(1, 0.5, 42, 0); got != 1 {
+		t.Errorf("zero-density texture = %v, want 1", got)
+	}
+}
+
+func TestTextureDensityControlsContrast(t *testing.T) {
+	contrast := func(density float64) float64 {
+		var min, max = math.Inf(1), math.Inf(-1)
+		for u := 0.0; u < 20; u += 0.1 {
+			v := wallTexture(u, 0.6, 99, density)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		return max - min
+	}
+	if contrast(0.9) <= contrast(0.15) {
+		t.Error("higher texture density must produce higher contrast")
+	}
+}
+
+func imgNCC(a, b *img.Gray) (float64, error) { return img.NCC(a, b) }
+
+func TestCameraFocalAndTanRange(t *testing.T) {
+	cam := DefaultCamera()
+	// FocalPx: W pixels span FOV radians.
+	if got := cam.FocalPx() * cam.FOV; math.Abs(got-float64(cam.W)) > 1e-9 {
+		t.Errorf("FocalPx·FOV = %v, want %d", got, cam.W)
+	}
+	top, bottom := cam.TanRange()
+	if top <= bottom {
+		t.Errorf("TanRange ordering: top %v ≤ bottom %v", top, bottom)
+	}
+	// The range is centered on tan(pitch).
+	mid := (top + bottom) / 2
+	if math.Abs(mid-math.Tan(cam.Pitch)) > 1e-9 {
+		t.Errorf("TanRange center = %v, want tan(pitch) = %v", mid, math.Tan(cam.Pitch))
+	}
+	// With the default pitch the wall-floor boundary of a wall 2.5 m away
+	// must be visible (the room-scale requirement layout depends on).
+	tBound := -Lab1().CameraHeight / 2.5
+	if tBound < bottom || tBound > top {
+		t.Errorf("boundary t=%v outside visible range [%v, %v]", tBound, bottom, top)
+	}
+}

@@ -1,0 +1,303 @@
+package crowdmap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"crowdmap/internal/aggregate"
+	"crowdmap/internal/cloud/pipeline"
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/layout"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/vision/pano"
+	"crowdmap/internal/world"
+)
+
+// Result is the output of a full reconstruction run.
+type Result struct {
+	// Plan is the assembled floor plan.
+	Plan *Plan
+	// Tracks are the extracted per-capture tracks, indexed like the input
+	// captures.
+	Tracks []*Track
+	// Aggregation is the trajectory merge outcome.
+	Aggregation *aggregate.Result
+	// RoomObservations are the per-panorama room reconstructions before
+	// deduplication and placement.
+	RoomObservations []floorplan.RoomObservation
+	// RoomFailures records captures whose room reconstruction failed and
+	// why (unplaced track, inadmissible panorama, layout failure).
+	RoomFailures map[string]error
+}
+
+// Reconstruct runs the complete CrowdMap cloud pipeline over a capture
+// corpus: key-frame extraction, sequence-based aggregation, hallway
+// skeleton reconstruction, per-room panorama + layout estimation, and
+// force-directed plan assembly.
+func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(captures) == 0 {
+		return nil, fmt.Errorf("crowdmap: no captures")
+	}
+	ctx := context.Background()
+
+	// Stage 1: per-capture key-frame extraction (embarrassingly parallel).
+	tracks := make([]*Track, len(captures))
+	err := pipeline.Map(ctx, len(captures), cfg.Workers, func(_ context.Context, i int) error {
+		kfs, traj, err := extractTrack(captures[i], cfg)
+		if err != nil {
+			return fmt.Errorf("crowdmap: capture %s: %w", captures[i].ID, err)
+		}
+		tracks[i] = &aggregate.Track{
+			ID:    captures[i].ID,
+			Traj:  traj,
+			KFs:   kfs,
+			Night: captures[i].Night,
+		}
+		if cfg.ReleaseFrames {
+			captures[i].Frames = nil
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: all-pairs aggregation, parallelized like the paper's Spark
+	// stage, memoized and then replayed through the sequential graph
+	// builder.
+	agg, err := ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: hallway skeleton from placed trajectories, with per-track
+	// drift calibrated against anchor evidence (the paper's "calibrate the
+	// drift error residing in the trajectories").
+	global := agg.DriftCorrected(tracks, cfg.Aggregate.Epsilon)
+	mask, shape, err := floorplan.BuildSkeleton(global, cfg.Skeleton)
+	if err != nil {
+		return nil, fmt.Errorf("crowdmap: skeleton: %w", err)
+	}
+
+	// Stage 4: room reconstruction for placed SRS/Visit captures.
+	res := &Result{
+		Tracks:       tracks,
+		Aggregation:  agg,
+		RoomFailures: make(map[string]error),
+	}
+	var mu sync.Mutex
+	roomIdx := make([]int, 0, len(captures))
+	for i, c := range captures {
+		if c.Kind == crowd.KindSRS || c.Kind == crowd.KindVisit {
+			roomIdx = append(roomIdx, i)
+		}
+	}
+	err = pipeline.Map(ctx, len(roomIdx), cfg.Workers, func(_ context.Context, k int) error {
+		i := roomIdx[k]
+		obs, rerr := reconstructRoom(captures[i], i, tracks[i], agg, cfg)
+		mu.Lock()
+		defer mu.Unlock()
+		if rerr != nil {
+			res.RoomFailures[captures[i].ID] = rerr
+			return nil // room failures degrade the plan, not the run
+		}
+		res.RoomObservations = append(res.RoomObservations, obs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 5: deduplicate room observations and place them.
+	placedObs := dedupRooms(res.RoomObservations, cfg.RoomMergeRadius)
+	rooms, err := floorplan.PlaceRooms(placedObs, mask, cfg.ForceDir)
+	if err != nil {
+		return nil, fmt.Errorf("crowdmap: room placement: %w", err)
+	}
+
+	res.Plan = &floorplan.Plan{
+		Building:     captures[0].Geo.Building,
+		HallwayMask:  mask,
+		HallwayShape: shape,
+		Rooms:        rooms,
+		Trajectories: global,
+	}
+	return res, nil
+}
+
+// extractTrack runs the key-frame front-end for one capture.
+func extractTrack(c *Capture, cfg Config) ([]*KeyFrame, *Trajectory, error) {
+	return keyframe.Extract(c, cfg.Keyframe)
+}
+
+// ParallelAggregate memoizes all pair comparisons with bounded parallelism
+// and then runs the aggregation graph logic over the memo. It is the
+// library's equivalent of the paper's PySpark acceleration of trajectory
+// aggregation.
+func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params, workers int) (*aggregate.Result, error) {
+	type cell struct {
+		m  aggregate.Match
+		ok bool
+	}
+	memo := make(map[[2]int]cell)
+	var mu sync.Mutex
+	err := pipeline.MapPairs(ctx, len(tracks), workers, func(_ context.Context, pr pipeline.Pair) error {
+		m, ok, err := aggregate.ComparePair(pr.I, pr.J, tracks[pr.I], tracks[pr.J], p)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		memo[[2]int{pr.I, pr.J}] = cell{m: m, ok: ok}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	replay := func(ai, bi int, _, _ *aggregate.Track, _ aggregate.Params) (aggregate.Match, bool, error) {
+		c, found := memo[[2]int{ai, bi}]
+		if !found {
+			return aggregate.Match{}, false, fmt.Errorf("crowdmap: missing memoized pair (%d,%d)", ai, bi)
+		}
+		return c.m, c.ok, nil
+	}
+	return aggregate.Aggregate(tracks, p, replay)
+}
+
+// reconstructRoom builds the panorama for one SRS/Visit capture and
+// estimates the room layout, yielding an observation in the global frame.
+// trackIdx indexes the capture's track in the aggregation result.
+func reconstructRoom(c *Capture, trackIdx int, tr *Track, agg *aggregate.Result, cfg Config) (floorplan.RoomObservation, error) {
+	offset, placed := agg.Offsets[trackIdx]
+	if !placed {
+		return floorplan.RoomObservation{}, fmt.Errorf("crowdmap: track %s not placed by aggregation", tr.ID)
+	}
+	srs := srsKeyFrames(tr.KFs, tr.Traj, 0.75)
+	pn, err := stitchRoomPanorama(srs, c.Camera, cfg)
+	if err != nil {
+		return floorplan.RoomObservation{}, fmt.Errorf("crowdmap: panorama for %s: %w", c.ID, err)
+	}
+	l, err := estimateLayout(pn, cfg, int64(trackIdx))
+	if err != nil {
+		return floorplan.RoomObservation{}, fmt.Errorf("crowdmap: layout for %s: %w", c.ID, err)
+	}
+	// Camera position in the global frame: the SRS stand point (trajectory
+	// start) plus this track's aggregation offset.
+	camPos := tr.Traj.Points[0].Pos.Add(offset)
+	return floorplan.RoomObservation{
+		ID:         c.RoomID, // evaluation label only; placement is geometric
+		CameraPos:  camPos,
+		RoomLayout: l,
+	}, nil
+}
+
+// dedupRooms merges observations whose estimated room centers lie within
+// radius, keeping the best-scoring layout of each cluster. The decision is
+// purely geometric (the paper merges key-frames per occupancy cell); room
+// IDs ride along as evaluation labels only.
+func dedupRooms(obs []floorplan.RoomObservation, radius float64) []floorplan.RoomObservation {
+	if radius <= 0 || len(obs) < 2 {
+		return obs
+	}
+	type scored struct {
+		o floorplan.RoomObservation
+		c geom.Pt
+	}
+	items := make([]scored, len(obs))
+	for i, o := range obs {
+		items[i] = scored{o: o, c: o.CameraPos.Add(o.RoomLayout.CenterOffset())}
+	}
+	used := make([]bool, len(items))
+	var out []floorplan.RoomObservation
+	for i := range items {
+		if used[i] {
+			continue
+		}
+		best := items[i]
+		used[i] = true
+		for j := i + 1; j < len(items); j++ {
+			if used[j] {
+				continue
+			}
+			if items[j].c.Dist(items[i].c) <= radius {
+				used[j] = true
+				if items[j].o.RoomLayout.Score > best.o.RoomLayout.Score {
+					best = items[j]
+				}
+			}
+		}
+		out = append(out, best.o)
+	}
+	return out
+}
+
+// srsKeyFrames selects the key-frames captured during the stationary spin
+// phase: those whose dead-reckoned position stays within stayRadius of the
+// trajectory start.
+func srsKeyFrames(kfs []*KeyFrame, traj *Trajectory, stayRadius float64) []*KeyFrame {
+	if len(traj.Points) == 0 {
+		return nil
+	}
+	start := traj.Points[0].Pos
+	var out []*KeyFrame
+	for _, kf := range kfs {
+		if kf.LocalPos.Dist(start) <= stayRadius {
+			out = append(out, kf)
+		}
+	}
+	return out
+}
+
+// stitchRoomPanorama selects an admissible covering subset of SRS
+// key-frames and stitches them.
+func stitchRoomPanorama(kfs []*KeyFrame, cam world.Camera, cfg Config) (*pano.Panorama, error) {
+	if len(kfs) == 0 {
+		return nil, fmt.Errorf("crowdmap: no stationary key-frames for panorama")
+	}
+	p := cfg.Pano
+	p.FOV = cam.FOV
+	p.Pitch = cam.Pitch
+	headings := make([]float64, len(kfs))
+	for i, kf := range kfs {
+		headings[i] = kf.Heading
+	}
+	sel, err := pano.SelectCover(headings, p)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]pano.Frame, len(sel))
+	for i, idx := range sel {
+		frames[i] = pano.Frame{Image: kfs[idx].Image, Heading: kfs[idx].Heading}
+	}
+	selHeadings := make([]float64, len(frames))
+	for i, f := range frames {
+		selHeadings[i] = f.Heading
+	}
+	if err := pano.Admissible(selHeadings, p); err != nil {
+		return nil, err
+	}
+	// Gyro headings are good to a degree or two; image registration
+	// polishes the relative alignment before blending (the AutoStitch
+	// role).
+	refined, err := pano.RefineHeadings(frames, p, 3, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	for i := range frames {
+		frames[i].Heading = refined[i]
+	}
+	return pano.Stitch(frames, p)
+}
+
+// estimateLayout wraps layout estimation with the pipeline seed.
+func estimateLayout(pn *pano.Panorama, cfg Config, seed int64) (layout.Layout, error) {
+	lp := cfg.Layout
+	return layout.Estimate(pn, lp, mathx.NewRNG(cfg.Seed*1_000_003+seed))
+}
