@@ -7,12 +7,19 @@
 // Usage:
 //
 //	crowdmapd [-addr :8080] [-interval 30s] [-snapshot store.json]
-//	          [-hypotheses N] [-workers N]
+//	          [-hypotheses N] [-workers N] [-metrics]
+//
+// The HTTP API always serves GET /metrics with a JSON snapshot covering
+// both ingestion (http.*, uploads.*) and reconstruction (stage.*,
+// keyframe.*, compare.*, aggregate.*) — the server and the pipeline share
+// one registry. The -metrics flag additionally logs a snapshot after every
+// reconstruction cycle.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +44,7 @@ func main() {
 		snapshot   = flag.String("snapshot", "", "optional store snapshot path (loaded at start, saved on exit)")
 		hypotheses = flag.Int("hypotheses", 20000, "room layout hypotheses per panorama")
 		workers    = flag.Int("workers", 0, "pipeline workers (0 = all CPUs)")
+		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each reconstruction cycle")
 	)
 	flag.Parse()
 
@@ -61,7 +69,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One registry spans ingestion and processing: the server created it,
+	// the scheduler and the reconstruction pipeline feed it, and GET
+	// /metrics exposes all of it.
+	reg := srv.Metrics()
+	sched.SetObs(reg)
 	proc := newProcessor(st, *hypotheses, *workers)
+	proc.obs = reg
+	proc.logMetrics = *metrics
 	stop, err := sched.Every(*interval, queue.Job{ID: "reconstruct", Run: proc.run})
 	if err != nil {
 		log.Fatal(err)
@@ -106,6 +121,8 @@ type processor struct {
 	hypotheses int
 	workers    int
 	lastCount  int
+	obs        *crowdmap.MetricsRegistry
+	logMetrics bool
 }
 
 func newProcessor(st *store.Store, hypotheses, workers int) *processor {
@@ -139,6 +156,7 @@ func (p *processor) run(context.Context) error {
 		cfg := crowdmap.DefaultConfig()
 		cfg.Layout.Hypotheses = p.hypotheses
 		cfg.Workers = p.workers
+		cfg.Metrics = p.obs
 		start := time.Now()
 		res, err := crowdmap.Reconstruct(captures, cfg)
 		if err != nil {
@@ -161,5 +179,10 @@ func (p *processor) run(context.Context) error {
 		log.Print(buf.String())
 	}
 	p.lastCount = len(keys)
+	if p.logMetrics && p.obs != nil {
+		if data, err := json.Marshal(p.obs.Snapshot()); err == nil {
+			log.Printf("metrics: %s", data)
+		}
+	}
 	return nil
 }

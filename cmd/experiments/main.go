@@ -5,7 +5,11 @@
 // Usage:
 //
 //	experiments [-run tableI|fig6|fig7a|fig7b|fig7c|fig8|fig8c|fig9|all]
-//	            [-quick] [-seed N] [-workers N] [-out DIR]
+//	            [-quick] [-seed N] [-workers N] [-out DIR] [-metrics]
+//
+// With -metrics the harness attaches a metrics registry to every pipeline
+// run and prints per-stage timing totals (and writes metrics.json when -out
+// is set) after the experiments finish.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"crowdmap"
 	"crowdmap/internal/experiments"
 	"crowdmap/internal/mathx"
 )
@@ -31,11 +36,16 @@ func main() {
 		seed    = flag.Int64("seed", 2015, "dataset generation seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 		outDir  = flag.String("out", "", "directory for JSON/SVG artifacts (optional)")
+		metrics = flag.Bool("metrics", false, "report pipeline stage timings after the runs")
 	)
 	flag.Parse()
 
+	var reg *crowdmap.MetricsRegistry
+	if *metrics {
+		reg = crowdmap.NewMetricsRegistry()
+	}
 	suite := experiments.NewSuite(experiments.Options{
-		Quick: *quick, Seed: *seed, Workers: *workers,
+		Quick: *quick, Seed: *seed, Workers: *workers, Obs: reg,
 	})
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -77,6 +87,24 @@ func main() {
 		runFig9(suite, *outDir)
 	}
 	fmt.Printf("\ntotal wall time: %s\n", time.Since(start).Round(time.Second))
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Println("\n== Pipeline metrics ==")
+		for _, name := range snap.StageNames() {
+			if line := snap.StageSummary(name); line != "" {
+				fmt.Println("  " + line)
+			}
+		}
+		if kept := snap.Counters["keyframe.kept"]; kept > 0 {
+			fmt.Printf("  keyframes: %d kept / %d frames\n", kept, snap.Counters["keyframe.frames"])
+		}
+		if s1 := snap.Counters["compare.s1.evaluated"]; s1 > 0 {
+			fmt.Printf("  compare: S1 %d→%d passed, S2 %d→%d passed\n",
+				s1, snap.Counters["compare.s1.passed"],
+				snap.Counters["compare.s2.evaluated"], snap.Counters["compare.s2.passed"])
+		}
+		save(*outDir, "metrics.json", snap)
+	}
 }
 
 func save(outDir, name string, v interface{}) {

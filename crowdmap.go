@@ -26,6 +26,7 @@ import (
 	"crowdmap/internal/forcedir"
 	"crowdmap/internal/keyframe"
 	"crowdmap/internal/layout"
+	"crowdmap/internal/obs"
 	"crowdmap/internal/trajectory"
 	"crowdmap/internal/vision/pano"
 	"crowdmap/internal/world"
@@ -55,7 +56,17 @@ type (
 	Trajectory = trajectory.Trajectory
 	// KeyFrame is a selected video frame with derived features.
 	KeyFrame = keyframe.KeyFrame
+	// MetricsRegistry is a live metrics sink; pass one in Config.Metrics to
+	// observe a reconstruction while it runs (see internal/obs for the
+	// naming scheme).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of pipeline metrics, carried
+	// on every Result.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// NewMetricsRegistry returns an empty metrics registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
 
 // Config collects every tunable of the reconstruction pipeline. The zero
 // value is not valid; start from DefaultConfig.
@@ -83,6 +94,12 @@ type Config struct {
 	ReleaseFrames bool
 	// Seed drives the pipeline's stochastic stages (layout sampling).
 	Seed int64
+	// Metrics, when non-nil, receives stage timings and counters while the
+	// pipeline runs (shareable with the cloud server's registry so one
+	// /metrics endpoint covers ingestion and reconstruction). When nil,
+	// Reconstruct uses a private registry; either way Result.Metrics
+	// carries the final snapshot.
+	Metrics *MetricsRegistry
 }
 
 // DefaultConfig returns the tuning used for the paper-reproduction

@@ -1,0 +1,152 @@
+package crowdmap
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenLab1 is the recorded accuracy band for the seeded Lab1 end-to-end
+// run. Tolerances are deliberately wider than run-to-run noise (the run is
+// deterministic at Workers=1) but far tighter than a real regression:
+// a pipeline refactor that degrades hallway or room accuracy beyond the
+// band fails this test instead of slipping through silently.
+type goldenLab1 struct {
+	HallwayPrecision float64 `json:"hallway_precision"`
+	HallwayRecall    float64 `json:"hallway_recall"`
+	HallwayF         float64 `json:"hallway_f"`
+	// Tolerance is the symmetric band around each hallway score.
+	Tolerance float64 `json:"tolerance"`
+	// RoomsReconstructedMin is the floor on reconstructed-room coverage.
+	RoomsReconstructedMin int `json:"rooms_reconstructed_min"`
+	// MeanAreaErrorMax caps the mean room area error.
+	MeanAreaErrorMax float64 `json:"mean_area_error_max"`
+}
+
+const goldenLab1Path = "testdata/golden_lab1.json"
+
+// goldenLab1Spec pins the corpus and configuration of the golden run. Any
+// change here requires re-recording the golden file
+// (CROWDMAP_UPDATE_GOLDEN=1 go test -run TestGoldenLab1).
+func goldenLab1Spec() (DatasetSpec, Config) {
+	spec := DatasetSpec{
+		Users:         6,
+		CorridorWalks: 12,
+		RoomVisits:    6,
+		NightFraction: 0,
+		Seed:          424242,
+		FPS:           3,
+	}
+	cfg := DefaultConfig()
+	cfg.Layout.Hypotheses = 4000
+	cfg.Workers = 1 // deterministic observation order → reproducible scores
+	cfg.Seed = 7
+	return spec, cfg
+}
+
+// TestGoldenLab1 is the accuracy regression gate: a fully seeded
+// GenerateDataset → Reconstruct → Evaluate run on Lab1 whose hallway and
+// room scores must stay inside the recorded band. Refactors of the
+// pipeline (key-frame selection, aggregation, skeleton, layout, placement)
+// cannot silently trade accuracy for speed.
+func TestGoldenLab1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden end-to-end run is expensive")
+	}
+	if raceEnabled {
+		t.Skip("sequential accuracy gate adds no race coverage; see race_test.go")
+	}
+	b, err := BuildingByName("Lab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, cfg := goldenLab1Spec()
+	ds, err := GenerateDataset(b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reconstruct(ds.Captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(res, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Lab1 golden run: %s", rep)
+
+	if os.Getenv("CROWDMAP_UPDATE_GOLDEN") != "" {
+		g := goldenLab1{
+			HallwayPrecision:      rep.Hallway.Precision,
+			HallwayRecall:         rep.Hallway.Recall,
+			HallwayF:              rep.Hallway.F,
+			Tolerance:             0.08,
+			RoomsReconstructedMin: rep.RoomsReconstructed,
+			MeanAreaErrorMax:      math.Min(rep.MeanAreaError*1.5+0.05, 0.5),
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenLab1Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenLab1Path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %+v", g)
+		return
+	}
+
+	data, err := os.ReadFile(goldenLab1Path)
+	if err != nil {
+		t.Fatalf("golden file missing (record with CROWDMAP_UPDATE_GOLDEN=1): %v", err)
+	}
+	var g goldenLab1
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	checkBand := func(name string, got, want float64) {
+		if math.Abs(got-want) > g.Tolerance {
+			t.Errorf("%s = %.3f, golden %.3f ± %.2f", name, got, want, g.Tolerance)
+		}
+	}
+	checkBand("hallway precision", rep.Hallway.Precision, g.HallwayPrecision)
+	checkBand("hallway recall", rep.Hallway.Recall, g.HallwayRecall)
+	checkBand("hallway F", rep.Hallway.F, g.HallwayF)
+	if rep.RoomsReconstructed < g.RoomsReconstructedMin {
+		t.Errorf("rooms reconstructed = %d, golden floor %d",
+			rep.RoomsReconstructed, g.RoomsReconstructedMin)
+	}
+	if rep.RoomsReconstructed > 0 && rep.MeanAreaError > g.MeanAreaErrorMax {
+		t.Errorf("mean room area error = %.1f%%, golden cap %.1f%%",
+			rep.MeanAreaError*100, g.MeanAreaErrorMax*100)
+	}
+
+	// The metrics snapshot must document the run: every pipeline stage
+	// timed, key-frame accounting consistent with the corpus.
+	stages := res.Metrics.StageNames()
+	for _, want := range []string{"keyframe.extract", "aggregate", "skeleton", "rooms", "place", "reconstruct.total"} {
+		found := false
+		for _, s := range stages {
+			if s == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("stage %q missing from Result.Metrics (have %v)", want, stages)
+		}
+	}
+	if got := res.Metrics.Counters["reconstruct.captures"]; got != int64(len(ds.Captures)) {
+		t.Errorf("metrics captures = %d, want %d", got, len(ds.Captures))
+	}
+	if res.Metrics.Counters["keyframe.kept"] <= 0 {
+		t.Error("metrics recorded no kept key-frames")
+	}
+	if res.Metrics.Counters["compare.s1.evaluated"] <= 0 {
+		t.Error("metrics recorded no S1 comparisons")
+	}
+}

@@ -185,6 +185,7 @@ func FindAnchors(a, b *Track, p Params) ([]Anchor, error) {
 		}
 	}
 	sort.Slice(anchors, func(i, j int) bool { return anchors[i].S2 > anchors[j].S2 })
+	p.KF.Obs.Counter("aggregate.anchors.found").Add(int64(len(anchors)))
 	return anchors, nil
 }
 
@@ -194,11 +195,16 @@ func ComparePair(ai, bi int, a, b *Track, p Params) (Match, bool, error) {
 	if err := p.Validate(); err != nil {
 		return Match{}, false, err
 	}
+	p.KF.Obs.Counter("aggregate.pairs.compared").Inc()
 	anchors, err := FindAnchors(a, b, p)
 	if err != nil {
 		return Match{}, false, err
 	}
-	return DecideFromAnchors(ai, bi, a, b, anchors, p)
+	m, ok, err := DecideFromAnchors(ai, bi, a, b, anchors, p)
+	if ok {
+		p.KF.Obs.Counter("aggregate.pairs.matched").Inc()
+	}
+	return m, ok, err
 }
 
 // DecideFromAnchors runs the sequence-verification half of ComparePair on a

@@ -10,10 +10,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"crowdmap/internal/obs"
 )
 
 // Map runs fn(ctx, i) for i in [0, n) on at most workers goroutines.
 // The first error cancels the remaining work and is returned.
+//
+// When the context carries a metrics registry (obs.NewContext), Map counts
+// pipeline.items (completed calls) and pipeline.errors.
 func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n < 0 {
 		return fmt.Errorf("pipeline: negative item count %d", n)
@@ -30,6 +35,9 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 	if n == 0 {
 		return nil
 	}
+	reg := obs.FromContext(ctx)
+	items := reg.Counter("pipeline.items")
+	errors := reg.Counter("pipeline.errors")
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	idx := make(chan int)
@@ -53,9 +61,11 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 					return
 				}
 				if err := fn(ctx, i); err != nil {
+					errors.Inc()
 					fail(err)
 					return
 				}
+				items.Inc()
 			}
 		}()
 	}

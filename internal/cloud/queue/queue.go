@@ -8,7 +8,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"crowdmap/internal/obs"
 )
 
 // Job is a unit of backend work.
@@ -23,14 +26,21 @@ type Result struct {
 	Err error
 }
 
+// queued is a job with its submission timestamp, for queue-wait metrics.
+type queued struct {
+	job       Job
+	submitted time.Time
+}
+
 // Scheduler executes jobs on a fixed worker pool. Create with New; Close
 // must be called exactly once after the final Submit.
 type Scheduler struct {
-	jobs    chan Job
+	jobs    chan queued
 	results chan Result
 	wg      sync.WaitGroup
 	ctx     context.Context
 	cancel  context.CancelFunc
+	obs     atomic.Pointer[obs.Registry]
 
 	mu       sync.Mutex
 	periodic []chan struct{}
@@ -47,7 +57,7 @@ func New(workers, buffer int) (*Scheduler, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		jobs:    make(chan Job, buffer),
+		jobs:    make(chan queued, buffer),
 		results: make(chan Result, buffer+workers),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -59,12 +69,27 @@ func New(workers, buffer int) (*Scheduler, error) {
 	return s, nil
 }
 
+// SetObs attaches a metrics registry: the scheduler then records
+// queue.jobs.processed / queue.jobs.failed counters and
+// queue.wait.seconds / queue.run.seconds histograms. Safe to call at any
+// point; jobs dequeued after the call are counted.
+func (s *Scheduler) SetObs(r *obs.Registry) { s.obs.Store(r) }
+
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for job := range s.jobs {
-		err := job.Run(s.ctx)
+	for q := range s.jobs {
+		reg := s.obs.Load()
+		start := time.Now()
+		reg.Histogram("queue.wait.seconds").Observe(start.Sub(q.submitted).Seconds())
+		err := q.job.Run(s.ctx)
+		reg.Histogram("queue.run.seconds").Observe(time.Since(start).Seconds())
+		if err != nil {
+			reg.Counter("queue.jobs.failed").Inc()
+		} else {
+			reg.Counter("queue.jobs.processed").Inc()
+		}
 		select {
-		case s.results <- Result{ID: job.ID, Err: err}:
+		case s.results <- Result{ID: q.job.ID, Err: err}:
 		case <-s.ctx.Done():
 			return
 		}
@@ -84,7 +109,7 @@ func (s *Scheduler) Submit(j Job) error {
 		return fmt.Errorf("queue: scheduler closed")
 	}
 	select {
-	case s.jobs <- j:
+	case s.jobs <- queued{job: j, submitted: time.Now()}:
 		return nil
 	case <-s.ctx.Done():
 		return fmt.Errorf("queue: scheduler stopped")

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/img"
+	"crowdmap/internal/sensor"
+)
+
+// fuzzSeedArchive builds a tiny but fully valid capture archive so the
+// fuzzer starts from structure-aware corpus instead of pure garbage.
+func fuzzSeedArchive(tb testing.TB) []byte {
+	tb.Helper()
+	frame := img.NewRGB(4, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			frame.Set(x, y, float64(x)/4, float64(y)/3, 0.5)
+		}
+	}
+	c := &crowd.Capture{
+		ID:     "fuzz-seed",
+		UserID: "u0",
+		FPS:    2,
+		IMU: []sensor.Sample{
+			{T: 0}, {T: 0.5},
+		},
+		Frames: []crowd.VideoFrame{
+			{T: 0, Image: frame},
+			{T: 0.5, Image: frame},
+		},
+	}
+	data, err := EncodeCapture(c)
+	if err != nil {
+		tb.Fatalf("encode fuzz seed: %v", err)
+	}
+	return data
+}
+
+// FuzzDecodeCapture hammers the upload-archive decoder — the first parser
+// untrusted client bytes reach. It must never panic; when it accepts an
+// archive, the result must be internally consistent and re-encodable.
+func FuzzDecodeCapture(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a zip"))
+	f.Add([]byte("PK\x03\x04 truncated header"))
+	valid := fuzzSeedArchive(f)
+	f.Add(valid)
+	// A bit-flipped valid archive seeds the interesting middle ground.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCapture(data)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil capture with nil error")
+		}
+		if len(c.Frames) == 0 {
+			t.Fatal("decoder accepted an archive with no frames")
+		}
+		for i, fr := range c.Frames {
+			if fr.Image == nil {
+				t.Fatalf("frame %d has no image", i)
+			}
+		}
+		if _, err := EncodeCapture(c); err != nil {
+			t.Fatalf("accepted capture does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzChunkReassembly drives the chunk-reassembly state machine with
+// arbitrary payloads, chunk sizes and delivery orders: whatever order the
+// network delivers, completion must fire exactly once — on the final
+// distinct index — and the assembled bytes must equal the original payload.
+func FuzzChunkReassembly(f *testing.F) {
+	f.Add([]byte("hello chunked world"), uint8(4), uint64(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(3), uint64(99))
+	f.Add([]byte("x"), uint8(1), uint64(0))
+	f.Add(bytes.Repeat([]byte("ab"), 512), uint8(7), uint64(12345))
+	f.Fuzz(func(t *testing.T, data []byte, nChunks uint8, permSeed uint64) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(nChunks)
+		if n < 1 {
+			n = 1
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		size := (len(data) + n - 1) / n
+		var chunks [][]byte
+		for lo := 0; lo < len(data); lo += size {
+			hi := lo + size
+			if hi > len(data) {
+				hi = len(data)
+			}
+			chunks = append(chunks, data[lo:hi])
+		}
+		// Deterministic permutation of delivery order (xorshift-driven
+		// Fisher-Yates; permSeed 0 keeps natural order).
+		order := make([]int, len(chunks))
+		for i := range order {
+			order[i] = i
+		}
+		s := permSeed | 1
+		for i := len(order) - 1; i > 0; i-- {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			j := int(s % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		up := &pendingUpload{total: len(chunks), chunks: make(map[int][]byte)}
+		for k, idx := range order {
+			assembled, complete := up.add(idx, chunks[idx])
+			if complete != (k == len(order)-1) {
+				t.Fatalf("delivery %d/%d (chunk %d): complete = %v", k+1, len(order), idx, complete)
+			}
+			if complete && !bytes.Equal(assembled, data) {
+				t.Fatalf("reassembled %d bytes != original %d bytes (order %v)", len(assembled), len(data), order)
+			}
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdmap/internal/cloud/pipeline"
+	"crowdmap/internal/cloud/queue"
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
+)
+
+// postChunk sends one raw chunk and returns the response status.
+func postChunk(t *testing.T, ts *httptest.Server, id string, index, total int, data []byte) int {
+	t.Helper()
+	url := ts.URL + "/api/v1/captures/" + id + "/chunks?index=" + itoa(index) + "&total=" + itoa(total)
+	resp, err := ts.Client().Post(url, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// chunksOf splits data into n roughly equal pieces (n <= len(data)).
+func chunksOf(data []byte, n int) [][]byte {
+	size := (len(data) + n - 1) / n
+	var out [][]byte
+	for lo := 0; lo < len(data); lo += size {
+		hi := lo + size
+		if hi > len(data) {
+			hi = len(data)
+		}
+		out = append(out, data[lo:hi])
+	}
+	return out
+}
+
+func TestOutOfOrderChunks(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c := testCapture(t)
+	archive, err := EncodeCapture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunksOf(archive, 4)
+	if len(chunks) < 3 {
+		t.Fatalf("archive too small: %d chunks", len(chunks))
+	}
+	// Deliver in reverse: completion happens on chunk 0, not the last index.
+	for i := len(chunks) - 1; i >= 0; i-- {
+		want := http.StatusAccepted
+		if i == 0 {
+			want = http.StatusCreated
+		}
+		if got := postChunk(t, ts, c.ID, i, len(chunks), chunks[i]); got != want {
+			t.Fatalf("chunk %d: status %d, want %d", i, got, want)
+		}
+	}
+	data, ok := srv.Store().Get(CollCaptures, c.ID)
+	if !ok {
+		t.Fatal("capture not stored")
+	}
+	if !bytes.Equal(data, archive) {
+		t.Error("out-of-order reassembly corrupted the archive")
+	}
+	if srv.PendingUploads() != 0 {
+		t.Errorf("pending uploads = %d after completion", srv.PendingUploads())
+	}
+}
+
+func TestDuplicateChunkIndex(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c := testCapture(t)
+	archive, err := EncodeCapture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunksOf(archive, 3)
+	total := len(chunks)
+	if got := postChunk(t, ts, c.ID, 0, total, chunks[0]); got != http.StatusAccepted {
+		t.Fatalf("chunk 0: status %d", got)
+	}
+	// Re-send chunk 0 (retry after a lost ACK): must stay Accepted, must
+	// not advance completion, and the duplicate must be counted.
+	if got := postChunk(t, ts, c.ID, 0, total, chunks[0]); got != http.StatusAccepted {
+		t.Fatalf("duplicate chunk 0: status %d", got)
+	}
+	if srv.Metrics().Counter("uploads.chunks_duplicate").Value() != 1 {
+		t.Error("duplicate chunk not counted")
+	}
+	for i := 1; i < total; i++ {
+		want := http.StatusAccepted
+		if i == total-1 {
+			want = http.StatusCreated
+		}
+		if got := postChunk(t, ts, c.ID, i, total, chunks[i]); got != want {
+			t.Fatalf("chunk %d: status %d, want %d", i, got, want)
+		}
+	}
+	data, ok := srv.Store().Get(CollCaptures, c.ID)
+	if !ok {
+		t.Fatal("capture not stored")
+	}
+	if !bytes.Equal(data, archive) {
+		t.Error("duplicate chunk corrupted reassembly")
+	}
+}
+
+func TestChunkTotalMismatchConflict(t *testing.T) {
+	_, ts := newTestServer(t)
+	if got := postChunk(t, ts, "cap", 0, 3, []byte("a")); got != http.StatusAccepted {
+		t.Fatalf("first chunk: status %d", got)
+	}
+	// Same upload id, different total: protocol violation → 409.
+	if got := postChunk(t, ts, "cap", 1, 5, []byte("b")); got != http.StatusConflict {
+		t.Errorf("total mismatch: status %d, want %d", got, http.StatusConflict)
+	}
+}
+
+func TestOversizeChunkRejected(t *testing.T) {
+	srv, ts := newTestServer(t)
+	big := make([]byte, ChunkSize+1)
+	got := postChunk(t, ts, "big", 0, 2, big)
+	// MaxBytesReader may cut the read (400) or the size check may fire
+	// (413); either way the chunk must not be admitted.
+	if got != http.StatusRequestEntityTooLarge && got != http.StatusBadRequest {
+		t.Errorf("oversize chunk: status %d", got)
+	}
+	if srv.PendingUploads() != 0 {
+		t.Errorf("oversize chunk left %d pending uploads", srv.PendingUploads())
+	}
+}
+
+func TestUploadThenDownloadRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := testCapture(t)
+	archive, err := EncodeCapture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunksOf(archive, 5)
+	for i, ch := range chunks {
+		postChunk(t, ts, c.ID, i, len(chunks), ch)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/captures/" + c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCapture(buf.Bytes())
+	if err != nil {
+		t.Fatalf("downloaded archive does not decode: %v", err)
+	}
+	if got.ID != c.ID || len(got.Frames) != len(c.Frames) || len(got.IMU) != len(c.IMU) {
+		t.Error("download round trip lost data")
+	}
+}
+
+// TestPendingUploadCap is the regression test for the pending-upload leak:
+// on the seed code abandoned uploads accumulated forever and no cap
+// existed, so the N+1th concurrent upload was accepted.
+func TestPendingUploadCap(t *testing.T) {
+	srv, err := New(store.New(), WithPendingLimits(2, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	// Two incomplete uploads fill the cap.
+	for _, id := range []string{"u1", "u2"} {
+		if got := postChunk(t, ts, id, 0, 2, []byte("x")); got != http.StatusAccepted {
+			t.Fatalf("%s: status %d", id, got)
+		}
+	}
+	if got := postChunk(t, ts, "u3", 0, 2, []byte("x")); got != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap upload: status %d, want %d", got, http.StatusServiceUnavailable)
+	}
+	if srv.PendingUploads() != 2 {
+		t.Errorf("pending = %d, want 2", srv.PendingUploads())
+	}
+	if srv.Metrics().Counter("uploads.rejected_capacity").Value() != 1 {
+		t.Error("capacity rejection not counted")
+	}
+	// A chunk for an upload already assembling passes the cap: it makes
+	// forward progress, not a new pending entry.
+	if got := postChunk(t, ts, "u1", 1, 2, []byte("y")); got == http.StatusServiceUnavailable {
+		t.Error("in-flight upload rejected by cap")
+	}
+}
+
+// TestStaleUploadEviction: abandoned uploads are evicted once idle past the
+// TTL, freeing their memory and cap slot. Fails on the seed code (no
+// eviction existed).
+func TestStaleUploadEviction(t *testing.T) {
+	srv, err := New(store.New(), WithPendingLimits(8, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	srv.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if got := postChunk(t, ts, "abandoned", 0, 2, []byte("x")); got != http.StatusAccepted {
+		t.Fatalf("status %d", got)
+	}
+	if srv.PendingUploads() != 1 {
+		t.Fatalf("pending = %d", srv.PendingUploads())
+	}
+	// Time passes beyond the TTL; the next new upload sweeps the stale one.
+	clock = clock.Add(2 * time.Minute)
+	if got := postChunk(t, ts, "fresh", 0, 2, []byte("x")); got != http.StatusAccepted {
+		t.Fatalf("status %d", got)
+	}
+	if srv.PendingUploads() != 1 {
+		t.Errorf("pending = %d after eviction, want 1 (fresh only)", srv.PendingUploads())
+	}
+	if srv.Metrics().Counter("uploads.evicted_stale").Value() != 1 {
+		t.Error("stale eviction not counted")
+	}
+	// The abandoned upload restarts from scratch: its old chunk is gone, so
+	// a late second chunk re-registers as a new 1-chunk-of-2 upload, not a
+	// completion.
+	if got := postChunk(t, ts, "abandoned", 1, 2, []byte("y")); got != http.StatusAccepted {
+		t.Errorf("late chunk after eviction: status %d, want %d", got, http.StatusAccepted)
+	}
+	if srv.PendingUploads() != 2 {
+		t.Errorf("pending = %d, want 2", srv.PendingUploads())
+	}
+}
+
+// TestMetricsEndpoint drives an upload and a pipeline job through a server
+// whose registry is shared with the queue and the data-parallel layer, then
+// asserts GET /metrics reports the movement of every involved counter —
+// the acceptance test for the observability layer.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.New()
+	srv, err := New(store.New(), WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// 1. Upload a capture in chunks (HTTP route + upload counters).
+	c := testCapture(t)
+	archive, err := EncodeCapture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunksOf(archive, 3)
+	for i, ch := range chunks {
+		postChunk(t, ts, c.ID, i, len(chunks), ch)
+	}
+	// 2. Run a backend job on a scheduler sharing the registry; the job
+	// fans out over the data-parallel pipeline layer with the registry on
+	// its context.
+	sched, err := queue.New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.SetObs(reg)
+	ctx := obs.NewContext(context.Background(), reg)
+	if err := sched.Submit(queue.Job{ID: "fanout", Run: func(context.Context) error {
+		return pipeline.Map(ctx, 8, 2, func(context.Context, int) error { return nil })
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	sched.Close()
+	for r := range sched.Results() {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.ID, r.Err)
+		}
+	}
+
+	// 3. Read /metrics and assert every layer reported.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics endpoint not JSON: %v", err)
+	}
+	if got := snap.Counters["http.captures.chunks.requests"]; got != int64(len(chunks)) {
+		t.Errorf("chunk route requests = %d, want %d", got, len(chunks))
+	}
+	if got := snap.Counters["http.captures.chunks.status.2xx"]; got != int64(len(chunks)) {
+		t.Errorf("chunk route 2xx = %d, want %d", got, len(chunks))
+	}
+	if h := snap.Histograms["http.captures.chunks.seconds"]; h.Count != int64(len(chunks)) {
+		t.Errorf("chunk route latency samples = %d, want %d", h.Count, len(chunks))
+	}
+	if got := snap.Counters["http.captures.chunks.bytes_in"]; got != int64(len(archive)) {
+		t.Errorf("bytes_in = %d, want %d", got, len(archive))
+	}
+	if snap.Counters["uploads.started"] != 1 || snap.Counters["uploads.completed"] != 1 {
+		t.Errorf("upload lifecycle: started=%d completed=%d",
+			snap.Counters["uploads.started"], snap.Counters["uploads.completed"])
+	}
+	if snap.Counters["queue.jobs.processed"] != 1 {
+		t.Errorf("queue jobs processed = %d", snap.Counters["queue.jobs.processed"])
+	}
+	if h := snap.Histograms["queue.run.seconds"]; h.Count != 1 {
+		t.Errorf("queue run samples = %d", h.Count)
+	}
+	if snap.Counters["pipeline.items"] != 8 {
+		t.Errorf("pipeline items = %d, want 8", snap.Counters["pipeline.items"])
+	}
+}
+
+// TestReconstructMetricsOnSharedRegistry confirms that a library user can
+// point Config.Metrics at the server's registry and see per-stage pipeline
+// timings beside the HTTP metrics — without running a full reconstruction
+// here, the stage-timer contract is what /metrics consumers rely on.
+func TestMetricsEndpointIncludesStages(t *testing.T) {
+	reg := obs.New()
+	srv, err := New(store.New(), WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	done := obs.Stage(reg, "keyframe.extract")
+	done()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if h := snap.Histograms["stage.keyframe.extract.seconds"]; h.Count != 1 {
+		t.Errorf("stage histogram missing from /metrics: %+v", snap.Histograms)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
 )
 
 // Collections in the backing store.
@@ -22,29 +24,122 @@ const (
 // chunks for transmission.
 const ChunkSize = 5 << 20
 
+// Pending-upload hygiene defaults: a phone that starts a chunked upload and
+// walks out of coverage must not pin its partial archive in memory forever,
+// and a flood of half-finished uploads must not grow the pending map without
+// bound.
+const (
+	// DefaultMaxPending caps concurrently assembling uploads.
+	DefaultMaxPending = 256
+	// DefaultUploadTTL evicts uploads idle for this long.
+	DefaultUploadTTL = 10 * time.Minute
+)
+
 // Server is the HTTP ingestion frontend. It is safe for concurrent use.
 type Server struct {
 	store *store.Store
+	obs   *obs.Registry
+	now   func() time.Time // injectable clock for eviction tests
+
+	maxPending int
+	uploadTTL  time.Duration
 
 	mu      sync.Mutex
 	pending map[string]*pendingUpload
 }
 
 type pendingUpload struct {
-	total  int
-	chunks map[int][]byte
+	total    int
+	chunks   map[int][]byte
+	lastSeen time.Time
 }
 
-// New builds a server over the given document store.
-func New(st *store.Store) (*Server, error) {
+// add records one chunk and, when the upload is complete, returns the
+// archive assembled in index order. Caller holds the server lock.
+func (up *pendingUpload) add(index int, data []byte) (assembled []byte, complete bool) {
+	up.chunks[index] = data
+	if len(up.chunks) != up.total {
+		return nil, false
+	}
+	indices := make([]int, 0, len(up.chunks))
+	for i := range up.chunks {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	for _, i := range indices {
+		assembled = append(assembled, up.chunks[i]...)
+	}
+	return assembled, true
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithObs attaches a metrics registry: every route is then instrumented
+// (http.<route>.* counters and latencies) and upload lifecycle events are
+// counted (uploads.started/completed/evicted_stale/rejected_capacity). The
+// same registry is served at GET /metrics.
+func WithObs(r *obs.Registry) Option { return func(s *Server) { s.obs = r } }
+
+// WithPendingLimits overrides the pending-upload cap and idle TTL. A
+// non-positive maxPending or ttl keeps the corresponding default.
+func WithPendingLimits(maxPending int, ttl time.Duration) Option {
+	return func(s *Server) {
+		if maxPending > 0 {
+			s.maxPending = maxPending
+		}
+		if ttl > 0 {
+			s.uploadTTL = ttl
+		}
+	}
+}
+
+// New builds a server over the given document store. Without options the
+// server uses a private metrics registry and the default pending limits.
+func New(st *store.Store, opts ...Option) (*Server, error) {
 	if st == nil {
 		return nil, fmt.Errorf("server: nil store")
 	}
-	return &Server{store: st, pending: make(map[string]*pendingUpload)}, nil
+	s := &Server{
+		store:      st,
+		now:        time.Now,
+		maxPending: DefaultMaxPending,
+		uploadTTL:  DefaultUploadTTL,
+		pending:    make(map[string]*pendingUpload),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.obs == nil {
+		s.obs = obs.New()
+	}
+	return s, nil
 }
 
 // Store exposes the backing store (the processing pipeline reads from it).
 func (s *Server) Store() *store.Store { return s.store }
+
+// Metrics exposes the server's registry so the reconstruction pipeline can
+// share it (one /metrics endpoint covering ingestion and processing).
+func (s *Server) Metrics() *obs.Registry { return s.obs }
+
+// PendingUploads reports the number of partially assembled uploads.
+func (s *Server) PendingUploads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// evictStaleLocked drops pending uploads idle past the TTL. Caller holds
+// the server lock.
+func (s *Server) evictStaleLocked(now time.Time) {
+	for id, up := range s.pending {
+		if now.Sub(up.lastSeen) > s.uploadTTL {
+			delete(s.pending, id)
+			s.obs.Counter("uploads.evicted_stale").Inc()
+		}
+	}
+}
 
 // Handler returns the HTTP mux:
 //
@@ -53,15 +148,23 @@ func (s *Server) Store() *store.Store { return s.store }
 //	GET  /api/v1/captures/{id}                         — download archive
 //	PUT  /api/v1/plans/{building}                      — store a plan SVG
 //	GET  /api/v1/plans/{building}                      — download plan SVG
+//	GET  /metrics                                      — metrics snapshot (JSON)
 //	GET  /healthz                                      — liveness
+//
+// Every route is wrapped in the metrics middleware (request counts, status
+// classes, latency, bytes in/out) under http.<route>.*.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/captures/{id}/chunks", s.handleChunk)
-	mux.HandleFunc("GET /api/v1/captures", s.handleListCaptures)
-	mux.HandleFunc("GET /api/v1/captures/{id}", s.handleGetCapture)
-	mux.HandleFunc("PUT /api/v1/plans/{building}", s.handlePutPlan)
-	mux.HandleFunc("GET /api/v1/plans/{building}", s.handleGetPlan)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Middleware(s.obs, name, h))
+	}
+	route("POST /api/v1/captures/{id}/chunks", "captures.chunks", s.handleChunk)
+	route("GET /api/v1/captures", "captures.list", s.handleListCaptures)
+	route("GET /api/v1/captures/{id}", "captures.get", s.handleGetCapture)
+	route("PUT /api/v1/plans/{building}", "plans.put", s.handlePutPlan)
+	route("GET /api/v1/plans/{building}", "plans.get", s.handleGetPlan)
+	mux.Handle("GET /metrics", obs.Handler(s.obs))
+	route("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
@@ -92,32 +195,38 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "chunk exceeds limit", http.StatusRequestEntityTooLarge)
 		return
 	}
+	now := s.now()
 	s.mu.Lock()
 	up, ok := s.pending[id]
 	if !ok {
+		// New upload: make room first (lazy stale sweep), then enforce the
+		// cap so abandoned uploads cannot exhaust the pending map.
+		s.evictStaleLocked(now)
+		if len(s.pending) >= s.maxPending {
+			s.mu.Unlock()
+			s.obs.Counter("uploads.rejected_capacity").Inc()
+			http.Error(w, "too many pending uploads", http.StatusServiceUnavailable)
+			return
+		}
 		up = &pendingUpload{total: total, chunks: make(map[int][]byte)}
 		s.pending[id] = up
+		s.obs.Counter("uploads.started").Inc()
 	}
 	if up.total != total {
 		s.mu.Unlock()
 		http.Error(w, "chunk total mismatch", http.StatusConflict)
 		return
 	}
-	up.chunks[index] = append([]byte(nil), buf.Bytes()...)
-	complete := len(up.chunks) == up.total
-	var assembled []byte
+	up.lastSeen = now
+	if _, dup := up.chunks[index]; dup {
+		s.obs.Counter("uploads.chunks_duplicate").Inc()
+	}
+	assembled, complete := up.add(index, append([]byte(nil), buf.Bytes()...))
 	if complete {
-		indices := make([]int, 0, len(up.chunks))
-		for i := range up.chunks {
-			indices = append(indices, i)
-		}
-		sort.Ints(indices)
-		for _, i := range indices {
-			assembled = append(assembled, up.chunks[i]...)
-		}
 		delete(s.pending, id)
 	}
 	s.mu.Unlock()
+	s.obs.Counter("uploads.chunks").Inc()
 
 	if !complete {
 		w.WriteHeader(http.StatusAccepted)
@@ -127,6 +236,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	// Validate before storing: a malformed archive is rejected here, the
 	// first layer of the paper's "divide and conquer" data filtering.
 	if _, err := DecodeCapture(assembled); err != nil {
+		s.obs.Counter("uploads.invalid").Inc()
 		http.Error(w, "invalid capture archive: "+err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -134,6 +244,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.obs.Counter("uploads.completed").Inc()
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, `{"stored":%q,"bytes":%d}`+"\n", id, len(assembled))
 }

@@ -25,6 +25,11 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
+	// Obs, when non-nil, accumulates pipeline metrics (stage timings,
+	// key-frame and comparison counters) across every reconstruction the
+	// suite runs, so the harness can report where the cloud pipeline
+	// spends its time alongside P/R/F.
+	Obs *crowdmap.MetricsRegistry
 }
 
 // DefaultOptions runs the full-size experiments.
@@ -81,6 +86,7 @@ func (s *Suite) spec(b *world.Building, seed int64) crowdmap.DatasetSpec {
 func (s *Suite) config() crowdmap.Config {
 	cfg := crowdmap.DefaultConfig()
 	cfg.Workers = s.Opts.Workers
+	cfg.Metrics = s.Opts.Obs
 	cfg.ReleaseFrames = true
 	if s.Opts.Quick {
 		cfg.Layout.Hypotheses = 4000

@@ -12,6 +12,7 @@ import (
 	"crowdmap/internal/crowd"
 	"crowdmap/internal/geom"
 	"crowdmap/internal/img"
+	"crowdmap/internal/obs"
 	"crowdmap/internal/sensor"
 	"crowdmap/internal/trajectory"
 	"crowdmap/internal/vision/histogram"
@@ -70,6 +71,11 @@ type Params struct {
 	SURF    surf.Params
 	// HistBins is the per-channel color histogram resolution.
 	HistBins int
+
+	// Obs, when non-nil, receives selection and comparison counters
+	// (keyframe.frames/kept/dropped, compare.s1.*, compare.s2.*). A nil
+	// registry is a no-op; the field does not affect behavior.
+	Obs *obs.Registry
 }
 
 // DefaultParams returns the tuning used across the evaluation.
@@ -192,6 +198,9 @@ func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, e
 			}
 		}
 	}
+	p.Obs.Counter("keyframe.frames").Add(int64(len(c.Frames)))
+	p.Obs.Counter("keyframe.kept").Add(int64(len(kfs)))
+	p.Obs.Counter("keyframe.dropped").Add(int64(len(c.Frames) - len(kfs)))
 	return kfs, traj, nil
 }
 
@@ -239,6 +248,7 @@ func Stage1(a, b *KeyFrame, p Params) (float64, error) {
 // when stage 1 already rejected the pair — the cheap-reject path that makes
 // the pipeline scale).
 func Compare(a, b *KeyFrame, p Params) (bool, float64, error) {
+	p.Obs.Counter("compare.s1.evaluated").Inc()
 	s1, err := Stage1(a, b, p)
 	if err != nil {
 		return false, 0, err
@@ -246,12 +256,18 @@ func Compare(a, b *KeyFrame, p Params) (bool, float64, error) {
 	if s1 < p.HS {
 		return false, 0, nil
 	}
+	p.Obs.Counter("compare.s1.passed").Inc()
 	if len(a.SURF) == 0 || len(b.SURF) == 0 {
 		return false, 0, nil
 	}
+	p.Obs.Counter("compare.s2.evaluated").Inc()
 	s2, err := surf.Similarity(a.SURF, b.SURF, p.HD)
 	if err != nil {
 		return false, 0, err
 	}
-	return s2 > p.HF, s2, nil
+	same := s2 > p.HF
+	if same {
+		p.Obs.Counter("compare.s2.passed").Inc()
+	}
+	return same, s2, nil
 }

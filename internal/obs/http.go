@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status and body size written by a
+// wrapped handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// countingReader counts bytes drained from a request body.
+type countingReader struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+// statusClass buckets an HTTP status into "2xx", "4xx", ...
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Middleware instruments one HTTP route: per-route request count, status
+// class counts, latency histogram and bytes in/out, under the names
+//
+//	http.<route>.requests
+//	http.<route>.status.<class>
+//	http.<route>.seconds
+//	http.<route>.bytes_in / http.<route>.bytes_out
+//
+// A nil registry yields the handler unchanged.
+func Middleware(r *Registry, route string, next http.Handler) http.Handler {
+	if r == nil {
+		return next
+	}
+	prefix := "http." + route
+	requests := r.Counter(prefix + ".requests")
+	latency := r.Histogram(prefix + ".seconds")
+	bytesIn := r.Counter(prefix + ".bytes_in")
+	bytesOut := r.Counter(prefix + ".bytes_out")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		cr := &countingReader{rc: req.Body}
+		req.Body = cr
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, req)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		latency.Observe(time.Since(start).Seconds())
+		bytesIn.Add(cr.n)
+		bytesOut.Add(rec.bytes)
+		r.Counter(prefix + ".status." + statusClass(rec.status)).Inc()
+	})
+}
+
+// Handler serves the registry as an indented JSON snapshot — the GET
+// /metrics endpoint of the cloud server.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

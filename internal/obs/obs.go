@@ -1,0 +1,426 @@
+// Package obs is CrowdMap's observability layer: a dependency-free metrics
+// registry (atomic counters, gauges and bounded histograms with
+// snapshot/reset) plus a stage-timer API used to instrument the
+// reconstruction pipeline and the cloud frontend. The paper's cloud backend
+// (Section IV) processes heavy crowdsourced upload traffic through a chain
+// of filtering stages; obs makes each stage's throughput, drop rate and
+// latency visible without pulling in an external metrics stack.
+//
+// All types are safe for concurrent use. Every accessor is nil-receiver
+// safe: instrumented code can hold a nil *Registry and every Add/Observe
+// lands in a shared discard instrument, so "metrics off" costs one nil
+// check and never forces call sites to branch.
+//
+// Naming scheme (dotted, lowercase):
+//
+//	stage.<name>.seconds      histogram of stage durations (obs.Stage)
+//	stage.<name>.calls        counter of stage invocations
+//	http.<route>.requests     counter per HTTP route
+//	http.<route>.status.2xx   counter per status class
+//	http.<route>.seconds      request latency histogram
+//	http.<route>.bytes_in/out request/response byte counters
+//	<subsystem>.<event>       plain event counters (keyframe.kept, ...)
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters are
+// monotone; use a Gauge for values that go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the fixed bucket count of every histogram: powers of two
+// spanning [2^minExp, 2^(minExp+histBuckets-2)) with an underflow bucket at
+// index 0 and an implicit overflow in the last bucket. With minExp = -20
+// the usable range is ~1 µs to ~70 min — wide enough for both key-frame
+// comparisons and full reconstruction runs — in a fixed 48×8 bytes.
+const (
+	histBuckets = 48
+	histMinExp  = -20
+)
+
+// Histogram is a bounded log₂-bucketed histogram of non-negative samples.
+// Memory is constant regardless of sample count.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits; valid when count > 0
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a sample to its bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	e := int(math.Ceil(math.Log2(v)))
+	idx := e - histMinExp + 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper edge of bucket idx.
+func bucketUpper(idx int) float64 {
+	if idx == 0 {
+		return math.Pow(2, histMinExp)
+	}
+	return math.Pow(2, float64(idx-1+histMinExp))
+}
+
+// Observe records one sample. Negative and NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	casFloat(&h.minBits, v, func(cur, s float64) bool { return s < cur })
+	casFloat(&h.maxBits, v, func(cur, s float64) bool { return s > cur })
+}
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// casFloat atomically replaces the stored float when better(current, v).
+// The zero bit pattern is treated as unset (first sample always wins); a
+// genuine 0.0 sample is indistinguishable from unset, which only biases a
+// reported min upward by at most one zero-duration sample.
+func casFloat(bits *atomic.Uint64, v float64, better func(cur, sample float64) bool) {
+	nw := math.Float64bits(v)
+	for {
+		old := bits.Load()
+		if old != 0 && !better(math.Float64frombits(old), v) {
+			return
+		}
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time histogram summary.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// P50/P90/P99 are bucket-resolution quantile estimates (each reported
+	// as its bucket's upper edge, so at most 2× the true value).
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. The reset flag also zeroes it (used by
+// Registry.Reset; a concurrent Observe during reset may land in either
+// epoch).
+func (h *Histogram) snapshot(reset bool) HistSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{
+		Count: total,
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	if total > 0 {
+		s.Mean = s.Sum / float64(total)
+		s.P50 = quantile(counts[:], total, 0.50)
+		s.P90 = quantile(counts[:], total, 0.90)
+		s.P99 = quantile(counts[:], total, 0.99)
+	}
+	if reset {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sumBits.Store(0)
+		h.minBits.Store(0)
+		h.maxBits.Store(0)
+	}
+	return s
+}
+
+// Snapshot summarizes the histogram without resetting it.
+func (h *Histogram) Snapshot() HistSnapshot { return h.snapshot(false) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// quantile returns the upper edge of the bucket holding the q-quantile.
+func quantile(counts []int64, total int64, q float64) float64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(counts) - 1)
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; call New. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// discard instruments absorb writes aimed at a nil registry.
+var (
+	discardCounter Counter
+	discardGauge   Gauge
+	discardHist    Histogram
+)
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &discardCounter
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &discardGauge
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &discardHist
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time JSON-serializable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument. Instruments created during the walk
+// may or may not appear; each included value is individually consistent.
+func (r *Registry) Snapshot() Snapshot { return r.snapshot(false) }
+
+// Reset captures and zeroes every instrument, returning the pre-reset view.
+func (r *Registry) Reset() Snapshot { return r.snapshot(true) }
+
+func (r *Registry) snapshot(reset bool) Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+		if reset {
+			c.v.Store(0)
+		}
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+		if reset {
+			g.bits.Store(0)
+		}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot(reset)
+	}
+	return s
+}
+
+// Names returns every instrument name, sorted (diagnostics/tests).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stage starts a pipeline-stage timer: it increments stage.<name>.calls and
+// returns a func that records the elapsed time into stage.<name>.seconds.
+// Use as:
+//
+//	defer obs.Stage(reg, "keyframe.extract")()
+func Stage(r *Registry, name string) func() {
+	r.Counter("stage." + name + ".calls").Inc()
+	h := r.Histogram("stage." + name + ".seconds")
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// StageNames extracts the stage names present in a snapshot, sorted —
+// convenient for compact reporting.
+func (s Snapshot) StageNames() []string {
+	var out []string
+	for name := range s.Histograms {
+		if len(name) > len("stage.")+len(".seconds") &&
+			name[:len("stage.")] == "stage." &&
+			name[len(name)-len(".seconds"):] == ".seconds" {
+			out = append(out, name[len("stage."):len(name)-len(".seconds")])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StageSummary renders one stage's timing as a compact line, or "" when the
+// stage is absent.
+func (s Snapshot) StageSummary(name string) string {
+	h, ok := s.Histograms["stage."+name+".seconds"]
+	if !ok || h.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s: n=%d total=%.3fs mean=%.3fs max=%.3fs", name, h.Count, h.Sum, h.Mean, h.Max)
+}
+
+// ctxKey is the context key type for registry plumbing.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the registry; pipeline primitives
+// retrieve it with FromContext so deep call chains need no signature
+// changes.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the registry attached to ctx, or nil (a valid no-op
+// sink) when absent.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

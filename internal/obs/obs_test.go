@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	r.Gauge("g").Set(3.5)
+	if got := r.Gauge("g").Value(); got != 3.5 {
+		t.Errorf("gauge = %v", got)
+	}
+	r.Gauge("g").Set(-1.25)
+	if got := r.Gauge("g").Value(); got != -1.25 {
+		t.Errorf("gauge after reset = %v", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.008, 1.0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-1.015) > 1e-12 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	if s.Min != 0.001 || s.Max != 1.0 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Bucket-resolution quantiles: within 2x of the true value, monotone.
+	if s.P50 < 0.002 || s.P50 > 0.008 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 1.0 || s.P99 > 2.0 {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not monotone: %v %v %v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramRejectsBadSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(-1)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Errorf("bad samples recorded: count = %d", h.Count())
+	}
+	h.Observe(0) // zero is valid (instantaneous stage)
+	if h.Count() != 1 {
+		t.Errorf("zero sample dropped")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(seed+1) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	want := 0.0
+	for w := 0; w < workers; w++ {
+		want += float64(w+1) * 0.001 * perWorker
+	}
+	if math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+	if s.Min != 0.001 || s.Max != 0.008 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(0.5)
+	s := r.Reset()
+	if s.Counters["c"] != 7 || s.Gauges["g"] != 2 || s.Histograms["h"].Count != 1 {
+		t.Errorf("pre-reset snapshot wrong: %+v", s)
+	}
+	after := r.Snapshot()
+	if after.Counters["c"] != 0 || after.Histograms["h"].Count != 0 {
+		t.Errorf("reset did not zero: %+v", after)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	done := Stage(r, "nothing")
+	done()
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry produced snapshot %+v", s)
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+func TestStageTimer(t *testing.T) {
+	r := New()
+	done := Stage(r, "demo")
+	time.Sleep(2 * time.Millisecond)
+	done()
+	s := r.Snapshot()
+	if s.Counters["stage.demo.calls"] != 1 {
+		t.Errorf("calls = %d", s.Counters["stage.demo.calls"])
+	}
+	h := s.Histograms["stage.demo.seconds"]
+	if h.Count != 1 || h.Sum <= 0 {
+		t.Errorf("histogram = %+v", h)
+	}
+	names := s.StageNames()
+	if len(names) != 1 || names[0] != "demo" {
+		t.Errorf("stage names = %v", names)
+	}
+	if sum := s.StageSummary("demo"); !strings.Contains(sum, "demo: n=1") {
+		t.Errorf("summary = %q", sum)
+	}
+	if s.StageSummary("absent") != "" {
+		t.Error("absent stage has a summary")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Error("registry lost in context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context yields registry")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil-safety contract
+		t.Error("nil context yields registry")
+	}
+}
+
+func TestMiddlewareRecords(t *testing.T) {
+	r := New()
+	h := Middleware(r, "echo", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body := make([]byte, 4)
+		n, _ := req.Body.Read(body)
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write(body[:n])
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/x", strings.NewReader("data")))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	s := r.Snapshot()
+	if s.Counters["http.echo.requests"] != 1 {
+		t.Errorf("requests = %d", s.Counters["http.echo.requests"])
+	}
+	if s.Counters["http.echo.status.2xx"] != 1 {
+		t.Errorf("2xx = %d", s.Counters["http.echo.status.2xx"])
+	}
+	if s.Counters["http.echo.bytes_in"] != 4 || s.Counters["http.echo.bytes_out"] != 4 {
+		t.Errorf("bytes in/out = %d/%d", s.Counters["http.echo.bytes_in"], s.Counters["http.echo.bytes_out"])
+	}
+	if s.Histograms["http.echo.seconds"].Count != 1 {
+		t.Errorf("latency count = %d", s.Histograms["http.echo.seconds"].Count)
+	}
+}
+
+func TestMiddlewareStatusClasses(t *testing.T) {
+	r := New()
+	for _, code := range []int{200, 301, 404, 500} {
+		code := code
+		h := Middleware(r, "multi", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(code)
+		}))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	}
+	// Implicit 200: handler writes nothing.
+	h := Middleware(r, "multi", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	s := r.Snapshot()
+	for class, want := range map[string]int64{"2xx": 2, "3xx": 1, "4xx": 1, "5xx": 1} {
+		if got := s.Counters["http.multi.status."+class]; got != want {
+			t.Errorf("%s = %d, want %d", class, got, want)
+		}
+	}
+}
+
+func TestMiddlewareNilRegistryPassThrough(t *testing.T) {
+	base := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(204) })
+	h := Middleware(nil, "x", base)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != 204 {
+		t.Errorf("pass-through status = %d", rec.Code)
+	}
+}
+
+func TestMetricsHandlerJSON(t *testing.T) {
+	r := New()
+	r.Counter("uploads.completed").Add(3)
+	r.Histogram("stage.demo.seconds").Observe(0.25)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["uploads.completed"] != 3 {
+		t.Errorf("counter round-trip = %d", snap.Counters["uploads.completed"])
+	}
+	if snap.Histograms["stage.demo.seconds"].Count != 1 {
+		t.Errorf("hist round-trip = %+v", snap.Histograms["stage.demo.seconds"])
+	}
+}
+
+func TestBucketEdges(t *testing.T) {
+	// Samples at a bucket's upper edge land in that bucket (Log2 exact).
+	for _, v := range []float64{1e-9, 1e-6, 0.001, 1, 1000, 1e9} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Errorf("bucketIndex(%v) = %d out of range", v, idx)
+		}
+		if v <= bucketUpper(idx)/2 && idx > 0 && idx < histBuckets-1 {
+			t.Errorf("bucketIndex(%v) = %d: upper edge %v too loose", v, idx, bucketUpper(idx))
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package crowdmap
+
+// raceEnabled reports that this test binary was built with -race. The
+// golden accuracy gate runs the pipeline sequentially (Workers=1) for
+// reproducibility, so it adds no race coverage while costing minutes under
+// the detector; it skips itself when this flag is set. Concurrency paths
+// stay covered under -race by TestEndToEndLab2 and the package tests.
+const raceEnabled = true

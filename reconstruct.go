@@ -13,6 +13,7 @@ import (
 	"crowdmap/internal/keyframe"
 	"crowdmap/internal/layout"
 	"crowdmap/internal/mathx"
+	"crowdmap/internal/obs"
 	"crowdmap/internal/vision/pano"
 	"crowdmap/internal/world"
 )
@@ -32,6 +33,12 @@ type Result struct {
 	// RoomFailures records captures whose room reconstruction failed and
 	// why (unplaced track, inadmissible panorama, layout failure).
 	RoomFailures map[string]error
+	// Metrics is the pipeline's final metrics snapshot: per-stage timings
+	// (stage.*.seconds), key-frame keep/drop counts, hierarchical
+	// comparison pass rates (compare.s1/s2), aggregation decisions and
+	// placement counts. When Config.Metrics supplied a shared registry the
+	// snapshot includes whatever else that registry accumulated.
+	Metrics MetricsSnapshot
 }
 
 // Reconstruct runs the complete CrowdMap cloud pipeline over a capture
@@ -45,9 +52,23 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 	if len(captures) == 0 {
 		return nil, fmt.Errorf("crowdmap: no captures")
 	}
-	ctx := context.Background()
+	// Metrics: use the caller's registry when provided so stage timings
+	// appear on a shared /metrics endpoint; fall back to a private one.
+	// Instrumented subsystems receive it via their Params (keyframe,
+	// aggregate) or via the context (pipeline.Map).
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
+	cfg.Keyframe.Obs = reg
+	cfg.Aggregate.KF.Obs = reg
+	ctx := obs.NewContext(context.Background(), reg)
+	reg.Counter("reconstruct.runs").Inc()
+	reg.Counter("reconstruct.captures").Add(int64(len(captures)))
+	totalDone := obs.Stage(reg, "reconstruct.total")
 
 	// Stage 1: per-capture key-frame extraction (embarrassingly parallel).
+	extractDone := obs.Stage(reg, "keyframe.extract")
 	tracks := make([]*Track, len(captures))
 	err := pipeline.Map(ctx, len(captures), cfg.Workers, func(_ context.Context, i int) error {
 		kfs, traj, err := extractTrack(captures[i], cfg)
@@ -68,23 +89,31 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	extractDone()
 
 	// Stage 2: all-pairs aggregation, parallelized like the paper's Spark
 	// stage, memoized and then replayed through the sequential graph
 	// builder.
+	aggDone := obs.Stage(reg, "aggregate")
 	agg, err := ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
+	aggDone()
+	reg.Counter("aggregate.matches").Add(int64(len(agg.Matches)))
+	reg.Counter("aggregate.rejected").Add(int64(len(agg.Rejected)))
+	reg.Counter("aggregate.tracks.placed").Add(int64(len(agg.Offsets)))
 
 	// Stage 3: hallway skeleton from placed trajectories, with per-track
 	// drift calibrated against anchor evidence (the paper's "calibrate the
 	// drift error residing in the trajectories").
+	skelDone := obs.Stage(reg, "skeleton")
 	global := agg.DriftCorrected(tracks, cfg.Aggregate.Epsilon)
 	mask, shape, err := floorplan.BuildSkeleton(global, cfg.Skeleton)
 	if err != nil {
 		return nil, fmt.Errorf("crowdmap: skeleton: %w", err)
 	}
+	skelDone()
 
 	// Stage 4: room reconstruction for placed SRS/Visit captures.
 	res := &Result{
@@ -99,28 +128,35 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 			roomIdx = append(roomIdx, i)
 		}
 	}
+	roomsDone := obs.Stage(reg, "rooms")
 	err = pipeline.Map(ctx, len(roomIdx), cfg.Workers, func(_ context.Context, k int) error {
 		i := roomIdx[k]
-		obs, rerr := reconstructRoom(captures[i], i, tracks[i], agg, cfg)
+		ob, rerr := reconstructRoom(captures[i], i, tracks[i], agg, cfg)
 		mu.Lock()
 		defer mu.Unlock()
 		if rerr != nil {
 			res.RoomFailures[captures[i].ID] = rerr
 			return nil // room failures degrade the plan, not the run
 		}
-		res.RoomObservations = append(res.RoomObservations, obs)
+		res.RoomObservations = append(res.RoomObservations, ob)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	roomsDone()
+	reg.Counter("rooms.observed").Add(int64(len(res.RoomObservations)))
+	reg.Counter("rooms.failed").Add(int64(len(res.RoomFailures)))
 
 	// Stage 5: deduplicate room observations and place them.
+	placeDone := obs.Stage(reg, "place")
 	placedObs := dedupRooms(res.RoomObservations, cfg.RoomMergeRadius)
 	rooms, err := floorplan.PlaceRooms(placedObs, mask, cfg.ForceDir)
 	if err != nil {
 		return nil, fmt.Errorf("crowdmap: room placement: %w", err)
 	}
+	placeDone()
+	reg.Counter("rooms.placed").Add(int64(len(rooms)))
 
 	res.Plan = &floorplan.Plan{
 		Building:     captures[0].Geo.Building,
@@ -129,6 +165,8 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 		Rooms:        rooms,
 		Trajectories: global,
 	}
+	totalDone()
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, vet, race-detector tests, fuzz seed corpora.
+#
+#   scripts/ci.sh          # full gate (race tests include the e2e pipeline)
+#   scripts/ci.sh -short   # quick gate: skips the expensive e2e runs
+#
+# Extra arguments are passed through to `go test`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race "$@" ./...
+
+# Fuzz targets replay their committed seed corpora as part of go test; run
+# them by name here so a corpus regression is reported explicitly.
+echo "== fuzz seed corpora =="
+go test -run 'Fuzz' ./internal/cloud/server/
+
+echo "CI gate passed."
