@@ -5,6 +5,7 @@
 package crowdmap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -50,9 +51,26 @@ func benchTracks(b *testing.B, captures []*crowd.Capture) []*Track {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tracks[i] = &Track{ID: c.ID, Traj: traj, KFs: kfs}
+		tracks[i] = &Track{ID: c.ID, Traj: traj, KFs: kfs, Hash: c.Fingerprint()}
 	}
 	return tracks
+}
+
+// stripSURFIndexes clones tracks with the per-key-frame SURF indexes
+// removed, forcing keyframe.Compare onto the brute-force matching path.
+func stripSURFIndexes(tracks []*Track) []*Track {
+	out := make([]*Track, len(tracks))
+	for i, tr := range tracks {
+		cp := *tr
+		cp.KFs = make([]*keyframe.KeyFrame, len(tr.KFs))
+		for j, kf := range tr.KFs {
+			k := *kf
+			k.SURFIndex = nil
+			cp.KFs[j] = &k
+		}
+		out[i] = &cp
+	}
+	return out
 }
 
 func benchPanorama(b *testing.B, building *world.Building, room world.Room) *pano.Panorama {
@@ -413,6 +431,85 @@ func BenchmarkAblationHypothesisCount(b *testing.B) {
 			}
 			b.ReportMetric(lastErr*100, "areaErr%")
 		})
+	}
+}
+
+// ---- anchor-search fast path (PR 2) ----
+
+// anchorBenchTracks builds the two-track Lab1 fixture both anchor-search
+// benchmarks share, so brute and indexed time the same workload.
+func anchorBenchTracks(b *testing.B) (*Track, *Track) {
+	b.Helper()
+	captures := benchCaptures(b, world.Lab1(), 4, 2, 59)
+	tracks := benchTracks(b, captures)
+	return tracks[0], tracks[1]
+}
+
+// anchorBenchParams disables the cheap stage-1 gate so the benchmark times
+// the stage the index accelerates: the SURF descriptor scan that runs for
+// every key-frame pair the gate admits (the paper's 0.8 s bottleneck). The
+// S2 pass/fail set is identical on both paths — surf/index_test.go pins
+// match-for-match equality — so brute vs indexed is a pure speed contest
+// over the same decisions.
+func anchorBenchParams() aggregate.Params {
+	p := aggregate.DefaultParams()
+	p.KF.HS = 0
+	return p
+}
+
+// BenchmarkAnchorSearchBrute times FindAnchors with the O(|F1|·|F2|)
+// brute-force SURF scan (indexes stripped) — the pre-PR-2 hot path.
+func BenchmarkAnchorSearchBrute(b *testing.B) {
+	ta, tb := anchorBenchTracks(b)
+	stripped := stripSURFIndexes([]*Track{ta, tb})
+	p := anchorBenchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aggregate.FindAnchors(stripped[0], stripped[1], p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnchorSearchIndexed times the same anchor search through the
+// grid-bucketed descriptor index. Decisions are identical to the brute
+// path (see surf/index_test.go); only the work changes.
+func BenchmarkAnchorSearchIndexed(b *testing.B) {
+	ta, tb := anchorBenchTracks(b)
+	p := anchorBenchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aggregate.FindAnchors(ta, tb, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmCacheAggregation times a full aggregation replay against a
+// prewarmed pair cache — the steady state of crowdmapd re-running after an
+// upload adds nothing new — and reports the measured cache hit rate.
+func BenchmarkWarmCacheAggregation(b *testing.B) {
+	captures := benchCaptures(b, world.Lab2(), 6, 0, 17)
+	tracks := benchTracks(b, captures)
+	p := aggregate.DefaultParams()
+	cache := aggregate.NewPairCache(0)
+	ctx := context.Background()
+	if _, err := ParallelAggregate(ctx, tracks, p, 0, cache); err != nil {
+		b.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	p.KF.Obs = reg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelAggregate(ctx, tracks, p, 0, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c := reg.Snapshot().Counters
+	total := c["compare.cache.hits"] + c["compare.cache.misses"] + c["compare.cache.bypass"]
+	if total > 0 {
+		b.ReportMetric(float64(c["compare.cache.hits"])/float64(total)*100, "hit%")
 	}
 }
 

@@ -123,10 +123,15 @@ type processor struct {
 	lastCount  int
 	obs        *crowdmap.MetricsRegistry
 	logMetrics bool
+	// cache persists pair-comparison decisions across reconstruction
+	// cycles: when new uploads arrive, only pairs involving new content are
+	// compared (the paper's incremental-aggregation scaling, minus the
+	// Spark cluster).
+	cache *crowdmap.PairCache
 }
 
 func newProcessor(st *store.Store, hypotheses, workers int) *processor {
-	return &processor{st: st, hypotheses: hypotheses, workers: workers}
+	return &processor{st: st, hypotheses: hypotheses, workers: workers, cache: crowdmap.NewPairCache(0)}
 }
 
 func (p *processor) run(context.Context) error {
@@ -157,6 +162,7 @@ func (p *processor) run(context.Context) error {
 		cfg.Layout.Hypotheses = p.hypotheses
 		cfg.Workers = p.workers
 		cfg.Metrics = p.obs
+		cfg.PairCache = p.cache
 		start := time.Now()
 		res, err := crowdmap.Reconstruct(captures, cfg)
 		if err != nil {

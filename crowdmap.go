@@ -63,10 +63,19 @@ type (
 	// MetricsSnapshot is a point-in-time view of pipeline metrics, carried
 	// on every Result.
 	MetricsSnapshot = obs.Snapshot
+	// PairCache memoizes track pair-comparison decisions across
+	// reconstruction jobs, keyed by capture content fingerprints; pass one
+	// in Config.PairCache so incremental runs only compare new content.
+	PairCache = aggregate.PairCache
 )
 
 // NewMetricsRegistry returns an empty metrics registry for Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// NewPairCache returns a pair-comparison cache bounded to maxEntries
+// decisions (≤ 0 selects aggregate.DefaultPairCacheSize). Safe for
+// concurrent use and for sharing across sequential Reconstruct calls.
+func NewPairCache(maxEntries int) *PairCache { return aggregate.NewPairCache(maxEntries) }
 
 // Config collects every tunable of the reconstruction pipeline. The zero
 // value is not valid; start from DefaultConfig.
@@ -100,6 +109,13 @@ type Config struct {
 	// Reconstruct uses a private registry; either way Result.Metrics
 	// carries the final snapshot.
 	Metrics *MetricsRegistry
+	// PairCache, when non-nil, memoizes aggregation pair comparisons across
+	// Reconstruct calls: a pair of captures whose content fingerprints and
+	// comparison parameters are unchanged reuses the previous decision
+	// instead of re-running the anchor search. Decisions are identical with
+	// or without the cache; only the work is skipped. Changing comparison
+	// parameters flushes it automatically. Nil disables caching.
+	PairCache *PairCache
 }
 
 // DefaultConfig returns the tuning used for the paper-reproduction

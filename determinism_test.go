@@ -1,0 +1,136 @@
+package crowdmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+// determinismCorpus builds the small Lab2 corpus shared by the determinism
+// and cache regression tests. Generation is fully seeded, so every call
+// returns identical content.
+func determinismCorpus(t *testing.T) ([]*Capture, Config) {
+	t.Helper()
+	b, err := BuildingByName("Lab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DatasetSpec{
+		Users:         4,
+		CorridorWalks: 8,
+		RoomVisits:    4,
+		NightFraction: 0,
+		Seed:          777,
+		FPS:           2,
+	}
+	ds, err := GenerateDataset(b, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Layout.Hypotheses = 800
+	cfg.Seed = 7
+	return ds.Captures, cfg
+}
+
+// checkSameResult asserts the parts of a Result the determinism guarantee
+// covers: room observation order and content, aggregation offsets, and the
+// full plan geometry. Runs of the same corpus and config must agree
+// bit-for-bit, so reflect.DeepEqual (not approximate comparison) is right.
+func checkSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.RoomObservations, b.RoomObservations) {
+		t.Errorf("%s: RoomObservations differ (order or content)", label)
+	}
+	if !reflect.DeepEqual(a.Aggregation.Offsets, b.Aggregation.Offsets) {
+		t.Errorf("%s: aggregation Offsets differ", label)
+	}
+	if !reflect.DeepEqual(a.Aggregation.Matches, b.Aggregation.Matches) {
+		t.Errorf("%s: aggregation Matches differ", label)
+	}
+	if !reflect.DeepEqual(a.Plan.Rooms, b.Plan.Rooms) {
+		t.Errorf("%s: placed rooms differ", label)
+	}
+	if !reflect.DeepEqual(a.Plan.HallwayShape, b.Plan.HallwayShape) {
+		t.Errorf("%s: hallway shape differs", label)
+	}
+	if !reflect.DeepEqual(a.Plan.Trajectories, b.Plan.Trajectories) {
+		t.Errorf("%s: placed trajectories differ", label)
+	}
+}
+
+// TestReconstructDeterministic is the regression gate for the two
+// scheduling-dependence bugs: stage-4 room observations were appended in
+// goroutine completion order, and refinePlacement swept a map in Go's
+// randomized iteration order. The pipeline must now produce bit-identical
+// results across repeated runs and across worker counts.
+func TestReconstructDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end determinism check is expensive")
+	}
+	captures, cfg := determinismCorpus(t)
+
+	cfg.Workers = 1
+	seq, err := Reconstruct(captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raceEnabled {
+		// A repeat at Workers=1 catches order dependence on map iteration
+		// alone; it adds no race coverage, so skip it under the detector.
+		seq2, err := Reconstruct(captures, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSameResult(t, "workers=1 repeat", seq, seq2)
+	}
+
+	cfg.Workers = 8
+	par, err := Reconstruct(captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameResult(t, "workers=1 vs workers=8", seq, par)
+}
+
+// TestPairCacheWarmRun checks the incremental-aggregation contract: a
+// second reconstruction of an unchanged corpus through a shared PairCache
+// must skip every pair comparison (well above the required 90%) and
+// produce an identical plan.
+func TestPairCacheWarmRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cache check is expensive")
+	}
+	captures, cfg := determinismCorpus(t)
+	cfg.Workers = 4
+	cfg.PairCache = NewPairCache(0)
+
+	cold := NewMetricsRegistry()
+	cfg.Metrics = cold
+	first, err := Reconstruct(captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewMetricsRegistry()
+	cfg.Metrics = warm
+	second, err := Reconstruct(captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := int64(len(captures))
+	pairs := n * (n - 1) / 2
+	cs := cold.Snapshot().Counters
+	ws := warm.Snapshot().Counters
+	if cs["compare.cache.misses"] != pairs || cs["compare.cache.hits"] != 0 {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/%d",
+			cs["compare.cache.hits"], cs["compare.cache.misses"], pairs)
+	}
+	if ws["compare.cache.hits"] != pairs || ws["compare.cache.misses"] != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want %d/0",
+			ws["compare.cache.hits"], ws["compare.cache.misses"], pairs)
+	}
+	if ws["compare.cache.bypass"] != 0 {
+		t.Errorf("warm run bypassed the cache %d times", ws["compare.cache.bypass"])
+	}
+	checkSameResult(t, "cold vs warm cache", first, second)
+}

@@ -28,6 +28,11 @@ type Track struct {
 	KFs  []*keyframe.KeyFrame
 	// Night records the capture lighting pool (evaluation bookkeeping).
 	Night bool
+	// Hash is the content fingerprint of the capture this track was
+	// extracted from (crowd.Capture.Fingerprint). A non-empty hash lets the
+	// pair-comparison cache recognize a track across jobs; empty disables
+	// caching for pairs involving this track.
+	Hash string
 }
 
 // Params tunes aggregation.
@@ -427,9 +432,17 @@ func refinePlacement(res *Result, tol float64) {
 	if len(res.Offsets) == 0 {
 		return
 	}
+	// Each res.Offsets[idx] update feeds later candidates within the same
+	// sweep, so the sweep must visit nodes in a fixed order — Go randomizes
+	// map iteration, which made final placements vary run-to-run.
+	idxs := make([]int, 0, len(res.Offsets))
+	for idx := range res.Offsets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
 	for iter := 0; iter < 4; iter++ {
 		changed := false
-		for idx := range res.Offsets {
+		for _, idx := range idxs {
 			var cands []geom.Pt
 			for _, m := range res.Matches {
 				switch idx {

@@ -1,0 +1,164 @@
+package aggregate
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PairCache memoizes ComparePair decisions across aggregation jobs, keyed
+// by the content fingerprints of the two captures. CrowdMap's aggregation
+// is all-pairs: when a new upload arrives, every previously-compared pair
+// of the corpus is re-examined from scratch unless its decision is
+// remembered. With the cache, an incremental run only pays for pairs that
+// involve genuinely new content — the warm-path behavior the paper buys
+// with a Spark cluster.
+//
+// Entries are keyed order-independently (the lexicographically smaller
+// fingerprint first) and store the decision in that canonical orientation;
+// a hit in the opposite orientation is inverted on the way out, which is
+// exact because the comparison is mirror-symmetric. The cache also stores
+// negative decisions (ok=false): knowing two tracks do NOT merge is just
+// as reusable as knowing they do.
+//
+// The cache is invalidated wholesale when the aggregation parameters
+// change: fingerprints cover capture content only, so a parameters
+// signature is recorded with the entries and a mismatch flushes the map.
+type PairCache struct {
+	mu      sync.Mutex
+	max     int
+	sig     string
+	entries map[pairKey]pairEntry
+}
+
+type pairKey struct {
+	lo, hi string
+}
+
+type pairEntry struct {
+	m  Match
+	ok bool
+}
+
+// DefaultPairCacheSize bounds the number of memoized pairs. Decisions are
+// small (a Match holds a handful of anchors), so a generous bound costs
+// little memory while covering corpora far beyond the evaluation's.
+const DefaultPairCacheSize = 1 << 20
+
+// NewPairCache returns a cache bounded to maxEntries decisions;
+// non-positive means DefaultPairCacheSize.
+func NewPairCache(maxEntries int) *PairCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultPairCacheSize
+	}
+	return &PairCache{max: maxEntries, entries: make(map[pairKey]pairEntry)}
+}
+
+// Len reports the number of cached decisions; nil-safe.
+func (c *PairCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// paramsSignature serializes the comparison-relevant parameters. Every
+// sub-struct is a plain value type, so %+v is deterministic; the Obs
+// registry is a pointer with no influence on decisions and is excluded.
+func paramsSignature(p Params) string {
+	p.KF.Obs = nil
+	return fmt.Sprintf("%+v", p)
+}
+
+// get returns the cached decision for (ha, hb) under signature sig, with
+// inverted set when the entry is stored in the opposite orientation.
+func (c *PairCache) get(sig, ha, hb string) (e pairEntry, inverted, found bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sig != sig {
+		return pairEntry{}, false, false
+	}
+	k := pairKey{lo: ha, hi: hb}
+	if k.lo > k.hi {
+		k.lo, k.hi = k.hi, k.lo
+		inverted = true
+	}
+	e, found = c.entries[k]
+	return e, inverted, found
+}
+
+// put stores a decision computed with hashes (ha, hb) in canonical
+// orientation. A signature change flushes the whole cache first.
+func (c *PairCache) put(sig, ha, hb string, m Match, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sig != sig {
+		clear(c.entries)
+		c.sig = sig
+	}
+	k := pairKey{lo: ha, hi: hb}
+	if k.lo > k.hi {
+		k.lo, k.hi = k.hi, k.lo
+		m = invertMatch(m)
+	}
+	if len(c.entries) >= c.max {
+		// The map is at capacity; evict one arbitrary entry. Eviction order
+		// affects only performance, never decisions.
+		for old := range c.entries {
+			delete(c.entries, old)
+			break
+		}
+	}
+	c.entries[k] = pairEntry{m: m, ok: ok}
+}
+
+// invertMatch mirrors a Match to the swapped track order: A/B swap,
+// translations negate, and every anchor swaps its key-frame indices.
+func invertMatch(m Match) Match {
+	out := m
+	out.A, out.B = m.B, m.A
+	out.Translation = m.Translation.Scale(-1)
+	if len(m.Anchors) > 0 {
+		out.Anchors = make([]Anchor, len(m.Anchors))
+		for i, an := range m.Anchors {
+			out.Anchors[i] = Anchor{
+				IA: an.IB, IB: an.IA, S2: an.S2,
+				Translation: an.Translation.Scale(-1),
+			}
+		}
+	}
+	return out
+}
+
+// ComparePairCached is ComparePair with memoization: when both tracks
+// carry content fingerprints and the cache holds a decision for the pair
+// under the current parameters, the expensive anchor search and LCS
+// verification are skipped entirely. Cache outcomes are counted on the
+// Params' Obs registry as compare.cache.hits / .misses / .bypass.
+func ComparePairCached(ai, bi int, a, b *Track, p Params, cache *PairCache) (Match, bool, error) {
+	if cache == nil || a.Hash == "" || b.Hash == "" {
+		if cache != nil {
+			p.KF.Obs.Counter("compare.cache.bypass").Inc()
+		}
+		return ComparePair(ai, bi, a, b, p)
+	}
+	sig := paramsSignature(p)
+	if e, inverted, found := cache.get(sig, a.Hash, b.Hash); found {
+		p.KF.Obs.Counter("compare.cache.hits").Inc()
+		m := e.m
+		if inverted {
+			m = invertMatch(m)
+		}
+		// Track indices are job-local; rebind them to this job's slots.
+		m.A, m.B = ai, bi
+		return m, e.ok, nil
+	}
+	p.KF.Obs.Counter("compare.cache.misses").Inc()
+	m, ok, err := ComparePair(ai, bi, a, b, p)
+	if err != nil {
+		return m, ok, err
+	}
+	cache.put(sig, a.Hash, b.Hash, m, ok)
+	return m, ok, nil
+}

@@ -1,0 +1,150 @@
+package aggregate
+
+import (
+	"reflect"
+	"testing"
+
+	"crowdmap/internal/geom"
+)
+
+func testMatch() Match {
+	return Match{
+		A: 0, B: 1, S3: 0.6, Support: 3,
+		Translation: geom.P(2, -1),
+		Anchors: []Anchor{
+			{IA: 4, IB: 7, S2: 0.2, Translation: geom.P(2, -1)},
+			{IA: 5, IB: 9, S2: 0.15, Translation: geom.P(2.1, -0.9)},
+		},
+	}
+}
+
+func TestInvertMatchRoundTrip(t *testing.T) {
+	m := testMatch()
+	inv := invertMatch(m)
+	if inv.A != m.B || inv.B != m.A {
+		t.Errorf("inverted endpoints = (%d,%d)", inv.A, inv.B)
+	}
+	if inv.Translation != m.Translation.Scale(-1) {
+		t.Errorf("inverted translation = %v", inv.Translation)
+	}
+	if inv.Anchors[0].IA != m.Anchors[0].IB || inv.Anchors[0].IB != m.Anchors[0].IA {
+		t.Errorf("anchor indices not swapped: %+v", inv.Anchors[0])
+	}
+	if back := invertMatch(inv); !reflect.DeepEqual(back, m) {
+		t.Errorf("double inversion diverged:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestPairCacheOrientation(t *testing.T) {
+	c := NewPairCache(0)
+	m := testMatch()
+	// Store with hashes in non-canonical order (ha > hb): the entry must
+	// come back correctly in both query orientations.
+	c.put("sig", "zzz", "aaa", m, true)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	e, inverted, found := c.get("sig", "zzz", "aaa")
+	if !found || !e.ok {
+		t.Fatal("stored entry not found")
+	}
+	got := e.m
+	if inverted {
+		got = invertMatch(got)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("same-orientation lookup:\n got %+v\nwant %+v", got, m)
+	}
+	e, inverted, found = c.get("sig", "aaa", "zzz")
+	if !found {
+		t.Fatal("opposite-orientation lookup missed")
+	}
+	got = e.m
+	if inverted {
+		got = invertMatch(got)
+	}
+	if !reflect.DeepEqual(got, invertMatch(m)) {
+		t.Errorf("opposite-orientation lookup:\n got %+v\nwant %+v", got, invertMatch(m))
+	}
+}
+
+func TestPairCacheSignatureFlush(t *testing.T) {
+	c := NewPairCache(0)
+	c.put("sig-v1", "a", "b", Match{}, false)
+	if _, _, found := c.get("sig-v2", "a", "b"); found {
+		t.Error("entry survived a signature mismatch on get")
+	}
+	c.put("sig-v2", "c", "d", Match{}, true)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after signature change, want 1 (old entries flushed)", c.Len())
+	}
+	if _, _, found := c.get("sig-v2", "a", "b"); found {
+		t.Error("stale entry readable under new signature")
+	}
+}
+
+func TestPairCacheEvictionCap(t *testing.T) {
+	c := NewPairCache(2)
+	c.put("s", "a", "b", Match{}, false)
+	c.put("s", "c", "d", Match{}, false)
+	c.put("s", "e", "f", Match{}, false)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want cap 2", c.Len())
+	}
+	if _, _, found := c.get("s", "e", "f"); !found {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+func TestParamsSignatureExcludesObs(t *testing.T) {
+	a := DefaultParams()
+	b := DefaultParams()
+	if paramsSignature(a) != paramsSignature(b) {
+		t.Error("identical params produced different signatures")
+	}
+	b.KF.HD = 0.2
+	if paramsSignature(a) == paramsSignature(b) {
+		t.Error("changed comparison threshold did not change the signature")
+	}
+}
+
+func TestComparePairCachedBypassAndNil(t *testing.T) {
+	// Empty tracks produce a deterministic no-match decision through the
+	// real ComparePair; they exercise the wiring, not the vision stack.
+	a := &Track{ID: "a", Hash: "ha"}
+	b := &Track{ID: "b", Hash: "hb"}
+	p := DefaultParams()
+
+	// Nil cache behaves exactly like ComparePair.
+	if _, ok, err := ComparePairCached(0, 1, a, b, p, nil); err != nil || ok {
+		t.Fatalf("nil cache: ok=%v err=%v", ok, err)
+	}
+
+	cache := NewPairCache(0)
+	// Missing hashes bypass the cache.
+	if _, ok, err := ComparePairCached(0, 1, &Track{ID: "x"}, b, p, cache); err != nil || ok {
+		t.Fatalf("bypass: ok=%v err=%v", ok, err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("bypassed comparison was cached (%d entries)", cache.Len())
+	}
+
+	// Miss populates; a repeat (either orientation) hits with rebound
+	// track indices.
+	if _, _, err := ComparePairCached(0, 1, a, b, p, cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("Len = %d after miss, want 1", cache.Len())
+	}
+	m, ok, err := ComparePairCached(5, 9, b, a, p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty tracks cannot match")
+	}
+	if m.A != 5 || m.B != 9 {
+		t.Errorf("hit did not rebind track indices: got (%d,%d), want (5,9)", m.A, m.B)
+	}
+}

@@ -9,9 +9,20 @@ package alphashape
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"crowdmap/internal/geom"
 )
+
+// ptLess orders points lexicographically; it makes every map-derived
+// traversal below deterministic (Go randomizes map iteration, and both the
+// triangle list and the boundary loops are order-sensitive downstream).
+func ptLess(a, b geom.Pt) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
 
 // Triangle is one Delaunay triangle.
 type Triangle struct {
@@ -123,10 +134,22 @@ func Delaunay(pts []geom.Pt) ([]Triangle, error) {
 			}
 		}
 		// Re-triangulate the cavity: boundary edges appear exactly once.
+		// Sort them first — map order would otherwise dictate the order new
+		// triangles are appended, making the final triangle list (and
+		// everything ordered downstream of it) vary run-to-run.
+		cavity := make([]edge, 0, len(polygon))
 		for e, count := range polygon {
-			if count != 1 {
-				continue
+			if count == 1 {
+				cavity = append(cavity, e)
 			}
+		}
+		sort.Slice(cavity, func(i, j int) bool {
+			if cavity[i].a != cavity[j].a {
+				return ptLess(cavity[i].a, cavity[j].a)
+			}
+			return ptLess(cavity[i].b, cavity[j].b)
+		})
+		for _, e := range cavity {
 			nt := mk(Triangle{A: e.a, B: e.b, C: p})
 			if math.IsInf(nt.r2, 1) {
 				continue // collinear sliver; skip
@@ -215,8 +238,20 @@ func Compute(pts []geom.Pt, alpha float64) (*Shape, error) {
 		adj[e.a] = append(adj[e.a], e.b)
 		adj[e.b] = append(adj[e.b], e.a)
 	}
+	// Deterministic chaining: visit starts in lexicographic order and keep
+	// each adjacency list sorted, so the loops come out with a fixed
+	// starting vertex and winding regardless of map iteration order.
+	starts := make([]geom.Pt, 0, len(adj))
+	for p := range adj {
+		starts = append(starts, p)
+	}
+	sort.Slice(starts, func(i, j int) bool { return ptLess(starts[i], starts[j]) })
+	for _, p := range starts {
+		nbs := adj[p]
+		sort.Slice(nbs, func(i, j int) bool { return ptLess(nbs[i], nbs[j]) })
+	}
 	visited := make(map[[2]geom.Pt]bool)
-	for start := range adj {
+	for _, start := range starts {
 		for _, next := range adj[start] {
 			if visited[[2]geom.Pt{start, next}] {
 				continue

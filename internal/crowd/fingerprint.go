@@ -1,0 +1,83 @@
+package crowd
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a hex SHA-256 content hash over everything the
+// reconstruction pipeline reads from the capture: identity and geo
+// metadata, frame timestamps with a strided sample of their pixels, and
+// the full IMU stream. Ground truth (Truth, per-frame TruthPose) is
+// excluded — the pipeline never reads it, and evaluation-only fields must
+// not perturb cache keys.
+//
+// The fingerprint is the identity under which pair-comparison results are
+// cached across aggregation jobs, so it must be stable across processes
+// (no addresses, no map iteration) and must change whenever content that
+// could change a comparison changes.
+func (c *Capture) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wF64 := func(v float64) { wU64(math.Float64bits(v)) }
+	wStr := func(s string) {
+		wU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wStr(c.ID)
+	wStr(c.UserID)
+	wU64(uint64(c.Kind))
+	if c.Night {
+		wU64(1)
+	} else {
+		wU64(0)
+	}
+	wStr(c.Geo.Building)
+	wU64(uint64(int64(c.Geo.Floor)))
+	wF64(c.Geo.GPS.X)
+	wF64(c.Geo.GPS.Y)
+	wF64(c.FPS)
+	wF64(c.StepLengthEst)
+	wStr(c.RoomID)
+
+	// Frames: timestamp plus a strided pixel sample per channel. The stride
+	// is prime so it never aligns with row width; any real content change
+	// (different pose, lighting, scene) perturbs essentially every pixel,
+	// so sampling ~1% of them identifies the frame while keeping hashing
+	// cheap enough to run on every upload.
+	const pixelStride = 97
+	wU64(uint64(len(c.Frames)))
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		wF64(f.T)
+		if f.Image == nil {
+			wU64(0)
+			continue
+		}
+		wU64(uint64(f.Image.W))
+		wU64(uint64(f.Image.H))
+		for _, plane := range [][]float64{f.Image.R, f.Image.G, f.Image.B} {
+			for p := 0; p < len(plane); p += pixelStride {
+				wF64(plane[p])
+			}
+		}
+	}
+
+	wU64(uint64(len(c.IMU)))
+	for i := range c.IMU {
+		s := &c.IMU[i]
+		wF64(s.T)
+		wF64(s.GyroZ)
+		wF64(s.Accel[0])
+		wF64(s.Accel[1])
+		wF64(s.Accel[2])
+		wF64(s.Compass)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -43,6 +43,11 @@ type KeyFrame struct {
 	Shape   *shape.Descriptor
 	Wavelet *wavelet.Signature
 	SURF    []surf.Feature
+	// SURFIndex is the grid-bucketed nearest-neighbor index over SURF,
+	// built once at extraction so every pairwise comparison reuses it.
+	// Compare falls back to the brute-force scan when it is nil (e.g. for
+	// KeyFrames constructed by hand in tests).
+	SURFIndex *surf.Index
 }
 
 // Params collects every threshold of the key-frame subsystem. Names follow
@@ -72,6 +77,13 @@ type Params struct {
 	// HistBins is the per-channel color histogram resolution.
 	HistBins int
 
+	// StayRadius is the SRS stay-point radius in meters: a key-frame whose
+	// dead-reckoned position is within this radius of the session start is
+	// treated as part of the stationary room scan (its pixels are retained
+	// for panorama stitching, and srsKeyFrames selects it). Zero means
+	// DefaultStayRadius; it must not be negative.
+	StayRadius float64
+
 	// Obs, when non-nil, receives selection and comparison counters
 	// (keyframe.frames/kept/dropped, compare.s1.*, compare.s2.*). A nil
 	// registry is a no-op; the field does not affect behavior.
@@ -94,7 +106,23 @@ func DefaultParams() Params {
 		Wavelet:     wavelet.DefaultParams(),
 		SURF:        surf.DefaultParams(),
 		HistBins:    8,
+		StayRadius:  DefaultStayRadius,
 	}
+}
+
+// DefaultStayRadius is the stay-point radius (meters) used when
+// Params.StayRadius is zero. SRS spins wander well under a meter of
+// dead-reckoned drift, so 0.75 m keeps the scan while excluding the first
+// walking steps out of the room.
+const DefaultStayRadius = 0.75
+
+// EffectiveStayRadius resolves the configured stay radius, applying the
+// default when unset.
+func (p Params) EffectiveStayRadius() float64 {
+	if p.StayRadius > 0 {
+		return p.StayRadius
+	}
+	return DefaultStayRadius
 }
 
 // Validate checks threshold sanity.
@@ -114,6 +142,9 @@ func (p Params) Validate() error {
 	w := p.WColor + p.WShape + p.WWavelet
 	if w <= 0 {
 		return fmt.Errorf("keyframe: stage-1 weights sum to %g", w)
+	}
+	if p.StayRadius < 0 {
+		return fmt.Errorf("keyframe: StayRadius must be non-negative, got %g", p.StayRadius)
 	}
 	return nil
 }
@@ -185,6 +216,7 @@ func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, e
 			return nil, nil, err
 		}
 		kf.SURF = surf.Extract(luma, p.SURF)
+		kf.SURFIndex = surf.NewIndex(kf.SURF)
 		kfs = append(kfs, kf)
 	}
 	// Memory: full frames are only needed downstream for panorama
@@ -192,8 +224,9 @@ func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, e
 	// captured while walking can drop their pixels once features are out.
 	if len(traj.Points) > 0 {
 		start := traj.Points[0].Pos
+		stay := p.EffectiveStayRadius()
 		for _, kf := range kfs {
-			if c.Kind == crowd.KindSWS || kf.LocalPos.Dist(start) > 1.0 {
+			if c.Kind == crowd.KindSWS || kf.LocalPos.Dist(start) > stay {
 				kf.Image = nil
 			}
 		}
@@ -261,7 +294,17 @@ func Compare(a, b *KeyFrame, p Params) (bool, float64, error) {
 		return false, 0, nil
 	}
 	p.Obs.Counter("compare.s2.evaluated").Inc()
-	s2, err := surf.Similarity(a.SURF, b.SURF, p.HD)
+	var s2 float64
+	if a.SURFIndex.Len() > 0 && b.SURFIndex.Len() > 0 {
+		var st surf.Stats
+		s2, st, err = surf.SimilarityIndexed(a.SURFIndex, b.SURFIndex, p.HD)
+		p.Obs.Counter("surf.index.queries").Add(st.Queries)
+		p.Obs.Counter("surf.index.candidates").Add(st.Candidates)
+		p.Obs.Counter("surf.index.cells").Add(st.Cells)
+	} else {
+		p.Obs.Counter("surf.index.fallback").Inc()
+		s2, err = surf.Similarity(a.SURF, b.SURF, p.HD)
+	}
 	if err != nil {
 		return false, 0, err
 	}

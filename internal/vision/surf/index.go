@@ -1,0 +1,345 @@
+package surf
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the anchor-search fast path: a descriptor index
+// that replaces the O(|F1|·|F2|) brute-force scan inside the
+// mutual-nearest-neighbor matcher with candidate-bucket lookup, the way
+// real SURF implementations index by Laplacian sign plus a coarse
+// quantization of the descriptor.
+//
+// Buckets live in a dense per-sign grid keyed by two coarse projections of
+// the descriptor with disjoint support:
+//
+//	p1 = (Σ_{i≡0 mod 4} d[i]) / 4   (the signed Σdx sums)
+//	p2 = (Σ_{i≡2 mod 4} d[i]) / 4   (the signed Σdy sums)
+//
+// By Cauchy–Schwarz, (Δp1)² ≤ Σ_{i≡0}(a_i−b_i)² and (Δp2)² ≤
+// Σ_{i≡2}(a_i−b_i)²; the supports are disjoint, so the Euclidean distance
+// in the (p1, p2) plane lower-bounds the full 64-dimensional descriptor
+// distance. Cell rectangles therefore admit exact pruning: a query expands
+// outward ring by ring and stops as soon as no unvisited cell can hold a
+// closer candidate, and each candidate's distance evaluation abandons
+// early once its partial sum can no longer win. The search is EXACT — it
+// returns the same nearest neighbor (including the lowest-index tie-break)
+// a linear scan would, so indexed matching makes the identical S2
+// pass/fail decisions as the brute-force path, only faster.
+
+// DefaultCellWidth is the projection-space quantization step. Matching
+// thresholds (hd) sit around 0.12 for unit-norm descriptors, so cells
+// slightly narrower than that keep candidate buckets small while a capped
+// query rarely probes more than two rings.
+const DefaultCellWidth = 0.08
+
+// maxDenseCells bounds the dense grid allocation. Unit-norm descriptors
+// project into [−1, 1]², so the default cell width needs ~26² cells; the
+// width doubles until pathological inputs fit too.
+const maxDenseCells = 1 << 20
+
+// sgrid is the dense cell grid for one Laplacian sign. All signs share the
+// index-wide cell bounds, so a (cx, cy) probe is two subtractions and a
+// bounds check — no hashing on the query path.
+type sgrid struct {
+	cells [][]int32
+}
+
+// Index is a grid-bucketed nearest-neighbor index over one feature set.
+// It retains the feature slice it was built from; an Index is immutable
+// after construction and safe for concurrent queries.
+type Index struct {
+	feats []Feature
+	cellW float64
+	// signs lists the distinct Laplacian signs present; grids[i] is the
+	// bucket grid for signs[i].
+	signs []int8
+	grids []*sgrid
+	// Projection-cell bounds over all features.
+	minCx, maxCx, minCy, maxCy int
+}
+
+// Stats counts the work one or more index queries performed; the zero
+// value is ready to use.
+type Stats struct {
+	Queries    int64 // nearest-neighbor queries answered
+	Candidates int64 // descriptor distance evaluations (possibly early-terminated)
+	Cells      int64 // non-empty candidate buckets probed
+}
+
+func (s *Stats) add(o Stats) {
+	s.Queries += o.Queries
+	s.Candidates += o.Candidates
+	s.Cells += o.Cells
+}
+
+// project computes the two coarse descriptor projections.
+func project(d *Descriptor) (p1, p2 float64) {
+	for i := 0; i < len(d); i += 4 {
+		p1 += d[i]
+		p2 += d[i+2]
+	}
+	// 1/√16 scaling makes each projection 1-Lipschitz in the descriptor.
+	return p1 * 0.25, p2 * 0.25
+}
+
+// NewIndex builds an index over fs with the default cell width.
+func NewIndex(fs []Feature) *Index { return NewIndexCellWidth(fs, DefaultCellWidth) }
+
+// NewIndexCellWidth builds an index with an explicit cell width; widths
+// below 0.001 (or non-positive) fall back to DefaultCellWidth.
+func NewIndexCellWidth(fs []Feature, cellW float64) *Index {
+	if cellW < 1e-3 {
+		cellW = DefaultCellWidth
+	}
+	ix := &Index{feats: fs, cellW: cellW}
+	if len(fs) == 0 {
+		return ix
+	}
+	cxs := make([]int, len(fs))
+	cys := make([]int, len(fs))
+	for {
+		ix.minCx, ix.maxCx = math.MaxInt, math.MinInt
+		ix.minCy, ix.maxCy = math.MaxInt, math.MinInt
+		for i := range fs {
+			p1, p2 := project(&fs[i].Desc)
+			cxs[i] = int(math.Floor(p1 / ix.cellW))
+			cys[i] = int(math.Floor(p2 / ix.cellW))
+			ix.minCx = min(ix.minCx, cxs[i])
+			ix.maxCx = max(ix.maxCx, cxs[i])
+			ix.minCy = min(ix.minCy, cys[i])
+			ix.maxCy = max(ix.maxCy, cys[i])
+		}
+		if (ix.maxCx-ix.minCx+1)*(ix.maxCy-ix.minCy+1) <= maxDenseCells {
+			break
+		}
+		ix.cellW *= 2 // coarser cells until the dense grid fits
+	}
+	nx := ix.maxCx - ix.minCx + 1
+	ny := ix.maxCy - ix.minCy + 1
+	gridOf := make(map[int8]*sgrid, 2)
+	for i := range fs {
+		lap := fs[i].KP.Laplacian
+		g := gridOf[lap]
+		if g == nil {
+			g = &sgrid{cells: make([][]int32, nx*ny)}
+			gridOf[lap] = g
+			ix.signs = append(ix.signs, lap)
+			ix.grids = append(ix.grids, g)
+		}
+		c := (cys[i]-ix.minCy)*nx + (cxs[i] - ix.minCx)
+		// Ascending feature order per bucket (i only grows).
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return ix
+}
+
+// bucket returns the feature indices in cell (cx, cy), nil when outside
+// the grid.
+func (ix *Index) bucket(g *sgrid, cx, cy int) []int32 {
+	x := cx - ix.minCx
+	y := cy - ix.minCy
+	if x < 0 || x > ix.maxCx-ix.minCx || y < 0 || y > ix.maxCy-ix.minCy {
+		return nil
+	}
+	return g.cells[y*(ix.maxCx-ix.minCx+1)+x]
+}
+
+// Len reports the number of indexed features; nil-safe.
+func (ix *Index) Len() int {
+	if ix == nil {
+		return 0
+	}
+	return len(ix.feats)
+}
+
+// Features returns the indexed feature slice (shared, do not mutate).
+func (ix *Index) Features() []Feature {
+	if ix == nil {
+		return nil
+	}
+	return ix.feats
+}
+
+// axisDist is the distance from p to the interval [lo, lo+w].
+func axisDist(p, lo, w float64) float64 {
+	switch {
+	case p < lo:
+		return lo - p
+	case p > lo+w:
+		return p - (lo + w)
+	default:
+		return 0
+	}
+}
+
+// distSqCapped accumulates the squared descriptor distance in the same
+// order as Dist, abandoning as soon as the partial sum proves the
+// candidate cannot beat the current best (s > bestD2; equality must
+// complete so the lowest-index tie-break can run) or cannot matter at all
+// (s ≥ maxD2 — Nearest rejects anything at or above the cap). The second
+// return is false on abandonment.
+func distSqCapped(a, b *Descriptor, maxD2, bestD2 float64) (float64, bool) {
+	var s float64
+	for base := 0; base < 64; base += 8 {
+		for i := base; i < base+8; i++ {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		if s >= maxD2 || s > bestD2 {
+			return s, false
+		}
+	}
+	return s, true
+}
+
+// Nearest returns the index and distance of the feature closest to q,
+// provided that distance is strictly below maxDist; otherwise (-1, +Inf).
+// Within that contract the result is exactly what a linear scan returns:
+// the true nearest neighbor, lowest index on distance ties. qLap orders
+// the bucket probe (same Laplacian sign first, where the neighbor almost
+// always lives) but never restricts it, so correctness does not depend on
+// the sign.
+func (ix *Index) Nearest(q *Descriptor, qLap int8, maxDist float64) (int, float64, Stats) {
+	st := Stats{Queries: 1}
+	if ix.Len() == 0 || maxDist <= 0 {
+		return -1, math.Inf(1), st
+	}
+	maxD2 := maxDist * maxDist
+	best, bestD2 := -1, math.Inf(1)
+	p1, p2 := project(q)
+	qcx := int(math.Floor(p1 / ix.cellW))
+	qcy := int(math.Floor(p2 / ix.cellW))
+	// Probe the query's own Laplacian sign first: the true neighbor almost
+	// always shares it, and an early tight best prunes the rest.
+	var order [3]*sgrid
+	n := 0
+	for si, s := range ix.signs {
+		if s == qLap {
+			order[n] = ix.grids[si]
+			n++
+		}
+	}
+	for si, s := range ix.signs {
+		if s != qLap {
+			order[n] = ix.grids[si]
+			n++
+		}
+	}
+	grids := order[:n]
+	scan := func(cx, cy int) {
+		// Exact rectangle lower bound; lb² == bestD2 must still be scanned
+		// so an equal-distance candidate with a lower index can win.
+		dx := axisDist(p1, float64(cx)*ix.cellW, ix.cellW)
+		dy := axisDist(p2, float64(cy)*ix.cellW, ix.cellW)
+		lb2 := dx*dx + dy*dy
+		if lb2 >= maxD2 || lb2 > bestD2 {
+			return
+		}
+		for _, g := range grids {
+			bucket := ix.bucket(g, cx, cy)
+			if len(bucket) == 0 {
+				continue
+			}
+			st.Cells++
+			for _, fi := range bucket {
+				st.Candidates++
+				d2, full := distSqCapped(q, &ix.feats[fi].Desc, maxD2, bestD2)
+				if !full {
+					continue
+				}
+				if d2 < bestD2 || (d2 == bestD2 && int(fi) < best) {
+					bestD2, best = d2, int(fi)
+				}
+			}
+		}
+	}
+	maxR := int(maxDist/ix.cellW) + 1
+	// Rings past the data's cell bounds are empty; stop there too.
+	spanR := max(qcx-ix.minCx, ix.maxCx-qcx, qcy-ix.minCy, ix.maxCy-qcy)
+	if spanR < maxR {
+		maxR = spanR
+	}
+	for r := 0; r <= maxR; r++ {
+		// Every cell on Chebyshev ring r lies at least (r−1)·cellW from the
+		// query point, wherever the point sits inside its own cell.
+		if lb := float64(r-1) * ix.cellW; lb >= maxDist || lb*lb > bestD2 {
+			break
+		}
+		if r == 0 {
+			scan(qcx, qcy)
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			scan(qcx+dx, qcy-r)
+			scan(qcx+dx, qcy+r)
+		}
+		for dy := -r + 1; dy <= r-1; dy++ {
+			scan(qcx-r, qcy+dy)
+			scan(qcx+r, qcy+dy)
+		}
+	}
+	if bestD2 >= maxD2 {
+		return -1, math.Inf(1), st
+	}
+	return best, math.Sqrt(bestD2), st
+}
+
+// MatchIndexed runs the mutual-nearest-neighbor matcher of Match over two
+// prebuilt indexes. The accepted pair set, order and distances are
+// identical to Match(a.Features(), b.Features(), hd): Match only accepts
+// pairs below hd, so capping each nearest-neighbor search at hd cannot
+// change a decision — it only prunes work. The reverse (B→A) searches run
+// lazily, only for features of b that actually won a forward query; the
+// mutual check never reads the others.
+func MatchIndexed(a, b *Index, hd float64) ([]MatchPair, Stats) {
+	var st Stats
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil, st
+	}
+	fa, fb := a.feats, b.feats
+	nnAB := make([]int, len(fa))
+	dAB := make([]float64, len(fa))
+	for i := range fa {
+		j, d, s := b.Nearest(&fa[i].Desc, fa[i].KP.Laplacian, hd)
+		nnAB[i], dAB[i] = j, d
+		st.add(s)
+	}
+	const unseen = -2
+	nnBA := make([]int, len(fb))
+	for j := range nnBA {
+		nnBA[j] = unseen
+	}
+	var out []MatchPair
+	for i, j := range nnAB {
+		if j < 0 {
+			continue
+		}
+		if nnBA[j] == unseen {
+			bi, _, s := a.Nearest(&fb[j].Desc, fb[j].KP.Laplacian, hd)
+			nnBA[j] = bi
+			st.add(s)
+		}
+		if nnBA[j] != i {
+			continue
+		}
+		out = append(out, MatchPair{I: i, J: j, D: dAB[i]})
+	}
+	return out, st
+}
+
+// SimilarityIndexed computes the S2 score of Similarity over prebuilt
+// indexes, with identical results.
+func SimilarityIndexed(a, b *Index, hd float64) (float64, Stats, error) {
+	na, nb := a.Len(), b.Len()
+	if na == 0 && nb == 0 {
+		return 0, Stats{}, fmt.Errorf("surf: both feature sets empty")
+	}
+	matches, st := MatchIndexed(a, b, hd)
+	union := na + nb - len(matches)
+	if union <= 0 {
+		return 0, st, fmt.Errorf("surf: degenerate union size %d", union)
+	}
+	return float64(len(matches)) / float64(union), st, nil
+}

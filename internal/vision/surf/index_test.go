@@ -1,0 +1,172 @@
+package surf
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+// bruteNearestCapped mirrors the contract of Index.Nearest with a plain
+// linear scan: true nearest neighbor (lowest index on ties) when its
+// distance is strictly below maxDist, else (-1, +Inf).
+func bruteNearestCapped(q Descriptor, fs []Feature, maxDist float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i := range fs {
+		if d := Dist(q, fs[i].Desc); d < bestD {
+			bestD, best = d, i
+		}
+	}
+	if bestD >= maxDist {
+		return -1, math.Inf(1)
+	}
+	return best, bestD
+}
+
+// randomFeatures draws descriptors that mimic the real layout: signed sums
+// in dims 0,2 mod 4, non-negative abs sums in dims 1,3 mod 4, unit norm.
+func randomFeatures(n int, seed int64) []Feature {
+	rng := mathx.NewRNG(seed)
+	fs := make([]Feature, n)
+	for i := range fs {
+		var norm float64
+		for d := 0; d < 64; d += 4 {
+			fs[i].Desc[d] = rng.Float64()*2 - 1
+			fs[i].Desc[d+1] = rng.Float64()
+			fs[i].Desc[d+2] = rng.Float64()*2 - 1
+			fs[i].Desc[d+3] = rng.Float64()
+		}
+		for _, v := range fs[i].Desc {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		for d := range fs[i].Desc {
+			fs[i].Desc[d] /= norm
+		}
+		if rng.Intn(2) == 0 {
+			fs[i].KP.Laplacian = 1
+		} else {
+			fs[i].KP.Laplacian = -1
+		}
+	}
+	return fs
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	fs := randomFeatures(200, 3)
+	ix := NewIndex(fs)
+	queries := randomFeatures(100, 4)
+	// Include indexed features themselves as queries: exact hits and ties.
+	queries = append(queries, fs[:50]...)
+	for _, maxDist := range []float64{0.05, 0.12, 0.35, 0.8, 2.0} {
+		for qi := range queries {
+			q := &queries[qi]
+			wantI, wantD := bruteNearestCapped(q.Desc, fs, maxDist)
+			gotI, gotD, _ := ix.Nearest(&q.Desc, q.KP.Laplacian, maxDist)
+			if gotI != wantI || gotD != wantD {
+				t.Fatalf("maxDist=%g query %d: indexed (%d, %v), brute (%d, %v)",
+					maxDist, qi, gotI, gotD, wantI, wantD)
+			}
+		}
+	}
+}
+
+func TestNearestExactDuplicateTieBreak(t *testing.T) {
+	fs := randomFeatures(8, 9)
+	// Duplicate descriptor at two indices: the lower index must win, as in
+	// the brute-force scan.
+	fs[6].Desc = fs[2].Desc
+	fs[6].KP.Laplacian = fs[2].KP.Laplacian
+	ix := NewIndex(fs)
+	got, d, _ := ix.Nearest(&fs[2].Desc, fs[2].KP.Laplacian, 0.5)
+	if got != 2 || d != 0 {
+		t.Errorf("tie-break returned (%d, %v), want (2, 0)", got, d)
+	}
+}
+
+func TestNearestEmptyAndCapped(t *testing.T) {
+	var empty *Index
+	if i, _, _ := empty.Nearest(&Descriptor{}, 0, 1); i != -1 {
+		t.Error("nil index should find nothing")
+	}
+	ix := NewIndex(nil)
+	if i, _, _ := ix.Nearest(&Descriptor{}, 0, 1); i != -1 {
+		t.Error("empty index should find nothing")
+	}
+	fs := randomFeatures(10, 11)
+	ix = NewIndex(fs)
+	if i, _, _ := ix.Nearest(&fs[0].Desc, fs[0].KP.Laplacian, 0); i != -1 {
+		t.Error("non-positive cap should find nothing")
+	}
+}
+
+func TestMatchIndexedEqualsMatchOnRenderedFrames(t *testing.T) {
+	b := world.Lab1()
+	r := world.NewRenderer(b, world.DefaultCamera())
+	render := func(pos geom.Pt, heading float64) []Feature {
+		return Extract(r.Render(world.Pose{Pos: pos, Heading: heading}, world.Daylight(), nil).Luma(), DefaultParams())
+	}
+	fa := render(geom.P(20, 7.2), 0)
+	fb := render(geom.P(20.3, 7.2), 0.05)
+	fc := render(geom.P(10, 21), math.Pi)
+	if len(fa) == 0 || len(fb) == 0 || len(fc) == 0 {
+		t.Fatalf("feature extraction failed: %d/%d/%d", len(fa), len(fb), len(fc))
+	}
+	ia, ib, ic := NewIndex(fa), NewIndex(fb), NewIndex(fc)
+	cases := []struct {
+		name   string
+		a, b   []Feature
+		ia, ib *Index
+	}{
+		{"near", fa, fb, ia, ib},
+		{"far", fa, fc, ia, ic},
+		{"self", fa, fa, ia, ia},
+	}
+	for _, hd := range []float64{0.08, 0.12, 0.35} {
+		for _, c := range cases {
+			want := Match(c.a, c.b, hd)
+			got, st := MatchIndexed(c.ia, c.ib, hd)
+			if len(got) != len(want) {
+				t.Fatalf("%s hd=%g: indexed %d matches, brute %d", c.name, hd, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s hd=%g match %d: indexed %+v, brute %+v", c.name, hd, i, got[i], want[i])
+				}
+			}
+			// One forward query per feature of a, plus lazy reverse queries
+			// only for forward winners: never more than |a|+|b| total.
+			if st.Queries < int64(len(c.a)) || st.Queries > int64(len(c.a)+len(c.b)) {
+				t.Errorf("%s hd=%g: %d queries for %d+%d features", c.name, hd, st.Queries, len(c.a), len(c.b))
+			}
+			// The fast path must actually prune: strictly fewer distance
+			// evaluations than the O(|F1|·|F2|) double brute scan.
+			if brute := int64(2 * len(c.a) * len(c.b)); st.Candidates >= brute {
+				t.Errorf("%s hd=%g: index examined %d candidates, brute scan is %d", c.name, hd, st.Candidates, brute)
+			}
+			wantS2, errWant := Similarity(c.a, c.b, hd)
+			gotS2, _, errGot := SimilarityIndexed(c.ia, c.ib, hd)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("%s hd=%g: error mismatch: %v vs %v", c.name, hd, errWant, errGot)
+			}
+			if errWant == nil && gotS2 != wantS2 {
+				t.Fatalf("%s hd=%g: indexed S2 %v, brute %v", c.name, hd, gotS2, wantS2)
+			}
+		}
+	}
+}
+
+func TestDetectPopulatesLaplacian(t *testing.T) {
+	g := renderPose(t, world.Lab1(), geom.P(20, 7.2), 0)
+	kps := Detect(g, DefaultParams())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints")
+	}
+	for _, kp := range kps {
+		if kp.Laplacian != 1 && kp.Laplacian != -1 {
+			t.Fatalf("keypoint at (%g,%g) has Laplacian %d", kp.X, kp.Y, kp.Laplacian)
+		}
+	}
+}

@@ -19,6 +19,11 @@ type Keypoint struct {
 	X, Y     float64 // pixel coordinates
 	Scale    float64 // detection scale (σ)
 	Response float64 // Hessian determinant response
+	// Laplacian is the sign (±1) of the box-filter Laplacian trace
+	// Dxx+Dyy at the detection, distinguishing bright blobs on dark
+	// background from dark blobs on bright background. Matching indexes
+	// bucket on it, as the original SURF implementation does.
+	Laplacian int8
 }
 
 // Descriptor is the 64-dimensional upright SURF descriptor.
@@ -74,8 +79,9 @@ func Detect(g *img.Gray, p Params) []Keypoint {
 				}
 				kps = append(kps, Keypoint{
 					X: float64(x), Y: float64(y),
-					Scale:    1.2 * float64(filterSizes[s]) / 9,
-					Response: v,
+					Scale:     1.2 * float64(filterSizes[s]) / 9,
+					Response:  v,
+					Laplacian: laplacianSign(it, x, y, filterSizes[s]),
 				})
 			}
 		}
@@ -135,6 +141,19 @@ func hessianResponses(it *img.Integral, L int) []float64 {
 // boxSum sums a (cols × rows) box with top-left corner (x, y).
 func boxSum(it *img.Integral, x, y, cols, rows int) float64 {
 	return it.BoxSum(x, y, x+cols, y+rows)
+}
+
+// laplacianSign evaluates the sign of the box-filter trace Dxx+Dyy at
+// (x, y) for filter size L, using the same lobes as hessianResponses.
+func laplacianSign(it *img.Integral, x, y, L int) int8 {
+	l := L / 3
+	b := (L - 1) / 2
+	dxx := boxSum(it, x-b, y-l+1, L, 2*l-1) - 3*boxSum(it, x-l/2, y-l+1, l, 2*l-1)
+	dyy := boxSum(it, x-l+1, y-b, 2*l-1, L) - 3*boxSum(it, x-l+1, y-l/2, 2*l-1, l)
+	if dxx+dyy < 0 {
+		return -1
+	}
+	return 1
 }
 
 // Describe computes upright SURF descriptors for keypoints. Keypoints whose

@@ -80,6 +80,8 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 			Traj:  traj,
 			KFs:   kfs,
 			Night: captures[i].Night,
+			// Fingerprint before ReleaseFrames drops the pixels it covers.
+			Hash: captures[i].Fingerprint(),
 		}
 		if cfg.ReleaseFrames {
 			captures[i].Frames = nil
@@ -95,7 +97,7 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 	// stage, memoized and then replayed through the sequential graph
 	// builder.
 	aggDone := obs.Stage(reg, "aggregate")
-	agg, err := ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers)
+	agg, err := ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers, cfg.PairCache)
 	if err != nil {
 		return nil, err
 	}
@@ -129,20 +131,30 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 		}
 	}
 	roomsDone := obs.Stage(reg, "rooms")
+	// Workers write into fixed slots so the final observation order is the
+	// roomIdx (capture) order regardless of goroutine scheduling —
+	// dedupRooms and floorplan.PlaceRooms are order-sensitive, so appending
+	// under the mutex made the plan vary run-to-run.
+	obsSlots := make([]*floorplan.RoomObservation, len(roomIdx))
 	err = pipeline.Map(ctx, len(roomIdx), cfg.Workers, func(_ context.Context, k int) error {
 		i := roomIdx[k]
 		ob, rerr := reconstructRoom(captures[i], i, tracks[i], agg, cfg)
-		mu.Lock()
-		defer mu.Unlock()
 		if rerr != nil {
+			mu.Lock()
 			res.RoomFailures[captures[i].ID] = rerr
+			mu.Unlock()
 			return nil // room failures degrade the plan, not the run
 		}
-		res.RoomObservations = append(res.RoomObservations, ob)
+		obsSlots[k] = &ob
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, ob := range obsSlots {
+		if ob != nil {
+			res.RoomObservations = append(res.RoomObservations, *ob)
+		}
 	}
 	roomsDone()
 	reg.Counter("rooms.observed").Add(int64(len(res.RoomObservations)))
@@ -178,8 +190,10 @@ func extractTrack(c *Capture, cfg Config) ([]*KeyFrame, *Trajectory, error) {
 // ParallelAggregate memoizes all pair comparisons with bounded parallelism
 // and then runs the aggregation graph logic over the memo. It is the
 // library's equivalent of the paper's PySpark acceleration of trajectory
-// aggregation.
-func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params, workers int) (*aggregate.Result, error) {
+// aggregation. A non-nil cache short-circuits pairs whose decision is
+// already known from a previous job (see aggregate.PairCache); pass nil to
+// compare every pair from scratch.
+func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params, workers int, cache *aggregate.PairCache) (*aggregate.Result, error) {
 	type cell struct {
 		m  aggregate.Match
 		ok bool
@@ -187,7 +201,7 @@ func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params,
 	memo := make(map[[2]int]cell)
 	var mu sync.Mutex
 	err := pipeline.MapPairs(ctx, len(tracks), workers, func(_ context.Context, pr pipeline.Pair) error {
-		m, ok, err := aggregate.ComparePair(pr.I, pr.J, tracks[pr.I], tracks[pr.J], p)
+		m, ok, err := aggregate.ComparePairCached(pr.I, pr.J, tracks[pr.I], tracks[pr.J], p, cache)
 		if err != nil {
 			return err
 		}
@@ -198,6 +212,9 @@ func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cache != nil {
+		p.KF.Obs.Gauge("compare.cache.entries").Set(float64(cache.Len()))
 	}
 	replay := func(ai, bi int, _, _ *aggregate.Track, _ aggregate.Params) (aggregate.Match, bool, error) {
 		c, found := memo[[2]int{ai, bi}]
@@ -217,7 +234,7 @@ func reconstructRoom(c *Capture, trackIdx int, tr *Track, agg *aggregate.Result,
 	if !placed {
 		return floorplan.RoomObservation{}, fmt.Errorf("crowdmap: track %s not placed by aggregation", tr.ID)
 	}
-	srs := srsKeyFrames(tr.KFs, tr.Traj, 0.75)
+	srs := srsKeyFrames(tr.KFs, tr.Traj, cfg.Keyframe.EffectiveStayRadius())
 	pn, err := stitchRoomPanorama(srs, c.Camera, cfg)
 	if err != nil {
 		return floorplan.RoomObservation{}, fmt.Errorf("crowdmap: panorama for %s: %w", c.ID, err)

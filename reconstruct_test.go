@@ -78,7 +78,7 @@ func TestParallelAggregateMatchesSequential(t *testing.T) {
 	// trivial empty tracks: no key-frames means no anchors and no matches,
 	// and the result structure must still be coherent.
 	tracks := []*Track{{ID: "a"}, {ID: "b"}, {ID: "c"}}
-	res, err := ParallelAggregate(context.Background(), tracks, aggregate.DefaultParams(), 2)
+	res, err := ParallelAggregate(context.Background(), tracks, aggregate.DefaultParams(), 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Anchor-search fast-path benchmark snapshot (PR 2).
+#
+# Runs the brute-vs-indexed anchor-search benchmarks and the warm-cache
+# aggregation benchmark, then writes BENCH_pr2.json with ns/op per stage,
+# the brute/indexed speedup, and the measured pair-cache hit rate.
+#
+#   scripts/bench.sh              # default 3 iterations per benchmark
+#   BENCH_TIME=10x scripts/bench.sh
+#
+# Numbers are machine-dependent; the JSON is for offline comparison, never
+# a CI gate (ci.sh runs this non-gating).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_pr2.json
+BENCH_TIME="${BENCH_TIME:-3x}"
+
+RAW=$(go test -run '^$' \
+	-bench '^(BenchmarkAnchorSearchBrute|BenchmarkAnchorSearchIndexed|BenchmarkWarmCacheAggregation)$' \
+	-benchtime "$BENCH_TIME" . 2>&1) || { echo "$RAW"; exit 1; }
+echo "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkAnchorSearchBrute-8   5   516922721 ns/op
+#   BenchmarkWarmCacheAggregation-8  3  42000000 ns/op  99.1 hit%
+field() { echo "$RAW" | awk -v name="$1" -v metric="$2" '
+	$1 ~ "^"name"(-[0-9]+)?$" {
+		for (i = 2; i <= NF; i++) if ($i == metric) { print $(i-1); exit }
+	}'; }
+
+brute=$(field BenchmarkAnchorSearchBrute "ns/op")
+indexed=$(field BenchmarkAnchorSearchIndexed "ns/op")
+warm=$(field BenchmarkWarmCacheAggregation "ns/op")
+hit=$(field BenchmarkWarmCacheAggregation "hit%")
+
+json_num() { [ -n "${1:-}" ] && echo "$1" || echo "null"; }
+speedup=null
+if [ -n "$brute" ] && [ -n "$indexed" ] && [ "$indexed" != "0" ]; then
+	speedup=$(awk -v a="$brute" -v b="$indexed" 'BEGIN { printf "%.2f", a / b }')
+fi
+
+cat > "$OUT" <<EOF
+{
+  "pr": 2,
+  "benchtime": "$BENCH_TIME",
+  "anchor_search": {
+    "brute_ns_per_op": $(json_num "$brute"),
+    "indexed_ns_per_op": $(json_num "$indexed"),
+    "speedup": $speedup
+  },
+  "warm_cache": {
+    "aggregation_ns_per_op": $(json_num "$warm"),
+    "hit_rate_percent": $(json_num "$hit")
+  }
+}
+EOF
+echo "wrote $OUT"
