@@ -6,22 +6,29 @@
 //
 // Usage:
 //
-//	crowdmapd [-addr :8080] [-interval 30s] [-snapshot store.json]
-//	          [-hypotheses N] [-workers N] [-metrics]
+//	crowdmapd [-addr :8080] [-interval 30s] [-data-dir DIR] [-wal-sync always]
+//	          [-snapshot store.json] [-hypotheses N] [-workers N] [-metrics]
+//
+// With -data-dir the daemon is durable: every document mutation and every
+// acknowledged upload chunk goes through a write-ahead log before it is
+// confirmed, reconstruction progress is checkpointed per stage, and a
+// restart replays the log — partial uploads resume where they left off
+// and finished buildings are not reprocessed. Without -data-dir the
+// daemon is memory-only (the legacy -snapshot flag still saves/loads a
+// JSON dump at exit/start).
 //
 // The HTTP API always serves GET /metrics with a JSON snapshot covering
-// both ingestion (http.*, uploads.*) and reconstruction (stage.*,
-// keyframe.*, compare.*, aggregate.*) — the server and the pipeline share
-// one registry. The -metrics flag additionally logs a snapshot after every
+// ingestion (http.*, uploads.*), durability (store.wal.*), scheduling
+// (queue.*) and reconstruction (stage.*, keyframe.*, compare.*,
+// aggregate.*, pipeline.resume.*) — every subsystem shares one registry.
+// The -metrics flag additionally logs a snapshot after every
 // reconstruction cycle.
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -29,10 +36,11 @@ import (
 	"syscall"
 	"time"
 
-	"crowdmap"
+	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/cloud/queue"
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
 )
 
 func main() {
@@ -41,15 +49,40 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		interval   = flag.Duration("interval", 30*time.Second, "reconstruction interval")
-		snapshot   = flag.String("snapshot", "", "optional store snapshot path (loaded at start, saved on exit)")
+		dataDir    = flag.String("data-dir", "", "durable data directory (WAL-backed store); empty = memory-only")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always | interval | never")
+		snapshot   = flag.String("snapshot", "", "optional store snapshot path, memory-only mode (loaded at start, saved on exit)")
 		hypotheses = flag.Int("hypotheses", 20000, "room layout hypotheses per panorama")
 		workers    = flag.Int("workers", 0, "pipeline workers (0 = all CPUs)")
 		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each reconstruction cycle")
 	)
 	flag.Parse()
 
+	// One registry spans every subsystem: ingestion, WAL, scheduler and the
+	// reconstruction pipeline all feed it, and GET /metrics exposes all of it.
+	reg := obs.New()
+
 	st := store.New()
-	if *snapshot != "" {
+	var wal *store.WAL
+	serverOpts := []server.Option{server.WithObs(reg)}
+	if *dataDir != "" {
+		pol, err := store.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wal, err = store.OpenWAL(*dataDir, store.WALSync(pol), store.WALObs(reg))
+		if err != nil {
+			log.Fatalf("wal: %v", err)
+		}
+		st = wal.Store()
+		recovered := wal.RecoveredUploads()
+		log.Printf("wal: recovered %d captures, %d plans, %d partial uploads from %s",
+			st.Len(server.CollCaptures), st.Len(server.CollPlans), len(recovered), *dataDir)
+		serverOpts = append(serverOpts, server.WithChunkLog(wal), server.WithRecoveredUploads(recovered))
+		if *snapshot != "" {
+			log.Print("-snapshot is ignored when -data-dir is set")
+		}
+	} else if *snapshot != "" {
 		if err := st.LoadFile(*snapshot); err != nil {
 			if !os.IsNotExist(err) {
 				log.Printf("snapshot load: %v (starting empty)", err)
@@ -59,7 +92,7 @@ func main() {
 				st.Len(server.CollCaptures), st.Len(server.CollPlans))
 		}
 	}
-	srv, err := server.New(st)
+	srv, err := server.New(st, serverOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,15 +102,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// One registry spans ingestion and processing: the server created it,
-	// the scheduler and the reconstruction pipeline feed it, and GET
-	// /metrics exposes all of it.
-	reg := srv.Metrics()
 	sched.SetObs(reg)
+	journal, err := pipeline.NewJournal(st, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	proc := newProcessor(st, *hypotheses, *workers)
 	proc.obs = reg
 	proc.logMetrics = *metrics
-	stop, err := sched.Every(*interval, queue.Job{ID: "reconstruct", Run: proc.run})
+	proc.journal = journal
+	proc.loadPairCache()
+	// Each cycle runs under the retry policy: transient failures back off
+	// and retry, and a cycle that keeps failing is reported through the
+	// dead-letter queue instead of silently looping.
+	stop, err := sched.Every(*interval, sched.RetryJob(queue.Job{ID: "reconstruct", Run: proc.run}, queue.DefaultRetryPolicy()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,93 +140,30 @@ func main() {
 	log.Print("shutting down")
 	stop()
 	sched.Close()
+	for _, d := range sched.DeadLetters() {
+		log.Printf("dead-letter: job %s failed %d attempts: %s", d.JobID, d.Attempts, d.Err)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
-	if *snapshot != "" {
+	proc.savePairCache()
+	if wal != nil {
+		if err := wal.Compact(); err != nil {
+			log.Printf("wal compact: %v", err)
+		}
+		if err := wal.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	} else if *snapshot != "" {
 		if err := st.SaveFile(*snapshot); err != nil {
 			log.Printf("snapshot save: %v", err)
 		} else {
 			log.Printf("saved snapshot to %s", *snapshot)
 		}
 	}
-}
-
-// processor runs the reconstruction pipeline over stored captures, grouped
-// by the Task-1 geo tag (building), skipping reruns when nothing changed.
-type processor struct {
-	st         *store.Store
-	hypotheses int
-	workers    int
-	lastCount  int
-	obs        *crowdmap.MetricsRegistry
-	logMetrics bool
-	// cache persists pair-comparison decisions across reconstruction
-	// cycles: when new uploads arrive, only pairs involving new content are
-	// compared (the paper's incremental-aggregation scaling, minus the
-	// Spark cluster).
-	cache *crowdmap.PairCache
-}
-
-func newProcessor(st *store.Store, hypotheses, workers int) *processor {
-	return &processor{st: st, hypotheses: hypotheses, workers: workers, cache: crowdmap.NewPairCache(0)}
-}
-
-func (p *processor) run(context.Context) error {
-	keys := p.st.Keys(server.CollCaptures)
-	if len(keys) == 0 || len(keys) == p.lastCount {
-		return nil
-	}
-	log.Printf("reconstructing from %d captures", len(keys))
-	byBuilding := make(map[string][]*crowdmap.Capture)
-	for _, k := range keys {
-		data, ok := p.st.Get(server.CollCaptures, k)
-		if !ok {
-			continue
-		}
-		c, err := server.DecodeCapture(data)
-		if err != nil {
-			log.Printf("decode %s: %v (skipping)", k, err)
-			continue
-		}
-		byBuilding[c.Geo.Building] = append(byBuilding[c.Geo.Building], c)
-	}
-	for building, captures := range byBuilding {
-		if len(captures) < 3 {
-			log.Printf("%s: only %d captures, waiting for more", building, len(captures))
-			continue
-		}
-		cfg := crowdmap.DefaultConfig()
-		cfg.Layout.Hypotheses = p.hypotheses
-		cfg.Workers = p.workers
-		cfg.Metrics = p.obs
-		cfg.PairCache = p.cache
-		start := time.Now()
-		res, err := crowdmap.Reconstruct(captures, cfg)
-		if err != nil {
-			log.Printf("%s: reconstruction failed: %v", building, err)
-			continue
-		}
-		svg, err := res.Plan.RenderSVG()
-		if err != nil {
-			log.Printf("%s: render: %v", building, err)
-			continue
-		}
-		if err := p.st.Put(server.CollPlans, building, svg); err != nil {
-			log.Printf("%s: store plan: %v", building, err)
-			continue
-		}
-		var buf bytes.Buffer
-		fmt.Fprintf(&buf, "%s: plan updated (%d rooms, %d/%d tracks placed, %s)",
-			building, len(res.Plan.Rooms), len(res.Aggregation.Offsets), len(res.Tracks),
-			time.Since(start).Round(time.Millisecond))
-		log.Print(buf.String())
-	}
-	p.lastCount = len(keys)
-	if p.logMetrics && p.obs != nil {
-		if data, err := json.Marshal(p.obs.Snapshot()); err == nil {
-			log.Printf("metrics: %s", data)
+	if *metrics {
+		if data, err := json.Marshal(reg.Snapshot()); err == nil {
+			log.Printf("final metrics: %s", data)
 		}
 	}
-	return nil
 }

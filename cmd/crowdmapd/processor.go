@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"crowdmap"
+	"crowdmap/internal/cloud/server"
+	"crowdmap/internal/cloud/store"
+
+	"context"
+)
+
+// Store collections owned by the processor (the server owns captures and
+// plans; see server.CollCaptures / server.CollPlans).
+const (
+	// collDeadLetter holds capture archives quarantined as poison: they made
+	// reconstruction fail repeatedly, so they are moved out of the working
+	// set and the corpus is processed without them. An operator can inspect
+	// and re-admit them by moving the document back.
+	collDeadLetter = "deadletter"
+	// collState holds small processor state documents (the pair cache dump).
+	collState = "state"
+	// statePairCache is the collState key of the exported pair cache.
+	statePairCache = "paircache"
+)
+
+// maxCaptureFailures is how many failed reconstruction attempts a single
+// capture may cause before it is quarantined to the dead-letter
+// collection.
+const maxCaptureFailures = 3
+
+// processor runs the reconstruction pipeline over stored captures, grouped
+// by the Task-1 geo tag (building), skipping reruns when nothing changed.
+type processor struct {
+	st         *store.Store
+	hypotheses int
+	workers    int
+	lastCount  int
+	obs        *crowdmap.MetricsRegistry
+	logMetrics bool
+	// journal checkpoints per-stage completion; a building whose plan stage
+	// already completed over the same corpus is skipped entirely.
+	journal *crowdmap.CheckpointJournal
+	// cache persists pair-comparison decisions across reconstruction
+	// cycles: when new uploads arrive, only pairs involving new content are
+	// compared (the paper's incremental-aggregation scaling, minus the
+	// Spark cluster). It is exported to the store after each cycle, so a
+	// restarted daemon starts warm.
+	cache *crowdmap.PairCache
+	// failures counts, per capture, how many reconstruction attempts it has
+	// made fail; at maxCaptureFailures the capture is dead-lettered.
+	failures map[string]int
+	// reconstruct is the pipeline entry point; a field so tests can
+	// substitute a stub.
+	reconstruct func(ctx context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error)
+}
+
+func newProcessor(st *store.Store, hypotheses, workers int) *processor {
+	return &processor{
+		st:          st,
+		hypotheses:  hypotheses,
+		workers:     workers,
+		cache:       crowdmap.NewPairCache(0),
+		failures:    make(map[string]int),
+		reconstruct: crowdmap.ReconstructContext,
+	}
+}
+
+// loadPairCache warms the cache from the previous process's exported dump.
+func (p *processor) loadPairCache() {
+	data, ok := p.st.Get(collState, statePairCache)
+	if !ok {
+		return
+	}
+	if err := p.cache.ImportJSON(data); err != nil {
+		log.Printf("pair cache load: %v (starting cold)", err)
+		return
+	}
+	log.Printf("pair cache: %d decisions loaded", p.cache.Len())
+}
+
+// savePairCache checkpoints the cache through the store (and hence the
+// WAL, when one backs it).
+func (p *processor) savePairCache() {
+	data, err := p.cache.ExportJSON()
+	if err != nil {
+		log.Printf("pair cache export: %v", err)
+		return
+	}
+	if err := p.st.Put(collState, statePairCache, data); err != nil {
+		log.Printf("pair cache save: %v", err)
+	}
+}
+
+// quarantine moves a poison capture to the dead-letter collection so the
+// rest of the corpus can proceed without it.
+func (p *processor) quarantine(id string, cause error) {
+	if data, ok := p.st.Get(server.CollCaptures, id); ok {
+		if err := p.st.Put(collDeadLetter, id, data); err != nil {
+			log.Printf("dead-letter %s: %v", id, err)
+			return
+		}
+		if err := p.st.Delete(server.CollCaptures, id); err != nil {
+			log.Printf("dead-letter %s: %v", id, err)
+			return
+		}
+	}
+	delete(p.failures, id)
+	p.obs.Counter("captures.deadlettered").Inc()
+	log.Printf("capture %s dead-lettered after %d failures: %v", id, maxCaptureFailures, cause)
+}
+
+func (p *processor) run(ctx context.Context) error {
+	keys := p.st.Keys(server.CollCaptures)
+	if len(keys) == 0 || len(keys) == p.lastCount {
+		return nil
+	}
+	log.Printf("reconstructing from %d captures", len(keys))
+	byBuilding := make(map[string][]*crowdmap.Capture)
+	for _, k := range keys {
+		data, ok := p.st.Get(server.CollCaptures, k)
+		if !ok {
+			continue
+		}
+		c, err := server.DecodeCapture(data)
+		if err != nil {
+			// An archive that passed upload validation but no longer decodes
+			// is poison too; count it toward quarantine instead of skipping
+			// it silently forever.
+			p.failures[k]++
+			if p.failures[k] >= maxCaptureFailures {
+				p.quarantine(k, err)
+			} else {
+				log.Printf("decode %s: %v (skipping)", k, err)
+			}
+			continue
+		}
+		byBuilding[c.Geo.Building] = append(byBuilding[c.Geo.Building], c)
+	}
+	buildings := make([]string, 0, len(byBuilding))
+	for b := range byBuilding {
+		buildings = append(buildings, b)
+	}
+	sort.Strings(buildings)
+	var firstErr error
+	for _, building := range buildings {
+		if err := p.reconstructBuilding(ctx, building, byBuilding[building]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	p.savePairCache()
+	if firstErr != nil {
+		// Leave lastCount untouched: the retry policy redrives this cycle
+		// and it must not be short-circuited by the nothing-changed check.
+		return firstErr
+	}
+	p.lastCount = len(keys)
+	if p.logMetrics && p.obs != nil {
+		if data, err := json.Marshal(p.obs.Snapshot()); err == nil {
+			log.Printf("metrics: %s", data)
+		}
+	}
+	return nil
+}
+
+// reconstructBuilding runs one building's corpus through the pipeline,
+// quarantining poison captures and degrading to the remaining corpus
+// rather than failing the whole cycle.
+func (p *processor) reconstructBuilding(ctx context.Context, building string, captures []*crowdmap.Capture) error {
+	for {
+		if len(captures) < 3 {
+			log.Printf("%s: only %d captures, waiting for more", building, len(captures))
+			return nil
+		}
+		fp := crowdmap.CorpusFingerprint(captures)
+		if _, havePlan := p.st.Get(server.CollPlans, building); havePlan &&
+			p.journal.Completed(building, crowdmap.StagePlan, fp) {
+			// The plan stage already completed over exactly this corpus (a
+			// restart, or a retry after another building failed): nothing to do.
+			log.Printf("%s: plan already reconstructed for this corpus, skipping", building)
+			return nil
+		}
+		cfg := crowdmap.DefaultConfig()
+		cfg.Layout.Hypotheses = p.hypotheses
+		cfg.Workers = p.workers
+		cfg.Metrics = p.obs
+		cfg.PairCache = p.cache
+		cfg.JobID = building
+		cfg.Checkpoints = p.journal
+		start := time.Now()
+		res, err := p.reconstruct(ctx, captures, cfg)
+		if err != nil {
+			var ce *crowdmap.CaptureError
+			if errors.As(err, &ce) {
+				p.failures[ce.CaptureID]++
+				if p.failures[ce.CaptureID] >= maxCaptureFailures {
+					// Graceful degradation: drop the poison capture and
+					// immediately retry this building with the rest.
+					p.quarantine(ce.CaptureID, err)
+					kept := captures[:0]
+					for _, c := range captures {
+						if c.ID != ce.CaptureID {
+							kept = append(kept, c)
+						}
+					}
+					captures = kept
+					continue
+				}
+			}
+			log.Printf("%s: reconstruction failed: %v", building, err)
+			return fmt.Errorf("%s: %w", building, err)
+		}
+		svg, err := res.Plan.RenderSVG()
+		if err != nil {
+			log.Printf("%s: render: %v", building, err)
+			return fmt.Errorf("%s: render: %w", building, err)
+		}
+		if err := p.st.Put(server.CollPlans, building, svg); err != nil {
+			log.Printf("%s: store plan: %v", building, err)
+			return fmt.Errorf("%s: store plan: %w", building, err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "%s: plan updated (%d rooms, %d/%d tracks placed, %s)",
+			building, len(res.Plan.Rooms), len(res.Aggregation.Offsets), len(res.Tracks),
+			time.Since(start).Round(time.Millisecond))
+		log.Print(buf.String())
+		return nil
+	}
+}

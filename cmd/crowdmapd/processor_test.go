@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"crowdmap"
+	"crowdmap/internal/aggregate"
+	"crowdmap/internal/cloud/pipeline"
+	"crowdmap/internal/cloud/server"
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/gridmap"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/world"
+)
+
+// seedCaptures stores n encoded captures for one building, returning
+// their IDs in insertion order.
+func seedCaptures(t *testing.T, st *store.Store, n int) []string {
+	t.Helper()
+	users, err := crowd.NewPopulation(1, 0, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := crowd.NewGenerator(world.Lab2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("cap-%d", i)
+		c, err := gen.SWS(id, users[0], geom.P(3, 7.5), geom.P(14, 7.5), mathx.NewRNG(int64(2+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := server.EncodeCapture(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(server.CollCaptures, id, data); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// stubResult is a minimal renderable reconstruction result.
+func stubResult() *crowdmap.Result {
+	mask := &gridmap.Binary{
+		Bounds: geom.Rect{Min: geom.P(0, 0), Max: geom.P(10, 10)},
+		Res:    1, W: 10, H: 10, Cells: make([]bool, 100),
+	}
+	return &crowdmap.Result{
+		Plan:        &floorplan.Plan{Building: "Lab2", HallwayMask: mask},
+		Aggregation: &aggregate.Result{},
+	}
+}
+
+// TestProcessorQuarantinesPoisonCapture is the graceful-degradation
+// acceptance test: a capture that makes reconstruction fail repeatedly is
+// moved to the dead-letter collection, and the cycle then completes with
+// the remaining corpus.
+func TestProcessorQuarantinesPoisonCapture(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, 4)
+	poison := ids[1]
+
+	proc := newProcessor(st, 100, 1)
+	proc.obs = crowdmap.NewMetricsRegistry()
+	journal, err := pipeline.NewJournal(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.journal = journal
+	calls := 0
+	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		calls++
+		for _, c := range captures {
+			if c.ID == poison {
+				return nil, fmt.Errorf("stage 1: %w",
+					&crowdmap.CaptureError{CaptureID: poison, Err: errors.New("corrupt frames")})
+			}
+		}
+		return stubResult(), nil
+	}
+
+	ctx := context.Background()
+	// Attempts 1 and 2: the poison capture fails the cycle (the retry
+	// policy would redrive these in production).
+	for attempt := 1; attempt <= maxCaptureFailures-1; attempt++ {
+		if err := proc.run(ctx); err == nil {
+			t.Fatalf("attempt %d: cycle succeeded with poison capture present", attempt)
+		}
+	}
+	if _, ok := st.Get(collDeadLetter, poison); ok {
+		t.Fatal("capture quarantined before reaching the failure threshold")
+	}
+	// Attempt 3 hits the threshold: quarantine, then completion with the
+	// remaining three captures inside the same cycle.
+	if err := proc.run(ctx); err != nil {
+		t.Fatalf("cycle after quarantine: %v", err)
+	}
+	if _, ok := st.Get(collDeadLetter, poison); !ok {
+		t.Error("poison capture not in dead-letter collection")
+	}
+	if _, ok := st.Get(server.CollCaptures, poison); ok {
+		t.Error("poison capture still in the working set")
+	}
+	if _, ok := st.Get(server.CollPlans, "Lab2"); !ok {
+		t.Error("plan not produced from the remaining corpus")
+	}
+	if v := proc.obs.Snapshot().Counters["captures.deadlettered"]; v != 1 {
+		t.Errorf("captures.deadlettered = %d, want 1", v)
+	}
+	// The pair cache was persisted at end of cycle.
+	if _, ok := st.Get(collState, statePairCache); !ok {
+		t.Error("pair cache not checkpointed")
+	}
+}
+
+// TestProcessorSkipsCompletedJob: a building whose plan stage is already
+// checkpointed for the current corpus is not reconstructed again.
+func TestProcessorSkipsCompletedJob(t *testing.T) {
+	st := store.New()
+	seedCaptures(t, st, 3)
+	proc := newProcessor(st, 100, 1)
+	proc.obs = crowdmap.NewMetricsRegistry()
+	journal, err := pipeline.NewJournal(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.journal = journal
+	calls := 0
+	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error) {
+		calls++
+		// Mimic the real pipeline's final checkpoint.
+		if err := cfg.Checkpoints.Complete(cfg.JobID, crowdmap.StagePlan,
+			crowdmap.CorpusFingerprint(captures), nil); err != nil {
+			t.Fatal(err)
+		}
+		return stubResult(), nil
+	}
+	if err := proc.run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("first cycle: %d reconstructions, want 1", calls)
+	}
+	// Force a re-examination (pretend the count changed) — the checkpoint,
+	// not lastCount, must prevent the rerun.
+	proc.lastCount = 0
+	if err := proc.run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("completed job was reconstructed again (%d calls)", calls)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"crowdmap/internal/aggregate"
+	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/crowd"
 	"crowdmap/internal/floorplan"
 	"crowdmap/internal/forcedir"
@@ -67,6 +68,13 @@ type (
 	// reconstruction jobs, keyed by capture content fingerprints; pass one
 	// in Config.PairCache so incremental runs only compare new content.
 	PairCache = aggregate.PairCache
+	// CheckpointJournal persists per-stage completion records so a
+	// restarted process resumes a reconstruction at the last finished
+	// stage. Build one with pipeline.NewJournal over a document store
+	// (in production the WAL-backed store) and pass it in
+	// Config.Checkpoints together with a Config.JobID. A nil journal is a
+	// valid no-op.
+	CheckpointJournal = pipeline.Journal
 )
 
 // NewMetricsRegistry returns an empty metrics registry for Config.Metrics.
@@ -116,6 +124,17 @@ type Config struct {
 	// or without the cache; only the work is skipped. Changing comparison
 	// parameters flushes it automatically. Nil disables caching.
 	PairCache *PairCache
+	// JobID names this reconstruction for checkpointing (typically the
+	// building). Checkpoint records are keyed by (JobID, stage, corpus
+	// fingerprint); an empty JobID disables checkpointing.
+	JobID string
+	// Checkpoints, when non-nil and JobID is set, receives a stage-
+	// completion record after each pipeline stage, with the pair-comparison
+	// decisions attached as the "pairs" payload. A restarted run with the
+	// same JobID and corpus reloads those decisions and, at the daemon
+	// level, skips jobs whose "plan" stage already completed. Nil disables
+	// checkpointing.
+	Checkpoints *CheckpointJournal
 }
 
 // DefaultConfig returns the tuning used for the paper-reproduction

@@ -1,8 +1,12 @@
 package crowdmap
 
 import (
+	"context"
 	"reflect"
 	"testing"
+
+	"crowdmap/internal/cloud/pipeline"
+	"crowdmap/internal/cloud/store"
 )
 
 // determinismCorpus builds the small Lab2 corpus shared by the determinism
@@ -133,4 +137,75 @@ func TestPairCacheWarmRun(t *testing.T) {
 		t.Errorf("warm run bypassed the cache %d times", ws["compare.cache.bypass"])
 	}
 	checkSameResult(t, "cold vs warm cache", first, second)
+}
+
+// TestRestartMidJobResume is the stage-level resume acceptance test: a
+// reconstruction that checkpointed its pair-comparison stage and then
+// "died" is resumed by a fresh process (new PairCache, same journal), and
+// the resumed run must (a) reload every pair decision from the checkpoint
+// payload — zero cache misses — and (b) produce a result
+// reflect.DeepEqual to an uninterrupted run.
+func TestRestartMidJobResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end resume check is expensive")
+	}
+	captures, cfg := determinismCorpus(t)
+	cfg.Workers = 4
+
+	// Reference: an uninterrupted run (no checkpointing at all).
+	ref, err := Reconstruct(captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt: runs to completion while checkpointing. The "crash"
+	// happens after it — what matters is that the journal now holds the
+	// stage records a mid-job death would have left behind (stages are
+	// checkpointed as they finish, not at the end).
+	st := store.New()
+	journal, err := pipeline.NewJournal(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.JobID = "Lab2"
+	cfg.Checkpoints = journal
+	cfg.PairCache = NewPairCache(0)
+	if _, err := ReconstructContext(context.Background(), captures, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fp := CorpusFingerprint(captures)
+	for _, stage := range []string{StageKeyframes, StagePairs, StageSkeleton, StagePlan} {
+		if !journal.Completed("Lab2", stage, fp) {
+			t.Fatalf("stage %s not checkpointed", stage)
+		}
+	}
+
+	// Restart: a fresh journal over the surviving store and an EMPTY pair
+	// cache, exactly what a rebooted daemon has.
+	journal2, err := pipeline.NewJournal(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedReg := NewMetricsRegistry()
+	cfg.Checkpoints = journal2
+	cfg.PairCache = NewPairCache(0)
+	cfg.Metrics = resumedReg
+	resumed, err := ReconstructContext(context.Background(), captures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair decision must come from the checkpoint payload.
+	rs := resumedReg.Snapshot().Counters
+	n := int64(len(captures))
+	pairs := n * (n - 1) / 2
+	if rs["compare.cache.hits"] != pairs || rs["compare.cache.misses"] != 0 {
+		t.Errorf("resumed run: hits=%d misses=%d, want %d/0 (decisions reloaded from checkpoint)",
+			rs["compare.cache.hits"], rs["compare.cache.misses"], pairs)
+	}
+	checkSameResult(t, "uninterrupted vs resumed", ref, resumed)
+
+	// A changed corpus must NOT resume from stale checkpoints.
+	if journal2.Completed("Lab2", StagePlan, CorpusFingerprint(captures[:len(captures)-1])) {
+		t.Error("checkpoint accepted for a different corpus")
+	}
 }

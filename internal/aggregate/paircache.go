@@ -1,7 +1,9 @@
 package aggregate
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -129,6 +131,69 @@ func invertMatch(m Match) Match {
 		}
 	}
 	return out
+}
+
+// pairCacheDump is the serialized form of a PairCache; entries are sorted
+// by key so the encoding is deterministic.
+type pairCacheDump struct {
+	Sig     string          `json:"sig"`
+	Entries []pairDumpEntry `json:"entries"`
+}
+
+type pairDumpEntry struct {
+	Lo    string `json:"lo"`
+	Hi    string `json:"hi"`
+	Match Match  `json:"match"`
+	OK    bool   `json:"ok"`
+}
+
+// ExportJSON serializes the cache — parameters signature plus every
+// memoized decision — so a daemon can checkpoint pair decisions and
+// reload them after a restart instead of re-running the anchor searches.
+// Nil-safe (returns an empty dump).
+func (c *PairCache) ExportJSON() ([]byte, error) {
+	dump := pairCacheDump{}
+	if c != nil {
+		c.mu.Lock()
+		dump.Sig = c.sig
+		dump.Entries = make([]pairDumpEntry, 0, len(c.entries))
+		for k, e := range c.entries {
+			dump.Entries = append(dump.Entries, pairDumpEntry{Lo: k.lo, Hi: k.hi, Match: e.m, OK: e.ok})
+		}
+		c.mu.Unlock()
+		sort.Slice(dump.Entries, func(i, j int) bool {
+			if dump.Entries[i].Lo != dump.Entries[j].Lo {
+				return dump.Entries[i].Lo < dump.Entries[j].Lo
+			}
+			return dump.Entries[i].Hi < dump.Entries[j].Hi
+		})
+	}
+	return json.Marshal(&dump)
+}
+
+// ImportJSON replaces the cache contents with a previously exported dump.
+// Decisions beyond the cache bound are dropped (the bound wins over the
+// dump). The signature rides along, so a dump recorded under different
+// comparison parameters flushes naturally on the first put.
+func (c *PairCache) ImportJSON(data []byte) error {
+	if c == nil {
+		return fmt.Errorf("aggregate: import into nil PairCache")
+	}
+	var dump pairCacheDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fmt.Errorf("aggregate: decode pair cache dump: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sig = dump.Sig
+	c.entries = make(map[pairKey]pairEntry, len(dump.Entries))
+	for _, e := range dump.Entries {
+		if len(c.entries) >= c.max {
+			break
+		}
+		c.entries[pairKey{lo: e.Lo, hi: e.Hi}] = pairEntry{m: e.Match, ok: e.OK}
+	}
+	return nil
 }
 
 // ComparePairCached is ComparePair with memoization: when both tracks

@@ -148,3 +148,86 @@ func TestComparePairCachedBypassAndNil(t *testing.T) {
 		t.Errorf("hit did not rebind track indices: got (%d,%d), want (5,9)", m.A, m.B)
 	}
 }
+
+func TestPairCacheExportImportRoundTrip(t *testing.T) {
+	c := NewPairCache(0)
+	m := testMatch()
+	c.put("sig", "aaa", "bbb", m, true)
+	c.put("sig", "ccc", "bbb", Match{}, false)
+	c.put("sig", "ddd", "aaa", testMatch(), true)
+
+	data, err := c.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding: a second export is byte-identical.
+	data2, err := c.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("repeated exports differ (non-deterministic encoding)")
+	}
+
+	fresh := NewPairCache(0)
+	if err := fresh.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != c.Len() {
+		t.Fatalf("imported %d entries, want %d", fresh.Len(), c.Len())
+	}
+	// Every decision survives with orientation and signature intact.
+	for _, pair := range [][2]string{{"aaa", "bbb"}, {"bbb", "ccc"}, {"aaa", "ddd"}} {
+		want, wantInv, found := c.get("sig", pair[0], pair[1])
+		got, gotInv, ok := fresh.get("sig", pair[0], pair[1])
+		if !found || !ok {
+			t.Fatalf("pair %v lost in round trip", pair)
+		}
+		if gotInv != wantInv || got.ok != want.ok || !reflect.DeepEqual(got.m, want.m) {
+			t.Errorf("pair %v decision changed: got %+v/%v, want %+v/%v", pair, got, gotInv, want, wantInv)
+		}
+	}
+	// The signature rode along: a different-signature lookup misses.
+	if _, _, found := fresh.get("other-sig", "aaa", "bbb"); found {
+		t.Error("imported cache answered under a different signature")
+	}
+}
+
+func TestPairCacheExportImportEdgeCases(t *testing.T) {
+	// Nil cache exports an empty dump.
+	var nilCache *PairCache
+	data, err := nilCache.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := NewPairCache(0)
+	if err := empty.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty dump imported %d entries", empty.Len())
+	}
+	// Importing into a nil cache and importing junk both error.
+	if err := nilCache.ImportJSON(data); err == nil {
+		t.Error("import into nil cache succeeded")
+	}
+	if err := empty.ImportJSON([]byte("{not json")); err == nil {
+		t.Error("junk import succeeded")
+	}
+	// The cache bound wins over the dump size.
+	big := NewPairCache(0)
+	for i := 0; i < 10; i++ {
+		big.put("s", string(rune('a'+i)), "zz", Match{}, false)
+	}
+	dump, err := big.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := NewPairCache(4)
+	if err := small.ImportJSON(dump); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() != 4 {
+		t.Errorf("bounded cache imported %d entries, want 4", small.Len())
+	}
+}

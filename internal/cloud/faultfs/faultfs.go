@@ -1,0 +1,252 @@
+// Package faultfs abstracts the filesystem surface the cloud store's
+// write-ahead log depends on, so durability code can run against the real
+// OS in production and against a fault-injecting wrapper in tests. The
+// Flaky implementation simulates the failure modes a kill -9 or a full
+// disk produces — torn writes that persist only a prefix of a record,
+// failed fsyncs, and unwritable directories — letting crash-recovery
+// tests exercise the exact byte-level states a crashed crowdmapd leaves
+// behind without actually killing a process.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the filesystem surface the WAL needs. Paths are plain strings;
+// implementations may interpret them relative to any root.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// Create opens a new file for writing, truncating any existing one.
+	Create(path string) (File, error)
+	// ReadFile returns the full contents of a file.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists the file names (not paths) in a directory, sorted.
+	ReadDir(path string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; removing a missing file is an error.
+	Remove(path string) error
+	// Truncate cuts a file to the given size.
+	Truncate(path string, size int64) error
+}
+
+// File is an append-target with durability control.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the file; writes after Close fail.
+	Close() error
+}
+
+// OS is the passthrough FS backed by the real filesystem.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Dir returns an FS that resolves every path under root (convenience for
+// tests that want OS semantics inside a temp directory).
+func Dir(root string) FS { return dirFS{root: root} }
+
+type dirFS struct{ root string }
+
+func (d dirFS) abs(p string) string                { return filepath.Join(d.root, p) }
+func (d dirFS) MkdirAll(p string) error            { return OS{}.MkdirAll(d.abs(p)) }
+func (d dirFS) Create(p string) (File, error)      { return OS{}.Create(d.abs(p)) }
+func (d dirFS) ReadFile(p string) ([]byte, error)  { return OS{}.ReadFile(d.abs(p)) }
+func (d dirFS) ReadDir(p string) ([]string, error) { return OS{}.ReadDir(d.abs(p)) }
+func (d dirFS) Rename(o, n string) error           { return OS{}.Rename(d.abs(o), d.abs(n)) }
+func (d dirFS) Remove(p string) error              { return OS{}.Remove(d.abs(p)) }
+func (d dirFS) Truncate(p string, s int64) error   { return OS{}.Truncate(d.abs(p), s) }
+
+// ErrInjected is the failure returned by Flaky once its write budget is
+// exhausted or a sync failure is armed.
+var ErrInjected = fmt.Errorf("faultfs: injected failure")
+
+// Flaky wraps an FS with byte-accurate write-failure injection: after the
+// configured budget of written bytes, the next write persists only the
+// bytes remaining in the budget (a torn write — exactly what a crash
+// mid-write leaves on disk) and then fails. Sync and Create can be armed
+// to fail independently. Safe for concurrent use.
+type Flaky struct {
+	base FS
+
+	mu          sync.Mutex
+	budget      int64 // bytes still allowed; < 0 means unlimited
+	failSyncs   bool
+	failCreates bool
+	written     int64
+	syncs       int64
+}
+
+// NewFlaky wraps base with an unlimited write budget and no armed faults.
+func NewFlaky(base FS) *Flaky {
+	return &Flaky{base: base, budget: -1}
+}
+
+// FailWritesAfter arms the torn-write fault: the next n bytes of writes
+// (across all files) succeed, the write that crosses the boundary persists
+// only its prefix and fails, and every later write fails outright.
+func (f *Flaky) FailWritesAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// HealWrites lifts the write budget.
+func (f *Flaky) HealWrites() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = -1
+}
+
+// FailSyncs arms (or disarms) sync failure.
+func (f *Flaky) FailSyncs(fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs = fail
+}
+
+// FailCreates arms (or disarms) file-creation failure.
+func (f *Flaky) FailCreates(fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failCreates = fail
+}
+
+// BytesWritten reports the total bytes persisted through the wrapper.
+func (f *Flaky) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Syncs reports the number of successful Sync calls.
+func (f *Flaky) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// MkdirAll implements FS.
+func (f *Flaky) MkdirAll(path string) error { return f.base.MkdirAll(path) }
+
+// Create implements FS.
+func (f *Flaky) Create(path string) (File, error) {
+	f.mu.Lock()
+	fail := f.failCreates
+	f.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("create %s: %w", path, ErrInjected)
+	}
+	file, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{fs: f, f: file}, nil
+}
+
+// ReadFile implements FS.
+func (f *Flaky) ReadFile(path string) ([]byte, error) { return f.base.ReadFile(path) }
+
+// ReadDir implements FS.
+func (f *Flaky) ReadDir(path string) ([]string, error) { return f.base.ReadDir(path) }
+
+// Rename implements FS.
+func (f *Flaky) Rename(oldpath, newpath string) error { return f.base.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (f *Flaky) Remove(path string) error { return f.base.Remove(path) }
+
+// Truncate implements FS.
+func (f *Flaky) Truncate(path string, size int64) error { return f.base.Truncate(path, size) }
+
+type flakyFile struct {
+	fs *Flaky
+	f  File
+}
+
+// Write persists as many bytes as the budget allows; a write that crosses
+// the budget boundary is torn: the prefix lands on disk, the call errors.
+func (ff *flakyFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	budget := ff.fs.budget
+	allowed := len(p)
+	if budget >= 0 {
+		if int64(allowed) > budget {
+			allowed = int(budget)
+		}
+		ff.fs.budget = budget - int64(allowed)
+	}
+	ff.fs.mu.Unlock()
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = ff.f.Write(p[:allowed])
+		ff.fs.mu.Lock()
+		ff.fs.written += int64(n)
+		ff.fs.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+	}
+	if allowed < len(p) {
+		return n, fmt.Errorf("write after %d bytes: %w", n, ErrInjected)
+	}
+	return n, nil
+}
+
+func (ff *flakyFile) Sync() error {
+	ff.fs.mu.Lock()
+	fail := ff.fs.failSyncs
+	if !fail {
+		ff.fs.syncs++
+	}
+	ff.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync: %w", ErrInjected)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *flakyFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,120 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDirFSRoundTrip(t *testing.T) {
+	fs := Dir(t.TempDir())
+	if err := fs.MkdirAll("sub"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("sub/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("sub/a.txt")
+	if err != nil || !bytes.Equal(data, []byte("hello")) {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	names, err := fs.ReadDir("sub")
+	if err != nil || len(names) != 1 || names[0] != "a.txt" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fs.Truncate("sub/a.txt", 2); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ = fs.ReadFile("sub/a.txt"); string(data) != "he" {
+		t.Errorf("after truncate: %q", data)
+	}
+	if err := fs.Rename("sub/a.txt", "sub/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("sub/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("sub/b.txt"); err == nil {
+		t.Error("removed file still readable")
+	}
+}
+
+// TestFlakyTornWrite: the write crossing the budget boundary persists
+// exactly the budgeted prefix, then fails; later writes fail outright;
+// healing restores service.
+func TestFlakyTornWrite(t *testing.T) {
+	fs := NewFlaky(Dir(t.TempDir()))
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWritesAfter(3)
+	n, err := f.Write([]byte("EFGHIJ"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected failure, got n=%d err=%v", n, err)
+	}
+	if n != 3 {
+		t.Errorf("torn write persisted %d bytes, want 3", n)
+	}
+	if _, err := f.Write([]byte("zz")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-budget write succeeded: %v", err)
+	}
+	f.Close()
+	data, err := fs.ReadFile("x")
+	if err != nil || string(data) != "abcdEFG" {
+		t.Fatalf("on-disk bytes %q, %v (want the acked prefix only)", data, err)
+	}
+	if fs.BytesWritten() != 7 {
+		t.Errorf("BytesWritten = %d, want 7", fs.BytesWritten())
+	}
+	fs.HealWrites()
+	f2, err := fs.Create("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("ok")); err != nil {
+		t.Errorf("write after heal: %v", err)
+	}
+	f2.Close()
+}
+
+func TestFlakySyncAndCreateFaults(t *testing.T) {
+	fs := NewFlaky(Dir(t.TempDir()))
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSyncs(true)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Errorf("armed sync succeeded: %v", err)
+	}
+	fs.FailSyncs(false)
+	if err := f.Sync(); err != nil {
+		t.Errorf("disarmed sync failed: %v", err)
+	}
+	if fs.Syncs() != 1 {
+		t.Errorf("Syncs = %d, want 1 (failed sync not counted)", fs.Syncs())
+	}
+	f.Close()
+	fs.FailCreates(true)
+	if _, err := fs.Create("z"); !errors.Is(err, ErrInjected) {
+		t.Errorf("armed create succeeded: %v", err)
+	}
+	fs.FailCreates(false)
+	if _, err := fs.Create("z"); err != nil {
+		t.Errorf("disarmed create failed: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"crowdmap/internal/obs"
+)
+
+// Job checkpointing: the reconstruction pipeline records per-stage
+// completion in a Journal so a restarted daemon can tell which work is
+// already done for which input corpus. Each record is keyed by
+// (job, stage) and carries the fingerprint of the inputs the stage ran
+// over; a fingerprint mismatch means the corpus changed and the
+// checkpoint is stale. Stages may attach a payload (e.g. exported
+// pair-comparison decisions) that the resuming process reloads instead
+// of recomputing. The journal persists through any DocStore — in
+// production the WAL-backed document store, so checkpoints share the
+// store's durability guarantees.
+
+// DocStore is the persistence surface the journal needs; *store.Store
+// satisfies it.
+type DocStore interface {
+	Put(coll, key string, val []byte) error
+	Get(coll, key string) ([]byte, bool)
+	Keys(coll string) []string
+	Delete(coll, key string) error
+}
+
+// CheckpointColl is the store collection holding journal records.
+const CheckpointColl = "checkpoints"
+
+// Checkpoint is one persisted stage-completion record.
+type Checkpoint struct {
+	Job         string `json:"job"`
+	Stage       string `json:"stage"`
+	Fingerprint string `json:"fingerprint"`
+	Payload     []byte `json:"payload,omitempty"`
+}
+
+// Journal records and queries stage completion. A nil *Journal is a valid
+// no-op sink: Complete discards, Completed and Payload report nothing,
+// so pipeline code checkpoints unconditionally. Safe for concurrent use
+// (the underlying store provides the locking).
+type Journal struct {
+	st  DocStore
+	obs *obs.Registry
+}
+
+// NewJournal builds a journal over st; reg (may be nil) receives the
+// pipeline.resume.* metrics.
+func NewJournal(st DocStore, reg *obs.Registry) (*Journal, error) {
+	if st == nil {
+		return nil, fmt.Errorf("pipeline: journal needs a store")
+	}
+	return &Journal{st: st, obs: reg}, nil
+}
+
+func journalKey(job, stage string) string { return job + "/" + stage }
+
+// Complete durably records that a stage finished over inputs identified
+// by fingerprint, with an optional payload for the resuming process.
+func (j *Journal) Complete(job, stage, fingerprint string, payload []byte) error {
+	if j == nil {
+		return nil
+	}
+	rec := Checkpoint{Job: job, Stage: stage, Fingerprint: fingerprint, Payload: payload}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("pipeline: encode checkpoint: %w", err)
+	}
+	if err := j.st.Put(CheckpointColl, journalKey(job, stage), data); err != nil {
+		return fmt.Errorf("pipeline: save checkpoint %s/%s: %w", job, stage, err)
+	}
+	j.obs.Counter("pipeline.resume.saved").Inc()
+	return nil
+}
+
+// lookup fetches and fingerprint-checks a record, counting the outcome.
+func (j *Journal) lookup(job, stage, fingerprint string) (Checkpoint, bool) {
+	if j == nil {
+		return Checkpoint{}, false
+	}
+	data, ok := j.st.Get(CheckpointColl, journalKey(job, stage))
+	if !ok {
+		j.obs.Counter("pipeline.resume.misses").Inc()
+		return Checkpoint{}, false
+	}
+	var rec Checkpoint
+	if err := json.Unmarshal(data, &rec); err != nil {
+		j.obs.Counter("pipeline.resume.misses").Inc()
+		return Checkpoint{}, false
+	}
+	if rec.Fingerprint != fingerprint {
+		j.obs.Counter("pipeline.resume.stale").Inc()
+		return Checkpoint{}, false
+	}
+	j.obs.Counter("pipeline.resume.hits").Inc()
+	return rec, true
+}
+
+// Completed reports whether the stage already ran over exactly these
+// inputs. A stale record (different fingerprint) reports false and counts
+// pipeline.resume.stale.
+func (j *Journal) Completed(job, stage, fingerprint string) bool {
+	_, ok := j.lookup(job, stage, fingerprint)
+	return ok
+}
+
+// Payload returns the payload a completed stage attached, if the record
+// exists and matches the fingerprint.
+func (j *Journal) Payload(job, stage, fingerprint string) ([]byte, bool) {
+	rec, ok := j.lookup(job, stage, fingerprint)
+	if !ok {
+		return nil, false
+	}
+	return rec.Payload, true
+}
+
+// Clear drops every checkpoint of one job (call when its corpus is gone).
+func (j *Journal) Clear(job string) error {
+	if j == nil {
+		return nil
+	}
+	prefix := job + "/"
+	for _, k := range j.st.Keys(CheckpointColl) {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			if err := j.st.Delete(CheckpointColl, k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	j, err := NewJournal(st, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Completed("bldg", "pairs", "fp1") {
+		t.Fatal("empty journal reports completion")
+	}
+	if reg.Counter("pipeline.resume.misses").Value() != 1 {
+		t.Error("miss not counted")
+	}
+	if err := j.Complete("bldg", "pairs", "fp1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Completed("bldg", "pairs", "fp1") {
+		t.Error("completion not recorded")
+	}
+	payload, ok := j.Payload("bldg", "pairs", "fp1")
+	if !ok || !bytes.Equal(payload, []byte("payload")) {
+		t.Errorf("payload = %q, %v", payload, ok)
+	}
+	// A changed corpus fingerprint makes the record stale.
+	if j.Completed("bldg", "pairs", "fp2") {
+		t.Error("stale record reported complete")
+	}
+	if reg.Counter("pipeline.resume.stale").Value() != 1 {
+		t.Error("staleness not counted")
+	}
+	// Records survive a "restart": a new journal over the same store.
+	j2, err := NewJournal(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Completed("bldg", "pairs", "fp1") {
+		t.Error("record lost across journal recreation")
+	}
+	// Clear drops one job's records and nothing else.
+	if err := j.Complete("other", "pairs", "fp1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Clear("bldg"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Completed("bldg", "pairs", "fp1") {
+		t.Error("cleared record still reported")
+	}
+	if !j.Completed("other", "pairs", "fp1") {
+		t.Error("Clear removed another job's record")
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Complete("a", "b", "c", nil); err != nil {
+		t.Errorf("nil journal Complete: %v", err)
+	}
+	if j.Completed("a", "b", "c") {
+		t.Error("nil journal reports completion")
+	}
+	if _, ok := j.Payload("a", "b", "c"); ok {
+		t.Error("nil journal returned a payload")
+	}
+	if err := j.Clear("a"); err != nil {
+		t.Errorf("nil journal Clear: %v", err)
+	}
+	if _, err := NewJournal(nil, nil); err == nil {
+		t.Error("NewJournal accepted a nil store")
+	}
+}

@@ -2,7 +2,10 @@
 // stand-in for the PySpark stage the paper uses to "accelerate the process
 // of user trajectories aggregation". It provides bounded-parallelism map
 // primitives over index spaces and unordered pairs, which is precisely the
-// shape of the aggregation workload (all-pairs key-frame comparison).
+// shape of the aggregation workload (all-pairs key-frame comparison). It
+// also provides the stage-checkpoint Journal (checkpoint.go): persisted
+// per-stage completion records that let a restarted daemon resume a job
+// at the last finished stage instead of recomputing it.
 package pipeline
 
 import (

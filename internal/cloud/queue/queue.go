@@ -1,7 +1,10 @@
 // Package queue is CrowdMap's job scheduler — the stand-in for the
 // APScheduler component of the paper's backend. It runs submitted jobs on
 // a bounded worker pool, supports periodic jobs, and surfaces per-job
-// errors to the caller.
+// errors to the caller. Jobs can opt into a retry policy (bounded
+// attempts, decorrelated-jitter backoff, per-attempt deadlines); jobs
+// that exhaust their attempts land in a bounded dead-letter queue instead
+// of blocking the schedule.
 package queue
 
 import (
@@ -45,6 +48,10 @@ type Scheduler struct {
 	mu       sync.Mutex
 	periodic []chan struct{}
 	closed   bool
+
+	// Retry machinery (see retry.go), built lazily on first use.
+	retryOnce sync.Once
+	retrySt   *retryState
 }
 
 // New starts a scheduler with the given number of workers and job buffer.

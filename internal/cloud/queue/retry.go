@@ -1,0 +1,196 @@
+package queue
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds how a failing job is re-driven: per-attempt
+// deadlines, decorrelated-jitter backoff between attempts, and a hard
+// attempt cap after which the job is dead-lettered. The zero value is not
+// meaningful; start from DefaultRetryPolicy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first run included).
+	MaxAttempts int
+	// BaseDelay seeds the backoff; the first retry waits in
+	// [BaseDelay, 3*BaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps every backoff sleep.
+	MaxDelay time.Duration
+	// AttemptTimeout, when positive, is the per-attempt deadline: each try
+	// runs under a context that expires after this long (the per-stage
+	// deadline for pipeline jobs that honor their context).
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy is tuned for reconstruction jobs: a handful of tries
+// with sub-second initial backoff growing to tens of seconds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    30 * time.Second,
+	}
+}
+
+func (p RetryPolicy) validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("queue: retry policy needs at least one attempt, got %d", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 || p.AttemptTimeout < 0 {
+		return fmt.Errorf("queue: retry policy durations must be non-negative")
+	}
+	return nil
+}
+
+// nextDelay implements decorrelated jitter (the AWS architecture blog's
+// "decorrelated" variant): sleep = min(MaxDelay, uniform(BaseDelay,
+// prev*3)), which spreads retry storms without the synchronized waves
+// plain exponential backoff produces. rnd yields uniform [0,1).
+func (p RetryPolicy) nextDelay(prev time.Duration, rnd func() float64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	hi := 3 * prev
+	if hi < base {
+		hi = base
+	}
+	d := base + time.Duration(rnd()*float64(hi-base+1))
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// DeadLetter records a job that exhausted its retry budget.
+type DeadLetter struct {
+	JobID    string
+	Attempts int
+	Err      string
+}
+
+// deadLetterCap bounds the in-memory dead-letter queue; beyond it the
+// oldest entries are dropped (the counter keeps the true total).
+const deadLetterCap = 256
+
+// retryState carries the scheduler's retry machinery; split out so the
+// hot path of plain jobs pays nothing for it.
+type retryState struct {
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	dead  []DeadLetter
+	sleep func(ctx context.Context, d time.Duration) bool
+}
+
+func (s *Scheduler) retry() *retryState {
+	s.retryOnce.Do(func() {
+		s.retrySt = &retryState{
+			rnd: rand.New(rand.NewSource(time.Now().UnixNano())),
+			sleep: func(ctx context.Context, d time.Duration) bool {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				select {
+				case <-t.C:
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			},
+		}
+	})
+	return s.retrySt
+}
+
+func (r *retryState) rand01() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rnd.Float64()
+}
+
+// DeadLetters returns a copy of the dead-letter queue: jobs that failed
+// every allowed attempt, oldest first.
+func (s *Scheduler) DeadLetters() []DeadLetter {
+	r := s.retry()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]DeadLetter(nil), r.dead...)
+}
+
+// deadLetter appends to the DLQ, evicting the oldest past the cap.
+func (s *Scheduler) deadLetter(d DeadLetter) {
+	r := s.retry()
+	r.mu.Lock()
+	r.dead = append(r.dead, d)
+	if len(r.dead) > deadLetterCap {
+		r.dead = r.dead[len(r.dead)-deadLetterCap:]
+	}
+	n := len(r.dead)
+	r.mu.Unlock()
+	reg := s.obs.Load()
+	reg.Counter("queue.retry.exhausted").Inc()
+	reg.Gauge("queue.deadletter.size").Set(float64(n))
+}
+
+// RetryJob wraps a job with the retry policy: the returned job runs the
+// original up to MaxAttempts times with decorrelated-jitter backoff and
+// per-attempt deadlines, dead-letters it on exhaustion, and reports only
+// the final error. Metrics land under queue.retry.*.
+func (s *Scheduler) RetryJob(j Job, p RetryPolicy) Job {
+	return Job{ID: j.ID, Run: func(ctx context.Context) error {
+		return s.runWithRetry(ctx, j, p)
+	}}
+}
+
+// SubmitRetry is Submit with a retry policy applied.
+func (s *Scheduler) SubmitRetry(j Job, p RetryPolicy) error {
+	if j.Run == nil {
+		return fmt.Errorf("queue: job %q has no Run function", j.ID)
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	return s.Submit(s.RetryJob(j, p))
+}
+
+func (s *Scheduler) runWithRetry(ctx context.Context, j Job, p RetryPolicy) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	r := s.retry()
+	reg := s.obs.Load()
+	var lastErr error
+	delay := time.Duration(0)
+	attempts := 0
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		attempts = attempt
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		reg.Counter("queue.retry.attempts").Inc()
+		err := j.Run(actx)
+		cancel()
+		if err == nil {
+			if attempt > 1 {
+				reg.Counter("queue.retry.recovered").Inc()
+			}
+			return nil
+		}
+		lastErr = err
+		if attempt == p.MaxAttempts || ctx.Err() != nil {
+			break
+		}
+		delay = p.nextDelay(delay, r.rand01)
+		reg.Counter("queue.retry.backoffs").Inc()
+		reg.Histogram("queue.retry.backoff.seconds").Observe(delay.Seconds())
+		if !r.sleep(ctx, delay) {
+			break
+		}
+	}
+	s.deadLetter(DeadLetter{JobID: j.ID, Attempts: attempts, Err: lastErr.Error()})
+	return fmt.Errorf("queue: job %s failed after %d attempts: %w", j.ID, attempts, lastErr)
+}

@@ -1,0 +1,207 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdmap/internal/obs"
+)
+
+// testRetryScheduler returns a scheduler whose retry machinery uses a
+// deterministic RNG and a recording, non-sleeping sleep function.
+func testRetryScheduler(t *testing.T) (*Scheduler, *[]time.Duration) {
+	t.Helper()
+	s, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.SetObs(obs.New())
+	var slept []time.Duration
+	st := s.retry()
+	st.rnd = rand.New(rand.NewSource(1))
+	st.sleep = func(ctx context.Context, d time.Duration) bool {
+		slept = append(slept, d)
+		return ctx.Err() == nil
+	}
+	return s, &slept
+}
+
+// TestRetryRecovers: a job that fails twice then succeeds is retried with
+// backoff and reports no error.
+func TestRetryRecovers(t *testing.T) {
+	s, slept := testRetryScheduler(t)
+	attempts := 0
+	err := s.runWithRetry(context.Background(), Job{ID: "flaky", Run: func(context.Context) error {
+		attempts++
+		if attempts < 3 {
+			return fmt.Errorf("transient %d", attempts)
+		}
+		return nil
+	}}, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatalf("want recovery, got %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if len(*slept) != 2 {
+		t.Errorf("backoffs = %d, want 2", len(*slept))
+	}
+	reg := s.obs.Load()
+	if reg.Counter("queue.retry.recovered").Value() != 1 {
+		t.Error("recovery not counted")
+	}
+	if len(s.DeadLetters()) != 0 {
+		t.Error("recovered job dead-lettered")
+	}
+}
+
+// TestRetryExhaustionDeadLetters: a permanently failing job stops at
+// MaxAttempts, lands in the DLQ, and reports the final error.
+func TestRetryExhaustionDeadLetters(t *testing.T) {
+	s, slept := testRetryScheduler(t)
+	attempts := 0
+	boom := errors.New("poison")
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}
+	err := s.runWithRetry(context.Background(), Job{ID: "poison", Run: func(context.Context) error {
+		attempts++
+		return boom
+	}}, p)
+	if !errors.Is(err, boom) {
+		t.Fatalf("final error does not wrap cause: %v", err)
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want 4", attempts)
+	}
+	if len(*slept) != 3 {
+		t.Errorf("backoffs = %d, want 3 (none after the final attempt)", len(*slept))
+	}
+	dead := s.DeadLetters()
+	if len(dead) != 1 || dead[0].JobID != "poison" || dead[0].Attempts != 4 {
+		t.Fatalf("DLQ = %+v", dead)
+	}
+	if !strings.Contains(dead[0].Err, "poison") {
+		t.Errorf("DLQ entry lost the cause: %q", dead[0].Err)
+	}
+}
+
+// TestBackoffBounds: every decorrelated-jitter delay stays within
+// [BaseDelay, MaxDelay], and delays are not all identical (jitter).
+func TestBackoffBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 50, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+	rnd := rand.New(rand.NewSource(7))
+	prev := time.Duration(0)
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := p.nextDelay(prev, rnd.Float64)
+		if d < p.BaseDelay || d > p.MaxDelay {
+			t.Fatalf("delay %v outside [%v, %v]", d, p.BaseDelay, p.MaxDelay)
+		}
+		distinct[d] = true
+		prev = d
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct delays in 200 draws; jitter missing", len(distinct))
+	}
+}
+
+// TestAttemptTimeout: a hung job is cut off by the per-attempt deadline
+// rather than hanging the retry loop.
+func TestAttemptTimeout(t *testing.T) {
+	s, _ := testRetryScheduler(t)
+	p := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		AttemptTimeout: 10 * time.Millisecond}
+	start := time.Now()
+	err := s.runWithRetry(context.Background(), Job{ID: "hang", Run: func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}}, p)
+	if err == nil {
+		t.Fatal("hung job reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("attempt timeout did not cut off the job (took %v)", elapsed)
+	}
+	if len(s.DeadLetters()) != 1 {
+		t.Errorf("DLQ = %+v, want the hung job", s.DeadLetters())
+	}
+}
+
+// TestRetryStopsOnCancel: cancelling the outer context stops the retry
+// loop between attempts instead of burning the full budget.
+func TestRetryStopsOnCancel(t *testing.T) {
+	s, _ := testRetryScheduler(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	p := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	err := s.runWithRetry(ctx, Job{ID: "c", Run: func(context.Context) error {
+		attempts++
+		if attempts == 2 {
+			cancel()
+		}
+		return errors.New("nope")
+	}}, p)
+	if err == nil {
+		t.Fatal("cancelled job reported success")
+	}
+	if attempts > 2 {
+		t.Errorf("retry loop survived cancellation: %d attempts", attempts)
+	}
+}
+
+// TestSubmitRetry: the wrapped job travels the normal scheduler path and
+// the final result carries the retry-exhaustion error.
+func TestSubmitRetry(t *testing.T) {
+	s, err := New(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetObs(obs.New())
+	st := s.retry()
+	st.sleep = func(ctx context.Context, d time.Duration) bool { return true }
+	if err := s.SubmitRetry(Job{ID: "bad", Run: func(context.Context) error {
+		return errors.New("always")
+	}}, RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	go s.Close()
+	var got Result
+	for r := range s.Results() {
+		got = r
+	}
+	if got.ID != "bad" || got.Err == nil {
+		t.Fatalf("result = %+v, want failed job", got)
+	}
+	if !strings.Contains(got.Err.Error(), "after 2 attempts") {
+		t.Errorf("error %q missing attempt count", got.Err)
+	}
+	// Invalid policies are rejected up front.
+	if err := s.SubmitRetry(Job{ID: "x", Run: func(context.Context) error { return nil }},
+		RetryPolicy{MaxAttempts: 0}); err == nil {
+		t.Error("zero-attempt policy accepted")
+	}
+}
+
+// TestDeadLetterCap: the DLQ is bounded; the newest entries win.
+func TestDeadLetterCap(t *testing.T) {
+	s, _ := testRetryScheduler(t)
+	for i := 0; i < deadLetterCap+10; i++ {
+		s.deadLetter(DeadLetter{JobID: fmt.Sprintf("j%d", i), Attempts: 1, Err: "x"})
+	}
+	dead := s.DeadLetters()
+	if len(dead) != deadLetterCap {
+		t.Fatalf("DLQ size = %d, want %d", len(dead), deadLetterCap)
+	}
+	if dead[len(dead)-1].JobID != fmt.Sprintf("j%d", deadLetterCap+9) {
+		t.Errorf("newest entry = %s", dead[len(dead)-1].JobID)
+	}
+	if dead[0].JobID != "j10" {
+		t.Errorf("oldest surviving entry = %s, want j10", dead[0].JobID)
+	}
+}

@@ -229,14 +229,27 @@ func TestStaleUploadEviction(t *testing.T) {
 	if srv.Metrics().Counter("uploads.evicted_stale").Value() != 1 {
 		t.Error("stale eviction not counted")
 	}
-	// The abandoned upload restarts from scratch: its old chunk is gone, so
-	// a late second chunk re-registers as a new 1-chunk-of-2 upload, not a
-	// completion.
-	if got := postChunk(t, ts, "abandoned", 1, 2, []byte("y")); got != http.StatusAccepted {
-		t.Errorf("late chunk after eviction: status %d, want %d", got, http.StatusAccepted)
+	// The abandoned upload's old chunk is gone, so a late non-initial chunk
+	// must NOT be quietly accepted into a doomed new session: the client
+	// gets a retryable conflict telling it to resend from chunk 0.
+	if got := postChunk(t, ts, "abandoned", 1, 2, []byte("y")); got != http.StatusConflict {
+		t.Errorf("late chunk after eviction: status %d, want %d", got, http.StatusConflict)
+	}
+	if srv.Metrics().Counter("uploads.resend_required").Value() != 1 {
+		t.Error("resend-required not counted")
+	}
+	if srv.PendingUploads() != 1 {
+		t.Errorf("pending = %d, want 1 (late chunk rejected)", srv.PendingUploads())
+	}
+	// Resending from the start clears the eviction marker and proceeds.
+	if got := postChunk(t, ts, "abandoned", 0, 2, []byte("x")); got != http.StatusAccepted {
+		t.Errorf("restart after eviction: status %d, want %d", got, http.StatusAccepted)
 	}
 	if srv.PendingUploads() != 2 {
 		t.Errorf("pending = %d, want 2", srv.PendingUploads())
+	}
+	if got := postChunk(t, ts, "abandoned", 1, 2, []byte("y")); got == http.StatusConflict {
+		t.Error("second chunk of restarted upload rejected")
 	}
 }
 

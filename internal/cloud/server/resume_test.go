@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
+)
+
+// getStatus fetches the upload-status endpoint.
+func getStatus(t *testing.T, ts *httptest.Server, id string) UploadStatus {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/captures/" + id + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %s", resp.Status)
+	}
+	var st UploadStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestUploadResumeAcrossRestart is the chunk-level resume acceptance test:
+// a phone uploads two of three chunks, the server restarts (new WAL replay
+// + new Server), the status endpoint reports exactly the acked chunks, and
+// the phone completes the upload by sending ONLY the missing chunk — the
+// request counter proves no acked chunk crossed the wire again.
+func TestUploadResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	archive, err := EncodeCapture(testCapture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunksOf(archive, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("want 3 chunks, got %d", len(chunks))
+	}
+
+	wal, err := store.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(wal.Store(), WithChunkLog(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	if got := postChunk(t, ts, "cap", 0, 3, chunks[0]); got != http.StatusAccepted {
+		t.Fatalf("chunk 0: %d", got)
+	}
+	if got := postChunk(t, ts, "cap", 2, 3, chunks[2]); got != http.StatusAccepted {
+		t.Fatalf("chunk 2: %d", got)
+	}
+	ts.Close()
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay the log, seed the new server with the recovered
+	// partial upload.
+	wal2, err := store.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	reg := obs.New()
+	srv2, err := New(wal2.Store(), WithObs(reg), WithChunkLog(wal2),
+		WithRecoveredUploads(wal2.RecoveredUploads()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("uploads.recovered").Value() != 1 {
+		t.Errorf("uploads.recovered = %d, want 1", reg.Counter("uploads.recovered").Value())
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	st := getStatus(t, ts2, "cap")
+	if st.Stored || st.Total != 3 || !reflect.DeepEqual(st.Received, []int{0, 2}) {
+		t.Fatalf("status after restart = %+v, want received [0 2] of 3", st)
+	}
+	// Send only the missing chunk; it completes the upload.
+	if got := postChunk(t, ts2, "cap", 1, 3, chunks[1]); got != http.StatusCreated {
+		t.Fatalf("missing chunk: %d, want %d", got, http.StatusCreated)
+	}
+	if n := reg.Counter("http.captures.chunks.requests").Value(); n != 1 {
+		t.Errorf("chunk requests after restart = %d, want exactly 1 (the missing chunk)", n)
+	}
+	data, ok := srv2.Store().Get(CollCaptures, "cap")
+	if !ok || !bytes.Equal(data, archive) {
+		t.Fatalf("assembled archive differs from original (ok=%v, %d vs %d bytes)", ok, len(data), len(archive))
+	}
+	if st := getStatus(t, ts2, "cap"); !st.Stored {
+		t.Errorf("status after completion = %+v, want stored", st)
+	}
+
+	// Third restart: the completed upload must NOT reappear as pending.
+	if err := wal2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal3, err := store.OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal3.Close()
+	if ups := wal3.RecoveredUploads(); len(ups) != 0 {
+		t.Errorf("completed upload resurrected: %v", ups)
+	}
+	if data, ok := wal3.Store().Get(CollCaptures, "cap"); !ok || !bytes.Equal(data, archive) {
+		t.Error("stored capture lost across restart")
+	}
+}
+
+// TestResumeUploadClient covers the client helper: a stored capture is a
+// no-op, an unknown session is sent in full.
+func TestResumeUploadClient(t *testing.T) {
+	srv, ts := newTestServer(t)
+	archive, err := EncodeCapture(testCapture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown session: ResumeUpload falls back to a full upload.
+	if err := ResumeUpload(ts.Client(), ts.URL, "fresh", archive); err != nil {
+		t.Fatalf("resume of unknown session: %v", err)
+	}
+	if _, ok := srv.Store().Get(CollCaptures, "fresh"); !ok {
+		t.Fatal("capture not stored")
+	}
+	before := srv.Metrics().Counter("http.captures.chunks.requests").Value()
+	// Already stored: nothing is re-sent.
+	if err := ResumeUpload(ts.Client(), ts.URL, "fresh", archive); err != nil {
+		t.Fatalf("resume of stored capture: %v", err)
+	}
+	if after := srv.Metrics().Counter("http.captures.chunks.requests").Value(); after != before {
+		t.Errorf("stored-capture resume re-sent %d chunks", after-before)
+	}
+}
+
+// TestChunkLogFailureNotAcked: when the WAL cannot persist a chunk, the
+// server refuses to ack it — durability before acknowledgement.
+func TestChunkLogFailureNotAcked(t *testing.T) {
+	srv, err := New(store.New(), WithChunkLog(failingLog{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if got := postChunk(t, ts, "cap", 0, 2, []byte("x")); got != http.StatusInternalServerError {
+		t.Fatalf("chunk with failing log: %d, want 500", got)
+	}
+	if srv.Metrics().Counter("uploads.log_failed").Value() != 1 {
+		t.Error("log failure not counted")
+	}
+	st := getStatus(t, ts, "cap")
+	if len(st.Received) != 0 {
+		t.Errorf("un-logged chunk visible in status: %+v", st)
+	}
+}
+
+type failingLog struct{}
+
+func (failingLog) LogChunk(string, int, int, []byte) error { return errors.New("disk full") }
+func (failingLog) LogUploadDone(string) error              { return nil }
+func (failingLog) LogUploadEvicted(string) error           { return nil }

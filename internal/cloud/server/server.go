@@ -35,17 +35,33 @@ const (
 	DefaultUploadTTL = 10 * time.Minute
 )
 
+// ChunkLog is the durability hook for the chunk protocol: each chunk is
+// logged before it is acknowledged, so an acked chunk survives a crash
+// and the phone re-sends only what the server never confirmed.
+// *store.WAL satisfies it; a nil ChunkLog means memory-only operation.
+type ChunkLog interface {
+	LogChunk(id string, index, total int, data []byte) error
+	LogUploadDone(id string) error
+	LogUploadEvicted(id string) error
+}
+
 // Server is the HTTP ingestion frontend. It is safe for concurrent use.
 type Server struct {
 	store *store.Store
 	obs   *obs.Registry
 	now   func() time.Time // injectable clock for eviction tests
+	wal   ChunkLog         // nil when running memory-only
 
 	maxPending int
 	uploadTTL  time.Duration
 
-	mu      sync.Mutex
-	pending map[string]*pendingUpload
+	mu        sync.Mutex
+	pending   map[string]*pendingUpload
+	recovered map[string]*store.RecoveredUpload // installed as pending on first use
+	// evicted remembers upload sessions dropped by the TTL sweep so a
+	// straggler chunk for one gets a retryable "resend from 0" error
+	// instead of silently starting a doomed new session.
+	evicted map[string]time.Time
 }
 
 type pendingUpload struct {
@@ -94,6 +110,18 @@ func WithPendingLimits(maxPending int, ttl time.Duration) Option {
 	}
 }
 
+// WithChunkLog attaches the write-ahead log: chunks are made durable
+// before they are acknowledged, and upload completion/eviction events are
+// logged so crash recovery reconstructs exactly the acked state.
+func WithChunkLog(l ChunkLog) Option { return func(s *Server) { s.wal = l } }
+
+// WithRecoveredUploads seeds the pending-upload map with partial uploads
+// replayed from the WAL (store.WAL.RecoveredUploads), so phones resume
+// mid-upload across a server restart instead of starting over.
+func WithRecoveredUploads(ups map[string]*store.RecoveredUpload) Option {
+	return func(s *Server) { s.recovered = ups }
+}
+
 // New builds a server over the given document store. Without options the
 // server uses a private metrics registry and the default pending limits.
 func New(st *store.Store, opts ...Option) (*Server, error) {
@@ -106,6 +134,7 @@ func New(st *store.Store, opts ...Option) (*Server, error) {
 		maxPending: DefaultMaxPending,
 		uploadTTL:  DefaultUploadTTL,
 		pending:    make(map[string]*pendingUpload),
+		evicted:    make(map[string]time.Time),
 	}
 	for _, o := range opts {
 		o(s)
@@ -113,6 +142,19 @@ func New(st *store.Store, opts ...Option) (*Server, error) {
 	if s.obs == nil {
 		s.obs = obs.New()
 	}
+	now := s.now()
+	for id, ru := range s.recovered {
+		if len(s.pending) >= s.maxPending {
+			break
+		}
+		up := &pendingUpload{total: ru.Total, chunks: make(map[int][]byte, len(ru.Chunks)), lastSeen: now}
+		for i, data := range ru.Chunks {
+			up.chunks[i] = data
+		}
+		s.pending[id] = up
+		s.obs.Counter("uploads.recovered").Inc()
+	}
+	s.recovered = nil
 	return s, nil
 }
 
@@ -130,13 +172,29 @@ func (s *Server) PendingUploads() int {
 	return len(s.pending)
 }
 
-// evictStaleLocked drops pending uploads idle past the TTL. Caller holds
-// the server lock.
+// evictedMarkerCap bounds the evicted-session markers; markers also age
+// out after one extra TTL, so the map cannot grow without bound.
+const evictedMarkerCap = 4096
+
+// evictStaleLocked drops pending uploads idle past the TTL, leaving an
+// eviction marker behind so straggler chunks get a resend error. Caller
+// holds the server lock.
 func (s *Server) evictStaleLocked(now time.Time) {
 	for id, up := range s.pending {
 		if now.Sub(up.lastSeen) > s.uploadTTL {
 			delete(s.pending, id)
+			if len(s.evicted) < evictedMarkerCap {
+				s.evicted[id] = now
+			}
+			if s.wal != nil {
+				_ = s.wal.LogUploadEvicted(id)
+			}
 			s.obs.Counter("uploads.evicted_stale").Inc()
+		}
+	}
+	for id, when := range s.evicted {
+		if now.Sub(when) > s.uploadTTL {
+			delete(s.evicted, id)
 		}
 	}
 }
@@ -144,6 +202,7 @@ func (s *Server) evictStaleLocked(now time.Time) {
 // Handler returns the HTTP mux:
 //
 //	POST /api/v1/captures/{id}/chunks?index=i&total=n — upload one chunk
+//	GET  /api/v1/captures/{id}/status                  — upload progress
 //	GET  /api/v1/captures                              — list capture IDs
 //	GET  /api/v1/captures/{id}                         — download archive
 //	PUT  /api/v1/plans/{building}                      — store a plan SVG
@@ -159,6 +218,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(pattern, obs.Middleware(s.obs, name, h))
 	}
 	route("POST /api/v1/captures/{id}/chunks", "captures.chunks", s.handleChunk)
+	route("GET /api/v1/captures/{id}/status", "captures.status", s.handleUploadStatus)
 	route("GET /api/v1/captures", "captures.list", s.handleListCaptures)
 	route("GET /api/v1/captures/{id}", "captures.get", s.handleGetCapture)
 	route("PUT /api/v1/plans/{building}", "plans.put", s.handlePutPlan)
@@ -199,6 +259,18 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	up, ok := s.pending[id]
 	if !ok {
+		// A non-initial chunk for a session the TTL sweep evicted must not
+		// silently open a doomed new session (the evicted siblings are
+		// gone); tell the client to resend from the start.
+		if _, wasEvicted := s.evicted[id]; wasEvicted && index > 0 {
+			s.mu.Unlock()
+			s.obs.Counter("uploads.resend_required").Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintf(w, `{"error":"upload session expired","resend_from":0}`+"\n")
+			return
+		}
+		delete(s.evicted, id)
 		// New upload: make room first (lazy stale sweep), then enforce the
 		// cap so abandoned uploads cannot exhaust the pending map.
 		s.evictStaleLocked(now)
@@ -217,11 +289,23 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "chunk total mismatch", http.StatusConflict)
 		return
 	}
+	data := append([]byte(nil), buf.Bytes()...)
+	if s.wal != nil {
+		// Durability before acknowledgement: the chunk reaches the WAL
+		// before the phone hears 202, so an acked chunk is never re-asked
+		// for after a crash.
+		if err := s.wal.LogChunk(id, index, total, data); err != nil {
+			s.mu.Unlock()
+			s.obs.Counter("uploads.log_failed").Inc()
+			http.Error(w, "persist chunk: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
 	up.lastSeen = now
 	if _, dup := up.chunks[index]; dup {
 		s.obs.Counter("uploads.chunks_duplicate").Inc()
 	}
-	assembled, complete := up.add(index, append([]byte(nil), buf.Bytes()...))
+	assembled, complete := up.add(index, data)
 	if complete {
 		delete(s.pending, id)
 	}
@@ -244,9 +328,48 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if s.wal != nil {
+		// Marks the chunk records dead; recovery after a crash between the
+		// Put above and this mark merely re-creates a pending upload that
+		// ages out, so the order is safe.
+		_ = s.wal.LogUploadDone(id)
+	}
 	s.obs.Counter("uploads.completed").Inc()
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, `{"stored":%q,"bytes":%d}`+"\n", id, len(assembled))
+}
+
+// UploadStatus is the resume contract: which chunks the server already
+// holds for a capture, or that it is fully stored. A phone reconnecting
+// after a network drop (or a server restart with a WAL) fetches this and
+// re-sends only the missing chunks.
+type UploadStatus struct {
+	Stored   bool  `json:"stored"`
+	Total    int   `json:"total"`
+	Received []int `json:"received"`
+}
+
+func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var st UploadStatus
+	if _, ok := s.store.Get(CollCaptures, id); ok {
+		st.Stored = true
+	} else {
+		s.mu.Lock()
+		if up, ok := s.pending[id]; ok {
+			st.Total = up.total
+			st.Received = make([]int, 0, len(up.chunks))
+			for i := range up.chunks {
+				st.Received = append(st.Received, i)
+			}
+		}
+		s.mu.Unlock()
+		sort.Ints(st.Received)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&st); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleListCaptures(w http.ResponseWriter, _ *http.Request) {
@@ -290,30 +413,85 @@ func (s *Server) handleGetPlan(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// chunkCount returns the number of ChunkSize pieces an archive splits
+// into (at least one, matching the upload protocol).
+func chunkCount(archive []byte) int {
+	total := (len(archive) + ChunkSize - 1) / ChunkSize
+	if total == 0 {
+		total = 1
+	}
+	return total
+}
+
+// sendChunk POSTs chunk i of the archive.
+func sendChunk(client *http.Client, baseURL, id string, archive []byte, i, total int) error {
+	lo := i * ChunkSize
+	hi := lo + ChunkSize
+	if hi > len(archive) {
+		hi = len(archive)
+	}
+	url := fmt.Sprintf("%s/api/v1/captures/%s/chunks?index=%d&total=%d", baseURL, id, i, total)
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(archive[lo:hi]))
+	if err != nil {
+		return fmt.Errorf("server: upload chunk %d: %w", i, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("server: chunk %d rejected with status %s", i, resp.Status)
+	}
+	return nil
+}
+
 // UploadCapture is the client side of the chunk protocol: it splits an
 // archive into ChunkSize pieces and POSTs them sequentially to baseURL.
 func UploadCapture(client *http.Client, baseURL, id string, archive []byte) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	total := (len(archive) + ChunkSize - 1) / ChunkSize
-	if total == 0 {
-		total = 1
+	total := chunkCount(archive)
+	for i := 0; i < total; i++ {
+		if err := sendChunk(client, baseURL, id, archive, i, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResumeUpload continues an interrupted upload: it asks the server which
+// chunks it already holds (the status endpoint) and re-sends only the
+// missing ones. A capture the server has fully stored is a no-op; a
+// session the server no longer knows (evicted, or a restart without a
+// WAL) is re-sent from the start.
+func ResumeUpload(client *http.Client, baseURL, id string, archive []byte) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(fmt.Sprintf("%s/api/v1/captures/%s/status", baseURL, id))
+	if err != nil {
+		return fmt.Errorf("server: upload status: %w", err)
+	}
+	var st UploadStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: upload status for %s: status %s, %v", id, resp.Status, err)
+	}
+	if st.Stored {
+		return nil
+	}
+	total := chunkCount(archive)
+	have := make(map[int]bool, len(st.Received))
+	if st.Total == total {
+		for _, i := range st.Received {
+			have[i] = true
+		}
 	}
 	for i := 0; i < total; i++ {
-		lo := i * ChunkSize
-		hi := lo + ChunkSize
-		if hi > len(archive) {
-			hi = len(archive)
+		if have[i] {
+			continue
 		}
-		url := fmt.Sprintf("%s/api/v1/captures/%s/chunks?index=%d&total=%d", baseURL, id, i, total)
-		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(archive[lo:hi]))
-		if err != nil {
-			return fmt.Errorf("server: upload chunk %d: %w", i, err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
-			return fmt.Errorf("server: chunk %d rejected with status %s", i, resp.Status)
+		if err := sendChunk(client, baseURL, id, archive, i, total); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,8 +1,11 @@
 // Package store is CrowdMap's document store — the stand-in for the
 // MongoDB instance of the paper's cloud backend. It is an in-memory,
-// goroutine-safe collection/key/value store with JSON snapshot
-// persistence: exactly the surface the pipeline needs (raw capture blobs
-// in, floor plans out), with none of the operational weight.
+// goroutine-safe collection/key/value store (raw capture blobs in, floor
+// plans out) with two persistence modes: JSON snapshots (Save/Load, for
+// tooling and tests) and a write-ahead log (OpenWAL) that makes every
+// mutation and every accepted upload chunk durable before it is acked,
+// with crash-recovery replay, chunk-level upload resume, fsync batching,
+// segment rotation, compaction and corrupted-tail truncation.
 package store
 
 import (
@@ -14,11 +17,20 @@ import (
 	"sync"
 )
 
+// mutationLog receives every store mutation before it is applied; the WAL
+// implements it. A log error aborts the mutation, so a document is never
+// visible in memory without being durable first.
+type mutationLog interface {
+	logPut(coll, key string, val []byte) error
+	logDelete(coll, key string) error
+}
+
 // Store is a collection-oriented document store. The zero value is not
 // usable; call New.
 type Store struct {
 	mu    sync.RWMutex
 	colls map[string]map[string][]byte
+	log   mutationLog // nil when the store is memory-only
 }
 
 // New returns an empty store.
@@ -27,20 +39,31 @@ func New() *Store {
 }
 
 // Put stores a document, replacing any previous value. The value is
-// copied.
+// copied. On a WAL-backed store the write is logged (and, under the
+// always-sync policy, fsynced) before it becomes visible.
 func (s *Store) Put(coll, key string, val []byte) error {
 	if coll == "" || key == "" {
 		return fmt.Errorf("store: collection and key must be non-empty")
 	}
+	if s.log != nil {
+		if err := s.log.logPut(coll, key, val); err != nil {
+			return fmt.Errorf("store: wal put %s/%s: %w", coll, key, err)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.applyPut(coll, key, val)
+	return nil
+}
+
+// applyPut installs a document. Caller holds the write lock.
+func (s *Store) applyPut(coll, key string, val []byte) {
 	c, ok := s.colls[coll]
 	if !ok {
 		c = make(map[string][]byte)
 		s.colls[coll] = c
 	}
 	c[key] = append([]byte(nil), val...)
-	return nil
 }
 
 // Get retrieves a document copy; ok reports whether it exists.
@@ -54,11 +77,18 @@ func (s *Store) Get(coll, key string) ([]byte, bool) {
 	return append([]byte(nil), v...), true
 }
 
-// Delete removes a document; deleting a missing document is a no-op.
-func (s *Store) Delete(coll, key string) {
+// Delete removes a document; deleting a missing document is a no-op. On a
+// WAL-backed store the deletion is logged before it is applied.
+func (s *Store) Delete(coll, key string) error {
+	if s.log != nil {
+		if err := s.log.logDelete(coll, key); err != nil {
+			return fmt.Errorf("store: wal delete %s/%s: %w", coll, key, err)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.colls[coll], key)
+	return nil
 }
 
 // Keys lists the document keys of a collection in sorted order.

@@ -1,0 +1,473 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdmap/internal/cloud/faultfs"
+	"crowdmap/internal/obs"
+)
+
+// openTestWAL opens a WAL in dir with a fresh registry and small segments.
+func openTestWAL(t *testing.T, dir string, opts ...WALOption) *WAL {
+	t.Helper()
+	w, err := OpenWAL(dir, append([]WALOption{WALObs(obs.New())}, opts...)...)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w
+}
+
+// storeDump flattens a store for comparison.
+func storeDump(s *Store) map[string]map[string]string {
+	out := make(map[string]map[string]string)
+	for _, coll := range s.Collections() {
+		m := make(map[string]string)
+		for _, k := range s.Keys(coll) {
+			v, _ := s.Get(coll, k)
+			m[k] = string(v)
+		}
+		out[coll] = m
+	}
+	return out
+}
+
+// TestWALReplayBasic: puts and deletes made through a WAL-backed store are
+// reconstructed exactly by a reopen.
+func TestWALReplayBasic(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir)
+	st := w.Store()
+	for i := 0; i < 20; i++ {
+		if err := st.Put("captures", fmt.Sprintf("c%02d", i), []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := st.Put("plans", "bldg", []byte("<svg/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("captures", "c03"); err != nil {
+		t.Fatal(err)
+	}
+	want := storeDump(st)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2 := openTestWAL(t, dir)
+	defer w2.Close()
+	if got := storeDump(w2.Store()); !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed store differs:\n got %v\nwant %v", got, want)
+	}
+	if _, ok := w2.Store().Get("captures", "c03"); ok {
+		t.Error("deleted doc resurrected by replay")
+	}
+	// The store stays writable after recovery.
+	if err := w2.Store().Put("plans", "bldg2", []byte("x")); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+}
+
+// TestWALChunkRecovery: only chunks acked for still-pending uploads are
+// recovered; completed and evicted uploads are not resurrected.
+func TestWALChunkRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.LogChunk("partial", 0, 3, []byte("aaa")))
+	must(w.LogChunk("partial", 2, 3, []byte("ccc")))
+	must(w.LogChunk("done", 0, 1, []byte("zz")))
+	must(w.LogUploadDone("done"))
+	must(w.LogChunk("gone", 0, 2, []byte("yy")))
+	must(w.LogUploadEvicted("gone"))
+	must(w.Close())
+
+	w2 := openTestWAL(t, dir)
+	defer w2.Close()
+	got := w2.RecoveredUploads()
+	if len(got) != 1 {
+		t.Fatalf("recovered %d uploads, want 1 (got %v)", len(got), got)
+	}
+	up := got["partial"]
+	if up == nil || up.Total != 3 {
+		t.Fatalf("partial upload not recovered correctly: %+v", up)
+	}
+	if !bytes.Equal(up.Chunks[0], []byte("aaa")) || !bytes.Equal(up.Chunks[2], []byte("ccc")) {
+		t.Errorf("recovered chunks differ: %v", up.Chunks)
+	}
+	if _, ok := up.Chunks[1]; ok {
+		t.Error("never-sent chunk appeared in recovery")
+	}
+}
+
+// lastSegment returns the path of the lexicographically last segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	return matches[len(matches)-1]
+}
+
+// TestWALTruncatedTail: corruption at the tail of the final segment — the
+// states a kill -9 mid-append leaves behind — is truncated away, and every
+// record before the tear is recovered. Corruption is injected byte-wise
+// into the real file between two opens.
+func TestWALTruncatedTail(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, seg string)
+	}{
+		{"garbage appended", func(t *testing.T, seg string) {
+			f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{0x13, 0x37}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}},
+		{"torn frame header", func(t *testing.T, seg string) {
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 3 bytes of a would-be header: shorter than frameHeaderSize.
+			if _, err := f.Write([]byte{9, 0, 0}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if fi.Size() == 0 {
+				t.Fatal("empty segment before corruption")
+			}
+		}},
+		{"torn payload", func(t *testing.T, seg string) {
+			f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A full header promising 100 payload bytes, then only 4.
+			hdr := []byte{100, 0, 0, 0, 1, 2, 3, 4, 'x', 'y', 'z', 'w'}
+			if _, err := f.Write(hdr); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}},
+		{"flipped crc byte", func(t *testing.T, seg string) {
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip the last byte (inside the final record's payload).
+			data[len(data)-1] ^= 0xff
+			if err := os.WriteFile(seg, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := openTestWAL(t, dir)
+			st := w.Store()
+			for i := 0; i < 5; i++ {
+				if err := st.Put("c", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := storeDump(st)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			seg := lastSegment(t, dir)
+			tc.corrupt(t, seg)
+
+			reg := obs.New()
+			w2, err := OpenWAL(dir, WALObs(reg))
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", tc.name, err)
+			}
+			defer w2.Close()
+			got := storeDump(w2.Store())
+			// "flipped crc byte" damages the last record itself; everything
+			// before it must survive. The other cases damage only the tail
+			// beyond the last record, so recovery must be exact.
+			if tc.name == "flipped crc byte" {
+				delete(want["c"], "k4")
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("recovered store differs:\n got %v\nwant %v", got, want)
+			}
+			if reg.Counter("store.wal.truncations").Value() == 0 {
+				t.Error("tail truncation not counted")
+			}
+			// The truncation is repaired on disk: a second reopen is clean.
+			reg3 := obs.New()
+			w3, err := OpenWAL(dir, WALObs(reg3))
+			if err != nil {
+				t.Fatalf("third open: %v", err)
+			}
+			defer w3.Close()
+			if !reflect.DeepEqual(storeDump(w3.Store()), got) {
+				t.Error("third open disagrees with second")
+			}
+		})
+	}
+}
+
+// TestWALTornIndex: a torn or lying wal.index falls back to the directory
+// scan and recovers everything.
+func TestWALTornIndex(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir)
+	if err := w.Store().Put("c", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		content []byte
+	}{
+		{"torn json", []byte(`{"snapshot_seq":0,"segm`)},
+		{"missing segment listed", []byte(`{"snapshot_seq":0,"segments":["wal-ffffffffffffffff.seg"]}`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(filepath.Join(dir, "wal.index"), tc.content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.New()
+			w2, err := OpenWAL(dir, WALObs(reg))
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if v, ok := w2.Store().Get("c", "k"); !ok || string(v) != "v" {
+				t.Errorf("doc lost under %s: %q %v", tc.name, v, ok)
+			}
+			if reg.Counter("store.wal.index_rebuilt").Value() == 0 {
+				t.Error("index rebuild not counted")
+			}
+			w2.Close()
+		})
+	}
+}
+
+// TestWALKillMidAppend is the table-driven crash test: a Flaky filesystem
+// tears the log at a byte budget (exactly what kill -9 mid-write leaves),
+// the un-acked put fails, and recovery yields precisely the acked puts —
+// no more, no less.
+func TestWALKillMidAppend(t *testing.T) {
+	// Budgets chosen relative to the failing record: 0 = nothing of it
+	// lands, small = torn mid-header/payload, large-but-short = almost
+	// complete record.
+	for _, extra := range []int64{0, 1, 5, 30, 60} {
+		t.Run(fmt.Sprintf("extra=%d", extra), func(t *testing.T) {
+			dir := t.TempDir()
+			flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+			w := openTestWAL(t, "", WALFS(flaky))
+			st := w.Store()
+			acked := make(map[string]string)
+			for i := 0; i < 8; i++ {
+				k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("value-%d", i)
+				if err := st.Put("c", k, []byte(v)); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+				acked[k] = v
+			}
+			// The crash: the next write persists only `extra` bytes.
+			flaky.FailWritesAfter(extra)
+			err := st.Put("c", "torn", []byte("never-acked-value"))
+			if err == nil {
+				t.Fatal("torn put unexpectedly acked")
+			}
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			// No Close: the process is dead. Reopen over the real directory.
+			reg := obs.New()
+			w2, err := OpenWAL(dir, WALObs(reg))
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer w2.Close()
+			rst := w2.Store()
+			got := storeDump(rst)["c"]
+			if !reflect.DeepEqual(got, acked) {
+				t.Errorf("recovered %v\nwant acked set %v", got, acked)
+			}
+			if _, ok := rst.Get("c", "torn"); ok {
+				t.Error("un-acked record recovered")
+			}
+		})
+	}
+}
+
+// TestWALKillMidChunk: same crash discipline for upload chunks — an acked
+// chunk survives, the torn one does not.
+func TestWALKillMidChunk(t *testing.T) {
+	dir := t.TempDir()
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	w := openTestWAL(t, "", WALFS(flaky))
+	if err := w.LogChunk("u", 0, 3, []byte("chunk-zero")); err != nil {
+		t.Fatal(err)
+	}
+	flaky.FailWritesAfter(7)
+	if err := w.LogChunk("u", 1, 3, []byte("chunk-one")); err == nil {
+		t.Fatal("torn chunk unexpectedly acked")
+	}
+	w2 := openTestWAL(t, dir)
+	defer w2.Close()
+	ups := w2.RecoveredUploads()
+	up := ups["u"]
+	if up == nil {
+		t.Fatal("upload not recovered")
+	}
+	if !bytes.Equal(up.Chunks[0], []byte("chunk-zero")) {
+		t.Errorf("chunk 0 = %q", up.Chunks[0])
+	}
+	if _, ok := up.Chunks[1]; ok {
+		t.Error("torn chunk recovered")
+	}
+}
+
+// TestWALRotationCompaction: segments rotate at the size threshold,
+// Compact folds everything into a snapshot plus one fresh segment, and
+// both store state and pending uploads survive compact + reopen.
+func TestWALRotationCompaction(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	w, err := OpenWAL(dir, WALObs(reg), WALSegmentSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Store()
+	for i := 0; i < 30; i++ {
+		if err := st.Put("c", fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{'x'}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.LogChunk("pending", 1, 4, []byte("chunk")); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("store.wal.rotations").Value() == 0 {
+		t.Fatal("no rotation at 256-byte segments")
+	}
+	segsBefore, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segsBefore) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segsBefore))
+	}
+	want := storeDump(st)
+	if err := w.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	segsAfter, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segsAfter) != 1 {
+		t.Errorf("segments after compact = %d, want 1", len(segsAfter))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Errorf("snapshot.json missing after compact: %v", err)
+	}
+	// Post-compact appends land in the fresh segment and survive too.
+	if err := st.Put("c", "after-compact", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	want["c"]["after-compact"] = "y"
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTestWAL(t, dir)
+	defer w2.Close()
+	if got := storeDump(w2.Store()); !reflect.DeepEqual(got, want) {
+		t.Errorf("state after compact+reopen differs:\n got %v\nwant %v", got, want)
+	}
+	up := w2.RecoveredUploads()["pending"]
+	if up == nil || up.Total != 4 || !bytes.Equal(up.Chunks[1], []byte("chunk")) {
+		t.Errorf("pending upload lost across compaction: %+v", up)
+	}
+}
+
+// TestWALSyncPolicies covers the flag parser and the non-default policies'
+// quiesce behavior (Sync/Close flush everything).
+func TestWALSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"never", SyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	for _, pol := range []SyncPolicy{SyncInterval, SyncNever} {
+		dir := t.TempDir()
+		w := openTestWAL(t, dir, WALSync(pol), WALSyncEvery(5*time.Millisecond))
+		if err := w.Store().Put("c", "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		w2 := openTestWAL(t, dir)
+		if v, ok := w2.Store().Get("c", "k"); !ok || string(v) != "v" {
+			t.Errorf("policy %v: doc lost across close/reopen", pol)
+		}
+		w2.Close()
+	}
+}
+
+// TestWALConcurrentAppends: the group-commit path is exercised by many
+// concurrent writers; all acked writes recover (run with -race).
+func TestWALConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir)
+	st := w.Store()
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 25
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := st.Put("c", fmt.Sprintf("w%d-%d", g, i), []byte("v")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, dir)
+	defer w2.Close()
+	if n := w2.Store().Len("c"); n != writers*perWriter {
+		t.Errorf("recovered %d docs, want %d", n, writers*perWriter)
+	}
+}

@@ -19,6 +19,14 @@
 //	http.<route>.status.2xx   counter per status class
 //	http.<route>.seconds      request latency histogram
 //	http.<route>.bytes_in/out request/response byte counters
+//	store.wal.<event>         write-ahead-log activity (appends, syncs,
+//	                          rotations, compactions, replayed.records,
+//	                          truncations, index_rebuilt)
+//	queue.retry.<event>       retry-policy activity (attempts, backoffs,
+//	                          recovered, exhausted) plus the
+//	                          queue.deadletter.size gauge
+//	pipeline.resume.<event>   checkpoint journal outcomes (saved, hits,
+//	                          misses, stale)
 //	<subsystem>.<event>       plain event counters (keyframe.kept, ...)
 package obs
 

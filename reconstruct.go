@@ -2,7 +2,10 @@ package crowdmap
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 
 	"crowdmap/internal/aggregate"
@@ -41,16 +44,80 @@ type Result struct {
 	Metrics MetricsSnapshot
 }
 
+// CaptureError identifies which capture a per-capture pipeline failure
+// came from, so a daemon can quarantine the poison capture (dead-letter
+// it) and retry the job over the remaining corpus.
+type CaptureError struct {
+	CaptureID string
+	Err       error
+}
+
+func (e *CaptureError) Error() string {
+	return fmt.Sprintf("crowdmap: capture %s: %v", e.CaptureID, e.Err)
+}
+
+func (e *CaptureError) Unwrap() error { return e.Err }
+
+// Stage names recorded in a checkpoint journal (Config.Checkpoints).
+const (
+	StageKeyframes = "keyframes"
+	StagePairs     = "pairs"
+	StageSkeleton  = "skeleton"
+	StagePlan      = "plan"
+)
+
+// CorpusFingerprint identifies a capture corpus by content: the SHA-256
+// over the sorted per-capture content fingerprints. Checkpoints are keyed
+// by it, so adding, removing, or altering any capture invalidates them.
+func CorpusFingerprint(captures []*Capture) string {
+	fps := make([]string, len(captures))
+	for i, c := range captures {
+		fps[i] = c.ID + ":" + c.Fingerprint()
+	}
+	sort.Strings(fps)
+	h := sha256.New()
+	for _, fp := range fps {
+		h.Write([]byte(fp))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Reconstruct runs the complete CrowdMap cloud pipeline over a capture
 // corpus: key-frame extraction, sequence-based aggregation, hallway
 // skeleton reconstruction, per-room panorama + layout estimation, and
 // force-directed plan assembly.
 func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
+	return ReconstructContext(context.Background(), captures, cfg)
+}
+
+// ReconstructContext is Reconstruct under a caller context: cancellation
+// (or a deadline, e.g. a retry policy's per-attempt timeout) stops the
+// pipeline between and within stages. When Config.JobID and
+// Config.Checkpoints are set, each finished stage is recorded in the
+// journal keyed by the corpus fingerprint; the pair-comparison stage
+// additionally persists its decisions (the exported PairCache), which a
+// resumed run reloads so the expensive anchor searches are not repeated.
+// Because decisions are identical with or without the cache, a resumed
+// run produces a plan byte-identical to an uninterrupted one.
+func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(captures) == 0 {
 		return nil, fmt.Errorf("crowdmap: no captures")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Checkpointing is active only with a job identity to key records by.
+	ckpt := cfg.Checkpoints
+	if cfg.JobID == "" {
+		ckpt = nil
+	}
+	fp := ""
+	if ckpt != nil {
+		fp = CorpusFingerprint(captures)
 	}
 	// Metrics: use the caller's registry when provided so stage timings
 	// appear on a shared /metrics endpoint; fall back to a private one.
@@ -62,7 +129,7 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 	}
 	cfg.Keyframe.Obs = reg
 	cfg.Aggregate.KF.Obs = reg
-	ctx := obs.NewContext(context.Background(), reg)
+	ctx = obs.NewContext(ctx, reg)
 	reg.Counter("reconstruct.runs").Inc()
 	reg.Counter("reconstruct.captures").Add(int64(len(captures)))
 	totalDone := obs.Stage(reg, "reconstruct.total")
@@ -73,7 +140,7 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 	err := pipeline.Map(ctx, len(captures), cfg.Workers, func(_ context.Context, i int) error {
 		kfs, traj, err := extractTrack(captures[i], cfg)
 		if err != nil {
-			return fmt.Errorf("crowdmap: capture %s: %w", captures[i].ID, err)
+			return &CaptureError{CaptureID: captures[i].ID, Err: err}
 		}
 		tracks[i] = &aggregate.Track{
 			ID:    captures[i].ID,
@@ -92,16 +159,39 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	extractDone()
+	// Checkpoint writes are best-effort: losing one costs recomputation on
+	// the next attempt, never correctness.
+	_ = ckpt.Complete(cfg.JobID, StageKeyframes, fp, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: all-pairs aggregation, parallelized like the paper's Spark
 	// stage, memoized and then replayed through the sequential graph
-	// builder.
+	// builder. A resumed run first reloads the previous attempt's pair
+	// decisions into the cache, so only pairs the crash interrupted are
+	// compared for real.
+	if cfg.PairCache != nil {
+		if payload, ok := ckpt.Payload(cfg.JobID, StagePairs, fp); ok && len(payload) > 0 {
+			_ = cfg.PairCache.ImportJSON(payload)
+		}
+	}
 	aggDone := obs.Stage(reg, "aggregate")
 	agg, err := ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers, cfg.PairCache)
 	if err != nil {
 		return nil, err
 	}
 	aggDone()
+	if ckpt != nil {
+		var payload []byte
+		if cfg.PairCache != nil {
+			payload, _ = cfg.PairCache.ExportJSON()
+		}
+		_ = ckpt.Complete(cfg.JobID, StagePairs, fp, payload)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	reg.Counter("aggregate.matches").Add(int64(len(agg.Matches)))
 	reg.Counter("aggregate.rejected").Add(int64(len(agg.Rejected)))
 	reg.Counter("aggregate.tracks.placed").Add(int64(len(agg.Offsets)))
@@ -116,6 +206,10 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("crowdmap: skeleton: %w", err)
 	}
 	skelDone()
+	_ = ckpt.Complete(cfg.JobID, StageSkeleton, fp, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: room reconstruction for placed SRS/Visit captures.
 	res := &Result{
@@ -178,6 +272,7 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 		Trajectories: global,
 	}
 	totalDone()
+	_ = ckpt.Complete(cfg.JobID, StagePlan, fp, nil)
 	res.Metrics = reg.Snapshot()
 	return res, nil
 }

@@ -29,6 +29,38 @@ go test -shuffle=on -short ./...
 echo "== fuzz seed corpora =="
 go test -run 'Fuzz' ./internal/cloud/server/
 
+# Crash-recovery and retry tests again under the race detector, by name,
+# so a regression in the durability layer is reported explicitly rather
+# than buried in the full-suite run above.
+echo "== fault injection (race) =="
+go test -race -run 'WAL|Torn|Flaky|Retry|Backoff|DeadLetter|Checkpoint|Journal|Resume|Recover|Processor' \
+	./internal/cloud/... ./cmd/crowdmapd/
+
+# Docs checks: every internal package must carry a package comment, and
+# every intra-repo markdown link must point at a file that exists.
+echo "== docs: package comments =="
+go list -f '{{.Dir}} {{.Name}} {{if .Doc}}ok{{else}}MISSING{{end}}' ./internal/... |
+	awk '$3 == "MISSING" { print "no package comment: " $1; bad = 1 }
+	     END { exit bad }'
+
+echo "== docs: markdown links =="
+fail=0
+for md in README.md docs/*.md; do
+	base=$(dirname "$md")
+	# Extract ](target) links; keep only relative file targets.
+	for target in $(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//'); do
+		case "$target" in
+		http://*|https://*|\#*) continue ;;
+		esac
+		path="$base/${target%%#*}"
+		if [ ! -e "$path" ]; then
+			echo "$md: broken link -> $target"
+			fail=1
+		fi
+	done
+done
+[ "$fail" -eq 0 ] || exit 1
+
 # Benchmarks are informational, not gating: a slow machine must not fail
 # CI. bench.sh writes BENCH_pr2.json for offline comparison.
 echo "== benchmarks (non-gating) =="
