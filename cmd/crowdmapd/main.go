@@ -1,13 +1,25 @@
 // Command crowdmapd is the CrowdMap cloud backend daemon: it serves the
-// chunked capture-upload API, periodically runs the reconstruction
-// pipeline over everything uploaded so far, and publishes the resulting
-// floor plan SVGs back through the same API — the full client→cloud loop
-// of the paper's Section IV prototype on one machine.
+// chunked capture-upload API, continuously folds everything uploaded so
+// far into per-building floor plans, and publishes the resulting SVGs
+// back through the same API — the full client→cloud loop of the paper's
+// Section IV prototype on one machine.
 //
 // Usage:
 //
 //	crowdmapd [-addr :8080] [-interval 30s] [-data-dir DIR] [-wal-sync always]
-//	          [-snapshot store.json] [-hypotheses N] [-workers N] [-metrics]
+//	          [-snapshot store.json] [-hypotheses N] [-workers N]
+//	          [-building-workers N] [-max-inflight-mb N] [-client-chunk-rate R]
+//	          [-client-chunk-burst N] [-chunk-body-timeout D] [-drain-timeout D]
+//	          [-metrics]
+//
+// Reconstruction is scheduled per building: every -interval the capture
+// corpus is scanned and grouped by building, and buildings whose corpus
+// fingerprint changed are enqueued on a pool of -building-workers
+// concurrent reconstruction jobs (one job per building at a time, fair
+// FIFO between buildings). The upload path applies admission control: a
+// global in-flight chunk-byte budget (-max-inflight-mb) and a per-client
+// token bucket (-client-chunk-rate/-client-chunk-burst) answer saturation
+// with 429 + Retry-After instead of queueing without bound.
 //
 // With -data-dir the daemon is durable: every document mutation and every
 // acknowledged upload chunk goes through a write-ahead log before it is
@@ -17,12 +29,18 @@
 // daemon is memory-only (the legacy -snapshot flag still saves/loads a
 // JSON dump at exit/start).
 //
+// Graceful shutdown (SIGINT/SIGTERM): the server stops admitting uploads
+// (503 + Retry-After), in-flight building jobs get -drain-timeout to
+// finish (then their contexts are cancelled — stage checkpoints make the
+// work resumable), the pair cache is persisted, and the WAL is compacted
+// and synced before exit.
+//
 // The HTTP API always serves GET /metrics with a JSON snapshot covering
-// ingestion (http.*, uploads.*), durability (store.wal.*), scheduling
-// (queue.*) and reconstruction (stage.*, keyframe.*, compare.*,
-// aggregate.*, pipeline.resume.*) — every subsystem shares one registry.
-// The -metrics flag additionally logs a snapshot after every
-// reconstruction cycle.
+// ingestion (http.*, uploads.*, admission.*), durability (store.wal.*),
+// scheduling (queue.*, sched.*, drain.*) and reconstruction (stage.*,
+// keyframe.*, compare.*, aggregate.*, pipeline.resume.*) — every
+// subsystem shares one registry. The -metrics flag additionally logs a
+// snapshot after every scan.
 package main
 
 import (
@@ -48,13 +66,19 @@ func main() {
 	log.SetPrefix("crowdmapd: ")
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		interval   = flag.Duration("interval", 30*time.Second, "reconstruction interval")
+		interval   = flag.Duration("interval", 30*time.Second, "corpus scan interval")
 		dataDir    = flag.String("data-dir", "", "durable data directory (WAL-backed store); empty = memory-only")
 		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always | interval | never")
 		snapshot   = flag.String("snapshot", "", "optional store snapshot path, memory-only mode (loaded at start, saved on exit)")
 		hypotheses = flag.Int("hypotheses", 20000, "room layout hypotheses per panorama")
-		workers    = flag.Int("workers", 0, "pipeline workers (0 = all CPUs)")
-		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each reconstruction cycle")
+		workers    = flag.Int("workers", 0, "pipeline workers per reconstruction job (0 = all CPUs)")
+		bWorkers   = flag.Int("building-workers", 2, "concurrent per-building reconstruction jobs")
+		inflightMB = flag.Int("max-inflight-mb", 256, "global in-flight upload chunk budget, MiB (0 = unlimited)")
+		chunkRate  = flag.Float64("client-chunk-rate", 0, "per-client sustained chunk uploads per second (0 = unlimited)")
+		chunkBurst = flag.Int("client-chunk-burst", 16, "per-client chunk burst size")
+		bodyTO     = flag.Duration("chunk-body-timeout", 30*time.Second, "read deadline for a chunk request body (0 = none)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight building jobs")
+		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each scan")
 	)
 	flag.Parse()
 
@@ -64,7 +88,15 @@ func main() {
 
 	st := store.New()
 	var wal *store.WAL
-	serverOpts := []server.Option{server.WithObs(reg)}
+	serverOpts := []server.Option{
+		server.WithObs(reg),
+		server.WithAdmission(server.AdmissionConfig{
+			MaxInflightBytes: int64(*inflightMB) << 20,
+			ClientRate:       *chunkRate,
+			ClientBurst:      *chunkBurst,
+			BodyTimeout:      *bodyTO,
+		}),
+	}
 	if *dataDir != "" {
 		pol, err := store.ParseSyncPolicy(*walSync)
 		if err != nil {
@@ -98,11 +130,13 @@ func main() {
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	sched, err := queue.New(1, 4)
+	// The queue scheduler drives the periodic corpus scan; the scan feeds
+	// dirty buildings to the per-building scheduler inside the processor.
+	scanSched, err := queue.New(1, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched.SetObs(reg)
+	scanSched.SetObs(reg)
 	journal, err := pipeline.NewJournal(st, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -112,15 +146,18 @@ func main() {
 	proc.logMetrics = *metrics
 	proc.journal = journal
 	proc.loadPairCache()
-	// Each cycle runs under the retry policy: transient failures back off
-	// and retry, and a cycle that keeps failing is reported through the
+	if err := proc.start(*bWorkers); err != nil {
+		log.Fatal(err)
+	}
+	// The scan runs under the retry policy: transient store failures back
+	// off and retry, and a scan that keeps failing is reported through the
 	// dead-letter queue instead of silently looping.
-	stop, err := sched.Every(*interval, sched.RetryJob(queue.Job{ID: "reconstruct", Run: proc.run}, queue.DefaultRetryPolicy()))
+	stop, err := scanSched.Every(*interval, scanSched.RetryJob(queue.Job{ID: "scan", Run: proc.scan}, queue.DefaultRetryPolicy()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	go func() {
-		for r := range sched.Results() {
+		for r := range scanSched.Results() {
 			if r.Err != nil {
 				log.Printf("job %s: %v", r.ID, r.Err)
 			}
@@ -128,7 +165,7 @@ func main() {
 	}()
 
 	go func() {
-		log.Printf("listening on %s", *addr)
+		log.Printf("listening on %s (%d building workers)", *addr, *bWorkers)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("http: %v", err)
 		}
@@ -137,15 +174,28 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
+	log.Print("shutting down: draining")
+	// 1. Stop admitting uploads (clients get 503 + Retry-After and resume
+	//    against the restarted daemon), then stop scheduling new scans.
+	srv.StartDrain()
 	stop()
-	sched.Close()
-	for _, d := range sched.DeadLetters() {
+	scanSched.Close()
+	for _, d := range scanSched.DeadLetters() {
 		log.Printf("dead-letter: job %s failed %d attempts: %s", d.JobID, d.Attempts, d.Err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	_ = httpSrv.Shutdown(ctx)
+	// 2. Give in-flight building jobs the drain budget; past it their
+	//    contexts are cancelled and the stage checkpoints make them
+	//    resumable on restart.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTO)
+	if err := proc.sched.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	cancelDrain()
+	proc.sched.Close()
+	// 3. Flush state: HTTP listener, pair cache, WAL.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	_ = httpSrv.Shutdown(httpCtx)
 	proc.savePairCache()
 	if wal != nil {
 		if err := wal.Compact(); err != nil {
@@ -166,4 +216,5 @@ func main() {
 			log.Printf("final metrics: %s", data)
 		}
 	}
+	log.Print("shutdown complete")
 }

@@ -2,18 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 	"time"
 
 	"crowdmap"
+	"crowdmap/internal/cloud/sched"
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
-
-	"context"
 )
 
 // Store collections owned by the processor (the server owns captures and
@@ -32,16 +35,22 @@ const (
 
 // maxCaptureFailures is how many failed reconstruction attempts a single
 // capture may cause before it is quarantined to the dead-letter
-// collection.
+// collection. Failures caused by cancellation (shutdown, per-attempt
+// deadlines) never count: only deterministic pipeline failures do.
 const maxCaptureFailures = 3
 
-// processor runs the reconstruction pipeline over stored captures, grouped
-// by the Task-1 geo tag (building), skipping reruns when nothing changed.
+// processor turns stored captures into floor plans. Each scan groups the
+// capture corpus by building and computes a per-building corpus
+// fingerprint; buildings whose fingerprint changed since their last
+// successful reconstruction are enqueued on the per-building scheduler,
+// which runs them concurrently on a bounded worker pool (never two jobs
+// for the same building at once). This replaces the old
+// count-of-captures cycle check, which skipped reconstruction whenever a
+// dead-lettered capture and a new upload left the count unchanged.
 type processor struct {
 	st         *store.Store
 	hypotheses int
 	workers    int
-	lastCount  int
 	obs        *crowdmap.MetricsRegistry
 	logMetrics bool
 	// journal checkpoints per-stage completion; a building whose plan stage
@@ -50,15 +59,31 @@ type processor struct {
 	// cache persists pair-comparison decisions across reconstruction
 	// cycles: when new uploads arrive, only pairs involving new content are
 	// compared (the paper's incremental-aggregation scaling, minus the
-	// Spark cluster). It is exported to the store after each cycle, so a
-	// restarted daemon starts warm.
+	// Spark cluster). It is exported to the store after each job, so a
+	// restarted daemon starts warm. Safe for concurrent building jobs.
 	cache *crowdmap.PairCache
-	// failures counts, per capture, how many reconstruction attempts it has
-	// made fail; at maxCaptureFailures the capture is dead-lettered.
-	failures map[string]int
+	// sched serializes and parallelizes building jobs; created by start.
+	sched *sched.Scheduler
 	// reconstruct is the pipeline entry point; a field so tests can
 	// substitute a stub.
 	reconstruct func(ctx context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error)
+
+	mu sync.Mutex
+	// failures counts, per capture, how many reconstruction attempts it has
+	// made fail; at maxCaptureFailures the capture is dead-lettered. A
+	// successful cycle that includes a capture resets its count.
+	failures map[string]int
+	// meta caches per-capture scan metadata (building, raw-content hash) so
+	// the periodic scan decodes each archive once, not every tick.
+	meta map[string]captureMeta
+}
+
+// captureMeta is what the scan needs to know about a stored capture
+// without re-decoding it: which building it belongs to, keyed by the
+// hash of its raw archive bytes.
+type captureMeta struct {
+	hash     string
+	building string
 }
 
 func newProcessor(st *store.Store, hypotheses, workers int) *processor {
@@ -68,8 +93,26 @@ func newProcessor(st *store.Store, hypotheses, workers int) *processor {
 		workers:     workers,
 		cache:       crowdmap.NewPairCache(0),
 		failures:    make(map[string]int),
+		meta:        make(map[string]captureMeta),
 		reconstruct: crowdmap.ReconstructContext,
 	}
+}
+
+// start brings up the per-building scheduler with the given worker
+// count. Call after obs/journal are set and before the first scan.
+func (p *processor) start(buildingWorkers int) error {
+	s, err := sched.New(buildingWorkers, p.runBuilding,
+		sched.WithObs(p.obs),
+		sched.WithResultFunc(func(building string, err error) {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("job %s: %v", building, err)
+			}
+		}))
+	if err != nil {
+		return err
+	}
+	p.sched = s
+	return nil
 }
 
 // loadPairCache warms the cache from the previous process's exported dump.
@@ -99,8 +142,8 @@ func (p *processor) savePairCache() {
 }
 
 // quarantine moves a poison capture to the dead-letter collection so the
-// rest of the corpus can proceed without it.
-func (p *processor) quarantine(id string, cause error) {
+// rest of the corpus can proceed without it. Caller holds p.mu.
+func (p *processor) quarantineLocked(id string, cause error) {
 	if data, ok := p.st.Get(server.CollCaptures, id); ok {
 		if err := p.st.Put(collDeadLetter, id, data); err != nil {
 			log.Printf("dead-letter %s: %v", id, err)
@@ -112,58 +155,87 @@ func (p *processor) quarantine(id string, cause error) {
 		}
 	}
 	delete(p.failures, id)
+	delete(p.meta, id)
 	p.obs.Counter("captures.deadlettered").Inc()
 	log.Printf("capture %s dead-lettered after %d failures: %v", id, maxCaptureFailures, cause)
 }
 
-func (p *processor) run(ctx context.Context) error {
-	keys := p.st.Keys(server.CollCaptures)
-	if len(keys) == 0 || len(keys) == p.lastCount {
-		return nil
+// noteFailure charges one reconstruction failure to a capture and
+// quarantines it at the threshold. Returns true when the capture was
+// quarantined.
+func (p *processor) noteFailure(id string, cause error) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures[id]++
+	if p.failures[id] >= maxCaptureFailures {
+		p.quarantineLocked(id, cause)
+		return true
 	}
-	log.Printf("reconstructing from %d captures", len(keys))
-	byBuilding := make(map[string][]*crowdmap.Capture)
+	return false
+}
+
+// isTransient reports whether a reconstruction error came from
+// cancellation rather than the data: a SIGTERM mid-extract or a
+// per-attempt retry deadline wraps context.Canceled/DeadlineExceeded
+// (possibly inside a CaptureError), and charging those to a capture
+// would dead-letter healthy data after three shutdowns.
+func isTransient(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// scan is the periodic job: it walks the capture collection, groups
+// captures by building, computes each building's corpus fingerprint from
+// the raw archive hashes, and marks dirty buildings on the scheduler.
+// Decode work is memoized per raw-content hash, so a steady-state scan
+// hashes bytes but decodes nothing.
+func (p *processor) scan(ctx context.Context) error {
+	keys := p.st.Keys(server.CollCaptures)
+	live := make(map[string]bool, len(keys))
+	byBuilding := make(map[string][]string)
 	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		data, ok := p.st.Get(server.CollCaptures, k)
 		if !ok {
 			continue
 		}
-		c, err := server.DecodeCapture(data)
-		if err != nil {
-			// An archive that passed upload validation but no longer decodes
-			// is poison too; count it toward quarantine instead of skipping
-			// it silently forever.
-			p.failures[k]++
-			if p.failures[k] >= maxCaptureFailures {
-				p.quarantine(k, err)
-			} else {
-				log.Printf("decode %s: %v (skipping)", k, err)
+		sum := sha256.Sum256(data)
+		hash := hex.EncodeToString(sum[:])
+		p.mu.Lock()
+		m, known := p.meta[k]
+		p.mu.Unlock()
+		if !known || m.hash != hash {
+			c, err := server.DecodeCapture(data)
+			if err != nil {
+				// An archive that passed upload validation but no longer
+				// decodes is poison too; count it toward quarantine instead
+				// of skipping it silently forever.
+				if !p.noteFailure(k, err) {
+					log.Printf("decode %s: %v (skipping)", k, err)
+				}
+				continue
 			}
-			continue
+			m = captureMeta{hash: hash, building: c.Geo.Building}
+			p.mu.Lock()
+			p.meta[k] = m
+			p.mu.Unlock()
 		}
-		byBuilding[c.Geo.Building] = append(byBuilding[c.Geo.Building], c)
+		live[k] = true
+		byBuilding[m.building] = append(byBuilding[m.building], k+":"+hash)
 	}
-	buildings := make([]string, 0, len(byBuilding))
-	for b := range byBuilding {
-		buildings = append(buildings, b)
-	}
-	sort.Strings(buildings)
-	var firstErr error
-	for _, building := range buildings {
-		if err := p.reconstructBuilding(ctx, building, byBuilding[building]); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if ctx.Err() != nil {
-			return ctx.Err()
+	// Forget metadata of deleted captures so the map tracks the store.
+	p.mu.Lock()
+	for k := range p.meta {
+		if !live[k] {
+			delete(p.meta, k)
 		}
 	}
-	p.savePairCache()
-	if firstErr != nil {
-		// Leave lastCount untouched: the retry policy redrives this cycle
-		// and it must not be short-circuited by the nothing-changed check.
-		return firstErr
+	p.mu.Unlock()
+	for building, entries := range byBuilding {
+		p.sched.Mark(building, corpusFingerprint(entries))
 	}
-	p.lastCount = len(keys)
+	p.obs.Gauge("sched.buildings.tracked").Set(float64(len(byBuilding)))
 	if p.logMetrics && p.obs != nil {
 		if data, err := json.Marshal(p.obs.Snapshot()); err == nil {
 			log.Printf("metrics: %s", data)
@@ -172,9 +244,79 @@ func (p *processor) run(ctx context.Context) error {
 	return nil
 }
 
-// reconstructBuilding runs one building's corpus through the pipeline,
-// quarantining poison captures and degrading to the remaining corpus
-// rather than failing the whole cycle.
+// corpusFingerprint hashes a building's sorted "captureID:rawHash"
+// entries into the dirty-tracking fingerprint. It deliberately uses raw
+// archive bytes (not decoded content) so the scan stays cheap; the
+// checkpoint journal inside the job uses crowdmap.CorpusFingerprint over
+// decoded captures, which serves the same invalidation role at the
+// stage level.
+func corpusFingerprint(entries []string) string {
+	sort.Strings(entries)
+	h := sha256.New()
+	for _, e := range entries {
+		h.Write([]byte(e))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// runOnce is the synchronous test/tooling entry point: one scan, then
+// wait for every enqueued building job to finish.
+func (p *processor) runOnce(ctx context.Context) error {
+	if err := p.scan(ctx); err != nil {
+		return err
+	}
+	return p.sched.Wait(ctx)
+}
+
+// buildingCaptures decodes the current corpus of one building from the
+// store. Captures whose cached metadata names another building are
+// skipped without decoding.
+func (p *processor) buildingCaptures(ctx context.Context, building string) ([]*crowdmap.Capture, error) {
+	var out []*crowdmap.Capture
+	for _, k := range p.st.Keys(server.CollCaptures) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		m, known := p.meta[k]
+		p.mu.Unlock()
+		if known && m.building != building {
+			continue
+		}
+		data, ok := p.st.Get(server.CollCaptures, k)
+		if !ok {
+			continue
+		}
+		c, err := server.DecodeCapture(data)
+		if err != nil {
+			// The scan owns decode-poison accounting; here we just exclude it
+			// from the job.
+			continue
+		}
+		if c.Geo.Building == building {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// runBuilding is the scheduler's job body: reconstruct one building's
+// corpus, quarantining poison captures and degrading to the remaining
+// corpus rather than failing the job.
+func (p *processor) runBuilding(ctx context.Context, building string) error {
+	captures, err := p.buildingCaptures(ctx, building)
+	if err != nil {
+		return err
+	}
+	return p.reconstructBuilding(ctx, building, captures)
+}
+
+// reconstructBuilding runs one building's corpus through the pipeline.
+// On a poison-capture failure it quarantines the capture and immediately
+// retries with the rest; on cancellation it returns without charging any
+// capture; on success it resets the failure count of every capture the
+// cycle included and checkpoints the pair cache.
 func (p *processor) reconstructBuilding(ctx context.Context, building string, captures []*crowdmap.Capture) error {
 	for {
 		if len(captures) < 3 {
@@ -185,7 +327,7 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 		if _, havePlan := p.st.Get(server.CollPlans, building); havePlan &&
 			p.journal.Completed(building, crowdmap.StagePlan, fp) {
 			// The plan stage already completed over exactly this corpus (a
-			// restart, or a retry after another building failed): nothing to do.
+			// restart, or a fresh scheduler over an old store): nothing to do.
 			log.Printf("%s: plan already reconstructed for this corpus, skipping", building)
 			return nil
 		}
@@ -199,14 +341,22 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 		start := time.Now()
 		res, err := p.reconstruct(ctx, captures, cfg)
 		if err != nil {
+			if isTransient(err) {
+				// Shutdown or a per-attempt deadline, not the data's fault:
+				// no capture gains a failure count, the journal already holds
+				// whatever stages completed, and the next scan redrives the
+				// job (or a restarted daemon resumes it).
+				log.Printf("%s: reconstruction interrupted: %v", building, err)
+				return fmt.Errorf("%s: %w", building, err)
+			}
 			var ce *crowdmap.CaptureError
 			if errors.As(err, &ce) {
-				p.failures[ce.CaptureID]++
-				if p.failures[ce.CaptureID] >= maxCaptureFailures {
+				if p.noteFailure(ce.CaptureID, err) {
 					// Graceful degradation: drop the poison capture and
-					// immediately retry this building with the rest.
-					p.quarantine(ce.CaptureID, err)
-					kept := captures[:0]
+					// immediately retry this building with the rest. Build a
+					// fresh slice — filtering in place would alias the array
+					// a caller may still hold.
+					kept := make([]*crowdmap.Capture, 0, len(captures)-1)
 					for _, c := range captures {
 						if c.ID != ce.CaptureID {
 							kept = append(kept, c)
@@ -228,6 +378,15 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 			log.Printf("%s: store plan: %v", building, err)
 			return fmt.Errorf("%s: store plan: %w", building, err)
 		}
+		// A capture that took part in a successful cycle is evidently not
+		// poison: reset its failure count so unrelated future failures start
+		// from zero.
+		p.mu.Lock()
+		for _, c := range captures {
+			delete(p.failures, c.ID)
+		}
+		p.mu.Unlock()
+		p.savePairCache()
 		var buf bytes.Buffer
 		fmt.Fprintf(&buf, "%s: plan updated (%d rooms, %d/%d tracks placed, %s)",
 			building, len(res.Plan.Rooms), len(res.Aggregation.Offsets), len(res.Tracks),

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"crowdmap"
 	"crowdmap/internal/aggregate"
@@ -20,8 +23,9 @@ import (
 )
 
 // seedCaptures stores n encoded captures for one building, returning
-// their IDs in insertion order.
-func seedCaptures(t *testing.T, st *store.Store, n int) []string {
+// their IDs in insertion order. The geo tag is overridden to building so
+// one generated world can seed corpora for several logical buildings.
+func seedCaptures(t *testing.T, st *store.Store, building string, n int, seedBase int64) []string {
 	t.Helper()
 	users, err := crowd.NewPopulation(1, 0, mathx.NewRNG(1))
 	if err != nil {
@@ -33,11 +37,12 @@ func seedCaptures(t *testing.T, st *store.Store, n int) []string {
 	}
 	ids := make([]string, n)
 	for i := 0; i < n; i++ {
-		id := fmt.Sprintf("cap-%d", i)
-		c, err := gen.SWS(id, users[0], geom.P(3, 7.5), geom.P(14, 7.5), mathx.NewRNG(int64(2+i)))
+		id := fmt.Sprintf("%s-cap-%d", building, seedBase+int64(i))
+		c, err := gen.SWS(id, users[0], geom.P(3, 7.5), geom.P(14, 7.5), mathx.NewRNG(seedBase+int64(i)))
 		if err != nil {
 			t.Fatal(err)
 		}
+		c.Geo.Building = building
 		data, err := server.EncodeCapture(c)
 		if err != nil {
 			t.Fatal(err)
@@ -51,26 +56,21 @@ func seedCaptures(t *testing.T, st *store.Store, n int) []string {
 }
 
 // stubResult is a minimal renderable reconstruction result.
-func stubResult() *crowdmap.Result {
+func stubResult(building string) *crowdmap.Result {
 	mask := &gridmap.Binary{
 		Bounds: geom.Rect{Min: geom.P(0, 0), Max: geom.P(10, 10)},
 		Res:    1, W: 10, H: 10, Cells: make([]bool, 100),
 	}
 	return &crowdmap.Result{
-		Plan:        &floorplan.Plan{Building: "Lab2", HallwayMask: mask},
+		Plan:        &floorplan.Plan{Building: building, HallwayMask: mask},
 		Aggregation: &aggregate.Result{},
 	}
 }
 
-// TestProcessorQuarantinesPoisonCapture is the graceful-degradation
-// acceptance test: a capture that makes reconstruction fail repeatedly is
-// moved to the dead-letter collection, and the cycle then completes with
-// the remaining corpus.
-func TestProcessorQuarantinesPoisonCapture(t *testing.T) {
-	st := store.New()
-	ids := seedCaptures(t, st, 4)
-	poison := ids[1]
-
+// newTestProcessor builds a started processor with a journal over st and
+// the given number of building workers; Close is registered on t.
+func newTestProcessor(t *testing.T, st *store.Store, buildingWorkers int) *processor {
+	t.Helper()
 	proc := newProcessor(st, 100, 1)
 	proc.obs = crowdmap.NewMetricsRegistry()
 	journal, err := pipeline.NewJournal(st, nil)
@@ -78,32 +78,57 @@ func TestProcessorQuarantinesPoisonCapture(t *testing.T) {
 		t.Fatal(err)
 	}
 	proc.journal = journal
-	calls := 0
+	if err := proc.start(buildingWorkers); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proc.sched.Close)
+	return proc
+}
+
+// failureCount reads a capture's failure count under the processor lock.
+func failureCount(p *processor, id string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failures[id]
+}
+
+// TestProcessorQuarantinesPoisonCapture is the graceful-degradation
+// acceptance test: a capture that makes reconstruction fail repeatedly is
+// moved to the dead-letter collection, and the job then completes with
+// the remaining corpus.
+func TestProcessorQuarantinesPoisonCapture(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 4, 2)
+	poison := ids[1]
+
+	proc := newTestProcessor(t, st, 1)
 	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
-		calls++
 		for _, c := range captures {
 			if c.ID == poison {
 				return nil, fmt.Errorf("stage 1: %w",
 					&crowdmap.CaptureError{CaptureID: poison, Err: errors.New("corrupt frames")})
 			}
 		}
-		return stubResult(), nil
+		return stubResult("Lab2"), nil
 	}
 
 	ctx := context.Background()
-	// Attempts 1 and 2: the poison capture fails the cycle (the retry
-	// policy would redrive these in production).
+	// Cycles 1 and 2: the poison capture fails the job; the building stays
+	// dirty and each scan redrives it.
 	for attempt := 1; attempt <= maxCaptureFailures-1; attempt++ {
-		if err := proc.run(ctx); err == nil {
-			t.Fatalf("attempt %d: cycle succeeded with poison capture present", attempt)
+		if err := proc.runOnce(ctx); err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if got := failureCount(proc, poison); got != attempt {
+			t.Fatalf("attempt %d: failure count %d, want %d", attempt, got, attempt)
 		}
 	}
 	if _, ok := st.Get(collDeadLetter, poison); ok {
 		t.Fatal("capture quarantined before reaching the failure threshold")
 	}
-	// Attempt 3 hits the threshold: quarantine, then completion with the
-	// remaining three captures inside the same cycle.
-	if err := proc.run(ctx); err != nil {
+	// Cycle 3 hits the threshold: quarantine, then completion with the
+	// remaining three captures inside the same job.
+	if err := proc.runOnce(ctx); err != nil {
 		t.Fatalf("cycle after quarantine: %v", err)
 	}
 	if _, ok := st.Get(collDeadLetter, poison); !ok {
@@ -118,47 +143,309 @@ func TestProcessorQuarantinesPoisonCapture(t *testing.T) {
 	if v := proc.obs.Snapshot().Counters["captures.deadlettered"]; v != 1 {
 		t.Errorf("captures.deadlettered = %d, want 1", v)
 	}
-	// The pair cache was persisted at end of cycle.
+	// The pair cache was persisted after the successful job.
 	if _, ok := st.Get(collState, statePairCache); !ok {
 		t.Error("pair cache not checkpointed")
 	}
 }
 
-// TestProcessorSkipsCompletedJob: a building whose plan stage is already
-// checkpointed for the current corpus is not reconstructed again.
+// TestProcessorSkipsCompletedJob: a building whose corpus is unchanged is
+// not re-enqueued, and even a fresh scheduler (daemon restart) skips it
+// via the plan-stage checkpoint.
 func TestProcessorSkipsCompletedJob(t *testing.T) {
 	st := store.New()
-	seedCaptures(t, st, 3)
-	proc := newProcessor(st, 100, 1)
-	proc.obs = crowdmap.NewMetricsRegistry()
-	journal, err := pipeline.NewJournal(st, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	proc.journal = journal
-	calls := 0
-	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error) {
-		calls++
+	seedCaptures(t, st, "Lab2", 3, 2)
+	var calls int32
+	stub := func(_ context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error) {
+		atomic.AddInt32(&calls, 1)
 		// Mimic the real pipeline's final checkpoint.
 		if err := cfg.Checkpoints.Complete(cfg.JobID, crowdmap.StagePlan,
 			crowdmap.CorpusFingerprint(captures), nil); err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
-		return stubResult(), nil
+		return stubResult("Lab2"), nil
 	}
-	if err := proc.run(context.Background()); err != nil {
+	proc := newTestProcessor(t, st, 1)
+	proc.reconstruct = stub
+	if err := proc.runOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if calls != 1 {
+	if atomic.LoadInt32(&calls) != 1 {
 		t.Fatalf("first cycle: %d reconstructions, want 1", calls)
 	}
-	// Force a re-examination (pretend the count changed) — the checkpoint,
-	// not lastCount, must prevent the rerun.
-	proc.lastCount = 0
-	if err := proc.run(context.Background()); err != nil {
+	// Unchanged corpus: the dirty-tracker does not even enqueue the job.
+	if err := proc.runOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if calls != 1 {
-		t.Errorf("completed job was reconstructed again (%d calls)", calls)
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("clean corpus re-reconstructed (%d calls)", calls)
+	}
+	// A restarted daemon (fresh scheduler state, same store+journal)
+	// enqueues the building once but the plan-stage checkpoint skips the
+	// actual reconstruction.
+	proc2 := newTestProcessor(t, st, 1)
+	proc2.reconstruct = stub
+	if err := proc2.runOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("checkpointed job was reconstructed again after restart (%d calls)", calls)
+	}
+}
+
+// TestProcessorReconstructsOnSwap is the regression test for the old
+// `len(keys) == p.lastCount` cycle check: dead-lettering one capture
+// while one new upload arrives keeps the capture *count* constant, and
+// the old logic never reconstructed the new data. Fingerprint-based
+// dirty tracking must.
+func TestProcessorReconstructsOnSwap(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 4, 2)
+	var calls int32
+	var mu sync.Mutex
+	var lastCorpus []string
+	proc := newTestProcessor(t, st, 1)
+	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		atomic.AddInt32(&calls, 1)
+		mu.Lock()
+		lastCorpus = nil
+		for _, c := range captures {
+			lastCorpus = append(lastCorpus, c.ID)
+		}
+		mu.Unlock()
+		return stubResult("Lab2"), nil
+	}
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Fatalf("first cycle: %d calls, want 1", calls)
+	}
+	// The swap: one capture leaves the working set (as quarantine does),
+	// one new upload lands. len(keys) is unchanged.
+	if err := st.Delete(server.CollCaptures, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	seedCaptures(t, st, "Lab2", 1, 99) // fresh content, same count
+	if got := st.Len(server.CollCaptures); got != 4 {
+		t.Fatalf("capture count after swap = %d, want 4 (the scenario the count check missed)", got)
+	}
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&calls) != 2 {
+		t.Fatalf("swapped corpus not reconstructed: %d calls, want 2", calls)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range lastCorpus {
+		if id == ids[0] {
+			t.Error("deleted capture still fed to reconstruction")
+		}
+	}
+}
+
+// TestTransientFailureNotCountedTowardQuarantine is the regression test
+// for the poison-quarantine bug: a CaptureError whose cause is context
+// cancellation (SIGTERM mid-extract, per-attempt retry deadline) must
+// not increment the capture's failure count — three shutdowns used to
+// dead-letter a healthy capture.
+func TestTransientFailureNotCountedTowardQuarantine(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 3, 2)
+	victim := ids[0]
+	proc := newTestProcessor(t, st, 1)
+	proc.reconstruct = func(ctx context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		// A shutdown interrupts key-frame extraction of the victim.
+		return nil, fmt.Errorf("stage 1: %w",
+			&crowdmap.CaptureError{CaptureID: victim, Err: context.Canceled})
+	}
+	captures, err := proc.buildingCaptures(context.Background(), "Lab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCaptureFailures; i++ {
+		if err := proc.reconstructBuilding(context.Background(), "Lab2", captures); err == nil {
+			t.Fatal("interrupted reconstruction reported success")
+		}
+	}
+	if got := failureCount(proc, victim); got != 0 {
+		t.Errorf("cancellation charged %d failures to a healthy capture, want 0", got)
+	}
+	if _, ok := st.Get(collDeadLetter, victim); ok {
+		t.Error("healthy capture dead-lettered by repeated shutdowns")
+	}
+	if _, ok := st.Get(server.CollCaptures, victim); !ok {
+		t.Error("capture missing from the working set")
+	}
+
+	// DeadlineExceeded (per-attempt retry deadline) is equally transient.
+	proc.reconstruct = func(ctx context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		return nil, fmt.Errorf("stage 2: %w", context.DeadlineExceeded)
+	}
+	if err := proc.reconstructBuilding(context.Background(), "Lab2", captures); err == nil {
+		t.Fatal("deadline-exceeded reconstruction reported success")
+	}
+	if got := failureCount(proc, victim); got != 0 {
+		t.Errorf("deadline charged %d failures, want 0", got)
+	}
+}
+
+// TestSuccessResetsFailureCounts: a capture that participated in a
+// successful cycle has its failure count cleared, so unrelated future
+// failures start from zero instead of inheriting stale strikes.
+func TestSuccessResetsFailureCounts(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 3, 2)
+	proc := newTestProcessor(t, st, 1)
+	proc.mu.Lock()
+	proc.failures[ids[2]] = maxCaptureFailures - 1 // one strike from quarantine
+	proc.mu.Unlock()
+	proc.reconstruct = func(_ context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		return stubResult("Lab2"), nil
+	}
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := failureCount(proc, ids[2]); got != 0 {
+		t.Errorf("failure count after successful cycle = %d, want 0", got)
+	}
+}
+
+// TestReconstructBuildingQuarantineRetryLoop covers the in-job
+// quarantine-then-retry loop: when a capture crosses the failure
+// threshold mid-job, it is quarantined and the job immediately retries
+// with the remaining corpus — one runBuilding call, two reconstruction
+// attempts, and the input slice the caller holds is not clobbered by the
+// filter.
+func TestReconstructBuildingQuarantineRetryLoop(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 4, 2)
+	poison := ids[1]
+	proc := newTestProcessor(t, st, 1)
+	proc.mu.Lock()
+	proc.failures[poison] = maxCaptureFailures - 1 // next strike quarantines
+	proc.mu.Unlock()
+	var calls int32
+	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		atomic.AddInt32(&calls, 1)
+		for _, c := range captures {
+			if c.ID == poison {
+				return nil, &crowdmap.CaptureError{CaptureID: poison, Err: errors.New("corrupt frames")}
+			}
+		}
+		return stubResult("Lab2"), nil
+	}
+	captures, err := proc.buildingCaptures(context.Background(), "Lab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]*crowdmap.Capture(nil), captures...)
+	if err := proc.reconstructBuilding(context.Background(), "Lab2", captures); err != nil {
+		t.Fatalf("quarantine-then-retry job failed: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Errorf("reconstruction attempts = %d, want 2 (fail, quarantine, retry)", got)
+	}
+	if _, ok := st.Get(collDeadLetter, poison); !ok {
+		t.Error("poison capture not quarantined")
+	}
+	// The caller's slice must be intact: the in-place captures[:0] filter
+	// used to overwrite the array other views still referenced.
+	for i, c := range orig {
+		if captures[i] != c {
+			t.Fatalf("caller slice clobbered at %d: %v != %v", i, captures[i].ID, c.ID)
+		}
+	}
+}
+
+// TestProcessorOverlappingBuildings is the end-to-end concurrency
+// acceptance test: three buildings' corpora in one store, two building
+// workers — two buildings reconstruct concurrently, the third waits, and
+// no building runs twice at once. Plans land per building.
+func TestProcessorOverlappingBuildings(t *testing.T) {
+	st := store.New()
+	buildings := []string{"B1", "B2", "B3"}
+	for i, b := range buildings {
+		seedCaptures(t, st, b, 3, int64(2+10*i))
+	}
+	proc := newTestProcessor(t, st, 2)
+	var mu sync.Mutex
+	inflight := make(map[string]int)
+	var cur, peak int32
+	release := make(chan struct{})
+	started := make(chan string, len(buildings))
+	proc.reconstruct = func(ctx context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error) {
+		b := captures[0].Geo.Building
+		mu.Lock()
+		inflight[b]++
+		if inflight[b] > 1 {
+			t.Errorf("building %s reconstructing twice concurrently", b)
+		}
+		mu.Unlock()
+		if n := atomic.AddInt32(&cur, 1); n > atomic.LoadInt32(&peak) {
+			atomic.StoreInt32(&peak, n)
+		}
+		started <- b
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		atomic.AddInt32(&cur, -1)
+		mu.Lock()
+		inflight[b]--
+		mu.Unlock()
+		return stubResult(b), nil
+	}
+	if err := proc.scan(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Two jobs in flight at once; the third queues behind them.
+	<-started
+	<-started
+	select {
+	case b := <-started:
+		t.Fatalf("third building %s started with 2 workers", b)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := proc.sched.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&peak) < 2 {
+		t.Errorf("peak concurrent reconstructions = %d, want >= 2", peak)
+	}
+	for _, b := range buildings {
+		if _, ok := st.Get(server.CollPlans, b); !ok {
+			t.Errorf("no plan stored for %s", b)
+		}
+	}
+}
+
+// TestScanQuarantinesUndecodableCapture: a stored archive that stops
+// decoding is counted toward quarantine by the scan (not skipped
+// silently forever).
+func TestScanQuarantinesUndecodableCapture(t *testing.T) {
+	st := store.New()
+	seedCaptures(t, st, "Lab2", 3, 2)
+	if err := st.Put(server.CollCaptures, "junk", []byte("not a zip")); err != nil {
+		t.Fatal(err)
+	}
+	proc := newTestProcessor(t, st, 1)
+	proc.reconstruct = func(_ context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		return stubResult("Lab2"), nil
+	}
+	for i := 0; i < maxCaptureFailures; i++ {
+		if err := proc.runOnce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := st.Get(collDeadLetter, "junk"); !ok {
+		t.Error("undecodable capture not quarantined after repeated scans")
+	}
+	if _, ok := st.Get(server.CollCaptures, "junk"); ok {
+		t.Error("undecodable capture still in working set")
 	}
 }

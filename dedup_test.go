@@ -1,0 +1,101 @@
+package crowdmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdmap/internal/floorplan"
+	"crowdmap/internal/geom"
+)
+
+// chainObs places three observations in a line: A and C are each within
+// radius of B but more than radius apart from each other — the A–B–C
+// chain whose clustering used to depend on input order.
+func chainObs() (a, b, c floorplan.RoomObservation) {
+	// Zero layouts put the room center at the camera position, so the
+	// pairwise center distances are exactly the camera distances.
+	a = floorplan.RoomObservation{ID: "A", CameraPos: geom.P(0, 0)}
+	a.RoomLayout.Score = 0.5
+	b = floorplan.RoomObservation{ID: "B", CameraPos: geom.P(1.5, 0)}
+	b.RoomLayout.Score = 0.9 // best of the chain
+	c = floorplan.RoomObservation{ID: "C", CameraPos: geom.P(3, 0)}
+	c.RoomLayout.Score = 0.7
+	return a, b, c
+}
+
+// TestDedupRoomsChainIsOrderIndependent is the regression test for the
+// seed-membership bug: with radius 2, A–B and B–C are linked but A–C is
+// not. Seeding the cluster at A used to split the chain into {A,B} and
+// {C}; seeding at B merged all three. Connected-component clustering
+// must merge the chain into one room — the best-scoring B — for every
+// input order.
+func TestDedupRoomsChainIsOrderIndependent(t *testing.T) {
+	a, b, c := chainObs()
+	const radius = 2.0
+	perms := [][]floorplan.RoomObservation{
+		{a, b, c}, {a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a},
+	}
+	for _, perm := range perms {
+		got := dedupRooms(perm, radius)
+		if len(got) != 1 {
+			ids := []string{perm[0].ID, perm[1].ID, perm[2].ID}
+			t.Fatalf("order %v: %d rooms after dedup, want 1 (chain split)", ids, len(got))
+		}
+		if got[0].ID != "B" {
+			t.Errorf("order %v...: kept %s (score %g), want best-scoring B",
+				perm[0].ID, got[0].ID, got[0].RoomLayout.Score)
+		}
+	}
+}
+
+// TestDedupRoomsKeepsSeparateClusters: observations farther than radius
+// from every other stay distinct, and output order follows the first
+// member of each cluster.
+func TestDedupRoomsKeepsSeparateClusters(t *testing.T) {
+	near1 := floorplan.RoomObservation{ID: "n1", CameraPos: geom.P(0, 0)}
+	near1.RoomLayout.Score = 0.4
+	near2 := floorplan.RoomObservation{ID: "n2", CameraPos: geom.P(0.5, 0)}
+	near2.RoomLayout.Score = 0.8
+	far := floorplan.RoomObservation{ID: "far", CameraPos: geom.P(10, 10)}
+	far.RoomLayout.Score = 0.1
+	got := dedupRooms([]floorplan.RoomObservation{near1, far, near2}, 2)
+	if len(got) != 2 {
+		t.Fatalf("%d rooms, want 2", len(got))
+	}
+	if got[0].ID != "n2" || got[1].ID != "far" {
+		t.Errorf("got [%s %s], want [n2 far] (best of first cluster, then far)", got[0].ID, got[1].ID)
+	}
+}
+
+// TestDedupRoomsShuffleInvariance: on a random point set, the deduped
+// result (as an ID multiset) is identical for every shuffle of the
+// input — the property the seed-based clustering violated.
+func TestDedupRoomsShuffleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	obs := make([]floorplan.RoomObservation, 40)
+	for i := range obs {
+		obs[i] = floorplan.RoomObservation{
+			ID:        string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			CameraPos: geom.P(rng.Float64()*20, rng.Float64()*20),
+		}
+		obs[i].RoomLayout.Score = rng.Float64()
+	}
+	ref := dedupRooms(append([]floorplan.RoomObservation(nil), obs...), 1.5)
+	refIDs := make(map[string]bool, len(ref))
+	for _, o := range ref {
+		refIDs[o.ID] = true
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]floorplan.RoomObservation(nil), obs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := dedupRooms(shuffled, 1.5)
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d rooms, want %d", trial, len(got), len(ref))
+		}
+		for _, o := range got {
+			if !refIDs[o.ID] {
+				t.Fatalf("trial %d: room %s kept, not in reference set", trial, o.ID)
+			}
+		}
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"runtime"
 	"testing"
+	"time"
 )
 
 func TestMapRunsAll(t *testing.T) {
@@ -110,5 +112,63 @@ func TestMapPairs(t *testing.T) {
 	}
 	if count.Load() != 10 {
 		t.Errorf("ran %d pairs, want 10", count.Load())
+	}
+}
+
+// TestMapReturnsFnErrorNotCtxErr: when a worker error and an outer
+// context cancellation race (e.g. the failing fn itself triggered the
+// shutdown), Map must surface the fn error — the actionable one — not
+// the generic ctx.Err().
+func TestMapReturnsFnErrorNotCtxErr(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := Map(ctx, 50, 4, func(_ context.Context, i int) error {
+		if i == 3 {
+			cancel() // outer cancellation lands together with the failure
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map returned %v, want the fn error %v", err, boom)
+	}
+}
+
+// TestMapCancelDrainsWorkers: cancellation (or an error) must not leak
+// worker goroutines — Map returns only after every worker exited.
+func TestMapCancelDrainsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = Map(ctx, 1000, 8, func(ctx context.Context, i int) error {
+			if i == 5 {
+				cancel()
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+				return nil
+			}
+		})
+		cancel()
+		_ = Map(context.Background(), 100, 8, func(_ context.Context, i int) error {
+			if i == 50 {
+				return errors.New("fail fast")
+			}
+			return nil
+		})
+	}
+	// Workers exit before Map returns; allow the runtime a moment to
+	// account for unrelated test goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after Map rounds", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

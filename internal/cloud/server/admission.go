@@ -1,0 +1,204 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control for the upload path. The chunk handler is the only
+// route that accepts megabytes per request, so it is the one that needs
+// backpressure: a global in-flight chunk-bytes budget bounds how much
+// upload data the server buffers/validates at once, and a per-client
+// token bucket stops a single phone (or a stuck retry loop) from
+// monopolizing that budget. Saturated requests get 429 with a
+// Retry-After hint instead of queueing, so clients back off instead of
+// piling up. A read deadline on the chunk body evicts clients that open
+// an upload and trickle bytes (slowloris) — without it, a handful of
+// stalled bodies pin the byte budget forever.
+
+// AdmissionConfig tunes upload admission control. The zero value of any
+// field disables that control.
+type AdmissionConfig struct {
+	// MaxInflightBytes caps the total chunk bytes concurrently held by
+	// in-progress chunk requests (global budget).
+	MaxInflightBytes int64
+	// ClientRate is the sustained per-client chunk rate, chunks/second.
+	ClientRate float64
+	// ClientBurst is the per-client bucket depth; defaults to 1 when
+	// ClientRate is set and this is not.
+	ClientBurst int
+	// BodyTimeout is the read deadline applied to each chunk request body.
+	BodyTimeout time.Duration
+}
+
+// WithAdmission enables upload admission control with the given limits.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) {
+		if cfg.ClientRate > 0 && cfg.ClientBurst < 1 {
+			cfg.ClientBurst = 1
+		}
+		s.adm = &admission{cfg: cfg, clients: make(map[string]*tokenBucket)}
+	}
+}
+
+// admClientCap bounds the per-client bucket map; beyond it, buckets idle
+// long enough to be full again are swept (a full bucket carries no state
+// worth keeping).
+const admClientCap = 4096
+
+// admission is the server's upload-admission state.
+type admission struct {
+	cfg      AdmissionConfig
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+}
+
+// tokenBucket is a standard refill-on-access token bucket.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// acquireBytes reserves n bytes of the global in-flight budget; the
+// caller must releaseBytes(n) when the request finishes. It never blocks:
+// over budget means reject-now, the client retries after backoff.
+func (a *admission) acquireBytes(n int64) bool {
+	if a.cfg.MaxInflightBytes <= 0 {
+		return true
+	}
+	if a.inflight.Add(n) > a.cfg.MaxInflightBytes {
+		a.inflight.Add(-n)
+		return false
+	}
+	return true
+}
+
+func (a *admission) releaseBytes(n int64) {
+	if a.cfg.MaxInflightBytes > 0 {
+		a.inflight.Add(-n)
+	}
+}
+
+// allowClient takes one token from the client's bucket, reporting how
+// long the client should wait when the bucket is empty.
+func (a *admission) allowClient(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if a.cfg.ClientRate <= 0 {
+		return true, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.clients[key]
+	if b == nil {
+		if len(a.clients) >= admClientCap {
+			a.sweepLocked(now)
+		}
+		b = &tokenBucket{tokens: float64(a.cfg.ClientBurst), last: now}
+		a.clients[key] = b
+	}
+	b.tokens = math.Min(float64(a.cfg.ClientBurst), b.tokens+now.Sub(b.last).Seconds()*a.cfg.ClientRate)
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / a.cfg.ClientRate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
+}
+
+// sweepLocked drops buckets that have refilled to full (idle clients).
+// Caller holds the admission lock.
+func (a *admission) sweepLocked(now time.Time) {
+	fullAfter := time.Duration(float64(a.cfg.ClientBurst) / a.cfg.ClientRate * float64(time.Second))
+	for key, b := range a.clients {
+		if now.Sub(b.last) >= fullAfter {
+			delete(a.clients, key)
+		}
+	}
+}
+
+// clientKey identifies the uploading client for rate limiting: the
+// remote host without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a Retry-After value, at least 1 second so
+// clients do not busy-loop on a saturated server.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// StartDrain switches the server to drain mode: chunk uploads are
+// refused with 503 + Retry-After (clients resume against the restarted
+// daemon via ResumeUpload), while read routes keep serving. Called at
+// the top of graceful shutdown, before in-flight building jobs finish.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.obs.Gauge("admission.draining").Set(1)
+}
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// admitChunk applies drain state and admission control to one chunk
+// request. It returns the number of reserved budget bytes (release after
+// the request finishes) and whether the request was admitted; on
+// rejection the response has already been written.
+func (s *Server) admitChunk(w http.ResponseWriter, r *http.Request) (reserved int64, ok bool) {
+	if s.draining.Load() {
+		s.obs.Counter("admission.rejected").Inc()
+		s.obs.Counter("admission.rejected.draining").Inc()
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, "server is draining for shutdown", http.StatusServiceUnavailable)
+		return 0, false
+	}
+	a := s.adm
+	if a == nil {
+		return 0, true
+	}
+	if allowed, wait := a.allowClient(clientKey(r), s.now()); !allowed {
+		s.obs.Counter("admission.rejected").Inc()
+		s.obs.Counter("admission.rejected.rate").Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		http.Error(w, "client chunk rate exceeded", http.StatusTooManyRequests)
+		return 0, false
+	}
+	// Reserve the declared body size, clamped to the protocol maximum the
+	// reader enforces anyway; an unknown length reserves a full chunk.
+	reserved = int64(ChunkSize)
+	if r.ContentLength >= 0 && r.ContentLength < reserved {
+		reserved = r.ContentLength
+	}
+	if reserved == 0 {
+		reserved = 1 // an empty body still occupies an admission slot
+	}
+	if !a.acquireBytes(reserved) {
+		s.obs.Counter("admission.rejected").Inc()
+		s.obs.Counter("admission.rejected.bytes").Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "upload byte budget exhausted", http.StatusTooManyRequests)
+		return 0, false
+	}
+	s.obs.Gauge("admission.inflight.bytes").Set(float64(a.inflight.Load()))
+	if a.cfg.BodyTimeout > 0 {
+		// Best effort: recorders and exotic ResponseWriters do not support
+		// deadlines; a real net/http connection does.
+		_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(a.cfg.BodyTimeout))
+	}
+	return reserved, true
+}

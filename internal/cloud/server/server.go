@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdmap/internal/cloud/store"
@@ -51,6 +52,11 @@ type Server struct {
 	obs   *obs.Registry
 	now   func() time.Time // injectable clock for eviction tests
 	wal   ChunkLog         // nil when running memory-only
+	adm   *admission       // nil = admission control off (see admission.go)
+
+	// draining flips at graceful shutdown: chunk uploads are refused with
+	// 503 so the daemon can finish in-flight work and exit.
+	draining atomic.Bool
 
 	maxPending int
 	uploadTTL  time.Duration
@@ -231,6 +237,16 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	reserved, admitted := s.admitChunk(w, r)
+	if !admitted {
+		return
+	}
+	if reserved > 0 {
+		defer func() {
+			s.adm.releaseBytes(reserved)
+			s.obs.Gauge("admission.inflight.bytes").Set(float64(s.adm.inflight.Load()))
+		}()
+	}
 	id := r.PathValue("id")
 	if id == "" {
 		http.Error(w, "missing capture id", http.StatusBadRequest)

@@ -25,6 +25,15 @@
 //	queue.retry.<event>       retry-policy activity (attempts, backoffs,
 //	                          recovered, exhausted) plus the
 //	                          queue.deadletter.size gauge
+//	sched.<event>             per-building scheduler activity
+//	                          (jobs.enqueued/completed/failed/coalesced/
+//	                          requeued counters, queue.depth and
+//	                          workers.busy gauges, job.seconds histogram)
+//	admission.<event>         upload admission control (rejected plus
+//	                          rejected.rate/.bytes/.draining counters,
+//	                          inflight.bytes and draining gauges)
+//	drain.<event>             graceful shutdown (started, forced counters
+//	                          and the drain.seconds histogram)
 //	pipeline.resume.<event>   checkpoint journal outcomes (saved, hits,
 //	                          misses, stale)
 //	<subsystem>.<event>       plain event counters (keyframe.kept, ...)

@@ -352,38 +352,67 @@ func reconstructRoom(c *Capture, trackIdx int, tr *Track, agg *aggregate.Result,
 // radius, keeping the best-scoring layout of each cluster. The decision is
 // purely geometric (the paper merges key-frames per occupancy cell); room
 // IDs ride along as evaluation labels only.
+//
+// Clusters are the connected components of the "centers within radius"
+// graph. Pairwise-against-the-seed membership (the previous behavior)
+// made A–B–C chains split or merge depending on input order: with seed A,
+// C fell outside A's radius and became its own room even though both are
+// within radius of B. Components are order-independent, so the plan is
+// identical however the observations arrive.
 func dedupRooms(obs []floorplan.RoomObservation, radius float64) []floorplan.RoomObservation {
 	if radius <= 0 || len(obs) < 2 {
 		return obs
 	}
-	type scored struct {
-		o floorplan.RoomObservation
-		c geom.Pt
-	}
-	items := make([]scored, len(obs))
+	n := len(obs)
+	centers := make([]geom.Pt, n)
 	for i, o := range obs {
-		items[i] = scored{o: o, c: o.CameraPos.Add(o.RoomLayout.CenterOffset())}
+		centers[i] = o.CameraPos.Add(o.RoomLayout.CenterOffset())
 	}
-	used := make([]bool, len(items))
-	var out []floorplan.RoomObservation
-	for i := range items {
-		if used[i] {
-			continue
+	// Union-find with the smallest member index as the root, so component
+	// identity (and hence output order) is deterministic.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
 		}
-		best := items[i]
-		used[i] = true
-		for j := i + 1; j < len(items); j++ {
-			if used[j] {
-				continue
-			}
-			if items[j].c.Dist(items[i].c) <= radius {
-				used[j] = true
-				if items[j].o.RoomLayout.Score > best.o.RoomLayout.Score {
-					best = items[j]
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if centers[j].Dist(centers[i]) <= radius {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					if ri > rj {
+						ri, rj = rj, ri
+					}
+					parent[rj] = ri
 				}
 			}
 		}
-		out = append(out, best.o)
+	}
+	// One representative per component: the highest-scoring member (ties
+	// go to the earliest), emitted in order of each component's first
+	// member.
+	best := make(map[int]int, n)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		b, seen := best[r]
+		if !seen {
+			best[r] = i
+			roots = append(roots, r)
+		} else if obs[i].RoomLayout.Score > obs[b].RoomLayout.Score {
+			best[r] = i
+		}
+	}
+	out := make([]floorplan.RoomObservation, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, obs[best[r]])
 	}
 	return out
 }

@@ -36,6 +36,55 @@ echo "== fault injection (race) =="
 go test -race -run 'WAL|Torn|Flaky|Retry|Backoff|DeadLetter|Checkpoint|Journal|Resume|Recover|Processor' \
 	./internal/cloud/... ./cmd/crowdmapd/
 
+# Scheduler, admission-control, and drain tests under the race detector,
+# by name: these are the concurrency-heavy paths where a data race is
+# most likely to regress silently.
+echo "== scheduler/admission/drain (race) =="
+go test -race -run 'Sched|Admission|Drain|Overlapping|Serialization|Transient|Quarantine' \
+	./internal/cloud/sched/ ./internal/cloud/server/ ./cmd/crowdmapd/
+
+# Shutdown-drain smoke test: boot the real daemon with a durable data
+# dir, upload one capture, SIGTERM it mid-operation, and require a clean
+# exit that left durable state behind. This exercises the full drain
+# path (admission refusal -> scheduler drain -> WAL compaction) that
+# unit tests only cover piecewise.
+echo "== shutdown-drain smoke test =="
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/crowdmapd" ./cmd/crowdmapd
+go run ./cmd/datagen -building Lab2 -walks 1 -visits 0 -users 1 -out "$smoke/caps"
+"$smoke/crowdmapd" -addr 127.0.0.1:18742 -data-dir "$smoke/data" \
+	-interval 2s -hypotheses 200 -drain-timeout 20s >"$smoke/daemon.log" 2>&1 &
+daemon=$!
+for i in $(seq 1 50); do
+	curl -fsS -o /dev/null http://127.0.0.1:18742/healthz 2>/dev/null && break
+	sleep 0.2
+	if [ "$i" -eq 50 ]; then
+		echo "smoke: daemon never became healthy"; cat "$smoke/daemon.log"; exit 1
+	fi
+done
+cap=$(ls "$smoke"/caps/*.zip | head -n 1)
+curl -fsS -o /dev/null --data-binary @"$cap" \
+	"http://127.0.0.1:18742/api/v1/captures/smoke-cap/chunks?index=0&total=1"
+sleep 1 # let a scan cycle pick the capture up before the drain
+kill -TERM "$daemon"
+for i in $(seq 1 150); do
+	kill -0 "$daemon" 2>/dev/null || break
+	sleep 0.2
+	if [ "$i" -eq 150 ]; then
+		echo "smoke: daemon did not exit within 30s of SIGTERM"
+		cat "$smoke/daemon.log"; kill -9 "$daemon"; exit 1
+	fi
+done
+wait "$daemon" || { echo "smoke: daemon exited nonzero"; cat "$smoke/daemon.log"; exit 1; }
+if ! ls "$smoke"/data/snapshot.json "$smoke"/data/wal-*.seg >/dev/null 2>&1; then
+	echo "smoke: no durable state in data dir after drain"
+	ls -la "$smoke/data" || true; cat "$smoke/daemon.log"; exit 1
+fi
+grep -q 'shutdown complete' "$smoke/daemon.log" || {
+	echo "smoke: daemon log missing 'shutdown complete'"; cat "$smoke/daemon.log"; exit 1; }
+echo "smoke: clean drain, durable state present"
+
 # Docs checks: every internal package must carry a package comment, and
 # every intra-repo markdown link must point at a file that exists.
 echo "== docs: package comments =="
