@@ -10,7 +10,7 @@
 //	          [-snapshot store.json] [-hypotheses N] [-workers N]
 //	          [-building-workers N] [-max-inflight-mb N] [-client-chunk-rate R]
 //	          [-client-chunk-burst N] [-chunk-body-timeout D] [-drain-timeout D]
-//	          [-metrics]
+//	          [-quality lenient] [-stage-budget D] [-metrics]
 //
 // Reconstruction is scheduled per building: every -interval the capture
 // corpus is scanned and grouped by building, and buildings whose corpus
@@ -20,6 +20,15 @@
 // global in-flight chunk-byte budget (-max-inflight-mb) and a per-client
 // token bucket (-client-chunk-rate/-client-chunk-burst) answer saturation
 // with 429 + Retry-After instead of queueing without bound.
+//
+// Input quality is gated twice with one -quality policy (off | lenient |
+// strict): a completed upload failing validation is refused with 422 and
+// machine-readable reason codes (oversized archives get 413), and each
+// reconstruction re-checks its corpus — captures failing there are
+// excluded from the job, reported on the result, and dead-lettered, so a
+// poisoned corpus degrades to its healthy subset instead of crashing or
+// wedging the building. -stage-budget arms a soft per-stage watchdog that
+// counts overruns on pipeline.budget.exceeded without cancelling work.
 //
 // With -data-dir the daemon is durable: every document mutation and every
 // acknowledged upload chunk goes through a write-ahead log before it is
@@ -59,6 +68,7 @@ import (
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
 	"crowdmap/internal/obs"
+	"crowdmap/internal/quality"
 )
 
 func main() {
@@ -79,8 +89,25 @@ func main() {
 		bodyTO     = flag.Duration("chunk-body-timeout", 30*time.Second, "read deadline for a chunk request body (0 = none)")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight building jobs")
 		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each scan")
+		qualityArg = flag.String("quality", "lenient", "capture quality gate: off | lenient | strict (applied at upload admission and again before reconstruction)")
+		stageTO    = flag.Duration("stage-budget", 0, "soft wall-clock budget per reconstruction stage; overruns are counted on pipeline.budget.exceeded, never cancelled (0 = off)")
 	)
 	flag.Parse()
+
+	// The quality gate guards two doors with one policy: uploads that fail
+	// it are refused with 422 + reason codes, and anything already stored
+	// (or admitted while the gate was off) is re-checked before each
+	// reconstruction, where failures become exclusions, not job errors.
+	var gateParams *quality.Params
+	if *qualityArg != "off" {
+		pol, err := quality.ParsePolicy(*qualityArg)
+		if err != nil {
+			log.Fatalf("-quality: %v", err)
+		}
+		qp := quality.DefaultParams()
+		qp.Policy = pol
+		gateParams = &qp
+	}
 
 	// One registry spans every subsystem: ingestion, WAL, scheduler and the
 	// reconstruction pipeline all feed it, and GET /metrics exposes all of it.
@@ -96,6 +123,9 @@ func main() {
 			ClientBurst:      *chunkBurst,
 			BodyTimeout:      *bodyTO,
 		}),
+	}
+	if gateParams != nil {
+		serverOpts = append(serverOpts, server.WithQualityGate(*gateParams))
 	}
 	if *dataDir != "" {
 		pol, err := store.ParseSyncPolicy(*walSync)
@@ -145,6 +175,8 @@ func main() {
 	proc.obs = reg
 	proc.logMetrics = *metrics
 	proc.journal = journal
+	proc.quality = gateParams
+	proc.stageBudget = *stageTO
 	proc.loadPairCache()
 	if err := proc.start(*bWorkers); err != nil {
 		log.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,6 +54,11 @@ type processor struct {
 	workers    int
 	obs        *crowdmap.MetricsRegistry
 	logMetrics bool
+	// quality configures the reconstruction-side input gate; nil disables
+	// it (the daemon default is the lenient policy, set by newProcessor).
+	quality *crowdmap.QualityParams
+	// stageBudget is the soft per-stage wall-clock budget (0 = off).
+	stageBudget time.Duration
 	// journal checkpoints per-stage completion; a building whose plan stage
 	// already completed over the same corpus is skipped entirely.
 	journal *crowdmap.CheckpointJournal
@@ -87,10 +93,12 @@ type captureMeta struct {
 }
 
 func newProcessor(st *store.Store, hypotheses, workers int) *processor {
+	qp := crowdmap.DefaultQualityParams()
 	return &processor{
 		st:          st,
 		hypotheses:  hypotheses,
 		workers:     workers,
+		quality:     &qp,
 		cache:       crowdmap.NewPairCache(0),
 		failures:    make(map[string]int),
 		meta:        make(map[string]captureMeta),
@@ -143,7 +151,7 @@ func (p *processor) savePairCache() {
 
 // quarantine moves a poison capture to the dead-letter collection so the
 // rest of the corpus can proceed without it. Caller holds p.mu.
-func (p *processor) quarantineLocked(id string, cause error) {
+func (p *processor) quarantineLocked(id, cause string) {
 	if data, ok := p.st.Get(server.CollCaptures, id); ok {
 		if err := p.st.Put(collDeadLetter, id, data); err != nil {
 			log.Printf("dead-letter %s: %v", id, err)
@@ -157,7 +165,7 @@ func (p *processor) quarantineLocked(id string, cause error) {
 	delete(p.failures, id)
 	delete(p.meta, id)
 	p.obs.Counter("captures.deadlettered").Inc()
-	log.Printf("capture %s dead-lettered after %d failures: %v", id, maxCaptureFailures, cause)
+	log.Printf("capture %s dead-lettered: %s", id, cause)
 }
 
 // noteFailure charges one reconstruction failure to a capture and
@@ -168,7 +176,7 @@ func (p *processor) noteFailure(id string, cause error) bool {
 	defer p.mu.Unlock()
 	p.failures[id]++
 	if p.failures[id] >= maxCaptureFailures {
-		p.quarantineLocked(id, cause)
+		p.quarantineLocked(id, fmt.Sprintf("%d failures: %v", maxCaptureFailures, cause))
 		return true
 	}
 	return false
@@ -271,12 +279,21 @@ func (p *processor) runOnce(ctx context.Context) error {
 
 // buildingCaptures decodes the current corpus of one building from the
 // store. Captures whose cached metadata names another building are
-// skipped without decoding.
-func (p *processor) buildingCaptures(ctx context.Context, building string) ([]*crowdmap.Capture, error) {
+// skipped without decoding. The second return value maps each capture's
+// declared ID (from meta.json) to the store key it was uploaded under:
+// the pipeline reports failures and exclusions by declared ID, but
+// quarantine must move the store document, and nothing forces a client
+// to upload an archive under the ID its metadata declares. A later
+// document duplicating an earlier one's declared ID is skipped — two
+// corpus members with one identity would make failure attribution
+// ambiguous (and would let a hostile upload get a victim's capture
+// quarantined in its place).
+func (p *processor) buildingCaptures(ctx context.Context, building string) ([]*crowdmap.Capture, map[string]string, error) {
 	var out []*crowdmap.Capture
+	keyByID := make(map[string]string)
 	for _, k := range p.st.Keys(server.CollCaptures) {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.mu.Lock()
 		m, known := p.meta[k]
@@ -295,21 +312,38 @@ func (p *processor) buildingCaptures(ctx context.Context, building string) ([]*c
 			continue
 		}
 		if c.Geo.Building == building {
+			if prev, dup := keyByID[c.ID]; dup {
+				log.Printf("%s: capture %s declares the same ID %q as %s, skipping it",
+					building, k, c.ID, prev)
+				continue
+			}
+			keyByID[c.ID] = k
 			out = append(out, c)
 		}
 	}
-	return out, nil
+	return out, keyByID, nil
 }
 
 // runBuilding is the scheduler's job body: reconstruct one building's
 // corpus, quarantining poison captures and degrading to the remaining
 // corpus rather than failing the job.
 func (p *processor) runBuilding(ctx context.Context, building string) error {
-	captures, err := p.buildingCaptures(ctx, building)
+	captures, keyByID, err := p.buildingCaptures(ctx, building)
 	if err != nil {
 		return err
 	}
-	return p.reconstructBuilding(ctx, building, captures)
+	return p.reconstructBuilding(ctx, building, captures, keyByID)
+}
+
+// storeKey translates a capture's declared ID into the store key its
+// document lives under, falling back to the ID itself when the mapping
+// has no entry (the usual case where clients upload under the declared
+// ID, and the test path that seeds captures directly).
+func storeKey(keyByID map[string]string, id string) string {
+	if k, ok := keyByID[id]; ok {
+		return k
+	}
+	return id
 }
 
 // reconstructBuilding runs one building's corpus through the pipeline.
@@ -317,7 +351,7 @@ func (p *processor) runBuilding(ctx context.Context, building string) error {
 // retries with the rest; on cancellation it returns without charging any
 // capture; on success it resets the failure count of every capture the
 // cycle included and checkpoints the pair cache.
-func (p *processor) reconstructBuilding(ctx context.Context, building string, captures []*crowdmap.Capture) error {
+func (p *processor) reconstructBuilding(ctx context.Context, building string, captures []*crowdmap.Capture, keyByID map[string]string) error {
 	for {
 		if len(captures) < 3 {
 			log.Printf("%s: only %d captures, waiting for more", building, len(captures))
@@ -338,6 +372,8 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 		cfg.PairCache = p.cache
 		cfg.JobID = building
 		cfg.Checkpoints = p.journal
+		cfg.Quality = p.quality
+		cfg.StageBudget = p.stageBudget
 		start := time.Now()
 		res, err := p.reconstruct(ctx, captures, cfg)
 		if err != nil {
@@ -351,7 +387,7 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 			}
 			var ce *crowdmap.CaptureError
 			if errors.As(err, &ce) {
-				if p.noteFailure(ce.CaptureID, err) {
+				if p.noteFailure(storeKey(keyByID, ce.CaptureID), err) {
 					// Graceful degradation: drop the poison capture and
 					// immediately retry this building with the rest. Build a
 					// fresh slice — filtering in place would alias the array
@@ -378,12 +414,32 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 			log.Printf("%s: store plan: %v", building, err)
 			return fmt.Errorf("%s: store plan: %w", building, err)
 		}
+		// Degraded-mode aftermath: captures the pipeline excluded (gate
+		// rejection, recovered panic) are proven poison — dead-letter them
+		// now, without waiting for three strikes, so the next scan's corpus
+		// fingerprint matches what was actually reconstructed and the job
+		// is not redriven over the same exclusions forever.
+		excluded := make(map[string]bool, len(res.Excluded))
+		if len(res.Excluded) > 0 {
+			p.mu.Lock()
+			for _, ex := range res.Excluded {
+				excluded[ex.CaptureID] = true
+				p.quarantineLocked(storeKey(keyByID, ex.CaptureID),
+					fmt.Sprintf("excluded at %s stage: %s",
+						ex.Stage, strings.Join(ex.Reasons, ", ")))
+			}
+			p.mu.Unlock()
+			log.Printf("%s: degraded reconstruction: %d/%d captures used, %d excluded",
+				building, res.Coverage.Used, res.Coverage.Input, res.Coverage.Excluded)
+		}
 		// A capture that took part in a successful cycle is evidently not
 		// poison: reset its failure count so unrelated future failures start
 		// from zero.
 		p.mu.Lock()
 		for _, c := range captures {
-			delete(p.failures, c.ID)
+			if !excluded[c.ID] {
+				delete(p.failures, storeKey(keyByID, c.ID))
+			}
 		}
 		p.mu.Unlock()
 		p.savePairCache()

@@ -260,12 +260,12 @@ func TestTransientFailureNotCountedTowardQuarantine(t *testing.T) {
 		return nil, fmt.Errorf("stage 1: %w",
 			&crowdmap.CaptureError{CaptureID: victim, Err: context.Canceled})
 	}
-	captures, err := proc.buildingCaptures(context.Background(), "Lab2")
+	captures, keyByID, err := proc.buildingCaptures(context.Background(), "Lab2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < maxCaptureFailures; i++ {
-		if err := proc.reconstructBuilding(context.Background(), "Lab2", captures); err == nil {
+		if err := proc.reconstructBuilding(context.Background(), "Lab2", captures, keyByID); err == nil {
 			t.Fatal("interrupted reconstruction reported success")
 		}
 	}
@@ -283,7 +283,7 @@ func TestTransientFailureNotCountedTowardQuarantine(t *testing.T) {
 	proc.reconstruct = func(ctx context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
 		return nil, fmt.Errorf("stage 2: %w", context.DeadlineExceeded)
 	}
-	if err := proc.reconstructBuilding(context.Background(), "Lab2", captures); err == nil {
+	if err := proc.reconstructBuilding(context.Background(), "Lab2", captures, keyByID); err == nil {
 		t.Fatal("deadline-exceeded reconstruction reported success")
 	}
 	if got := failureCount(proc, victim); got != 0 {
@@ -336,12 +336,12 @@ func TestReconstructBuildingQuarantineRetryLoop(t *testing.T) {
 		}
 		return stubResult("Lab2"), nil
 	}
-	captures, err := proc.buildingCaptures(context.Background(), "Lab2")
+	captures, keyByID, err := proc.buildingCaptures(context.Background(), "Lab2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	orig := append([]*crowdmap.Capture(nil), captures...)
-	if err := proc.reconstructBuilding(context.Background(), "Lab2", captures); err != nil {
+	if err := proc.reconstructBuilding(context.Background(), "Lab2", captures, keyByID); err != nil {
 		t.Fatalf("quarantine-then-retry job failed: %v", err)
 	}
 	if got := atomic.LoadInt32(&calls); got != 2 {
@@ -356,6 +356,123 @@ func TestReconstructBuildingQuarantineRetryLoop(t *testing.T) {
 		if captures[i] != c {
 			t.Fatalf("caller slice clobbered at %d: %v != %v", i, captures[i].ID, c.ID)
 		}
+	}
+}
+
+// TestProcessorDeadLettersExcludedCaptures: when a reconstruction
+// completes in degraded mode, the captures it excluded (quality gate,
+// recovered panics) are dead-lettered immediately — no three-strike wait —
+// while the survivors keep clean failure counts and the plan still lands.
+func TestProcessorDeadLettersExcludedCaptures(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 4, 2)
+	bad := ids[2]
+	proc := newTestProcessor(t, st, 1)
+	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error) {
+		if cfg.Quality == nil {
+			t.Error("processor did not pass quality params to the pipeline")
+		}
+		res := stubResult("Lab2")
+		res.Excluded = []crowdmap.Exclusion{{
+			CaptureID: bad,
+			Stage:     crowdmap.StageQualityGate,
+			Reasons:   []string{"imu_too_corrupt"},
+		}}
+		res.Coverage = crowdmap.Coverage{Input: len(captures), Used: len(captures) - 1, Excluded: 1, Degraded: true}
+		return res, nil
+	}
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatalf("degraded cycle failed: %v", err)
+	}
+	if _, ok := st.Get(collDeadLetter, bad); !ok {
+		t.Error("excluded capture not dead-lettered")
+	}
+	if _, ok := st.Get(server.CollCaptures, bad); ok {
+		t.Error("excluded capture still in working set")
+	}
+	if _, ok := st.Get(server.CollPlans, "Lab2"); !ok {
+		t.Error("degraded plan not stored")
+	}
+	if v := proc.obs.Snapshot().Counters["captures.deadlettered"]; v != 1 {
+		t.Errorf("captures.deadlettered = %d, want 1", v)
+	}
+	for _, id := range ids {
+		if id != bad {
+			if _, ok := st.Get(server.CollCaptures, id); !ok {
+				t.Errorf("surviving capture %s missing from working set", id)
+			}
+		}
+	}
+}
+
+// TestProcessorDeadLetterUsesStoreKey: nothing forces a client to upload
+// an archive under the ID its meta.json declares, but exclusions and
+// CaptureErrors carry the declared ID. Quarantine must translate that
+// back to the store key, or the dead-letter move is a silent no-op (and
+// a hostile archive declaring a victim's ID could get the victim's
+// document quarantined in its place).
+func TestProcessorDeadLetterUsesStoreKey(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 4, 2)
+	declared := ids[3]
+	uploadKey := "renamed-upload"
+	// Re-file the last capture under a store key that differs from the ID
+	// its metadata declares.
+	data, _ := st.Get(server.CollCaptures, declared)
+	if err := st.Put(server.CollCaptures, uploadKey, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(server.CollCaptures, declared); err != nil {
+		t.Fatal(err)
+	}
+	proc := newTestProcessor(t, st, 1)
+	proc.reconstruct = func(_ context.Context, captures []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		res := stubResult("Lab2")
+		res.Excluded = []crowdmap.Exclusion{{
+			CaptureID: declared, // the pipeline only knows the declared ID
+			Stage:     crowdmap.StageQualityGate,
+			Reasons:   []string{"imu_too_corrupt"},
+		}}
+		res.Coverage = crowdmap.Coverage{Input: len(captures), Used: len(captures) - 1, Excluded: 1, Degraded: true}
+		return res, nil
+	}
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatalf("degraded cycle failed: %v", err)
+	}
+	if _, ok := st.Get(collDeadLetter, uploadKey); !ok {
+		t.Error("renamed capture not dead-lettered under its store key")
+	}
+	if _, ok := st.Get(server.CollCaptures, uploadKey); ok {
+		t.Error("renamed capture still in working set")
+	}
+	for _, id := range ids[:3] {
+		if _, ok := st.Get(server.CollCaptures, id); !ok {
+			t.Errorf("innocent capture %s evicted from working set", id)
+		}
+	}
+}
+
+// TestBuildingCapturesSkipsDuplicateDeclaredIDs: two store documents
+// decoding to the same declared capture ID would make failure
+// attribution ambiguous, so only the first (in store key order) joins
+// the corpus.
+func TestBuildingCapturesSkipsDuplicateDeclaredIDs(t *testing.T) {
+	st := store.New()
+	ids := seedCaptures(t, st, "Lab2", 3, 2)
+	data, _ := st.Get(server.CollCaptures, ids[0])
+	if err := st.Put(server.CollCaptures, "zz-imposter", data); err != nil {
+		t.Fatal(err)
+	}
+	proc := newTestProcessor(t, st, 1)
+	captures, keyByID, err := proc.buildingCaptures(context.Background(), "Lab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captures) != 3 {
+		t.Fatalf("corpus size = %d, want 3 (duplicate declared ID not skipped)", len(captures))
+	}
+	if got := keyByID[ids[0]]; got != ids[0] {
+		t.Errorf("declared ID %q maps to store key %q, want the first document %q", ids[0], got, ids[0])
 	}
 }
 

@@ -19,6 +19,7 @@ package crowdmap
 
 import (
 	"fmt"
+	"time"
 
 	"crowdmap/internal/aggregate"
 	"crowdmap/internal/cloud/pipeline"
@@ -28,6 +29,7 @@ import (
 	"crowdmap/internal/keyframe"
 	"crowdmap/internal/layout"
 	"crowdmap/internal/obs"
+	"crowdmap/internal/quality"
 	"crowdmap/internal/trajectory"
 	"crowdmap/internal/vision/pano"
 	"crowdmap/internal/world"
@@ -75,7 +77,18 @@ type (
 	// Config.Checkpoints together with a Config.JobID. A nil journal is a
 	// valid no-op.
 	CheckpointJournal = pipeline.Journal
+	// QualityParams tunes the crowdsourced-input quality gate (bounds,
+	// policy, sanitization budget); see internal/quality.
+	QualityParams = quality.Params
+	// QualityReport is the gate's per-capture verdict: admissibility,
+	// score, and machine-readable reason codes.
+	QualityReport = quality.Report
 )
+
+// DefaultQualityParams returns the gate bounds used by DefaultConfig:
+// lenient policy, thresholds generous enough that any plausible real
+// capture passes untouched.
+func DefaultQualityParams() QualityParams { return quality.DefaultParams() }
 
 // NewMetricsRegistry returns an empty metrics registry for Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
@@ -135,6 +148,19 @@ type Config struct {
 	// level, skips jobs whose "plan" stage already completed. Nil disables
 	// checkpointing.
 	Checkpoints *CheckpointJournal
+	// Quality, when non-nil, enables the crowdsourced-input quality gate:
+	// each capture is validated, scored, and (under the lenient policy)
+	// sanitized before the pipeline runs. Irrecoverable captures are
+	// excluded — recorded on Result.Excluded, never failing the job — and
+	// low-score captures lose aggregation ties. Nil disables the gate, the
+	// pre-existing trust-the-input behavior.
+	Quality *QualityParams
+	// StageBudget is a soft wall-clock budget per pipeline stage. A stage
+	// that overruns is not cancelled — abandoning work mid-stage would
+	// forfeit what the checkpoint journal could bank — but the overrun is
+	// counted on pipeline.budget.exceeded for operator alerting. Zero
+	// disables the watchdog.
+	StageBudget time.Duration
 }
 
 // DefaultConfig returns the tuning used for the paper-reproduction
@@ -143,6 +169,7 @@ func DefaultConfig() Config {
 	kf := keyframe.DefaultParams()
 	agg := aggregate.DefaultParams()
 	agg.KF = kf
+	qp := quality.DefaultParams()
 	return Config{
 		Keyframe:        kf,
 		Aggregate:       agg,
@@ -153,6 +180,7 @@ func DefaultConfig() Config {
 		Workers:         0,
 		RoomMergeRadius: 2.0,
 		Seed:            1,
+		Quality:         &qp,
 	}
 }
 
@@ -178,6 +206,14 @@ func (c Config) Validate() error {
 	}
 	if c.RoomMergeRadius < 0 {
 		return fmt.Errorf("crowdmap: room merge radius must be ≥ 0, got %g", c.RoomMergeRadius)
+	}
+	if c.Quality != nil {
+		if err := c.Quality.Validate(); err != nil {
+			return fmt.Errorf("crowdmap: quality config: %w", err)
+		}
+	}
+	if c.StageBudget < 0 {
+		return fmt.Errorf("crowdmap: stage budget must be ≥ 0, got %v", c.StageBudget)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ package aggregate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"crowdmap/internal/geom"
@@ -33,6 +34,20 @@ type Track struct {
 	// pair-comparison cache recognize a track across jobs; empty disables
 	// caching for pairs involving this track.
 	Hash string
+	// Quality is the capture's quality-gate score in (0, 1]; zero means
+	// unscored. When anchor support and sequence score tie exactly,
+	// aggregation prefers the match whose tracks carry the higher score, so
+	// sanitized-but-suspect captures lose ties against pristine ones.
+	Quality float64
+}
+
+// EffectiveQuality maps the unscored zero value to a perfect score so
+// callers that never ran the quality gate keep today's behavior.
+func (t *Track) EffectiveQuality() float64 {
+	if t.Quality <= 0 {
+		return 1
+	}
+	return t.Quality
 }
 
 // Params tunes aggregation.
@@ -373,17 +388,26 @@ func Aggregate(tracks []*Track, p Params, cmp PairComparer) (*Result, error) {
 			res.Matches = append(res.Matches, m)
 		}
 	}
-	// Strongest evidence first: anchor support, then sequence score.
+	// Strongest evidence first: anchor support, then sequence score, then
+	// — on exact ties only, so ungated corpora are unaffected — the
+	// quality-gate score of the match's weaker track. Low-quality
+	// (sanitized) captures thereby lose ties against pristine evidence.
 	order := make([]int, len(res.Matches))
 	for i := range order {
 		order[i] = i
+	}
+	minQ := func(m Match) float64 {
+		return math.Min(tracks[m.A].EffectiveQuality(), tracks[m.B].EffectiveQuality())
 	}
 	sort.Slice(order, func(x, y int) bool {
 		a, b := res.Matches[order[x]], res.Matches[order[y]]
 		if a.Support != b.Support {
 			return a.Support > b.Support
 		}
-		return a.S3 > b.S3
+		if a.S3 != b.S3 {
+			return a.S3 > b.S3
+		}
+		return minQ(a) > minQ(b)
 	})
 	u := newUnionFind(len(tracks))
 	tol := 3 * p.Epsilon

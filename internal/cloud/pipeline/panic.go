@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"crowdmap/internal/obs"
+)
+
+// PanicError wraps a panic recovered inside a pipeline worker. A single
+// pathological item (a capture whose frame buffer lies about its
+// dimensions, say) must cost the job at most that item, never the daemon:
+// workers convert the panic into this tagged error so the caller can route
+// it through the same per-item failure machinery as ordinary errors —
+// quarantine, dead-letter, degraded-mode completion.
+type PanicError struct {
+	// Index is the item (or pair-flattened) index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time, for logs.
+	Stack []byte
+}
+
+// Error implements error. The stack is not included: it goes to logs, not
+// to error strings that may end up in API responses.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("pipeline: panic on item %d: %v", p.Index, p.Value)
+}
+
+// safeCall invokes fn(ctx, i), converting a panic into a *PanicError so a
+// poisoned item cannot unwind past the worker and kill the process.
+func safeCall(ctx context.Context, reg *obs.Registry, fn func(ctx context.Context, i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			reg.Counter("pipeline.panic.recovered").Inc()
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// budgetKey carries the per-stage soft time budget in the context.
+type budgetKey struct{}
+
+// WithSoftBudget annotates the context with a soft wall-clock budget for
+// the next pipeline stage. The budget is advisory: a stage that overruns
+// is not cancelled (cancellation mid-stage would forfeit work the
+// checkpoint journal could otherwise bank), but the overrun is counted on
+// pipeline.budget.exceeded and the stage's overrun is observable on the
+// pipeline.budget.overrun_ms histogram, so operators can alert on stuck
+// stages without the daemon guessing which work is safe to abandon.
+// A non-positive budget disables the check.
+func WithSoftBudget(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, d)
+}
+
+// softBudget returns the context's soft budget, if any.
+func softBudget(ctx context.Context) (time.Duration, bool) {
+	d, ok := ctx.Value(budgetKey{}).(time.Duration)
+	return d, ok && d > 0
+}
+
+// watchBudget arms the soft-budget watchdog for one stage. The returned
+// stop function must be called when the stage finishes; it records the
+// overrun histogram sample if the budget was exceeded.
+func watchBudget(ctx context.Context, reg *obs.Registry) (stop func()) {
+	d, ok := softBudget(ctx)
+	if !ok {
+		return func() {}
+	}
+	start := time.Now()
+	timer := time.AfterFunc(d, func() {
+		reg.Counter("pipeline.budget.exceeded").Inc()
+	})
+	return func() {
+		timer.Stop()
+		if over := time.Since(start) - d; over > 0 {
+			reg.Histogram("pipeline.budget.overrun_ms").Observe(float64(over.Milliseconds()))
+		}
+	}
+}
+
+// MapAll runs fn(ctx, i) for i in [0, n) on at most workers goroutines and
+// returns a per-index error slice: errs[i] is the error (or recovered
+// *PanicError) from item i, nil on success. Unlike Map, an item failure
+// does not cancel its siblings — every item runs unless the parent context
+// is cancelled, which is the degraded-mode contract: one poisoned capture
+// must not abort the processing of the healthy rest of the corpus. The
+// second return value is the context's error when the run was cut short,
+// nil otherwise.
+func MapAll(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) ([]error, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pipeline: negative item count %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("pipeline: nil function")
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if n == 0 {
+		return errs, nil
+	}
+	reg := obs.FromContext(ctx)
+	items := reg.Counter("pipeline.items")
+	errors := reg.Counter("pipeline.errors")
+	defer watchBudget(ctx, reg)()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				if err := safeCall(ctx, reg, fn, i); err != nil {
+					errors.Inc()
+					errs[i] = err
+					continue
+				}
+				items.Inc()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs, ctx.Err()
+}

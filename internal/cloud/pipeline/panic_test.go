@@ -1,0 +1,196 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdmap/internal/obs"
+)
+
+func TestMapRecoversPanic(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	err := Map(ctx, 8, 4, func(_ context.Context, i int) error {
+		if i == 3 {
+			panic("poisoned item")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Map returned %v, want *PanicError", err)
+	}
+	if pe.Index != 3 || pe.Value != "poisoned item" {
+		t.Fatalf("PanicError = %+v, want index 3, value %q", pe, "poisoned item")
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if !strings.Contains(pe.Error(), "item 3") {
+		t.Fatalf("Error() = %q does not name the item", pe.Error())
+	}
+	if got := reg.Counter("pipeline.panic.recovered").Value(); got != 1 {
+		t.Fatalf("pipeline.panic.recovered = %d, want 1", got)
+	}
+}
+
+func TestMapPairsRecoversPanicAndSiblingsFinish(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	var done atomic.Int64
+	err := MapPairs(ctx, 6, 3, func(_ context.Context, p Pair) error {
+		if p.I == 1 && p.J == 2 {
+			panic(fmt.Sprintf("pair %d-%d", p.I, p.J))
+		}
+		done.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("MapPairs returned %v, want *PanicError", err)
+	}
+	if got := reg.Counter("pipeline.panic.recovered").Value(); got != 1 {
+		t.Fatalf("pipeline.panic.recovered = %d, want 1", got)
+	}
+}
+
+func TestMapAllRunsEverythingPastFailures(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	errs, ctxErr := MapAll(ctx, 10, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		switch i {
+		case 2:
+			return boom
+		case 7:
+			panic("worker down")
+		}
+		return nil
+	})
+	if ctxErr != nil {
+		t.Fatalf("context error %v on a clean run", ctxErr)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d items, want all 10 despite failures", got)
+	}
+	for i, err := range errs {
+		switch i {
+		case 2:
+			if !errors.Is(err, boom) {
+				t.Fatalf("errs[2] = %v, want boom", err)
+			}
+		case 7:
+			var pe *PanicError
+			if !errors.As(err, &pe) || pe.Index != 7 {
+				t.Fatalf("errs[7] = %v, want *PanicError{Index: 7}", err)
+			}
+		default:
+			if err != nil {
+				t.Fatalf("errs[%d] = %v, want nil", i, err)
+			}
+		}
+	}
+	if got := reg.Counter("pipeline.items").Value(); got != 8 {
+		t.Fatalf("pipeline.items = %d, want 8", got)
+	}
+	if got := reg.Counter("pipeline.errors").Value(); got != 2 {
+		t.Fatalf("pipeline.errors = %d, want 2", got)
+	}
+}
+
+func TestMapAllHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	errs, ctxErr := MapAll(ctx, 100, 2, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(ctxErr, context.Canceled) {
+		t.Fatalf("ctxErr = %v, want Canceled", ctxErr)
+	}
+	cancelled := 0
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no item was marked cancelled after cancel()")
+	}
+}
+
+func TestMapAllValidation(t *testing.T) {
+	if _, err := MapAll(context.Background(), -1, 1, func(context.Context, int) error { return nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := MapAll(context.Background(), 1, 1, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	errs, err := MapAll(context.Background(), 0, 1, func(context.Context, int) error { return nil })
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("empty map: errs=%v err=%v", errs, err)
+	}
+}
+
+func TestMapAllLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		_, _ = MapAll(context.Background(), 20, 8, func(_ context.Context, i int) error {
+			if i%3 == 0 {
+				panic("boom")
+			}
+			return nil
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after panicking MapAll rounds",
+		before, runtime.NumGoroutine())
+}
+
+func TestSoftBudgetObservesOverrun(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	ctx = WithSoftBudget(ctx, time.Millisecond)
+	err := Map(ctx, 2, 2, func(context.Context, int) error {
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Map failed: %v", err)
+	}
+	if got := reg.Counter("pipeline.budget.exceeded").Value(); got != 1 {
+		t.Fatalf("pipeline.budget.exceeded = %d, want 1", got)
+	}
+}
+
+func TestSoftBudgetQuietWhenUnderBudget(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.NewContext(context.Background(), reg)
+	ctx = WithSoftBudget(ctx, time.Minute)
+	if err := Map(ctx, 2, 2, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatalf("Map failed: %v", err)
+	}
+	if got := reg.Counter("pipeline.budget.exceeded").Value(); got != 0 {
+		t.Fatalf("pipeline.budget.exceeded = %d, want 0", got)
+	}
+	// Disabled budget is a no-op annotation.
+	if WithSoftBudget(context.Background(), 0) != context.Background() {
+		t.Fatal("zero budget should not annotate the context")
+	}
+}

@@ -18,10 +18,15 @@ import (
 )
 
 // Map runs fn(ctx, i) for i in [0, n) on at most workers goroutines.
-// The first error cancels the remaining work and is returned.
+// The first error cancels the remaining work and is returned. A panic
+// inside fn is recovered into a *PanicError (counted on
+// pipeline.panic.recovered) and treated as that item's error — a poisoned
+// item fails the map, never the process. Use MapAll when sibling items
+// should keep running past a failure.
 //
 // When the context carries a metrics registry (obs.NewContext), Map counts
-// pipeline.items (completed calls) and pipeline.errors.
+// pipeline.items (completed calls) and pipeline.errors, and honors the
+// soft stage budget set by WithSoftBudget.
 func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n < 0 {
 		return fmt.Errorf("pipeline: negative item count %d", n)
@@ -41,6 +46,7 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 	reg := obs.FromContext(ctx)
 	items := reg.Counter("pipeline.items")
 	errors := reg.Counter("pipeline.errors")
+	defer watchBudget(ctx, reg)()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	idx := make(chan int)
@@ -63,7 +69,7 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 				if ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := safeCall(ctx, reg, fn, i); err != nil {
 					errors.Inc()
 					fail(err)
 					return

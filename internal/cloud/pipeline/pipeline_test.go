@@ -3,9 +3,9 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
-	"runtime"
 	"testing"
 	"time"
 )

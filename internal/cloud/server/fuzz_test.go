@@ -1,11 +1,15 @@
 package server
 
 import (
+	"archive/zip"
 	"bytes"
+	"io"
+	"math"
 	"testing"
 
 	"crowdmap/internal/crowd"
 	"crowdmap/internal/img"
+	"crowdmap/internal/quality"
 	"crowdmap/internal/sensor"
 )
 
@@ -20,9 +24,10 @@ func fuzzSeedArchive(tb testing.TB) []byte {
 		}
 	}
 	c := &crowd.Capture{
-		ID:     "fuzz-seed",
-		UserID: "u0",
-		FPS:    2,
+		ID:            "fuzz-seed",
+		UserID:        "u0",
+		FPS:           2,
+		StepLengthEst: 0.7,
 		IMU: []sensor.Sample{
 			{T: 0}, {T: 0.5},
 		},
@@ -38,9 +43,53 @@ func fuzzSeedArchive(tb testing.TB) []byte {
 	return data
 }
 
+// rewriteArchive copies a capture archive, replacing (or, with nil body,
+// dropping) named members. Used to seed the fuzzer with structurally valid
+// zips whose payloads EncodeCapture could never produce — non-finite JSON
+// floats, missing frame files.
+func rewriteArchive(tb testing.TB, archive []byte, patch map[string][]byte) []byte {
+	tb.Helper()
+	zr, err := zip.NewReader(bytes.NewReader(archive), int64(len(archive)))
+	if err != nil {
+		tb.Fatalf("rewrite: open archive: %v", err)
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, f := range zr.File {
+		body, patched := patch[f.Name]
+		if patched && body == nil {
+			continue // drop the member
+		}
+		w, err := zw.Create(f.Name)
+		if err != nil {
+			tb.Fatalf("rewrite: create %s: %v", f.Name, err)
+		}
+		if patched {
+			if _, err := w.Write(body); err != nil {
+				tb.Fatalf("rewrite: write %s: %v", f.Name, err)
+			}
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			tb.Fatalf("rewrite: open %s: %v", f.Name, err)
+		}
+		if _, err := io.Copy(w, rc); err != nil {
+			tb.Fatalf("rewrite: copy %s: %v", f.Name, err)
+		}
+		rc.Close()
+	}
+	if err := zw.Close(); err != nil {
+		tb.Fatalf("rewrite: close: %v", err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzDecodeCapture hammers the upload-archive decoder — the first parser
-// untrusted client bytes reach. It must never panic; when it accepts an
-// archive, the result must be internally consistent and re-encodable.
+// untrusted client bytes reach — followed by the quality gate it feeds.
+// Neither may ever panic; when the decoder accepts an archive, the result
+// must be internally consistent, re-encodable, and — after the gate admits
+// it — free of non-finite samples and parameters.
 func FuzzDecodeCapture(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a zip"))
@@ -51,6 +100,25 @@ func FuzzDecodeCapture(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0xff
 	f.Add(flipped)
+	// Non-finite IMU floats. JSON cannot encode NaN/Inf, so hostile
+	// payloads show up as bare NaN tokens (invalid JSON) or magnitudes
+	// past float64 range; both must be refused without panicking.
+	f.Add(rewriteArchive(f, valid, map[string][]byte{
+		"imu.json": []byte(`[{"T":0,"GyroZ":NaN},{"T":0.5,"Accel":[Inf,0,0]}]`),
+	}))
+	f.Add(rewriteArchive(f, valid, map[string][]byte{
+		"imu.json": []byte(`[{"T":0,"GyroZ":1e999},{"T":0.5,"Accel":[-1e999,0,0]}]`),
+	}))
+	// Non-monotonic IMU timestamps: valid JSON, semantically broken.
+	f.Add(rewriteArchive(f, valid, map[string][]byte{
+		"imu.json": []byte(`[{"T":0.5},{"T":0},{"T":0.25}]`),
+	}))
+	// Empty IMU stream.
+	f.Add(rewriteArchive(f, valid, map[string][]byte{"imu.json": []byte(`[]`)}))
+	// Truncated frame sequence: meta declares two frames, one is missing.
+	f.Add(rewriteArchive(f, valid, map[string][]byte{"frames/0001.png": nil}))
+	// A frame replaced by garbage bytes.
+	f.Add(rewriteArchive(f, valid, map[string][]byte{"frames/0000.png": []byte("not a png")}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := DecodeCapture(data)
 		if err != nil {
@@ -67,10 +135,35 @@ func FuzzDecodeCapture(f *testing.F) {
 				t.Fatalf("frame %d has no image", i)
 			}
 		}
+		if c.FPS <= 0 || c.StepLengthEst <= 0 || len(c.IMU) == 0 {
+			t.Fatalf("decoder admitted degenerate parameters: fps=%v step=%v imu=%d",
+				c.FPS, c.StepLengthEst, len(c.IMU))
+		}
 		if _, err := EncodeCapture(c); err != nil {
 			t.Fatalf("accepted capture does not re-encode: %v", err)
 		}
+		// The quality gate must handle anything the decoder admits
+		// without panicking, and anything the gate admits must be free
+		// of non-finite samples.
+		gated, rep := quality.Gate(c, quality.DefaultParams())
+		if !rep.OK {
+			return
+		}
+		for i, s := range gated.IMU {
+			if !finiteSample(s) {
+				t.Fatalf("gate admitted non-finite IMU sample %d: %+v", i, s)
+			}
+		}
 	})
+}
+
+func finiteSample(s sensor.Sample) bool {
+	for _, v := range []float64{s.T, s.GyroZ, s.Accel[0], s.Accel[1], s.Accel[2], s.Compass} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // FuzzChunkReassembly drives the chunk-reassembly state machine with

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/quality"
+)
+
+// recordingLog is a ChunkLog fake that remembers rejection records.
+type recordingLog struct {
+	mu       sync.Mutex
+	rejected map[string]string
+}
+
+func (l *recordingLog) LogChunk(string, int, int, []byte) error { return nil }
+func (l *recordingLog) LogUploadDone(string) error              { return nil }
+func (l *recordingLog) LogUploadEvicted(string) error           { return nil }
+func (l *recordingLog) LogUploadRejected(id, reason string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rejected == nil {
+		l.rejected = make(map[string]string)
+	}
+	l.rejected[id] = reason
+	return nil
+}
+
+// uploadArchive pushes a full archive through the chunk protocol and
+// returns the final chunk's status code and response body.
+func uploadArchive(t *testing.T, ts *httptest.Server, id string, archive []byte) (int, []byte) {
+	t.Helper()
+	chunks := chunksOf(archive, chunkCount(archive))
+	var status int
+	var body []byte
+	for i, ch := range chunks {
+		url := ts.URL + "/api/v1/captures/" + id + "/chunks?index=" + itoa(i) + "&total=" + itoa(len(chunks))
+		resp, err := ts.Client().Post(url, "application/octet-stream", bytes.NewReader(ch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		status, body = resp.StatusCode, buf.Bytes()
+	}
+	return status, body
+}
+
+// TestUploadQualityGateRejects: a capture that decodes fine but fails the
+// quality gate (here: a sub-second recording, far under the minimum useful
+// duration) is refused with 422 and machine-readable reason codes, the
+// rejection is WAL-logged, the archive is not stored, and the daemon keeps
+// serving — the next good upload lands normally.
+func TestUploadQualityGateRejects(t *testing.T) {
+	wal := &recordingLog{}
+	srv, err := New(store.New(),
+		WithQualityGate(quality.DefaultParams()),
+		WithChunkLog(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// fuzzSeedArchive's capture spans 0.5 s — structurally valid, too
+	// short to be useful signal.
+	status, body := uploadArchive(t, ts, "too-short", fuzzSeedArchive(t))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("gated upload: status %d, want 422 (body %s)", status, body)
+	}
+	var resp struct {
+		Error   string   `json:"error"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("422 body is not the reason document: %v (%s)", err, body)
+	}
+	if !containsString(resp.Reasons, quality.ReasonDuration) {
+		t.Errorf("reasons %v missing %s", resp.Reasons, quality.ReasonDuration)
+	}
+	if _, stored := srv.Store().Get(CollCaptures, "too-short"); stored {
+		t.Error("rejected capture was stored anyway")
+	}
+	if got := srv.Metrics().Counter("quality.rejected").Value(); got != 1 {
+		t.Errorf("quality.rejected = %d, want 1", got)
+	}
+	wal.mu.Lock()
+	reason, logged := wal.rejected["too-short"]
+	wal.mu.Unlock()
+	if !logged || !strings.Contains(reason, quality.ReasonDuration) {
+		t.Errorf("rejection not WAL-logged with reasons: %q (logged=%v)", reason, logged)
+	}
+
+	// The daemon is unharmed: a generator-quality capture sails through.
+	good := testCapture(t)
+	archive, err := EncodeCapture(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = uploadArchive(t, ts, good.ID, archive)
+	if status != http.StatusCreated {
+		t.Fatalf("good upload after rejection: status %d (body %s)", status, body)
+	}
+	if got := srv.Metrics().Counter("quality.admitted").Value(); got != 1 {
+		t.Errorf("quality.admitted = %d, want 1", got)
+	}
+}
+
+// TestUploadZipBombRejected413: an archive over the decompression caps is
+// refused with 413 (not 422 — the client should not retry with the same
+// payload expecting a different parse), the typed rejection is counted and
+// WAL-logged, and nothing reaches the store.
+func TestUploadZipBombRejected413(t *testing.T) {
+	wal := &recordingLog{}
+	srv, err := New(store.New(), WithChunkLog(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	bomb := zerosArchive(t, map[string]int64{"imu.json": MaxFileUncompressed + 1})
+	status, body := uploadArchive(t, ts, "bomb", bomb)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("zip bomb: status %d, want 413 (body %s)", status, body)
+	}
+	if _, stored := srv.Store().Get(CollCaptures, "bomb"); stored {
+		t.Error("zip bomb was stored")
+	}
+	if got := srv.Metrics().Counter("uploads.rejected_toolarge").Value(); got != 1 {
+		t.Errorf("uploads.rejected_toolarge = %d, want 1", got)
+	}
+	wal.mu.Lock()
+	_, logged := wal.rejected["bomb"]
+	wal.mu.Unlock()
+	if !logged {
+		t.Error("zip-bomb rejection not WAL-logged")
+	}
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -173,3 +173,4 @@ type failingLog struct{}
 func (failingLog) LogChunk(string, int, int, []byte) error { return errors.New("disk full") }
 func (failingLog) LogUploadDone(string) error              { return nil }
 func (failingLog) LogUploadEvicted(string) error           { return nil }
+func (failingLog) LogUploadRejected(string, string) error  { return nil }

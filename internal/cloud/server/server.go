@@ -3,16 +3,19 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"crowdmap/internal/cloud/store"
 	"crowdmap/internal/obs"
+	"crowdmap/internal/quality"
 )
 
 // Collections in the backing store.
@@ -44,6 +47,10 @@ type ChunkLog interface {
 	LogChunk(id string, index, total int, data []byte) error
 	LogUploadDone(id string) error
 	LogUploadEvicted(id string) error
+	// LogUploadRejected records an assembled upload refused at admission
+	// (quality gate or decompression caps) with its reason codes, so the
+	// rejection is auditable and replay does not resurrect the chunks.
+	LogUploadRejected(id, reason string) error
 }
 
 // Server is the HTTP ingestion frontend. It is safe for concurrent use.
@@ -53,6 +60,7 @@ type Server struct {
 	now   func() time.Time // injectable clock for eviction tests
 	wal   ChunkLog         // nil when running memory-only
 	adm   *admission       // nil = admission control off (see admission.go)
+	gate  *quality.Params  // nil = quality gate off (trust decoded input)
 
 	// draining flips at graceful shutdown: chunk uploads are refused with
 	// 503 so the daemon can finish in-flight work and exit.
@@ -114,6 +122,15 @@ func WithPendingLimits(maxPending int, ttl time.Duration) Option {
 			s.uploadTTL = ttl
 		}
 	}
+}
+
+// WithQualityGate enables admission-time capture validation: a completed
+// upload that decodes but fails the quality gate is refused with 422 and a
+// machine-readable reason list instead of being stored for the pipeline to
+// trip over. Off by default — library users and tests that construct their
+// own corpora keep the trust-the-input behavior.
+func WithQualityGate(p quality.Params) Option {
+	return func(s *Server) { s.gate = &p }
 }
 
 // WithChunkLog attaches the write-ahead log: chunks are made durable
@@ -335,10 +352,35 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate before storing: a malformed archive is rejected here, the
 	// first layer of the paper's "divide and conquer" data filtering.
-	if _, err := DecodeCapture(assembled); err != nil {
+	decoded, err := DecodeCapture(assembled)
+	if err != nil {
+		var tle *TooLargeError
+		if errors.As(err, &tle) {
+			// Decompression-bomb caps: the archive fit the chunk protocol
+			// but inflates past the decode limits.
+			s.obs.Counter("uploads.rejected_toolarge").Inc()
+			s.rejectUpload(id, err.Error())
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
 		s.obs.Counter("uploads.invalid").Inc()
+		s.rejectUpload(id, err.Error())
 		http.Error(w, "invalid capture archive: "+err.Error(), http.StatusUnprocessableEntity)
 		return
+	}
+	if s.gate != nil {
+		qp := *s.gate
+		qp.Obs = s.obs // quality.checked/admitted/rejected land on /metrics
+		if _, rep := quality.Gate(decoded, qp); !rep.OK {
+			s.rejectUpload(id, strings.Join(rep.Reasons, ","))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			_ = json.NewEncoder(w).Encode(map[string]interface{}{
+				"error":   "capture rejected by quality gate",
+				"reasons": rep.Reasons,
+			})
+			return
+		}
 	}
 	if err := s.store.Put(CollCaptures, id, assembled); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -353,6 +395,15 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	s.obs.Counter("uploads.completed").Inc()
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, `{"stored":%q,"bytes":%d}`+"\n", id, len(assembled))
+}
+
+// rejectUpload records a refused assembled upload in the WAL so its chunk
+// records are dead (replay must not resurrect them as a pending upload the
+// phone would be invited to finish).
+func (s *Server) rejectUpload(id, reason string) {
+	if s.wal != nil {
+		_ = s.wal.LogUploadRejected(id, reason)
+	}
 }
 
 // UploadStatus is the resume contract: which chunks the server already

@@ -24,6 +24,41 @@ import (
 	"crowdmap/internal/world"
 )
 
+// Decompression-bomb caps: a capture archive is a few minutes of low-FPS
+// phone video, so these bounds are generous by an order of magnitude while
+// keeping a hostile archive from ballooning into gigabytes of heap. The
+// declared zip sizes are checked before any byte is inflated, and the
+// limits are enforced again while reading because declared sizes can lie.
+const (
+	// MaxArchiveUncompressed caps the declared total uncompressed size.
+	MaxArchiveUncompressed = 256 << 20
+	// MaxFileUncompressed caps each member's declared uncompressed size.
+	MaxFileUncompressed = 64 << 20
+	// MaxFramePixels caps a frame's W×H before full PNG decode; the
+	// pipeline stores three float64 planes per frame, so pixels are the
+	// real memory currency (4 Mpx ≈ 100 MB of planes).
+	MaxFramePixels = 4 << 20
+)
+
+// TooLargeError reports an archive that exceeds the decompression caps.
+// The HTTP layer maps it to 413 Payload Too Large.
+type TooLargeError struct {
+	// Name is the offending archive member ("" for the archive total).
+	Name string
+	// Size is the offending size (bytes, or pixels for frame dimensions).
+	Size int64
+	// Limit is the cap that was exceeded.
+	Limit int64
+}
+
+func (e *TooLargeError) Error() string {
+	what := e.Name
+	if what == "" {
+		what = "archive"
+	}
+	return fmt.Sprintf("server: %s too large: %d exceeds limit %d", what, e.Size, e.Limit)
+}
+
 // captureMeta is the meta.json document inside a capture archive.
 type captureMeta struct {
 	ID            string       `json:"id"`
@@ -103,13 +138,30 @@ func EncodeCapture(c *crowd.Capture) ([]byte, error) {
 // DecodeCapture parses an upload archive back into a capture session.
 // Frames lose their ground-truth poses (those travel in truth.json and are
 // reattached by interpolation for evaluation).
+//
+// The decoder defends the boundary where untrusted client bytes become
+// heap: declared (and actual) uncompressed sizes are capped — a violation
+// returns a *TooLargeError — and parameters the pipeline divides by or
+// iterates on (FPS, StepLengthEst, the IMU stream) are rejected here with
+// explicit errors rather than left to surface as NaNs downstream. Deeper
+// semantic validation (finite samples, plausibility) is the quality gate's
+// job, not the decoder's.
 func DecodeCapture(data []byte) (*crowd.Capture, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return nil, fmt.Errorf("server: open archive: %w", err)
 	}
+	var total int64
 	files := make(map[string]*zip.File, len(zr.File))
 	for _, f := range zr.File {
+		size := int64(f.UncompressedSize64)
+		if size > MaxFileUncompressed {
+			return nil, &TooLargeError{Name: f.Name, Size: size, Limit: MaxFileUncompressed}
+		}
+		total += size
+		if total > MaxArchiveUncompressed {
+			return nil, &TooLargeError{Size: total, Limit: MaxArchiveUncompressed}
+		}
 		files[f.Name] = f
 	}
 	var meta captureMeta
@@ -123,6 +175,18 @@ func DecodeCapture(data []byte) (*crowd.Capture, error) {
 	var truth []truthSample
 	if err := readJSON(files, "truth.json", &truth); err != nil {
 		return nil, err
+	}
+	// Parameters the pipeline divides by must be positive and finite at
+	// the boundary (JSON cannot encode NaN/Inf, but a defensive decoder
+	// does not rely on that).
+	if !(meta.FPS > 0) || meta.FPS > 1e6 {
+		return nil, fmt.Errorf("server: capture %s: fps %v not in (0, 1e6]", meta.ID, meta.FPS)
+	}
+	if !(meta.StepLengthEst > 0) || meta.StepLengthEst > 1e3 {
+		return nil, fmt.Errorf("server: capture %s: step length estimate %v not in (0, 1e3]", meta.ID, meta.StepLengthEst)
+	}
+	if len(imu) == 0 {
+		return nil, fmt.Errorf("server: capture %s: empty IMU stream", meta.ID)
 	}
 	c := &crowd.Capture{
 		ID: meta.ID, UserID: meta.UserID, Kind: crowd.Kind(meta.Kind), Night: meta.Night,
@@ -143,11 +207,25 @@ func DecodeCapture(data []byte) (*crowd.Capture, error) {
 		if !ok {
 			break
 		}
+		// Header first: reject absurd dimensions before allocating the
+		// full bitmap (a 1-KB PNG can declare a gigapixel canvas).
 		rc, err := zf.Open()
 		if err != nil {
 			return nil, fmt.Errorf("server: open %s: %w", name, err)
 		}
-		decoded, err := png.Decode(rc)
+		cfgImg, err := png.DecodeConfig(io.LimitReader(rc, MaxFileUncompressed))
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("server: decode %s header: %w", name, err)
+		}
+		if px := int64(cfgImg.Width) * int64(cfgImg.Height); cfgImg.Width <= 0 || cfgImg.Height <= 0 || px > MaxFramePixels {
+			return nil, &TooLargeError{Name: name, Size: px, Limit: MaxFramePixels}
+		}
+		rc, err = zf.Open()
+		if err != nil {
+			return nil, fmt.Errorf("server: open %s: %w", name, err)
+		}
+		decoded, err := png.Decode(newLimitedReader(rc, MaxFileUncompressed, name))
 		rc.Close()
 		if err != nil {
 			return nil, fmt.Errorf("server: decode %s: %w", name, err)
@@ -191,7 +269,9 @@ func readJSON(files map[string]*zip.File, name string, v interface{}) error {
 		return fmt.Errorf("server: open %s: %w", name, err)
 	}
 	defer rc.Close()
-	data, err := io.ReadAll(rc)
+	// Enforce the per-file cap on actual inflated bytes: the declared
+	// size already passed the upfront scan, but declared sizes can lie.
+	data, err := io.ReadAll(newLimitedReader(rc, MaxFileUncompressed, name))
 	if err != nil {
 		return fmt.Errorf("server: read %s: %w", name, err)
 	}
@@ -200,6 +280,31 @@ func readJSON(files map[string]*zip.File, name string, v interface{}) error {
 		return fmt.Errorf("server: parse %s: %w", name, err)
 	}
 	return nil
+}
+
+// limitedReader is io.LimitReader that fails loudly — with a typed
+// *TooLargeError instead of a silent io.EOF — when the limit is crossed.
+type limitedReader struct {
+	r     io.Reader
+	left  int64
+	limit int64
+	name  string
+}
+
+func newLimitedReader(r io.Reader, limit int64, name string) *limitedReader {
+	return &limitedReader{r: r, left: limit, limit: limit, name: name}
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.left <= 0 {
+		return 0, &TooLargeError{Name: l.name, Size: l.limit + 1, Limit: l.limit}
+	}
+	if int64(len(p)) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= int64(n)
+	return n, err
 }
 
 // toImage converts a float RGB plane to an 8-bit image.

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// readMember extracts one member of a capture archive.
+func readMember(t *testing.T, archive []byte, name string) []byte {
+	t.Helper()
+	zr, err := zip.NewReader(bytes.NewReader(archive), int64(len(archive)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range zr.File {
+		if f.Name != name {
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(rc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t.Fatalf("archive has no member %s", name)
+	return nil
+}
+
+// patchMeta rewrites the archive's meta.json through fn.
+func patchMeta(t *testing.T, archive []byte, fn func(*captureMeta)) []byte {
+	t.Helper()
+	var meta captureMeta
+	if err := json.Unmarshal(readMember(t, archive, "meta.json"), &meta); err != nil {
+		t.Fatal(err)
+	}
+	fn(&meta)
+	body, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rewriteArchive(t, archive, map[string][]byte{"meta.json": body})
+}
+
+// pngHeader hand-crafts a syntactically valid PNG signature + IHDR chunk
+// declaring w×h — the smallest input that makes png.DecodeConfig report
+// dimensions without a real bitmap behind them.
+func pngHeader(w, h uint32) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'})
+	ihdr := make([]byte, 13)
+	binary.BigEndian.PutUint32(ihdr[0:], w)
+	binary.BigEndian.PutUint32(ihdr[4:], h)
+	ihdr[8] = 8  // bit depth
+	ihdr[9] = 2  // color type: truecolor
+	ihdr[10] = 0 // compression
+	ihdr[11] = 0 // filter
+	ihdr[12] = 0 // interlace
+	var length [4]byte
+	binary.BigEndian.PutUint32(length[:], 13)
+	buf.Write(length[:])
+	chunk := append([]byte("IHDR"), ihdr...)
+	buf.Write(chunk)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(chunk))
+	buf.Write(crc[:])
+	return buf.Bytes()
+}
+
+// zerosArchive builds a zip whose members are runs of zeros — tiny on the
+// wire (deflate loves zeros), huge declared uncompressed.
+func zerosArchive(t *testing.T, memberSizes map[string]int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	chunk := make([]byte, 1<<20)
+	for name, size := range memberSizes {
+		w, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for left := size; left > 0; {
+			n := int64(len(chunk))
+			if n > left {
+				n = left
+			}
+			if _, err := w.Write(chunk[:n]); err != nil {
+				t.Fatal(err)
+			}
+			left -= n
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeCaptureRejectsOversizedMember: a member whose uncompressed size
+// exceeds the per-file cap is refused with a typed *TooLargeError before
+// the decoder does any real work — the classic single-file zip bomb.
+func TestDecodeCaptureRejectsOversizedMember(t *testing.T) {
+	bomb := zerosArchive(t, map[string]int64{"imu.json": MaxFileUncompressed + 1})
+	_, err := DecodeCapture(bomb)
+	var tle *TooLargeError
+	if !errors.As(err, &tle) {
+		t.Fatalf("oversized member: err = %v, want *TooLargeError", err)
+	}
+	if tle.Name != "imu.json" || tle.Limit != MaxFileUncompressed {
+		t.Errorf("TooLargeError = %+v, want imu.json over %d", tle, int64(MaxFileUncompressed))
+	}
+}
+
+// TestDecodeCaptureRejectsOversizedTotal: many members individually under
+// the per-file cap may still sum past the archive cap.
+func TestDecodeCaptureRejectsOversizedTotal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes ~300 MB of zeros through deflate")
+	}
+	sizes := make(map[string]int64)
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		sizes[name] = 60 << 20
+	}
+	bomb := zerosArchive(t, sizes)
+	_, err := DecodeCapture(bomb)
+	var tle *TooLargeError
+	if !errors.As(err, &tle) {
+		t.Fatalf("oversized total: err = %v, want *TooLargeError", err)
+	}
+	if tle.Name != "" || tle.Limit != MaxArchiveUncompressed {
+		t.Errorf("TooLargeError = %+v, want archive total over %d", tle, int64(MaxArchiveUncompressed))
+	}
+}
+
+// TestDecodeCaptureRejectsGiantFrame: a kilobyte PNG can declare a
+// gigapixel canvas; the decoder must read the header, see the dimensions,
+// and refuse before png.Decode allocates the bitmap.
+func TestDecodeCaptureRejectsGiantFrame(t *testing.T) {
+	valid := fuzzSeedArchive(t)
+	bomb := rewriteArchive(t, valid, map[string][]byte{
+		"frames/0000.png": pngHeader(1<<16, 1<<16), // 4 Gpx declared
+	})
+	_, err := DecodeCapture(bomb)
+	var tle *TooLargeError
+	if !errors.As(err, &tle) {
+		t.Fatalf("giant frame: err = %v, want *TooLargeError", err)
+	}
+	if tle.Limit != MaxFramePixels {
+		t.Errorf("TooLargeError = %+v, want pixel cap %d", tle, int64(MaxFramePixels))
+	}
+}
+
+// TestDecodeCaptureBoundaryGuards: parameters the pipeline divides by or
+// iterates on are validated at the decode boundary with explicit errors,
+// not left to become NaNs three stages later.
+func TestDecodeCaptureBoundaryGuards(t *testing.T) {
+	valid := fuzzSeedArchive(t)
+	cases := []struct {
+		name    string
+		archive []byte
+		wantSub string
+	}{
+		{"fps zero", patchMeta(t, valid, func(m *captureMeta) { m.FPS = 0 }), "fps"},
+		{"fps negative", patchMeta(t, valid, func(m *captureMeta) { m.FPS = -5 }), "fps"},
+		{"step length zero", patchMeta(t, valid, func(m *captureMeta) { m.StepLengthEst = 0 }), "step length"},
+		{"step length negative", patchMeta(t, valid, func(m *captureMeta) { m.StepLengthEst = -0.7 }), "step length"},
+		{"empty imu", rewriteArchive(t, valid, map[string][]byte{"imu.json": []byte(`[]`)}), "IMU"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeCapture(tc.archive)
+			if err == nil {
+				t.Fatal("degenerate capture decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("err %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// The unmodified seed still decodes: guards reject only degenerates.
+	if _, err := DecodeCapture(valid); err != nil {
+		t.Fatalf("valid seed rejected: %v", err)
+	}
+}

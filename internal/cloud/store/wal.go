@@ -52,11 +52,12 @@ const (
 
 // WAL record operations.
 const (
-	opPut         = "put"
-	opDelete      = "del"
-	opChunk       = "chunk"
-	opUploadDone  = "udone"
-	opUploadEvict = "uevict"
+	opPut          = "put"
+	opDelete       = "del"
+	opChunk        = "chunk"
+	opUploadDone   = "udone"
+	opUploadEvict  = "uevict"
+	opUploadReject = "ureject"
 )
 
 // walRecord is the JSON payload of one log record.
@@ -438,7 +439,7 @@ func (w *WAL) apply(rec *walRecord) {
 			w.recovered[rec.Key] = up
 		}
 		up.Chunks[rec.Index] = rec.Data
-	case opUploadDone, opUploadEvict:
+	case opUploadDone, opUploadEvict, opUploadReject:
 		delete(w.recovered, rec.Key)
 	}
 }
@@ -667,6 +668,14 @@ func (w *WAL) LogUploadEvicted(id string) error {
 	return w.append(walRecord{Op: opUploadEvict, Key: id})
 }
 
+// LogUploadRejected records that a fully assembled upload was refused at
+// admission (quality gate, decompression caps). The reason codes travel in
+// the record for offline audit; replay treats it like done/evicted — the
+// chunk records are dead and the upload must not resurrect.
+func (w *WAL) LogUploadRejected(id, reason string) error {
+	return w.append(walRecord{Op: opUploadReject, Key: id, Data: []byte(reason)})
+}
+
 // --- maintenance ------------------------------------------------------
 
 // Sync forces everything appended so far to stable storage (used by the
@@ -727,7 +736,7 @@ func (w *WAL) Compact() error {
 						uploads[rec.Key] = up
 					}
 					up.Chunks[rec.Index] = rec.Data
-				case opUploadDone, opUploadEvict:
+				case opUploadDone, opUploadEvict, opUploadReject:
 					delete(uploads, rec.Key)
 				}
 			}

@@ -92,6 +92,8 @@ func TestWALChunkRecovery(t *testing.T) {
 	must(w.LogUploadDone("done"))
 	must(w.LogChunk("gone", 0, 2, []byte("yy")))
 	must(w.LogUploadEvicted("gone"))
+	must(w.LogChunk("bad", 0, 1, []byte("xx")))
+	must(w.LogUploadRejected("bad", "imu_too_corrupt"))
 	must(w.Close())
 
 	w2 := openTestWAL(t, dir)

@@ -1,0 +1,570 @@
+// Package quality is CrowdMap's crowdsourced-input quality gate: semantic
+// validation and scoring of capture sessions before they are admitted to
+// storage or folded into a reconstruction. The paper's premise — and that
+// of CrowdInside and Walk2Map, which both stress that crowdsourced
+// dead-reckoned trajectories are noisy — is that input arrives from
+// uncontrolled devices, so a pipeline that trusts its input either crashes
+// on the pathological fraction of a corpus or lets it poison the plan.
+//
+// The gate distinguishes three classes of defect:
+//
+//   - Fatal defects reject the capture outright: no frames, an empty or
+//     massively corrupt IMU stream, non-finite or absurd metadata
+//     (FPS, step length), IMU and video disagreeing about how long the
+//     session lasted, or kind-specific implausibility (an "SRS spin" that
+//     walked across the building, an "SWS walk" at sprinting step rates).
+//   - Recoverable defects — isolated non-finite samples, small timestamp
+//     regressions, physically impossible sensor readings — are repaired by
+//     sanitization under the Lenient policy (drop or clamp the offending
+//     samples) and merely reduce the capture's quality score. Under the
+//     Strict policy every defect is fatal.
+//   - Everything else passes with score 1.
+//
+// Check is the read-only verdict (what an ingestion server needs to answer
+// 422 with machine-readable reasons); Gate additionally applies
+// sanitization, returning a repaired copy of the capture for the pipeline
+// to consume. Both are deterministic: the same bytes always produce the
+// same report, which is what lets admission decisions be WAL-logged and
+// reconstruction exclusions be reproducible.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/obs"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/trajectory"
+)
+
+// Policy selects how hard the gate pushes back on defective input.
+type Policy int
+
+const (
+	// Lenient repairs recoverable defects (dropping or clamping isolated
+	// bad samples) and rejects only captures the pipeline cannot use.
+	Lenient Policy = iota
+	// Strict rejects any capture with a detected defect, recoverable or
+	// not. Use it when storage is precious or when debugging a device
+	// fleet: nothing is silently repaired.
+	Strict
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Lenient:
+		return "lenient"
+	case Strict:
+		return "strict"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "lenient":
+		return Lenient, nil
+	case "strict":
+		return Strict, nil
+	default:
+		return 0, fmt.Errorf("quality: unknown policy %q (want lenient or strict)", s)
+	}
+}
+
+// Machine-readable reason codes carried in Report.Reasons/Warnings, on 422
+// responses, and in WAL rejection records. Stable: operators alert on them.
+const (
+	ReasonNoFrames         = "frames_none"
+	ReasonFrameTimes       = "frame_times_invalid"
+	ReasonIMUEmpty         = "imu_empty"
+	ReasonIMUNonFinite     = "imu_nonfinite"
+	ReasonIMUNonMonotonic  = "imu_nonmonotonic"
+	ReasonIMUOutOfRange    = "imu_out_of_range"
+	ReasonIMUCorrupt       = "imu_too_corrupt"
+	ReasonIMURate          = "imu_rate_implausible"
+	ReasonDuration         = "duration_out_of_bounds"
+	ReasonDurationMismatch = "imu_frame_duration_mismatch"
+	ReasonFPS              = "fps_implausible"
+	ReasonStepLength       = "step_length_implausible"
+	ReasonMetaNonFinite    = "meta_nonfinite"
+	ReasonSRSDrift         = "srs_positional_drift"
+	ReasonSRSRotation      = "srs_rotation_missing"
+	ReasonSWSStepRate      = "sws_step_rate_implausible"
+	ReasonSWSSpeed         = "sws_speed_implausible"
+)
+
+// Params bounds what the gate considers plausible. The zero value is not
+// valid; start from DefaultParams.
+type Params struct {
+	// Policy selects Lenient (sanitize) or Strict (reject on any defect).
+	Policy Policy
+
+	// MinDuration/MaxDuration bound the capture's IMU time span, seconds.
+	MinDuration, MaxDuration float64
+	// MinSampleRate/MaxSampleRate bound the mean IMU rate, Hz.
+	MinSampleRate, MaxSampleRate float64
+	// MaxFPS bounds the declared video frame rate (the lower bound is the
+	// decode boundary's FPS > 0 guard).
+	MaxFPS float64
+	// MinStepLength/MaxStepLength bound a non-zero step-length estimate,
+	// meters. Zero means "no device profile" and is always accepted (the
+	// pipeline substitutes the population default).
+	MinStepLength, MaxStepLength float64
+	// DurationSlack is the allowed absolute disagreement between the IMU
+	// span and the frame-time span, seconds, on top of 10% relative slack.
+	DurationSlack float64
+	// MaxBadSampleFraction is the sanitization budget: the largest fraction
+	// of IMU samples that may be dropped (non-finite fields, regressing
+	// timestamps) before the stream counts as irrecoverably corrupt.
+	MaxBadSampleFraction float64
+	// MaxGyroRate clamps |GyroZ|, rad/s. Phones cannot spin faster.
+	MaxGyroRate float64
+	// MaxAccel clamps per-axis |acceleration|, m/s².
+	MaxAccel float64
+	// MaxSRSDrift bounds the dead-reckoned path length of a pure SRS
+	// (stand-and-spin) capture, meters: a spin that walked is mislabeled.
+	MaxSRSDrift float64
+	// MinSRSRotation is the minimum net gyro-integrated rotation of an SRS
+	// capture, radians: the task is a full turn, so a capture whose gyro
+	// saw no spin cannot produce a panorama.
+	MinSRSRotation float64
+	// MaxStepRate bounds detected steps per second on walking captures.
+	MaxStepRate float64
+	// MaxWalkSpeed bounds the implied speed (steps × step length ÷
+	// duration) of walking captures, m/s.
+	MaxWalkSpeed float64
+
+	// Obs receives quality.* counters when non-nil (nil-safe).
+	Obs *obs.Registry
+}
+
+// DefaultParams returns bounds generous enough that every capture the
+// simulator generates — and any plausibly real phone capture — passes
+// untouched, while the pathologies the pipeline cannot survive are caught.
+func DefaultParams() Params {
+	return Params{
+		Policy:               Lenient,
+		MinDuration:          1.0,
+		MaxDuration:          30 * 60,
+		MinSampleRate:        4,
+		MaxSampleRate:        1000,
+		MaxFPS:               240,
+		MinStepLength:        0.2,
+		MaxStepLength:        1.5,
+		DurationSlack:        2.0,
+		MaxBadSampleFraction: 0.02,
+		MaxGyroRate:          20,
+		MaxAccel:             80,
+		MaxSRSDrift:          4.0,
+		MinSRSRotation:       math.Pi,
+		MaxStepRate:          3.0,
+		MaxWalkSpeed:         3.5,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.MinDuration < 0 || p.MaxDuration <= p.MinDuration {
+		return fmt.Errorf("quality: duration bounds [%g, %g] invalid", p.MinDuration, p.MaxDuration)
+	}
+	if p.MinSampleRate <= 0 || p.MaxSampleRate <= p.MinSampleRate {
+		return fmt.Errorf("quality: sample-rate bounds [%g, %g] invalid", p.MinSampleRate, p.MaxSampleRate)
+	}
+	if p.MaxBadSampleFraction < 0 || p.MaxBadSampleFraction > 1 {
+		return fmt.Errorf("quality: bad-sample fraction %g outside [0, 1]", p.MaxBadSampleFraction)
+	}
+	if p.Policy != Lenient && p.Policy != Strict {
+		return fmt.Errorf("quality: unknown policy %d", int(p.Policy))
+	}
+	return nil
+}
+
+// Report is the gate's verdict on one capture.
+type Report struct {
+	// CaptureID echoes the capture's ID.
+	CaptureID string
+	// OK is true when the capture is admissible under the policy
+	// (possibly after sanitization).
+	OK bool
+	// Score is the quality score in [0, 1]: 1 for a defect-free capture,
+	// reduced by each recoverable defect, 0 for a rejected capture.
+	// Aggregation deprioritizes low-score captures when evidence ties.
+	Score float64
+	// Reasons are the machine-readable codes of the fatal defects (empty
+	// when OK).
+	Reasons []string
+	// Warnings are the codes of recoverable defects that sanitization can
+	// or did repair.
+	Warnings []string
+	// DroppedSamples and ClampedSamples count the IMU repairs applied by
+	// Gate (zero for the read-only Check).
+	DroppedSamples int
+	ClampedSamples int
+}
+
+// Reason reports whether code appears among the fatal reasons.
+func (r Report) Reason(code string) bool {
+	for _, c := range r.Reasons {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the verdict for logs.
+func (r Report) String() string {
+	if r.OK {
+		return fmt.Sprintf("quality: %s ok score=%.2f warnings=%v", r.CaptureID, r.Score, r.Warnings)
+	}
+	return fmt.Sprintf("quality: %s rejected %v", r.CaptureID, r.Reasons)
+}
+
+// defects is the internal tally one inspection pass produces.
+type defects struct {
+	fatal       []string
+	recoverable []string
+	// badIMU counts samples sanitization would drop; clampIMU counts
+	// samples it would clamp.
+	badIMU, clampIMU int
+	penalty          float64 // accumulated score penalty from recoverables
+}
+
+func (d *defects) addFatal(code string) {
+	for _, c := range d.fatal {
+		if c == code {
+			return
+		}
+	}
+	d.fatal = append(d.fatal, code)
+}
+
+func (d *defects) addRecoverable(code string, penalty float64) {
+	d.penalty += penalty
+	for _, c := range d.recoverable {
+		if c == code {
+			return
+		}
+	}
+	d.recoverable = append(d.recoverable, code)
+}
+
+// Check inspects a capture without modifying it and reports admissibility
+// under the policy: under Lenient, recoverable defects within the
+// sanitization budget are warnings; under Strict they are fatal.
+func Check(c *crowd.Capture, p Params) Report {
+	d := inspect(c, p)
+	return verdict(c, p, d, 0, 0)
+}
+
+// Gate is the pipeline entry point: it inspects the capture and, under the
+// Lenient policy, repairs recoverable IMU defects on a copy. The returned
+// capture is the one the pipeline should consume — the original when no
+// repair was needed, a shallow copy with a sanitized IMU stream otherwise.
+// The caller's capture is never mutated.
+func Gate(c *crowd.Capture, p Params) (*crowd.Capture, Report) {
+	d := inspect(c, p)
+	if len(d.fatal) > 0 || p.Policy == Strict || (d.badIMU == 0 && d.clampIMU == 0) {
+		return c, verdict(c, p, d, 0, 0)
+	}
+	cleaned, dropped, clamped := SanitizeIMU(c.IMU, p)
+	cc := *c
+	cc.IMU = cleaned
+	// Re-inspect the repaired copy: sanitization must converge (a stream
+	// that still fails after repair is irrecoverable).
+	d2 := inspect(&cc, p)
+	d2.penalty = d.penalty
+	d2.recoverable = d.recoverable
+	rep := verdict(&cc, p, d2, dropped, clamped)
+	if !rep.OK {
+		return c, rep
+	}
+	return &cc, rep
+}
+
+// verdict folds a defect tally into the final report.
+func verdict(c *crowd.Capture, p Params, d defects, dropped, clamped int) Report {
+	rep := Report{CaptureID: c.ID, DroppedSamples: dropped, ClampedSamples: clamped}
+	fatal := append([]string(nil), d.fatal...)
+	if p.Policy == Strict {
+		fatal = append(fatal, d.recoverable...)
+	} else {
+		rep.Warnings = d.recoverable
+	}
+	sort.Strings(fatal)
+	if len(fatal) > 0 {
+		rep.Reasons = fatal
+		rep.Score = 0
+		p.Obs.Counter("quality.rejected").Inc()
+		return rep
+	}
+	rep.OK = true
+	rep.Score = 1 - math.Min(0.9, d.penalty)
+	p.Obs.Counter("quality.admitted").Inc()
+	if len(rep.Warnings) > 0 {
+		p.Obs.Counter("quality.warnings").Inc()
+	}
+	return rep
+}
+
+// inspect runs every check and tallies defects. It never mutates c.
+func inspect(c *crowd.Capture, p Params) defects {
+	var d defects
+	p.Obs.Counter("quality.checked").Inc()
+
+	if len(c.Frames) == 0 {
+		d.addFatal(ReasonNoFrames)
+	}
+	if !finite(c.FPS) || c.FPS <= 0 || c.FPS > p.MaxFPS {
+		d.addFatal(ReasonFPS)
+	}
+	if !finite(c.StepLengthEst) || c.StepLengthEst < 0 ||
+		(c.StepLengthEst > 0 && (c.StepLengthEst < p.MinStepLength || c.StepLengthEst > p.MaxStepLength)) {
+		d.addFatal(ReasonStepLength)
+	}
+	if !finite(c.Geo.GPS.X) || !finite(c.Geo.GPS.Y) ||
+		!finite(c.Camera.FOV) || !finite(c.Camera.Pitch) {
+		d.addFatal(ReasonMetaNonFinite)
+	}
+
+	// Frame timestamps: finite and non-decreasing, and (when both streams
+	// exist) agreeing with the IMU about the session's length.
+	frameSpan := math.NaN()
+	if len(c.Frames) > 0 {
+		okTimes := true
+		prev := math.Inf(-1)
+		for i := range c.Frames {
+			t := c.Frames[i].T
+			if !finite(t) || t < prev {
+				okTimes = false
+				break
+			}
+			prev = t
+		}
+		if !okTimes {
+			d.addFatal(ReasonFrameTimes)
+		} else {
+			frameSpan = c.Frames[len(c.Frames)-1].T - c.Frames[0].T
+		}
+	}
+
+	inspectIMU(c, p, &d)
+
+	if imuSpan, ok := imuDuration(c.IMU); ok && !math.IsNaN(frameSpan) {
+		slack := p.DurationSlack + 0.1*math.Max(imuSpan, frameSpan)
+		if math.Abs(imuSpan-frameSpan) > slack {
+			d.addFatal(ReasonDurationMismatch)
+		}
+	}
+
+	inspectKind(c, p, &d)
+	return d
+}
+
+// inspectIMU checks the inertial stream: presence, finiteness, timestamp
+// monotonicity, range plausibility, rate and duration.
+func inspectIMU(c *crowd.Capture, p Params, d *defects) {
+	imu := c.IMU
+	if len(imu) == 0 {
+		d.addFatal(ReasonIMUEmpty)
+		return
+	}
+	bad, clamp := 0, 0
+	prevT := math.Inf(-1)
+	for i := range imu {
+		s := &imu[i]
+		if !finite(s.T) || !finite(s.GyroZ) || !finite(s.Compass) ||
+			!finite(s.Accel[0]) || !finite(s.Accel[1]) || !finite(s.Accel[2]) {
+			bad++
+			continue
+		}
+		if s.T < prevT {
+			bad++
+			continue
+		}
+		prevT = s.T
+		if math.Abs(s.GyroZ) > p.MaxGyroRate ||
+			math.Abs(s.Accel[0]) > p.MaxAccel || math.Abs(s.Accel[1]) > p.MaxAccel || math.Abs(s.Accel[2]) > p.MaxAccel {
+			clamp++
+		}
+	}
+	d.badIMU = bad
+	d.clampIMU = clamp
+	frac := float64(bad) / float64(len(imu))
+	if frac > p.MaxBadSampleFraction {
+		// Distinguish the headline defect for the reason code: mostly
+		// non-finite vs mostly out-of-order reads differently on a device
+		// dashboard, but both are beyond repair at this rate.
+		d.addFatal(ReasonIMUCorrupt)
+		return
+	}
+	if bad > 0 {
+		// Isolated bad samples: recoverable. Name the defect kinds
+		// precisely so the warning is actionable.
+		hasNonFinite, hasRegress := classifyBad(imu)
+		if hasNonFinite {
+			d.addRecoverable(ReasonIMUNonFinite, 0.1+frac)
+		}
+		if hasRegress {
+			d.addRecoverable(ReasonIMUNonMonotonic, 0.1+frac)
+		}
+	}
+	if clamp > 0 {
+		d.addRecoverable(ReasonIMUOutOfRange, 0.05+float64(clamp)/float64(len(imu)))
+	}
+
+	if span, ok := imuDuration(imu); ok {
+		if span < p.MinDuration || span > p.MaxDuration {
+			d.addFatal(ReasonDuration)
+		} else if span > 0 {
+			rate := float64(len(imu)-1) / span
+			if rate < p.MinSampleRate || rate > p.MaxSampleRate {
+				d.addFatal(ReasonIMURate)
+			}
+		}
+	}
+}
+
+// inspectKind runs the task-structure plausibility checks over the samples
+// that survive sanitization (so one NaN cannot poison the integrals).
+func inspectKind(c *crowd.Capture, p Params, d *defects) {
+	if len(c.IMU) == 0 || len(d.fatal) > 0 {
+		return // structural defects already decide the verdict
+	}
+	imu := c.IMU
+	if d.badIMU > 0 {
+		imu, _, _ = SanitizeIMU(imu, p)
+		if len(imu) == 0 {
+			return
+		}
+	}
+	span, ok := imuDuration(imu)
+	if !ok || span <= 0 {
+		return
+	}
+	switch c.Kind {
+	case crowd.KindSRS:
+		// The SRS task is a stand-and-spin: the gyro must have seen the
+		// spin, and the dead-reckoned path must stay near the stand point.
+		if p.MinSRSRotation > 0 && math.Abs(sensor.RotationAngle(imu)) < p.MinSRSRotation {
+			d.addFatal(ReasonSRSRotation)
+		}
+		if p.MaxSRSDrift > 0 {
+			if tr, err := trajectory.DeadReckon(imu, stepLength(c)); err == nil {
+				if tr.PathLength() > p.MaxSRSDrift {
+					d.addFatal(ReasonSRSDrift)
+				}
+			}
+		}
+	case crowd.KindSWS, crowd.KindVisit:
+		// Walking captures: step count vs duration vs displacement sanity.
+		steps := sensor.NewStepDetector().Detect(imu)
+		if p.MaxStepRate > 0 && float64(len(steps))/span > p.MaxStepRate {
+			d.addFatal(ReasonSWSStepRate)
+		}
+		if p.MaxWalkSpeed > 0 {
+			speed := float64(len(steps)) * stepLength(c) / span
+			if speed > p.MaxWalkSpeed {
+				d.addFatal(ReasonSWSSpeed)
+			}
+		}
+	}
+}
+
+// classifyBad reports which recoverable IMU defect kinds are present.
+func classifyBad(imu []sensor.Sample) (nonFinite, regress bool) {
+	prevT := math.Inf(-1)
+	for i := range imu {
+		s := &imu[i]
+		if !finite(s.T) || !finite(s.GyroZ) || !finite(s.Compass) ||
+			!finite(s.Accel[0]) || !finite(s.Accel[1]) || !finite(s.Accel[2]) {
+			nonFinite = true
+			continue
+		}
+		if s.T < prevT {
+			regress = true
+			continue
+		}
+		prevT = s.T
+	}
+	return nonFinite, regress
+}
+
+// SanitizeIMU returns a repaired copy of an IMU stream: samples with
+// non-finite fields or regressing timestamps are dropped, and finite but
+// physically impossible readings are clamped into range. The input slice
+// is never modified; when no repair is needed the input is returned as-is.
+func SanitizeIMU(imu []sensor.Sample, p Params) (out []sensor.Sample, dropped, clamped int) {
+	needsWork := false
+	prevT := math.Inf(-1)
+	for i := range imu {
+		s := &imu[i]
+		if !sampleFinite(s) || s.T < prevT ||
+			math.Abs(s.GyroZ) > p.MaxGyroRate ||
+			math.Abs(s.Accel[0]) > p.MaxAccel || math.Abs(s.Accel[1]) > p.MaxAccel || math.Abs(s.Accel[2]) > p.MaxAccel {
+			needsWork = true
+			break
+		}
+		prevT = s.T
+	}
+	if !needsWork {
+		return imu, 0, 0
+	}
+	out = make([]sensor.Sample, 0, len(imu))
+	prevT = math.Inf(-1)
+	for i := range imu {
+		s := imu[i]
+		if !sampleFinite(&s) || s.T < prevT {
+			dropped++
+			continue
+		}
+		prevT = s.T
+		c := false
+		if math.Abs(s.GyroZ) > p.MaxGyroRate {
+			s.GyroZ = math.Copysign(p.MaxGyroRate, s.GyroZ)
+			c = true
+		}
+		for a := 0; a < 3; a++ {
+			if math.Abs(s.Accel[a]) > p.MaxAccel {
+				s.Accel[a] = math.Copysign(p.MaxAccel, s.Accel[a])
+				c = true
+			}
+		}
+		if c {
+			clamped++
+		}
+		out = append(out, s)
+	}
+	return out, dropped, clamped
+}
+
+func sampleFinite(s *sensor.Sample) bool {
+	return finite(s.T) && finite(s.GyroZ) && finite(s.Compass) &&
+		finite(s.Accel[0]) && finite(s.Accel[1]) && finite(s.Accel[2])
+}
+
+// imuDuration returns the stream's finite time span.
+func imuDuration(imu []sensor.Sample) (float64, bool) {
+	if len(imu) < 2 {
+		return 0, false
+	}
+	t0, t1 := imu[0].T, imu[len(imu)-1].T
+	if !finite(t0) || !finite(t1) || t1 < t0 {
+		return 0, false
+	}
+	return t1 - t0, true
+}
+
+func stepLength(c *crowd.Capture) float64 {
+	if c.StepLengthEst > 0 {
+		return c.StepLengthEst
+	}
+	return 0.7 // population default, mirroring the key-frame front-end
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

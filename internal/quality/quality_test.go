@@ -1,0 +1,362 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdmap/internal/crowd"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/obs"
+	"crowdmap/internal/sensor"
+	"crowdmap/internal/world"
+)
+
+// genCaptures builds a small clean corpus with the real simulator so the
+// gate is tested against exactly what the rest of the suite feeds the
+// pipeline.
+func genCaptures(t *testing.T) []*crowd.Capture {
+	t.Helper()
+	ds, err := crowd.Generate(world.Lab2(), crowd.Spec{
+		Users: 2, CorridorWalks: 2, RoomVisits: 2, Seed: 99, FPS: 2,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	// The dataset covers SWS and Visit; add a pure SRS explicitly so all
+	// three kinds are represented.
+	return append(ds.Captures, srsCapture(t))
+}
+
+func TestCleanCapturesScorePerfect(t *testing.T) {
+	p := DefaultParams()
+	for _, c := range genCaptures(t) {
+		got, rep := Gate(c, p)
+		if !rep.OK {
+			t.Fatalf("clean capture %s (kind %v) rejected: %v", c.ID, c.Kind, rep.Reasons)
+		}
+		if rep.Score != 1 {
+			t.Fatalf("clean capture %s scored %v, want 1 (warnings %v)", c.ID, rep.Score, rep.Warnings)
+		}
+		if got != c {
+			t.Fatalf("clean capture %s was copied by the gate; want passthrough", c.ID)
+		}
+		if rep.DroppedSamples != 0 || rep.ClampedSamples != 0 {
+			t.Fatalf("clean capture %s sanitized: dropped=%d clamped=%d",
+				c.ID, rep.DroppedSamples, rep.ClampedSamples)
+		}
+	}
+}
+
+func TestStrictRejectsWhatLenientRepairs(t *testing.T) {
+	c := cleanCapture(t)
+	c.IMU[3].GyroZ = math.NaN()
+
+	p := DefaultParams()
+	_, rep := Gate(c, p)
+	if !rep.OK {
+		t.Fatalf("lenient rejected a single NaN sample: %v", rep.Reasons)
+	}
+	if rep.Score >= 1 {
+		t.Fatalf("score %v not reduced for sanitized capture", rep.Score)
+	}
+
+	p.Policy = Strict
+	_, rep = Gate(c, p)
+	if rep.OK {
+		t.Fatal("strict admitted a capture with a NaN sample")
+	}
+	if !rep.Reason(ReasonIMUNonFinite) {
+		t.Fatalf("strict reasons %v missing %s", rep.Reasons, ReasonIMUNonFinite)
+	}
+}
+
+func TestGateSanitizesWithoutMutatingInput(t *testing.T) {
+	c := cleanCapture(t)
+	c.IMU[5].T = c.IMU[4].T - 10 // regression
+	c.IMU[9].Accel[1] = math.Inf(1)
+	before := len(c.IMU)
+
+	got, rep := Gate(c, DefaultParams())
+	if !rep.OK {
+		t.Fatalf("rejected: %v", rep.Reasons)
+	}
+	if rep.DroppedSamples != 2 {
+		t.Fatalf("dropped %d samples, want 2", rep.DroppedSamples)
+	}
+	if got == c {
+		t.Fatal("gate returned the original despite sanitizing")
+	}
+	if len(c.IMU) != before || !math.IsInf(c.IMU[9].Accel[1], 1) {
+		t.Fatal("gate mutated the caller's capture")
+	}
+	if len(got.IMU) != before-2 {
+		t.Fatalf("sanitized stream has %d samples, want %d", len(got.IMU), before-2)
+	}
+	for i := range got.IMU {
+		if !sampleFinite(&got.IMU[i]) {
+			t.Fatalf("non-finite sample survived sanitization at %d", i)
+		}
+		if i > 0 && got.IMU[i].T < got.IMU[i-1].T {
+			t.Fatalf("timestamp regression survived sanitization at %d", i)
+		}
+	}
+}
+
+func TestClampOutOfRangeReadings(t *testing.T) {
+	c := cleanCapture(t)
+	c.IMU[7].GyroZ = 500 // finite but physically impossible
+	got, rep := Gate(c, DefaultParams())
+	if !rep.OK {
+		t.Fatalf("rejected: %v", rep.Reasons)
+	}
+	if rep.ClampedSamples != 1 {
+		t.Fatalf("clamped %d, want 1", rep.ClampedSamples)
+	}
+	if g := got.IMU[7].GyroZ; g != DefaultParams().MaxGyroRate {
+		t.Fatalf("clamped gyro = %v, want %v", g, DefaultParams().MaxGyroRate)
+	}
+}
+
+func TestCorruptBeyondRepairIsFatal(t *testing.T) {
+	c := cleanCapture(t)
+	for i := range c.IMU {
+		if i%2 == 0 {
+			c.IMU[i].T = math.NaN()
+		}
+	}
+	_, rep := Gate(c, DefaultParams())
+	if rep.OK {
+		t.Fatal("admitted a stream with half its samples non-finite")
+	}
+	if !rep.Reason(ReasonIMUCorrupt) {
+		t.Fatalf("reasons %v missing %s", rep.Reasons, ReasonIMUCorrupt)
+	}
+	if rep.Score != 0 {
+		t.Fatalf("rejected capture scored %v, want 0", rep.Score)
+	}
+}
+
+func TestFatalStructuralDefects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*crowd.Capture)
+		reason string
+	}{
+		{"no frames", func(c *crowd.Capture) { c.Frames = nil }, ReasonNoFrames},
+		{"empty imu", func(c *crowd.Capture) { c.IMU = nil }, ReasonIMUEmpty},
+		{"nan fps", func(c *crowd.Capture) { c.FPS = math.NaN() }, ReasonFPS},
+		{"zero fps", func(c *crowd.Capture) { c.FPS = 0 }, ReasonFPS},
+		{"absurd fps", func(c *crowd.Capture) { c.FPS = 10000 }, ReasonFPS},
+		{"negative step", func(c *crowd.Capture) { c.StepLengthEst = -1 }, ReasonStepLength},
+		{"giant step", func(c *crowd.Capture) { c.StepLengthEst = 9 }, ReasonStepLength},
+		{"nan geo", func(c *crowd.Capture) { c.Geo.GPS.X = math.NaN() }, ReasonMetaNonFinite},
+		{"frame time nan", func(c *crowd.Capture) { c.Frames[0].T = math.NaN() }, ReasonFrameTimes},
+		{"frame times regress", func(c *crowd.Capture) {
+			c.Frames[len(c.Frames)-1].T = -5
+		}, ReasonFrameTimes},
+		{"duration mismatch", func(c *crowd.Capture) {
+			for i := range c.IMU {
+				c.IMU[i].T *= 40
+			}
+		}, ""},
+		{"too short", func(c *crowd.Capture) {
+			c.IMU = c.IMU[:3]
+			c.Frames = c.Frames[:1]
+		}, ReasonDuration},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cleanCapture(t)
+			tc.mutate(c)
+			_, rep := Gate(c, DefaultParams())
+			if rep.OK {
+				t.Fatalf("admitted capture with %s", tc.name)
+			}
+			if tc.reason != "" && !rep.Reason(tc.reason) {
+				t.Fatalf("reasons %v missing %s", rep.Reasons, tc.reason)
+			}
+		})
+	}
+}
+
+func TestKindPlausibility(t *testing.T) {
+	t.Run("srs that walked", func(t *testing.T) {
+		c := srsCapture(t)
+		// Replace the IMU with a brisk walk: strong step oscillation, no
+		// rotation to speak of. Both SRS checks should fire.
+		c.IMU = walkIMU(20, 2)
+		syncFrames(c)
+		rep := Check(c, DefaultParams())
+		if rep.OK {
+			t.Fatal("admitted an SRS capture with a walking IMU stream")
+		}
+		if !rep.Reason(ReasonSRSDrift) && !rep.Reason(ReasonSRSRotation) {
+			t.Fatalf("reasons %v missing SRS plausibility codes", rep.Reasons)
+		}
+	})
+	t.Run("srs without rotation", func(t *testing.T) {
+		c := srsCapture(t)
+		for i := range c.IMU {
+			c.IMU[i].GyroZ = 0
+		}
+		rep := Check(c, DefaultParams())
+		if rep.OK || !rep.Reason(ReasonSRSRotation) {
+			t.Fatalf("want %s, got ok=%v reasons=%v", ReasonSRSRotation, rep.OK, rep.Reasons)
+		}
+	})
+	t.Run("sws sprinting", func(t *testing.T) {
+		c := cleanCapture(t)
+		c.Kind = crowd.KindSWS
+		c.IMU = walkIMU(20, 6) // 6 steps/s: beyond human cadence
+		syncFrames(c)
+		rep := Check(c, DefaultParams())
+		if rep.OK || !rep.Reason(ReasonSWSStepRate) {
+			t.Fatalf("want %s, got ok=%v reasons=%v", ReasonSWSStepRate, rep.OK, rep.Reasons)
+		}
+	})
+	t.Run("unknown kind skips plausibility", func(t *testing.T) {
+		c := cleanCapture(t)
+		c.Kind = crowd.Kind(99)
+		rep := Check(c, DefaultParams())
+		if !rep.OK {
+			t.Fatalf("unknown kind rejected on plausibility: %v", rep.Reasons)
+		}
+	})
+}
+
+func TestSanitizePassthroughAliases(t *testing.T) {
+	imu := walkIMU(5, 2)
+	out, dropped, clamped := SanitizeIMU(imu, DefaultParams())
+	if dropped != 0 || clamped != 0 {
+		t.Fatalf("clean stream repaired: dropped=%d clamped=%d", dropped, clamped)
+	}
+	if &out[0] != &imu[0] {
+		t.Fatal("clean stream was copied; want aliasing passthrough")
+	}
+}
+
+func TestMetricsIncrement(t *testing.T) {
+	reg := obs.New()
+	p := DefaultParams()
+	p.Obs = reg
+
+	Check(cleanCapture(t), p)
+	bad := cleanCapture(t)
+	bad.Frames = nil
+	Check(bad, p)
+
+	if got := reg.Counter("quality.checked").Value(); got != 2 {
+		t.Fatalf("quality.checked = %d, want 2", got)
+	}
+	if got := reg.Counter("quality.admitted").Value(); got != 1 {
+		t.Fatalf("quality.admitted = %d, want 1", got)
+	}
+	if got := reg.Counter("quality.rejected").Value(); got != 1 {
+		t.Fatalf("quality.rejected = %d, want 1", got)
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	c := cleanCapture(t)
+	c.IMU[2].GyroZ = math.Inf(-1)
+	c.IMU[11].T = c.IMU[10].T - 1
+	p := DefaultParams()
+	p.Policy = Strict
+	a, b := Check(c, p), Check(c, p)
+	if len(a.Reasons) != len(b.Reasons) || a.Score != b.Score {
+		t.Fatalf("reports differ across runs: %v vs %v", a, b)
+	}
+	for i := range a.Reasons {
+		if a.Reasons[i] != b.Reasons[i] {
+			t.Fatalf("reason order unstable: %v vs %v", a.Reasons, b.Reasons)
+		}
+	}
+}
+
+func TestParamsValidateAndPolicyParse(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.MaxDuration = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted duration bounds accepted")
+	}
+	if pol, err := ParsePolicy("strict"); err != nil || pol != Strict {
+		t.Fatalf("ParsePolicy(strict) = %v, %v", pol, err)
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+	if Lenient.String() != "lenient" || Strict.String() != "strict" {
+		t.Fatal("Policy.String mismatch")
+	}
+}
+
+// --- helpers ---
+
+// cleanCapture returns one simulator-generated SWS capture.
+func cleanCapture(t *testing.T) *crowd.Capture {
+	t.Helper()
+	gen, u, rng := newGen(t, 3)
+	c, err := gen.SWS("clean-sws", u, geom.Pt{}, geom.Pt{}, rng)
+	if err != nil {
+		t.Fatalf("sws: %v", err)
+	}
+	return c
+}
+
+func srsCapture(t *testing.T) *crowd.Capture {
+	t.Helper()
+	gen, u, rng := newGen(t, 4)
+	room := gen.Building().Rooms[0]
+	c, err := gen.SRS("clean-srs", u, room.Bounds.Center(), room.ID, rng)
+	if err != nil {
+		t.Fatalf("srs: %v", err)
+	}
+	return c
+}
+
+func newGen(t *testing.T, seed int64) (*crowd.Generator, *crowd.User, *rand.Rand) {
+	t.Helper()
+	gen, err := crowd.NewGenerator(world.Lab2())
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	users, err := crowd.NewPopulation(1, 0, rng)
+	if err != nil {
+		t.Fatalf("population: %v", err)
+	}
+	return gen, users[0], rng
+}
+
+// walkIMU synthesizes a walking-like stream: vertical accel (gravity
+// included, as the sensor model defines it) oscillating at stepHz with
+// amplitude comfortably above the detector threshold.
+func walkIMU(duration, stepHz float64) []sensor.Sample {
+	const gravity = 9.80665
+	n := int(duration * sensor.SampleRate)
+	out := make([]sensor.Sample, n)
+	for i := range out {
+		tm := float64(i) / sensor.SampleRate
+		out[i] = sensor.Sample{
+			T:     tm,
+			Accel: [3]float64{0, 0, gravity + 2*math.Sin(2*math.Pi*stepHz*tm)},
+		}
+	}
+	return out
+}
+
+// syncFrames rewrites the capture's frame timestamps to span the IMU
+// stream so the duration-agreement check sees consistent streams.
+func syncFrames(c *crowd.Capture) {
+	if len(c.Frames) == 0 || len(c.IMU) == 0 {
+		return
+	}
+	span := c.IMU[len(c.IMU)-1].T - c.IMU[0].T
+	for i := range c.Frames {
+		c.Frames[i].T = c.IMU[0].T + span*float64(i)/float64(len(c.Frames)-1)
+	}
+}

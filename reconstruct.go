@@ -17,6 +17,7 @@ import (
 	"crowdmap/internal/layout"
 	"crowdmap/internal/mathx"
 	"crowdmap/internal/obs"
+	"crowdmap/internal/quality"
 	"crowdmap/internal/vision/pano"
 	"crowdmap/internal/world"
 )
@@ -26,7 +27,7 @@ type Result struct {
 	// Plan is the assembled floor plan.
 	Plan *Plan
 	// Tracks are the extracted per-capture tracks, indexed like the input
-	// captures.
+	// captures; nil at indices whose capture was excluded (see Excluded).
 	Tracks []*Track
 	// Aggregation is the trajectory merge outcome.
 	Aggregation *aggregate.Result
@@ -42,6 +43,39 @@ type Result struct {
 	// placement counts. When Config.Metrics supplied a shared registry the
 	// snapshot includes whatever else that registry accumulated.
 	Metrics MetricsSnapshot
+	// Excluded lists captures the run completed without: quality-gate
+	// rejections and per-capture stage failures (including recovered
+	// worker panics). A non-empty list means the plan is a degraded-mode
+	// result built from the surviving subset.
+	Excluded []Exclusion
+	// Coverage summarizes how much of the input corpus the plan rests on.
+	Coverage Coverage
+}
+
+// Exclusion records one capture a reconstruction run completed without.
+type Exclusion struct {
+	// CaptureID identifies the excluded capture.
+	CaptureID string
+	// Stage is where the capture fell out: StageQualityGate for gate
+	// rejections, StageKeyframes for extraction errors and recovered
+	// panics.
+	Stage string
+	// Reasons are machine-readable quality codes (gate rejections) or
+	// error strings (stage failures).
+	Reasons []string
+}
+
+// Coverage summarizes a run's input survival, so callers can distinguish
+// a full-corpus plan from a degraded one at a glance.
+type Coverage struct {
+	// Input is the number of captures handed to Reconstruct.
+	Input int
+	// Used is the number that survived to drive the plan.
+	Used int
+	// Excluded is len(Result.Excluded).
+	Excluded int
+	// Degraded is true when any capture was excluded.
+	Degraded bool
 }
 
 // CaptureError identifies which capture a per-capture pipeline failure
@@ -65,6 +99,11 @@ const (
 	StageSkeleton  = "skeleton"
 	StagePlan      = "plan"
 )
+
+// StageQualityGate names the pre-pipeline quality gate in
+// Result.Excluded entries. It is not a checkpointed stage: the gate is
+// cheap and deterministic, so it simply re-runs on every attempt.
+const StageQualityGate = "quality"
 
 // CorpusFingerprint identifies a capture corpus by content: the SHA-256
 // over the sorted per-capture content fingerprints. Checkpoints are keyed
@@ -100,6 +139,16 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 // resumed run reloads so the expensive anchor searches are not repeated.
 // Because decisions are identical with or without the cache, a resumed
 // run produces a plan byte-identical to an uninterrupted one.
+//
+// The run is failure-isolated per capture: quality-gate rejections
+// (Config.Quality) and per-capture extraction failures — including panics
+// recovered inside pipeline workers — exclude that capture and the job
+// completes in degraded mode over the surviving subset, with every
+// exclusion recorded on Result.Excluded and the survival ratio on
+// Result.Coverage. The degraded plan is byte-identical to the plan a
+// fresh run over only the surviving captures would produce. The run
+// fails outright only for corpus-level problems: invalid configuration,
+// zero survivors, context cancellation, or a skeleton/placement failure.
 func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -130,34 +179,110 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	cfg.Keyframe.Obs = reg
 	cfg.Aggregate.KF.Obs = reg
 	ctx = obs.NewContext(ctx, reg)
+	if cfg.StageBudget > 0 {
+		ctx = pipeline.WithSoftBudget(ctx, cfg.StageBudget)
+	}
 	reg.Counter("reconstruct.runs").Inc()
 	reg.Counter("reconstruct.captures").Add(int64(len(captures)))
 	totalDone := obs.Stage(reg, "reconstruct.total")
 
-	// Stage 1: per-capture key-frame extraction (embarrassingly parallel).
-	extractDone := obs.Stage(reg, "keyframe.extract")
-	tracks := make([]*Track, len(captures))
-	err := pipeline.Map(ctx, len(captures), cfg.Workers, func(_ context.Context, i int) error {
-		kfs, traj, err := extractTrack(captures[i], cfg)
-		if err != nil {
-			return &CaptureError{CaptureID: captures[i].ID, Err: err}
+	res := &Result{RoomFailures: make(map[string]error)}
+
+	// Stage 0: quality gate. Irrecoverable captures are excluded here —
+	// before any expensive work — and sanitized copies replace captures
+	// with recoverable defects. The gate is deterministic, so exclusion
+	// order (input order) and the surviving corpus are reproducible.
+	live := captures
+	scores := make([]float64, len(captures)) // 0 = unscored
+	origIdx := make([]int, len(captures))    // live index -> input index
+	for i := range origIdx {
+		origIdx[i] = i
+	}
+	if cfg.Quality != nil {
+		gateDone := obs.Stage(reg, "quality.gate")
+		qp := *cfg.Quality
+		qp.Obs = reg
+		live = make([]*Capture, 0, len(captures))
+		scores = scores[:0]
+		origIdx = origIdx[:0]
+		for i, c := range captures {
+			gated, rep := quality.Gate(c, qp)
+			if !rep.OK {
+				res.Excluded = append(res.Excluded, Exclusion{
+					CaptureID: c.ID, Stage: StageQualityGate, Reasons: rep.Reasons,
+				})
+				continue
+			}
+			live = append(live, gated)
+			scores = append(scores, rep.Score)
+			origIdx = append(origIdx, i)
 		}
-		tracks[i] = &aggregate.Track{
-			ID:    captures[i].ID,
+		gateDone()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("crowdmap: quality gate excluded all %d captures", len(captures))
+		}
+	}
+
+	// Stage 1: per-capture key-frame extraction (embarrassingly parallel).
+	// MapAll rather than Map: a poisoned capture — extraction error or a
+	// panic recovered in the worker — must cost the job that capture, not
+	// the corpus, so every sibling runs to completion regardless.
+	extractDone := obs.Stage(reg, "keyframe.extract")
+	liveTracks := make([]*Track, len(live))
+	errs, ctxErr := pipeline.MapAll(ctx, len(live), cfg.Workers, func(_ context.Context, i int) error {
+		kfs, traj, err := extractTrack(live[i], cfg)
+		if err != nil {
+			return &CaptureError{CaptureID: live[i].ID, Err: err}
+		}
+		liveTracks[i] = &aggregate.Track{
+			ID:    live[i].ID,
 			Traj:  traj,
 			KFs:   kfs,
-			Night: captures[i].Night,
+			Night: live[i].Night,
 			// Fingerprint before ReleaseFrames drops the pixels it covers.
-			Hash: captures[i].Fingerprint(),
+			Hash:    live[i].Fingerprint(),
+			Quality: scores[i],
 		}
 		if cfg.ReleaseFrames {
-			captures[i].Frames = nil
+			// live[i] may be a sanitized copy; release the caller's frames
+			// too (both alias the same frame slice when not copied).
+			live[i].Frames = nil
+			captures[origIdx[i]].Frames = nil
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
+	// Compact to the surviving subset. Downstream stages see exactly the
+	// slice a fresh run over only the survivors would receive, which is
+	// what makes the degraded-mode plan byte-identical to that run's.
+	tracks := make([]*Track, 0, len(live))
+	liveCaps := make([]*Capture, 0, len(live))
+	res.Tracks = make([]*Track, len(captures))
+	for i := range live {
+		if errs[i] != nil {
+			res.Excluded = append(res.Excluded, Exclusion{
+				CaptureID: live[i].ID, Stage: StageKeyframes,
+				Reasons: []string{errs[i].Error()},
+			})
+			continue
+		}
+		res.Tracks[origIdx[i]] = liveTracks[i]
+		tracks = append(tracks, liveTracks[i])
+		liveCaps = append(liveCaps, live[i])
+	}
+	if len(tracks) == 0 {
+		return nil, fmt.Errorf("crowdmap: no captures survived extraction (%d excluded)", len(res.Excluded))
+	}
+	captures = liveCaps
+	res.Coverage = Coverage{
+		Input:    len(res.Tracks),
+		Used:     len(tracks),
+		Excluded: len(res.Excluded),
+		Degraded: len(res.Excluded) > 0,
+	}
+	reg.Counter("reconstruct.excluded").Add(int64(len(res.Excluded)))
 	extractDone()
 	// Checkpoint writes are best-effort: losing one costs recomputation on
 	// the next attempt, never correctness.
@@ -212,11 +337,7 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	}
 
 	// Stage 4: room reconstruction for placed SRS/Visit captures.
-	res := &Result{
-		Tracks:       tracks,
-		Aggregation:  agg,
-		RoomFailures: make(map[string]error),
-	}
+	res.Aggregation = agg
 	var mu sync.Mutex
 	roomIdx := make([]int, 0, len(captures))
 	for i, c := range captures {
@@ -295,7 +416,16 @@ func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params,
 	}
 	memo := make(map[[2]int]cell)
 	var mu sync.Mutex
-	err := pipeline.MapPairs(ctx, len(tracks), workers, func(_ context.Context, pr pipeline.Pair) error {
+	pairs := pipeline.Pairs(len(tracks))
+	// MapAll: a failing pair comparison — an error or a panic recovered in
+	// the worker — degrades to "no match" for that pair rather than
+	// aborting the job. A pair failure cannot be attributed to either
+	// capture alone, so neither is excluded; the pair simply contributes
+	// no merge evidence, and the failure count is observable on
+	// aggregate.pairs.failed. Failures are deterministic for given inputs,
+	// so the degraded decision is too.
+	errs, ctxErr := pipeline.MapAll(ctx, len(pairs), workers, func(_ context.Context, i int) error {
+		pr := pairs[i]
 		m, ok, err := aggregate.ComparePairCached(pr.I, pr.J, tracks[pr.I], tracks[pr.J], p, cache)
 		if err != nil {
 			return err
@@ -305,8 +435,18 @@ func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params,
 		mu.Unlock()
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			memo[[2]int{pairs[i].I, pairs[i].J}] = cell{}
+			failed++
+		}
+	}
+	if failed > 0 {
+		p.KF.Obs.Counter("aggregate.pairs.failed").Add(int64(failed))
 	}
 	if cache != nil {
 		p.KF.Obs.Gauge("compare.cache.entries").Set(float64(cache.Len()))

@@ -85,6 +85,54 @@ grep -q 'shutdown complete' "$smoke/daemon.log" || {
 	echo "smoke: daemon log missing 'shutdown complete'"; cat "$smoke/daemon.log"; exit 1; }
 echo "smoke: clean drain, durable state present"
 
+# Malformed-capture smoke test: the daemon must refuse a corrupt archive
+# with 422 at upload time, stay healthy, and still reconstruct subsequent
+# good uploads — the end-to-end check that one hostile client cannot
+# wedge or crash ingestion.
+echo "== malformed-capture smoke test =="
+go run ./cmd/datagen -building Lab2 -walks 3 -visits 0 -users 1 -out "$smoke/goodcaps"
+printf 'PK\x03\x04 this is not a capture archive' > "$smoke/corrupt.zip"
+"$smoke/crowdmapd" -addr 127.0.0.1:18743 -interval 1s -hypotheses 200 \
+	>"$smoke/daemon2.log" 2>&1 &
+daemon2=$!
+trap 'kill -9 "$daemon2" 2>/dev/null; rm -rf "$smoke"' EXIT
+for i in $(seq 1 50); do
+	curl -fsS -o /dev/null http://127.0.0.1:18743/healthz 2>/dev/null && break
+	sleep 0.2
+	if [ "$i" -eq 50 ]; then
+		echo "smoke2: daemon never became healthy"; cat "$smoke/daemon2.log"; exit 1
+	fi
+done
+status=$(curl -sS -o "$smoke/reject.json" -w '%{http_code}' --data-binary @"$smoke/corrupt.zip" \
+	"http://127.0.0.1:18743/api/v1/captures/corrupt/chunks?index=0&total=1")
+if [ "$status" != "422" ]; then
+	echo "smoke2: corrupt upload got HTTP $status, want 422"
+	cat "$smoke/reject.json"; cat "$smoke/daemon2.log"; exit 1
+fi
+curl -fsS -o /dev/null http://127.0.0.1:18743/healthz || {
+	echo "smoke2: daemon unhealthy after corrupt upload"; cat "$smoke/daemon2.log"; exit 1; }
+for cap in "$smoke"/goodcaps/*.zip; do
+	id=$(basename "$cap" .zip)
+	curl -fsS -o /dev/null --data-binary @"$cap" \
+		"http://127.0.0.1:18743/api/v1/captures/$id/chunks?index=0&total=1"
+done
+# The scan picks the corpus up within -interval; poll for the plan.
+plan_ok=0
+for i in $(seq 1 120); do
+	if curl -fsS -o /dev/null http://127.0.0.1:18743/api/v1/plans/Lab2 2>/dev/null; then
+		plan_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$plan_ok" -ne 1 ]; then
+	echo "smoke2: no plan reconstructed from good uploads after corrupt one"
+	cat "$smoke/daemon2.log"; exit 1
+fi
+kill -TERM "$daemon2"
+wait "$daemon2" || { echo "smoke2: daemon exited nonzero"; cat "$smoke/daemon2.log"; exit 1; }
+trap 'rm -rf "$smoke"' EXIT
+echo "smoke2: 422 for corrupt archive, daemon healthy, good uploads reconstructed"
+
 # Docs checks: every internal package must carry a package comment, and
 # every intra-repo markdown link must point at a file that exists.
 echo "== docs: package comments =="
