@@ -18,6 +18,7 @@ import (
 	"crowdmap/internal/floorplan"
 	"crowdmap/internal/forcedir"
 	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
 	"crowdmap/internal/keyframe"
 	"crowdmap/internal/layout"
 	"crowdmap/internal/mathx"
@@ -463,6 +464,7 @@ func BenchmarkAnchorSearchBrute(b *testing.B) {
 	ta, tb := anchorBenchTracks(b)
 	stripped := stripSURFIndexes([]*Track{ta, tb})
 	p := anchorBenchParams()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := aggregate.FindAnchors(stripped[0], stripped[1], p); err != nil {
@@ -477,6 +479,7 @@ func BenchmarkAnchorSearchBrute(b *testing.B) {
 func BenchmarkAnchorSearchIndexed(b *testing.B) {
 	ta, tb := anchorBenchTracks(b)
 	p := anchorBenchParams()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := aggregate.FindAnchors(ta, tb, p); err != nil {
@@ -499,6 +502,7 @@ func BenchmarkWarmCacheAggregation(b *testing.B) {
 	}
 	reg := NewMetricsRegistry()
 	p.KF.Obs = reg
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParallelAggregate(ctx, tracks, p, 0, cache); err != nil {
@@ -510,6 +514,52 @@ func BenchmarkWarmCacheAggregation(b *testing.B) {
 	total := c["compare.cache.hits"] + c["compare.cache.misses"] + c["compare.cache.bypass"]
 	if total > 0 {
 		b.ReportMetric(float64(c["compare.cache.hits"])/float64(total)*100, "hit%")
+	}
+}
+
+// ---- stage-1 scoring (PR 6) ----
+
+// stage1BenchLists extracts the two key-frame lists both stage-1 scoring
+// benchmarks share, so the per-pair and batched paths time the same
+// workload: every cross pair of the two anchor-search tracks.
+func stage1BenchLists(b *testing.B) (as, bs []*keyframe.KeyFrame, p keyframe.Params) {
+	ta, tb := anchorBenchTracks(b)
+	return ta.KFs, tb.KFs, keyframe.DefaultParams()
+}
+
+// BenchmarkStage1PairScoring times the pre-PR-6 shape of the cheap gate:
+// one keyframe.Stage1 call per pair, walking the wavelet coefficient maps
+// each time.
+func BenchmarkStage1PairScoring(b *testing.B) {
+	as, bs, p := stage1BenchLists(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ka := range as {
+			for _, kb := range bs {
+				if _, err := keyframe.Stage1(ka, kb, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkStage1BlockScoring times the batched scorer over the same
+// pairs: channel-major passes over flattened signatures into a reused
+// score buffer. Scores are bit-identical to the per-pair path
+// (keyframe/stage1_test.go pins that).
+func BenchmarkStage1BlockScoring(b *testing.B) {
+	as, bs, p := stage1BenchLists(b)
+	var buf []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := keyframe.Stage1Block(as, bs, p, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
 	}
 }
 
@@ -605,5 +655,20 @@ func BenchmarkKernelDeadReckon(b *testing.B) {
 		if _, err := trajectory.DeadReckon(imu, 0.7); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKernelIntegralImage times the pooled summed-area-table rebuild
+// (img.NewIntegralInto) that SURF extraction and HOG both sit on; with a
+// reused table it must run allocation-free.
+func BenchmarkKernelIntegralImage(b *testing.B) {
+	building := world.Lab1()
+	r := world.NewRenderer(building, world.DefaultCamera())
+	luma := r.Render(world.Pose{Pos: geom.P(20, 7.2), Heading: 0}, world.Daylight(), nil).Luma()
+	it := img.NewIntegral(luma)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img.NewIntegralInto(it, luma)
 	}
 }

@@ -175,31 +175,44 @@ type Match struct {
 }
 
 // FindAnchors runs the hierarchical key-frame comparison across two tracks
-// and returns all accepted correspondences, strongest first.
+// and returns all accepted correspondences, strongest first. The cross
+// product is scored through keyframe.CompareBlock — batched stage 1, then
+// SURF for the admitted pairs — which makes the identical decisions the
+// per-pair Compare loop did.
 func FindAnchors(a, b *Track, p Params) ([]Anchor, error) {
 	stride := p.AnchorStride
 	if stride < 1 {
 		stride = 1
 	}
-	var anchors []Anchor
+	var akfs, bkfs []*keyframe.KeyFrame
+	var ais, bis []int
 	for i := 0; i < len(a.KFs); i += stride {
+		akfs = append(akfs, a.KFs[i])
+		ais = append(ais, i)
+	}
+	for j := 0; j < len(b.KFs); j += stride {
+		bkfs = append(bkfs, b.KFs[j])
+		bis = append(bis, j)
+	}
+	same, s2s, err := keyframe.CompareBlock(akfs, bkfs, p.KF)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: comparing %s with %s: %w", a.ID, b.ID, err)
+	}
+	var anchors []Anchor
+	for x, i := range ais {
 		ka := a.KFs[i]
-		for j := 0; j < len(b.KFs); j += stride {
-			kb := b.KFs[j]
-			ok, s2, err := keyframe.Compare(ka, kb, p.KF)
-			if err != nil {
-				return nil, fmt.Errorf("aggregate: comparing %s#%d with %s#%d: %w", a.ID, i, b.ID, j, err)
-			}
-			if !ok {
+		for y, j := range bis {
+			if !same[x*len(bkfs)+y] {
 				continue
 			}
+			kb := b.KFs[j]
 			if p.MaxHeadingDiff > 0 {
 				if d := mathx.AngleDiff(ka.Heading, kb.Heading); d > p.MaxHeadingDiff || d < -p.MaxHeadingDiff {
 					continue
 				}
 			}
 			anchors = append(anchors, Anchor{
-				IA: i, IB: j, S2: s2,
+				IA: i, IB: j, S2: s2s[x*len(bkfs)+y],
 				Translation: ka.LocalPos.Sub(kb.LocalPos),
 			})
 		}

@@ -1,0 +1,267 @@
+// Package benchgate implements the benchmark ratchet that keeps the
+// hot-path wins of PR 2 and PR 6 from regressing silently. A baseline
+// file (BENCH_prN.json) committed with the PR records ns/op and
+// allocs/op for a named set of benchmarks; the gate re-runs those
+// benchmarks in CI, parses the raw `go test -bench` output, and fails
+// when any named benchmark got more than Tolerance (default 10%)
+// slower or more allocation-hungry than its recorded baseline.
+//
+// The ratchet is deliberately one-sided: a faster run never updates the
+// baseline automatically. Recording a new baseline is an explicit,
+// reviewed act (scripts/bench.sh, see docs/OPERATIONS.md) so that a
+// lucky fast run cannot tighten the gate into flakiness and a slow
+// regression cannot hide behind a re-record.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllocsUnknown marks a Metrics entry whose allocs/op was not measured
+// (the run lacked -benchmem). It is never written to baselines.
+const AllocsUnknown = -1
+
+// Metrics holds the gated measurements of one benchmark.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+// Baseline is the committed BENCH_prN.json schema.
+type Baseline struct {
+	PR         int                `json:"pr"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// Derived holds offline comparison ratios (e.g. speedup vs the
+	// previous PR's baseline); the gate ignores them.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads raw `go test -bench` output and returns per-benchmark
+// metrics keyed by name with the GOMAXPROCS suffix stripped
+// (BenchmarkFoo-8 → BenchmarkFoo). Repeated runs of the same benchmark
+// (-count, or identical sub-benchmark names) are averaged. AllocsPerOp
+// and BytesPerOp are AllocsUnknown when the run lacked -benchmem.
+func Parse(r io.Reader) (map[string]Metrics, error) {
+	type acc struct {
+		ns, allocs, bytes float64
+		n, nAllocs        int
+	}
+	sums := make(map[string]*acc)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed line
+		}
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+		}
+		// After the iteration count the line is (value, unit) pairs:
+		//   3  56281163 ns/op  123456 B/op  1234 allocs/op  99.1 hit%
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %s: bad value %q for %q", name, fields[i], fields[i+1])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+				sawNs = true
+			case "allocs/op":
+				a.allocs += v
+				a.nAllocs++
+			case "B/op":
+				a.bytes += v
+			}
+		}
+		if !sawNs {
+			return nil, fmt.Errorf("benchgate: %s: no ns/op on benchmark line", name)
+		}
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: reading bench output: %w", err)
+	}
+	out := make(map[string]Metrics, len(sums))
+	for name, a := range sums {
+		m := Metrics{NsPerOp: a.ns / float64(a.n), AllocsPerOp: AllocsUnknown, BytesPerOp: AllocsUnknown}
+		if a.nAllocs > 0 {
+			m.AllocsPerOp = a.allocs / float64(a.nAllocs)
+			m.BytesPerOp = a.bytes / float64(a.nAllocs)
+		}
+		out[name] = m
+	}
+	return out, nil
+}
+
+// Load reads a committed baseline file.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: %s has no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// Write marshals the baseline with stable key order.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Options tunes the regression thresholds.
+type Options struct {
+	// Tolerance is the fractional slowdown allowed before a benchmark
+	// fails the gate: 0.10 means a run 10% over baseline passes, 10.1%
+	// fails. Zero means the 0.10 default.
+	Tolerance float64
+	// AllocSlack is an absolute allocs/op grace on top of Tolerance,
+	// covering pooled paths where the first iterations of a short run
+	// populate the pool (0 → default 16). An allocs regression must
+	// exceed BOTH the fractional and the absolute threshold to fail.
+	AllocSlack float64
+}
+
+func (o Options) tolerance() float64 {
+	if o.Tolerance == 0 {
+		return 0.10
+	}
+	return o.Tolerance
+}
+
+func (o Options) allocSlack() float64 {
+	if o.AllocSlack == 0 {
+		return 16
+	}
+	return o.AllocSlack
+}
+
+// Regression describes one gate failure.
+type Regression struct {
+	Name    string  // benchmark name, cpu suffix stripped
+	Metric  string  // "ns/op" or "allocs/op"
+	Base    float64 // committed baseline value
+	Current float64 // measured value (0 when Missing)
+	// Missing means the benchmark (or its allocs measurement) was in
+	// the baseline but absent from the current run — a renamed or
+	// deleted benchmark must be re-recorded, not silently dropped.
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: %s in baseline but missing from current run (renamed or deleted? re-record the baseline)", r.Name, r.Metric)
+	}
+	return fmt.Sprintf("%s: %s regressed %.0f → %.0f (%+.1f%%)",
+		r.Name, r.Metric, r.Base, r.Current, (r.Current/r.Base-1)*100)
+}
+
+// Compare checks every baseline benchmark against the current run and
+// returns the regressions, sorted by name then metric. Benchmarks
+// present only in the current run are ignored: new benchmarks join the
+// ratchet when the next baseline is recorded.
+func Compare(base *Baseline, current map[string]Metrics, opt Options) []Regression {
+	tol := opt.tolerance()
+	slack := opt.allocSlack()
+	var regs []Regression
+	for name, b := range base.Benchmarks {
+		cur, ok := current[name]
+		if !ok {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Base: b.NsPerOp, Missing: true})
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tol) {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Base: b.NsPerOp, Current: cur.NsPerOp})
+		}
+		if b.AllocsPerOp >= 0 {
+			switch {
+			case cur.AllocsPerOp < 0:
+				regs = append(regs, Regression{Name: name, Metric: "allocs/op", Base: b.AllocsPerOp, Missing: true})
+			case cur.AllocsPerOp > b.AllocsPerOp*(1+tol) && cur.AllocsPerOp-b.AllocsPerOp > slack:
+				regs = append(regs, Regression{Name: name, Metric: "allocs/op", Base: b.AllocsPerOp, Current: cur.AllocsPerOp})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// pr2Schema matches the PR 2 snapshot format (BENCH_pr2.json), which
+// predates the per-benchmark map.
+type pr2Schema struct {
+	AnchorSearch struct {
+		BruteNsPerOp   float64 `json:"brute_ns_per_op"`
+		IndexedNsPerOp float64 `json:"indexed_ns_per_op"`
+	} `json:"anchor_search"`
+	WarmCache struct {
+		AggregationNsPerOp float64 `json:"aggregation_ns_per_op"`
+	} `json:"warm_cache"`
+}
+
+// DeriveVsPR2 computes the offline speedup ratios recorded alongside a
+// new baseline: current hot-path numbers against the PR 2 snapshot,
+// plus the intra-run pair-vs-block stage-1 ratio. Ratios whose inputs
+// are missing are simply omitted.
+func DeriveVsPR2(pr2Path string, cur map[string]Metrics) (map[string]float64, error) {
+	data, err := os.ReadFile(pr2Path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var prev pr2Schema
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", pr2Path, err)
+	}
+	d := make(map[string]float64)
+	ratio := func(key string, num, den float64) {
+		if num > 0 && den > 0 {
+			d[key] = round2(num / den)
+		}
+	}
+	indexed := cur["BenchmarkAnchorSearchIndexed"].NsPerOp
+	brute := cur["BenchmarkAnchorSearchBrute"].NsPerOp
+	ratio("anchor_indexed_speedup_vs_pr2", prev.AnchorSearch.IndexedNsPerOp, indexed)
+	ratio("anchor_brute_over_indexed", brute, indexed)
+	ratio("warm_cache_speedup_vs_pr2", prev.WarmCache.AggregationNsPerOp, cur["BenchmarkWarmCacheAggregation"].NsPerOp)
+	ratio("stage1_pair_over_block",
+		cur["BenchmarkStage1PairScoring"].NsPerOp, cur["BenchmarkStage1BlockScoring"].NsPerOp)
+	return d, nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

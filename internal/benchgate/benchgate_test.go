@@ -1,0 +1,316 @@
+package benchgate
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: crowdmap
+cpu: imaginary
+BenchmarkAnchorSearchBrute-8   	       3	 372990943 ns/op	 1048576 B/op	    4096 allocs/op
+BenchmarkAnchorSearchIndexed-8 	       3	  56281163 ns/op	  524288 B/op	    2048 allocs/op
+BenchmarkWarmCacheAggregation-8	      20	    142766 ns/op	       100 hit%	      64 B/op	       2 allocs/op
+BenchmarkStage1BlockScoring    	     100	     90000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	crowdmap	12.345s
+`
+
+func parseSample(t *testing.T) map[string]Metrics {
+	t.Helper()
+	m, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseStripsCPUSuffixAndReadsMetrics(t *testing.T) {
+	m := parseSample(t)
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	}
+	b, ok := m["BenchmarkAnchorSearchBrute"]
+	if !ok {
+		t.Fatalf("cpu suffix not stripped: %v", m)
+	}
+	if b.NsPerOp != 372990943 || b.AllocsPerOp != 4096 || b.BytesPerOp != 1048576 {
+		t.Fatalf("brute metrics wrong: %+v", b)
+	}
+	// Extra custom metrics (hit%) must not derail the pair scan.
+	w := m["BenchmarkWarmCacheAggregation"]
+	if w.NsPerOp != 142766 || w.AllocsPerOp != 2 {
+		t.Fatalf("warm metrics wrong: %+v", w)
+	}
+	// A benchmark without the -N suffix parses too.
+	if m["BenchmarkStage1BlockScoring"].NsPerOp != 90000 {
+		t.Fatalf("unsuffixed benchmark missing: %v", m)
+	}
+}
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	out := `BenchmarkFoo-4	10	100 ns/op	5 allocs/op
+BenchmarkFoo-4	10	300 ns/op	7 allocs/op
+`
+	m, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m["BenchmarkFoo"]
+	if f.NsPerOp != 200 || f.AllocsPerOp != 6 {
+		t.Fatalf("repeat averaging wrong: %+v", f)
+	}
+}
+
+func TestParseWithoutBenchmemMarksAllocsUnknown(t *testing.T) {
+	m, err := Parse(strings.NewReader("BenchmarkBar-2	5	1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["BenchmarkBar"].AllocsPerOp != AllocsUnknown {
+		t.Fatalf("allocs should be unknown: %+v", m["BenchmarkBar"])
+	}
+}
+
+func TestParseRejectsGarbageValues(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBad-2	5	oops ns/op\n")); err == nil {
+		t.Fatal("want error for unparseable value")
+	}
+}
+
+func testBaseline() *Baseline {
+	return &Baseline{
+		PR: 6, Benchtime: "3x",
+		Benchmarks: map[string]Metrics{
+			"BenchmarkAnchorSearchIndexed": {NsPerOp: 50_000_000, AllocsPerOp: 2000},
+			"BenchmarkStage1BlockScoring":  {NsPerOp: 90_000, AllocsPerOp: 0},
+		},
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	cur := map[string]Metrics{
+		// 9% slower and a few extra allocs: inside the ratchet.
+		"BenchmarkAnchorSearchIndexed": {NsPerOp: 54_500_000, AllocsPerOp: 2100},
+		"BenchmarkStage1BlockScoring":  {NsPerOp: 91_000, AllocsPerOp: 4},
+		"BenchmarkBrandNew":            {NsPerOp: 1, AllocsPerOp: 1}, // not in baseline: ignored
+	}
+	if regs := Compare(testBaseline(), cur, Options{}); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsInjectedNsRegression(t *testing.T) {
+	cur := map[string]Metrics{
+		// Injected 20% slowdown: must fail the 10% ratchet.
+		"BenchmarkAnchorSearchIndexed": {NsPerOp: 60_000_000, AllocsPerOp: 2000},
+		"BenchmarkStage1BlockScoring":  {NsPerOp: 90_000, AllocsPerOp: 0},
+	}
+	regs := Compare(testBaseline(), cur, Options{})
+	if len(regs) != 1 {
+		t.Fatalf("want exactly the injected regression, got %v", regs)
+	}
+	r := regs[0]
+	if r.Name != "BenchmarkAnchorSearchIndexed" || r.Metric != "ns/op" || r.Missing {
+		t.Fatalf("wrong regression: %+v", r)
+	}
+	if !strings.Contains(r.String(), "regressed") {
+		t.Fatalf("unhelpful message: %q", r.String())
+	}
+}
+
+func TestCompareFlagsAllocRegressionBeyondSlack(t *testing.T) {
+	cur := map[string]Metrics{
+		"BenchmarkAnchorSearchIndexed": {NsPerOp: 50_000_000, AllocsPerOp: 2500},
+		"BenchmarkStage1BlockScoring":  {NsPerOp: 90_000, AllocsPerOp: 0},
+	}
+	regs := Compare(testBaseline(), cur, Options{})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+	// The absolute slack forgives small counts: 0 → 4 allocs is > +10%
+	// relatively but inside the default 16-alloc grace (pool warmup).
+	cur["BenchmarkAnchorSearchIndexed"] = Metrics{NsPerOp: 50_000_000, AllocsPerOp: 2000}
+	cur["BenchmarkStage1BlockScoring"] = Metrics{NsPerOp: 90_000, AllocsPerOp: 4}
+	if regs := Compare(testBaseline(), cur, Options{}); len(regs) != 0 {
+		t.Fatalf("slack should forgive +4 allocs: %v", regs)
+	}
+	// ... but not a real leak.
+	cur["BenchmarkStage1BlockScoring"] = Metrics{NsPerOp: 90_000, AllocsPerOp: 40}
+	if regs := Compare(testBaseline(), cur, Options{}); len(regs) != 1 {
+		t.Fatalf("want the 40-alloc leak flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingAndRenamedBenchmarks(t *testing.T) {
+	// A rename shows up as: old name missing, new name ignored.
+	cur := map[string]Metrics{
+		"BenchmarkAnchorSearchIndexedV2": {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkStage1BlockScoring":    {NsPerOp: 90_000, AllocsPerOp: 0},
+	}
+	regs := Compare(testBaseline(), cur, Options{})
+	if len(regs) != 1 || !regs[0].Missing || regs[0].Name != "BenchmarkAnchorSearchIndexed" {
+		t.Fatalf("want one missing-benchmark failure, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("unhelpful message: %q", regs[0].String())
+	}
+	// A gate run without -benchmem cannot vouch for the alloc ratchet.
+	cur = map[string]Metrics{
+		"BenchmarkAnchorSearchIndexed": {NsPerOp: 50_000_000, AllocsPerOp: AllocsUnknown},
+		"BenchmarkStage1BlockScoring":  {NsPerOp: 90_000, AllocsPerOp: AllocsUnknown},
+	}
+	regs = Compare(testBaseline(), cur, Options{})
+	if len(regs) != 2 || regs[0].Metric != "allocs/op" || !regs[0].Missing {
+		t.Fatalf("want allocs-missing failures, got %v", regs)
+	}
+}
+
+func TestCompareCustomTolerance(t *testing.T) {
+	cur := map[string]Metrics{
+		"BenchmarkAnchorSearchIndexed": {NsPerOp: 60_000_000, AllocsPerOp: 2000}, // +20%
+		"BenchmarkStage1BlockScoring":  {NsPerOp: 90_000, AllocsPerOp: 0},
+	}
+	if regs := Compare(testBaseline(), cur, Options{Tolerance: 0.25}); len(regs) != 0 {
+		t.Fatalf("25%% tolerance should pass +20%%: %v", regs)
+	}
+	cur["BenchmarkAnchorSearchIndexed"] = Metrics{NsPerOp: 52_000_000, AllocsPerOp: 2000} // +4%
+	if regs := Compare(testBaseline(), cur, Options{Tolerance: 0.02}); len(regs) != 1 {
+		t.Fatalf("2%% tolerance should flag +4%%: %v", regs)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	b := testBaseline()
+	b.Derived = map[string]float64{"anchor_indexed_speedup_vs_pr2": 1.72}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PR != 6 || got.Benchtime != "3x" || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Derived["anchor_indexed_speedup_vs_pr2"] != 1.72 {
+		t.Fatalf("derived lost: %+v", got.Derived)
+	}
+	if got.Benchmarks["BenchmarkAnchorSearchIndexed"].NsPerOp != 50_000_000 {
+		t.Fatalf("metrics lost: %+v", got.Benchmarks)
+	}
+}
+
+func TestLoadRejectsEmptyAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"pr":6,"benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Fatal("want error for baseline with no benchmarks")
+	}
+	if _, err := Load(filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestDeriveVsPR2(t *testing.T) {
+	dir := t.TempDir()
+	pr2 := filepath.Join(dir, "BENCH_pr2.json")
+	if err := os.WriteFile(pr2, []byte(`{
+		"anchor_search": {"brute_ns_per_op": 372990943, "indexed_ns_per_op": 56281163},
+		"warm_cache": {"aggregation_ns_per_op": 142766}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := map[string]Metrics{
+		"BenchmarkAnchorSearchBrute":    {NsPerOp: 370_000_000},
+		"BenchmarkAnchorSearchIndexed":  {NsPerOp: 28_000_000},
+		"BenchmarkWarmCacheAggregation": {NsPerOp: 100_000},
+		"BenchmarkStage1PairScoring":    {NsPerOp: 300_000},
+		"BenchmarkStage1BlockScoring":   {NsPerOp: 100_000},
+	}
+	d, err := DeriveVsPR2(pr2, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"anchor_indexed_speedup_vs_pr2": 56281163.0 / 28_000_000,
+		"anchor_brute_over_indexed":     370.0 / 28,
+		"warm_cache_speedup_vs_pr2":     142766.0 / 100_000,
+		"stage1_pair_over_block":        3,
+	}
+	for k, w := range want {
+		if math.Abs(d[k]-w) > 0.01 {
+			t.Errorf("%s = %v, want ≈%v", k, d[k], w)
+		}
+	}
+	// Missing inputs omit the ratio instead of recording nonsense.
+	delete(cur, "BenchmarkStage1PairScoring")
+	d, err = DeriveVsPR2(pr2, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d["stage1_pair_over_block"]; ok {
+		t.Fatalf("ratio with missing input should be omitted: %v", d)
+	}
+}
+
+// TestGateCLIFailsOnInjectedRegression runs the actual scripts/benchgate.go
+// entry point against a fixture baseline and a doctored bench output with a
+// >10% slowdown, and requires the nonzero exit that fails ci.sh.
+func TestGateCLIFailsOnInjectedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the CLI; skipped in -short")
+	}
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_fixture.json")
+	b := &Baseline{
+		PR: 6, Benchtime: "3x",
+		Benchmarks: map[string]Metrics{
+			"BenchmarkAnchorSearchIndexed": {NsPerOp: 50_000_000, AllocsPerOp: 2000},
+		},
+	}
+	if err := b.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+	cli := filepath.Join("..", "..", "scripts", "benchgate.go")
+	run := func(stdin string) (string, error) {
+		cmd := exec.Command("go", "run", cli, "-mode", "gate", "-baseline", baseline)
+		cmd.Stdin = strings.NewReader(stdin)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		return out.String(), err
+	}
+	// Injected 20% regression: the gate must exit nonzero.
+	out, err := run("BenchmarkAnchorSearchIndexed-1\t3\t60000000 ns/op\t100 B/op\t2000 allocs/op\n")
+	if err == nil {
+		t.Fatalf("gate passed an injected 20%% regression:\n%s", out)
+	}
+	if !strings.Contains(out, "regressed") {
+		t.Fatalf("gate failure output unhelpful:\n%s", out)
+	}
+	// Same numbers as baseline: the gate must pass.
+	out, err = run("BenchmarkAnchorSearchIndexed-1\t3\t50000000 ns/op\t100 B/op\t2000 allocs/op\n")
+	if err != nil {
+		t.Fatalf("gate failed a clean run: %v\n%s", err, out)
+	}
+}

@@ -125,10 +125,20 @@ func (m *RGB) Clone() *RGB {
 // Luma converts to grayscale with Rec. 601 weights.
 func (m *RGB) Luma() *Gray {
 	g := NewGray(m.W, m.H)
-	for i := range g.Pix {
-		g.Pix[i] = 0.299*m.R[i] + 0.587*m.G[i] + 0.114*m.B[i]
-	}
+	m.LumaInto(g)
 	return g
+}
+
+// LumaInto writes the Rec. 601 grayscale conversion into dst, which must
+// have m's dimensions. Every pixel of dst is overwritten, so dst may come
+// from AcquireGray without clearing.
+func (m *RGB) LumaInto(dst *Gray) {
+	if dst.W != m.W || dst.H != m.H {
+		panic(fmt.Sprintf("img: LumaInto size mismatch %dx%d vs %dx%d", dst.W, dst.H, m.W, m.H))
+	}
+	for i := range dst.Pix {
+		dst.Pix[i] = 0.299*m.R[i] + 0.587*m.G[i] + 0.114*m.B[i]
+	}
 }
 
 // ScalePixels multiplies every channel by s in place and clamps to [0, 1].
@@ -161,16 +171,38 @@ type Integral struct {
 
 // NewIntegral builds the summed-area table of g.
 func NewIntegral(g *Gray) *Integral {
-	it := &Integral{W: g.W, H: g.H, sum: make([]float64, (g.W+1)*(g.H+1))}
+	it := &Integral{}
+	NewIntegralInto(it, g)
+	return it
+}
+
+// NewIntegralInto builds the summed-area table of g into it, reusing it's
+// backing buffer when large enough. Every cell — including the zero border
+// row and column the four-corner lookup depends on — is written, so a
+// recycled buffer needs no clearing.
+func NewIntegralInto(it *Integral, g *Gray) {
+	it.W, it.H = g.W, g.H
 	stride := g.W + 1
+	n := stride * (g.H + 1)
+	if cap(it.sum) < n {
+		it.sum = make([]float64, n)
+	} else {
+		it.sum = it.sum[:n]
+	}
+	for x := 0; x < stride; x++ {
+		it.sum[x] = 0
+	}
 	for y := 0; y < g.H; y++ {
+		it.sum[(y+1)*stride] = 0
 		var rowSum float64
-		for x := 0; x < g.W; x++ {
-			rowSum += g.Pix[y*g.W+x]
-			it.sum[(y+1)*stride+x+1] = it.sum[y*stride+x+1] + rowSum
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		prev := it.sum[y*stride+1 : y*stride+stride]
+		cur := it.sum[(y+1)*stride+1 : (y+1)*stride+stride]
+		for x, v := range row {
+			rowSum += v
+			cur[x] = prev[x] + rowSum
 		}
 	}
-	return it
 }
 
 // BoxSum returns the sum of pixels in the rectangle [x0,x1)×[y0,y1),
@@ -288,13 +320,23 @@ func GaussianBlur(g *Gray, sigma float64) *Gray {
 func Gradients(g *Gray) (gx, gy *Gray) {
 	gx = NewGray(g.W, g.H)
 	gy = NewGray(g.W, g.H)
+	GradientsInto(g, gx, gy)
+	return gx, gy
+}
+
+// GradientsInto writes the centered-difference gradients of g into gx and
+// gy, which must have g's dimensions. Every pixel of both outputs is
+// overwritten, so they may come from AcquireGray without clearing.
+func GradientsInto(g, gx, gy *Gray) {
+	if gx.W != g.W || gx.H != g.H || gy.W != g.W || gy.H != g.H {
+		panic(fmt.Sprintf("img: GradientsInto size mismatch for %dx%d input", g.W, g.H))
+	}
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
 			gx.Pix[y*g.W+x] = (g.At(x+1, y) - g.At(x-1, y)) / 2
 			gy.Pix[y*g.W+x] = (g.At(x, y+1) - g.At(x, y-1)) / 2
 		}
 	}
-	return gx, gy
 }
 
 // NCC returns the normalized cross-correlation of two equal-size grayscale

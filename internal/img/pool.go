@@ -1,0 +1,65 @@
+package img
+
+import "sync"
+
+// Buffer pooling for the vision hot path. Key-frame extraction builds one
+// luma plane, two gradient planes and several integral images per video
+// frame; at steady state those allocations dominate Reconstruct's heap
+// churn. The pools below let the per-frame kernels reuse buffers across
+// captures.
+//
+// Contract (see DESIGN.md "Buffer pooling invariants"):
+//
+//   - Acquired buffers have the requested dimensions but UNDEFINED
+//     contents. Every acquirer must fully overwrite the buffer (the Into
+//     builders in this package do) or clear it before accumulating.
+//   - Release hands the buffer back to the pool; the caller must not
+//     retain any reference to it or its backing slice afterwards. Never
+//     release a buffer that escaped into a long-lived structure.
+//   - Releasing nil is a no-op, so error paths can release
+//     unconditionally.
+//
+// The pools are safe for concurrent use; a buffer is owned by exactly one
+// goroutine between Acquire and Release.
+
+var grayPool = sync.Pool{New: func() any { return new(Gray) }}
+
+// AcquireGray returns a w×h grayscale image from the pool. Its pixel
+// contents are undefined; the caller must fully overwrite them.
+func AcquireGray(w, h int) *Gray {
+	g := grayPool.Get().(*Gray)
+	g.W, g.H = w, h
+	if n := w * h; cap(g.Pix) < n {
+		g.Pix = make([]float64, n)
+	} else {
+		g.Pix = g.Pix[:n]
+	}
+	return g
+}
+
+// ReleaseGray returns g to the pool. g must not be used afterwards.
+func ReleaseGray(g *Gray) {
+	if g == nil {
+		return
+	}
+	grayPool.Put(g)
+}
+
+var integralPool = sync.Pool{New: func() any { return new(Integral) }}
+
+// AcquireIntegral builds the summed-area table of g into a pooled
+// Integral. It is equivalent to NewIntegral(g) but reuses buffers; pair it
+// with ReleaseIntegral when the table's lifetime is bounded.
+func AcquireIntegral(g *Gray) *Integral {
+	it := integralPool.Get().(*Integral)
+	NewIntegralInto(it, g)
+	return it
+}
+
+// ReleaseIntegral returns it to the pool. it must not be used afterwards.
+func ReleaseIntegral(it *Integral) {
+	if it == nil {
+		return
+	}
+	integralPool.Put(it)
+}

@@ -1,0 +1,134 @@
+package img
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/testx"
+)
+
+func randomGray(w, h int, seed int64) *Gray {
+	rng := mathx.NewRNG(seed)
+	g := NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	return g
+}
+
+// TestPooledIntegralMatchesFresh recycles one pooled Integral through
+// images of varying size and content and requires every table to equal a
+// freshly allocated one — the dirty-buffer case the zero-border writes in
+// NewIntegralInto exist for.
+func TestPooledIntegralMatchesFresh(t *testing.T) {
+	sizes := []struct{ w, h int }{{17, 9}, {64, 48}, {5, 5}, {64, 48}, {3, 31}}
+	var it *Integral
+	for i, s := range sizes {
+		g := randomGray(s.w, s.h, int64(100+i))
+		if it == nil {
+			it = AcquireIntegral(g)
+		} else {
+			// Reuse the same pooled table without clearing.
+			NewIntegralInto(it, g)
+		}
+		want := NewIntegral(g)
+		if it.W != want.W || it.H != want.H {
+			t.Fatalf("size %dx%d: got %dx%d", want.W, want.H, it.W, it.H)
+		}
+		for y := 0; y <= s.h; y += max(1, s.h/7) {
+			for x := 0; x <= s.w; x += max(1, s.w/7) {
+				if got, w := it.BoxSum(0, 0, x, y), want.BoxSum(0, 0, x, y); got != w {
+					t.Fatalf("size %dx%d box (0,0,%d,%d): pooled %v, fresh %v", s.w, s.h, x, y, got, w)
+				}
+			}
+		}
+		if got, w := it.BoxSum(1, 1, s.w-1, s.h-1), want.BoxSum(1, 1, s.w-1, s.h-1); got != w {
+			t.Fatalf("size %dx%d interior box: pooled %v, fresh %v", s.w, s.h, got, w)
+		}
+	}
+	ReleaseIntegral(it)
+}
+
+// TestPooledGrayOverwriteContract verifies a recycled Gray carries stale
+// pixels (that is the documented contract — acquirers must overwrite) and
+// that the Into builders do fully overwrite.
+func TestPooledGrayOverwriteContract(t *testing.T) {
+	g := AcquireGray(8, 8)
+	g.Fill(7)
+	ReleaseGray(g)
+	m := NewRGB(8, 8)
+	for i := range m.R {
+		m.R[i], m.G[i], m.B[i] = 0.5, 0.25, 0.125
+	}
+	dst := AcquireGray(8, 8)
+	defer ReleaseGray(dst)
+	m.LumaInto(dst)
+	want := 0.299*0.5 + 0.587*0.25 + 0.114*0.125
+	for i, v := range dst.Pix {
+		if v != want {
+			t.Fatalf("pixel %d = %v, want %v (stale value leaked through LumaInto)", i, v, want)
+		}
+	}
+	gx := AcquireGray(8, 8)
+	gy := AcquireGray(8, 8)
+	defer ReleaseGray(gx)
+	defer ReleaseGray(gy)
+	GradientsInto(dst, gx, gy)
+	for i := range gx.Pix {
+		if gx.Pix[i] != 0 || gy.Pix[i] != 0 {
+			t.Fatalf("gradient of constant image nonzero at %d: (%v, %v)", i, gx.Pix[i], gy.Pix[i])
+		}
+	}
+}
+
+// TestPooledReleaseNilIsNoOp pins the error-path contract.
+func TestPooledReleaseNilIsNoOp(t *testing.T) {
+	ReleaseGray(nil)
+	ReleaseIntegral(nil)
+}
+
+// TestPooledBuffersConcurrent hammers the pools from parallel goroutines;
+// under -race this is the data-race check for the shared pool path.
+func TestPooledBuffersConcurrent(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				g := randomGray(24+w, 16+iter%3, int64(w*100+iter))
+				it := AcquireIntegral(g)
+				want := NewIntegral(g)
+				if got, wnt := it.BoxSum(2, 2, g.W-2, g.H-2), want.BoxSum(2, 2, g.W-2, g.H-2); got != wnt {
+					errs <- fmt.Errorf("worker %d iter %d: pooled %v, fresh %v", w, iter, got, wnt)
+				}
+				buf := AcquireGray(g.W, g.H)
+				copy(buf.Pix, g.Pix)
+				ReleaseGray(buf)
+				ReleaseIntegral(it)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestIntegralIntoAllocs pins the hot-kernel allocation bound: rebuilding
+// a summed-area table into an existing buffer must not allocate at all.
+func TestIntegralIntoAllocs(t *testing.T) {
+	if testx.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	g := randomGray(64, 48, 7)
+	it := NewIntegral(g)
+	if n := testing.AllocsPerRun(50, func() { NewIntegralInto(it, g) }); n != 0 {
+		t.Errorf("NewIntegralInto allocated %v per run, want 0", n)
+	}
+}

@@ -42,7 +42,13 @@ type KeyFrame struct {
 	Hist    *histogram.Hist
 	Shape   *shape.Descriptor
 	Wavelet *wavelet.Signature
-	SURF    []surf.Feature
+	// WaveletFlat is the sorted-slice form of Wavelet, built once at
+	// extraction so the batched stage-1 scorer compares signatures with a
+	// merge join instead of per-pair map walks. Scores are bit-identical
+	// to the map form; CompareBlock flattens on the fly when it is nil
+	// (e.g. for KeyFrames constructed by hand in tests).
+	WaveletFlat *wavelet.Flat
+	SURF        []surf.Feature
 	// SURFIndex is the grid-bucketed nearest-neighbor index over SURF,
 	// built once at extraction so every pairwise comparison reuses it.
 	// Compare falls back to the brute-force scan when it is nil (e.g. for
@@ -173,7 +179,11 @@ func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, e
 	imuIdx := 0
 	for i := range c.Frames {
 		f := &c.Frames[i]
-		luma := f.Image.Luma()
+		// The luma plane lives only for this iteration: nothing below
+		// retains it, so it comes from the buffer pool. Error paths skip
+		// the release — the pool does not leak, it just re-allocates.
+		luma := img.AcquireGray(f.Image.W, f.Image.H)
+		f.Image.LumaInto(luma)
 		hd, err := hog.Compute(luma, p.HOG)
 		if err != nil {
 			return nil, nil, fmt.Errorf("keyframe: HOG on %s frame %d: %w", c.ID, i, err)
@@ -189,6 +199,7 @@ func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, e
 			turned := p.HeadingGate > 0 &&
 				absAngle(headings[imuIdx]-lastHeading) >= p.HeadingGate
 			if scc >= p.HG && !turned {
+				img.ReleaseGray(luma)
 				continue // camera barely moved; not a key-frame
 			}
 		}
@@ -215,8 +226,10 @@ func Extract(c *crowd.Capture, p Params) ([]*KeyFrame, *trajectory.Trajectory, e
 		if kf.Wavelet, err = wavelet.Compute(luma, p.Wavelet); err != nil {
 			return nil, nil, err
 		}
+		kf.WaveletFlat = kf.Wavelet.Flatten()
 		kf.SURF = surf.Extract(luma, p.SURF)
 		kf.SURFIndex = surf.NewIndex(kf.SURF)
+		img.ReleaseGray(luma)
 		kfs = append(kfs, kf)
 	}
 	// Memory: full frames are only needed downstream for panorama
@@ -290,16 +303,24 @@ func Compare(a, b *KeyFrame, p Params) (bool, float64, error) {
 		return false, 0, nil
 	}
 	p.Obs.Counter("compare.s1.passed").Inc()
+	return stage2(a, b, p)
+}
+
+// stage2 runs the precise SURF half of the hierarchical comparison — the
+// part Compare and CompareBlock share after their stage-1 gates.
+func stage2(a, b *KeyFrame, p Params) (bool, float64, error) {
 	if len(a.SURF) == 0 || len(b.SURF) == 0 {
 		return false, 0, nil
 	}
 	p.Obs.Counter("compare.s2.evaluated").Inc()
 	var s2 float64
+	var err error
 	if a.SURFIndex.Len() > 0 && b.SURFIndex.Len() > 0 {
 		var st surf.Stats
 		s2, st, err = surf.SimilarityIndexed(a.SURFIndex, b.SURFIndex, p.HD)
 		p.Obs.Counter("surf.index.queries").Add(st.Queries)
 		p.Obs.Counter("surf.index.candidates").Add(st.Candidates)
+		p.Obs.Counter("surf.index.screened").Add(st.Screened)
 		p.Obs.Counter("surf.index.cells").Add(st.Cells)
 	} else {
 		p.Obs.Counter("surf.index.fallback").Inc()

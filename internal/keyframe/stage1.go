@@ -1,0 +1,164 @@
+package keyframe
+
+import (
+	"sync"
+
+	"crowdmap/internal/vision/histogram"
+	"crowdmap/internal/vision/shape"
+	"crowdmap/internal/vision/wavelet"
+)
+
+// Batched stage-1 scoring (PR 6). Anchor search evaluates S1 for the full
+// cross product of two key-frame lists; scoring the block channel-by-
+// channel instead of pair-by-pair keeps one channel's descriptors hot in
+// cache across a whole row of comparisons (a color histogram is 4 KiB, a
+// shape descriptor ~1 KiB — interleaving the three channels per pair
+// evicts each before its next use). The wavelet channel additionally
+// switches from per-pair map walks to a merge join over the sorted Flat
+// form built at extraction. Scores are bit-identical to Stage1: each
+// channel calls the same similarity arithmetic (SimilarityFlat is proven
+// equal to Similarity), and the weighted combination below accumulates in
+// the same association order as Stage1's expression.
+
+// s1Scratch holds CompareBlock's reusable block buffers.
+type s1Scratch struct {
+	s1 []float64
+	fa []*wavelet.Flat
+	fb []*wavelet.Flat
+}
+
+var s1ScratchPool = sync.Pool{New: func() any { return new(s1Scratch) }}
+
+func floatsSlice(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func flatsSlice(s []*wavelet.Flat, n int) []*wavelet.Flat {
+	if cap(s) < n {
+		return make([]*wavelet.Flat, n)
+	}
+	return s[:n]
+}
+
+// flatten resolves a key-frame's wavelet signature to its sorted form,
+// preferring the one built at extraction. Hand-constructed key-frames
+// (tests, fixtures) flatten here instead; the shared key-frame is never
+// mutated, so concurrent block comparisons stay race-free.
+func flatten(kf *KeyFrame) *wavelet.Flat {
+	if kf.WaveletFlat != nil {
+		return kf.WaveletFlat
+	}
+	return kf.Wavelet.Flatten()
+}
+
+// Stage1Block computes the S1 score of every pair (as[i], bs[j]) into a
+// row-major slice indexed [i*len(bs)+j], reusing out's backing array when
+// large enough. Scores are bit-identical to calling Stage1 per pair; only
+// the evaluation order changes (all color intersections first, then shape,
+// then wavelet), so when several pairs carry inconsistent descriptors the
+// reported error may be a different pair's than the scalar loop would hit
+// first.
+func Stage1Block(as, bs []*KeyFrame, p Params, out []float64) ([]float64, error) {
+	n, m := len(as), len(bs)
+	out = floatsSlice(out, n*m)
+	wsum := p.WColor + p.WShape + p.WWavelet
+	// Color channel.
+	for i, a := range as {
+		row := out[i*m : (i+1)*m]
+		for j, b := range bs {
+			cs, err := histogram.Intersection(a.Hist, b.Hist)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = p.WColor * cs
+		}
+	}
+	// Shape channel.
+	for i, a := range as {
+		row := out[i*m : (i+1)*m]
+		for j, b := range bs {
+			ss, err := shape.Similarity(a.Shape, b.Shape)
+			if err != nil {
+				return nil, err
+			}
+			row[j] += p.WShape * ss
+		}
+	}
+	// Wavelet channel over the flattened signatures, then the final
+	// combination in Stage1's association order:
+	// ((wc·cs + ws·ss) + ww·ws) / wsum.
+	scr := s1ScratchPool.Get().(*s1Scratch)
+	scr.fa = flatsSlice(scr.fa, n)
+	scr.fb = flatsSlice(scr.fb, m)
+	for i, a := range as {
+		scr.fa[i] = flatten(a)
+	}
+	for j, b := range bs {
+		scr.fb[j] = flatten(b)
+	}
+	var firstErr error
+	for i := range as {
+		row := out[i*m : (i+1)*m]
+		fa := scr.fa[i]
+		for j := range bs {
+			ws, err := wavelet.SimilarityFlat(fa, scr.fb[j])
+			if err != nil {
+				firstErr = err
+				break
+			}
+			row[j] = (row[j] + p.WWavelet*ws) / wsum
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	s1ScratchPool.Put(scr)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// CompareBlock runs the hierarchical comparison over the full cross
+// product of two key-frame lists: batched stage-1 scoring, then the
+// precise SURF stage for the pairs the gate admits. The returned slices
+// are row-major like Stage1Block's: pair (i, j) lands at [i*len(bs)+j].
+// Decisions and S2 scores are identical to calling Compare per pair.
+func CompareBlock(as, bs []*KeyFrame, p Params) (same []bool, s2 []float64, err error) {
+	n, m := len(as), len(bs)
+	same = make([]bool, n*m)
+	s2 = make([]float64, n*m)
+	if n == 0 || m == 0 {
+		return same, s2, nil
+	}
+	scr := s1ScratchPool.Get().(*s1Scratch)
+	s1s, err := Stage1Block(as, bs, p, scr.s1)
+	if err != nil {
+		s1ScratchPool.Put(scr)
+		return nil, nil, err
+	}
+	scr.s1 = s1s
+	p.Obs.Counter("compare.s1.evaluated").Add(int64(n * m))
+	var passed int64
+	for i, a := range as {
+		for j, b := range bs {
+			idx := i*m + j
+			if s1s[idx] < p.HS {
+				continue
+			}
+			passed++
+			ok, score, err := stage2(a, b, p)
+			if err != nil {
+				s1ScratchPool.Put(scr)
+				return nil, nil, err
+			}
+			same[idx], s2[idx] = ok, score
+		}
+	}
+	p.Obs.Counter("compare.s1.passed").Add(passed)
+	s1ScratchPool.Put(scr)
+	return same, s2, nil
+}

@@ -1,0 +1,158 @@
+package keyframe
+
+import (
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/testx"
+	"crowdmap/internal/world"
+)
+
+// blockFixture extracts two real key-frame lists that overlap spatially,
+// so the block comparison exercises both the S1 gate and stage 2.
+func blockFixture(t *testing.T) (as, bs []*KeyFrame, p Params) {
+	t.Helper()
+	b := world.Lab2()
+	c1 := testCapture(t, b, geom.P(3, 7.5), geom.P(18, 7.5), 61)
+	c2 := testCapture(t, b, geom.P(4, 7.3), geom.P(18, 7.3), 62)
+	p = DefaultParams()
+	var err error
+	as, _, err = Extract(c1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _, err = Extract(c2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) < 3 || len(bs) < 3 {
+		t.Fatalf("fixture too small: %d/%d key-frames", len(as), len(bs))
+	}
+	return as, bs, p
+}
+
+// TestBlockCompareEqualsPairwise is the batching equivalence check: the
+// block comparison must reproduce the per-pair Compare loop decision for
+// decision and the S1/S2 scores bit for bit.
+func TestBlockCompareEqualsPairwise(t *testing.T) {
+	as, bs, p := blockFixture(t)
+	s1s, err := Stage1Block(as, bs, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, s2s, err := CompareBlock(as, bs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyMatch := false
+	for i, a := range as {
+		for j, b := range bs {
+			idx := i*len(bs) + j
+			wantS1, err := Stage1(a, b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1s[idx] != wantS1 {
+				t.Fatalf("pair (%d,%d): Stage1Block %v, Stage1 %v", i, j, s1s[idx], wantS1)
+			}
+			wantOK, wantS2, err := Compare(a, b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if same[idx] != wantOK || s2s[idx] != wantS2 {
+				t.Fatalf("pair (%d,%d): block (%v, %v), pairwise (%v, %v)",
+					i, j, same[idx], s2s[idx], wantOK, wantS2)
+			}
+			anyMatch = anyMatch || wantOK
+		}
+	}
+	if !anyMatch {
+		t.Error("fixture produced no matching pair; equivalence only covered the reject path")
+	}
+}
+
+func TestBlockCompareEmptyAndMismatched(t *testing.T) {
+	as, _, p := blockFixture(t)
+	if same, s2, err := CompareBlock(nil, as, p); err != nil || len(same) != 0 || len(s2) != 0 {
+		t.Fatalf("empty A side: (%v, %v, %v)", same, s2, err)
+	}
+	if same, s2, err := CompareBlock(as, nil, p); err != nil || len(same) != 0 || len(s2) != 0 {
+		t.Fatalf("empty B side: (%v, %v, %v)", same, s2, err)
+	}
+	// A descriptor mismatch must surface as an error, as in Stage1.
+	broken := *as[0]
+	brokenWavelet := *as[0].Wavelet
+	brokenWavelet.Size = as[0].Wavelet.Size * 2
+	broken.Wavelet = &brokenWavelet
+	broken.WaveletFlat = nil
+	if _, _, err := CompareBlock([]*KeyFrame{&broken}, as, p); err == nil {
+		t.Error("want wavelet size-mismatch error from CompareBlock")
+	}
+}
+
+// TestBlockStage1ReusesOutBuffer pins the buffer-reuse contract: a big
+// enough out slice must come back with the same backing array.
+func TestBlockStage1ReusesOutBuffer(t *testing.T) {
+	as, bs, p := blockFixture(t)
+	buf := make([]float64, len(as)*len(bs)+7)
+	out, err := Stage1Block(as, bs, p, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(as)*len(bs) {
+		t.Fatalf("out length %d, want %d", len(out), len(as)*len(bs))
+	}
+	if &out[0] != &buf[0] {
+		t.Error("Stage1Block reallocated despite sufficient capacity")
+	}
+}
+
+// TestBlockScoringAllocs bounds steady-state allocation of the batched
+// stage-1 scorer: with a reused out buffer and flattened signatures built
+// at extraction, scoring a block should not allocate at all.
+func TestBlockScoringAllocs(t *testing.T) {
+	if testx.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	as, bs, p := blockFixture(t)
+	buf, err := Stage1Block(as, bs, p, nil) // warm the scratch pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		out, err := Stage1Block(as, bs, p, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	})
+	if n > 0 {
+		t.Errorf("Stage1Block allocated %v per block, want 0", n)
+	}
+}
+
+// TestCompareAllocs bounds the per-pair comparison on the S1-reject path,
+// which is what the anchor search runs for the vast majority of pairs:
+// after pool warmup it must stay allocation-free.
+func TestCompareAllocs(t *testing.T) {
+	if testx.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	as, bs, p := blockFixture(t)
+	// Find an S1-rejected pair (far-apart key-frames).
+	ka, kb := as[0], bs[len(bs)-1]
+	if s1, err := Stage1(ka, kb, p); err != nil || s1 >= p.HS {
+		t.Skipf("fixture pair not S1-rejected (s1=%v, err=%v)", s1, err)
+	}
+	if _, _, err := Compare(ka, kb, p); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(50, func() {
+		if _, _, err := Compare(ka, kb, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 0 {
+		t.Errorf("S1-rejected Compare allocated %v per pair, want 0", n)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package testx
+
+// RaceEnabled reports whether the binary was built with -race; see
+// race.go.
+const RaceEnabled = false

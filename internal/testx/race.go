@@ -1,0 +1,9 @@
+//go:build race
+
+package testx
+
+// RaceEnabled reports whether the binary was built with -race. Tests
+// asserting exact allocation counts (testing.AllocsPerRun) skip when it
+// is set: the race runtime adds its own allocations and the bounds stop
+// being meaningful.
+const RaceEnabled = true

@@ -1,0 +1,4 @@
+// Package testx holds tiny helpers shared by test files across
+// packages. It must stay dependency-free: anything here is imported by
+// _test.go files only, never by production code.
+package testx

@@ -56,7 +56,13 @@ func Compute(g *img.Gray, p Params) (Descriptor, error) {
 		return nil, fmt.Errorf("hog: image %dx%d too small for %d-px cells and %d-cell blocks",
 			g.W, g.H, p.CellSize, p.BlockSize)
 	}
-	gx, gy := img.Gradients(g)
+	// HOG runs on every video frame (it gates key-frame selection), so the
+	// two gradient planes come from the buffer pool instead of the heap.
+	gx := img.AcquireGray(g.W, g.H)
+	gy := img.AcquireGray(g.W, g.H)
+	defer img.ReleaseGray(gx)
+	defer img.ReleaseGray(gy)
+	img.GradientsInto(g, gx, gy)
 	// Accumulate per-cell orientation histograms with linear bin
 	// interpolation on unsigned gradient direction.
 	hists := make([][]float64, cellsX*cellsY)

@@ -40,11 +40,20 @@ func Compute(g *img.Gray, p Params) (*Descriptor, error) {
 	if p.EdgeThreshold <= 0 {
 		return nil, fmt.Errorf("shape: edge threshold must be positive")
 	}
-	gx, gy := img.Gradients(g)
-	edges := img.NewGray(g.W, g.H)
+	// The gradient planes and the binary edge map die with this call, so
+	// all three come from the buffer pool; every pixel of each is written.
+	gx := img.AcquireGray(g.W, g.H)
+	gy := img.AcquireGray(g.W, g.H)
+	defer img.ReleaseGray(gx)
+	defer img.ReleaseGray(gy)
+	img.GradientsInto(g, gx, gy)
+	edges := img.AcquireGray(g.W, g.H)
+	defer img.ReleaseGray(edges)
 	for i := range edges.Pix {
 		if math.Hypot(gx.Pix[i], gy.Pix[i]) >= p.EdgeThreshold {
 			edges.Pix[i] = 1
+		} else {
+			edges.Pix[i] = 0
 		}
 	}
 	d := &Descriptor{GridW: p.GridW, GridH: p.GridH, EdgeGrid: make([]float64, p.GridW*p.GridH)}

@@ -3,15 +3,19 @@ package surf
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // This file implements the anchor-search fast path: a descriptor index
 // that replaces the O(|F1|·|F2|) brute-force scan inside the
 // mutual-nearest-neighbor matcher with candidate-bucket lookup, the way
-// real SURF implementations index by Laplacian sign plus a coarse
-// quantization of the descriptor.
+// real SURF implementations index a coarse quantization of the
+// descriptor. (Classic SURF also partitions by Laplacian sign; here the
+// int8 screen below rejects wrong-sign candidates so cheaply that a
+// single grid with one bucket lookup per cell wins over two sign-split
+// grids with two.)
 //
-// Buckets live in a dense per-sign grid keyed by two coarse projections of
+// Buckets live in a dense grid keyed by two coarse projections of
 // the descriptor with disjoint support:
 //
 //	p1 = (Σ_{i≡0 mod 4} d[i]) / 4   (the signed Σdx sums)
@@ -22,40 +26,87 @@ import (
 // in the (p1, p2) plane lower-bounds the full 64-dimensional descriptor
 // distance. Cell rectangles therefore admit exact pruning: a query expands
 // outward ring by ring and stops as soon as no unvisited cell can hold a
-// closer candidate, and each candidate's distance evaluation abandons
-// early once its partial sum can no longer win. The search is EXACT — it
-// returns the same nearest neighbor (including the lowest-index tie-break)
-// a linear scan would, so indexed matching makes the identical S2
-// pass/fail decisions as the brute-force path, only faster.
+// closer candidate.
+//
+// Within a bucket, candidates pass a second filter before any float math
+// runs: an int8 quantization screen (PR 6). Each indexed descriptor is
+// stored a second time as 64 int8 values q = round(127·d) laid out
+// bucket-contiguously — one 64-byte line per candidate, scanned
+// sequentially — together with its rounding residual norm r = ‖d − q/127‖.
+// For a query with quantized form qq and residual rq, the triangle
+// inequality gives the exact lower bound
+//
+//	‖a − b‖ ≥ ‖qa/127 − qb/127‖ − r_a − r_b
+//
+// so a candidate whose bound already exceeds the distance cap or the
+// current best cannot win and is skipped without touching its 512-byte
+// float descriptor. Survivors are re-checked with the exact float distance
+// (distSqCapped), which is what updates the running best. The search
+// therefore remains EXACT — it returns the same nearest neighbor
+// (including the lowest-index tie-break) a linear scan would, so indexed
+// matching makes the identical S2 pass/fail decisions as the brute-force
+// path, only faster. Unit-norm descriptors round with a typical residual
+// of √(64/12)/254 ≈ 0.009, so the screen's slack (~0.02 for a pair) is far
+// below the matching threshold hd ≈ 0.12 and nearly every true reject is
+// caught by the 64-byte integer scan.
 
 // DefaultCellWidth is the projection-space quantization step. Matching
-// thresholds (hd) sit around 0.12 for unit-norm descriptors, so cells
-// slightly narrower than that keep candidate buckets small while a capped
-// query rarely probes more than two rings.
-const DefaultCellWidth = 0.08
+// thresholds (hd) sit around 0.12 for unit-norm descriptors; making the
+// cell exactly that wide means a capped query never probes past Chebyshev
+// ring 1 — nine cells. The resulting fatter buckets are cheap to scan
+// because the int8 screen disposes of almost every extra candidate in one
+// 16-dimension integer burst (PR 6; 0.08 was the PR 2 width, tuned for
+// float-only scanning).
+const DefaultCellWidth = 0.12
 
 // maxDenseCells bounds the dense grid allocation. Unit-norm descriptors
 // project into [−1, 1]², so the default cell width needs ~26² cells; the
 // width doubles until pathological inputs fit too.
 const maxDenseCells = 1 << 20
 
-// sgrid is the dense cell grid for one Laplacian sign. All signs share the
-// index-wide cell bounds, so a (cx, cy) probe is two subtractions and a
-// bounds check — no hashing on the query path.
-type sgrid struct {
-	cells [][]int32
-}
+// invQuantScale converts an int8 quantized component back to float:
+// component i dequantizes to float64(q[i]) * invQuantScale.
+const invQuantScale = 1.0 / 127
+
+// screenSlack inflates the integer screening threshold by a hair so the
+// handful of float roundings in its derivation (residual norms, the
+// 127·(maxDist+qres+qr) products) can never tip a candidate the exact
+// mathematics would keep into the screened set. Typical rejects clear
+// the threshold by 2× and more, so the slack costs no screening power.
+const screenSlack = 1 + 1e-9
 
 // Index is a grid-bucketed nearest-neighbor index over one feature set.
 // It retains the feature slice it was built from; an Index is immutable
 // after construction and safe for concurrent queries.
+//
+// The dense cell grid makes a (cx, cy) probe two subtractions and a
+// bounds check — no hashing on the query path. Bucket contents are stored
+// as one flat, bucket-grouped run: cell c holds the entries
+// ord[start[c]:start[c+1]], ascending by feature index, and entry k's
+// quantized descriptor lives at bqd[64k:64k+64] with its rounding
+// residual, pre-scaled by the quantization factor, in bqr[k] — so a
+// bucket scan reads int8 lines sequentially.
 type Index struct {
 	feats []Feature
+	// Feature-ordered quantized descriptors and rounding residuals
+	// (feature i at qd[64i:64i+64], qr[i]). The bucket grid holds a second,
+	// bucket-contiguous copy for scanning; this one lets MatchIndexed reuse
+	// the quantization of its query side instead of re-rounding 64
+	// components per query.
+	qd    []int8
+	qr    []float64
 	cellW float64
-	// signs lists the distinct Laplacian signs present; grids[i] is the
-	// bucket grid for signs[i].
-	signs []int8
-	grids []*sgrid
+	// Bucket grid (see type comment).
+	start  []int32   // len nCells+1: prefix offsets into ord
+	ord    []int32   // feature indices grouped by cell
+	bqd    []int8    // 64 per ord entry, bucket-contiguous
+	bqr    []float64 // 127·qr per ord entry
+	maxBqr float64   // max over bqr: bound for the per-query screen limit
+	// Per-entry projection points (bucket-contiguous). The cell rectangle
+	// bounds a candidate's projections only to cell width; the point bound
+	// |Δp|² ≤ dist² is tighter and rejects a candidate with two subtracts
+	// and two multiplies, before its 64-byte int8 line is read.
+	bp1, bp2 []float64
 	// Projection-cell bounds over all features.
 	minCx, maxCx, minCy, maxCy int
 }
@@ -64,13 +115,15 @@ type Index struct {
 // value is ready to use.
 type Stats struct {
 	Queries    int64 // nearest-neighbor queries answered
-	Candidates int64 // descriptor distance evaluations (possibly early-terminated)
+	Candidates int64 // bucket entries considered (screened or evaluated)
+	Screened   int64 // candidates rejected by the int8 screen alone
 	Cells      int64 // non-empty candidate buckets probed
 }
 
 func (s *Stats) add(o Stats) {
 	s.Queries += o.Queries
 	s.Candidates += o.Candidates
+	s.Screened += o.Screened
 	s.Cells += o.Cells
 }
 
@@ -82,6 +135,27 @@ func project(d *Descriptor) (p1, p2 float64) {
 	}
 	// 1/√16 scaling makes each projection 1-Lipschitz in the descriptor.
 	return p1 * 0.25, p2 * 0.25
+}
+
+// quantizeDesc writes round(127·d), clamped to [−127, 127], into q and
+// returns the Euclidean norm of the rounding residual d − q/127. The
+// residual is computed against the clamped value, so the triangle-
+// inequality screen stays exact even for descriptors outside unit norm.
+func quantizeDesc(d *Descriptor, q []int8) float64 {
+	var r2 float64
+	_ = q[63]
+	for i := 0; i < 64; i++ {
+		v := math.Round(d[i] * 127)
+		if v > 127 {
+			v = 127
+		} else if v < -127 {
+			v = -127
+		}
+		q[i] = int8(v)
+		e := d[i] - v*invQuantScale
+		r2 += e * e
+	}
+	return math.Sqrt(r2)
 }
 
 // NewIndex builds an index over fs with the default cell width.
@@ -118,32 +192,40 @@ func NewIndexCellWidth(fs []Feature, cellW float64) *Index {
 	}
 	nx := ix.maxCx - ix.minCx + 1
 	ny := ix.maxCy - ix.minCy + 1
-	gridOf := make(map[int8]*sgrid, 2)
+	nCells := nx * ny
+	// Pass 1: bucket occupancy counts.
+	ix.start = make([]int32, nCells+1)
 	for i := range fs {
-		lap := fs[i].KP.Laplacian
-		g := gridOf[lap]
-		if g == nil {
-			g = &sgrid{cells: make([][]int32, nx*ny)}
-			gridOf[lap] = g
-			ix.signs = append(ix.signs, lap)
-			ix.grids = append(ix.grids, g)
-		}
 		c := (cys[i]-ix.minCy)*nx + (cxs[i] - ix.minCx)
-		// Ascending feature order per bucket (i only grows).
-		g.cells[c] = append(g.cells[c], int32(i))
+		ix.start[c+1]++
+	}
+	// Pass 2: prefix sums turn counts into bucket offsets, then cursors
+	// place features; ascending i keeps every bucket in ascending feature
+	// order.
+	for c := 0; c < nCells; c++ {
+		ix.start[c+1] += ix.start[c]
+	}
+	ix.ord = make([]int32, len(fs))
+	ix.bqd = make([]int8, 64*len(fs))
+	ix.bqr = make([]float64, len(fs))
+	ix.bp1 = make([]float64, len(fs))
+	ix.bp2 = make([]float64, len(fs))
+	cursors := make([]int32, nCells)
+	copy(cursors, ix.start[:nCells])
+	ix.qd = make([]int8, 64*len(fs))
+	ix.qr = make([]float64, len(fs))
+	for i := range fs {
+		ix.qr[i] = quantizeDesc(&fs[i].Desc, ix.qd[i*64:i*64+64])
+		c := (cys[i]-ix.minCy)*nx + (cxs[i] - ix.minCx)
+		k := cursors[c]
+		cursors[c] = k + 1
+		ix.ord[k] = int32(i)
+		copy(ix.bqd[int(k)*64:int(k)*64+64], ix.qd[i*64:i*64+64])
+		ix.bqr[k] = 127 * ix.qr[i]
+		ix.maxBqr = math.Max(ix.maxBqr, ix.bqr[k])
+		ix.bp1[k], ix.bp2[k] = project(&fs[i].Desc)
 	}
 	return ix
-}
-
-// bucket returns the feature indices in cell (cx, cy), nil when outside
-// the grid.
-func (ix *Index) bucket(g *sgrid, cx, cy int) []int32 {
-	x := cx - ix.minCx
-	y := cy - ix.minCy
-	if x < 0 || x > ix.maxCx-ix.minCx || y < 0 || y > ix.maxCy-ix.minCy {
-		return nil
-	}
-	return g.cells[y*(ix.maxCx-ix.minCx+1)+x]
 }
 
 // Len reports the number of indexed features; nil-safe.
@@ -197,11 +279,24 @@ func distSqCapped(a, b *Descriptor, maxD2, bestD2 float64) (float64, bool) {
 // Nearest returns the index and distance of the feature closest to q,
 // provided that distance is strictly below maxDist; otherwise (-1, +Inf).
 // Within that contract the result is exactly what a linear scan returns:
-// the true nearest neighbor, lowest index on distance ties. qLap orders
-// the bucket probe (same Laplacian sign first, where the neighbor almost
-// always lives) but never restricts it, so correctness does not depend on
-// the sign.
+// the true nearest neighbor, lowest index on distance ties. qLap is
+// accepted for API stability but no longer steers the probe: the int8
+// screen rejects wrong-sign candidates in one 8-dimension integer burst,
+// which beats maintaining sign-split buckets.
 func (ix *Index) Nearest(q *Descriptor, qLap int8, maxDist float64) (int, float64, Stats) {
+	_ = qLap
+	if ix.Len() == 0 || maxDist <= 0 {
+		return -1, math.Inf(1), Stats{Queries: 1}
+	}
+	var qq [64]int8
+	qres := quantizeDesc(q, qq[:])
+	return ix.nearestQuantized(q, &qq, qres, maxDist)
+}
+
+// nearestQuantized is Nearest with the query's quantized form supplied by
+// the caller — MatchIndexed passes the precomputed line from the query
+// side's own index, so matching never re-rounds a descriptor.
+func (ix *Index) nearestQuantized(q *Descriptor, qq *[64]int8, qres float64, maxDist float64) (int, float64, Stats) {
 	st := Stats{Queries: 1}
 	if ix.Len() == 0 || maxDist <= 0 {
 		return -1, math.Inf(1), st
@@ -209,26 +304,42 @@ func (ix *Index) Nearest(q *Descriptor, qLap int8, maxDist float64) (int, float6
 	maxD2 := maxDist * maxDist
 	best, bestD2 := -1, math.Inf(1)
 	p1, p2 := project(q)
+	// Integer-domain screening thresholds (derivation in the file comment):
+	// a candidate k may be skipped when its quantized SSD satisfies
+	//   ssd ≥ (127·(maxDist + qres + qr[k]))²       (cannot beat the cap), or
+	//   ssd > (127·(√bestD2 + qres + qr[k]))²       (cannot beat or tie best).
+	// capBase and bestBase hoist the qr-independent parts; bestBase is
+	// rebuilt only when the running best changes. The strict > on the best
+	// side keeps equal-distance ties alive for the lowest-index re-check.
+	capBase := 127 * (maxDist + qres)
+	bestBase := math.Inf(1)
+	// limOf turns a threshold base into a conservative integer limit using
+	// the index-wide max residual: thresholds grow with the candidate's own
+	// residual, so for every candidate this limit is at least as large as
+	// its exact one — skipping on ssd ≥ lim is sound, and only the few
+	// near-survivors (ssd < lim) pay for the exact per-candidate limit.
+	// Truncation+1 over-approximates both ceil (cap side, ≥) and floor+1
+	// (best side, >).
+	limOf := func(base float64) int32 {
+		la := base + ix.maxBqr
+		la = la * la * screenSlack
+		if la >= math.MaxInt32 {
+			return math.MaxInt32
+		}
+		return int32(la) + 1
+	}
+	limCap := limOf(capBase)
+	lim := limCap // min of cap-side and (once a best exists) best-side limits
 	qcx := int(math.Floor(p1 / ix.cellW))
 	qcy := int(math.Floor(p2 / ix.cellW))
-	// Probe the query's own Laplacian sign first: the true neighbor almost
-	// always shares it, and an early tight best prunes the rest.
-	var order [3]*sgrid
-	n := 0
-	for si, s := range ix.signs {
-		if s == qLap {
-			order[n] = ix.grids[si]
-			n++
-		}
-	}
-	for si, s := range ix.signs {
-		if s != qLap {
-			order[n] = ix.grids[si]
-			n++
-		}
-	}
-	grids := order[:n]
+	nx := ix.maxCx - ix.minCx + 1
 	scan := func(cx, cy int) {
+		// Grid bounds first: cells outside the data's cell range are empty.
+		x := cx - ix.minCx
+		y := cy - ix.minCy
+		if x < 0 || x >= nx || y < 0 || y > ix.maxCy-ix.minCy {
+			return
+		}
 		// Exact rectangle lower bound; lb² == bestD2 must still be scanned
 		// so an equal-distance candidate with a lower index can win.
 		dx := axisDist(p1, float64(cx)*ix.cellW, ix.cellW)
@@ -237,20 +348,86 @@ func (ix *Index) Nearest(q *Descriptor, qLap int8, maxDist float64) (int, float6
 		if lb2 >= maxD2 || lb2 > bestD2 {
 			return
 		}
-		for _, g := range grids {
-			bucket := ix.bucket(g, cx, cy)
-			if len(bucket) == 0 {
+		c := y*nx + x
+		lo, hi := ix.start[c], ix.start[c+1]
+		if lo == hi {
+			return
+		}
+		st.Cells++
+		st.Candidates += int64(hi - lo)
+		for k := lo; k < hi; k++ {
+			// Point projection bound first — same 1-Lipschitz argument as
+			// the cell rectangle, but against the candidate's own projection
+			// point, so it is tighter than the cell bound and costs five
+			// float ops. Strict > on the best side keeps ties alive.
+			e1 := p1 - ix.bp1[k]
+			e2 := p2 - ix.bp2[k]
+			if pl := e1*e1 + e2*e2; pl >= maxD2 || pl > bestD2 {
+				st.Screened++
 				continue
 			}
-			st.Cells++
-			for _, fi := range bucket {
-				st.Candidates++
-				d2, full := distSqCapped(q, &ix.feats[fi].Desc, maxD2, bestD2)
-				if !full {
-					continue
+			// int8 screen against the hoisted conservative limit: one
+			// sequential 64-byte line per candidate, abandoned in 8-dim
+			// blocks. The quantized SSD is an exact integer, so once a
+			// partial sum reaches the limit the candidate is proven out
+			// without touching its 512-byte float descriptor. The
+			// array-pointer views let the compiler drop bounds checks from
+			// the subtract loops.
+			qa := (*[64]int8)(ix.bqd[int(k)*64 : int(k)*64+64])
+			var ssd int32
+			for i := 0; i < 8; i++ {
+				d := int32(qq[i]) - int32(qa[i])
+				ssd += d * d
+			}
+			if ssd < lim {
+				for blk := 8; blk < 64; blk += 8 {
+					for i := blk; i < blk+8; i++ {
+						d := int32(qq[i]) - int32(qa[i])
+						ssd += d * d
+					}
+					if ssd >= lim {
+						break
+					}
 				}
-				if d2 < bestD2 || (d2 == bestD2 && int(fi) < best) {
-					bestD2, best = d2, int(fi)
+			}
+			if ssd >= lim {
+				st.Screened++
+				continue
+			}
+			// Near-survivor: re-check against the exact per-candidate limit,
+			// min of the cap-side (≥, truncation+1 ≥ ceil) and best-side
+			// (>, truncation+1 = floor+1) thresholds. The strict > keeps
+			// equal-distance ties alive for the lowest-index re-check.
+			t := ix.bqr[k]
+			la := capBase + t
+			la = la * la * screenSlack
+			limE := int32(math.MaxInt32)
+			if la < math.MaxInt32 {
+				limE = int32(la) + 1
+			}
+			if lb := bestBase + t; !math.IsInf(lb, 1) {
+				if lbq := lb * lb * screenSlack; lbq < math.MaxInt32 {
+					if l2 := int32(lbq) + 1; l2 < limE {
+						limE = l2
+					}
+				}
+			}
+			if ssd >= limE {
+				st.Screened++
+				continue
+			}
+			fi := ix.ord[k]
+			d2, full := distSqCapped(q, &ix.feats[fi].Desc, maxD2, bestD2)
+			if !full {
+				continue
+			}
+			if d2 < bestD2 || (d2 == bestD2 && int(fi) < best) {
+				bestD2, best = d2, int(fi)
+				bestBase = 127 * (math.Sqrt(bestD2) + qres)
+				if l := limOf(bestBase); l < limCap {
+					lim = l
+				} else {
+					lim = limCap
 				}
 			}
 		}
@@ -286,6 +463,24 @@ func (ix *Index) Nearest(q *Descriptor, qLap int8, maxDist float64) (int, float6
 	return best, math.Sqrt(bestD2), st
 }
 
+// matchScratch holds the per-call working slices of MatchIndexed so the
+// aggregation loop — thousands of pair comparisons per job — does not
+// reallocate them for every pair.
+type matchScratch struct {
+	nnAB []int
+	dAB  []float64
+	nnBA []int
+}
+
+var matchScratchPool = sync.Pool{New: func() any { return new(matchScratch) }}
+
+func intSlice(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // MatchIndexed runs the mutual-nearest-neighbor matcher of Match over two
 // prebuilt indexes. The accepted pair set, order and distances are
 // identical to Match(a.Features(), b.Features(), hd): Match only accepts
@@ -299,15 +494,21 @@ func MatchIndexed(a, b *Index, hd float64) ([]MatchPair, Stats) {
 		return nil, st
 	}
 	fa, fb := a.feats, b.feats
-	nnAB := make([]int, len(fa))
-	dAB := make([]float64, len(fa))
+	scr := matchScratchPool.Get().(*matchScratch)
+	defer matchScratchPool.Put(scr)
+	scr.nnAB = intSlice(scr.nnAB, len(fa))
+	if cap(scr.dAB) < len(fa) {
+		scr.dAB = make([]float64, len(fa))
+	}
+	scr.dAB = scr.dAB[:len(fa)]
+	scr.nnBA = intSlice(scr.nnBA, len(fb))
+	nnAB, dAB, nnBA := scr.nnAB, scr.dAB, scr.nnBA
 	for i := range fa {
-		j, d, s := b.Nearest(&fa[i].Desc, fa[i].KP.Laplacian, hd)
+		j, d, s := b.nearestQuantized(&fa[i].Desc, (*[64]int8)(a.qd[i*64:i*64+64]), a.qr[i], hd)
 		nnAB[i], dAB[i] = j, d
 		st.add(s)
 	}
 	const unseen = -2
-	nnBA := make([]int, len(fb))
 	for j := range nnBA {
 		nnBA[j] = unseen
 	}
@@ -317,7 +518,7 @@ func MatchIndexed(a, b *Index, hd float64) ([]MatchPair, Stats) {
 			continue
 		}
 		if nnBA[j] == unseen {
-			bi, _, s := a.Nearest(&fb[j].Desc, fb[j].KP.Laplacian, hd)
+			bi, _, s := a.nearestQuantized(&fb[j].Desc, (*[64]int8)(b.qd[j*64:j*64+64]), b.qr[j], hd)
 			nnBA[j] = bi
 			st.add(s)
 		}

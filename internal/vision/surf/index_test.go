@@ -1,7 +1,10 @@
 package surf
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"crowdmap/internal/geom"
@@ -155,6 +158,129 @@ func TestMatchIndexedEqualsMatchOnRenderedFrames(t *testing.T) {
 				t.Fatalf("%s hd=%g: indexed S2 %v, brute %v", c.name, hd, gotS2, wantS2)
 			}
 		}
+	}
+}
+
+// TestQuantizedMatchEqualsBruteOnRandomCorpora is the PR 6 equivalence
+// property test: across seeded random corpora of varying size and every
+// matching threshold in use, the quantized-index matcher must make
+// decisions DeepEqual to the brute-force scan — pair set, order and
+// distances.
+func TestQuantizedMatchEqualsBruteOnRandomCorpora(t *testing.T) {
+	var screened int64
+	for seed := int64(0); seed < 8; seed++ {
+		na := 20 + int(seed*37)%180
+		nb := 20 + int(seed*53)%180
+		fa := randomFeatures(na, 1000+seed)
+		fb := randomFeatures(nb, 2000+seed)
+		ia, ib := NewIndex(fa), NewIndex(fb)
+		for _, hd := range []float64{0.05, 0.12, 0.35, 0.8} {
+			want := Match(fa, fb, hd)
+			got, st := MatchIndexed(ia, ib, hd)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d hd=%g: indexed matches diverge from brute force\nindexed: %v\nbrute:   %v",
+					seed, hd, got, want)
+			}
+			screened += st.Screened
+		}
+	}
+	// The int8 screen must actually fire on realistic corpora — otherwise
+	// this test is pinning a dead code path.
+	if screened == 0 {
+		t.Error("int8 screen rejected zero candidates across all corpora")
+	}
+}
+
+// TestQuantizedNearestEqualsBruteWithDuplicatesAndClamp stresses the
+// screen's edge cases: exact duplicates (ties must survive screening so
+// the lowest-index tie-break runs) and out-of-range components (the
+// residual is computed post-clamp, keeping the bound exact).
+func TestQuantizedNearestEqualsBruteWithDuplicatesAndClamp(t *testing.T) {
+	fs := randomFeatures(60, 77)
+	// Duplicate a handful of descriptors at higher indices.
+	for i := 0; i < 6; i++ {
+		fs[50+i].Desc = fs[i].Desc
+		fs[50+i].KP.Laplacian = fs[i].KP.Laplacian
+	}
+	// Scale some descriptors outside the int8 range to exercise clamping.
+	for i := 40; i < 50; i++ {
+		for d := range fs[i].Desc {
+			fs[i].Desc[d] *= 1.9
+		}
+	}
+	ix := NewIndex(fs)
+	queries := randomFeatures(40, 78)
+	queries = append(queries, fs[:20]...)
+	for _, maxDist := range []float64{0.05, 0.12, 0.5, 2.5} {
+		for qi := range queries {
+			q := &queries[qi]
+			wantI, wantD := bruteNearestCapped(q.Desc, fs, maxDist)
+			gotI, gotD, _ := ix.Nearest(&q.Desc, q.KP.Laplacian, maxDist)
+			if gotI != wantI || gotD != wantD {
+				t.Fatalf("maxDist=%g query %d: indexed (%d, %v), brute (%d, %v)",
+					maxDist, qi, gotI, gotD, wantI, wantD)
+			}
+		}
+	}
+}
+
+// TestQuantizeDescResidualIsExact pins the arithmetic the screen's
+// soundness rests on: q stays in [−127, 127] and the returned residual is
+// exactly ‖d − q/127‖, including for clamped components.
+func TestQuantizeDescResidualIsExact(t *testing.T) {
+	fs := randomFeatures(30, 91)
+	// Push one descriptor far out of range.
+	for d := range fs[0].Desc {
+		fs[0].Desc[d] *= 3
+	}
+	for i := range fs {
+		var q [64]int8
+		r := quantizeDesc(&fs[i].Desc, q[:])
+		var r2 float64
+		for d := 0; d < 64; d++ {
+			e := fs[i].Desc[d] - float64(q[d])*invQuantScale
+			r2 += e * e
+			rounded := math.Round(fs[i].Desc[d] * 127)
+			want := math.Min(127, math.Max(-127, rounded))
+			if float64(q[d]) != want {
+				t.Fatalf("feature %d dim %d: q=%d, want %g", i, d, q[d], want)
+			}
+		}
+		if want := math.Sqrt(r2); r != want {
+			t.Fatalf("feature %d: residual %v, want %v", i, r, want)
+		}
+	}
+}
+
+// TestPooledMatchScratchConcurrent runs indexed matching from parallel
+// goroutines over shared immutable indexes; with -race this checks the
+// match-scratch pool, and without it the result-equality check still
+// pins that pooled scratch never leaks state between pairs.
+func TestPooledMatchScratchConcurrent(t *testing.T) {
+	fa := randomFeatures(150, 5)
+	fb := randomFeatures(170, 6)
+	ia, ib := NewIndex(fa), NewIndex(fb)
+	want := Match(fa, fb, 0.12)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				got, _ := MatchIndexed(ia, ib, 0.12)
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("worker %d iter %d: concurrent MatchIndexed diverged", w, iter)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

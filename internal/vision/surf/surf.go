@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"crowdmap/internal/img"
 )
@@ -53,16 +54,40 @@ func DefaultParams() Params {
 // second; scale σ = 1.2·L/9.
 var filterSizes = []int{9, 15, 21, 27, 39}
 
+// respPool recycles the per-scale Hessian response planes: Detect runs
+// once per kept key-frame, and each run needs len(filterSizes) planes of
+// W×H float64 that die immediately after non-maximum suppression.
+var respPool = sync.Pool{New: func() any { return new([][]float64) }}
+
 // Detect finds interest points in a grayscale image.
 func Detect(g *img.Gray, p Params) []Keypoint {
-	it := img.NewIntegral(g)
+	it := img.AcquireIntegral(g)
+	defer img.ReleaseIntegral(it)
+	return detectIntegral(it, p)
+}
+
+// detectIntegral is Detect over a prebuilt summed-area table, so Extract
+// can share one table between detection and description.
+func detectIntegral(it *img.Integral, p Params) []Keypoint {
 	n := len(filterSizes)
-	// Response maps per scale.
-	resp := make([][]float64, n)
-	for s, L := range filterSizes {
-		resp[s] = hessianResponses(it, L)
+	// Response maps per scale, from the pool; hessianResponsesInto fully
+	// overwrites each plane.
+	respp := respPool.Get().(*[][]float64)
+	defer respPool.Put(respp)
+	resp := *respp
+	if cap(resp) < n {
+		resp = make([][]float64, n)
 	}
-	w, h := g.W, g.H
+	resp = resp[:n]
+	for s, L := range filterSizes {
+		if cap(resp[s]) < it.W*it.H {
+			resp[s] = make([]float64, it.W*it.H)
+		}
+		resp[s] = resp[s][:it.W*it.H]
+		hessianResponsesInto(resp[s], it, L)
+	}
+	*respp = resp
+	w, h := it.W, it.H
 	var kps []Keypoint
 	// Non-maximum suppression over 3×3×3 neighborhoods; border cells of the
 	// scale axis cannot be maxima.
@@ -109,11 +134,13 @@ func isLocalMax(resp [][]float64, w, x, y, s int, v float64) bool {
 	return true
 }
 
-// hessianResponses computes the approximated Hessian determinant at every
-// pixel for one box-filter size L.
-func hessianResponses(it *img.Integral, L int) []float64 {
+// hessianResponsesInto computes the approximated Hessian determinant at
+// every pixel for one box-filter size L, writing into out (len W*H). The
+// border region is only ever cleared, so a recycled plane carries no stale
+// responses.
+func hessianResponsesInto(out []float64, it *img.Integral, L int) {
 	w, h := it.W, it.H
-	out := make([]float64, w*h)
+	clear(out)
 	l := L / 3       // lobe
 	b := (L - 1) / 2 // border
 	inv := 1 / float64(L*L)
@@ -135,7 +162,6 @@ func hessianResponses(it *img.Integral, L int) []float64 {
 			}
 		}
 	}
-	return out
 }
 
 // boxSum sums a (cols × rows) box with top-left corner (x, y).
@@ -160,7 +186,12 @@ func laplacianSign(it *img.Integral, x, y, L int) int8 {
 // sampling window leaves the image are dropped, so the returned slice may
 // be shorter than the input.
 func Describe(g *img.Gray, kps []Keypoint) []Feature {
-	it := img.NewIntegral(g)
+	it := img.AcquireIntegral(g)
+	defer img.ReleaseIntegral(it)
+	return describeIntegral(it, kps)
+}
+
+func describeIntegral(it *img.Integral, kps []Keypoint) []Feature {
 	out := make([]Feature, 0, len(kps))
 	for _, kp := range kps {
 		d, ok := describeOne(it, kp)
@@ -172,9 +203,12 @@ func Describe(g *img.Gray, kps []Keypoint) []Feature {
 	return out
 }
 
-// Extract runs detection and description in one call.
+// Extract runs detection and description in one call, building the
+// summed-area table once and sharing it between the two stages.
 func Extract(g *img.Gray, p Params) []Feature {
-	return Describe(g, Detect(g, p))
+	it := img.AcquireIntegral(g)
+	defer img.ReleaseIntegral(it)
+	return describeIntegral(it, detectIntegral(it, p))
 }
 
 func describeOne(it *img.Integral, kp Keypoint) (Descriptor, bool) {

@@ -101,6 +101,67 @@ func haar2D(pix []float64, n int) []float64 {
 	return c
 }
 
+// Flat is the sorted-slice form of a Signature, built once per key-frame
+// for the batched stage-1 scorer: pairwise comparison becomes a merge join
+// over two ascending index slices instead of per-pair map iteration and
+// lookups. SimilarityFlat returns bit-identical scores to Similarity.
+type Flat struct {
+	Size    int
+	Average float64
+	Idx     []int32 // ascending coefficient indices
+	Sign    []int8  // sign of the matching coefficient, +1 or -1
+}
+
+// Flatten converts the signature to its sorted-slice form.
+func (s *Signature) Flatten() *Flat {
+	f := &Flat{Size: s.Size, Average: s.Average,
+		Idx: make([]int32, 0, len(s.Coeffs)), Sign: make([]int8, len(s.Coeffs))}
+	for idx := range s.Coeffs {
+		f.Idx = append(f.Idx, int32(idx))
+	}
+	sort.Slice(f.Idx, func(i, j int) bool { return f.Idx[i] < f.Idx[j] })
+	for i, idx := range f.Idx {
+		f.Sign[i] = s.Coeffs[int(idx)]
+	}
+	return f
+}
+
+// SimilarityFlat is Similarity over flattened signatures. The shared-
+// coefficient and sign-agreement counts of the merge join are the same
+// integers the map walk produces, so the returned score is bit-identical.
+func SimilarityFlat(a, b *Flat) (float64, error) {
+	if a.Size != b.Size {
+		return 0, fmt.Errorf("wavelet: size mismatch %d vs %d", a.Size, b.Size)
+	}
+	shared, agree := 0, 0
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			shared++
+			if a.Sign[i] == b.Sign[j] {
+				agree++
+			}
+			i++
+			j++
+		}
+	}
+	union := len(a.Idx) + len(b.Idx) - shared
+	var coeffScore float64
+	if union > 0 {
+		coeffScore = float64(agree) / float64(union)
+	} else {
+		coeffScore = 1
+	}
+	avgDiff := math.Abs(a.Average - b.Average)
+	avgScore := 1 / (1 + 8*avgDiff)
+	return 0.8*coeffScore + 0.2*avgScore, nil
+}
+
 // Similarity scores two signatures in [0, 1]: sign agreement on shared
 // significant coefficients weighted against the union, with a penalty for
 // differing overall brightness. 1 means visually near-identical.

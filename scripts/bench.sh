@@ -1,58 +1,39 @@
 #!/usr/bin/env bash
-# Anchor-search fast-path benchmark snapshot (PR 2).
+# Hot-path benchmark baseline recorder (PR 6).
 #
-# Runs the brute-vs-indexed anchor-search benchmarks and the warm-cache
-# aggregation benchmark, then writes BENCH_pr2.json with ns/op per stage,
-# the brute/indexed speedup, and the measured pair-cache hit rate.
+# Runs the ratchet benchmark set with -benchmem and records BENCH_pr6.json
+# via the benchgate CLI: per-benchmark ns/op, allocs/op and B/op, plus
+# derived cross-PR ratios against the committed PR 2 snapshot
+# (BENCH_pr2.json, kept as a historical artifact and never rewritten).
 #
-#   scripts/bench.sh              # default 3 iterations per benchmark
-#   BENCH_TIME=10x scripts/bench.sh
+#   scripts/bench.sh                 # default 1s of measurement per benchmark
+#   BENCH_TIME=3s scripts/bench.sh
+#   BENCH_COUNT=3 scripts/bench.sh   # average 3 runs per benchmark
 #
-# Numbers are machine-dependent; the JSON is for offline comparison, never
-# a CI gate (ci.sh runs this non-gating).
+# Keep BENCH_TIME time-based: the ratchet set spans 12µs to 400ms per op,
+# and a fixed iteration count starves the fast benchmarks of measurement
+# time, making their recorded ns/op pure timer noise. The recorder also
+# averages repeated runs (-count), so a baseline recorded with
+# BENCH_COUNT>1 reflects typical rather than best-case timing — record
+# with BENCH_COUNT=3 or more so normal run-to-run noise stays inside the
+# ratchet tolerance.
+#
+# ci.sh compares fresh runs of the same benchmarks against the recorded
+# baseline (see scripts/benchgate.go); rerun this script on the reference
+# machine to ratchet the baseline after a deliberate perf change, and
+# commit the refreshed JSON with the change that earned it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr2.json
-BENCH_TIME="${BENCH_TIME:-3x}"
+OUT="${BENCH_OUT:-BENCH_pr6.json}"
+BENCH_TIME="${BENCH_TIME:-1s}"
 
-RAW=$(go test -run '^$' \
-	-bench '^(BenchmarkAnchorSearchBrute|BenchmarkAnchorSearchIndexed|BenchmarkWarmCacheAggregation)$' \
-	-benchtime "$BENCH_TIME" . 2>&1) || { echo "$RAW"; exit 1; }
-echo "$RAW"
+# The ratchet set: the two anchor-search paths, warm-cache aggregation,
+# both stage-1 scoring shapes, and the pooled integral-image kernel.
+BENCH_SET='^(BenchmarkAnchorSearchBrute|BenchmarkAnchorSearchIndexed|BenchmarkWarmCacheAggregation|BenchmarkStage1PairScoring|BenchmarkStage1BlockScoring|BenchmarkKernelIntegralImage)$'
 
-# Benchmark lines look like:
-#   BenchmarkAnchorSearchBrute-8   5   516922721 ns/op
-#   BenchmarkWarmCacheAggregation-8  3  42000000 ns/op  99.1 hit%
-field() { echo "$RAW" | awk -v name="$1" -v metric="$2" '
-	$1 ~ "^"name"(-[0-9]+)?$" {
-		for (i = 2; i <= NF; i++) if ($i == metric) { print $(i-1); exit }
-	}'; }
-
-brute=$(field BenchmarkAnchorSearchBrute "ns/op")
-indexed=$(field BenchmarkAnchorSearchIndexed "ns/op")
-warm=$(field BenchmarkWarmCacheAggregation "ns/op")
-hit=$(field BenchmarkWarmCacheAggregation "hit%")
-
-json_num() { [ -n "${1:-}" ] && echo "$1" || echo "null"; }
-speedup=null
-if [ -n "$brute" ] && [ -n "$indexed" ] && [ "$indexed" != "0" ]; then
-	speedup=$(awk -v a="$brute" -v b="$indexed" 'BEGIN { printf "%.2f", a / b }')
-fi
-
-cat > "$OUT" <<EOF
-{
-  "pr": 2,
-  "benchtime": "$BENCH_TIME",
-  "anchor_search": {
-    "brute_ns_per_op": $(json_num "$brute"),
-    "indexed_ns_per_op": $(json_num "$indexed"),
-    "speedup": $speedup
-  },
-  "warm_cache": {
-    "aggregation_ns_per_op": $(json_num "$warm"),
-    "hit_rate_percent": $(json_num "$hit")
-  }
-}
-EOF
-echo "wrote $OUT"
+go test -run '^$' -bench "$BENCH_SET" -benchtime "$BENCH_TIME" \
+	-count "${BENCH_COUNT:-1}" -benchmem . |
+	tee /dev/stderr |
+	go run scripts/benchgate.go -mode record -baseline "$OUT" \
+		-pr 6 -benchtime "$BENCH_TIME" -pr2 BENCH_pr2.json

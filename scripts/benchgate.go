@@ -1,0 +1,103 @@
+//go:build ignore
+
+// Benchgate is the CLI face of internal/benchgate: it reads raw
+// `go test -bench` output on stdin and either gates it against a
+// committed baseline or records a new one.
+//
+// Gate (exit 1 on any >tolerance regression or missing benchmark):
+//
+//	go test -run '^$' -bench '...' -benchmem . | \
+//	    go run scripts/benchgate.go -mode gate -baseline BENCH_pr6.json
+//
+// Record (write a new baseline; see docs/OPERATIONS.md before doing
+// this on a gated file):
+//
+//	go test -run '^$' -bench '...' -benchmem . | \
+//	    go run scripts/benchgate.go -mode record -baseline BENCH_pr6.json \
+//	        -pr 6 -benchtime 3x -pr2 BENCH_pr2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"crowdmap/internal/benchgate"
+)
+
+func main() {
+	mode := flag.String("mode", "gate", "gate or record")
+	baseline := flag.String("baseline", "BENCH_pr6.json", "baseline JSON path (read in gate mode, written in record mode)")
+	tolerance := flag.Float64("tolerance", 0.10, "fractional ns/op and allocs/op regression allowed")
+	allocSlack := flag.Float64("alloc-slack", 16, "absolute allocs/op grace on top of -tolerance")
+	pr := flag.Int("pr", 6, "record mode: PR number stamped into the baseline")
+	benchtime := flag.String("benchtime", "", "record mode: the -benchtime the numbers were taken with")
+	pr2 := flag.String("pr2", "", "record mode: previous-PR snapshot to derive speedup ratios against")
+	flag.Parse()
+
+	cur, err := benchgate.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	switch *mode {
+	case "gate":
+		base, err := benchgate.Load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regs := benchgate.Compare(base, cur, benchgate.Options{Tolerance: *tolerance, AllocSlack: *allocSlack})
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", len(base.Benchmarks), *tolerance*100, *baseline)
+	case "record":
+		b := &benchgate.Baseline{PR: *pr, Benchtime: *benchtime, Benchmarks: cur}
+		if *pr2 != "" {
+			d, err := benchgate.DeriveVsPR2(*pr2, cur)
+			if err != nil {
+				fatal(err)
+			}
+			b.Derived = d
+		}
+		if err := b.Write(*baseline); err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(cur))
+		for n := range cur {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("benchgate: recorded %d benchmarks to %s\n", len(names), *baseline)
+		for _, n := range names {
+			m := cur[n]
+			fmt.Printf("  %-40s %14.0f ns/op %10.0f allocs/op\n", n, m.NsPerOp, m.AllocsPerOp)
+		}
+		for _, k := range sortedKeys(b.Derived) {
+			fmt.Printf("  derived %-32s %.2fx\n", k, b.Derived[k])
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want gate or record)", *mode))
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

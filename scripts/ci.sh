@@ -43,6 +43,13 @@ echo "== scheduler/admission/drain (race) =="
 go test -race -run 'Sched|Admission|Drain|Overlapping|Serialization|Transient|Quarantine' \
 	./internal/cloud/sched/ ./internal/cloud/server/ ./cmd/crowdmapd/
 
+# Pooled-buffer and quantized-index tests under the race detector, by
+# name: sync.Pool reuse and the shared immutable index are exactly where
+# a concurrency bug in the PR 6 hot paths would hide.
+echo "== pooled buffers / quantized index (race) =="
+go test -race -run 'Pooled|Quant|Block|Flat|Allocs|Integral' \
+	./internal/img/ ./internal/keyframe/ ./internal/vision/surf/ ./internal/vision/wavelet/
+
 # Shutdown-drain smoke test: boot the real daemon with a durable data
 # dir, upload one capture, SIGTERM it mid-operation, and require a clean
 # exit that left durable state behind. This exercises the full drain
@@ -158,9 +165,21 @@ for md in README.md docs/*.md; do
 done
 [ "$fail" -eq 0 ] || exit 1
 
-# Benchmarks are informational, not gating: a slow machine must not fail
-# CI. bench.sh writes BENCH_pr2.json for offline comparison.
-echo "== benchmarks (non-gating) =="
-scripts/bench.sh || echo "bench.sh failed (non-gating); continuing"
+# Benchmark ratchet (PR 6): re-run the named hot-path benchmarks and fail
+# if any regresses more than the tolerance against the committed
+# BENCH_pr6.json baseline, in ns/op or allocs/op. Knobs (see
+# docs/OPERATIONS.md "Benchmarks"):
+#   BENCHGATE_SKIP=1          skip the gate entirely (e.g. shared hardware)
+#   BENCHGATE_TOLERANCE=0.25  widen the ratchet (fraction, default 0.10)
+#   BENCHGATE_TIME=3s         more measurement time for less noise
+if [ "${BENCHGATE_SKIP:-0}" = "1" ]; then
+	echo "== benchmark ratchet: SKIPPED (BENCHGATE_SKIP=1) =="
+else
+	echo "== benchmark ratchet =="
+	BENCH_SET='^(BenchmarkAnchorSearchBrute|BenchmarkAnchorSearchIndexed|BenchmarkWarmCacheAggregation|BenchmarkStage1PairScoring|BenchmarkStage1BlockScoring|BenchmarkKernelIntegralImage)$'
+	go test -run '^$' -bench "$BENCH_SET" -benchtime "${BENCHGATE_TIME:-1s}" -benchmem . |
+		go run scripts/benchgate.go -mode gate -baseline BENCH_pr6.json \
+			-tolerance "${BENCHGATE_TOLERANCE:-0.10}"
+fi
 
 echo "CI gate passed."
