@@ -563,6 +563,65 @@ func BenchmarkStage1BlockScoring(b *testing.B) {
 	}
 }
 
+// ---- incremental delta reconstruction (PR 7) ----
+
+// deltaBenchFixture builds the delta-vs-full workload: a base corpus the
+// daemon has already reconstructed, plus one fresh never-seen capture —
+// the steady-state "one more upload arrives" event both benchmarks time.
+func deltaBenchFixture(b *testing.B) (base []*Capture, corpus []*Capture, cfg Config) {
+	b.Helper()
+	ds, err := GenerateDataset(world.Lab2(), DatasetSpec{
+		Users: 5, CorridorWalks: 9, RoomVisits: 3, Seed: 61, FPS: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	captures := ds.Captures
+	base = captures[:len(captures)-1]
+	corpus = captures
+	cfg = DefaultConfig()
+	cfg.Layout.Hypotheses = 400
+	cfg.Seed = 7
+	return base, corpus, cfg
+}
+
+// BenchmarkFullRebuild times what every upload used to cost: a cold
+// end-to-end reconstruction of the whole corpus including the new
+// capture.
+func BenchmarkFullRebuild(b *testing.B) {
+	_, corpus, cfg := deltaBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaUpdate times the same corpus change through
+// ReconstructDelta with a state warmed on the base corpus: only the new
+// capture's extraction, its pair comparisons, a grid patch, and the cheap
+// shared tail run. Each iteration clones the warm state (outside the
+// timed region), so the new capture is genuinely never-seen every time —
+// no iteration rides a previous iteration's memo.
+func BenchmarkDeltaUpdate(b *testing.B) {
+	base, corpus, cfg := deltaBenchFixture(b)
+	ctx := context.Background()
+	warm := NewDeltaState()
+	if _, err := ReconstructDelta(ctx, base, cfg, warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := warm.Clone()
+		b.StartTimer()
+		if _, err := ReconstructDelta(ctx, corpus, cfg, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- computational kernels ----
 
 func BenchmarkKernelRenderFrame(b *testing.B) {

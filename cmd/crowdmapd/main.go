@@ -10,13 +10,20 @@
 //	          [-snapshot store.json] [-hypotheses N] [-workers N]
 //	          [-building-workers N] [-max-inflight-mb N] [-client-chunk-rate R]
 //	          [-client-chunk-burst N] [-chunk-body-timeout D] [-drain-timeout D]
-//	          [-quality lenient] [-stage-budget D] [-metrics]
+//	          [-quality lenient] [-stage-budget D] [-delta]
+//	          [-rebuild-every N] [-metrics]
 //
 // Reconstruction is scheduled per building: every -interval the capture
 // corpus is scanned and grouped by building, and buildings whose corpus
 // fingerprint changed are enqueued on a pool of -building-workers
 // concurrent reconstruction jobs (one job per building at a time, fair
-// FIFO between buildings). The upload path applies admission control: a
+// FIFO between buildings). With -delta each building keeps incremental
+// reconstruction state across cycles: a new upload costs only its own
+// key-frame extraction and its pair comparisons against the existing
+// corpus, with the occupancy grid patched and unchanged rooms reused —
+// the plan is byte-identical to a full rebuild. -rebuild-every N forces
+// a full rebuild every N-th cycle per building as a correctness backstop
+// (0 = never); progress is visible on the reconstruct.delta.* metrics. The upload path applies admission control: a
 // global in-flight chunk-byte budget (-max-inflight-mb) and a per-client
 // token bucket (-client-chunk-rate/-client-chunk-burst) answer saturation
 // with 429 + Retry-After instead of queueing without bound.
@@ -91,6 +98,8 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each scan")
 		qualityArg = flag.String("quality", "lenient", "capture quality gate: off | lenient | strict (applied at upload admission and again before reconstruction)")
 		stageTO    = flag.Duration("stage-budget", 0, "soft wall-clock budget per reconstruction stage; overruns are counted on pipeline.budget.exceeded, never cancelled (0 = off)")
+		delta      = flag.Bool("delta", false, "incremental reconstruction: reuse per-capture stage artifacts across cycles so a new upload costs O(delta), not O(corpus)")
+		rebuildN   = flag.Int("rebuild-every", 16, "with -delta, force a full rebuild every N-th cycle per building as a correctness backstop (0 = never)")
 	)
 	flag.Parse()
 
@@ -177,6 +186,8 @@ func main() {
 	proc.journal = journal
 	proc.quality = gateParams
 	proc.stageBudget = *stageTO
+	proc.delta = *delta
+	proc.rebuildEvery = *rebuildN
 	proc.loadPairCache()
 	if err := proc.start(*bWorkers); err != nil {
 		log.Fatal(err)

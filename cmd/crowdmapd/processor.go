@@ -73,8 +73,23 @@ type processor struct {
 	// reconstruct is the pipeline entry point; a field so tests can
 	// substitute a stub.
 	reconstruct func(ctx context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config) (*crowdmap.Result, error)
+	// delta switches reconstruction to the incremental entry point: each
+	// building keeps a DeltaState across cycles, so a new upload costs
+	// only its own extraction and pair comparisons instead of a full
+	// rebuild. rebuildEvery forces a periodic full rebuild as a
+	// correctness backstop (0 = never).
+	delta        bool
+	rebuildEvery int
+	// reconstructDelta is the incremental entry point; a field so tests
+	// can substitute a stub.
+	reconstructDelta func(ctx context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config, state *crowdmap.DeltaState) (*crowdmap.Result, error)
 
 	mu sync.Mutex
+	// deltaStates holds each building's memoized stage artifacts when
+	// delta mode is on. Guarded by mu; the per-building scheduler never
+	// runs two jobs for one building concurrently, so each state sees
+	// serial runs.
+	deltaStates map[string]*crowdmap.DeltaState
 	// failures counts, per capture, how many reconstruction attempts it has
 	// made fail; at maxCaptureFailures the capture is dead-lettered. A
 	// successful cycle that includes a capture resets its count.
@@ -102,7 +117,10 @@ func newProcessor(st *store.Store, hypotheses, workers int) *processor {
 		cache:       crowdmap.NewPairCache(0),
 		failures:    make(map[string]int),
 		meta:        make(map[string]captureMeta),
-		reconstruct: crowdmap.ReconstructContext,
+		deltaStates: make(map[string]*crowdmap.DeltaState),
+
+		reconstruct:      crowdmap.ReconstructContext,
+		reconstructDelta: crowdmap.ReconstructDelta,
 	}
 }
 
@@ -346,6 +364,19 @@ func storeKey(keyByID map[string]string, id string) string {
 	return id
 }
 
+// deltaState returns (creating on first use) the building's persistent
+// delta-reconstruction state.
+func (p *processor) deltaState(building string) *crowdmap.DeltaState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.deltaStates[building]
+	if st == nil {
+		st = crowdmap.NewDeltaState()
+		p.deltaStates[building] = st
+	}
+	return st
+}
+
 // reconstructBuilding runs one building's corpus through the pipeline.
 // On a poison-capture failure it quarantines the capture and immediately
 // retries with the rest; on cancellation it returns without charging any
@@ -375,7 +406,17 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 		cfg.Quality = p.quality
 		cfg.StageBudget = p.stageBudget
 		start := time.Now()
-		res, err := p.reconstruct(ctx, captures, cfg)
+		var res *crowdmap.Result
+		var err error
+		if p.delta {
+			// The shared daemon pair cache is passed as cfg.PairCache above,
+			// so a delta-state reset (config change or rebuild backstop)
+			// never flushes it — it has its own signature-based invalidation.
+			cfg.DeltaRebuildEvery = p.rebuildEvery
+			res, err = p.reconstructDelta(ctx, captures, cfg, p.deltaState(building))
+		} else {
+			res, err = p.reconstruct(ctx, captures, cfg)
+		}
 		if err != nil {
 			if isTransient(err) {
 				// Shutdown or a per-attempt deadline, not the data's fault:

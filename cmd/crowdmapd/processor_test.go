@@ -566,3 +566,65 @@ func TestScanQuarantinesUndecodableCapture(t *testing.T) {
 		t.Error("undecodable capture still in working set")
 	}
 }
+
+// TestProcessorDeltaMode pins the -delta wiring: with delta on, building
+// jobs go through the incremental entry point with a per-building state
+// that persists across cycles, and the rebuild-interval knob reaches the
+// pipeline config. Two buildings must never share a state.
+func TestProcessorDeltaMode(t *testing.T) {
+	st := store.New()
+	seedCaptures(t, st, "Lab1", 3, 2)
+	seedCaptures(t, st, "Lab2", 3, 20)
+
+	proc := newTestProcessor(t, st, 1)
+	proc.delta = true
+	proc.rebuildEvery = 5
+	var mu sync.Mutex
+	states := make(map[string][]*crowdmap.DeltaState)
+	var fullCalls atomic.Int64
+	proc.reconstruct = func(_ context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		fullCalls.Add(1)
+		return nil, errors.New("batch entry point used in delta mode")
+	}
+	proc.reconstructDelta = func(_ context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config, state *crowdmap.DeltaState) (*crowdmap.Result, error) {
+		if state == nil {
+			return nil, errors.New("nil delta state")
+		}
+		if cfg.DeltaRebuildEvery != 5 {
+			return nil, fmt.Errorf("DeltaRebuildEvery = %d, want 5", cfg.DeltaRebuildEvery)
+		}
+		b := captures[0].Geo.Building
+		mu.Lock()
+		states[b] = append(states[b], state)
+		mu.Unlock()
+		return stubResult(b), nil
+	}
+
+	ctx := context.Background()
+	if err := proc.runOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// New content makes both buildings dirty again for a second cycle.
+	seedCaptures(t, st, "Lab1", 1, 90)
+	seedCaptures(t, st, "Lab2", 1, 91)
+	if err := proc.runOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := fullCalls.Load(); n != 0 {
+		t.Errorf("batch entry point called %d times in delta mode", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, b := range []string{"Lab1", "Lab2"} {
+		if len(states[b]) != 2 {
+			t.Fatalf("%s: %d delta runs, want 2", b, len(states[b]))
+		}
+		if states[b][0] != states[b][1] {
+			t.Errorf("%s: delta state not persistent across cycles", b)
+		}
+	}
+	if states["Lab1"][0] == states["Lab2"][0] {
+		t.Error("buildings share one delta state")
+	}
+}

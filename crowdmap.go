@@ -155,6 +155,12 @@ type Config struct {
 	// low-score captures lose aggregation ties. Nil disables the gate, the
 	// pre-existing trust-the-input behavior.
 	Quality *QualityParams
+	// DeltaRebuildEvery, in delta mode (ReconstructDelta with a
+	// DeltaState), forces a full rebuild — dropping every memoized stage
+	// artifact and recomputing from scratch — every N-th run, as a
+	// correctness backstop against silent memo corruption. Zero never
+	// forces a rebuild. Ignored by the batch entry points.
+	DeltaRebuildEvery int
 	// StageBudget is a soft wall-clock budget per pipeline stage. A stage
 	// that overruns is not cancelled — abandoning work mid-stage would
 	// forfeit what the checkpoint journal could bank — but the overrun is
@@ -211,6 +217,9 @@ func (c Config) Validate() error {
 		if err := c.Quality.Validate(); err != nil {
 			return fmt.Errorf("crowdmap: quality config: %w", err)
 		}
+	}
+	if c.DeltaRebuildEvery < 0 {
+		return fmt.Errorf("crowdmap: delta rebuild interval must be ≥ 0, got %d", c.DeltaRebuildEvery)
 	}
 	if c.StageBudget < 0 {
 		return fmt.Errorf("crowdmap: stage budget must be ≥ 0, got %v", c.StageBudget)

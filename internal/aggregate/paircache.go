@@ -65,12 +65,30 @@ func (c *PairCache) Len() int {
 	return len(c.entries)
 }
 
-// paramsSignature serializes the comparison-relevant parameters. Every
-// sub-struct is a plain value type, so %+v is deterministic; the Obs
-// registry is a pointer with no influence on decisions and is excluded.
+// paramsSignature serializes the comparison-relevant parameters for use
+// as the cache's flush key. It delegates to the explicit versioned
+// Params.Signature encoding: the earlier %+v formatting was stable only
+// by accident — any future pointer or func field would have embedded a
+// process-local address, silently flushing the cache on every restart
+// and defeating the exported warm replay the delta path depends on.
 func paramsSignature(p Params) string {
-	p.KF.Obs = nil
-	return fmt.Sprintf("%+v", p)
+	return p.Signature()
+}
+
+// Signature returns a stable, versioned encoding of every
+// decision-relevant aggregation parameter. It is persisted inside
+// exported cache dumps and compared across process restarts, so it must
+// be a pure function of the field values: each field is written
+// explicitly (the Obs registry pointer is deliberately excluded — it
+// never influences decisions). Bump the version prefix whenever a field
+// is added, removed, or reinterpreted so stale persisted decisions flush
+// instead of being replayed under different semantics.
+func (p Params) Signature() string {
+	return fmt.Sprintf(
+		"agg-v1;eps=%g;delta=%d;hl=%g;rdt=%g;rdist=%g;maxanch=%d;stride=%d;maxhead=%g;minsup=%d;%s",
+		p.Epsilon, p.Delta, p.HL, p.ResampleDT, p.ResampleDist,
+		p.MaxAnchors, p.AnchorStride, p.MaxHeadingDiff, p.MinAnchorSupport,
+		p.KF.Signature())
 }
 
 // get returns the cached decision for (ha, hb) under signature sig, with
@@ -104,9 +122,12 @@ func (c *PairCache) put(sig, ha, hb string, m Match, ok bool) {
 		k.lo, k.hi = k.hi, k.lo
 		m = invertMatch(m)
 	}
-	if len(c.entries) >= c.max {
-		// The map is at capacity; evict one arbitrary entry. Eviction order
-		// affects only performance, never decisions.
+	if _, exists := c.entries[k]; !exists && len(c.entries) >= c.max {
+		// At capacity and the insert genuinely grows the map: evict one
+		// arbitrary entry. Eviction order affects only performance, never
+		// decisions. Overwrites of an existing key must not evict — doing
+		// so silently shrank the cache below its bound on every refreshed
+		// decision.
 		for old := range c.entries {
 			delete(c.entries, old)
 			break

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"crowdmap/internal/geom"
+	"crowdmap/internal/world"
 )
 
 func testMatch() Match {
@@ -96,6 +97,47 @@ func TestPairCacheEvictionCap(t *testing.T) {
 	}
 }
 
+// Regression: at capacity, refreshing an already-cached pair used to
+// evict an unrelated entry — the map size did not grow, so every
+// overwrite silently shrank the cache below its bound.
+func TestPairCachePutOverwriteDoesNotEvict(t *testing.T) {
+	c := NewPairCache(2)
+	c.put("s", "a", "b", Match{}, false)
+	c.put("s", "c", "d", Match{}, false)
+	// Overwrite the first pair at capacity, in both orientations: no
+	// eviction, the second pair must survive.
+	c.put("s", "b", "a", Match{}, false)
+	c.put("s", "a", "b", testMatch(), true)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after overwrites, want 2", c.Len())
+	}
+	for _, pair := range [][2]string{{"a", "b"}, {"c", "d"}} {
+		if _, _, found := c.get("s", pair[0], pair[1]); !found {
+			t.Errorf("pair %v evicted by an overwrite of a different key", pair)
+		}
+	}
+	// The overwrite took effect.
+	if e, _, _ := c.get("s", "a", "b"); !e.ok {
+		t.Error("overwrite did not replace the stored decision")
+	}
+}
+
+// Golden signature: the string is persisted inside exported cache dumps
+// and compared across process restarts, so its exact value is a
+// compatibility contract. If this test fails because a parameter was
+// added or a default changed, bump the version prefix in Signature —
+// do not just update the constant.
+func TestParamsSignatureGolden(t *testing.T) {
+	const want = "agg-v1;eps=1.5;delta=50;hl=0.35;rdt=0.5;rdist=0.4;maxanch=6;stride=0;" +
+		"maxhead=0.5235987755982988;minsup=2;" +
+		"kf-v1;hg=0.92;headgate=0.2094395102393195;wc=0.4;wsh=0.3;wwav=0.3;" +
+		"hs=0.55;hd=0.12;hf=0.09;hog=8,2,9,1;shape=12,9,0.06;wav=64,60;" +
+		"surf=0.0001,120;bins=8;stay=0.75"
+	if got := DefaultParams().Signature(); got != want {
+		t.Errorf("default signature drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 func TestParamsSignatureExcludesObs(t *testing.T) {
 	a := DefaultParams()
 	b := DefaultParams()
@@ -146,6 +188,66 @@ func TestComparePairCachedBypassAndNil(t *testing.T) {
 	}
 	if m.A != 5 || m.B != 9 {
 		t.Errorf("hit did not rebind track indices: got (%d,%d), want (5,9)", m.A, m.B)
+	}
+}
+
+// Same-fingerprint pairs (a capture uploaded twice produces two tracks
+// with equal hashes, so the cache key has lo == hi): the cached decision
+// must be indistinguishable from brute recomputation in either argument
+// order, including anchor index orientation. With equal hashes get never
+// reports inverted, which is exact only because equal fingerprints imply
+// bitwise-equal content — pinned here with real extracted tracks.
+func TestComparePairCachedSameHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders key-frames")
+	}
+	route := [][2]geom.Pt{{geom.P(3, 7.5), geom.P(22, 7.5)}}
+	// Deterministic generation + extraction: two builds of the same route
+	// and seed are bitwise identical, exactly like a re-uploaded capture.
+	a := buildTracks(t, world.Lab2(), route, 41)[0]
+	b := buildTracks(t, world.Lab2(), route, 41)[0]
+	a.Hash, b.Hash = "same-fp", "same-fp"
+	p := DefaultParams()
+
+	brute, bruteOK, err := ComparePair(0, 1, a, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPairCache(0)
+	// Miss populates and returns the brute decision.
+	got, ok, err := ComparePairCached(0, 1, a, b, p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != bruteOK || !reflect.DeepEqual(got, brute) {
+		t.Errorf("miss path diverged from ComparePair:\n got %+v/%v\nwant %+v/%v", got, ok, brute, bruteOK)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (lo == hi collapses to one key)", cache.Len())
+	}
+	// Hit, same order.
+	got, ok, err = ComparePairCached(0, 1, a, b, p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != bruteOK || !reflect.DeepEqual(got, brute) {
+		t.Errorf("same-order hit diverged:\n got %+v\nwant %+v", got, brute)
+	}
+	// Hit, swapped order and fresh track indices: must equal the brute
+	// comparison of the swapped arguments, anchors included.
+	bruteSwap, swapOK, err := ComparePair(5, 9, b, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = ComparePairCached(5, 9, b, a, p, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != swapOK || !reflect.DeepEqual(got, bruteSwap) {
+		t.Errorf("swapped-order hit diverged:\n got %+v\nwant %+v", got, bruteSwap)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d after hits, want 1", cache.Len())
 	}
 }
 

@@ -1,0 +1,78 @@
+package aggregate
+
+import (
+	"reflect"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/world"
+)
+
+// TestTrackCodecRoundTrip pins the journal-persistence contract: a
+// decoded track must be indistinguishable from the freshly extracted one
+// — derived structures (flattened wavelet, SURF index) included — except
+// for Quality, which is deliberately not persisted.
+func TestTrackCodecRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders key-frames")
+	}
+	tr := buildTracks(t, world.Lab2(), [][2]geom.Pt{{geom.P(3, 7.5), geom.P(22, 7.5)}}, 41)[0]
+	tr.Hash = "fp-roundtrip"
+	tr.Night = true
+	tr.Quality = 0.83
+
+	data, err := EncodeTrack(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrack(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality != 0 {
+		t.Errorf("Quality = %g persisted, want 0 (stamped per run)", got.Quality)
+	}
+	want := *tr
+	want.Quality = 0
+	if got.ID != want.ID || got.Night != want.Night || got.Hash != want.Hash {
+		t.Errorf("header fields changed: got %q/%v/%q", got.ID, got.Night, got.Hash)
+	}
+	if !reflect.DeepEqual(got.Traj, want.Traj) {
+		t.Error("trajectory changed in round trip")
+	}
+	if len(got.KFs) != len(want.KFs) {
+		t.Fatalf("key-frame count %d, want %d", len(got.KFs), len(want.KFs))
+	}
+	for i := range want.KFs {
+		if !reflect.DeepEqual(got.KFs[i], want.KFs[i]) {
+			t.Errorf("key-frame %d changed in round trip (derived structures included)", i)
+		}
+	}
+	// Encode→decode is idempotent: a re-persisted decoded track decodes to
+	// the same value. (The bytes themselves may differ — gob serializes
+	// maps in randomized order — which is fine: the journal keys artifacts
+	// by fingerprint, never by payload bytes.)
+	data2, err := EncodeTrack(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeTrack(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Error("second decode diverged from the first")
+	}
+}
+
+func TestTrackCodecErrors(t *testing.T) {
+	if _, err := EncodeTrack(nil); err == nil {
+		t.Error("encoding a nil track succeeded")
+	}
+	if _, err := EncodeTrack(&Track{ID: "x"}); err == nil {
+		t.Error("encoding a track without a trajectory succeeded")
+	}
+	if _, err := DecodeTrack([]byte("not gzip")); err == nil {
+		t.Error("decoding junk succeeded")
+	}
+}

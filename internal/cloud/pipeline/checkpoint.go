@@ -117,6 +117,33 @@ func (j *Journal) Payload(job, stage, fingerprint string) ([]byte, bool) {
 	return rec.Payload, true
 }
 
+// Stages lists the stage names with a record for one job, in store key
+// order. Composite stage names (e.g. the per-capture "track/<fingerprint>"
+// artifacts the delta path persists) are returned verbatim, so callers
+// can enumerate and garbage-collect them.
+func (j *Journal) Stages(job string) []string {
+	if j == nil {
+		return nil
+	}
+	prefix := job + "/"
+	var out []string
+	for _, k := range j.st.Keys(CheckpointColl) {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k[len(prefix):])
+		}
+	}
+	return out
+}
+
+// Drop deletes one job's stage record, if present. Used to garbage-collect
+// per-capture artifacts whose capture left the corpus.
+func (j *Journal) Drop(job, stage string) error {
+	if j == nil {
+		return nil
+	}
+	return j.st.Delete(CheckpointColl, journalKey(job, stage))
+}
+
 // Clear drops every checkpoint of one job (call when its corpus is gone).
 func (j *Journal) Clear(job string) error {
 	if j == nil {

@@ -79,3 +79,62 @@ func TestJournalNilSafe(t *testing.T) {
 		t.Error("NewJournal accepted a nil store")
 	}
 }
+
+// TestJournalStagesAndDrop covers the per-capture artifact enumeration
+// the delta path garbage-collects with: Stages lists one job's records
+// (composite names verbatim, other jobs excluded) and Drop removes
+// exactly one.
+func TestJournalStagesAndDrop(t *testing.T) {
+	j, err := NewJournal(store.New(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete("Lab2", "track/fp-a", "sig", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete("Lab2", "track/fp-b", "sig", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete("Lab2", "plan", "sig", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete("Lab1", "track/fp-c", "sig", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	got := j.Stages("Lab2")
+	want := map[string]bool{"track/fp-a": true, "track/fp-b": true, "plan": true}
+	if len(got) != len(want) {
+		t.Fatalf("Stages(Lab2) = %v, want the %d Lab2 stages", got, len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("unexpected stage %q", s)
+		}
+	}
+
+	if err := j.Drop("Lab2", "track/fp-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Payload("Lab2", "track/fp-a", "sig"); ok {
+		t.Error("dropped stage still readable")
+	}
+	if _, ok := j.Payload("Lab2", "track/fp-b", "sig"); !ok {
+		t.Error("Drop removed a sibling stage")
+	}
+	if len(j.Stages("Lab2")) != 2 {
+		t.Errorf("Stages(Lab2) = %v after drop, want 2 entries", j.Stages("Lab2"))
+	}
+	if len(j.Stages("Lab1")) != 1 {
+		t.Errorf("Stages(Lab1) = %v, want 1 entry", j.Stages("Lab1"))
+	}
+
+	// Nil journal: both are safe no-ops.
+	var nilJ *Journal
+	if nilJ.Stages("Lab2") != nil {
+		t.Error("nil journal listed stages")
+	}
+	if err := nilJ.Drop("Lab2", "plan"); err != nil {
+		t.Error("nil journal Drop errored")
+	}
+}

@@ -99,20 +99,10 @@ func (p SkeletonParams) Validate() error {
 // trajectory projection, Otsu binarization, α-shape boundary, α-threshold
 // regularization and path repair.
 func BuildSkeleton(trajs []*trajectory.Trajectory, p SkeletonParams) (*gridmap.Binary, *alphashape.Shape, error) {
-	if err := p.Validate(); err != nil {
+	bounds, err := SkeletonBounds(trajs, p)
+	if err != nil {
 		return nil, nil, err
 	}
-	if len(trajs) == 0 {
-		return nil, nil, fmt.Errorf("floorplan: no trajectories")
-	}
-	var all []geom.Pt
-	for _, tr := range trajs {
-		all = append(all, tr.Positions()...)
-	}
-	if len(all) == 0 {
-		return nil, nil, fmt.Errorf("floorplan: trajectories contain no points")
-	}
-	bounds := geom.BoundingRect(all).Expand(p.Margin)
 	grid, err := gridmap.New(bounds, p.GridRes)
 	if err != nil {
 		return nil, nil, err
@@ -120,6 +110,38 @@ func BuildSkeleton(trajs []*trajectory.Trajectory, p SkeletonParams) (*gridmap.B
 	for _, tr := range trajs {
 		grid.AddTrajectory(tr)
 	}
+	return SkeletonFromGrid(grid, p)
+}
+
+// SkeletonBounds validates the inputs and returns the grid bounds
+// BuildSkeleton would use for these trajectories: the bounding rectangle
+// of every point, expanded by the margin. An incremental caller compares
+// this against its cached grid's bounds to decide whether the occupancy
+// counts can be patched in place or the grid must be rebuilt.
+func SkeletonBounds(trajs []*trajectory.Trajectory, p SkeletonParams) (geom.Rect, error) {
+	if err := p.Validate(); err != nil {
+		return geom.Rect{}, err
+	}
+	if len(trajs) == 0 {
+		return geom.Rect{}, fmt.Errorf("floorplan: no trajectories")
+	}
+	var all []geom.Pt
+	for _, tr := range trajs {
+		all = append(all, tr.Positions()...)
+	}
+	if len(all) == 0 {
+		return geom.Rect{}, fmt.Errorf("floorplan: trajectories contain no points")
+	}
+	return geom.BoundingRect(all).Expand(p.Margin), nil
+}
+
+// SkeletonFromGrid finishes skeleton reconstruction over an already
+// populated occupancy grid: Otsu binarization (with the sparse-corpus
+// fallback), morphological path repair, largest-component selection, and
+// the α-shape boundary. BuildSkeleton is exactly "rasterize, then
+// SkeletonFromGrid", so an incremental caller that patches the grid gets
+// a bit-identical mask and shape.
+func SkeletonFromGrid(grid *gridmap.Grid, p SkeletonParams) (*gridmap.Binary, *alphashape.Shape, error) {
 	thr := grid.OtsuThreshold()
 	// Otsu splits foreground intensity; cells must at least be visited.
 	if thr < 1 {

@@ -10,6 +10,7 @@ package gridmap
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"crowdmap/internal/geom"
 	"crowdmap/internal/trajectory"
@@ -72,18 +73,29 @@ func (g *Grid) Add(p geom.Pt, w float64) {
 // more trajectories accumulates a higher access probability, exactly the
 // paper's second reconstruction step.
 func (g *Grid) AddTrajectory(tr *trajectory.Trajectory) {
+	for _, idx := range g.TrajectoryCells(tr) {
+		g.Counts[idx]++
+	}
+}
+
+// TrajectoryCells returns the deduplicated, sorted cell indices a
+// trajectory touches: every segment sampled at sub-cell spacing, each cell
+// reported at most once so a user pacing in place does not dominate the
+// map. AddTrajectory is exactly "+1 on every returned cell", which is what
+// lets an incremental caller undo a trajectory by "-1 on every returned
+// cell" — integer-valued float adds are exact and commutative, so a
+// patched grid is bit-identical to a rebuilt one.
+func (g *Grid) TrajectoryCells(tr *trajectory.Trajectory) []int32 {
 	pts := tr.Positions()
 	if len(pts) == 0 {
-		return
+		return nil
 	}
 	if len(pts) == 1 {
-		g.Add(pts[0], 1)
-		return
+		ix, iy := g.CellOf(pts[0])
+		return []int32{int32(iy*g.W + ix)}
 	}
 	step := g.Res / 2
-	// Mark each cell at most once per trajectory so a user pacing in place
-	// does not dominate the map.
-	touched := make(map[int]bool)
+	touched := make(map[int32]bool)
 	for i := 1; i < len(pts); i++ {
 		a, b := pts[i-1], pts[i]
 		d := a.Dist(b)
@@ -91,12 +103,15 @@ func (g *Grid) AddTrajectory(tr *trajectory.Trajectory) {
 		for s := 0; s <= n; s++ {
 			p := a.Add(b.Sub(a).Scale(float64(s) / float64(n)))
 			ix, iy := g.CellOf(p)
-			touched[iy*g.W+ix] = true
+			touched[int32(iy*g.W+ix)] = true
 		}
 	}
+	cells := make([]int32, 0, len(touched))
 	for idx := range touched {
-		g.Counts[idx]++
+		cells = append(cells, idx)
 	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	return cells
 }
 
 // OtsuThreshold computes the optimal binarization threshold of the grid's

@@ -1,0 +1,136 @@
+package gridmap
+
+import (
+	"hash/fnv"
+	"math"
+	"strconv"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/trajectory"
+)
+
+// Tracked is an occupancy grid that remembers, per trajectory, which cells
+// the trajectory touched, so a corpus change patches the counts instead of
+// re-rasterizing everything. Counts are integer-valued (AddTrajectory
+// contributes exactly +1 per touched cell), so incremental add/remove is
+// bit-exact: after any Sync the Counts array equals what a fresh grid
+// rasterizing exactly the current trajectory set would hold.
+//
+// Cell indices are a function of the grid geometry, so a Tracked grid is
+// only valid for one (bounds, resolution) pair; when the corpus outgrows
+// the bounds the caller builds a fresh Tracked (see CompatibleWith).
+type Tracked struct {
+	Grid    *Grid
+	entries map[string]*trackedEntry
+}
+
+// trackedEntry remembers one distinct trajectory content's rasterization
+// and how many identical instances of it are currently in the grid.
+type trackedEntry struct {
+	cells []int32
+	n     int
+}
+
+// NewTracked allocates an empty tracked grid covering bounds at res.
+func NewTracked(bounds geom.Rect, res float64) (*Tracked, error) {
+	g, err := New(bounds, res)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracked{Grid: g, entries: make(map[string]*trackedEntry)}, nil
+}
+
+// CompatibleWith reports whether the grid geometry matches; false means
+// the cached cell indices are meaningless and the caller must rebuild.
+func (t *Tracked) CompatibleWith(bounds geom.Rect, res float64) bool {
+	return t != nil && t.Grid.Bounds == bounds && t.Grid.Res == res
+}
+
+// Sync makes the grid's counts equal to rasterizing exactly trajs:
+// trajectories unchanged since the previous Sync keep their cached cell
+// lists, removed ones are subtracted, new or modified ones are rasterized
+// and added. Identity is (trajectory ID, content hash), so a modified
+// capture is handled as remove-old + add-new. Returns the number of
+// trajectories that had to be rasterized (the rest were reused).
+func (t *Tracked) Sync(trajs []*trajectory.Trajectory) (rasterized int) {
+	want := make(map[string]int, len(trajs))
+	byKey := make(map[string]*trajectory.Trajectory, len(trajs))
+	for _, tr := range trajs {
+		k := trajContentKey(tr)
+		want[k]++
+		byKey[k] = tr
+	}
+	// Shrink or drop entries no longer (fully) wanted.
+	for k, e := range t.entries {
+		w := want[k]
+		if w >= e.n {
+			continue
+		}
+		t.apply(e.cells, float64(w-e.n))
+		if w == 0 {
+			delete(t.entries, k)
+		} else {
+			e.n = w
+		}
+	}
+	// Add new entries and grow multiplicities.
+	for k, w := range want {
+		e := t.entries[k]
+		if e == nil {
+			e = &trackedEntry{cells: t.Grid.TrajectoryCells(byKey[k])}
+			t.entries[k] = e
+			rasterized++
+		}
+		if w > e.n {
+			t.apply(e.cells, float64(w-e.n))
+			e.n = w
+		}
+	}
+	return rasterized
+}
+
+// Clone returns an independent copy: Syncs on the clone never affect the
+// original. Cached cell lists are shared (they are immutable once built);
+// the counts array and entry bookkeeping are copied.
+func (t *Tracked) Clone() *Tracked {
+	if t == nil {
+		return nil
+	}
+	g := &Grid{Bounds: t.Grid.Bounds, Res: t.Grid.Res, W: t.Grid.W, H: t.Grid.H,
+		Counts: append([]float64(nil), t.Grid.Counts...)}
+	entries := make(map[string]*trackedEntry, len(t.entries))
+	for k, e := range t.entries {
+		entries[k] = &trackedEntry{cells: e.cells, n: e.n}
+	}
+	return &Tracked{Grid: g, entries: entries}
+}
+
+// apply adds w to every listed cell. All contributions are whole numbers
+// well under 2^53, so the float adds are exact and order-independent.
+func (t *Tracked) apply(cells []int32, w float64) {
+	for _, idx := range cells {
+		t.Grid.Counts[idx] += w
+	}
+}
+
+// trajContentKey identifies a trajectory by ID plus a content hash over
+// the exact float bits of every point, so any numeric change — however
+// small — reads as a different trajectory.
+func trajContentKey(tr *trajectory.Trajectory) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(tr.ID))
+	for _, p := range tr.Points {
+		put(p.T)
+		put(p.Pos.X)
+		put(p.Pos.Y)
+	}
+	return tr.ID + "\x00" + strconv.FormatUint(h.Sum64(), 16)
+}

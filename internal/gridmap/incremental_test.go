@@ -1,0 +1,168 @@
+package gridmap
+
+import (
+	"reflect"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/trajectory"
+)
+
+func synthTraj(id string, pts ...geom.Pt) *trajectory.Trajectory {
+	tr := &trajectory.Trajectory{ID: id}
+	for i, p := range pts {
+		tr.Points = append(tr.Points, trajectory.Point{T: float64(i), Pos: p})
+	}
+	return tr
+}
+
+// rebuildCounts rasterizes trajs onto a fresh grid, the ground truth a
+// Tracked grid's incremental Sync must match bit-for-bit.
+func rebuildCounts(t *testing.T, bounds geom.Rect, res float64, trajs []*trajectory.Trajectory) []float64 {
+	t.Helper()
+	g, err := New(bounds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trajs {
+		g.AddTrajectory(tr)
+	}
+	return g.Counts
+}
+
+// TestTrackedSyncMatchesRebuild drives a Tracked grid through add /
+// remove / modify / duplicate transitions and checks after each Sync that
+// the counts equal a from-scratch rasterization — the exactness the
+// incremental skeleton stage rests on.
+func TestTrackedSyncMatchesRebuild(t *testing.T) {
+	bounds := geom.Rect{Min: geom.P(0, 0), Max: geom.P(20, 10)}
+	const res = 0.5
+	a := synthTraj("a", geom.P(1, 1), geom.P(9, 1), geom.P(9, 8))
+	b := synthTraj("b", geom.P(2, 2), geom.P(18, 2))
+	c := synthTraj("c", geom.P(5, 5), geom.P(5, 9), geom.P(15, 9))
+	aMod := synthTraj("a", geom.P(1, 1), geom.P(9, 1), geom.P(9, 4)) // same ID, new content
+
+	tk, err := NewTracked(bounds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		name       string
+		trajs      []*trajectory.Trajectory
+		rasterized int
+	}{
+		{"initial pair", []*trajectory.Trajectory{a, b}, 2},
+		{"add", []*trajectory.Trajectory{a, b, c}, 1},
+		{"remove", []*trajectory.Trajectory{a, c}, 0},
+		{"modify", []*trajectory.Trajectory{aMod, c}, 1},
+		{"duplicate content", []*trajectory.Trajectory{aMod, aMod, c}, 0},
+		{"dedup again", []*trajectory.Trajectory{aMod, c}, 0},
+		{"empty", nil, 0},
+		{"repopulate", []*trajectory.Trajectory{b}, 1},
+	}
+	for _, st := range steps {
+		got := tk.Sync(st.trajs)
+		if got != st.rasterized {
+			t.Errorf("%s: rasterized %d trajectories, want %d", st.name, got, st.rasterized)
+		}
+		want := rebuildCounts(t, bounds, res, st.trajs)
+		if !reflect.DeepEqual(tk.Grid.Counts, want) {
+			t.Errorf("%s: incremental counts diverged from full rasterization", st.name)
+		}
+	}
+}
+
+func TestTrackedCompatibleWith(t *testing.T) {
+	bounds := geom.Rect{Min: geom.P(0, 0), Max: geom.P(10, 10)}
+	tk, err := NewTracked(bounds, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk.CompatibleWith(bounds, 0.5) {
+		t.Error("grid incompatible with its own geometry")
+	}
+	if tk.CompatibleWith(geom.Rect{Min: geom.P(0, 0), Max: geom.P(12, 10)}, 0.5) {
+		t.Error("grid compatible with grown bounds")
+	}
+	if tk.CompatibleWith(bounds, 0.25) {
+		t.Error("grid compatible with a different resolution")
+	}
+	var nilTracked *Tracked
+	if nilTracked.CompatibleWith(bounds, 0.5) {
+		t.Error("nil grid reported compatible")
+	}
+}
+
+// TestTrackedClone pins clone independence: syncing the clone never
+// mutates the original's counts or bookkeeping.
+func TestTrackedClone(t *testing.T) {
+	bounds := geom.Rect{Min: geom.P(0, 0), Max: geom.P(20, 10)}
+	a := synthTraj("a", geom.P(1, 1), geom.P(9, 1))
+	b := synthTraj("b", geom.P(2, 2), geom.P(18, 2))
+	tk, err := NewTracked(bounds, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Sync([]*trajectory.Trajectory{a, b})
+	before := append([]float64(nil), tk.Grid.Counts...)
+
+	cl := tk.Clone()
+	cl.Sync([]*trajectory.Trajectory{a}) // drop b on the clone only
+	if !reflect.DeepEqual(tk.Grid.Counts, before) {
+		t.Error("syncing the clone mutated the original")
+	}
+	if reflect.DeepEqual(cl.Grid.Counts, before) {
+		t.Error("clone sync had no effect")
+	}
+	// And the clone still matches a fresh rebuild.
+	if !reflect.DeepEqual(cl.Grid.Counts, rebuildCounts(t, bounds, 0.5, []*trajectory.Trajectory{a})) {
+		t.Error("clone counts diverged from full rasterization")
+	}
+	if (*Tracked)(nil).Clone() != nil {
+		t.Error("nil clone not nil")
+	}
+}
+
+// TestTrajectoryCellsMatchesAdd pins the refactor invariant: AddTrajectory
+// is exactly +1 over TrajectoryCells.
+func TestTrajectoryCellsMatchesAdd(t *testing.T) {
+	bounds := geom.Rect{Min: geom.P(0, 0), Max: geom.P(20, 10)}
+	g, err := New(bounds, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := []*trajectory.Trajectory{
+		synthTraj("multi", geom.P(1, 1), geom.P(9, 1), geom.P(9, 8)),
+		synthTraj("single", geom.P(3, 3)),
+		synthTraj("empty"),
+	}
+	for _, tr := range trajs {
+		t.Run(tr.ID, func(t *testing.T) {
+			cells := g.TrajectoryCells(tr)
+			ref, err := New(bounds, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.AddTrajectory(tr)
+			manual, err := New(bounds, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, idx := range cells {
+				manual.Counts[idx]++
+			}
+			if !reflect.DeepEqual(manual.Counts, ref.Counts) {
+				t.Error("TrajectoryCells != AddTrajectory footprint")
+			}
+			// Deduped and sorted: stable for incremental bookkeeping.
+			for i := 1; i < len(cells); i++ {
+				if cells[i] <= cells[i-1] {
+					t.Fatalf("cells not strictly increasing: %v", cells)
+				}
+			}
+		})
+	}
+	if cells := g.TrajectoryCells(trajs[2]); cells != nil {
+		t.Errorf("empty trajectory produced cells %v", cells)
+	}
+}

@@ -131,6 +131,26 @@ func (p Params) EffectiveStayRadius() float64 {
 	return DefaultStayRadius
 }
 
+// Signature returns a stable, versioned encoding of every extraction- and
+// comparison-relevant field. It is embedded in persisted cache keys and
+// per-capture artifact fingerprints, so it must be a pure function of the
+// field values across process restarts: each field is written explicitly
+// and the Obs registry pointer is excluded (it never affects behavior).
+// Bump the version prefix whenever a field is added, removed, or
+// reinterpreted so persisted artifacts invalidate instead of being reused
+// under different semantics.
+func (p Params) Signature() string {
+	return fmt.Sprintf(
+		"kf-v1;hg=%g;headgate=%g;wc=%g;wsh=%g;wwav=%g;hs=%g;hd=%g;hf=%g;"+
+			"hog=%d,%d,%d,%d;shape=%d,%d,%g;wav=%d,%d;surf=%g,%d;bins=%d;stay=%g",
+		p.HG, p.HeadingGate, p.WColor, p.WShape, p.WWavelet, p.HS, p.HD, p.HF,
+		p.HOG.CellSize, p.HOG.BlockSize, p.HOG.Bins, p.HOG.BlockStride,
+		p.Shape.GridW, p.Shape.GridH, p.Shape.EdgeThreshold,
+		p.Wavelet.Size, p.Wavelet.TopK,
+		p.SURF.HessianThreshold, p.SURF.MaxFeatures,
+		p.HistBins, p.StayRadius)
+}
+
 // Validate checks threshold sanity.
 func (p Params) Validate() error {
 	if p.HG <= 0 || p.HG > 1 {

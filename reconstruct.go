@@ -9,10 +9,12 @@ import (
 	"sync"
 
 	"crowdmap/internal/aggregate"
+	"crowdmap/internal/alphashape"
 	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/crowd"
 	"crowdmap/internal/floorplan"
 	"crowdmap/internal/geom"
+	"crowdmap/internal/gridmap"
 	"crowdmap/internal/keyframe"
 	"crowdmap/internal/layout"
 	"crowdmap/internal/mathx"
@@ -150,6 +152,17 @@ func Reconstruct(captures []*Capture, cfg Config) (*Result, error) {
 // fails outright only for corpus-level problems: invalid configuration,
 // zero survivors, context cancellation, or a skeleton/placement failure.
 func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*Result, error) {
+	return reconstructPipeline(ctx, captures, cfg, nil)
+}
+
+// reconstructPipeline is the stage body shared by ReconstructContext
+// (ds == nil: every stage computes from scratch) and ReconstructDelta
+// (ds != nil: stages consult the delta state's memos first). Every memo is
+// keyed by the complete set of inputs its computation reads — capture
+// content fingerprint, parameter signatures, track index, placement
+// offset — so a memo hit returns exactly what recomputation would, and
+// the two paths produce byte-identical results by construction.
+func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, ds *deltaRun) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,6 +176,10 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	ckpt := cfg.Checkpoints
 	if cfg.JobID == "" {
 		ckpt = nil
+	}
+	if ds != nil {
+		ds.ckpt = ckpt
+		ds.job = cfg.JobID
 	}
 	fp := ""
 	if ckpt != nil {
@@ -184,6 +201,7 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	}
 	reg.Counter("reconstruct.runs").Inc()
 	reg.Counter("reconstruct.captures").Add(int64(len(captures)))
+	ds.begin(reg)
 	totalDone := obs.Stage(reg, "reconstruct.total")
 
 	res := &Result{RoomFailures: make(map[string]error)}
@@ -229,26 +247,47 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	// the corpus, so every sibling runs to completion regardless.
 	extractDone := obs.Stage(reg, "keyframe.extract")
 	liveTracks := make([]*Track, len(live))
-	errs, ctxErr := pipeline.MapAll(ctx, len(live), cfg.Workers, func(_ context.Context, i int) error {
-		kfs, traj, err := extractTrack(live[i], cfg)
-		if err != nil {
-			return &CaptureError{CaptureID: live[i].ID, Err: err}
-		}
-		liveTracks[i] = &aggregate.Track{
-			ID:    live[i].ID,
-			Traj:  traj,
-			KFs:   kfs,
-			Night: live[i].Night,
-			// Fingerprint before ReleaseFrames drops the pixels it covers.
-			Hash:    live[i].Fingerprint(),
-			Quality: scores[i],
-		}
+	release := func(i int) {
 		if cfg.ReleaseFrames {
 			// live[i] may be a sanitized copy; release the caller's frames
 			// too (both alias the same frame slice when not copied).
 			live[i].Frames = nil
 			captures[origIdx[i]].Frames = nil
 		}
+	}
+	errs, ctxErr := pipeline.MapAll(ctx, len(live), cfg.Workers, func(_ context.Context, i int) error {
+		// Fingerprints are computed before ReleaseFrames drops the pixels
+		// they cover. A delta run keys its track memo by the (sanitized)
+		// capture fingerprint: a hit skips extraction entirely — the gate
+		// and extraction are deterministic, so the memoized track is what
+		// extraction would produce.
+		var capFP string
+		if ds != nil {
+			tr, fp, hit := ds.lookupTrack(live[i], scores[i])
+			if hit {
+				liveTracks[i] = tr
+				release(i)
+				return nil
+			}
+			capFP = fp
+		}
+		kfs, traj, err := extractTrack(live[i], cfg)
+		if err != nil {
+			return &CaptureError{CaptureID: live[i].ID, Err: err}
+		}
+		if capFP == "" {
+			capFP = live[i].Fingerprint()
+		}
+		liveTracks[i] = &aggregate.Track{
+			ID:      live[i].ID,
+			Traj:    traj,
+			KFs:     kfs,
+			Night:   live[i].Night,
+			Hash:    capFP,
+			Quality: scores[i],
+		}
+		ds.storeTrack(capFP, liveTracks[i])
+		release(i)
 		return nil
 	})
 	if ctxErr != nil {
@@ -326,7 +365,16 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	// drift error residing in the trajectories").
 	skelDone := obs.Stage(reg, "skeleton")
 	global := agg.DriftCorrected(tracks, cfg.Aggregate.Epsilon)
-	mask, shape, err := floorplan.BuildSkeleton(global, cfg.Skeleton)
+	var mask *gridmap.Binary
+	var shape *alphashape.Shape
+	if ds != nil {
+		// Incremental: patch the persistent occupancy grid (exact — see
+		// gridmap.Tracked), then re-run the cheap threshold/close/α-shape
+		// tail over it, which is exactly what BuildSkeleton does.
+		mask, shape, err = ds.skeleton(global, cfg.Skeleton, reg)
+	} else {
+		mask, shape, err = floorplan.BuildSkeleton(global, cfg.Skeleton)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("crowdmap: skeleton: %w", err)
 	}
@@ -353,7 +401,25 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	obsSlots := make([]*floorplan.RoomObservation, len(roomIdx))
 	err = pipeline.Map(ctx, len(roomIdx), cfg.Workers, func(_ context.Context, k int) error {
 		i := roomIdx[k]
+		// The room memo key covers every input reconstructRoom reads:
+		// capture content (fingerprint), the layout RNG's track index, the
+		// aggregation offset, and the camera intrinsics (which the content
+		// fingerprint does not include); the config signature guarding the
+		// whole DeltaState covers the parameter fields.
+		if ds != nil {
+			if ob, rerr, hit := ds.lookupRoom(captures[i], i, tracks[i], agg); hit {
+				if rerr != nil {
+					mu.Lock()
+					res.RoomFailures[captures[i].ID] = rerr
+					mu.Unlock()
+					return nil
+				}
+				obsSlots[k] = &ob
+				return nil
+			}
+		}
 		ob, rerr := reconstructRoom(captures[i], i, tracks[i], agg, cfg)
+		ds.storeRoom(captures[i], i, tracks[i], agg, ob, rerr)
 		if rerr != nil {
 			mu.Lock()
 			res.RoomFailures[captures[i].ID] = rerr
@@ -394,6 +460,7 @@ func ReconstructContext(ctx context.Context, captures []*Capture, cfg Config) (*
 	}
 	totalDone()
 	_ = ckpt.Complete(cfg.JobID, StagePlan, fp, nil)
+	ds.finish()
 	res.Metrics = reg.Snapshot()
 	return res, nil
 }

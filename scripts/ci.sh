@@ -140,6 +140,80 @@ wait "$daemon2" || { echo "smoke2: daemon exited nonzero"; cat "$smoke/daemon2.l
 trap 'rm -rf "$smoke"' EXIT
 echo "smoke2: 422 for corrupt archive, daemon healthy, good uploads reconstructed"
 
+# Delta-reconstruction smoke test: boot the daemon in -delta mode, build
+# a plan from three captures, then upload one more and require that the
+# incremental run reuses every previously extracted track — the
+# end-to-end check that an upload to a reconstructed building costs
+# O(delta), not a full re-run. Reuse is asserted through the
+# reconstruct.delta.* counters on /metrics.
+echo "== delta reconstruction smoke test =="
+go run ./cmd/datagen -building Lab2 -walks 4 -visits 0 -users 1 -out "$smoke/deltacaps"
+"$smoke/crowdmapd" -addr 127.0.0.1:18744 -interval 1s -hypotheses 200 -delta \
+	>"$smoke/daemon3.log" 2>&1 &
+daemon3=$!
+trap 'kill -9 "$daemon3" 2>/dev/null; rm -rf "$smoke"' EXIT
+for i in $(seq 1 50); do
+	curl -fsS -o /dev/null http://127.0.0.1:18744/healthz 2>/dev/null && break
+	sleep 0.2
+	if [ "$i" -eq 50 ]; then
+		echo "smoke3: daemon never became healthy"; cat "$smoke/daemon3.log"; exit 1
+	fi
+done
+caps=$("ls" "$smoke"/deltacaps/*.zip)
+first=$(echo "$caps" | head -n 3)
+last=$(echo "$caps" | tail -n +4 | head -n 1)
+for cap in $first; do
+	id=$(basename "$cap" .zip)
+	curl -fsS -o /dev/null --data-binary @"$cap" \
+		"http://127.0.0.1:18744/api/v1/captures/$id/chunks?index=0&total=1"
+done
+plan_ok=0
+for i in $(seq 1 120); do
+	if curl -fsS -o /dev/null http://127.0.0.1:18744/api/v1/plans/Lab2 2>/dev/null; then
+		plan_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$plan_ok" -ne 1 ]; then
+	echo "smoke3: no plan from the initial corpus"; cat "$smoke/daemon3.log"; exit 1
+fi
+metric() {
+	curl -fsS http://127.0.0.1:18744/metrics |
+		grep -o "\"$1\": *[0-9]*" | head -n 1 | grep -o '[0-9]*$'
+}
+extracted_before=$(metric reconstruct.delta.tracks.extracted)
+id=$(basename "$last" .zip)
+curl -fsS -o /dev/null --data-binary @"$last" \
+	"http://127.0.0.1:18744/api/v1/captures/$id/chunks?index=0&total=1"
+delta_ok=0
+for i in $(seq 1 120); do
+	runs=$(metric reconstruct.delta.runs)
+	if [ "${runs:-0}" -ge 2 ]; then
+		delta_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$delta_ok" -ne 1 ]; then
+	echo "smoke3: second (incremental) reconstruction never ran"
+	cat "$smoke/daemon3.log"; exit 1
+fi
+reused=$(metric reconstruct.delta.tracks.reused)
+extracted=$(metric reconstruct.delta.tracks.extracted)
+if [ "${reused:-0}" -lt 3 ]; then
+	echo "smoke3: tracks.reused=$reused, want >= 3 (delta ran as a full rebuild)"
+	cat "$smoke/daemon3.log"; exit 1
+fi
+if [ "$((extracted - extracted_before))" -gt 1 ]; then
+	echo "smoke3: incremental run extracted $((extracted - extracted_before)) tracks, want <= 1"
+	cat "$smoke/daemon3.log"; exit 1
+fi
+curl -fsS -o /dev/null http://127.0.0.1:18744/api/v1/plans/Lab2 || {
+	echo "smoke3: plan gone after incremental run"; cat "$smoke/daemon3.log"; exit 1; }
+kill -TERM "$daemon3"
+wait "$daemon3" || { echo "smoke3: daemon exited nonzero"; cat "$smoke/daemon3.log"; exit 1; }
+trap 'rm -rf "$smoke"' EXIT
+echo "smoke3: incremental run reused $reused tracks, extracted $((extracted - extracted_before))"
+
 # Docs checks: every internal package must carry a package comment, and
 # every intra-repo markdown link must point at a file that exists.
 echo "== docs: package comments =="
@@ -180,6 +254,13 @@ else
 	go test -run '^$' -bench "$BENCH_SET" -benchtime "${BENCHGATE_TIME:-1s}" -benchmem . |
 		go run scripts/benchgate.go -mode gate -baseline BENCH_pr6.json \
 			-tolerance "${BENCHGATE_TOLERANCE:-0.10}"
+	# PR 7 ratchet: end-to-end delta update vs full rebuild. These run the
+	# whole pipeline, so the default tolerance is wider than the kernel
+	# benchmarks above.
+	go test -run '^$' -bench '^(BenchmarkFullRebuild|BenchmarkDeltaUpdate)$' \
+		-benchtime "${BENCHGATE_TIME:-5x}" -benchmem . |
+		go run scripts/benchgate.go -mode gate -baseline BENCH_pr7.json \
+			-tolerance "${BENCHGATE_TOLERANCE:-0.30}"
 fi
 
 echo "CI gate passed."
