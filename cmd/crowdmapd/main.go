@@ -1,8 +1,15 @@
 // Command crowdmapd is the CrowdMap cloud backend daemon: it serves the
 // chunked capture-upload API, continuously folds everything uploaded so
-// far into per-building floor plans, and publishes the resulting SVGs
-// back through the same API — the full client→cloud loop of the paper's
-// Section IV prototype on one machine.
+// far into per-building floor plans, and publishes the results back
+// through the same API — the full client→cloud loop of the paper's
+// Section IV prototype on one machine. Each completed reconstruction is
+// additionally published to the read tier (internal/cloud/mapserve): a
+// monotonically versioned plan served as vector JSON and an
+// occupancy-grid PNG with ETag/If-None-Match revalidation, plus a
+// localization endpoint that answers a single query frame (and optional
+// IMU snippet) with a pose on the current plan, matched against a
+// persisted per-building key-frame index (decoded indexes are held in an
+// -index-cache-bounded LRU). The full HTTP reference is docs/API.md.
 //
 // Usage:
 //
@@ -11,7 +18,7 @@
 //	          [-building-workers N] [-max-inflight-mb N] [-client-chunk-rate R]
 //	          [-client-chunk-burst N] [-chunk-body-timeout D] [-drain-timeout D]
 //	          [-quality lenient] [-stage-budget D] [-delta]
-//	          [-rebuild-every N] [-metrics]
+//	          [-rebuild-every N] [-index-cache N] [-metrics]
 //
 // Reconstruction is scheduled per building: every -interval the capture
 // corpus is scanned and grouped by building, and buildings whose corpus
@@ -70,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"crowdmap/internal/cloud/mapserve"
 	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/cloud/queue"
 	"crowdmap/internal/cloud/server"
@@ -100,6 +108,7 @@ func main() {
 		stageTO    = flag.Duration("stage-budget", 0, "soft wall-clock budget per reconstruction stage; overruns are counted on pipeline.budget.exceeded, never cancelled (0 = off)")
 		delta      = flag.Bool("delta", false, "incremental reconstruction: reuse per-capture stage artifacts across cycles so a new upload costs O(delta), not O(corpus)")
 		rebuildN   = flag.Int("rebuild-every", 16, "with -delta, force a full rebuild every N-th cycle per building as a correctness backstop (0 = never)")
+		indexCache = flag.Int("index-cache", mapserve.DefaultIndexCacheSize, "buildings whose decoded localization index stays in memory (LRU); raise for many hot buildings, lower under memory pressure")
 	)
 	flag.Parse()
 
@@ -163,6 +172,16 @@ func main() {
 				st.Len(server.CollCaptures), st.Len(server.CollPlans))
 		}
 	}
+	// The read tier serves versioned plans (vector JSON + PNG, ETag/304)
+	// and the localization endpoint; the processor publishes every
+	// completed reconstruction into it.
+	maps, err := mapserve.New(st,
+		mapserve.WithObs(reg),
+		mapserve.WithIndexCacheSize(*indexCache))
+	if err != nil {
+		log.Fatalf("mapserve: %v", err)
+	}
+	serverOpts = append(serverOpts, server.WithMapServe(maps))
 	srv, err := server.New(st, serverOpts...)
 	if err != nil {
 		log.Fatal(err)
@@ -188,6 +207,7 @@ func main() {
 	proc.stageBudget = *stageTO
 	proc.delta = *delta
 	proc.rebuildEvery = *rebuildN
+	proc.maps = maps
 	proc.loadPairCache()
 	if err := proc.start(*bWorkers); err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"crowdmap"
+	"crowdmap/internal/cloud/mapserve"
 	"crowdmap/internal/cloud/sched"
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
@@ -83,6 +84,12 @@ type processor struct {
 	// reconstructDelta is the incremental entry point; a field so tests
 	// can substitute a stub.
 	reconstructDelta func(ctx context.Context, captures []*crowdmap.Capture, cfg crowdmap.Config, state *crowdmap.DeltaState) (*crowdmap.Result, error)
+	// maps, when non-nil, receives each completed reconstruction through
+	// Publish: the read tier's versioned plan + localization index swap.
+	// Publish failures are logged and counted, never failed — the SVG plan
+	// is already stored, and the read tier keeps serving the previous
+	// complete version.
+	maps *mapserve.Service
 
 	mu sync.Mutex
 	// deltaStates holds each building's memoized stage artifacts when
@@ -454,6 +461,18 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 		if err := p.st.Put(server.CollPlans, building, svg); err != nil {
 			log.Printf("%s: store plan: %v", building, err)
 			return fmt.Errorf("%s: store plan: %w", building, err)
+		}
+		// Publish to the read tier after the SVG store succeeds: versioned
+		// vector/PNG artifacts plus the localization index, swapped
+		// atomically so concurrent plan/locate readers never see a partial
+		// version. An unchanged plan keeps its version (and clients' 304s).
+		if p.maps != nil {
+			if v, err := p.maps.Publish(building, res); err != nil {
+				p.obs.Counter("mapserve.publish.errors").Inc()
+				log.Printf("%s: mapserve publish: %v", building, err)
+			} else {
+				log.Printf("%s: serving plan version %d (etag %.12s)", building, v.Version, v.ETag)
+			}
 		}
 		// Degraded-mode aftermath: captures the pipeline excluded (gate
 		// rejection, recovered panic) are proven poison — dead-letter them

@@ -11,6 +11,7 @@ import (
 
 	"crowdmap"
 	"crowdmap/internal/aggregate"
+	"crowdmap/internal/cloud/mapserve"
 	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
@@ -626,5 +627,54 @@ func TestProcessorDeltaMode(t *testing.T) {
 	}
 	if states["Lab1"][0] == states["Lab2"][0] {
 		t.Error("buildings share one delta state")
+	}
+}
+
+// TestProcessorPublishesToReadTier: completing a reconstruction publishes
+// the result to the read tier (servable at version 1), and a later cycle
+// that reconstructs identical content leaves the served version alone.
+func TestProcessorPublishesToReadTier(t *testing.T) {
+	st := store.New()
+	seedCaptures(t, st, "Lab2", 3, 2)
+	proc := newTestProcessor(t, st, 1)
+	maps, err := mapserve.New(st, mapserve.WithObs(proc.obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.maps = maps
+	proc.reconstruct = func(_ context.Context, _ []*crowdmap.Capture, _ crowdmap.Config) (*crowdmap.Result, error) {
+		return stubResult("Lab2"), nil
+	}
+
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	view, ok := maps.Plan("Lab2")
+	if !ok {
+		t.Fatal("completed reconstruction not published to the read tier")
+	}
+	if view.Version != 1 || view.ETag == "" {
+		t.Fatalf("published identity = v%d etag %q, want version 1", view.Version, view.ETag)
+	}
+	if n := proc.obs.Snapshot().Counters["mapserve.publishes"]; n != 1 {
+		t.Errorf("mapserve.publishes = %d, want 1", n)
+	}
+
+	// Grow the corpus so the building redrives, but keep the (stubbed)
+	// reconstruction output identical: the republish must be a no-op.
+	seedCaptures(t, st, "Lab2", 2, 40)
+	if err := proc.runOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	view2, ok := maps.Plan("Lab2")
+	if !ok {
+		t.Fatal("read tier lost the plan after a rebuild")
+	}
+	if view2.Version != view.Version || view2.ETag != view.ETag {
+		t.Errorf("identical rebuild changed identity: v%d/%s -> v%d/%s",
+			view.Version, view.ETag, view2.Version, view2.ETag)
+	}
+	if n := proc.obs.Snapshot().Counters["mapserve.publish.unchanged"]; n != 1 {
+		t.Errorf("mapserve.publish.unchanged = %d, want 1", n)
 	}
 }

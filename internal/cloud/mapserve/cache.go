@@ -1,0 +1,82 @@
+package mapserve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// indexCache is a bounded LRU over decoded localization indexes, keyed by
+// their content-addressed store key. One entry per building version is
+// live at a time (publishes remove the superseded key), so the capacity
+// effectively bounds how many buildings keep a decoded index in memory.
+type indexCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	idx *locIndex
+}
+
+func newIndexCache(capacity int) *indexCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &indexCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached index for key, marking it most recently used.
+func (c *indexCache) get(key string) (*locIndex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).idx, true
+}
+
+// put inserts (or refreshes) an entry and reports how many entries were
+// evicted to respect the capacity.
+func (c *indexCache) put(key string, idx *locIndex) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).idx = idx
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, idx: idx})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops an entry (a superseded version's index) if present.
+func (c *indexCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// len reports the number of cached indexes.
+func (c *indexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

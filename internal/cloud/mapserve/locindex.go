@@ -1,0 +1,208 @@
+package mapserve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"crowdmap"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/vision/histogram"
+	"crowdmap/internal/vision/hog"
+	"crowdmap/internal/vision/shape"
+	"crowdmap/internal/vision/surf"
+	"crowdmap/internal/vision/wavelet"
+)
+
+// Localization-index persistence mirrors the track-artifact codec in
+// internal/aggregate/trackio.go: gob+gzip over primary extraction output
+// only, with the derived structures (flattened wavelet signature, SURF
+// nearest-neighbor index) rebuilt on decode by the same deterministic
+// constructors keyframe.Extract uses. A decoded index therefore drives
+// comparison decisions bit-identical to matching against the live
+// key-frames the reconstruction produced. Unlike track artifacts, index
+// entries deliberately drop key-frame pixels (Image): localization only
+// compares features, and the pixels would multiply the artifact size.
+
+// locKF is one persisted index entry: a key-frame's primary features plus
+// its global-frame pose.
+type locKF struct {
+	TrackID string
+	Pos     geom.Pt
+	Heading float64
+	HOG     hog.Descriptor
+	Hist    *histogram.Hist
+	Shape   *shape.Descriptor
+	Wavelet *locWavelet
+	SURF    []surf.Feature
+}
+
+// locWavelet is a wavelet.Signature in canonical persisted form. The live
+// signature keeps its significant coefficients in a map, which gob encodes
+// in randomized iteration order — that would make the artifact bytes (and
+// therefore the published content ETag) differ between byte-identical
+// reconstructions. Persisting index-sorted parallel slices keeps encoding
+// deterministic.
+type locWavelet struct {
+	Size    int
+	Average float64
+	Idx     []int
+	Sign    []int8
+}
+
+func toLocWavelet(s *wavelet.Signature) *locWavelet {
+	if s == nil {
+		return nil
+	}
+	w := &locWavelet{
+		Size:    s.Size,
+		Average: s.Average,
+		Idx:     make([]int, 0, len(s.Coeffs)),
+		Sign:    make([]int8, 0, len(s.Coeffs)),
+	}
+	for i := range s.Coeffs {
+		w.Idx = append(w.Idx, i)
+	}
+	sort.Ints(w.Idx)
+	for _, i := range w.Idx {
+		w.Sign = append(w.Sign, s.Coeffs[i])
+	}
+	return w
+}
+
+func (w *locWavelet) signature() *wavelet.Signature {
+	if w == nil {
+		return nil
+	}
+	s := &wavelet.Signature{Size: w.Size, Average: w.Average, Coeffs: make(map[int]int8, len(w.Idx))}
+	for j, i := range w.Idx {
+		s.Coeffs[i] = w.Sign[j]
+	}
+	return s
+}
+
+// locArtifact is the persisted form of one building's index.
+type locArtifact struct {
+	// Params pins the extraction/comparison parameter signature the
+	// key-frames were built with; a decoded index is only comparable
+	// under the same signature (the published ETag also covers it).
+	Params string
+	KFs    []locKF
+}
+
+// locIndex is the decoded, query-ready form: key-frames with derived
+// structures rebuilt, parallel to their poses.
+type locIndex struct {
+	kfs   []*keyframe.KeyFrame
+	poses []globalPose
+}
+
+// buildLocArtifact assembles the persistable index from a completed
+// reconstruction's placed key-frames.
+func buildLocArtifact(res *crowdmap.Result, p keyframe.Params) *locArtifact {
+	placed := res.PlacedKeyFrames()
+	art := &locArtifact{Params: p.Signature(), KFs: make([]locKF, len(placed))}
+	for i, pk := range placed {
+		art.KFs[i] = locKF{
+			TrackID: pk.TrackID,
+			Pos:     pk.Pos,
+			Heading: pk.Heading,
+			HOG:     pk.KF.HOG,
+			Hist:    pk.KF.Hist,
+			Shape:   pk.KF.Shape,
+			Wavelet: toLocWavelet(pk.KF.Wavelet),
+			SURF:    pk.KF.SURF,
+		}
+	}
+	return art
+}
+
+// encodeLocIndex serializes an index artifact (gob into gzip).
+func encodeLocIndex(art *locArtifact) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(art); err != nil {
+		return nil, fmt.Errorf("encode index: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("encode index: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeLocIndex deserializes an index artifact and rebuilds the derived
+// per-key-frame structures exactly as extraction does.
+func decodeLocIndex(data []byte) (*locIndex, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("decode index: %w", err)
+	}
+	var art locArtifact
+	if err := gob.NewDecoder(zr).Decode(&art); err != nil {
+		return nil, fmt.Errorf("decode index: %w", err)
+	}
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("decode index: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("decode index: %w", err)
+	}
+	idx := &locIndex{
+		kfs:   make([]*keyframe.KeyFrame, len(art.KFs)),
+		poses: make([]globalPose, len(art.KFs)),
+	}
+	for i, a := range art.KFs {
+		kf := &keyframe.KeyFrame{
+			Heading: a.Heading,
+			HOG:     a.HOG,
+			Hist:    a.Hist,
+			Shape:   a.Shape,
+			Wavelet: a.Wavelet.signature(),
+			SURF:    a.SURF,
+		}
+		if kf.Wavelet != nil {
+			kf.WaveletFlat = kf.Wavelet.Flatten()
+		}
+		kf.SURFIndex = surf.NewIndex(kf.SURF)
+		idx.kfs[i] = kf
+		idx.poses[i] = globalPose{TrackID: a.TrackID, Pos: a.Pos, Heading: a.Heading}
+	}
+	return idx, nil
+}
+
+// extractQuery runs the per-frame half of keyframe.Extract on one query
+// frame: the same feature extractors with the same parameters, so the
+// hierarchical comparison treats the query exactly like a pipeline
+// key-frame. There is no dead reckoning and no key-frame gating — a
+// localization query is a single frame, always "kept".
+func extractQuery(frame *img.RGB, p keyframe.Params) (*keyframe.KeyFrame, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	luma := img.AcquireGray(frame.W, frame.H)
+	defer img.ReleaseGray(luma)
+	frame.LumaInto(luma)
+	hd, err := hog.Compute(luma, p.HOG)
+	if err != nil {
+		return nil, fmt.Errorf("query HOG: %w", err)
+	}
+	kf := &keyframe.KeyFrame{Image: frame, HOG: hd}
+	if kf.Hist, err = histogram.Compute(frame, p.HistBins); err != nil {
+		return nil, fmt.Errorf("query histogram: %w", err)
+	}
+	if kf.Shape, err = shape.Compute(luma, p.Shape); err != nil {
+		return nil, fmt.Errorf("query shape: %w", err)
+	}
+	if kf.Wavelet, err = wavelet.Compute(luma, p.Wavelet); err != nil {
+		return nil, fmt.Errorf("query wavelet: %w", err)
+	}
+	kf.WaveletFlat = kf.Wavelet.Flatten()
+	kf.SURF = surf.Extract(luma, p.SURF)
+	kf.SURFIndex = surf.NewIndex(kf.SURF)
+	return kf, nil
+}

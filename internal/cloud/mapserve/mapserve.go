@@ -1,0 +1,432 @@
+// Package mapserve is crowdmapd's read tier: versioned floor-plan serving
+// and appearance-based localization over the reconstructed plans. The
+// write path (scheduler → reconstruction) publishes each completed result
+// here; readers then download the plan as vector JSON or a rendered
+// occupancy-grid PNG, revalidate cheaply with ETag/If-None-Match, and
+// localize a single query frame against a persisted per-building
+// key-frame index — the paper's "map as a by-product" consumed as an
+// online service.
+//
+// Versioning contract: every published plan carries a monotonically
+// increasing per-building version and a content-hash ETag. Publishing a
+// byte-identical reconstruction is a no-op (same version, same ETag, so
+// client caches stay valid); any content change bumps the version and
+// changes the ETag. The in-memory current-version pointer is swapped
+// atomically only after every artifact of the new version — vector JSON,
+// PNG, and the localization index — is durably stored, so a concurrent
+// reader (or a locate in flight during a reconstruction) always sees the
+// previous complete version, never a partially written one.
+//
+// Localization follows the appearance-based approach of Rivera-Rubio et
+// al. (see PAPERS.md): the query frame runs through the same feature
+// extractors as pipeline key-frames and is matched with the same
+// hierarchical two-stage comparison (stage-1 color/shape/wavelet gate,
+// stage-2 SURF mutual-nearest-neighbor similarity); the best-matching
+// placed key-frame's global pose is the answer. An optional IMU snippet
+// gates candidates by compass heading, mirroring the aggregation
+// anchor-search gate. Indexes are persisted gob+gzip per building (the
+// trackio.go artifact idiom: primary features stored, derived structures
+// rebuilt on decode) and loaded lazily through a bounded LRU across
+// buildings.
+package mapserve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crowdmap"
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/img"
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/obs"
+	"crowdmap/internal/sensor"
+)
+
+// CollServe is the store collection holding published read-tier artifacts:
+// "<building>/plan" documents (current plan record) and
+// "<building>/index@<etag-prefix>" documents (localization indexes, keyed
+// by content so a crash between writes can never pair a new index with an
+// old plan or vice versa).
+const CollServe = "mapserve"
+
+// DefaultIndexCacheSize bounds how many buildings' localization indexes
+// stay decoded in memory at once (see Option WithIndexCacheSize).
+const DefaultIndexCacheSize = 8
+
+// DefaultMaxHeadingDiff is the locate heading gate: with an IMU snippet in
+// the query, stored key-frames whose heading differs more than this are
+// skipped. It mirrors aggregate.DefaultParams().MaxHeadingDiff.
+var DefaultMaxHeadingDiff = mathx.Deg2Rad(30)
+
+// ErrUnknownBuilding is returned by Plan-less lookups: the building has no
+// published plan version (never reconstructed, or serving is cold and the
+// store holds nothing for it).
+var ErrUnknownBuilding = errors.New("mapserve: no published plan for building")
+
+// Service owns the read tier for all buildings: current plan versions,
+// localization indexes, and their persistence. Safe for concurrent use;
+// Publish may run concurrently with any number of Plan/Locate calls.
+type Service struct {
+	st  *store.Store
+	reg *obs.Registry
+	// kf parameterizes query feature extraction and the hierarchical
+	// comparison; it must match the pipeline's extraction parameters or
+	// the persisted indexes are invalidated (the params signature is part
+	// of the published ETag).
+	kf keyframe.Params
+	// maxHeadingDiff gates locate candidates by IMU heading; ≤ 0 disables.
+	maxHeadingDiff float64
+	cache          *indexCache
+
+	mu sync.RWMutex
+	// current maps building → last complete published record. Entries are
+	// installed atomically after all artifacts are stored, and lazily
+	// loaded from the store on first read after a restart.
+	current map[string]*planRecord
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithObs attaches a metrics registry (mapserve.* counters/gauges).
+func WithObs(r *obs.Registry) Option { return func(s *Service) { s.reg = r } }
+
+// WithIndexCacheSize bounds the decoded localization-index LRU (entries =
+// buildings). Non-positive keeps DefaultIndexCacheSize.
+func WithIndexCacheSize(n int) Option {
+	return func(s *Service) {
+		if n > 0 {
+			s.cache = newIndexCache(n)
+		}
+	}
+}
+
+// WithKeyframeParams overrides the feature-extraction and comparison
+// parameters used for localization queries. Use the same params the
+// reconstruction pipeline runs with; the default is keyframe.DefaultParams
+// (which DefaultConfig also uses).
+func WithKeyframeParams(p keyframe.Params) Option {
+	return func(s *Service) { s.kf = p }
+}
+
+// WithMaxHeadingDiff overrides the locate IMU heading gate, radians
+// (0 disables the gate even when the query carries IMU samples).
+func WithMaxHeadingDiff(d float64) Option {
+	return func(s *Service) { s.maxHeadingDiff = d }
+}
+
+// New builds a read-tier service over the given document store.
+func New(st *store.Store, opts ...Option) (*Service, error) {
+	if st == nil {
+		return nil, fmt.Errorf("mapserve: nil store")
+	}
+	s := &Service{
+		st:             st,
+		kf:             keyframe.DefaultParams(),
+		maxHeadingDiff: DefaultMaxHeadingDiff,
+		cache:          newIndexCache(DefaultIndexCacheSize),
+		current:        make(map[string]*planRecord),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.New()
+	}
+	return s, nil
+}
+
+// PlanVersion is the public identity of one published plan version.
+type PlanVersion struct {
+	Building string
+	// Version increases monotonically per building, starting at 1.
+	Version uint64
+	// ETag is the hex content hash over every artifact of the version
+	// (vector JSON geometry, PNG, localization index, and the comparison
+	// parameter signature). Identical reconstructions produce identical
+	// ETags.
+	ETag string
+}
+
+// PlanView is a served plan version: identity plus the renderable bytes.
+// The byte slices are owned by the service and must not be mutated.
+type PlanView struct {
+	PlanVersion
+	// JSON is the vector plan document (see PlanDoc).
+	JSON []byte
+	// PNG is the rendered occupancy-grid raster.
+	PNG []byte
+}
+
+// Publish makes a completed reconstruction the building's current served
+// version: it renders the vector JSON and PNG artifacts, builds and
+// persists the localization index, and — only after everything is stored —
+// atomically swaps the current-version pointer. Publishing a result whose
+// content hash equals the current version's is a no-op that returns the
+// existing version. Safe to call concurrently with readers; never safe to
+// observe half-published (readers see the old version until the swap).
+func (s *Service) Publish(building string, res *crowdmap.Result) (PlanVersion, error) {
+	if building == "" {
+		return PlanVersion{}, fmt.Errorf("mapserve: empty building")
+	}
+	if res == nil || res.Plan == nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: nil result or plan", building)
+	}
+	geo, err := renderPlanJSON(building, 0, res.Plan)
+	if err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: %w", building, err)
+	}
+	png, err := renderPlanPNG(res.Plan)
+	if err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: %w", building, err)
+	}
+	idxBytes, err := encodeLocIndex(buildLocArtifact(res, s.kf))
+	if err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: %w", building, err)
+	}
+	// Content hash over the complete artifact set. The version-0 JSON
+	// rendering keeps the hash independent of the version number itself,
+	// so an identical rebuild hashes identically and keeps its ETag (and
+	// clients' 304s) valid.
+	h := sha256.New()
+	h.Write(geo)
+	h.Write(png)
+	h.Write(idxBytes)
+	h.Write([]byte(s.kf.Signature()))
+	etag := hex.EncodeToString(h.Sum(nil))
+
+	cur, _ := s.record(building)
+	if cur != nil && cur.ETag == etag {
+		s.reg.Counter("mapserve.publish.unchanged").Inc()
+		return PlanVersion{Building: building, Version: cur.Version, ETag: cur.ETag}, nil
+	}
+	version := uint64(1)
+	if cur != nil {
+		version = cur.Version + 1
+	}
+	finalJSON, err := renderPlanJSON(building, version, res.Plan)
+	if err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: %w", building, err)
+	}
+	rec := &planRecord{
+		Building: building,
+		Version:  version,
+		ETag:     etag,
+		JSON:     finalJSON,
+		PNG:      png,
+		IndexKey: indexKey(building, etag),
+	}
+	// Durability order is the commit protocol: index first, plan record
+	// second. The plan record is the commit point — until it lands,
+	// readers resolve the old record, whose own (content-keyed) index is
+	// untouched. A crash in between leaves an orphan index document that
+	// the next successful publish of this building deletes.
+	if err := s.st.Put(CollServe, rec.IndexKey, idxBytes); err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: store index: %w", building, err)
+	}
+	recBytes, err := encodePlanRecord(rec)
+	if err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: %w", building, err)
+	}
+	if err := s.st.Put(CollServe, planKey(building), recBytes); err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: store plan: %w", building, err)
+	}
+	// Atomic swap: from here every reader sees the new complete version.
+	s.mu.Lock()
+	s.current[building] = rec
+	s.mu.Unlock()
+	// Old-version cleanup is best-effort and happens only after the swap.
+	if cur != nil && cur.IndexKey != rec.IndexKey {
+		_ = s.st.Delete(CollServe, cur.IndexKey)
+		s.cache.remove(cur.IndexKey)
+	}
+	s.reg.Counter("mapserve.publishes").Inc()
+	s.reg.Gauge("mapserve.plan.version").Set(float64(version))
+	return PlanVersion{Building: building, Version: version, ETag: etag}, nil
+}
+
+// Plan returns the building's current served version, or false when the
+// building has no published plan.
+func (s *Service) Plan(building string) (PlanView, bool) {
+	rec, ok := s.record(building)
+	if !ok {
+		return PlanView{}, false
+	}
+	s.reg.Counter("mapserve.plan.serves").Inc()
+	return PlanView{
+		PlanVersion: PlanVersion{Building: building, Version: rec.Version, ETag: rec.ETag},
+		JSON:        rec.JSON,
+		PNG:         rec.PNG,
+	}, true
+}
+
+// record resolves the building's current plan record: the in-memory
+// pointer when the service published (or already loaded) it, otherwise a
+// lazy load from the store (the restart path).
+func (s *Service) record(building string) (*planRecord, bool) {
+	s.mu.RLock()
+	rec := s.current[building]
+	s.mu.RUnlock()
+	if rec != nil {
+		return rec, true
+	}
+	data, ok := s.st.Get(CollServe, planKey(building))
+	if !ok {
+		return nil, false
+	}
+	loaded, err := decodePlanRecord(data)
+	if err != nil {
+		s.reg.Counter("mapserve.plan.decode_errors").Inc()
+		return nil, false
+	}
+	s.mu.Lock()
+	// A concurrent Publish may have swapped a newer record in while we
+	// decoded; never roll the pointer backwards.
+	if cur := s.current[building]; cur != nil {
+		loaded = cur
+	} else {
+		s.current[building] = loaded
+	}
+	s.mu.Unlock()
+	return loaded, true
+}
+
+// Pose is a localization answer on the current plan: global-frame
+// position and camera heading (radians).
+type Pose struct {
+	X, Y    float64
+	Heading float64
+}
+
+// LocateResult is the outcome of one localization query.
+type LocateResult struct {
+	// Located is false when no stored key-frame passed the hierarchical
+	// comparison (the query does not resemble any mapped place).
+	Located bool
+	// Version and ETag identify the plan version the pose refers to.
+	Version uint64
+	ETag    string
+	// Pose is the best-matching placed key-frame's pose (zero if !Located).
+	Pose Pose
+	// TrackID is the capture that contributed the matched key-frame.
+	TrackID string
+	// Confidence is the winning stage-2 SURF similarity (S2); higher is
+	// better, and it always exceeds the comparison threshold hf when
+	// Located.
+	Confidence float64
+	// Candidates is how many stored key-frames were compared after the
+	// heading gate.
+	Candidates int
+}
+
+// Locate answers one localization query: extract query-frame features,
+// optionally derive a heading gate from the IMU snippet, compare against
+// the building's persisted key-frame index, and return the best match's
+// pose on the current plan version. It never blocks on an in-flight
+// reconstruction: the record and index are resolved once, so the answer is
+// consistent with exactly one complete published version.
+func (s *Service) Locate(building string, frame *img.RGB, imu []sensor.Sample) (LocateResult, error) {
+	start := time.Now()
+	s.reg.Counter("mapserve.locate.requests").Inc()
+	if frame == nil || frame.W <= 0 || frame.H <= 0 {
+		return LocateResult{}, fmt.Errorf("mapserve: locate %s: empty query frame", building)
+	}
+	rec, ok := s.record(building)
+	if !ok {
+		return LocateResult{}, fmt.Errorf("%w: %s", ErrUnknownBuilding, building)
+	}
+	idx, err := s.index(rec)
+	if err != nil {
+		return LocateResult{}, fmt.Errorf("mapserve: locate %s: %w", building, err)
+	}
+	query, err := extractQuery(frame, s.kf)
+	if err != nil {
+		return LocateResult{}, fmt.Errorf("mapserve: locate %s: %w", building, err)
+	}
+	var queryHeading float64
+	haveHeading := false
+	if len(imu) > 0 && s.maxHeadingDiff > 0 {
+		if hs := sensor.EstimateHeadings(imu); len(hs) > 0 {
+			queryHeading = hs[len(hs)-1]
+			haveHeading = true
+		}
+	}
+	res := LocateResult{Version: rec.Version, ETag: rec.ETag}
+	best := -1
+	for i, kf := range idx.kfs {
+		if haveHeading {
+			if d := mathx.AngleDiff(queryHeading, idx.poses[i].Heading); d > s.maxHeadingDiff || d < -s.maxHeadingDiff {
+				continue
+			}
+		}
+		res.Candidates++
+		same, s2, err := keyframe.Compare(query, kf, s.kf)
+		if err != nil {
+			// A malformed stored key-frame must not fail the query; skip it.
+			s.reg.Counter("mapserve.locate.compare_errors").Inc()
+			continue
+		}
+		if same && (best < 0 || s2 > res.Confidence) {
+			best = i
+			res.Confidence = s2
+		}
+	}
+	if best >= 0 {
+		res.Located = true
+		res.Pose = Pose{X: idx.poses[best].Pos.X, Y: idx.poses[best].Pos.Y, Heading: idx.poses[best].Heading}
+		res.TrackID = idx.poses[best].TrackID
+		s.reg.Counter("mapserve.locate.hits").Inc()
+	} else {
+		s.reg.Counter("mapserve.locate.misses").Inc()
+	}
+	s.reg.Histogram("mapserve.locate.seconds").Observe(time.Since(start).Seconds())
+	return res, nil
+}
+
+// index resolves the decoded localization index for one plan record:
+// LRU-cached per content key, loaded from the store and decoded on miss.
+func (s *Service) index(rec *planRecord) (*locIndex, error) {
+	if idx, ok := s.cache.get(rec.IndexKey); ok {
+		s.reg.Counter("mapserve.index.cache.hits").Inc()
+		return idx, nil
+	}
+	s.reg.Counter("mapserve.index.cache.misses").Inc()
+	data, ok := s.st.Get(CollServe, rec.IndexKey)
+	if !ok {
+		return nil, fmt.Errorf("localization index missing (key %s)", rec.IndexKey)
+	}
+	idx, err := decodeLocIndex(data)
+	if err != nil {
+		return nil, err
+	}
+	if evicted := s.cache.put(rec.IndexKey, idx); evicted > 0 {
+		s.reg.Counter("mapserve.index.cache.evictions").Add(int64(evicted))
+	}
+	return idx, nil
+}
+
+// globalPose pairs a stored key-frame with its plan-frame pose.
+type globalPose struct {
+	TrackID string
+	Pos     geom.Pt
+	Heading float64
+}
+
+func planKey(building string) string { return building + "/plan" }
+
+// indexKey keys an index document by building and content, so plan and
+// index can never be mismatched across a crash: the plan record names
+// exactly the index built from the same reconstruction.
+func indexKey(building, etag string) string {
+	n := 16
+	if len(etag) < n {
+		n = len(etag)
+	}
+	return building + "/index@" + etag[:n]
+}

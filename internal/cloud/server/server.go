@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crowdmap/internal/cloud/mapserve"
 	"crowdmap/internal/cloud/store"
 	"crowdmap/internal/obs"
 	"crowdmap/internal/quality"
@@ -61,6 +62,9 @@ type Server struct {
 	wal   ChunkLog         // nil when running memory-only
 	adm   *admission       // nil = admission control off (see admission.go)
 	gate  *quality.Params  // nil = quality gate off (trust decoded input)
+	// maps is the read tier (versioned plan serving + localization); nil
+	// answers the buildings.* routes 404 (see mapserve.go).
+	maps *mapserve.Service
 
 	// draining flips at graceful shutdown: chunk uploads are refused with
 	// 503 so the daemon can finish in-flight work and exit.
@@ -230,11 +234,16 @@ func (s *Server) evictStaleLocked(now time.Time) {
 //	GET  /api/v1/captures/{id}                         — download archive
 //	PUT  /api/v1/plans/{building}                      — store a plan SVG
 //	GET  /api/v1/plans/{building}                      — download plan SVG
+//	GET  /api/v1/buildings/{building}/plan             — versioned vector plan (ETag/304)
+//	GET  /api/v1/buildings/{building}/plan.png         — versioned occupancy-grid PNG (ETag/304)
+//	POST /api/v1/buildings/{building}/locate           — localize one frame on the plan
 //	GET  /metrics                                      — metrics snapshot (JSON)
 //	GET  /healthz                                      — liveness
 //
 // Every route is wrapped in the metrics middleware (request counts, status
-// classes, latency, bytes in/out) under http.<route>.*.
+// classes, latency, bytes in/out) under http.<route>.*. The full request/
+// response reference, including conditional-GET and error semantics, is
+// docs/API.md (kept in sync by the ci.sh route-drift check).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
@@ -246,6 +255,9 @@ func (s *Server) Handler() http.Handler {
 	route("GET /api/v1/captures/{id}", "captures.get", s.handleGetCapture)
 	route("PUT /api/v1/plans/{building}", "plans.put", s.handlePutPlan)
 	route("GET /api/v1/plans/{building}", "plans.get", s.handleGetPlan)
+	route("GET /api/v1/buildings/{building}/plan", "buildings.plan", s.handleBuildingPlan)
+	route("GET /api/v1/buildings/{building}/plan.png", "buildings.plan_png", s.handleBuildingPlanPNG)
+	route("POST /api/v1/buildings/{building}/locate", "buildings.locate", s.handleLocate)
 	mux.Handle("GET /metrics", obs.Handler(s.obs))
 	route("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")

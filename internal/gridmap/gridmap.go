@@ -5,6 +5,14 @@
 // automatically, and morphological closing repairs small gaps in the path
 // ("normalizing the regularized boundaries by repairing the unconnected
 // paths").
+//
+// Two rasterization entry points share the representation: the batch path
+// (Grid.AddTrajectory over every trajectory, then Binarize) and the
+// incremental API (Tracked, in incremental.go), which remembers each
+// trajectory's touched cells and patches the integer counts when a corpus
+// changes — bit-exact with a fresh rasterization of the same set, at the
+// cost of one trajectory instead of all of them. Tracked backs the
+// daemon's delta reconstruction; Grid remains the one-shot path.
 package gridmap
 
 import (

@@ -80,6 +80,61 @@ type Coverage struct {
 	Degraded bool
 }
 
+// PlacedKeyFrame is one extracted key-frame together with its pose in the
+// plan's global frame: the key-frame's dead-reckoned local position shifted
+// by its track's aggregation offset, paired with the fused camera heading.
+// It is the unit of the appearance-based localization index — a stored
+// corpus of placed key-frames lets a single query frame be matched (via the
+// same hierarchical comparison the pipeline uses) and answered with a pose
+// on the reconstructed plan (see internal/cloud/mapserve).
+type PlacedKeyFrame struct {
+	// TrackID is the capture the key-frame came from.
+	TrackID string
+	// KF is the key-frame with all extracted features.
+	KF *KeyFrame
+	// Pos is the key-frame's camera position in the plan's global frame.
+	Pos geom.Pt
+	// Heading is the fused camera heading at capture time, radians.
+	Heading float64
+}
+
+// PlacedKeyFrames exports every key-frame of every track the aggregation
+// placed, with global-frame poses. Key-frames of unplaced tracks are
+// omitted: without an aggregation offset they have no global pose. The
+// result is deterministic — tracks in input (capture) order, key-frames in
+// time order — so two identical reconstructions export identical indexes.
+// Both the batch and the delta entry points populate the fields this
+// reads, so it works on any completed Result.
+func (r *Result) PlacedKeyFrames() []PlacedKeyFrame {
+	if r == nil || r.Aggregation == nil {
+		return nil
+	}
+	var out []PlacedKeyFrame
+	// Aggregation offsets are keyed by index into the compacted surviving
+	// track slice; r.Tracks is input-indexed with nils at exclusions, so
+	// walk it re-deriving the compact index.
+	live := 0
+	for _, tr := range r.Tracks {
+		if tr == nil {
+			continue
+		}
+		off, placed := r.Aggregation.Offsets[live]
+		live++
+		if !placed {
+			continue
+		}
+		for _, kf := range tr.KFs {
+			out = append(out, PlacedKeyFrame{
+				TrackID: tr.ID,
+				KF:      kf,
+				Pos:     kf.LocalPos.Add(off),
+				Heading: kf.Heading,
+			})
+		}
+	}
+	return out
+}
+
 // CaptureError identifies which capture a per-capture pipeline failure
 // came from, so a daemon can quarantine the poison capture (dead-letter
 // it) and retry the job over the remaining corpus.

@@ -170,6 +170,12 @@ func (s *DeltaState) Clone() *DeltaState {
 // config_flushes, full_rebuilds, tracks.reused / .journal_loaded /
 // .extracted, rooms.reused / .recomputed, grid.rebuilds / .rasterized /
 // .reused.
+//
+// A delta Result is a complete Result: Tracks and Aggregation are fully
+// populated (memo hits substitute for recomputation, never for fields),
+// so downstream consumers — Result.PlacedKeyFrames and the read tier's
+// mapserve.Publish — work identically on delta and batch results, and a
+// no-op delta cycle publishes with an unchanged content ETag.
 func ReconstructDelta(ctx context.Context, captures []*Capture, cfg Config, state *DeltaState) (*Result, error) {
 	if state == nil {
 		return ReconstructContext(ctx, captures, cfg)

@@ -239,6 +239,29 @@ for md in README.md docs/*.md; do
 done
 [ "$fail" -eq 0 ] || exit 1
 
+# Route drift: docs/API.md must document exactly the HTTP routes the
+# server registers. Both sides reduce to "METHOD /path" lines — route()
+# registrations (plus the bare GET /metrics mux.Handle) on one side,
+# API.md paths written as `METHOD `/path`` table rows or `### METHOD
+# /path` headings on the other — so adding a route without documenting
+# it, or documenting a route that does not exist, fails the gate.
+echo "== docs: API.md route drift =="
+routes_src=$(mktemp) && routes_doc=$(mktemp)
+grep -oE '(route\("|mux\.Handle\(")(GET|POST|PUT|DELETE) [^"]*' \
+	internal/cloud/server/server.go |
+	sed -E 's/^(route|mux\.Handle)\("//' | sed -E 's/\{[a-z]+\}/{}/g' |
+	sort -u >"$routes_src"
+grep -oE '(GET|POST|PUT|DELETE) `?/[a-zA-Z0-9_{}./-]*' docs/API.md |
+	tr -d '`' | sed -E 's/\{[a-z]+\}/{}/g' | sort -u >"$routes_doc"
+if ! diff -u "$routes_src" "$routes_doc"; then
+	echo "docs/API.md routes out of sync with server registrations (<- code, -> docs)"
+	rm -f "$routes_src" "$routes_doc"
+	exit 1
+fi
+nroutes=$(wc -l <"$routes_src")
+rm -f "$routes_src" "$routes_doc"
+echo "routes in sync: $nroutes documented"
+
 # Benchmark ratchet (PR 6): re-run the named hot-path benchmarks and fail
 # if any regresses more than the tolerance against the committed
 # BENCH_pr6.json baseline, in ns/op or allocs/op. Knobs (see
