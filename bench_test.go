@@ -598,6 +598,35 @@ func BenchmarkFullRebuild(b *testing.B) {
 	}
 }
 
+// BenchmarkTrajectoryOnlyReconstruct times the CrowdInside-style
+// workload: a frame-less IMU-only corpus dead-reckoned, turn-matched, and
+// rasterized through the occupancy/α-shape stages. No vision work at all,
+// so this bounds the cost floor of a trajectory-mode deployment.
+func BenchmarkTrajectoryOnlyReconstruct(b *testing.B) {
+	ds, err := GenerateDataset(world.Lab2(), DatasetSpec{
+		Users: 5, CorridorWalks: 9, RoomVisits: 3, Seed: 61, FPS: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := make([]*Capture, len(ds.Captures))
+	for i, src := range ds.Captures {
+		c := *src
+		c.Frames = nil
+		c.FPS = 0
+		corpus[i] = &c
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Mode = ModeTrajectory
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeltaUpdate times the same corpus change through
 // ReconstructDelta with a state warmed on the base corpus: only the new
 // capture's extraction, its pair comparisons, a grid patch, and the cheap

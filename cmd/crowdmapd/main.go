@@ -17,7 +17,7 @@
 //	          [-snapshot store.json] [-hypotheses N] [-workers N]
 //	          [-building-workers N] [-max-inflight-mb N] [-client-chunk-rate R]
 //	          [-client-chunk-burst N] [-chunk-body-timeout D] [-drain-timeout D]
-//	          [-quality lenient] [-stage-budget D] [-delta]
+//	          [-quality lenient] [-mode vision] [-stage-budget D] [-delta]
 //	          [-rebuild-every N] [-index-cache N] [-metrics]
 //
 // Reconstruction is scheduled per building: every -interval the capture
@@ -43,6 +43,14 @@
 // poisoned corpus degrades to its healthy subset instead of crashing or
 // wedging the building. -stage-budget arms a soft per-stage watchdog that
 // counts overruns on pipeline.budget.exceeded without cancelling work.
+//
+// -mode selects the reconstruction modalities (vision | trajectory |
+// hybrid). Trajectory mode builds floor plans from dead-reckoned IMU
+// walks alone; hybrid runs the vision pipeline but rescues captures whose
+// video fails the gate into the trajectory path. In both, the upload gate
+// additionally admits IMU-only captures (zero frames) on the inertial
+// verdict alone, and the per-run routing is reported on the
+// reconstruct.mode.* metrics.
 //
 // With -data-dir the daemon is durable: every document mutation and every
 // acknowledged upload chunk goes through a write-ahead log before it is
@@ -77,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"crowdmap"
 	"crowdmap/internal/cloud/mapserve"
 	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/cloud/queue"
@@ -105,6 +114,7 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight building jobs")
 		metrics    = flag.Bool("metrics", false, "log a metrics snapshot after each scan")
 		qualityArg = flag.String("quality", "lenient", "capture quality gate: off | lenient | strict (applied at upload admission and again before reconstruction)")
+		modeArg    = flag.String("mode", "vision", "reconstruction modalities: vision | trajectory | hybrid (trajectory/hybrid also admit IMU-only uploads)")
 		stageTO    = flag.Duration("stage-budget", 0, "soft wall-clock budget per reconstruction stage; overruns are counted on pipeline.budget.exceeded, never cancelled (0 = off)")
 		delta      = flag.Bool("delta", false, "incremental reconstruction: reuse per-capture stage artifacts across cycles so a new upload costs O(delta), not O(corpus)")
 		rebuildN   = flag.Int("rebuild-every", 16, "with -delta, force a full rebuild every N-th cycle per building as a correctness backstop (0 = never)")
@@ -126,6 +136,10 @@ func main() {
 		qp.Policy = pol
 		gateParams = &qp
 	}
+	mode, err := crowdmap.ParseMode(*modeArg)
+	if err != nil {
+		log.Fatalf("-mode: %v", err)
+	}
 
 	// One registry spans every subsystem: ingestion, WAL, scheduler and the
 	// reconstruction pipeline all feed it, and GET /metrics exposes all of it.
@@ -144,6 +158,11 @@ func main() {
 	}
 	if gateParams != nil {
 		serverOpts = append(serverOpts, server.WithQualityGate(*gateParams))
+		if mode != crowdmap.ModeVision {
+			// Trajectory-capable deployments keep IMU-only and bad-video
+			// uploads the full gate would 422; the pipeline routes them.
+			serverOpts = append(serverOpts, server.WithIMUOnlyAdmission())
+		}
 	}
 	if *dataDir != "" {
 		pol, err := store.ParseSyncPolicy(*walSync)
@@ -204,6 +223,7 @@ func main() {
 	proc.logMetrics = *metrics
 	proc.journal = journal
 	proc.quality = gateParams
+	proc.mode = mode
 	proc.stageBudget = *stageTO
 	proc.delta = *delta
 	proc.rebuildEvery = *rebuildN

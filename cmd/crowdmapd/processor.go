@@ -58,6 +58,9 @@ type processor struct {
 	// quality configures the reconstruction-side input gate; nil disables
 	// it (the daemon default is the lenient policy, set by newProcessor).
 	quality *crowdmap.QualityParams
+	// mode selects the reconstruction modalities (-mode): vision,
+	// trajectory, or hybrid per-modality routing.
+	mode crowdmap.Mode
 	// stageBudget is the soft per-stage wall-clock budget (0 = off).
 	stageBudget time.Duration
 	// journal checkpoints per-stage completion; a building whose plan stage
@@ -411,6 +414,7 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 		cfg.JobID = building
 		cfg.Checkpoints = p.journal
 		cfg.Quality = p.quality
+		cfg.Mode = p.mode
 		cfg.StageBudget = p.stageBudget
 		start := time.Now()
 		var res *crowdmap.Result

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	datagen [-building Lab2] [-walks N] [-visits N] [-users N] [-night F]
-//	        [-seed N] -out DIR
+//	        [-seed N] [-imu-only] -out DIR
+//
+// With -imu-only every archive is stripped of its video before encoding —
+// frame-less IMU uploads, the corpus shape a crowdmapd running -mode
+// trajectory ingests.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		users    = flag.Int("users", 10, "simulated user population")
 		night    = flag.Float64("night", 0.3, "fraction of users capturing at night")
 		seed     = flag.Int64("seed", 1, "dataset seed")
+		imuOnly  = flag.Bool("imu-only", false, "strip video: write frame-less IMU-only archives (for -mode trajectory daemons)")
 		outDir   = flag.String("out", "", "output directory for capture archives (required)")
 	)
 	flag.Parse()
@@ -55,6 +60,12 @@ func main() {
 	}
 	var total int64
 	for _, c := range ds.Captures {
+		if *imuOnly {
+			cc := *c
+			cc.Frames = nil
+			cc.FPS = 0
+			c = &cc
+		}
 		data, err := server.EncodeCapture(c)
 		if err != nil {
 			log.Fatalf("encode %s: %v", c.ID, err)
@@ -65,6 +76,10 @@ func main() {
 		}
 		total += int64(len(data))
 	}
+	frames := ds.FrameCount()
+	if *imuOnly {
+		frames = 0
+	}
 	fmt.Printf("wrote %d capture archives (%d frames, %.1f MiB) to %s\n",
-		len(ds.Captures), ds.FrameCount(), float64(total)/(1<<20), *outDir)
+		len(ds.Captures), frames, float64(total)/(1<<20), *outDir)
 }

@@ -155,6 +155,16 @@ type Config struct {
 	// low-score captures lose aggregation ties. Nil disables the gate, the
 	// pre-existing trust-the-input behavior.
 	Quality *QualityParams
+	// Mode selects which sensing modalities drive the run: ModeVision (the
+	// zero value — the paper's video pipeline, unchanged), ModeTrajectory
+	// (dead-reckoned trajectories only, CrowdInside style), or ModeHybrid
+	// (per-modality routing: captures whose video fails the gate but whose
+	// IMU is sound contribute trajectory density instead of an exclusion).
+	// In trajectory and hybrid modes a nil Quality still works: trajectory
+	// mode then routes every capture to dead reckoning unscored, and hybrid
+	// mode degenerates to vision behavior (with no gate nothing is ever
+	// rejected, so there is nothing to rescue).
+	Mode Mode
 	// DeltaRebuildEvery, in delta mode (ReconstructDelta with a
 	// DeltaState), forces a full rebuild — dropping every memoized stage
 	// artifact and recomputing from scratch — every N-th run, as a
@@ -217,6 +227,11 @@ func (c Config) Validate() error {
 		if err := c.Quality.Validate(); err != nil {
 			return fmt.Errorf("crowdmap: quality config: %w", err)
 		}
+	}
+	switch c.Mode {
+	case ModeVision, ModeTrajectory, ModeHybrid:
+	default:
+		return fmt.Errorf("crowdmap: unknown reconstruction mode %d", int(c.Mode))
 	}
 	if c.DeltaRebuildEvery < 0 {
 		return fmt.Errorf("crowdmap: delta rebuild interval must be ≥ 0, got %d", c.DeltaRebuildEvery)

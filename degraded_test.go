@@ -135,7 +135,7 @@ func TestDegradedModeGolden(t *testing.T) {
 	}
 
 	// Coverage reflects the degraded run.
-	want := Coverage{Input: len(poisoned), Used: len(clean), Excluded: 2, Degraded: true}
+	want := Coverage{Input: len(poisoned), Used: len(clean), Excluded: 2, Degraded: true, Vision: len(clean)}
 	if degraded.Coverage != want {
 		t.Errorf("coverage = %+v, want %+v", degraded.Coverage, want)
 	}

@@ -1,0 +1,186 @@
+package aggregate
+
+import (
+	"math"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
+	"crowdmap/internal/trajectory"
+)
+
+// Trajectory-only pair comparison, the inertial counterpart of
+// ComparePair for tracks that carry no key-frames (trajectory mode, and
+// hybrid-mode captures whose video failed the quality gate). The
+// CrowdInside observation is that dead-reckoned walks alone carry enough
+// structure to align: corridors force users through the same corners, so
+// sustained heading changes (trajectory.Turns) play the role visual
+// anchors play in the vision pipeline. Compass headings give all local
+// frames a shared orientation, which keeps alignment translation-only —
+// the same assumption the visual anchor search already makes.
+//
+// The decision mirrors DecideFromAnchors: every heading-compatible turn
+// pair proposes a translation, agreeing independent turn pairs provide
+// support, and the LCS sequence metric (the paper's S3) verifies the
+// winner. Tuning lives in package constants rather than Params fields so
+// the pair-cache parameter signature — which the vision path pins — is
+// untouched; trajectory decisions are never cached.
+const (
+	// trajTurnWindowM is the heading-averaging window on each side of a
+	// candidate turn, meters of arc length.
+	trajTurnWindowM = 1.2
+	// trajTurnAngle is the minimum sustained heading change for a turn
+	// anchor, radians. Hallway corners are ~90°; 45° keeps doorway jinks
+	// while rejecting dead-reckoning wobble.
+	trajTurnAngle = math.Pi / 4
+	// trajTurnSep is the minimum arc length between detected turns, meters.
+	trajTurnSep = 1.5
+	// trajMinSupport is the minimum number of agreeing turn pairs behind an
+	// accepted translation. One corner shared by two L-shaped walks is
+	// legitimate evidence, so the floor is 1 — the LCS still has to agree.
+	trajMinSupport = 1
+	// trajHL is the S3 acceptance floor for trajectory-only merges. It is
+	// deliberately above the default vision HL (0.35): without visual
+	// confirmation the sequence overlap alone carries the decision.
+	trajHL = 0.45
+	// trajFeatureStep is the fallback distance-resampling step for turn
+	// detection when the configuration resamples by time, meters.
+	trajFeatureStep = 0.4
+)
+
+// trajTurns detects the turn anchors of one track on a distance-resampled
+// copy, so the detection window spans a consistent length of path
+// regardless of walking speed.
+func trajTurns(tr *trajectory.Trajectory, p Params) ([]trajectory.Turn, error) {
+	step := p.ResampleDist
+	if step <= 0 {
+		step = trajFeatureStep
+	}
+	r, err := tr.ResampleByDistance(step)
+	if err != nil {
+		return nil, err
+	}
+	window := int(math.Round(trajTurnWindowM / step))
+	if window < 1 {
+		window = 1
+	}
+	return r.Turns(window, trajTurnAngle, trajTurnSep), nil
+}
+
+// trajTurnSupport counts independent turn pairs agreeing with the
+// candidate translation. Turns on one track are already at least
+// trajTurnSep apart, so freshness of the turn indices implies spatial
+// spread.
+func trajTurnSupport(cands []trajCand, t geom.Pt, radius float64) int {
+	usedA := make(map[int]bool)
+	usedB := make(map[int]bool)
+	n := 0
+	for _, c := range cands {
+		if c.t.Dist(t) > radius {
+			continue
+		}
+		if usedA[c.ia] || usedB[c.ib] {
+			continue
+		}
+		usedA[c.ia] = true
+		usedB[c.ib] = true
+		n++
+	}
+	return n
+}
+
+// trajCand is one candidate translation: turn ia of track A matched to
+// turn ib of track B.
+type trajCand struct {
+	ia, ib int
+	t      geom.Pt
+}
+
+// CompareTrajectoryPair decides whether two tracks can merge on their
+// dead-reckoned trajectories alone. It is a PairComparer, so trajectory
+// mode feeds it to the same union-find aggregation the vision comparer
+// drives; hybrid mode uses it to fold key-frame-less tracks into an
+// already-placed vision graph. The returned match carries no anchors —
+// downstream drift correction simply finds no key-frame pins and falls
+// back to the plain translated trajectory.
+func CompareTrajectoryPair(ai, bi int, a, b *Track, p Params) (Match, bool, error) {
+	if err := p.Validate(); err != nil {
+		return Match{}, false, err
+	}
+	p.KF.Obs.Counter("aggregate.traj.pairs.compared").Inc()
+	ta, err := trajTurns(a.Traj, p)
+	if err != nil {
+		return Match{}, false, err
+	}
+	tb, err := trajTurns(b.Traj, p)
+	if err != nil {
+		return Match{}, false, err
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return Match{}, false, nil
+	}
+	// Candidate translations from heading-compatible turn pairs: the same
+	// corner must be approached and left in the same absolute directions.
+	var cands []trajCand
+	for i, ua := range ta {
+		for j, ub := range tb {
+			if p.MaxHeadingDiff > 0 {
+				if d := mathx.AngleDiff(ua.In, ub.In); d > p.MaxHeadingDiff || d < -p.MaxHeadingDiff {
+					continue
+				}
+				if d := mathx.AngleDiff(ua.Out, ub.Out); d > p.MaxHeadingDiff || d < -p.MaxHeadingDiff {
+					continue
+				}
+			}
+			cands = append(cands, trajCand{ia: i, ib: j, t: ua.Pos.Sub(ub.Pos)})
+		}
+	}
+	if len(cands) == 0 {
+		return Match{}, false, nil
+	}
+	ra, err := resampleForLCS(a.Traj, p)
+	if err != nil {
+		return Match{}, false, err
+	}
+	rb, err := resampleForLCS(b.Traj, p)
+	if err != nil {
+		return Match{}, false, err
+	}
+	pa := ra.Positions()
+	pb := rb.Positions()
+	minLen := len(pa)
+	if len(pb) < minLen {
+		minLen = len(pb)
+	}
+	if minLen == 0 {
+		return Match{}, false, nil
+	}
+	hl := p.HL
+	if hl < trajHL {
+		hl = trajHL
+	}
+	best := Match{A: ai, B: bi}
+	found := false
+	for _, c := range cands {
+		sup := trajTurnSupport(cands, c.t, 2*p.Epsilon)
+		if sup < trajMinSupport {
+			continue
+		}
+		shifted := make([]geom.Pt, len(pb))
+		for i, q := range pb {
+			shifted[i] = q.Add(c.t)
+		}
+		l := LCS(pa, shifted, p.Epsilon, p.Delta)
+		s3 := float64(l) / float64(minLen)
+		if s3 > best.S3 || (s3 == best.S3 && sup > best.Support) {
+			best.S3 = s3
+			best.Translation = c.t
+			best.Support = sup
+			found = true
+		}
+	}
+	if !found || best.S3 <= hl {
+		return Match{}, false, nil
+	}
+	p.KF.Obs.Counter("aggregate.traj.pairs.matched").Inc()
+	return best, true, nil
+}

@@ -1,0 +1,100 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"crowdmap/internal/geom"
+	"crowdmap/internal/trajectory"
+)
+
+// walkPath builds a trajectory walking the given waypoints at ~1.4 m/s
+// with ~0.35 m point spacing, in a local frame shifted so the first
+// waypoint sits at -origin... i.e. world = local + origin.
+func walkPath(id string, waypoints []geom.Pt, origin geom.Pt) *trajectory.Trajectory {
+	tr := &trajectory.Trajectory{ID: id}
+	const step = 0.35
+	const speed = 1.4
+	t := 0.0
+	emit := func(p geom.Pt) {
+		tr.Points = append(tr.Points, trajectory.Point{T: t, Pos: p.Sub(origin)})
+	}
+	emit(waypoints[0])
+	for i := 1; i < len(waypoints); i++ {
+		a, b := waypoints[i-1], waypoints[i]
+		d := a.Dist(b)
+		n := int(math.Ceil(d / step))
+		for s := 1; s <= n; s++ {
+			t += d / float64(n) / speed
+			emit(a.Add(b.Sub(a).Scale(float64(s) / float64(n))))
+		}
+	}
+	return tr
+}
+
+func trajTrack(id string, tr *trajectory.Trajectory) *Track {
+	return &Track{ID: id, Traj: tr, Quality: 1}
+}
+
+func TestCompareTrajectoryPairSharedCorner(t *testing.T) {
+	p := DefaultParams()
+	// Two walks along the same L-shaped corridor, local frames offset by
+	// (12, -7): the shared corner plus the overlapping legs must align them.
+	world := []geom.Pt{geom.P(0, 0), geom.P(10, 0), geom.P(10, 8)}
+	a := trajTrack("a", walkPath("a", world, geom.Pt{}))
+	offset := geom.P(12, -7)
+	b := trajTrack("b", walkPath("b", world, offset))
+	m, ok, err := CompareTrajectoryPair(0, 1, a, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("co-walked L corridors did not match")
+	}
+	// posA = posB + Translation, and worldB = localB + offset, so the
+	// recovered translation must be the frame offset.
+	if m.Translation.Dist(offset) > 1.0 {
+		t.Errorf("translation = %v, want ≈%v", m.Translation, offset)
+	}
+	if m.S3 <= trajHL {
+		t.Errorf("S3 = %v, want > %v", m.S3, trajHL)
+	}
+	if m.Support < trajMinSupport {
+		t.Errorf("support = %d, want >= %d", m.Support, trajMinSupport)
+	}
+	if len(m.Anchors) != 0 {
+		t.Errorf("trajectory match carries %d visual anchors, want none", len(m.Anchors))
+	}
+}
+
+func TestCompareTrajectoryPairRejectsDisjoint(t *testing.T) {
+	p := DefaultParams()
+	// Two L-walks with the same corner shape in disjoint parts of the
+	// world, with incompatible leg directions: no match.
+	a := trajTrack("a", walkPath("a", []geom.Pt{geom.P(0, 0), geom.P(10, 0), geom.P(10, 8)}, geom.Pt{}))
+	b := trajTrack("b", walkPath("b", []geom.Pt{geom.P(50, 50), geom.P(50, 40), geom.P(42, 40)}, geom.Pt{}))
+	if _, ok, err := CompareTrajectoryPair(0, 1, a, b, p); err != nil || ok {
+		t.Fatalf("disjoint opposite-heading walks matched (ok=%v err=%v)", ok, err)
+	}
+	// Straight lines carry no turn anchors at all.
+	s1 := trajTrack("s1", walkPath("s1", []geom.Pt{geom.P(0, 0), geom.P(20, 0)}, geom.Pt{}))
+	s2 := trajTrack("s2", walkPath("s2", []geom.Pt{geom.P(0, 0), geom.P(20, 0)}, geom.P(1, 1)))
+	if _, ok, err := CompareTrajectoryPair(0, 1, s1, s2, p); err != nil || ok {
+		t.Fatalf("turn-free straight walks matched (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestCompareTrajectoryPairDeterministic(t *testing.T) {
+	p := DefaultParams()
+	world := []geom.Pt{geom.P(0, 0), geom.P(10, 0), geom.P(10, 8), geom.P(4, 8)}
+	a := trajTrack("a", walkPath("a", world, geom.Pt{}))
+	b := trajTrack("b", walkPath("b", world, geom.P(3, 9)))
+	m1, ok1, err1 := CompareTrajectoryPair(0, 1, a, b, p)
+	m2, ok2, err2 := CompareTrajectoryPair(0, 1, a, b, p)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if ok1 != ok2 || m1.Translation != m2.Translation || m1.S3 != m2.S3 || m1.Support != m2.Support {
+		t.Fatalf("non-deterministic decision: %+v vs %+v", m1, m2)
+	}
+}

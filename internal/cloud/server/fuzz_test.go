@@ -117,6 +117,13 @@ func FuzzDecodeCapture(f *testing.F) {
 	f.Add(rewriteArchive(f, valid, map[string][]byte{"imu.json": []byte(`[]`)}))
 	// Truncated frame sequence: meta declares two frames, one is missing.
 	f.Add(rewriteArchive(f, valid, map[string][]byte{"frames/0001.png": nil}))
+	// A genuine IMU-only capture: no frames, no declared rate.
+	if data, err := EncodeCapture(&crowd.Capture{
+		ID: "fuzz-imu-only", UserID: "u1", StepLengthEst: 0.7,
+		IMU: []sensor.Sample{{T: 0}, {T: 0.5}},
+	}); err == nil {
+		f.Add(data)
+	}
 	// A frame replaced by garbage bytes.
 	f.Add(rewriteArchive(f, valid, map[string][]byte{"frames/0000.png": []byte("not a png")}))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -127,17 +134,20 @@ func FuzzDecodeCapture(f *testing.F) {
 		if c == nil {
 			t.Fatal("nil capture with nil error")
 		}
-		if len(c.Frames) == 0 {
-			t.Fatal("decoder accepted an archive with no frames")
-		}
+		// Frame-less captures are valid IMU-only uploads; when frames are
+		// present they must be fully formed and the rate they are iterated
+		// at must be positive.
 		for i, fr := range c.Frames {
 			if fr.Image == nil {
 				t.Fatalf("frame %d has no image", i)
 			}
 		}
-		if c.FPS <= 0 || c.StepLengthEst <= 0 || len(c.IMU) == 0 {
-			t.Fatalf("decoder admitted degenerate parameters: fps=%v step=%v imu=%d",
-				c.FPS, c.StepLengthEst, len(c.IMU))
+		if len(c.Frames) > 0 && c.FPS <= 0 {
+			t.Fatalf("decoder admitted frames at degenerate fps=%v", c.FPS)
+		}
+		if c.StepLengthEst <= 0 || len(c.IMU) == 0 {
+			t.Fatalf("decoder admitted degenerate parameters: step=%v imu=%d",
+				c.StepLengthEst, len(c.IMU))
 		}
 		if _, err := EncodeCapture(c); err != nil {
 			t.Fatalf("accepted capture does not re-encode: %v", err)

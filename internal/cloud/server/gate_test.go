@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/crowd"
 	"crowdmap/internal/quality"
 )
 
@@ -144,6 +145,76 @@ func TestUploadZipBombRejected413(t *testing.T) {
 	wal.mu.Unlock()
 	if !logged {
 		t.Error("zip-bomb rejection not WAL-logged")
+	}
+}
+
+// TestUploadIMUOnlyAdmission pins the trajectory-mode front door: a
+// frame-less IMU-only archive round-trips the wire format and, while the
+// default gate refuses it (no frames), WithIMUOnlyAdmission admits it on
+// the inertial verdict alone and stores it for the pipeline.
+func TestUploadIMUOnlyAdmission(t *testing.T) {
+	src := testCapture(t)
+	imu := *src
+	imu.ID = "imu-only"
+	imu.Frames = nil
+	imu.FPS = 0
+	archive, err := EncodeCapture(&imu)
+	if err != nil {
+		t.Fatalf("encode IMU-only capture: %v", err)
+	}
+	decoded, err := DecodeCapture(archive)
+	if err != nil {
+		t.Fatalf("decode IMU-only capture: %v", err)
+	}
+	if len(decoded.Frames) != 0 || len(decoded.IMU) != len(imu.IMU) {
+		t.Fatalf("round trip: %d frames, %d/%d IMU samples",
+			len(decoded.Frames), len(decoded.IMU), len(imu.IMU))
+	}
+
+	// Default gate: refused (video checks fail on a frame-less capture).
+	strict, err := New(store.New(), WithQualityGate(quality.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(strict.Handler())
+	t.Cleanup(ts.Close)
+	status, body := uploadArchive(t, ts, imu.ID, archive)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("vision-gated IMU-only upload: status %d, want 422 (body %s)", status, body)
+	}
+
+	// Trajectory-capable gate: admitted and stored.
+	relaxed, err := New(store.New(),
+		WithQualityGate(quality.DefaultParams()),
+		WithIMUOnlyAdmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(relaxed.Handler())
+	t.Cleanup(ts2.Close)
+	status, body = uploadArchive(t, ts2, imu.ID, archive)
+	if status != http.StatusCreated {
+		t.Fatalf("IMU-only admission: status %d, want 201 (body %s)", status, body)
+	}
+	if _, stored := relaxed.Store().Get(CollCaptures, imu.ID); !stored {
+		t.Error("admitted IMU-only capture was not stored")
+	}
+	if got := relaxed.Metrics().Counter("uploads.admitted_imu_only").Value(); got != 1 {
+		t.Errorf("uploads.admitted_imu_only = %d, want 1", got)
+	}
+	// The relaxation is per-modality, not a bypass: a capture whose IMU is
+	// also bad stays rejected.
+	junk := imu
+	junk.ID = "imu-bad"
+	junk.IMU = nil
+	badArchive, err := EncodeCapture(&crowd.Capture{
+		ID: junk.ID, UserID: junk.UserID, StepLengthEst: -1,
+		IMU: imu.IMU, Geo: imu.Geo,
+	})
+	if err == nil {
+		if status, _ = uploadArchive(t, ts2, junk.ID, badArchive); status == http.StatusCreated {
+			t.Error("IMU-only admission accepted a capture with a bad inertial verdict")
+		}
 	}
 }
 

@@ -62,6 +62,9 @@ type Server struct {
 	wal   ChunkLog         // nil when running memory-only
 	adm   *admission       // nil = admission control off (see admission.go)
 	gate  *quality.Params  // nil = quality gate off (trust decoded input)
+	// imuOnlyAdmission admits gate-failed uploads whose inertial verdict
+	// alone is OK — the front door for trajectory/hybrid deployments.
+	imuOnlyAdmission bool
 	// maps is the read tier (versioned plan serving + localization); nil
 	// answers the buildings.* routes 404 (see mapserve.go).
 	maps *mapserve.Service
@@ -135,6 +138,17 @@ func WithPendingLimits(maxPending int, ttl time.Duration) Option {
 // own corpora keep the trust-the-input behavior.
 func WithQualityGate(p quality.Params) Option {
 	return func(s *Server) { s.gate = &p }
+}
+
+// WithIMUOnlyAdmission relaxes the quality gate for trajectory-capable
+// deployments (crowdmapd -mode trajectory|hybrid): an upload the full
+// gate refuses is still admitted when quality.CheckIMU alone passes —
+// frame-less IMU-only captures and captures with defective video but a
+// sound inertial stream. The reconstruction's per-modality routing
+// decides what such a capture contributes. No effect without
+// WithQualityGate.
+func WithIMUOnlyAdmission() Option {
+	return func(s *Server) { s.imuOnlyAdmission = true }
 }
 
 // WithChunkLog attaches the write-ahead log: chunks are made durable
@@ -384,14 +398,26 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		qp := *s.gate
 		qp.Obs = s.obs // quality.checked/admitted/rejected land on /metrics
 		if _, rep := quality.Gate(decoded, qp); !rep.OK {
-			s.rejectUpload(id, strings.Join(rep.Reasons, ","))
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusUnprocessableEntity)
-			_ = json.NewEncoder(w).Encode(map[string]interface{}{
-				"error":   "capture rejected by quality gate",
-				"reasons": rep.Reasons,
-			})
-			return
+			// Trajectory-capable deployments keep uploads whose inertial
+			// stream alone is usable; the pipeline's modality routing takes
+			// it from there.
+			imuOK := false
+			if s.imuOnlyAdmission {
+				if irep := quality.CheckIMU(decoded, qp); irep.OK {
+					imuOK = true
+					s.obs.Counter("uploads.admitted_imu_only").Inc()
+				}
+			}
+			if !imuOK {
+				s.rejectUpload(id, strings.Join(rep.Reasons, ","))
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusUnprocessableEntity)
+				_ = json.NewEncoder(w).Encode(map[string]interface{}{
+					"error":   "capture rejected by quality gate",
+					"reasons": rep.Reasons,
+				})
+				return
+			}
 		}
 	}
 	if err := s.store.Put(CollCaptures, id, assembled); err != nil {

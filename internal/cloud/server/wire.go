@@ -91,9 +91,11 @@ type truthSample struct {
 
 // EncodeCapture serializes a capture session to the upload archive format:
 // meta.json, imu.json, frames/NNNN.png and (for evaluation reproducibility
-// only) truth.json.
+// only) truth.json. A capture without frames is a valid IMU-only upload
+// (a camera-less contributor, or a trajectory-mode deployment) as long as
+// it carries an inertial stream.
 func EncodeCapture(c *crowd.Capture) ([]byte, error) {
-	if c == nil || len(c.Frames) == 0 {
+	if c == nil || (len(c.Frames) == 0 && len(c.IMU) == 0) {
 		return nil, fmt.Errorf("server: cannot encode empty capture")
 	}
 	var buf bytes.Buffer
@@ -179,7 +181,10 @@ func DecodeCapture(data []byte) (*crowd.Capture, error) {
 	// Parameters the pipeline divides by must be positive and finite at
 	// the boundary (JSON cannot encode NaN/Inf, but a defensive decoder
 	// does not rely on that).
-	if !(meta.FPS > 0) || meta.FPS > 1e6 {
+	// FPS guards the frame loop; an IMU-only archive (no frame times, no
+	// frames) never iterates it, so the declared rate is unconstrained
+	// there (the encoder writes 0).
+	if len(meta.FrameTimes) > 0 && (!(meta.FPS > 0) || meta.FPS > 1e6) {
 		return nil, fmt.Errorf("server: capture %s: fps %v not in (0, 1e6]", meta.ID, meta.FPS)
 	}
 	if !(meta.StepLengthEst > 0) || meta.StepLengthEst > 1e3 {
@@ -238,9 +243,6 @@ func DecodeCapture(data []byte) (*crowd.Capture, error) {
 			vf.TruthPose = pose
 		}
 		c.Frames = append(c.Frames, vf)
-	}
-	if len(c.Frames) == 0 {
-		return nil, fmt.Errorf("server: archive %s contains no frames", meta.ID)
 	}
 	if len(c.Frames) != len(meta.FrameTimes) {
 		return nil, fmt.Errorf("server: %d frames but %d timestamps", len(c.Frames), len(meta.FrameTimes))

@@ -287,6 +287,61 @@ func Gate(c *crowd.Capture, p Params) (*crowd.Capture, Report) {
 	return &cc, rep
 }
 
+// CheckIMU inspects only the capture's inertial modality: the IMU stream,
+// step length, GPS tag and kind-level motion plausibility, ignoring every
+// video-scoped check (frames, frame times, FPS, camera intrinsics, the
+// IMU/frame duration agreement). It is the per-modality verdict the
+// trajectory and hybrid reconstruction modes route on: a capture whose
+// video fails the full gate can still contribute dead-reckoned trajectory
+// density when this verdict is OK.
+func CheckIMU(c *crowd.Capture, p Params) Report {
+	d := inspectInertial(c, p)
+	return verdict(c, p, d, 0, 0)
+}
+
+// GateIMU is CheckIMU plus sanitization, mirroring Gate: under the Lenient
+// policy recoverable IMU defects are repaired on a copy and the repaired
+// capture is returned for the pipeline to consume. The caller's capture is
+// never mutated.
+func GateIMU(c *crowd.Capture, p Params) (*crowd.Capture, Report) {
+	d := inspectInertial(c, p)
+	if len(d.fatal) > 0 || p.Policy == Strict || (d.badIMU == 0 && d.clampIMU == 0) {
+		return c, verdict(c, p, d, 0, 0)
+	}
+	cleaned, dropped, clamped := SanitizeIMU(c.IMU, p)
+	cc := *c
+	cc.IMU = cleaned
+	d2 := inspectInertial(&cc, p)
+	d2.penalty = d.penalty
+	d2.recoverable = d.recoverable
+	rep := verdict(&cc, p, d2, dropped, clamped)
+	if !rep.OK {
+		return c, rep
+	}
+	return &cc, rep
+}
+
+// inspectInertial is inspect restricted to the inertial modality. It never
+// mutates c.
+func inspectInertial(c *crowd.Capture, p Params) defects {
+	var d defects
+	p.Obs.Counter("quality.checked.imu").Inc()
+
+	if !finite(c.StepLengthEst) || c.StepLengthEst < 0 ||
+		(c.StepLengthEst > 0 && (c.StepLengthEst < p.MinStepLength || c.StepLengthEst > p.MaxStepLength)) {
+		d.addFatal(ReasonStepLength)
+	}
+	// Camera intrinsics are irrelevant without video, but the GPS tag is
+	// what groups captures into buildings and anchors unmatched
+	// trajectories, so it must still be finite.
+	if !finite(c.Geo.GPS.X) || !finite(c.Geo.GPS.Y) {
+		d.addFatal(ReasonMetaNonFinite)
+	}
+	inspectIMU(c, p, &d)
+	inspectKind(c, p, &d)
+	return d
+}
+
 // verdict folds a defect tally into the final report.
 func verdict(c *crowd.Capture, p Params, d defects, dropped, clamped int) Report {
 	rep := Report{CaptureID: c.ID, DroppedSamples: dropped, ClampedSamples: clamped}

@@ -180,6 +180,106 @@ func TestFatalStructuralDefects(t *testing.T) {
 	}
 }
 
+func TestGateIMUIgnoresVideoDefects(t *testing.T) {
+	// The per-modality verdict must admit captures whose only defects are
+	// video-scoped: those are exactly the ones the trajectory and hybrid
+	// modes rescue.
+	videoOnly := []struct {
+		name   string
+		mutate func(*crowd.Capture)
+	}{
+		{"no frames", func(c *crowd.Capture) { c.Frames = nil; c.FPS = 0 }},
+		{"nan fps", func(c *crowd.Capture) { c.FPS = math.NaN() }},
+		{"absurd fps", func(c *crowd.Capture) { c.FPS = 10000 }},
+		{"nan camera", func(c *crowd.Capture) { c.Camera.FOV = math.NaN() }},
+		{"frame time nan", func(c *crowd.Capture) { c.Frames[0].T = math.NaN() }},
+		{"duration mismatch", func(c *crowd.Capture) {
+			half := c.Frames[:len(c.Frames)/4]
+			c.Frames = half
+		}},
+	}
+	for _, tc := range videoOnly {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cleanCapture(t)
+			tc.mutate(c)
+			if _, rep := Gate(c, DefaultParams()); rep.OK {
+				t.Fatalf("full gate admitted %s; the case no longer exercises the split", tc.name)
+			}
+			got, rep := GateIMU(c, DefaultParams())
+			if !rep.OK {
+				t.Fatalf("GateIMU rejected video-only defect %s: %v", tc.name, rep.Reasons)
+			}
+			if rep.Score != 1 {
+				t.Fatalf("GateIMU scored %v for a clean IMU stream, want 1", rep.Score)
+			}
+			if got != c {
+				t.Fatalf("GateIMU copied a capture that needed no repair")
+			}
+		})
+	}
+}
+
+func TestGateIMURejectsInertialDefects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*crowd.Capture)
+		reason string
+	}{
+		{"empty imu", func(c *crowd.Capture) { c.IMU = nil }, ReasonIMUEmpty},
+		{"negative step", func(c *crowd.Capture) { c.StepLengthEst = -1 }, ReasonStepLength},
+		{"nan gps", func(c *crowd.Capture) { c.Geo.GPS.Y = math.NaN() }, ReasonMetaNonFinite},
+		{"corrupt imu", func(c *crowd.Capture) {
+			for i := range c.IMU {
+				c.IMU[i].GyroZ = math.NaN()
+			}
+		}, ReasonIMUCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cleanCapture(t)
+			c.Frames = nil // IMU-only capture: video checks must not mask the verdict
+			c.FPS = 0
+			tc.mutate(c)
+			_, rep := GateIMU(c, DefaultParams())
+			if rep.OK {
+				t.Fatalf("GateIMU admitted capture with %s", tc.name)
+			}
+			if !rep.Reason(tc.reason) {
+				t.Fatalf("reasons %v missing %s", rep.Reasons, tc.reason)
+			}
+		})
+	}
+}
+
+func TestGateIMUSanitizes(t *testing.T) {
+	c := cleanCapture(t)
+	c.Frames = nil
+	c.FPS = 0
+	c.IMU[5].GyroZ = math.NaN() // one droppable sample
+	got, rep := GateIMU(c, DefaultParams())
+	if !rep.OK {
+		t.Fatalf("GateIMU rejected a recoverable defect: %v", rep.Reasons)
+	}
+	if rep.DroppedSamples != 1 {
+		t.Fatalf("DroppedSamples = %d, want 1", rep.DroppedSamples)
+	}
+	if got == c || len(got.IMU) != len(c.IMU)-1 {
+		t.Fatal("GateIMU did not return a repaired copy")
+	}
+	if !math.IsNaN(c.IMU[5].GyroZ) {
+		t.Fatal("GateIMU mutated the caller's capture")
+	}
+	if rep.Score >= 1 {
+		t.Errorf("score = %v, want < 1 after repair", rep.Score)
+	}
+	// Strict policy: the same defect is fatal.
+	strict := DefaultParams()
+	strict.Policy = Strict
+	if _, rep := GateIMU(c, strict); rep.OK {
+		t.Fatal("strict GateIMU admitted a defective stream")
+	}
+}
+
 func TestKindPlausibility(t *testing.T) {
 	t.Run("srs that walked", func(t *testing.T) {
 		c := srsCapture(t)

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"crowdmap/internal/geom"
+	"crowdmap/internal/mathx"
 	"crowdmap/internal/sensor"
 )
 
@@ -83,20 +84,45 @@ func (tr *Trajectory) PositionAt(t float64) (geom.Pt, error) {
 // Resample returns a copy sampled at fixed time intervals dt, which the
 // LCS-based sequence comparison requires (the |i-j| < δ window in the
 // paper's L metric assumes comparable indices).
+//
+// Sample times are indexed (t0 + i·dt) rather than accumulated (t += dt):
+// accumulation compounds floating-point error over long captures, drifting
+// samples off-grid and making the final sample flicker against the
+// end-of-span guard. Queries are monotone, so a single cursor over the
+// source points replaces a full interpolation rescan per sample.
 func (tr *Trajectory) Resample(dt float64) (*Trajectory, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("trajectory: resample interval must be positive, got %g", dt)
 	}
-	if len(tr.Points) == 0 {
-		return &Trajectory{ID: tr.ID}, nil
-	}
 	out := &Trajectory{ID: tr.ID}
+	if len(tr.Points) == 0 {
+		return out, nil
+	}
 	t0 := tr.Points[0].T
 	t1 := tr.Points[len(tr.Points)-1].T
-	for t := t0; t <= t1+1e-9; t += dt {
-		pos, err := tr.PositionAt(t)
-		if err != nil {
-			return nil, err
+	n := int(math.Floor((t1 - t0 + 1e-9) / dt))
+	out.Points = make([]Point, 0, n+1)
+	seg := 1
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*dt
+		var pos geom.Pt
+		if t <= tr.Points[0].T {
+			pos = tr.Points[0].Pos
+		} else {
+			for seg < len(tr.Points) && tr.Points[seg].T < t {
+				seg++
+			}
+			if seg >= len(tr.Points) {
+				pos = tr.Points[len(tr.Points)-1].Pos
+			} else {
+				a, b := tr.Points[seg-1], tr.Points[seg]
+				if span := b.T - a.T; span <= 0 {
+					pos = b.Pos
+				} else {
+					f := (t - a.T) / span
+					pos = a.Pos.Add(b.Pos.Sub(a.Pos).Scale(f))
+				}
+			}
 		}
 		out.Points = append(out.Points, Point{T: t, Pos: pos})
 	}
@@ -177,12 +203,110 @@ func DeadReckon(samples []sensor.Sample, stepLength float64) (*Trajectory, error
 		pos = pos.Add(geom.FromPolar(stepLength, h))
 		tr.Points = append(tr.Points, Point{T: stepT, Pos: pos})
 	}
-	// Close with the final timestamp so duration reflects the capture.
+	// Close with the final timestamp so duration reflects the capture. The
+	// origin point is always present, so a stationary capture (zero detected
+	// steps) still yields origin + final timestamp.
 	last := samples[len(samples)-1].T
-	if len(tr.Points) == 0 || tr.Points[len(tr.Points)-1].T < last {
+	if tr.Points[len(tr.Points)-1].T < last {
 		tr.Points = append(tr.Points, Point{T: last, Pos: pos})
 	}
 	return tr, nil
+}
+
+// Turn is a sustained heading change along a trajectory — the
+// trajectory-only counterpart of a visual anchor. Hallway walks turn at
+// corners and doorways, which are fixed features of the building, so two
+// users passing the same corner produce turns at the same world position
+// even though their dead-reckoned frames share only orientation (via the
+// compass), not origin.
+type Turn struct {
+	// Index is the turning point's index in Points.
+	Index int
+	// Pos is the turning point's position in the trajectory's local frame.
+	Pos geom.Pt
+	// In and Out are the mean approach and departure headings, radians,
+	// averaged over the detection window on each side.
+	In, Out float64
+}
+
+// Turns detects turn points: indices where the mean heading over the
+// window segments after differs from the mean heading over the window
+// segments before by at least minAngle radians. Detections are local
+// maxima of the heading change and at least minSep meters of arc length
+// apart. Call it on a distance-resampled trajectory so the window spans a
+// consistent length of path.
+func (tr *Trajectory) Turns(window int, minAngle, minSep float64) []Turn {
+	if window < 1 {
+		window = 1
+	}
+	n := len(tr.Points)
+	if n < 2*window+1 {
+		return nil
+	}
+	// Unit direction of each segment i → i+1. Zero-length segments keep a
+	// zero vector and simply do not contribute to the window means.
+	dirX := make([]float64, n-1)
+	dirY := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		d := tr.Points[i+1].Pos.Sub(tr.Points[i].Pos)
+		if norm := d.Norm(); norm > 0 {
+			dirX[i] = d.X / norm
+			dirY[i] = d.Y / norm
+		}
+	}
+	// Mean heading via the unit-vector sum, which is wraparound-safe.
+	meanHeading := func(lo, hi int) (float64, bool) {
+		var sx, sy float64
+		for i := lo; i < hi; i++ {
+			sx += dirX[i]
+			sy += dirY[i]
+		}
+		if sx == 0 && sy == 0 {
+			return 0, false
+		}
+		return math.Atan2(sy, sx), true
+	}
+	diff := make([]float64, n) // |heading change| per interior point, -1 where undefined
+	for i := range diff {
+		diff[i] = -1
+	}
+	for i := window; i <= n-1-window; i++ {
+		in, okIn := meanHeading(i-window, i)
+		out, okOut := meanHeading(i, i+window)
+		if okIn && okOut {
+			diff[i] = math.Abs(mathx.AngleDiff(out, in))
+		}
+	}
+	arc := make([]float64, n)
+	for i := 1; i < n; i++ {
+		arc[i] = arc[i-1] + tr.Points[i].Pos.Dist(tr.Points[i-1].Pos)
+	}
+	var turns []Turn
+	lastArc := math.Inf(-1)
+	for i := window; i <= n-1-window; i++ {
+		d := diff[i]
+		if d < minAngle {
+			continue
+		}
+		// Local maximum over the window; ties resolve to the earliest index.
+		isMax := true
+		for j := i - window; j <= i+window && isMax; j++ {
+			if j == i {
+				continue
+			}
+			if diff[j] > d || (diff[j] == d && j < i) {
+				isMax = false
+			}
+		}
+		if !isMax || arc[i]-lastArc < minSep {
+			continue
+		}
+		lastArc = arc[i]
+		in, _ := meanHeading(i-window, i)
+		out, _ := meanHeading(i, i+window)
+		turns = append(turns, Turn{Index: i, Pos: tr.Points[i].Pos, In: in, Out: out})
+	}
+	return turns
 }
 
 // RMSE computes the root-mean-square position error between a trajectory

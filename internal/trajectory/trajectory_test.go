@@ -190,6 +190,152 @@ func TestDeadReckonLTurn(t *testing.T) {
 	}
 }
 
+func TestResampleLongDurationNoDrift(t *testing.T) {
+	// Regression: the loop used to accumulate t += dt, compounding
+	// floating-point error over long captures — by the end of a multi-hour
+	// span the sample times had drifted off the dt grid and the final
+	// sample flickered against the end-of-span guard. The indexed loop
+	// keeps every sample time exact.
+	tr := line(36001, 0.1, geom.P(0.07, 0)) // one hour at 10 Hz
+	const dt = 0.1
+	rs, err := tr.Resample(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 36001 // floor(3600/0.1) + 1, no flicker
+	if rs.Len() != want {
+		t.Fatalf("resampled Len = %d, want %d", rs.Len(), want)
+	}
+	for i, p := range rs.Points {
+		if got := float64(i) * dt; p.T != got {
+			t.Fatalf("sample %d time = %v, want exactly %v (accumulated error)", i, p.T, got)
+		}
+	}
+	last := rs.Points[rs.Len()-1]
+	if math.Abs(last.T-3600) > 1e-9 {
+		t.Errorf("final sample time = %v, want 3600", last.T)
+	}
+	if last.Pos.Dist(tr.Points[tr.Len()-1].Pos) > 1e-6 {
+		t.Errorf("final sample drifted off the path end: %v", last.Pos)
+	}
+}
+
+func TestResampleMatchesPositionAt(t *testing.T) {
+	// The monotonic cursor must reproduce PositionAt bit-for-bit, including
+	// the duplicate-timestamp and clamping edge cases.
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		tr := &Trajectory{}
+		tt := 0.0
+		pos := geom.Pt{}
+		for i := 0; i < 30; i++ {
+			tr.Points = append(tr.Points, Point{T: tt, Pos: pos})
+			if rng.Float64() < 0.2 {
+				// Duplicate timestamp with a different position: the cursor
+				// must resolve it exactly as the linear scan does.
+				pos = pos.Add(geom.P(rng.NormFloat64(), rng.NormFloat64()))
+				tr.Points = append(tr.Points, Point{T: tt, Pos: pos})
+			}
+			tt += 0.1 + rng.Float64()
+			pos = pos.Add(geom.P(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		rs, err := tr.Resample(0.3)
+		if err != nil {
+			return false
+		}
+		for _, p := range rs.Points {
+			want, err := tr.PositionAt(p.T)
+			if err != nil || p.Pos != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: propRand()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkResample(b *testing.B) {
+	// Trajectory-only reconstruction resamples every SWS capture, so this
+	// is on the hot path: the cursor keeps it O(n + samples) where the old
+	// per-sample rescan was O(n²).
+	tr := line(10000, 0.5, geom.P(0.35, 0.1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Resample(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDeadReckonStationary(t *testing.T) {
+	// A stationary capture detects zero steps; the trajectory must still be
+	// well-formed: the origin plus the closing timestamp, both at (0,0).
+	cfg := sensor.DefaultConfig()
+	profile := []sensor.MotionSample{
+		{T: 0, Pos: geom.P(2, 3), Heading: 1, Walking: false},
+		{T: 10, Pos: geom.P(2, 3), Heading: 1, Walking: false},
+	}
+	samples, err := sensor.Simulate(profile, cfg, mathx.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DeadReckon(samples, cfg.StepLengthEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("stationary trajectory has %d points, want 2 (origin + final timestamp)", tr.Len())
+	}
+	if tr.Points[0].T != samples[0].T || tr.Points[1].T != samples[len(samples)-1].T {
+		t.Errorf("endpoints = %v..%v, want the capture's time span", tr.Points[0].T, tr.Points[1].T)
+	}
+	for _, p := range tr.Points {
+		if p.Pos != (geom.Pt{}) {
+			t.Errorf("stationary trajectory moved to %v", p.Pos)
+		}
+	}
+	if tr.PathLength() != 0 {
+		t.Errorf("stationary PathLength = %v, want 0", tr.PathLength())
+	}
+}
+
+func TestTurnsDetectsCorner(t *testing.T) {
+	// 10 m east then 8 m north at 0.4 m spacing: exactly one ~90° turn at
+	// the corner, with approach/departure headings matching the legs.
+	tr := &Trajectory{}
+	pos := geom.Pt{}
+	for i := 0; i < 25; i++ {
+		tr.Points = append(tr.Points, Point{T: float64(len(tr.Points)), Pos: pos})
+		pos = pos.Add(geom.P(0.4, 0))
+	}
+	for i := 0; i < 20; i++ {
+		tr.Points = append(tr.Points, Point{T: float64(len(tr.Points)), Pos: pos})
+		pos = pos.Add(geom.P(0, 0.4))
+	}
+	turns := tr.Turns(3, math.Pi/4, 1.5)
+	if len(turns) != 1 {
+		t.Fatalf("detected %d turns, want 1: %+v", len(turns), turns)
+	}
+	tn := turns[0]
+	corner := geom.P(0.4*24, 0)
+	if tn.Pos.Dist(corner) > 0.9 {
+		t.Errorf("turn at %v, want near corner %v", tn.Pos, corner)
+	}
+	if math.Abs(mathx.AngleDiff(tn.In, 0)) > 0.2 {
+		t.Errorf("approach heading = %v, want ≈0", tn.In)
+	}
+	if math.Abs(mathx.AngleDiff(tn.Out, math.Pi/2)) > 0.2 {
+		t.Errorf("departure heading = %v, want ≈π/2", tn.Out)
+	}
+	// A straight line has no turns.
+	straight := line(30, 1, geom.P(0.4, 0))
+	if got := straight.Turns(3, math.Pi/4, 1.5); len(got) != 0 {
+		t.Errorf("straight line produced %d turns", len(got))
+	}
+}
+
 func TestDeadReckonValidation(t *testing.T) {
 	if _, err := DeadReckon(nil, 0.7); err == nil {
 		t.Error("empty IMU stream should error")

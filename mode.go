@@ -1,0 +1,227 @@
+package crowdmap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdmap/internal/aggregate"
+	"crowdmap/internal/geom"
+	"crowdmap/internal/obs"
+	"crowdmap/internal/trajectory"
+)
+
+// Mode selects which sensing modalities drive a reconstruction.
+//
+// The paper treats the floor plan as a by-product of sensor-rich video,
+// but the inertial stream alone carries enough signal for a useful map:
+// CrowdInside builds floor plans purely from dead-reckoned walk
+// trajectories rasterized into point-density occupancy, and Walk2Map
+// extracts room geometry from indoor walks with no camera at all.
+// ModeTrajectory is that approach mapped onto this pipeline; ModeHybrid
+// routes each capture per-modality so a capture with rejected video but
+// sane IMU contributes trajectory density instead of being dropped.
+type Mode int
+
+const (
+	// ModeVision is the paper's pipeline: the quality gate admits or
+	// rejects whole captures, and every admitted capture runs key-frame
+	// extraction, visual anchor matching, and room reconstruction. The
+	// zero value, so existing configurations are unchanged.
+	ModeVision Mode = iota
+	// ModeTrajectory ignores video entirely: captures are admitted on the
+	// inertial verdict alone (quality.GateIMU), dead-reckoned into
+	// trajectories, aligned by turn anchors + LCS, and rasterized into the
+	// occupancy grid for the alphashape/layout stages. No rooms are
+	// reconstructed (rooms need panoramas).
+	ModeTrajectory
+	// ModeHybrid runs the vision pipeline for captures that pass the full
+	// gate and falls back to the trajectory path for captures whose video
+	// fails it but whose IMU verdict is OK — those contribute trajectory
+	// density to the shared grid instead of an exclusion.
+	ModeHybrid
+)
+
+// String implements fmt.Stringer with the -mode flag vocabulary.
+func (m Mode) String() string {
+	switch m {
+	case ModeVision:
+		return "vision"
+	case ModeTrajectory:
+		return "trajectory"
+	case ModeHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a flag value to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "vision":
+		return ModeVision, nil
+	case "trajectory":
+		return ModeTrajectory, nil
+	case "hybrid":
+		return ModeHybrid, nil
+	default:
+		return 0, fmt.Errorf("crowdmap: unknown mode %q (want vision, trajectory or hybrid)", s)
+	}
+}
+
+// StageTrajectory names the dead-reckoning front-end in Result.Excluded
+// entries for trajectory-routed captures, the counterpart of
+// StageKeyframes on the vision route.
+const StageTrajectory = "trajectory"
+
+// deadReckonTrack is the trajectory-only front-end: dead reckoning
+// without the vision stack, for captures routed per-modality. It mirrors
+// the key-frame front-end's trajectory construction (including the
+// population-default step length) so a capture produces the same
+// trajectory on either route.
+func deadReckonTrack(c *Capture) (*Trajectory, error) {
+	sl := c.StepLengthEst
+	if sl <= 0 {
+		sl = 0.7 // population default, mirroring the key-frame front-end
+	}
+	traj, err := trajectory.DeadReckon(c.IMU, sl)
+	if err != nil {
+		return nil, err
+	}
+	traj.ID = c.ID
+	return traj, nil
+}
+
+// mergeReasons unions two sorted-or-not reason lists into one sorted,
+// deduplicated list — the exclusion record when both modality verdicts
+// reject a capture in hybrid mode.
+func mergeReasons(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range append(append([]string(nil), a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// placeTrajectoryTracks folds trajectory-routed tracks the aggregation
+// left unplaced into the global frame, after the match graph has settled.
+// Two passes, both deterministic:
+//
+//  1. Shape matching: each unplaced track is compared (turn anchors + LCS,
+//     aggregate.CompareTrajectoryPair) against every already-placed track;
+//     accepted matches vote with the implied offset and the
+//     component-wise median wins. In hybrid mode this is where a
+//     rejected-video capture's trajectory is seeded by the vision graph.
+//  2. GPS fallback: still-unplaced tracks are dropped at their capture's
+//     GPS tag, shifted into the aggregation's frame by the mean
+//     (placed position − GPS) offset of the placed tracks. Building-scale
+//     GPS is coarse (meters), but a coarsely placed corridor walk
+//     contributes real density where the alternative is nothing — the
+//     CrowdInside accuracy trade.
+//
+// Matching runs against the pre-pass placed set only (not against tracks
+// this pass itself places), so the outcome is independent of iteration
+// order. Vision tracks the aggregation could not place stay unplaced, as
+// in vision mode.
+func placeTrajectoryTracks(agg *aggregate.Result, tracks []*Track, trajRouted []bool, caps []*Capture, p aggregate.Params, reg *obs.Registry) {
+	var unplaced []int
+	for i := range tracks {
+		if !trajRouted[i] {
+			continue
+		}
+		if _, ok := agg.Offsets[i]; !ok {
+			unplaced = append(unplaced, i)
+		}
+	}
+	if len(unplaced) == 0 {
+		return
+	}
+	placed := make([]int, 0, len(agg.Offsets))
+	for i := range agg.Offsets {
+		placed = append(placed, i)
+	}
+	sort.Ints(placed)
+	matched, byGPS := 0, 0
+	var still []int
+	for _, i := range unplaced {
+		if len(tracks[i].Traj.Points) == 0 {
+			continue
+		}
+		var xs, ys []float64
+		for _, j := range placed {
+			m, ok, err := aggregate.CompareTrajectoryPair(i, j, tracks[i], tracks[j], p)
+			if err != nil || !ok {
+				continue
+			}
+			// The match maps track j's frame onto track i's:
+			// local_i ≈ local_j + T, so off_i = off_j − T.
+			off := agg.Offsets[j].Sub(m.Translation)
+			xs = append(xs, off.X)
+			ys = append(ys, off.Y)
+		}
+		if len(xs) == 0 {
+			still = append(still, i)
+			continue
+		}
+		agg.Offsets[i] = geom.P(medianOf(xs), medianOf(ys))
+		matched++
+	}
+	if len(still) > 0 {
+		if shift, ok := gpsShift(agg, tracks, caps, placed); ok {
+			for _, i := range still {
+				gps := caps[i].Geo.GPS
+				if !finitePt(gps) {
+					continue
+				}
+				start := tracks[i].Traj.Points[0].Pos
+				agg.Offsets[i] = gps.Add(shift).Sub(start)
+				byGPS++
+			}
+		}
+	}
+	reg.Counter("reconstruct.mode.placed.matched").Add(int64(matched))
+	reg.Counter("reconstruct.mode.placed.gps").Add(int64(byGPS))
+}
+
+// gpsShift estimates the translation from GPS coordinates into the
+// aggregation's global frame: the mean over placed tracks of (placed
+// start position − GPS tag). Requires at least one placed track with a
+// finite GPS tag.
+func gpsShift(agg *aggregate.Result, tracks []*Track, caps []*Capture, placed []int) (geom.Pt, bool) {
+	var sum geom.Pt
+	n := 0
+	for _, j := range placed {
+		gps := caps[j].Geo.GPS
+		if !finitePt(gps) || len(tracks[j].Traj.Points) == 0 {
+			continue
+		}
+		sum = sum.Add(tracks[j].Traj.Points[0].Pos.Add(agg.Offsets[j]).Sub(gps))
+		n++
+	}
+	if n == 0 {
+		return geom.Pt{}, false
+	}
+	return sum.Scale(1 / float64(n)), true
+}
+
+func finitePt(p geom.Pt) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// medianOf returns the median of xs (mean of the middle pair for even
+// lengths) without mutating the input.
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -59,8 +59,10 @@ type Exclusion struct {
 	// CaptureID identifies the excluded capture.
 	CaptureID string
 	// Stage is where the capture fell out: StageQualityGate for gate
-	// rejections, StageKeyframes for extraction errors and recovered
-	// panics.
+	// rejections (in hybrid mode, only after both modality verdicts
+	// rejected it — Reasons then carries the union of both), StageKeyframes
+	// for vision-route extraction errors and recovered panics, and
+	// StageTrajectory for dead-reckoning errors on the trajectory route.
 	Stage string
 	// Reasons are machine-readable quality codes (gate rejections) or
 	// error strings (stage failures).
@@ -78,6 +80,15 @@ type Coverage struct {
 	Excluded int
 	// Degraded is true when any capture was excluded.
 	Degraded bool
+	// Vision is the number of used captures that ran the full video
+	// pipeline (key-frames, anchors, rooms). In ModeVision this equals
+	// Used.
+	Vision int
+	// TrajectoryOnly is the number of used captures that contributed
+	// dead-reckoned trajectory density only: every used capture in
+	// ModeTrajectory, and hybrid-mode captures whose video failed the
+	// quality gate but whose IMU verdict admitted them.
+	TrajectoryOnly int
 }
 
 // PlacedKeyFrame is one extracted key-frame together with its pose in the
@@ -261,15 +272,26 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 
 	res := &Result{RoomFailures: make(map[string]error)}
 
-	// Stage 0: quality gate. Irrecoverable captures are excluded here —
-	// before any expensive work — and sanitized copies replace captures
-	// with recoverable defects. The gate is deterministic, so exclusion
-	// order (input order) and the surviving corpus are reproducible.
+	// Stage 0: quality gate and modality routing. Irrecoverable captures
+	// are excluded here — before any expensive work — and sanitized copies
+	// replace captures with recoverable defects. The gate is deterministic,
+	// so exclusion order (input order), the surviving corpus, and the
+	// per-capture route are all reproducible.
+	reg.Counter("reconstruct.mode." + cfg.Mode.String()).Inc()
 	live := captures
 	scores := make([]float64, len(captures)) // 0 = unscored
 	origIdx := make([]int, len(captures))    // live index -> input index
 	for i := range origIdx {
 		origIdx[i] = i
+	}
+	// route[i] marks live[i] as trajectory-routed: dead reckoning only, no
+	// vision stack. All captures in ModeTrajectory; in ModeHybrid, the
+	// captures the full gate rejected but the inertial verdict admitted.
+	route := make([]bool, len(captures))
+	if cfg.Mode == ModeTrajectory {
+		for i := range route {
+			route[i] = true
+		}
 	}
 	if cfg.Quality != nil {
 		gateDone := obs.Stage(reg, "quality.gate")
@@ -278,8 +300,33 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 		live = make([]*Capture, 0, len(captures))
 		scores = scores[:0]
 		origIdx = origIdx[:0]
+		route = route[:0]
 		for i, c := range captures {
-			gated, rep := quality.Gate(c, qp)
+			var gated *Capture
+			var rep quality.Report
+			traj := false
+			switch cfg.Mode {
+			case ModeTrajectory:
+				// Video is never consumed, so video defects must not reject
+				// the capture: the inertial verdict alone decides admission.
+				gated, rep = quality.GateIMU(c, qp)
+				traj = true
+			case ModeHybrid:
+				gated, rep = quality.Gate(c, qp)
+				if !rep.OK {
+					// Per-modality rescue: a capture whose video failed the
+					// gate still contributes trajectory density when its
+					// IMU is sound.
+					if g, irep := quality.GateIMU(c, qp); irep.OK {
+						gated, rep, traj = g, irep, true
+						reg.Counter("reconstruct.mode.rescued").Inc()
+					} else {
+						rep.Reasons = mergeReasons(rep.Reasons, irep.Reasons)
+					}
+				}
+			default:
+				gated, rep = quality.Gate(c, qp)
+			}
 			if !rep.OK {
 				res.Excluded = append(res.Excluded, Exclusion{
 					CaptureID: c.ID, Stage: StageQualityGate, Reasons: rep.Reasons,
@@ -289,6 +336,7 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 			live = append(live, gated)
 			scores = append(scores, rep.Score)
 			origIdx = append(origIdx, i)
+			route = append(route, traj)
 		}
 		gateDone()
 		if len(live) == 0 {
@@ -318,6 +366,9 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 		// extraction would produce.
 		var capFP string
 		if ds != nil {
+			// The delta config signature covers cfg.Mode and routing is
+			// deterministic in (content, params, mode), so a memo hit
+			// returns a track of the shape this run's route would build.
 			tr, fp, hit := ds.lookupTrack(live[i], scores[i])
 			if hit {
 				liveTracks[i] = tr
@@ -326,7 +377,14 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 			}
 			capFP = fp
 		}
-		kfs, traj, err := extractTrack(live[i], cfg)
+		var kfs []*KeyFrame
+		var traj *Trajectory
+		var err error
+		if route[i] {
+			traj, err = deadReckonTrack(live[i])
+		} else {
+			kfs, traj, err = extractTrack(live[i], cfg)
+		}
 		if err != nil {
 			return &CaptureError{CaptureID: live[i].ID, Err: err}
 		}
@@ -353,11 +411,16 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 	// what makes the degraded-mode plan byte-identical to that run's.
 	tracks := make([]*Track, 0, len(live))
 	liveCaps := make([]*Capture, 0, len(live))
+	trackRoute := make([]bool, 0, len(live)) // route, compacted like tracks
 	res.Tracks = make([]*Track, len(captures))
 	for i := range live {
 		if errs[i] != nil {
+			stage := StageKeyframes
+			if route[i] {
+				stage = StageTrajectory
+			}
 			res.Excluded = append(res.Excluded, Exclusion{
-				CaptureID: live[i].ID, Stage: StageKeyframes,
+				CaptureID: live[i].ID, Stage: stage,
 				Reasons: []string{errs[i].Error()},
 			})
 			continue
@@ -365,17 +428,28 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 		res.Tracks[origIdx[i]] = liveTracks[i]
 		tracks = append(tracks, liveTracks[i])
 		liveCaps = append(liveCaps, live[i])
+		trackRoute = append(trackRoute, route[i])
 	}
 	if len(tracks) == 0 {
 		return nil, fmt.Errorf("crowdmap: no captures survived extraction (%d excluded)", len(res.Excluded))
 	}
 	captures = liveCaps
-	res.Coverage = Coverage{
-		Input:    len(res.Tracks),
-		Used:     len(tracks),
-		Excluded: len(res.Excluded),
-		Degraded: len(res.Excluded) > 0,
+	trajUsed := 0
+	for _, r := range trackRoute {
+		if r {
+			trajUsed++
+		}
 	}
+	res.Coverage = Coverage{
+		Input:          len(res.Tracks),
+		Used:           len(tracks),
+		Excluded:       len(res.Excluded),
+		Degraded:       len(res.Excluded) > 0,
+		Vision:         len(tracks) - trajUsed,
+		TrajectoryOnly: trajUsed,
+	}
+	reg.Counter("reconstruct.mode.routed.vision").Add(int64(len(tracks) - trajUsed))
+	reg.Counter("reconstruct.mode.routed.trajectory").Add(int64(trajUsed))
 	reg.Counter("reconstruct.excluded").Add(int64(len(res.Excluded)))
 	extractDone()
 	// Checkpoint writes are best-effort: losing one costs recomputation on
@@ -396,7 +470,16 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 		}
 	}
 	aggDone := obs.Stage(reg, "aggregate")
-	agg, err := ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers, cfg.PairCache)
+	var agg *aggregate.Result
+	var err error
+	if cfg.Mode == ModeTrajectory {
+		// Trajectory mode drives the same union-find aggregation with the
+		// turn-anchor comparer. Decisions are cheap and never cached — the
+		// pair cache stores vision decisions only.
+		agg, err = parallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers, aggregate.CompareTrajectoryPair)
+	} else {
+		agg, err = ParallelAggregate(ctx, tracks, cfg.Aggregate, cfg.Workers, cfg.PairCache)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -414,6 +497,13 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 	reg.Counter("aggregate.matches").Add(int64(len(agg.Matches)))
 	reg.Counter("aggregate.rejected").Add(int64(len(agg.Rejected)))
 	reg.Counter("aggregate.tracks.placed").Add(int64(len(agg.Offsets)))
+	if cfg.Mode != ModeVision {
+		// Fold trajectory-routed tracks the aggregation left outside the
+		// largest component into the global frame (shape matching against
+		// the placed set, then GPS fallback), so their dead-reckoned walks
+		// seed the occupancy grid instead of being dropped.
+		placeTrajectoryTracks(agg, tracks, trackRoute, captures, cfg.Aggregate, reg)
+	}
 
 	// Stage 3: hallway skeleton from placed trajectories, with per-track
 	// drift calibrated against anchor evidence (the paper's "calibrate the
@@ -445,6 +535,9 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 	roomIdx := make([]int, 0, len(captures))
 	for i, c := range captures {
 		if c.Kind == crowd.KindSRS || c.Kind == crowd.KindVisit {
+			if cfg.Mode != ModeVision && len(tracks[i].KFs) == 0 {
+				continue // trajectory-routed: no frames to stitch a panorama from
+			}
 			roomIdx = append(roomIdx, i)
 		}
 	}
@@ -532,6 +625,28 @@ func extractTrack(c *Capture, cfg Config) ([]*KeyFrame, *Trajectory, error) {
 // already known from a previous job (see aggregate.PairCache); pass nil to
 // compare every pair from scratch.
 func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params, workers int, cache *aggregate.PairCache) (*aggregate.Result, error) {
+	cmp := func(ai, bi int, a, b *aggregate.Track, pp aggregate.Params) (aggregate.Match, bool, error) {
+		if len(a.KFs) == 0 || len(b.KFs) == 0 {
+			// Key-frame-less (trajectory-routed) tracks carry nothing the
+			// visual comparison can match. The decision is the same no-match
+			// the anchor search would reach, but skipping it keeps these
+			// pairs out of the cache — their decision is not worth an entry.
+			return aggregate.Match{}, false, nil
+		}
+		return aggregate.ComparePairCached(ai, bi, a, b, pp, cache)
+	}
+	res, err := parallelAggregate(ctx, tracks, p, workers, cmp)
+	if err == nil && cache != nil {
+		p.KF.Obs.Gauge("compare.cache.entries").Set(float64(cache.Len()))
+	}
+	return res, err
+}
+
+// parallelAggregate memoizes cmp over all pairs with bounded parallelism
+// and replays the memo through the sequential aggregation graph. Shared by
+// the vision path (cached anchor comparison) and the trajectory path
+// (turn-anchor comparison, uncached).
+func parallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params, workers int, cmp aggregate.PairComparer) (*aggregate.Result, error) {
 	type cell struct {
 		m  aggregate.Match
 		ok bool
@@ -548,7 +663,7 @@ func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params,
 	// so the degraded decision is too.
 	errs, ctxErr := pipeline.MapAll(ctx, len(pairs), workers, func(_ context.Context, i int) error {
 		pr := pairs[i]
-		m, ok, err := aggregate.ComparePairCached(pr.I, pr.J, tracks[pr.I], tracks[pr.J], p, cache)
+		m, ok, err := cmp(pr.I, pr.J, tracks[pr.I], tracks[pr.J], p)
 		if err != nil {
 			return err
 		}
@@ -569,9 +684,6 @@ func ParallelAggregate(ctx context.Context, tracks []*Track, p aggregate.Params,
 	}
 	if failed > 0 {
 		p.KF.Obs.Counter("aggregate.pairs.failed").Add(int64(failed))
-	}
-	if cache != nil {
-		p.KF.Obs.Gauge("compare.cache.entries").Set(float64(cache.Len()))
 	}
 	replay := func(ai, bi int, _, _ *aggregate.Track, _ aggregate.Params) (aggregate.Match, bool, error) {
 		c, found := memo[[2]int{ai, bi}]

@@ -432,9 +432,9 @@ func (d *deltaRun) finish() {
 // determinism contract); PairCache/Checkpoints/JobID are plumbing.
 func deltaConfigSignature(cfg Config) string {
 	return fmt.Sprintf(
-		"delta-v1;%s;kf=%s;skel=%g,%g,%d,%g;layout=%g,%d,%g,%g,%d,%d;lsd=%g,%g,%g,%g;"+
+		"delta-v2;mode=%d;%s;kf=%s;skel=%g,%g,%d,%g;layout=%g,%d,%g,%g,%d,%d;lsd=%g,%g,%g,%g;"+
 			"pano=%g,%g,%d,%d,%g,%g;fd=%g,%g,%g,%g,%d,%g;merge=%g;seed=%d;release=%t;%s",
-		cfg.Aggregate.Signature(), cfg.Keyframe.Signature(),
+		int(cfg.Mode), cfg.Aggregate.Signature(), cfg.Keyframe.Signature(),
 		cfg.Skeleton.GridRes, cfg.Skeleton.Alpha, cfg.Skeleton.CloseRadius, cfg.Skeleton.Margin,
 		cfg.Layout.CameraHeight, cfg.Layout.Hypotheses, cfg.Layout.MinWall, cfg.Layout.MaxWall,
 		cfg.Layout.ColumnStride, cfg.Layout.Seed,
@@ -447,10 +447,12 @@ func deltaConfigSignature(cfg Config) string {
 }
 
 // trackArtifactSignature guards persisted track artifacts: it covers the
-// extraction parameters and the quality gate (whose sanitization shapes
-// extraction input). Versioned via the codec prefix.
+// extraction parameters, the quality gate (whose sanitization shapes
+// extraction input), and the mode (which decides whether a capture's
+// track is dead-reckoned only or carries key-frames). Versioned via the
+// codec prefix.
 func trackArtifactSignature(cfg Config) string {
-	return "trackio-v1;" + cfg.Keyframe.Signature() + ";" + qualitySignature(cfg.Quality)
+	return fmt.Sprintf("trackio-v2;mode=%d;", int(cfg.Mode)) + cfg.Keyframe.Signature() + ";" + qualitySignature(cfg.Quality)
 }
 
 // qualitySignature is the explicit encoding of the gate parameters (Obs

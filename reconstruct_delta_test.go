@@ -140,6 +140,84 @@ func TestDeltaMatchesFullRebuild(t *testing.T) {
 	}
 }
 
+// TestDeltaMatchesFullRebuildModes extends the delta-equivalence pin to
+// the new routing modes: an evolving mixed-mode corpus — IMU-only
+// captures in trajectory mode, a gate-rejected-video capture in hybrid
+// mode — must, at every prefix, produce a delta result reflect.DeepEqual
+// to a fresh full rebuild. This is what the mode-aware memo signatures
+// (delta-v2/trackio-v2) protect: a memoized vision track must never leak
+// into a trajectory-routed run or vice versa.
+func TestDeltaMatchesFullRebuildModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end delta equivalence check is expensive")
+	}
+	pool, cfg := deltaCorpus(t, 777)
+	modified, _ := deltaCorpus(t, 778)
+
+	cases := []struct {
+		name string
+		mode Mode
+		prep func([]*Capture) []*Capture
+	}{
+		{"trajectory", ModeTrajectory, imuOnly},
+		{"hybrid", ModeHybrid, func(caps []*Capture) []*Capture {
+			// Seed a capture whose video the gate rejects: its trajectory
+			// rescue must memoize and replay exactly like any other track.
+			out := append([]*Capture(nil), caps...)
+			out[0] = badVideoCapture(out[0], out[0].ID)
+			return out
+		}},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mcfg := cfg
+			mcfg.Mode = tc.mode
+			corpus := tc.prep(append([]*Capture(nil), pool[:4]...))
+			spare := tc.prep(append([]*Capture(nil), pool[4:]...))
+			mmod := tc.prep(append([]*Capture(nil), modified...))
+			state := NewDeltaState()
+			reused := int64(0)
+			for step, op := range []string{"add", "modify", "remove", "add"} {
+				switch op {
+				case "add":
+					corpus = append(corpus, spare[0])
+					spare = spare[1:]
+				case "remove":
+					corpus = append(corpus[:1:1], corpus[2:]...)
+				case "modify":
+					i := len(corpus) - 1
+					for _, m := range mmod {
+						if m.ID == corpus[i].ID {
+							corpus[i] = m
+							break
+						}
+					}
+				}
+				label := fmt.Sprintf("%s step %d (%s, %d captures)", tc.name, step, op, len(corpus))
+				dreg := NewMetricsRegistry()
+				dcfg := mcfg
+				dcfg.Metrics = dreg
+				dres, err := ReconstructDelta(ctx, corpus, dcfg, state)
+				if err != nil {
+					t.Fatalf("%s: delta: %v", label, err)
+				}
+				fcfg := mcfg
+				fcfg.Metrics = NewMetricsRegistry()
+				fres, err := Reconstruct(corpus, fcfg)
+				if err != nil {
+					t.Fatalf("%s: full rebuild: %v", label, err)
+				}
+				checkSameOutcome(t, label, dres, fres)
+				reused += dreg.Snapshot().Counters["reconstruct.delta.tracks.reused"]
+			}
+			if reused == 0 {
+				t.Fatalf("%s: delta state never reused a track", tc.name)
+			}
+		})
+	}
+}
+
 // TestDeltaJournalRestartReuse pins the persistence half of the delta
 // contract: with a checkpoint journal attached, a FRESH DeltaState (a
 // restarted process) reloads every track from the journal instead of

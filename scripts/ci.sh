@@ -214,6 +214,57 @@ wait "$daemon3" || { echo "smoke3: daemon exited nonzero"; cat "$smoke/daemon3.l
 trap 'rm -rf "$smoke"' EXIT
 echo "smoke3: incremental run reused $reused tracks, extracted $((extracted - extracted_before))"
 
+# IMU-only trajectory-mode smoke test: boot the daemon with -mode
+# trajectory, upload frame-less IMU-only archives (datagen -imu-only is
+# the corpus shape a video-less deployment produces), and require a plan
+# reconstructed purely from dead-reckoned trajectories. Trajectory-mode
+# coverage is asserted through the reconstruct.mode.* counters on
+# /metrics — the end-to-end check that captures with no frames survive
+# the upload gate, route through the trajectory path, and serve a plan.
+echo "== IMU-only trajectory-mode smoke test =="
+go run ./cmd/datagen -building Lab2 -walks 4 -visits 0 -users 1 -imu-only -out "$smoke/imucaps"
+"$smoke/crowdmapd" -addr 127.0.0.1:18745 -interval 1s -hypotheses 200 \
+	-mode trajectory -quality lenient >"$smoke/daemon4.log" 2>&1 &
+daemon4=$!
+trap 'kill -9 "$daemon4" 2>/dev/null; rm -rf "$smoke"' EXIT
+for i in $(seq 1 50); do
+	curl -fsS -o /dev/null http://127.0.0.1:18745/healthz 2>/dev/null && break
+	sleep 0.2
+	if [ "$i" -eq 50 ]; then
+		echo "smoke4: daemon never became healthy"; cat "$smoke/daemon4.log"; exit 1
+	fi
+done
+for cap in "$smoke"/imucaps/*.zip; do
+	id=$(basename "$cap" .zip)
+	curl -fsS -o /dev/null --data-binary @"$cap" \
+		"http://127.0.0.1:18745/api/v1/captures/$id/chunks?index=0&total=1"
+done
+plan_ok=0
+for i in $(seq 1 120); do
+	if curl -fsS -o /dev/null http://127.0.0.1:18745/api/v1/plans/Lab2 2>/dev/null; then
+		plan_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$plan_ok" -ne 1 ]; then
+	echo "smoke4: no plan reconstructed from IMU-only uploads"
+	cat "$smoke/daemon4.log"; exit 1
+fi
+metric4() {
+	curl -fsS http://127.0.0.1:18745/metrics |
+		grep -o "\"$1\": *[0-9]*" | head -n 1 | grep -o '[0-9]*$'
+}
+mode_runs=$(metric4 reconstruct.mode.trajectory)
+routed=$(metric4 reconstruct.mode.routed.trajectory)
+if [ "${mode_runs:-0}" -lt 1 ] || [ "${routed:-0}" -lt 4 ]; then
+	echo "smoke4: no trajectory-mode coverage (runs=${mode_runs:-0} routed=${routed:-0}, want >=1 / >=4)"
+	cat "$smoke/daemon4.log"; exit 1
+fi
+kill -TERM "$daemon4"
+wait "$daemon4" || { echo "smoke4: daemon exited nonzero"; cat "$smoke/daemon4.log"; exit 1; }
+trap 'rm -rf "$smoke"' EXIT
+echo "smoke4: trajectory-mode plan served ($routed IMU-only captures routed)"
+
 # Docs checks: every internal package must carry a package comment, and
 # every intra-repo markdown link must point at a file that exists.
 echo "== docs: package comments =="
@@ -283,6 +334,14 @@ else
 	go test -run '^$' -bench '^(BenchmarkFullRebuild|BenchmarkDeltaUpdate)$' \
 		-benchtime "${BENCHGATE_TIME:-5x}" -benchmem . |
 		go run scripts/benchgate.go -mode gate -baseline BENCH_pr7.json \
+			-tolerance "${BENCHGATE_TOLERANCE:-0.30}"
+	# PR 9 ratchet: trajectory-only reconstruction — the full IMU-only
+	# pipeline (dead reckoning, turn-anchor aggregation, grid, layout)
+	# with no vision stages. Same wide tolerance as the other end-to-end
+	# benchmarks.
+	go test -run '^$' -bench '^BenchmarkTrajectoryOnlyReconstruct$' \
+		-benchtime "${BENCHGATE_TIME:-5x}" -benchmem . |
+		go run scripts/benchgate.go -mode gate -baseline BENCH_pr9.json \
 			-tolerance "${BENCHGATE_TOLERANCE:-0.30}"
 fi
 
