@@ -18,7 +18,7 @@
 //	          [-building-workers N] [-max-inflight-mb N] [-client-chunk-rate R]
 //	          [-client-chunk-burst N] [-chunk-body-timeout D] [-drain-timeout D]
 //	          [-quality lenient] [-mode vision] [-stage-budget D] [-delta]
-//	          [-rebuild-every N] [-index-cache N] [-metrics]
+//	          [-rebuild-every N] [-index-cache N] [-scrub-interval D] [-metrics]
 //
 // Reconstruction is scheduled per building: every -interval the capture
 // corpus is scanned and grouped by building, and buildings whose corpus
@@ -59,6 +59,17 @@
 // and finished buildings are not reprocessed. Without -data-dir the
 // daemon is memory-only (the legacy -snapshot flag still saves/loads a
 // JSON dump at exit/start).
+//
+// Every derived artifact above the WAL — checkpoints, track artifacts,
+// the pair-cache export, SVG plans, and the read tier's plan records and
+// localization indexes — is persisted under an integrity envelope
+// (internal/cloud/integrity) and verified on every read: a flipped bit is
+// quarantined and counted (integrity.*), never served, and the owning
+// subsystem recomputes the artifact from surviving inputs. A paced
+// background scrubber additionally walks all of them every
+// -scrub-interval (plus one pass at startup; 0 disables), counting
+// scrub.passes/docs/corrupt and redriving repair for whatever it finds —
+// see docs/OPERATIONS.md for the corruption runbook.
 //
 // Graceful shutdown (SIGINT/SIGTERM): the server stops admitting uploads
 // (503 + Retry-After), in-flight building jobs get -drain-timeout to
@@ -119,6 +130,7 @@ func main() {
 		delta      = flag.Bool("delta", false, "incremental reconstruction: reuse per-capture stage artifacts across cycles so a new upload costs O(delta), not O(corpus)")
 		rebuildN   = flag.Int("rebuild-every", 16, "with -delta, force a full rebuild every N-th cycle per building as a correctness backstop (0 = never)")
 		indexCache = flag.Int("index-cache", mapserve.DefaultIndexCacheSize, "buildings whose decoded localization index stays in memory (LRU); raise for many hot buildings, lower under memory pressure")
+		scrubInt   = flag.Duration("scrub-interval", 10*time.Minute, "background integrity-scrub interval over persisted artifacts (0 = off; one pass also runs at startup)")
 	)
 	flag.Parse()
 
@@ -149,6 +161,9 @@ func main() {
 	var wal *store.WAL
 	serverOpts := []server.Option{
 		server.WithObs(reg),
+		// /readyz answers 503 until startup recovery and processor wiring
+		// finish (MarkReady below), and again once shutdown drain begins.
+		server.WithNotReady(),
 		server.WithAdmission(server.AdmissionConfig{
 			MaxInflightBytes: int64(*inflightMB) << 20,
 			ClientRate:       *chunkRate,
@@ -228,16 +243,33 @@ func main() {
 	proc.delta = *delta
 	proc.rebuildEvery = *rebuildN
 	proc.maps = maps
-	proc.loadPairCache()
+	proc.scrubPace = time.Millisecond
+	// start wires the integrity keeper, so the pair-cache load (which
+	// verifies the dump's envelope) must come after it.
 	if err := proc.start(*bWorkers); err != nil {
 		log.Fatal(err)
 	}
+	proc.loadPairCache()
 	// The scan runs under the retry policy: transient store failures back
 	// off and retry, and a scan that keeps failing is reported through the
 	// dead-letter queue instead of silently looping.
 	stop, err := scanSched.Every(*interval, scanSched.RetryJob(queue.Job{ID: "scan", Run: proc.scan}, queue.DefaultRetryPolicy()))
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The background scrubber shares the scan queue: one integrity pass at
+	// startup (catches rot from while the daemon was down), then every
+	// -scrub-interval. Corruption is quarantined and repair redriven
+	// through the normal scan/reconstruct path.
+	stopScrub := func() {}
+	if *scrubInt > 0 {
+		scrubJob := scanSched.RetryJob(queue.Job{ID: "scrub", Run: proc.scrub}, queue.DefaultRetryPolicy())
+		if stopScrub, err = scanSched.Every(*scrubInt, scrubJob); err != nil {
+			log.Fatal(err)
+		}
+		if err := scanSched.Submit(scrubJob); err != nil {
+			log.Printf("startup scrub: %v", err)
+		}
 	}
 	go func() {
 		for r := range scanSched.Results() {
@@ -247,6 +279,7 @@ func main() {
 		}
 	}()
 
+	srv.MarkReady()
 	go func() {
 		log.Printf("listening on %s (%d building workers)", *addr, *bWorkers)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -262,6 +295,7 @@ func main() {
 	//    against the restarted daemon), then stop scheduling new scans.
 	srv.StartDrain()
 	stop()
+	stopScrub()
 	scanSched.Close()
 	for _, d := range scanSched.DeadLetters() {
 		log.Printf("dead-letter: job %s failed %d attempts: %s", d.JobID, d.Attempts, d.Err)

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"crowdmap"
+	"crowdmap/internal/cloud/integrity"
 	"crowdmap/internal/cloud/mapserve"
+	"crowdmap/internal/cloud/pipeline"
 	"crowdmap/internal/cloud/sched"
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
@@ -33,6 +35,10 @@ const (
 	collState = "state"
 	// statePairCache is the collState key of the exported pair cache.
 	statePairCache = "paircache"
+	// statePlanFp prefixes the collState key of a building's plan commit
+	// marker: the corpus fingerprint the stored plan and published read-tier
+	// version were built from, written only after both landed.
+	statePlanFp = "planfp/"
 )
 
 // maxCaptureFailures is how many failed reconstruction attempts a single
@@ -93,6 +99,13 @@ type processor struct {
 	// is already stored, and the read tier keeps serving the previous
 	// complete version.
 	maps *mapserve.Service
+	// keep integrity-envelopes the processor's own persisted documents
+	// (SVG plans, the pair-cache export) and verifies everything it reads
+	// back; created by start, after obs is wired.
+	keep *integrity.Keeper
+	// scrubPace throttles the background scrubber between documents so a
+	// scrub pass never monopolizes the store lock (0 = no pause).
+	scrubPace time.Duration
 
 	mu sync.Mutex
 	// deltaStates holds each building's memoized stage artifacts when
@@ -148,16 +161,27 @@ func (p *processor) start(buildingWorkers int) error {
 		return err
 	}
 	p.sched = s
+	p.keep = integrity.NewKeeper(p.st, p.obs)
 	return nil
 }
 
-// loadPairCache warms the cache from the previous process's exported dump.
+// loadPairCache warms the cache from the previous process's exported
+// dump. Call after start (the integrity keeper must exist). A corrupt
+// dump — bad envelope or JSON the cache rejects — is quarantined and the
+// cache starts cold: every pair decision is recomputable.
 func (p *processor) loadPairCache() {
-	data, ok := p.st.Get(collState, statePairCache)
+	data, ok, err := p.keep.Get(collState, statePairCache)
+	if err != nil {
+		p.obs.Counter("paircache.load.corrupt").Inc()
+		log.Printf("pair cache load: %v (starting cold)", err)
+		return
+	}
 	if !ok {
 		return
 	}
 	if err := p.cache.ImportJSON(data); err != nil {
+		p.keep.Quarantine(collState, statePairCache)
+		p.obs.Counter("paircache.load.corrupt").Inc()
 		log.Printf("pair cache load: %v (starting cold)", err)
 		return
 	}
@@ -165,14 +189,14 @@ func (p *processor) loadPairCache() {
 }
 
 // savePairCache checkpoints the cache through the store (and hence the
-// WAL, when one backs it).
+// WAL, when one backs it), under an integrity envelope.
 func (p *processor) savePairCache() {
 	data, err := p.cache.ExportJSON()
 	if err != nil {
 		log.Printf("pair cache export: %v", err)
 		return
 	}
-	if err := p.st.Put(collState, statePairCache, data); err != nil {
+	if err := p.keep.Put(collState, statePairCache, data); err != nil {
 		log.Printf("pair cache save: %v", err)
 	}
 }
@@ -269,6 +293,11 @@ func (p *processor) scan(ctx context.Context) error {
 	}
 	p.mu.Unlock()
 	for building, entries := range byBuilding {
+		// Fold the persisted artifacts' health into the fingerprint: losing
+		// or corrupting the plan or a read-tier document changes the marker,
+		// so the scheduler redrives the building and the job recomputes the
+		// lost artifact — self-healing with zero scheduler changes.
+		entries = append(entries, "health:"+p.healthMarker(building))
 		p.sched.Mark(building, corpusFingerprint(entries))
 	}
 	p.obs.Gauge("sched.buildings.tracked").Set(float64(len(byBuilding)))
@@ -294,6 +323,122 @@ func corpusFingerprint(entries []string) string {
 		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// planIntact reports whether the building's SVG plan document is present
+// under a valid integrity envelope. A corrupt document is quarantined by
+// the check (the read path would have done the same) and reported as
+// missing, so the caller re-renders.
+func (p *processor) planIntact(building string) bool {
+	_, ok, err := p.keep.Get(server.CollPlans, building)
+	return err == nil && ok
+}
+
+// planState reports whether the plan document AND its commit marker
+// verify, and returns the corpus fingerprint the plan was committed
+// under. The pipeline journals the plan stage before the processor
+// stores the SVG, so "journal done" alone cannot distinguish a committed
+// plan from a crash that left the previous corpus's (intact, stale)
+// plan behind — the marker, written last, can.
+func (p *processor) planState(building string) (intact bool, fp string) {
+	if !p.planIntact(building) {
+		return false, ""
+	}
+	data, ok, err := p.keep.Get(collState, statePlanFp+building)
+	if err != nil || !ok {
+		return false, ""
+	}
+	return true, string(data)
+}
+
+// serveHealthy reports whether the read tier's persisted artifacts for
+// the building verify (or the read tier is off). "Never published" counts
+// as unhealthy so a reconstruction run publishes it.
+func (p *processor) serveHealthy(building string) bool {
+	if p.maps == nil {
+		return true
+	}
+	published, err := p.maps.Verify(building)
+	return published && err == nil
+}
+
+// healthMarker summarizes the building's persisted-artifact health for
+// the scan fingerprint.
+func (p *processor) healthMarker(building string) string {
+	serve := "off"
+	if p.maps != nil {
+		switch published, err := p.maps.Verify(building); {
+		case err != nil:
+			serve = "bad"
+		case !published:
+			serve = "unpublished"
+		default:
+			serve = "ok"
+		}
+	}
+	// The marker carries the committed corpus fingerprint (not just a
+	// bool): a stale-but-intact plan left by a crash between the journal
+	// write and the plan commit changes the marker and redrives the job.
+	plan := "bad"
+	if intact, fp := p.planState(building); intact {
+		plan = fp
+	}
+	return fmt.Sprintf("plan:%s;serve:%s", plan, serve)
+}
+
+// scrub is one background integrity pass: it walks every persisted
+// derived artifact — checkpoints, processor state, SVG plans, and the
+// read tier's records and indexes — verifying envelopes and codecs. A
+// corrupt document is quarantined by the verification itself; scrub then
+// runs a scan so the changed health markers redrive the owning buildings
+// and the artifacts are recomputed. Paced by scrubPace so a pass never
+// monopolizes the store.
+func (p *processor) scrub(ctx context.Context) error {
+	start := time.Now()
+	docs, corrupt := 0, 0
+	for _, coll := range []string{pipeline.CheckpointColl, collState, server.CollPlans} {
+		for _, key := range p.st.Keys(coll) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			docs++
+			if _, _, err := p.keep.Get(coll, key); err != nil {
+				corrupt++
+				log.Printf("scrub: %s/%s corrupt: %v", coll, key, err)
+			}
+			p.pace()
+		}
+	}
+	if p.maps != nil {
+		for _, b := range p.maps.Buildings() {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			docs++
+			if published, err := p.maps.Verify(b); published && err != nil {
+				corrupt++
+				log.Printf("scrub: read tier %s corrupt: %v", b, err)
+			}
+			p.pace()
+		}
+	}
+	p.obs.Counter("scrub.passes").Inc()
+	p.obs.Counter("scrub.docs").Add(int64(docs))
+	p.obs.Counter("scrub.corrupt").Add(int64(corrupt))
+	p.obs.Histogram("scrub.seconds").Observe(time.Since(start).Seconds())
+	if corrupt > 0 {
+		log.Printf("scrub: %d/%d documents corrupt and quarantined, scheduling repair", corrupt, docs)
+		// Redrive immediately instead of waiting for the next scan tick.
+		return p.scan(ctx)
+	}
+	return nil
+}
+
+// pace sleeps the scrub throttle, if one is configured.
+func (p *processor) pace() {
+	if p.scrubPace > 0 {
+		time.Sleep(p.scrubPace)
+	}
 }
 
 // runOnce is the synchronous test/tooling entry point: one scan, then
@@ -399,13 +544,20 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 			return nil
 		}
 		fp := crowdmap.CorpusFingerprint(captures)
-		if _, havePlan := p.st.Get(server.CollPlans, building); havePlan &&
-			p.journal.Completed(building, crowdmap.StagePlan, fp) {
+		planIntact, planFp := p.planState(building)
+		planOK := planIntact && planFp == fp
+		serveOK := p.serveHealthy(building)
+		journalDone := p.journal.Completed(building, crowdmap.StagePlan, fp)
+		if planOK && serveOK && journalDone {
 			// The plan stage already completed over exactly this corpus (a
-			// restart, or a fresh scheduler over an old store): nothing to do.
+			// restart, or a fresh scheduler over an old store) and every
+			// persisted artifact verifies: nothing to do.
 			log.Printf("%s: plan already reconstructed for this corpus, skipping", building)
 			return nil
 		}
+		// A completed journal with a missing/corrupt plan or read-tier
+		// artifact means this run is a repair, not new work.
+		repairRun := journalDone && (!planOK || !serveOK)
 		cfg := crowdmap.DefaultConfig()
 		cfg.Layout.Hypotheses = p.hypotheses
 		cfg.Workers = p.workers
@@ -462,20 +614,38 @@ func (p *processor) reconstructBuilding(ctx context.Context, building string, ca
 			log.Printf("%s: render: %v", building, err)
 			return fmt.Errorf("%s: render: %w", building, err)
 		}
-		if err := p.st.Put(server.CollPlans, building, svg); err != nil {
+		if err := p.keep.Put(server.CollPlans, building, svg); err != nil {
 			log.Printf("%s: store plan: %v", building, err)
 			return fmt.Errorf("%s: store plan: %w", building, err)
+		}
+		if repairRun {
+			if !planOK {
+				p.obs.Counter("integrity.repaired").Inc()
+			}
+			p.obs.Counter("processor.plan.repaired").Inc()
+			log.Printf("%s: repaired persisted artifacts (plan intact=%t, serve intact=%t)",
+				building, planOK, serveOK)
 		}
 		// Publish to the read tier after the SVG store succeeds: versioned
 		// vector/PNG artifacts plus the localization index, swapped
 		// atomically so concurrent plan/locate readers never see a partial
 		// version. An unchanged plan keeps its version (and clients' 304s).
+		published := true
 		if p.maps != nil {
 			if v, err := p.maps.Publish(building, res); err != nil {
+				published = false
 				p.obs.Counter("mapserve.publish.errors").Inc()
 				log.Printf("%s: mapserve publish: %v", building, err)
 			} else {
 				log.Printf("%s: serving plan version %d (etag %.12s)", building, v.Version, v.ETag)
+			}
+		}
+		// The commit marker goes last: it asserts plan AND read tier were
+		// built from this corpus, so a crash anywhere above leaves a stale
+		// marker and the next scan redrives the build.
+		if published {
+			if err := p.keep.Put(collState, statePlanFp+building, []byte(fp)); err != nil {
+				log.Printf("%s: store plan marker: %v", building, err)
 			}
 		}
 		// Degraded-mode aftermath: captures the pipeline excluded (gate

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"crowdmap"
+	"crowdmap/internal/cloud/integrity"
 	"crowdmap/internal/cloud/server"
 	"crowdmap/internal/cloud/store"
 )
@@ -81,7 +82,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := st.Put(server.CollPlans, building.Name, svg); err != nil {
+	// Plan documents are stored under an integrity envelope — the server
+	// verifies it on every read and refuses to serve rotten bytes.
+	if err := st.Put(server.CollPlans, building.Name, integrity.Wrap(svg)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("plan published: %d rooms, %d/%d tracks placed\n",

@@ -92,23 +92,38 @@ func EncodeTrack(t *Track) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// DecodeError is the typed failure of DecodeTrack: the artifact bytes
+// are truncated, garbled, or otherwise not a valid track artifact.
+// Callers match it with errors.As to route corrupt artifacts to the
+// drop-and-re-extract repair path (and count them) instead of failing
+// the run on a raw gzip/gob error.
+type DecodeError struct {
+	Err error
+}
+
+func (e *DecodeError) Error() string { return "aggregate: decode track: " + e.Err.Error() }
+func (e *DecodeError) Unwrap() error { return e.Err }
+
 // DecodeTrack deserializes a persisted track and rebuilds its derived
 // structures exactly as extraction does. Track.Quality is zero: the
-// caller stamps the current run's gate score.
+// caller stamps the current run's gate score. Any failure — at the gzip
+// layer, the gob layer, or structural validation — is a *DecodeError;
+// corrupted input of any shape returns it rather than panicking (pinned
+// by FuzzDecodeTrack).
 func DecodeTrack(data []byte) (*Track, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("aggregate: decode track: %w", err)
+		return nil, &DecodeError{Err: err}
 	}
 	var art trackArtifact
 	if err := gob.NewDecoder(zr).Decode(&art); err != nil {
-		return nil, fmt.Errorf("aggregate: decode track: %w", err)
+		return nil, &DecodeError{Err: err}
 	}
 	if _, err := io.Copy(io.Discard, zr); err != nil {
-		return nil, fmt.Errorf("aggregate: decode track: %w", err)
+		return nil, &DecodeError{Err: err}
 	}
 	if err := zr.Close(); err != nil {
-		return nil, fmt.Errorf("aggregate: decode track: %w", err)
+		return nil, &DecodeError{Err: err}
 	}
 	traj := art.Traj
 	t := &Track{

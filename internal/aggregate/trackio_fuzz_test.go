@@ -1,0 +1,102 @@
+package aggregate
+
+import (
+	"errors"
+	"testing"
+
+	"crowdmap/internal/keyframe"
+	"crowdmap/internal/trajectory"
+	"crowdmap/internal/vision/wavelet"
+)
+
+// fuzzSeedTrack is a small but structurally complete artifact: a
+// trajectory plus one key-frame carrying a wavelet signature, so the
+// decode path that rebuilds derived structures is inside the fuzzed
+// surface.
+func fuzzSeedTrack(tb testing.TB) []byte {
+	tb.Helper()
+	data, err := EncodeTrack(&Track{
+		ID:   "seed",
+		Hash: "seed-hash",
+		Traj: &trajectory.Trajectory{},
+		KFs: []*keyframe.KeyFrame{{
+			T:       1.5,
+			Heading: 0.25,
+			Wavelet: &wavelet.Signature{Size: 8, Average: 0.5, Coeffs: map[int]int8{3: 1, 9: -1}},
+		}},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzDecodeTrack pins the corrupted-artifact contract: DecodeTrack
+// never panics, and every failure is the typed *DecodeError the delta
+// path's drop-and-re-extract repair matches on. Seeds cover a valid
+// artifact, truncations at both codec layers, a bit flip, and garbage
+// that is not gzip at all.
+func FuzzDecodeTrack(f *testing.F) {
+	valid := fuzzSeedTrack(f)
+	f.Add(valid)
+	f.Add(valid[:1])                         // not even a gzip header
+	f.Add(valid[:len(valid)/2])              // truncated mid-stream
+	f.Add(valid[:len(valid)-1])              // missing the gzip trailer
+	f.Add(append([]byte(nil), valid[2:]...)) // header sheared off
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("\x1f\x8b\x08")) // gzip magic, empty stream
+	f.Add([]byte("PK\x03\x04 definitely not a track artifact"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrack(data)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("decode failure has type %T (%v), want *DecodeError", err, err)
+			}
+			return
+		}
+		if tr == nil || tr.Traj == nil {
+			t.Fatal("nil track or trajectory with nil error")
+		}
+		for i, kf := range tr.KFs {
+			if kf == nil {
+				t.Fatalf("key-frame %d is nil with nil error", i)
+			}
+			if kf.SURFIndex == nil {
+				t.Fatalf("key-frame %d decoded without a rebuilt SURF index", i)
+			}
+		}
+	})
+}
+
+// TestDecodeTrackCorruptInputsTyped is the non-fuzz pin of the same
+// contract, so the typed-error guarantee is enforced even in runs that
+// skip fuzz targets.
+func TestDecodeTrackCorruptInputsTyped(t *testing.T) {
+	valid := fuzzSeedTrack(t)
+	// Sanity: the seed round-trips.
+	tr, err := DecodeTrack(valid)
+	if err != nil || tr.ID != "seed" || len(tr.KFs) != 1 {
+		t.Fatalf("valid artifact failed: %+v, %v", tr, err)
+	}
+	if tr.KFs[0].WaveletFlat == nil || tr.KFs[0].SURFIndex == nil {
+		t.Fatal("derived structures not rebuilt on decode")
+	}
+	corrupt := [][]byte{
+		{}, valid[:3], valid[:len(valid)/2], []byte("garbage"),
+	}
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)-2] ^= 0xFF
+	corrupt = append(corrupt, mut)
+	for i, data := range corrupt {
+		_, err := DecodeTrack(data)
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("corrupt input %d: error %v, want *DecodeError", i, err)
+		}
+	}
+}

@@ -5,7 +5,10 @@
 // disk produces — torn writes that persist only a prefix of a record,
 // failed fsyncs, and unwritable directories — letting crash-recovery
 // tests exercise the exact byte-level states a crashed crowdmapd leaves
-// behind without actually killing a process.
+// behind without actually killing a process. It also injects read-side
+// faults — outright read errors, short reads that truncate a file's
+// tail, and single-bit flips — the on-disk decay modes (bad sectors,
+// bit rot) the integrity layer must detect and repair.
 package faultfs
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -117,7 +121,30 @@ type Flaky struct {
 	failCreates bool
 	written     int64
 	syncs       int64
+	readFaults  []readFault
+	injectedRds int64
 }
+
+// readFault is one armed read-side fault, applied to ReadFile calls
+// whose path contains match ("" matches every path). The first matching
+// fault in arming order applies.
+type readFault struct {
+	match string
+	mode  readFaultMode
+	// keep is the prefix length retained by a short read; off/bit locate
+	// the flipped bit for rotFlip.
+	keep int64
+	off  int64
+	bit  uint
+}
+
+type readFaultMode int
+
+const (
+	rotFail readFaultMode = iota
+	rotShort
+	rotFlip
+)
 
 // NewFlaky wraps base with an unlimited write budget and no armed faults.
 func NewFlaky(base FS) *Flaky {
@@ -154,6 +181,50 @@ func (f *Flaky) FailCreates(fail bool) {
 	f.failCreates = fail
 }
 
+// FailReads arms an outright read error (a dead sector, an I/O error)
+// for every ReadFile whose path contains match; "" matches all paths.
+func (f *Flaky) FailReads(match string) {
+	f.addReadFault(readFault{match: match, mode: rotFail})
+}
+
+// ShortReads arms silent tail truncation: ReadFile on a matching path
+// returns only the first keep bytes (fewer if the file is smaller) with
+// no error — the shape a truncated file or a partial write presents to
+// a reader.
+func (f *Flaky) ShortReads(match string, keep int64) {
+	if keep < 0 {
+		keep = 0
+	}
+	f.addReadFault(readFault{match: match, mode: rotShort, keep: keep})
+}
+
+// FlipReadBit arms bit rot: ReadFile on a matching path returns the
+// file's contents with one bit flipped at byte offset off (clamped into
+// range), with no error. Reads of empty files are unaffected.
+func (f *Flaky) FlipReadBit(match string, off int64, bit uint) {
+	f.addReadFault(readFault{match: match, mode: rotFlip, off: off, bit: bit % 8})
+}
+
+func (f *Flaky) addReadFault(rf readFault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readFaults = append(f.readFaults, rf)
+}
+
+// HealReads disarms every read-side fault.
+func (f *Flaky) HealReads() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readFaults = nil
+}
+
+// InjectedReads reports how many ReadFile calls a read fault altered.
+func (f *Flaky) InjectedReads() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injectedRds
+}
+
 // BytesWritten reports the total bytes persisted through the wrapper.
 func (f *Flaky) BytesWritten() int64 {
 	f.mu.Lock()
@@ -186,8 +257,54 @@ func (f *Flaky) Create(path string) (File, error) {
 	return &flakyFile{fs: f, f: file}, nil
 }
 
-// ReadFile implements FS.
-func (f *Flaky) ReadFile(path string) ([]byte, error) { return f.base.ReadFile(path) }
+// ReadFile implements FS, applying the first armed read fault whose
+// match is a substring of path.
+func (f *Flaky) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	var fault *readFault
+	for i := range f.readFaults {
+		if strings.Contains(path, f.readFaults[i].match) {
+			fault = &f.readFaults[i]
+			break
+		}
+	}
+	if fault != nil {
+		f.injectedRds++
+	}
+	f.mu.Unlock()
+	if fault == nil {
+		return f.base.ReadFile(path)
+	}
+	switch fault.mode {
+	case rotFail:
+		return nil, fmt.Errorf("read %s: %w", path, ErrInjected)
+	case rotShort:
+		data, err := f.base.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) > fault.keep {
+			data = data[:fault.keep]
+		}
+		return data, nil
+	default: // rotFlip
+		data, err := f.base.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > 0 {
+			off := fault.off
+			if off < 0 {
+				off = 0
+			}
+			if off >= int64(len(data)) {
+				off = int64(len(data)) - 1
+			}
+			data[off] ^= 1 << fault.bit
+		}
+		return data, nil
+	}
+}
 
 // ReadDir implements FS.
 func (f *Flaky) ReadDir(path string) ([]string, error) { return f.base.ReadDir(path) }

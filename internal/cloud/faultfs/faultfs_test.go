@@ -91,6 +91,79 @@ func TestFlakyTornWrite(t *testing.T) {
 	f2.Close()
 }
 
+// TestFlakyReadFaults: each read-side fault mode alters only matching
+// paths, the first armed match wins, and healing restores clean reads.
+func TestFlakyReadFaults(t *testing.T) {
+	fs := NewFlaky(Dir(t.TempDir()))
+	write := func(name, content string) {
+		t.Helper()
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	write("wal.index", "index-contents")
+	write("wal-0001.seg", "segment-contents")
+
+	fs.FailReads("wal.index")
+	if _, err := fs.ReadFile("wal.index"); !errors.Is(err, ErrInjected) {
+		t.Errorf("armed read succeeded: %v", err)
+	}
+	if data, err := fs.ReadFile("wal-0001.seg"); err != nil || string(data) != "segment-contents" {
+		t.Errorf("non-matching path affected: %q, %v", data, err)
+	}
+	fs.HealReads()
+	if _, err := fs.ReadFile("wal.index"); err != nil {
+		t.Errorf("read after heal: %v", err)
+	}
+
+	fs.ShortReads("seg", 7)
+	if data, err := fs.ReadFile("wal-0001.seg"); err != nil || string(data) != "segment" {
+		t.Errorf("short read = %q, %v, want \"segment\"", data, err)
+	}
+	fs.HealReads()
+
+	fs.FlipReadBit("seg", 0, 5)
+	data, err := fs.ReadFile("wal-0001.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 's'^(1<<5) {
+		t.Errorf("flipped first byte = %#x, want %#x", data[0], 's'^(1<<5))
+	}
+	// The flip must be read-side only: the file on disk is untouched.
+	fs.HealReads()
+	if data, _ := fs.ReadFile("wal-0001.seg"); string(data) != "segment-contents" {
+		t.Errorf("on-disk bytes changed by a read fault: %q", data)
+	}
+	if got := fs.InjectedReads(); got != 3 {
+		t.Errorf("InjectedReads = %d, want 3", got)
+	}
+}
+
+// TestFlakyFlipReadBitClamps: an out-of-range offset flips the last
+// byte instead of panicking, and an empty file passes through unchanged.
+func TestFlakyFlipReadBitClamps(t *testing.T) {
+	fs := NewFlaky(Dir(t.TempDir()))
+	f, _ := fs.Create("tiny")
+	f.Write([]byte("ab"))
+	f.Close()
+	g, _ := fs.Create("empty")
+	g.Close()
+	fs.FlipReadBit("", 1<<40, 0)
+	data, err := fs.ReadFile("tiny")
+	if err != nil || string(data) != "a"+string(rune('b'^1)) {
+		t.Errorf("clamped flip = %q, %v", data, err)
+	}
+	if data, err := fs.ReadFile("empty"); err != nil || len(data) != 0 {
+		t.Errorf("empty file flip = %q, %v", data, err)
+	}
+}
+
 func TestFlakySyncAndCreateFaults(t *testing.T) {
 	fs := NewFlaky(Dir(t.TempDir()))
 	f, err := fs.Create("x")

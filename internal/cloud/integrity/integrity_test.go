@@ -1,0 +1,152 @@
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
+)
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xA5}, 1<<16)} {
+		wrapped := Wrap(payload)
+		if !Wrapped(wrapped) {
+			t.Fatalf("Wrapped(Wrap(%d bytes)) = false", len(payload))
+		}
+		got, err := Unwrap(wrapped)
+		if err != nil {
+			t.Fatalf("Unwrap: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestUnwrapDetectsEveryBitFlip(t *testing.T) {
+	wrapped := Wrap([]byte("the payload under test"))
+	for i := range wrapped {
+		for bit := uint(0); bit < 8; bit++ {
+			mut := append([]byte(nil), wrapped...)
+			mut[i] ^= 1 << bit
+			if _, err := Unwrap(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", i, bit)
+			} else {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("bit flip at byte %d: error %T, want *CorruptError", i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestUnwrapRejectsTruncationAndGarbage(t *testing.T) {
+	wrapped := Wrap([]byte("abcdefgh"))
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     wrapped[:headerLen-1],
+		"truncated body":   wrapped[:len(wrapped)-3],
+		"extended body":    append(append([]byte(nil), wrapped...), 0),
+		"garbage":          []byte("PK\x03\x04 not an envelope"),
+		"unwrapped legacy": []byte(`{"version":3}`),
+	}
+	for name, data := range cases {
+		var ce *CorruptError
+		if _, err := Unwrap(data); !errors.As(err, &ce) {
+			t.Errorf("%s: error %v, want *CorruptError", name, err)
+		}
+	}
+	// An unknown (future) version must be refused, not misparsed.
+	future := append([]byte(nil), wrapped...)
+	future[len(magic)] = Version + 1
+	var ce *CorruptError
+	if _, err := Unwrap(future); !errors.As(err, &ce) {
+		t.Errorf("future version: error %v, want *CorruptError", err)
+	}
+}
+
+func TestKeeperRoundTripAndMetrics(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	k := NewKeeper(st, reg)
+	if err := k.Put("artifacts", "a", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := k.Get("artifacts", "a")
+	if err != nil || !ok || string(got) != "payload" {
+		t.Fatalf("Get = (%q, %t, %v), want payload", got, ok, err)
+	}
+	if _, ok, err := k.Get("artifacts", "missing"); ok || err != nil {
+		t.Fatalf("missing doc: ok=%t err=%v, want false, nil", ok, err)
+	}
+	if v := reg.Snapshot().Counters["integrity.verified"]; v != 1 {
+		t.Errorf("integrity.verified = %d, want 1", v)
+	}
+}
+
+func TestKeeperQuarantinesCorruptDoc(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	k := NewKeeper(st, reg)
+	if err := k.Put("artifacts", "a", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := st.Get("artifacts", "a")
+	raw[len(raw)-1] ^= 0x40
+	if err := st.Put("artifacts", "a", raw); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := k.Get("artifacts", "a")
+	if ok {
+		t.Fatal("corrupt doc reported ok")
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v, want *CorruptError", err)
+	}
+	if ce.Coll != "artifacts" || ce.Key != "a" {
+		t.Errorf("CorruptError location = %s/%s, want artifacts/a", ce.Coll, ce.Key)
+	}
+	// The corrupt bytes moved to quarantine; the original is gone, so the
+	// consumer's recompute path owns the key now.
+	if _, ok := st.Get("artifacts", "a"); ok {
+		t.Error("corrupt doc still in its collection")
+	}
+	qd, ok := st.Get(QuarantineColl, "artifacts/a")
+	if !ok || !bytes.Equal(qd, raw) {
+		t.Error("corrupt bytes not preserved in quarantine")
+	}
+	c := reg.Snapshot().Counters
+	if c["integrity.corrupt"] != 1 || c["integrity.quarantined"] != 1 {
+		t.Errorf("counters = %v, want corrupt=1 quarantined=1", c)
+	}
+	// A later Get sees a clean miss: recompute-and-Put repairs in place.
+	if _, ok, err := k.Get("artifacts", "a"); ok || err != nil {
+		t.Fatalf("post-quarantine Get = (%t, %v), want miss", ok, err)
+	}
+}
+
+func TestKeeperExplicitQuarantine(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	k := NewKeeper(st, reg)
+	// Valid envelope, semantically bad payload: the consumer detects the
+	// decode failure and asks for quarantine explicitly.
+	if err := k.Put("artifacts", "bad-gob", []byte("not actually gob")); err != nil {
+		t.Fatal(err)
+	}
+	k.Quarantine("artifacts", "bad-gob")
+	if _, ok := st.Get("artifacts", "bad-gob"); ok {
+		t.Error("doc still present after explicit quarantine")
+	}
+	if _, ok := st.Get(QuarantineColl, "artifacts/bad-gob"); !ok {
+		t.Error("doc not moved to quarantine")
+	}
+	k.Quarantine("artifacts", "never-existed") // no-op, must not panic
+	if v := reg.Snapshot().Counters["integrity.quarantined"]; v != 1 {
+		t.Errorf("integrity.quarantined = %d, want 1", v)
+	}
+}

@@ -136,21 +136,22 @@ func encodeLocIndex(art *locArtifact) ([]byte, error) {
 }
 
 // decodeLocIndex deserializes an index artifact and rebuilds the derived
-// per-key-frame structures exactly as extraction does.
+// per-key-frame structures exactly as extraction does. Failures are the
+// typed *CodecError, never a panic.
 func decodeLocIndex(data []byte) (*locIndex, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("decode index: %w", err)
+		return nil, &CodecError{Artifact: "localization index", Err: err}
 	}
 	var art locArtifact
 	if err := gob.NewDecoder(zr).Decode(&art); err != nil {
-		return nil, fmt.Errorf("decode index: %w", err)
+		return nil, &CodecError{Artifact: "localization index", Err: err}
 	}
 	if _, err := io.Copy(io.Discard, zr); err != nil {
-		return nil, fmt.Errorf("decode index: %w", err)
+		return nil, &CodecError{Artifact: "localization index", Err: err}
 	}
 	if err := zr.Close(); err != nil {
-		return nil, fmt.Errorf("decode index: %w", err)
+		return nil, &CodecError{Artifact: "localization index", Err: err}
 	}
 	idx := &locIndex{
 		kfs:   make([]*keyframe.KeyFrame, len(art.KFs)),

@@ -33,12 +33,16 @@ package mapserve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"crowdmap"
+	"crowdmap/internal/cloud/integrity"
 	"crowdmap/internal/cloud/store"
 	"crowdmap/internal/geom"
 	"crowdmap/internal/img"
@@ -49,10 +53,13 @@ import (
 )
 
 // CollServe is the store collection holding published read-tier artifacts:
-// "<building>/plan" documents (current plan record) and
-// "<building>/index@<etag-prefix>" documents (localization indexes, keyed
-// by content so a crash between writes can never pair a new index with an
-// old plan or vice versa).
+// "<building>/plan" documents (current plan record), "<building>/ver"
+// documents (the persisted version floor, so versions stay monotonic even
+// if the plan record itself is lost), and "<building>/index@<etag-prefix>"
+// documents (localization indexes, keyed by content so a crash between
+// writes can never pair a new index with an old plan or vice versa). All
+// of them are stored under integrity envelopes (integrity.Wrap) and
+// verified on every read.
 const CollServe = "mapserve"
 
 // DefaultIndexCacheSize bounds how many buildings' localization indexes
@@ -69,6 +76,12 @@ var DefaultMaxHeadingDiff = mathx.Deg2Rad(30)
 // store holds nothing for it).
 var ErrUnknownBuilding = errors.New("mapserve: no published plan for building")
 
+// ErrIndexUnavailable reports that a building's localization index is
+// missing or corrupt on disk (quarantined, pending repair). The plan
+// itself still serves; the next publish of the same reconstruction — or a
+// scrub-triggered republish — rewrites the index.
+var ErrIndexUnavailable = errors.New("mapserve: localization index unavailable")
+
 // Service owns the read tier for all buildings: current plan versions,
 // localization indexes, and their persistence. Safe for concurrent use;
 // Publish may run concurrently with any number of Plan/Locate calls.
@@ -83,6 +96,10 @@ type Service struct {
 	// maxHeadingDiff gates locate candidates by IMU heading; ≤ 0 disables.
 	maxHeadingDiff float64
 	cache          *indexCache
+	// keep envelopes every persisted read-tier document and verifies it on
+	// read; corrupt documents are quarantined, counted, and reported as
+	// missing so the write path republishes instead of serving poison.
+	keep *integrity.Keeper
 
 	mu sync.RWMutex
 	// current maps building → last complete published record. Entries are
@@ -139,6 +156,7 @@ func New(st *store.Store, opts ...Option) (*Service, error) {
 	if s.reg == nil {
 		s.reg = obs.New()
 	}
+	s.keep = integrity.NewKeeper(st, s.reg)
 	return s, nil
 }
 
@@ -202,13 +220,30 @@ func (s *Service) Publish(building string, res *crowdmap.Result) (PlanVersion, e
 	etag := hex.EncodeToString(h.Sum(nil))
 
 	cur, _ := s.record(building)
+	repair := false
 	if cur != nil && cur.ETag == etag {
-		s.reg.Counter("mapserve.publish.unchanged").Inc()
-		return PlanVersion{Building: building, Version: cur.Version, ETag: cur.ETag}, nil
+		if s.storedIntact(cur) {
+			s.reg.Counter("mapserve.publish.unchanged").Inc()
+			return PlanVersion{Building: building, Version: cur.Version, ETag: cur.ETag}, nil
+		}
+		// Content is current but a persisted artifact is corrupt or missing
+		// (the intactness check quarantined whatever was bad). Rewrite the
+		// same version under the same ETag: a repair, not a new version, so
+		// client caches stay valid.
+		repair = true
 	}
 	version := uint64(1)
-	if cur != nil {
+	switch {
+	case repair:
+		version = cur.Version
+	case cur != nil:
 		version = cur.Version + 1
+	}
+	if floor := s.versionFloor(building); !repair && version <= floor {
+		// The plan record was lost or quarantined but the version-floor
+		// document survived: never reuse or regress below a version a
+		// client may have cached.
+		version = floor + 1
 	}
 	finalJSON, err := renderPlanJSON(building, version, res.Plan)
 	if err != nil {
@@ -222,19 +257,24 @@ func (s *Service) Publish(building string, res *crowdmap.Result) (PlanVersion, e
 		PNG:      png,
 		IndexKey: indexKey(building, etag),
 	}
-	// Durability order is the commit protocol: index first, plan record
-	// second. The plan record is the commit point — until it lands,
-	// readers resolve the old record, whose own (content-keyed) index is
-	// untouched. A crash in between leaves an orphan index document that
-	// the next successful publish of this building deletes.
-	if err := s.st.Put(CollServe, rec.IndexKey, idxBytes); err != nil {
+	// Durability order is the commit protocol: version floor first, index
+	// second, plan record last. The plan record is the commit point —
+	// until it lands, readers resolve the old record, whose own
+	// (content-keyed) index is untouched. A crash in between leaves an
+	// orphan index document that the next successful publish of this
+	// building deletes; a crash after the floor write merely burns a
+	// version number.
+	if err := s.putVersionFloor(building, version); err != nil {
+		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: store version floor: %w", building, err)
+	}
+	if err := s.keep.Put(CollServe, rec.IndexKey, idxBytes); err != nil {
 		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: store index: %w", building, err)
 	}
 	recBytes, err := encodePlanRecord(rec)
 	if err != nil {
 		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: %w", building, err)
 	}
-	if err := s.st.Put(CollServe, planKey(building), recBytes); err != nil {
+	if err := s.keep.Put(CollServe, planKey(building), recBytes); err != nil {
 		return PlanVersion{}, fmt.Errorf("mapserve: publish %s: store plan: %w", building, err)
 	}
 	// Atomic swap: from here every reader sees the new complete version.
@@ -246,9 +286,59 @@ func (s *Service) Publish(building string, res *crowdmap.Result) (PlanVersion, e
 		_ = s.st.Delete(CollServe, cur.IndexKey)
 		s.cache.remove(cur.IndexKey)
 	}
+	if repair {
+		s.cache.remove(rec.IndexKey)
+		s.reg.Counter("mapserve.publish.repaired").Inc()
+		s.reg.Counter("integrity.repaired").Inc()
+	}
 	s.reg.Counter("mapserve.publishes").Inc()
 	s.reg.Gauge("mapserve.plan.version").Set(float64(version))
 	return PlanVersion{Building: building, Version: version, ETag: etag}, nil
+}
+
+// storedIntact reports whether the current record's persisted artifacts
+// (plan record and localization index) are still present under valid
+// integrity envelopes. A corrupt document is quarantined by the check
+// itself, which is fine: the only caller rewrites both immediately.
+func (s *Service) storedIntact(cur *planRecord) bool {
+	if _, ok, err := s.keep.Get(CollServe, planKey(cur.Building)); err != nil || !ok {
+		return false
+	}
+	if _, ok, err := s.keep.Get(CollServe, cur.IndexKey); err != nil || !ok {
+		return false
+	}
+	return true
+}
+
+// verKey keys the per-building version-floor document: the highest version
+// number ever durably assigned, written before the version's artifacts.
+func verKey(building string) string { return building + "/ver" }
+
+type versionFloorDoc struct {
+	Version uint64 `json:"version"`
+}
+
+// versionFloor reads the building's persisted version floor; 0 when absent
+// or corrupt (a corrupt floor is quarantined and regrows on next publish).
+func (s *Service) versionFloor(building string) uint64 {
+	data, ok, err := s.keep.Get(CollServe, verKey(building))
+	if err != nil || !ok {
+		return 0
+	}
+	var doc versionFloorDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		s.keep.Quarantine(CollServe, verKey(building))
+		return 0
+	}
+	return doc.Version
+}
+
+func (s *Service) putVersionFloor(building string, v uint64) error {
+	data, err := json.Marshal(&versionFloorDoc{Version: v})
+	if err != nil {
+		return err
+	}
+	return s.keep.Put(CollServe, verKey(building), data)
 }
 
 // Plan returns the building's current served version, or false when the
@@ -276,12 +366,21 @@ func (s *Service) record(building string) (*planRecord, bool) {
 	if rec != nil {
 		return rec, true
 	}
-	data, ok := s.st.Get(CollServe, planKey(building))
+	data, ok, err := s.keep.Get(CollServe, planKey(building))
+	if err != nil {
+		// Corrupt on disk: the keeper quarantined it. Report no plan; the
+		// processor's next scan notices and republishes from checkpoints.
+		s.reg.Counter("mapserve.plan.corrupt").Inc()
+		return nil, false
+	}
 	if !ok {
 		return nil, false
 	}
 	loaded, err := decodePlanRecord(data)
 	if err != nil {
+		// Valid envelope over bytes the codec rejects (a write-time bug,
+		// not bit rot) — quarantine it all the same, never serve it.
+		s.keep.Quarantine(CollServe, planKey(building))
 		s.reg.Counter("mapserve.plan.decode_errors").Inc()
 		return nil, false
 	}
@@ -397,18 +496,94 @@ func (s *Service) index(rec *planRecord) (*locIndex, error) {
 		return idx, nil
 	}
 	s.reg.Counter("mapserve.index.cache.misses").Inc()
-	data, ok := s.st.Get(CollServe, rec.IndexKey)
+	data, ok, err := s.keep.Get(CollServe, rec.IndexKey)
+	if err != nil {
+		s.reg.Counter("mapserve.index.corrupt").Inc()
+		return nil, fmt.Errorf("%w (key %s): %v", ErrIndexUnavailable, rec.IndexKey, err)
+	}
 	if !ok {
-		return nil, fmt.Errorf("localization index missing (key %s)", rec.IndexKey)
+		return nil, fmt.Errorf("%w (key %s)", ErrIndexUnavailable, rec.IndexKey)
 	}
 	idx, err := decodeLocIndex(data)
 	if err != nil {
-		return nil, err
+		s.keep.Quarantine(CollServe, rec.IndexKey)
+		s.reg.Counter("mapserve.index.decode_errors").Inc()
+		return nil, fmt.Errorf("%w (key %s): %v", ErrIndexUnavailable, rec.IndexKey, err)
 	}
 	if evicted := s.cache.put(rec.IndexKey, idx); evicted > 0 {
 		s.reg.Counter("mapserve.index.cache.evictions").Add(int64(evicted))
 	}
 	return idx, nil
+}
+
+// Buildings lists every building with published read-tier state on disk,
+// derived from the store keys. A building whose plan record was
+// quarantined still appears (its version-floor document survives), so the
+// scrubber and the processor's repair scan can find it.
+func (s *Service) Buildings() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, k := range s.st.Keys(CollServe) {
+		var b string
+		switch {
+		case strings.HasSuffix(k, "/plan"):
+			b = strings.TrimSuffix(k, "/plan")
+		case strings.HasSuffix(k, "/ver"):
+			b = strings.TrimSuffix(k, "/ver")
+		default:
+			continue
+		}
+		if b != "" && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Verify integrity-checks one building's persisted read-tier artifacts
+// without serving them: the plan record (envelope and codec) and the
+// localization index it names. It reports published=false when the
+// building has no read-tier state at all; a non-nil error means some
+// artifact is corrupt or missing and republishing the same reconstruction
+// (which takes Publish's repair path) heals it. Corrupt documents are
+// quarantined as a side effect, exactly as the serving read path would.
+func (s *Service) Verify(building string) (published bool, err error) {
+	data, ok, gerr := s.keep.Get(CollServe, planKey(building))
+	if gerr != nil {
+		s.reg.Counter("mapserve.plan.corrupt").Inc()
+		return true, gerr
+	}
+	if !ok {
+		s.mu.RLock()
+		inMem := s.current[building] != nil
+		s.mu.RUnlock()
+		if inMem || s.hasVersionFloor(building) {
+			// Published at some point (still serving from memory, or the
+			// floor document survived) but the record is gone from disk.
+			return true, fmt.Errorf("mapserve: %s: plan record missing", building)
+		}
+		return false, nil
+	}
+	rec, derr := decodePlanRecord(data)
+	if derr != nil {
+		s.keep.Quarantine(CollServe, planKey(building))
+		s.reg.Counter("mapserve.plan.decode_errors").Inc()
+		return true, derr
+	}
+	if _, ok, gerr := s.keep.Get(CollServe, rec.IndexKey); gerr != nil {
+		s.reg.Counter("mapserve.index.corrupt").Inc()
+		return true, gerr
+	} else if !ok {
+		return true, fmt.Errorf("mapserve: %s: %w (key %s)", building, ErrIndexUnavailable, rec.IndexKey)
+	}
+	return true, nil
+}
+
+func (s *Service) hasVersionFloor(building string) bool {
+	_, ok := s.st.Get(CollServe, verKey(building))
+	return ok
 }
 
 // globalPose pairs a stored key-frame with its plan-frame pose.

@@ -42,20 +42,35 @@ func encodePlanRecord(rec *planRecord) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// CodecError is the typed decode failure of a persisted mapserve
+// artifact (plan record or localization index): truncated or garbled
+// bytes under a valid integrity envelope. Callers quarantine the
+// document and count the event; corrupted input never panics (pinned by
+// FuzzDecodePlanRecord / FuzzDecodeLocIndex).
+type CodecError struct {
+	Artifact string
+	Err      error
+}
+
+func (e *CodecError) Error() string {
+	return "mapserve: decode " + e.Artifact + ": " + e.Err.Error()
+}
+func (e *CodecError) Unwrap() error { return e.Err }
+
 func decodePlanRecord(data []byte) (*planRecord, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("decode plan record: %w", err)
+		return nil, &CodecError{Artifact: "plan record", Err: err}
 	}
 	var rec planRecord
 	if err := gob.NewDecoder(zr).Decode(&rec); err != nil {
-		return nil, fmt.Errorf("decode plan record: %w", err)
+		return nil, &CodecError{Artifact: "plan record", Err: err}
 	}
 	if _, err := io.Copy(io.Discard, zr); err != nil {
-		return nil, fmt.Errorf("decode plan record: %w", err)
+		return nil, &CodecError{Artifact: "plan record", Err: err}
 	}
 	if err := zr.Close(); err != nil {
-		return nil, fmt.Errorf("decode plan record: %w", err)
+		return nil, &CodecError{Artifact: "plan record", Err: err}
 	}
 	return &rec, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"crowdmap/internal/cloud/integrity"
 	"crowdmap/internal/obs"
 )
 
@@ -45,15 +46,19 @@ type Checkpoint struct {
 type Journal struct {
 	st  DocStore
 	obs *obs.Registry
+	// keep envelopes every record (integrity verify-on-read): a flipped
+	// bit in a persisted checkpoint is quarantined and reported as a
+	// miss, so the stage recomputes instead of resuming from poison.
+	keep *integrity.Keeper
 }
 
 // NewJournal builds a journal over st; reg (may be nil) receives the
-// pipeline.resume.* metrics.
+// pipeline.resume.* and integrity.* metrics.
 func NewJournal(st DocStore, reg *obs.Registry) (*Journal, error) {
 	if st == nil {
 		return nil, fmt.Errorf("pipeline: journal needs a store")
 	}
-	return &Journal{st: st, obs: reg}, nil
+	return &Journal{st: st, obs: reg, keep: integrity.NewKeeper(st, reg)}, nil
 }
 
 func journalKey(job, stage string) string { return job + "/" + stage }
@@ -69,25 +74,36 @@ func (j *Journal) Complete(job, stage, fingerprint string, payload []byte) error
 	if err != nil {
 		return fmt.Errorf("pipeline: encode checkpoint: %w", err)
 	}
-	if err := j.st.Put(CheckpointColl, journalKey(job, stage), data); err != nil {
+	if err := j.keep.Put(CheckpointColl, journalKey(job, stage), data); err != nil {
 		return fmt.Errorf("pipeline: save checkpoint %s/%s: %w", job, stage, err)
 	}
 	j.obs.Counter("pipeline.resume.saved").Inc()
 	return nil
 }
 
-// lookup fetches and fingerprint-checks a record, counting the outcome.
+// lookup fetches, integrity-verifies, and fingerprint-checks a record,
+// counting the outcome. A corrupt record — bad envelope or a valid
+// envelope over JSON that no longer parses — is quarantined and reported
+// as a miss: the stage recomputes and the next Complete overwrites the
+// key, which is the whole repair.
 func (j *Journal) lookup(job, stage, fingerprint string) (Checkpoint, bool) {
 	if j == nil {
 		return Checkpoint{}, false
 	}
-	data, ok := j.st.Get(CheckpointColl, journalKey(job, stage))
+	data, ok, err := j.keep.Get(CheckpointColl, journalKey(job, stage))
+	if err != nil {
+		j.obs.Counter("pipeline.resume.corrupt").Inc()
+		j.obs.Counter("pipeline.resume.misses").Inc()
+		return Checkpoint{}, false
+	}
 	if !ok {
 		j.obs.Counter("pipeline.resume.misses").Inc()
 		return Checkpoint{}, false
 	}
 	var rec Checkpoint
 	if err := json.Unmarshal(data, &rec); err != nil {
+		j.keep.Quarantine(CheckpointColl, journalKey(job, stage))
+		j.obs.Counter("pipeline.resume.corrupt").Inc()
 		j.obs.Counter("pipeline.resume.misses").Inc()
 		return Checkpoint{}, false
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"crowdmap/internal/cloud/integrity"
 	"crowdmap/internal/cloud/store"
 	"crowdmap/internal/obs"
 )
@@ -136,5 +137,69 @@ func TestJournalStagesAndDrop(t *testing.T) {
 	}
 	if err := nilJ.Drop("Lab2", "plan"); err != nil {
 		t.Error("nil journal Drop errored")
+	}
+}
+
+// TestJournalQuarantinesCorruptCheckpoint: a bit-flipped record reads as
+// a counted miss (→ the stage recomputes), the poison bytes move to the
+// quarantine collection, and a fresh Complete repairs the key in place.
+func TestJournalQuarantinesCorruptCheckpoint(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	j, err := NewJournal(st, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Complete("bldg", "pairs", "fp1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := st.Get(CheckpointColl, "bldg/pairs")
+	raw[len(raw)/2] ^= 0x01
+	if err := st.Put(CheckpointColl, "bldg/pairs", raw); err != nil {
+		t.Fatal(err)
+	}
+	if j.Completed("bldg", "pairs", "fp1") {
+		t.Fatal("corrupt checkpoint reported complete")
+	}
+	c := reg.Snapshot().Counters
+	if c["pipeline.resume.corrupt"] != 1 || c["integrity.corrupt"] != 1 {
+		t.Errorf("corruption counters = %v", c)
+	}
+	if _, ok := st.Get(integrity.QuarantineColl, CheckpointColl+"/bldg/pairs"); !ok {
+		t.Error("corrupt checkpoint not quarantined")
+	}
+	if _, ok := st.Get(CheckpointColl, "bldg/pairs"); ok {
+		t.Error("corrupt checkpoint still in working collection")
+	}
+	// Recompute-and-Complete is the repair.
+	if err := j.Complete("bldg", "pairs", "fp1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Completed("bldg", "pairs", "fp1") {
+		t.Error("repaired checkpoint not readable")
+	}
+}
+
+// TestJournalQuarantinesUnparsableCheckpoint: a valid envelope over
+// JSON that no longer parses (a writer bug or sub-envelope corruption)
+// is quarantined exactly like an envelope failure.
+func TestJournalQuarantinesUnparsableCheckpoint(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	j, err := NewJournal(st, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.keep.Put(CheckpointColl, "bldg/pairs", []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if j.Completed("bldg", "pairs", "fp1") {
+		t.Fatal("unparsable checkpoint reported complete")
+	}
+	if _, ok := st.Get(integrity.QuarantineColl, CheckpointColl+"/bldg/pairs"); !ok {
+		t.Error("unparsable checkpoint not quarantined")
+	}
+	if reg.Snapshot().Counters["pipeline.resume.corrupt"] != 1 {
+		t.Error("pipeline.resume.corrupt not counted")
 	}
 }

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crowdmap/internal/cloud/integrity"
+	"crowdmap/internal/cloud/store"
+	"crowdmap/internal/obs"
+)
+
+// TestReadyzLifecycle pins the readiness contract: a server built with
+// WithNotReady answers /readyz 503 until MarkReady, 200 after, and 503
+// again once shutdown drain begins — while /healthz stays 200 throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, err := New(store.New(), WithNotReady())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before MarkReady = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz before MarkReady = %d, want 200", got)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() true before MarkReady")
+	}
+	srv.MarkReady()
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz after MarkReady = %d, want 200", got)
+	}
+	if !srv.Ready() {
+		t.Fatal("Ready() false after MarkReady")
+	}
+	srv.StartDrain()
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", got)
+	}
+}
+
+// TestReadyzDefaultReady: without WithNotReady (library and test use) the
+// server is ready from construction.
+func TestReadyzDefaultReady(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPlanRoundTripAndCorruption: the legacy SVG plan endpoints store
+// under an integrity envelope; a document corrupted at rest is
+// quarantined and answered 404, never served.
+func TestPlanRoundTripAndCorruption(t *testing.T) {
+	st := store.New()
+	reg := obs.New()
+	srv, err := New(st, WithObs(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	svg := []byte("<svg>plan</svg>")
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/plans/Lab2", bytes.NewReader(svg))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put plan = %d", resp.StatusCode)
+	}
+	get := func() (*http.Response, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/api/v1/plans/Lab2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.String()
+	}
+	if resp, body := get(); resp.StatusCode != http.StatusOK || !strings.Contains(body, "plan") {
+		t.Fatalf("get plan = %d %q", resp.StatusCode, body)
+	}
+
+	// Rot the stored document; the envelope catches it.
+	raw, ok := st.Get(CollPlans, "Lab2")
+	if !ok {
+		t.Fatal("plan doc missing from store")
+	}
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-1] ^= 0x01
+	if err := st.Put(CollPlans, "Lab2", mut); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := get(); resp.StatusCode != http.StatusNotFound || strings.Contains(body, "plan") {
+		t.Fatalf("corrupt plan served: %d %q", resp.StatusCode, body)
+	}
+	c := reg.Snapshot().Counters
+	if c["plans.get.corrupt"] != 1 || c["integrity.quarantined"] != 1 {
+		t.Fatalf("corruption counters = %v", c)
+	}
+	if _, ok := st.Get(integrity.QuarantineColl, CollPlans+"/Lab2"); !ok {
+		t.Fatal("corrupt plan not quarantined")
+	}
+}

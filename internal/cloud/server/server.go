@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crowdmap/internal/cloud/integrity"
 	"crowdmap/internal/cloud/mapserve"
 	"crowdmap/internal/cloud/store"
 	"crowdmap/internal/obs"
@@ -72,6 +73,16 @@ type Server struct {
 	// draining flips at graceful shutdown: chunk uploads are refused with
 	// 503 so the daemon can finish in-flight work and exit.
 	draining atomic.Bool
+	// ready flips once the deployment finishes startup (store recovered,
+	// processor running); GET /readyz serves 503 until then and again while
+	// draining, so load balancers route around restarts. Servers built
+	// without WithNotReady are ready immediately (library/test use).
+	ready atomic.Bool
+	// startNotReady defers readiness until MarkReady (set by WithNotReady).
+	startNotReady bool
+	// keep integrity-envelopes the documents the server persists directly
+	// (legacy SVG plans); corrupt documents 404 instead of serving rot.
+	keep *integrity.Keeper
 
 	maxPending int
 	uploadTTL  time.Duration
@@ -151,6 +162,12 @@ func WithIMUOnlyAdmission() Option {
 	return func(s *Server) { s.imuOnlyAdmission = true }
 }
 
+// WithNotReady starts the server unready: GET /readyz answers 503 until
+// MarkReady is called (after store recovery and pipeline startup). Use in
+// deployments behind a load balancer; without this option the server is
+// ready from construction.
+func WithNotReady() Option { return func(s *Server) { s.startNotReady = true } }
+
 // WithChunkLog attaches the write-ahead log: chunks are made durable
 // before they are acknowledged, and upload completion/eviction events are
 // logged so crash recovery reconstructs exactly the acked state.
@@ -183,6 +200,8 @@ func New(st *store.Store, opts ...Option) (*Server, error) {
 	if s.obs == nil {
 		s.obs = obs.New()
 	}
+	s.keep = integrity.NewKeeper(st, s.obs)
+	s.ready.Store(!s.startNotReady)
 	now := s.now()
 	for id, ru := range s.recovered {
 		if len(s.pending) >= s.maxPending {
@@ -201,6 +220,16 @@ func New(st *store.Store, opts ...Option) (*Server, error) {
 
 // Store exposes the backing store (the processing pipeline reads from it).
 func (s *Server) Store() *store.Store { return s.store }
+
+// MarkReady flips GET /readyz to 200. Call once startup recovery is done
+// and the deployment can take traffic.
+func (s *Server) MarkReady() {
+	s.ready.Store(true)
+	s.obs.Gauge("server.ready").Set(1)
+}
+
+// Ready reports whether the server would answer /readyz with 200.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 
 // Metrics exposes the server's registry so the reconstruction pipeline can
 // share it (one /metrics endpoint covering ingestion and processing).
@@ -253,6 +282,7 @@ func (s *Server) evictStaleLocked(now time.Time) {
 //	POST /api/v1/buildings/{building}/locate           — localize one frame on the plan
 //	GET  /metrics                                      — metrics snapshot (JSON)
 //	GET  /healthz                                      — liveness
+//	GET  /readyz                                       — readiness (503 while starting or draining)
 //
 // Every route is wrapped in the metrics middleware (request counts, status
 // classes, latency, bytes in/out) under http.<route>.*. The full request/
@@ -276,7 +306,23 @@ func (s *Server) Handler() http.Handler {
 	route("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	route("GET /readyz", "readyz", s.handleReadyz)
 	return mux
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 only when startup
+// recovery finished (MarkReady) and shutdown drain has not begun. Liveness
+// (/healthz) stays 200 through both, so orchestrators do not kill a
+// recovering or draining process.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
@@ -501,7 +547,7 @@ func (s *Server) handlePutPlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.store.Put(CollPlans, building, buf.Bytes()); err != nil {
+	if err := s.keep.Put(CollPlans, building, buf.Bytes()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -509,7 +555,14 @@ func (s *Server) handlePutPlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetPlan(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.store.Get(CollPlans, r.PathValue("building"))
+	data, ok, err := s.keep.Get(CollPlans, r.PathValue("building"))
+	if err != nil {
+		// Corrupt on disk: quarantined by the keeper, 404 to the client
+		// (the processor's next scan notices the loss and re-renders).
+		s.obs.Counter("plans.get.corrupt").Inc()
+		http.NotFound(w, r)
+		return
+	}
 	if !ok {
 		http.NotFound(w, r)
 		return

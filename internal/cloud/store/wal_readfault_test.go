@@ -1,0 +1,227 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"crowdmap/internal/cloud/faultfs"
+	"crowdmap/internal/obs"
+)
+
+// Read-side fault injection against the WAL's recovery readers: the
+// advisory-index load, segment replay, snapshot load, and compaction all
+// read through faultfs, so these tests pin what each does when the disk
+// returns errors, short data, or flipped bits.
+
+// seedWAL writes n small records through a fresh WAL in dir and closes it
+// cleanly (which persists wal.index).
+func seedWAL(t *testing.T, dir string, n int) {
+	t.Helper()
+	w := openTestWAL(t, dir)
+	st := w.Store()
+	for i := 0; i < n; i++ {
+		if err := st.Put("c", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// finalSegment returns the name of the lexically last segment in dir.
+func finalSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range names {
+		n := e.Name()
+		if strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".seg") && n > last {
+			last = n
+		}
+	}
+	if last == "" {
+		t.Fatal("no wal segment on disk")
+	}
+	return last
+}
+
+// TestWALIndexReadFaultFallsBackToScan: when wal.index exists but the
+// read of it fails, recovery falls back to the directory scan, counts the
+// rebuild, and reconstructs every record.
+func TestWALIndexReadFaultFallsBackToScan(t *testing.T) {
+	dir := t.TempDir()
+	seedWAL(t, dir, 8)
+
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	flaky.FailReads("wal.index")
+	reg := obs.New()
+	w := openTestWAL(t, "", WALFS(flaky), WALObs(reg))
+	defer w.Close()
+	if got := reg.Snapshot().Counters["store.wal.index_rebuilt"]; got != 1 {
+		t.Fatalf("store.wal.index_rebuilt = %d, want 1", got)
+	}
+	if flaky.InjectedReads() == 0 {
+		t.Fatal("read fault never fired")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := w.Store().Get("c", fmt.Sprintf("k%d", i))
+		if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("k%d = %q, %v after index-less recovery", i, v, ok)
+		}
+	}
+}
+
+// TestWALSegmentReadErrorFailsOpen: an I/O error reading a live segment
+// must fail recovery loudly — silently opening with partial state would
+// drop acknowledged writes.
+func TestWALSegmentReadErrorFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	seedWAL(t, dir, 4)
+
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	flaky.FailReads(".seg")
+	if _, err := OpenWAL("", WALFS(flaky), WALObs(obs.New())); err == nil {
+		t.Fatal("OpenWAL succeeded over a segment read error")
+	}
+	flaky.HealReads()
+	w := openTestWAL(t, "", WALFS(flaky))
+	defer w.Close()
+	if _, ok := w.Store().Get("c", "k3"); !ok {
+		t.Fatal("records lost after healed reopen")
+	}
+}
+
+// TestWALShortReadFinalSegmentTruncatesTail: a short read of the final
+// segment is indistinguishable from a torn write, so recovery truncates
+// to the last complete record and keeps the prefix.
+func TestWALShortReadFinalSegmentTruncatesTail(t *testing.T) {
+	dir := t.TempDir()
+	seedWAL(t, dir, 6)
+	seg := finalSegment(t, dir)
+
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	flaky.ShortReads(seg, func() int64 {
+		data, err := os.ReadFile(dir + "/" + seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(len(data)) - 1
+	}())
+	// The stale index would hide nothing here, but drop it so the scan
+	// path and the torn-tail path compose (the realistic crash shape).
+	flaky.FailReads("wal.index")
+	reg := obs.New()
+	w := openTestWAL(t, "", WALFS(flaky), WALObs(reg))
+	defer w.Close()
+	c := reg.Snapshot().Counters
+	if c["store.wal.truncations"] == 0 {
+		t.Fatal("short-read tail not truncated")
+	}
+	// Every record but the torn last one survives.
+	for i := 0; i < 5; i++ {
+		if _, ok := w.Store().Get("c", fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d lost to a one-byte-short read", i)
+		}
+	}
+	if _, ok := w.Store().Get("c", "k5"); ok {
+		t.Fatal("torn final record resurrected")
+	}
+}
+
+// TestWALFlippedBitFinalSegmentTruncates: a flipped payload bit in the
+// final segment fails the frame CRC and recovery drops the tail from that
+// record on, keeping everything before it.
+func TestWALFlippedBitFinalSegmentTruncates(t *testing.T) {
+	dir := t.TempDir()
+	seedWAL(t, dir, 6)
+	seg := finalSegment(t, dir)
+	data, err := os.ReadFile(dir + "/" + seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	// Flip a bit around 3/4 through the records: some prefix replays, the
+	// rest is a torn tail.
+	flaky.FlipReadBit(seg, int64(len(data))*3/4, 2)
+	flaky.FailReads("wal.index")
+	reg := obs.New()
+	w := openTestWAL(t, "", WALFS(flaky), WALObs(reg))
+	defer w.Close()
+	if reg.Snapshot().Counters["store.wal.truncations"] == 0 {
+		t.Fatal("flipped bit did not trip the CRC truncation")
+	}
+	if _, ok := w.Store().Get("c", "k0"); !ok {
+		t.Fatal("records before the flipped bit lost")
+	}
+}
+
+// TestWALSnapshotReadErrorFailsOpen: the snapshot is the bulk of the
+// state after a compaction; failing to read it must fail recovery, not
+// open an empty store.
+func TestWALSnapshotReadErrorFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir)
+	for i := 0; i < 4; i++ {
+		if err := w.Store().Put("c", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	flaky.FailReads("snapshot.json")
+	if _, err := OpenWAL("", WALFS(flaky), WALObs(obs.New())); err == nil {
+		t.Fatal("OpenWAL succeeded over a snapshot read error")
+	}
+	flaky.HealReads()
+	w2 := openTestWAL(t, "", WALFS(flaky))
+	defer w2.Close()
+	if _, ok := w2.Store().Get("c", "k0"); !ok {
+		t.Fatal("snapshot state lost after healed reopen")
+	}
+}
+
+// TestWALCompactReadFaultSurfacesError: compaction re-reads live segments
+// to carry pending uploads forward; a read fault must abort the compact
+// (leaving the old state intact), and a healed retry must succeed.
+func TestWALCompactReadFaultSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	flaky := faultfs.NewFlaky(faultfs.Dir(dir))
+	w := openTestWAL(t, "", WALFS(flaky))
+	for i := 0; i < 4; i++ {
+		if err := w.Store().Put("c", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flaky.FailReads(".seg")
+	if err := w.Compact(); err == nil {
+		t.Fatal("Compact succeeded over a segment read error")
+	}
+	flaky.HealReads()
+	if err := w.Compact(); err != nil {
+		t.Fatalf("healed Compact: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, dir)
+	defer w2.Close()
+	for i := 0; i < 4; i++ {
+		v, ok := w2.Store().Get("c", fmt.Sprintf("k%d", i))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q, %v after compact+reopen", i, v, ok)
+		}
+	}
+}

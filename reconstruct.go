@@ -466,7 +466,13 @@ func reconstructPipeline(ctx context.Context, captures []*Capture, cfg Config, d
 	// compared for real.
 	if cfg.PairCache != nil {
 		if payload, ok := ckpt.Payload(cfg.JobID, StagePairs, fp); ok && len(payload) > 0 {
-			_ = cfg.PairCache.ImportJSON(payload)
+			if err := cfg.PairCache.ImportJSON(payload); err != nil {
+				// A pairs payload the cache rejects under a valid integrity
+				// envelope is a write-time bug; drop the record so it is
+				// never retried and recompute the comparisons.
+				_ = ckpt.Drop(cfg.JobID, StagePairs)
+				reg.Counter("pipeline.resume.corrupt").Inc()
+			}
 		}
 	}
 	aggDone := obs.Stage(reg, "aggregate")

@@ -263,12 +263,22 @@ func (d *deltaRun) lookupTrack(c *Capture, score float64) (*Track, string, bool)
 		// field carries the extraction-parameter signature, so stale
 		// artifacts miss naturally.
 		if payload, ok := d.ckpt.Payload(d.job, trackStagePrefix+fp, d.trackSig); ok && len(payload) > 0 {
-			if dec, err := aggregate.DecodeTrack(payload); err == nil && dec.Hash == fp {
+			switch dec, err := aggregate.DecodeTrack(payload); {
+			case err == nil && dec.Hash == fp:
 				t = dec
 				d.state.memoMu.Lock()
 				d.state.tracks[fp] = t
 				d.state.memoMu.Unlock()
 				d.reg.Counter("reconstruct.delta.tracks.journal_loaded").Inc()
+			default:
+				// The envelope verified but the gob payload does not decode
+				// (or decodes to the wrong content) — a write-time bug, not
+				// bit rot. Drop the poisoned artifact so it can never be
+				// retried, and fall through to re-extraction; storeTrack
+				// persists the replacement, completing the repair.
+				_ = d.ckpt.Drop(d.job, trackStagePrefix+fp)
+				d.reg.Counter("reconstruct.delta.tracks.corrupt").Inc()
+				d.reg.Counter("integrity.repaired").Inc()
 			}
 		}
 	}

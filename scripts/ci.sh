@@ -15,7 +15,11 @@ echo "== go vet =="
 go vet ./...
 
 echo "== go test -race =="
-go test -race "$@" ./...
+# Package test binaries run concurrently and share the CPU, so the
+# slowest package's wall clock grows with the whole suite; the default
+# per-binary 10m timeout is too tight for the root package under -race
+# on shared hardware.
+go test -race -timeout 30m "$@" ./...
 
 # Shuffled run: reconstruction is contractually deterministic (see
 # determinism_test.go), so no test may depend on the order its siblings
@@ -27,7 +31,7 @@ go test -shuffle=on -short ./...
 # Fuzz targets replay their committed seed corpora as part of go test; run
 # them by name here so a corpus regression is reported explicitly.
 echo "== fuzz seed corpora =="
-go test -run 'Fuzz' ./internal/cloud/server/
+go test -run 'Fuzz' ./internal/cloud/server/ ./internal/aggregate/ ./internal/cloud/mapserve/
 
 # Crash-recovery and retry tests again under the race detector, by name,
 # so a regression in the durability layer is reported explicitly rather
@@ -265,6 +269,80 @@ wait "$daemon4" || { echo "smoke4: daemon exited nonzero"; cat "$smoke/daemon4.l
 trap 'rm -rf "$smoke"' EXIT
 echo "smoke4: trajectory-mode plan served ($routed IMU-only captures routed)"
 
+# Corruption-repair smoke test: reconstruct a plan into a durable data
+# dir, stop the daemon, flip one bit of the persisted plan document
+# offline (scripts/chaoscorrupt.go writes the rot through the WAL), and
+# restart with a tight scrub interval. The scrubber must detect and
+# quarantine the corrupt document, the self-healing scan must rebuild it,
+# and the plan must be served again — corrupt bytes never reach a client.
+echo "== corruption-repair smoke test =="
+go run ./cmd/datagen -building Lab2 -walks 3 -visits 0 -users 1 -out "$smoke/chaoscaps"
+"$smoke/crowdmapd" -addr 127.0.0.1:18746 -data-dir "$smoke/chaosdata" \
+	-interval 1s -hypotheses 200 -drain-timeout 20s >"$smoke/daemon5.log" 2>&1 &
+daemon5=$!
+trap 'kill -9 "$daemon5" 2>/dev/null; rm -rf "$smoke"' EXIT
+for i in $(seq 1 50); do
+	curl -fsS -o /dev/null http://127.0.0.1:18746/readyz 2>/dev/null && break
+	sleep 0.2
+	if [ "$i" -eq 50 ]; then
+		echo "smoke5: daemon never became ready"; cat "$smoke/daemon5.log"; exit 1
+	fi
+done
+for cap in "$smoke"/chaoscaps/*.zip; do
+	id=$(basename "$cap" .zip)
+	curl -fsS -o /dev/null --data-binary @"$cap" \
+		"http://127.0.0.1:18746/api/v1/captures/$id/chunks?index=0&total=1"
+done
+plan_ok=0
+for i in $(seq 1 120); do
+	if curl -fsS -o /dev/null http://127.0.0.1:18746/api/v1/plans/Lab2 2>/dev/null; then
+		plan_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$plan_ok" -ne 1 ]; then
+	echo "smoke5: no plan before the corruption"; cat "$smoke/daemon5.log"; exit 1
+fi
+kill -TERM "$daemon5"
+wait "$daemon5" || { echo "smoke5: daemon exited nonzero"; cat "$smoke/daemon5.log"; exit 1; }
+go run scripts/chaoscorrupt.go -data-dir "$smoke/chaosdata" -coll plans -key Lab2
+"$smoke/crowdmapd" -addr 127.0.0.1:18746 -data-dir "$smoke/chaosdata" \
+	-interval 1s -scrub-interval 1s -hypotheses 200 -drain-timeout 20s \
+	>"$smoke/daemon5b.log" 2>&1 &
+daemon5=$!
+metric5() {
+	curl -fsS http://127.0.0.1:18746/metrics |
+		grep -o "\"$1\": *[0-9]*" | head -n 1 | grep -o '[0-9]*$'
+}
+repair_ok=0
+for i in $(seq 1 120); do
+	corrupt=$(metric5 scrub.corrupt 2>/dev/null || echo 0)
+	repaired=$(metric5 integrity.repaired 2>/dev/null || echo 0)
+	if [ "${corrupt:-0}" -ge 1 ] && [ "${repaired:-0}" -ge 1 ]; then
+		repair_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$repair_ok" -ne 1 ]; then
+	echo "smoke5: corruption not detected+repaired (scrub.corrupt=${corrupt:-0} integrity.repaired=${repaired:-0})"
+	cat "$smoke/daemon5b.log"; exit 1
+fi
+plan_ok=0
+for i in $(seq 1 60); do
+	if curl -fsS -o "$smoke/repaired_plan.svg" http://127.0.0.1:18746/api/v1/plans/Lab2 2>/dev/null; then
+		plan_ok=1; break
+	fi
+	sleep 1
+done
+if [ "$plan_ok" -ne 1 ] || [ ! -s "$smoke/repaired_plan.svg" ]; then
+	echo "smoke5: plan not served after repair"; cat "$smoke/daemon5b.log"; exit 1
+fi
+quarantined=$(metric5 integrity.quarantined)
+kill -TERM "$daemon5"
+wait "$daemon5" || { echo "smoke5: daemon exited nonzero"; cat "$smoke/daemon5b.log"; exit 1; }
+trap 'rm -rf "$smoke"' EXIT
+echo "smoke5: bit-flip detected (quarantined=${quarantined:-0}), plan repaired and served"
+
 # Docs checks: every internal package must carry a package comment, and
 # every intra-repo markdown link must point at a file that exists.
 echo "== docs: package comments =="
@@ -342,6 +420,13 @@ else
 	go test -run '^$' -bench '^BenchmarkTrajectoryOnlyReconstruct$' \
 		-benchtime "${BENCHGATE_TIME:-5x}" -benchmem . |
 		go run scripts/benchgate.go -mode gate -baseline BENCH_pr9.json \
+			-tolerance "${BENCHGATE_TOLERANCE:-0.30}"
+	# PR 10 ratchet: envelope-verified track decode — the per-track read
+	# cost every delta run pays. Pins the integrity envelope's SHA-256
+	# pass staying marginal next to the decode it protects.
+	go test -run '^$' -bench '^BenchmarkVerifiedTrackDecode$' \
+		-benchtime "${BENCHGATE_TIME:-10x}" -benchmem . |
+		go run scripts/benchgate.go -mode gate -baseline BENCH_pr10.json \
 			-tolerance "${BENCHGATE_TOLERANCE:-0.30}"
 fi
 
